@@ -1,0 +1,159 @@
+//! `repro` — regenerate every table and figure of the TinySDR paper.
+//!
+//! ```text
+//! repro all                 # everything (plus a summary of verdicts)
+//! repro table1..table6      # Tables 1-6
+//! repro fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15a fig15b
+//! repro sec51 sec52 sec53 sec6
+//! repro --quick all         # reduced trial counts for smoke runs
+//! ```
+
+use tinysdr_bench::phy_experiments as phy;
+use tinysdr_bench::system_experiments as sys;
+use tinysdr_bench::{print_facts, print_series, verdict, Series};
+
+struct Effort {
+    packets: u32,
+    symbols: usize,
+    bits: usize,
+}
+
+const FULL: Effort = Effort { packets: 100, symbols: 400, bits: 100_000 };
+const QUICK: Effort = Effort { packets: 25, symbols: 120, bits: 20_000 };
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { QUICK } else { FULL };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).map(|s| s.as_str()).collect();
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation> ...");
+        std::process::exit(2);
+    }
+    let all = wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+    let seed = 0xBEEF;
+
+    if want("table1") {
+        print_facts("Table 1: SDR platform comparison", &sys::table1());
+    }
+    if want("fig2") {
+        print_facts("Fig 2: radio module power per platform", &sys::fig2());
+    }
+    if want("table2") {
+        print_facts("Table 2: off-the-shelf I/Q radio modules", &sys::table2());
+    }
+    if want("table3") {
+        print_facts("Table 3: power domains", &sys::table3());
+    }
+    if want("table4") {
+        print_facts("Table 4: operation timing", &sys::table4());
+    }
+    if want("table5") {
+        print_facts("Table 5: cost breakdown (1000 units)", &sys::table5());
+    }
+    if want("table6") {
+        print_facts("Table 6: FPGA utilization for LoRa", &sys::table6());
+    }
+    if want("fig8") {
+        let (spectrum, spur) = phy::fig8(seed);
+        print_series("Fig 8: single-tone spectrum (around 915 MHz)", "MHz", &[decimate(spectrum, 16)]);
+        println!("  worst spur: {spur:.1} dBc  (paper: no unexpected harmonics)");
+    }
+    if want("fig9") {
+        print_series("Fig 9: single-tone TX power consumption", "dBm out", &sys::fig9());
+        let c = tinysdr_core::profile::fig9_curve(false);
+        let p0 = c.iter().find(|p| p.0 == 0.0).unwrap().1;
+        let p14 = c.iter().find(|p| p.0 == 14.0).unwrap().1;
+        println!("  {}", verdict("platform @0 dBm (mW)", p0, 231.0, 0.05));
+        println!("  {}", verdict("platform @14 dBm (mW)", p14, 283.0, 0.05));
+    }
+    if want("fig10") {
+        let curves = phy::fig10(effort.packets, seed);
+        print_series("Fig 10: LoRa modulator PER vs RSSI (%)", "RSSI dBm", &curves);
+        for c in &curves {
+            if let Some(s) = phy::sensitivity_from_curve(c, 10.0) {
+                println!("  {} 10%-PER sensitivity: {s:.1} dBm", c.label);
+            }
+        }
+        println!("  paper: -126 dBm at SF8/BW125");
+    }
+    if want("fig11") {
+        let curves = phy::fig11(effort.symbols, seed);
+        print_series("Fig 11: LoRa demodulator chirp SER vs RSSI (%)", "RSSI dBm", &curves);
+        for c in &curves {
+            if let Some(s) = phy::sensitivity_from_curve(c, 10.0) {
+                println!("  {} 10%-SER sensitivity: {s:.1} dBm", c.label);
+            }
+        }
+        println!("  paper: demodulates down to -126 dBm (SF8/BW125)");
+    }
+    if want("fig12") {
+        let (curve, cc2650) = phy::fig12(effort.bits, seed);
+        print_series("Fig 12: BLE beacon BER vs RSSI", "RSSI dBm", &[curve.clone()]);
+        if let Some(s) =
+            tinysdr_dsp::stats::sensitivity_crossing(&curve.points, 1e-3)
+        {
+            println!("  BER=1e-3 sensitivity: {s:.1} dBm (paper: -94; CC2650 ref {cc2650:.0})");
+        }
+    }
+    if want("fig13") {
+        let (rows, _env) = sys::fig13();
+        print_facts("Fig 13: BLE beacons on 3 advertising channels", &rows);
+    }
+    if want("fig14") {
+        for (label, cdf, mean_s) in sys::fig14(42) {
+            let mut s = Series::new(format!("{label} CDF"));
+            for (x, y) in cdf {
+                s.push(x, y);
+            }
+            print_series(&format!("Fig 14: OTA programming time — {label}"), "minutes", &[s]);
+            println!("  mean: {mean_s:.0} s");
+        }
+        println!("  paper means: LoRa FPGA 150 s, BLE FPGA 59 s, MCU 39 s");
+    }
+    if want("fig15a") {
+        let curves = phy::fig15a(effort.symbols / 2, seed);
+        print_series(
+            "Fig 15a: concurrent orthogonal LoRa, equal power (SER %)",
+            "RSSI dBm",
+            &curves,
+        );
+        println!("  paper: ~2 dB (BW125) / ~0.5 dB (BW250) loss vs solo sensitivity");
+    }
+    if want("fig15b") {
+        let curve = phy::fig15b(effort.symbols / 2, seed);
+        print_series(
+            "Fig 15b: interferer sweep, BW125 fixed at -123 dBm (SER %)",
+            "interferer dBm",
+            &[curve],
+        );
+        println!("  paper: error rate climbs once the interferer exceeds ~-116 dBm");
+    }
+    if want("sec51") {
+        print_facts("Sec 5.1: benchmarks", &sys::sec51());
+    }
+    if want("sec52") {
+        print_facts("Sec 5.2: case studies", &sys::sec52());
+    }
+    if want("sec53") {
+        print_facts("Sec 5.3: OTA programming", &sys::sec53());
+    }
+    if want("sec6") {
+        print_facts("Sec 6: concurrent reception", &sys::sec6());
+    }
+    if want("ablation") {
+        print_facts("Ablation (Sec 7): broadcast OTA & rate adaptation", &sys::ablation(42));
+    }
+}
+
+/// Thin out a dense spectrum series for terminal display.
+fn decimate(s: Series, keep_every: usize) -> Series {
+    let mut out = Series::new(s.label.clone());
+    for (i, &(x, y)) in s.points.iter().enumerate() {
+        if i % keep_every == 0 {
+            out.push(x, y);
+        }
+    }
+    out
+}

@@ -1,0 +1,513 @@
+//! System-level experiments: Tables 1–6, Figs. 2, 9, 13, 14 and the
+//! §5.1–§5.3/§6 scalar results.
+
+use tinysdr_ble::advertiser::Advertiser;
+use tinysdr_ble::beacon;
+use tinysdr_core::cost;
+use tinysdr_core::device::TinySdr;
+use tinysdr_core::platforms;
+use tinysdr_core::profile::{self, OperatingPoint};
+use tinysdr_core::testbed::Testbed;
+use tinysdr_fpga::resources::paper_percent;
+use tinysdr_hw::flash::ImageSlot;
+use tinysdr_lora::fpga_map;
+use tinysdr_ota::blocks::BlockedUpdate;
+use tinysdr_ota::image::FirmwareImage;
+use tinysdr_power::domains::{Component, ALL_DOMAINS};
+
+use crate::{print_facts, print_series, Series};
+
+/// Table 1: the SDR platform comparison.
+pub fn table1() -> Vec<(String, String)> {
+    platforms::catalog()
+        .iter()
+        .map(|p| {
+            let sleep = match p.sleep_mw {
+                Some(s) if s < 1.0 => format!("{:.2} mW", s),
+                Some(s) => format!("{s:.0} mW"),
+                None => "N/A".to_string(),
+            };
+            (
+                p.name.to_string(),
+                format!(
+                    "sleep {sleep:>9} | standalone {} | OTA {} | ${:<6.2} | {} MHz BW | {} bit | {:.1}x{:.1} cm",
+                    tick(p.standalone),
+                    tick(p.ota),
+                    p.cost_usd,
+                    p.max_bw_mhz,
+                    p.adc_bits,
+                    p.size_cm.0,
+                    p.size_cm.1
+                ),
+            )
+        })
+        .collect()
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no "
+    }
+}
+
+/// Fig. 2: radio-module TX/RX power per platform, watts.
+pub fn fig2() -> Vec<(String, String)> {
+    platforms::catalog()
+        .iter()
+        .map(|p| {
+            let tx = match (p.fig2_tx_w, p.fig2_tx_dbm) {
+                (Some(w), Some(dbm)) => format!("TX {w:.3} W @{dbm:.0} dBm"),
+                _ => "No TX".to_string(),
+            };
+            (p.name.to_string(), format!("{tx} | RX {:.3} W", p.fig2_rx_w))
+        })
+        .collect()
+}
+
+/// Table 2: I/Q radio module catalog and the selection outcome.
+pub fn table2() -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = tinysdr_rf::catalog::IQ_RADIO_CATALOG
+        .iter()
+        .map(|m| {
+            let ranges: Vec<String> = m.freq_ranges_mhz[..m.n_ranges]
+                .iter()
+                .map(|(lo, hi)| format!("{lo:.1}-{hi:.0} MHz"))
+                .collect();
+            (
+                m.name.to_string(),
+                format!("RX {:>5.0} mW | ${:<6.1} | {}", m.rx_power_mw, m.cost_usd, ranges.join(", ")),
+            )
+        })
+        .collect();
+    let sel = tinysdr_rf::catalog::select_radio(10.0).map(|m| m.name).unwrap_or("none");
+    rows.push(("SELECTED".into(), sel.to_string()));
+    rows
+}
+
+/// Table 3: power domains.
+pub fn table3() -> Vec<(String, String)> {
+    ALL_DOMAINS
+        .iter()
+        .map(|&d| {
+            let r = d.regulator();
+            let members: Vec<&str> = [
+                Component::Mcu,
+                Component::Fpga,
+                Component::IqRadio,
+                Component::Backbone,
+                Component::SubGhzPa,
+                Component::Pa2G4,
+                Component::Flash,
+                Component::MicroSd,
+            ]
+            .iter()
+            .filter(|c| c.domain() == d)
+            .map(|c| match c {
+                Component::Mcu => "MCU",
+                Component::Fpga => "FPGA",
+                Component::IqRadio => "I/Q Radio",
+                Component::Backbone => "Backbone Radio",
+                Component::SubGhzPa => "sub-GHz PA",
+                Component::Pa2G4 => "2.4 GHz PA",
+                Component::Flash => "Flash",
+                Component::MicroSd => "microSD",
+            })
+            .collect();
+            (
+                format!("{d:?}"),
+                format!(
+                    "{:.1} V via {:?} | gateable {} | {}",
+                    r.vout,
+                    r.kind,
+                    tick(d.gateable()),
+                    members.join(", ")
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Table 4: operation timings measured from the device state machine.
+pub fn table4() -> Vec<(String, String)> {
+    let mut dev = TinySdr::new();
+    let img = tinysdr_fpga::bitstream::Bitstream::synthesize("lora_phy", 0.15, 1);
+    dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data()).unwrap();
+    dev.measure_table4()
+        .expect("device exercises cleanly")
+        .into_iter()
+        .map(|(op, ms)| (op.to_string(), format!("{ms:.3} ms")))
+        .collect()
+}
+
+/// Table 5: cost breakdown.
+pub fn table5() -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = cost::BOM
+        .iter()
+        .map(|i| (format!("{} / {}", i.group, i.component), format!("${:.2}", i.price_usd)))
+        .collect();
+    rows.push(("TOTAL".into(), format!("${:.2}", cost::total_cost_usd())));
+    rows
+}
+
+/// Table 6: FPGA utilization for the LoRa pipelines.
+pub fn table6() -> Vec<(String, String)> {
+    (6..=12u8)
+        .map(|sf| {
+            let tx = fpga_map::lora_tx_design().total_luts();
+            let rx = fpga_map::lora_rx_design(sf).total_luts();
+            (
+                format!("SF{sf}"),
+                format!(
+                    "TX {tx} LUT ({}%) | RX {rx} LUT ({}%)",
+                    paper_percent(tx),
+                    paper_percent(rx)
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 9: platform DC power vs TX output power, both bands.
+pub fn fig9() -> Vec<Series> {
+    let mut s900 = Series::new("tinySDR 900 MHz (mW)");
+    for (x, y) in profile::fig9_curve(false) {
+        s900.push(x, y);
+    }
+    let mut s24 = Series::new("tinySDR 2.4 GHz (mW)");
+    for (x, y) in profile::fig9_curve(true) {
+        s24.push(x, y);
+    }
+    vec![s900, s24]
+}
+
+/// Fig. 13: the BLE advertising event envelope and hop gaps.
+pub fn fig13() -> (Vec<(String, String)>, Series) {
+    let pkt = beacon::ibeacon([2, 4, 6, 8, 10, 12], &[0x77; 16], 1, 2, -59).unwrap();
+    let adv = Advertiser::tinysdr(pkt);
+    let mut rows = Vec::new();
+    for (i, b) in adv.event().iter().enumerate() {
+        rows.push((
+            format!("burst {i} (ch {})", b.channel),
+            format!(
+                "{:.3} MHz, {:.0}-{:.0} µs",
+                b.freq_hz / 1e6,
+                b.start_s * 1e6,
+                (b.start_s + b.duration_s) * 1e6
+            ),
+        ));
+    }
+    for (i, g) in adv.gaps_s().iter().enumerate() {
+        rows.push((format!("gap {i}"), format!("{:.0} µs", g * 1e6)));
+    }
+    rows.push((
+        "iPhone 8 comparison".into(),
+        format!("{:.0} µs", tinysdr_ble::advertiser::IPHONE8_HOP_DELAY_S * 1e6),
+    ));
+    let mut env = Series::new("envelope");
+    for (t, a) in adv.envelope_trace(2e6) {
+        env.push(t * 1e3, a);
+    }
+    (rows, env)
+}
+
+/// Fig. 14: OTA programming-time CDFs over the 20-node campus testbed.
+/// Returns `(label, cdf points in minutes, mean seconds)` per image.
+pub fn fig14(seed: u64) -> Vec<(String, Vec<(f64, f64)>, f64)> {
+    let tb = Testbed::campus(seed);
+    let images = vec![
+        ("FPGA: LoRa".to_string(), FirmwareImage::lora_fpga(1)),
+        ("FPGA: BLE".to_string(), FirmwareImage::ble_fpga(2)),
+        ("MCU: LoRa/BLE".to_string(), FirmwareImage::paper_mcu("mac", 3)),
+    ];
+    images
+        .into_iter()
+        .map(|(label, img)| {
+            let upd = BlockedUpdate::build(&img);
+            let (mut ecdf, _) = tb.programming_time_cdf(&upd, seed ^ 0xF14);
+            let mean_s = ecdf.mean() * 60.0;
+            (label, ecdf.curve(), mean_s)
+        })
+        .collect()
+}
+
+/// §5.1 scalars: sleep power and the wakeup budget.
+pub fn sec51() -> Vec<(String, String)> {
+    let sleep_uw = profile::platform_power_mw(OperatingPoint::Sleep) * 1000.0;
+    vec![
+        ("Sleep power".into(), format!("{sleep_uw:.1} µW (paper: 30 µW)")),
+        (
+            "Sleep advantage".into(),
+            format!("{:.0}x vs best existing SDR (paper: 10,000x)", platforms::sleep_advantage()),
+        ),
+        (
+            "Wakeup".into(),
+            "22 ms, FPGA boot || 1.2 ms radio setup (see table4)".into(),
+        ),
+    ]
+}
+
+/// §5.2 scalars: LoRa/BLE operating points, MCU utilization, battery.
+pub fn sec52() -> Vec<(String, String)> {
+    let tx = profile::platform_power_mw(OperatingPoint::LoRaTx);
+    let rx = profile::platform_power_mw(OperatingPoint::LoRaRx);
+    let tx_radio = profile::radio_power_mw(OperatingPoint::LoRaTx);
+    let rx_radio = profile::radio_power_mw(OperatingPoint::LoRaRx);
+    // MCU utilization: TTN MAC + control + decompression ≈ 46 KB of 256 KB
+    let mut mcu = tinysdr_hw::mcu::Mcu::new();
+    mcu.load_program(46 * 1024).unwrap();
+    vec![
+        (
+            "LoRa TX @14 dBm".into(),
+            format!("{tx:.0} mW total, radio {tx_radio:.0} mW (paper: 287 / 179)"),
+        ),
+        (
+            "LoRa RX".into(),
+            format!("{rx:.0} mW total, radio {rx_radio:.0} mW (paper: 186 / 59)"),
+        ),
+        (
+            "MCU resources".into(),
+            format!("{:.0}% (paper: 18%)", mcu.resource_utilization() * 100.0),
+        ),
+        (
+            "BLE FPGA LUTs".into(),
+            format!(
+                "{} ({}%) (paper: 3%)",
+                tinysdr_ble::fpga_map::ble_tx_design().total_luts(),
+                paper_percent(tinysdr_ble::fpga_map::ble_tx_design().total_luts())
+            ),
+        ),
+        (
+            "BLE beacon battery (1/s)".into(),
+            format!(
+                "{:.1} years single-channel / {:.1} years 3-channel (paper: >2 years)",
+                profile::ble_beacon_battery_years(1.0, 1),
+                profile::ble_beacon_battery_years(1.0, 3)
+            ),
+        ),
+    ]
+}
+
+/// §5.3 scalars: compression, per-update energy, battery counts.
+pub fn sec53() -> Vec<(String, String)> {
+    use tinysdr_ota::session::{run_session, LinkModel, SessionConfig};
+    let lora = FirmwareImage::lora_fpga(1);
+    let ble = FirmwareImage::ble_fpga(2);
+    let mcu = FirmwareImage::paper_mcu("mac", 3);
+    let lora_upd = BlockedUpdate::build(&lora);
+    let ble_upd = BlockedUpdate::build(&ble);
+    let mcu_upd = BlockedUpdate::build(&mcu);
+    let link = LinkModel::from_downlink(-90.0);
+    let cfg = SessionConfig::default();
+    let rl = run_session(&lora_upd, &link, &cfg);
+    let rb = run_session(&ble_upd, &link, &cfg);
+    let rm = run_session(&mcu_upd, &link, &cfg);
+    let battery = tinysdr_power::battery::Battery::lipo_1000mah();
+    vec![
+        (
+            "LoRa FPGA image".into(),
+            format!(
+                "579 KB -> {} KB compressed (paper: 99 KB)",
+                lora_upd.compressed_len() / 1024
+            ),
+        ),
+        (
+            "BLE FPGA image".into(),
+            format!(
+                "579 KB -> {} KB compressed (paper: 40 KB)",
+                ble_upd.compressed_len() / 1024
+            ),
+        ),
+        (
+            "MCU image".into(),
+            format!(
+                "78 KB -> {} KB compressed (paper: 24 KB)",
+                mcu_upd.compressed_len() / 1024
+            ),
+        ),
+        (
+            "Session time (good link)".into(),
+            format!(
+                "LoRa {:.0} s / BLE {:.0} s / MCU {:.0} s (paper means: 150 / 59 / 39)",
+                rl.duration_s, rb.duration_s, rm.duration_s
+            ),
+        ),
+        (
+            "Update energy".into(),
+            format!(
+                "LoRa {:.0} mJ / BLE {:.0} mJ (paper: 6144 / 2342)",
+                rl.node_energy_mj, rb.node_energy_mj
+            ),
+        ),
+        (
+            "Updates per 1000 mAh".into(),
+            format!(
+                "LoRa {} / BLE {} (paper: 2100 / 5600)",
+                battery.operations(rl.node_energy_mj),
+                battery.operations(rb.node_energy_mj)
+            ),
+        ),
+        (
+            "Daily-update average power".into(),
+            format!(
+                "LoRa {:.0} µW / BLE {:.0} µW (paper: 71 / 27)",
+                rl.node_energy_mj / 86.4,
+                rb.node_energy_mj / 86.4
+            ),
+        ),
+        (
+            "Decompression time".into(),
+            format!(
+                "{:.0} ms for 579 KB (paper: <= 450 ms)",
+                tinysdr_ota::lzo::mcu_decompress_time_s(579 * 1024) * 1000.0
+            ),
+        ),
+    ]
+}
+
+/// §6 scalars: concurrent receiver resources and power.
+pub fn sec6() -> Vec<(String, String)> {
+    let d = fpga_map::concurrent_rx_design();
+    vec![
+        (
+            "Concurrent decoder LUTs".into(),
+            format!("{} ({}%) (paper: 17%)", d.total_luts(), paper_percent(d.total_luts())),
+        ),
+        (
+            "Concurrent RX power".into(),
+            format!(
+                "{:.0} mW (paper: 207 mW)",
+                profile::platform_power_mw(OperatingPoint::ConcurrentRx)
+            ),
+        ),
+    ]
+}
+
+/// The two §7 ablation studies: sequential vs broadcast OTA, and fixed
+/// SF8 vs rate adaptation across link budgets.
+pub fn ablation(seed: u64) -> Vec<(String, String)> {
+    use tinysdr_ota::broadcast::sequential_vs_broadcast;
+    use tinysdr_ota::session::LinkModel;
+
+    let tb = Testbed::campus(seed);
+    let links: Vec<LinkModel> =
+        tb.nodes.iter().map(|n| LinkModel::from_downlink(n.rssi_dbm)).collect();
+    let upd = BlockedUpdate::build(&FirmwareImage::ble_fpga(2));
+    let (seq_s, bc_s) = sequential_vs_broadcast(&upd, &links, seed ^ 0xB0);
+
+    let mut rows = vec![
+        (
+            "OTA: sequential unicast (paper Sec 3.4)".to_string(),
+            format!("{seq_s:.0} s total for {} nodes", links.len()),
+        ),
+        (
+            "OTA: broadcast + NACK repair (paper Sec 7)".to_string(),
+            format!("{bc_s:.0} s total ({:.1}x faster)", seq_s / bc_s),
+        ),
+    ];
+    // rate adaptation across the testbed's link budgets (BW125 uplinks)
+    let rssis: Vec<f64> = tb.nodes.iter().map(|n| n.rssi_dbm - 6.0).collect();
+    let study = tinysdr_lora::adr::study(&rssis, 125e3, 5.0, 20);
+    let fixed_reached = study.iter().filter(|r| r.fixed_sf8_airtime_s.is_some()).count();
+    let adr_reached = study.iter().filter(|r| r.adaptive_sf.is_some()).count();
+    let adr_mean_airtime: f64 = study
+        .iter()
+        .filter_map(|r| r.adaptive_airtime_s)
+        .sum::<f64>()
+        / adr_reached.max(1) as f64;
+    let sf8_airtime = tinysdr_rf::sx1276::LoRaParams::new(8, 125e3, 5).airtime(20);
+    rows.push((
+        "ADR: nodes reachable".to_string(),
+        format!("fixed SF8 {fixed_reached}/20, adaptive {adr_reached}/20"),
+    ));
+    rows.push((
+        "ADR: mean airtime (20 B)".to_string(),
+        format!("fixed SF8 {:.0} ms, adaptive {:.0} ms", sf8_airtime * 1e3, adr_mean_airtime * 1e3),
+    ));
+    rows
+}
+
+/// Print every system-level experiment.
+pub fn print_all_system() {
+    print_facts("Table 1: SDR platform comparison", &table1());
+    print_facts("Fig 2: radio module power", &fig2());
+    print_facts("Table 2: I/Q radio modules", &table2());
+    print_facts("Table 3: power domains", &table3());
+    print_facts("Table 4: operation timing", &table4());
+    print_facts("Table 5: cost breakdown (1000 units)", &table5());
+    print_facts("Table 6: FPGA utilization for LoRa", &table6());
+    print_series("Fig 9: TX power consumption", "dBm out", &fig9());
+    let (rows, _env) = fig13();
+    print_facts("Fig 13: BLE beacon hopping", &rows);
+    print_facts("Sec 5.1: benchmarks", &sec51());
+    print_facts("Sec 5.2: case studies", &sec52());
+    print_facts("Sec 5.3: OTA programming", &sec53());
+    print_facts("Sec 6: concurrent reception", &sec6());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_8_platforms() {
+        assert_eq!(table1().len(), 8);
+    }
+
+    #[test]
+    fn table4_values() {
+        let rows = table4();
+        let find = |k: &str| {
+            rows.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).unwrap()
+        };
+        assert!(find("Sleep to Radio Operation").starts_with("22."));
+        assert!(find("Frequency Switch").starts_with("0.220"));
+    }
+
+    #[test]
+    fn table6_matches_paper_lut_counts() {
+        let rows = table6();
+        assert!(rows[0].1.contains("TX 976 LUT (4%)"));
+        assert!(rows[2].1.contains("RX 2700 LUT (11%)"));
+    }
+
+    #[test]
+    fn fig9_has_both_bands() {
+        let s = fig9();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].points.len(), 15);
+    }
+
+    #[test]
+    fn fig13_has_three_bursts_two_gaps() {
+        let (rows, env) = fig13();
+        assert!(rows.iter().filter(|(k, _)| k.starts_with("burst")).count() == 3);
+        let gaps: Vec<_> = rows.iter().filter(|(k, _)| k.starts_with("gap")).collect();
+        assert_eq!(gaps.len(), 2);
+        for (_, v) in gaps {
+            assert_eq!(v, "220 µs");
+        }
+        assert!(!env.points.is_empty());
+    }
+
+    #[test]
+    fn fig14_means_match_paper_order() {
+        let res = fig14(42);
+        let lora = res.iter().find(|(l, ..)| l == "FPGA: LoRa").unwrap().2;
+        let ble = res.iter().find(|(l, ..)| l == "FPGA: BLE").unwrap().2;
+        let mcu = res.iter().find(|(l, ..)| l == "MCU: LoRa/BLE").unwrap().2;
+        // paper: 150 s / 59 s / 39 s — check ordering and ballpark
+        assert!(lora > ble && ble > mcu, "ordering {lora} {ble} {mcu}");
+        assert!((lora - 150.0).abs() < 35.0, "LoRa mean {lora} s");
+        assert!((ble - 59.0).abs() < 15.0, "BLE mean {ble} s");
+        assert!((mcu - 39.0).abs() < 15.0, "MCU mean {mcu} s");
+    }
+
+    #[test]
+    fn sec_scalars_render() {
+        assert!(!sec51().is_empty());
+        assert!(!sec52().is_empty());
+        assert!(!sec6().is_empty());
+    }
+}

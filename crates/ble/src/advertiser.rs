@@ -1,0 +1,152 @@
+//! Beacon advertiser: the Fig. 13 hop sequence.
+//!
+//! "BLE beacons are only transmitted on three advertising channels
+//! without carrier sense, typically in sequential order separated by a
+//! few hundred microseconds. This sequence is re-transmitted every
+//! advertising interval." TinySDR "can perform frequency hopping with a
+//! delay of 220 us" (the AT86RF215 retune time of Table 4) — the iPhone 8
+//! comparison point in the paper is 350 µs.
+
+use crate::channels::{channel_freq_hz, ADVERTISING_CHANNELS};
+use crate::packet::AdvPacket;
+
+/// TinySDR's channel-switch delay (Table 4), seconds.
+pub const TINYSDR_HOP_DELAY_S: f64 = 220e-6;
+/// The paper's measured iPhone 8 gap, for comparison.
+pub const IPHONE8_HOP_DELAY_S: f64 = 350e-6;
+
+/// One transmission burst in an advertising event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// RF channel index.
+    pub channel: u8,
+    /// Carrier frequency, Hz.
+    pub freq_hz: f64,
+    /// Start time within the event, seconds.
+    pub start_s: f64,
+    /// Burst duration (packet airtime), seconds.
+    pub duration_s: f64,
+}
+
+/// The advertiser schedule generator.
+#[derive(Debug, Clone)]
+pub struct Advertiser {
+    /// The beacon being transmitted.
+    pub packet: AdvPacket,
+    /// Gap inserted between channel bursts (≥ hardware hop delay).
+    pub hop_delay_s: f64,
+    /// Advertising interval between events, seconds.
+    pub interval_s: f64,
+}
+
+impl Advertiser {
+    /// TinySDR advertiser: hardware-limited 220 µs hops, 1 s interval
+    /// (the §5.2 battery-life experiment transmits once per second).
+    pub fn tinysdr(packet: AdvPacket) -> Self {
+        Advertiser { packet, hop_delay_s: TINYSDR_HOP_DELAY_S, interval_s: 1.0 }
+    }
+
+    /// One advertising event: the three channel bursts with hop gaps.
+    pub fn event(&self) -> Vec<Burst> {
+        let airtime = self.packet.airtime_1mbps();
+        let mut t = 0.0;
+        ADVERTISING_CHANNELS
+            .iter()
+            .map(|&ch| {
+                let b = Burst {
+                    channel: ch,
+                    freq_hz: channel_freq_hz(ch),
+                    start_s: t,
+                    duration_s: airtime,
+                };
+                t += airtime + self.hop_delay_s;
+                b
+            })
+            .collect()
+    }
+
+    /// Total active (radio-on) time of one event, seconds.
+    pub fn event_active_s(&self) -> f64 {
+        let e = self.event();
+        let last = e.last().expect("three bursts");
+        last.start_s + last.duration_s
+    }
+
+    /// Envelope-detector trace of one event (the Fig. 13 oscilloscope
+    /// view): `(time_s, amplitude)` sampled at `fs` Hz.
+    pub fn envelope_trace(&self, fs: f64) -> Vec<(f64, f64)> {
+        let total = self.event_active_s() + 2.0 * self.hop_delay_s;
+        let n = (total * fs) as usize;
+        let bursts = self.event();
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let on = bursts
+                    .iter()
+                    .any(|b| t >= b.start_s && t < b.start_s + b.duration_s);
+                (t, if on { 1.0 } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// Gaps between consecutive bursts, seconds (what Fig. 13 annotates
+    /// as 220 µs).
+    pub fn gaps_s(&self) -> Vec<f64> {
+        let e = self.event();
+        e.windows(2)
+            .map(|w| w[1].start_s - (w[0].start_s + w[0].duration_s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon() -> AdvPacket {
+        AdvPacket::beacon([1, 2, 3, 4, 5, 6], &[0u8; 24]).unwrap()
+    }
+
+    #[test]
+    fn event_hops_in_order() {
+        let a = Advertiser::tinysdr(beacon());
+        let e = a.event();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].channel, 37);
+        assert_eq!(e[1].channel, 38);
+        assert_eq!(e[2].channel, 39);
+        assert!((e[0].freq_hz - 2.402e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn gaps_are_220us() {
+        let a = Advertiser::tinysdr(beacon());
+        for g in a.gaps_s() {
+            assert!((g - 220e-6).abs() < 1e-9, "gap {g}");
+        }
+    }
+
+    #[test]
+    fn tinysdr_beats_iphone8() {
+        assert!(TINYSDR_HOP_DELAY_S < IPHONE8_HOP_DELAY_S);
+    }
+
+    #[test]
+    fn envelope_shows_three_bursts() {
+        let a = Advertiser::tinysdr(beacon());
+        let tr = a.envelope_trace(10e6);
+        // count bursts: rising edges plus the burst already on at t=0
+        let rising = tr.windows(2).filter(|w| w[0].1 == 0.0 && w[1].1 == 1.0).count()
+            + (tr[0].1 == 1.0) as usize;
+        assert_eq!(rising, 3, "Fig. 13 shows three bursts");
+        // total ON time = 3 × airtime
+        let on: f64 = tr.iter().map(|&(_, a)| a).sum::<f64>() / 10e6;
+        assert!((on - 3.0 * a.packet.airtime_1mbps()).abs() < 2e-6);
+    }
+
+    #[test]
+    fn event_fits_well_inside_interval() {
+        let a = Advertiser::tinysdr(beacon());
+        assert!(a.event_active_s() < 0.01 * a.interval_s);
+    }
+}

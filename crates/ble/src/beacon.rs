@@ -1,0 +1,115 @@
+//! Beacon payload formats: iBeacon and Eddystone-UID.
+//!
+//! The paper's case study transmits generic ADV_NONCONN_IND beacons;
+//! these builders produce the two formats real deployments use, so the
+//! examples exercise realistic AdvData.
+
+use crate::packet::{AdvPacket, PacketError};
+
+/// Build an Apple iBeacon AdvData payload.
+///
+/// Layout: flags AD (3 B) + manufacturer-specific AD (26 B):
+/// `4C 00 02 15 | UUID(16) | major(2) | minor(2) | txpower(1)`.
+pub fn ibeacon_adv_data(uuid: &[u8; 16], major: u16, minor: u16, tx_power: i8) -> Vec<u8> {
+    let mut d = Vec::with_capacity(30);
+    // Flags AD structure
+    d.extend_from_slice(&[0x02, 0x01, 0x06]);
+    // Manufacturer specific data
+    d.push(0x1A); // length 26
+    d.push(0xFF); // type: manufacturer specific
+    d.extend_from_slice(&[0x4C, 0x00]); // Apple company ID
+    d.extend_from_slice(&[0x02, 0x15]); // iBeacon type + length
+    d.extend_from_slice(uuid);
+    d.extend_from_slice(&major.to_be_bytes());
+    d.extend_from_slice(&minor.to_be_bytes());
+    d.push(tx_power as u8);
+    d
+}
+
+/// Build an Eddystone-UID AdvData payload.
+///
+/// Layout: flags AD + complete-16-bit-UUIDs AD (FEAA) + service data AD:
+/// `frame type 0x00 | ranging byte | namespace(10) | instance(6)`.
+pub fn eddystone_uid_adv_data(
+    namespace: &[u8; 10],
+    instance: &[u8; 6],
+    tx_power_at_0m: i8,
+) -> Vec<u8> {
+    let mut d = Vec::with_capacity(31);
+    d.extend_from_slice(&[0x02, 0x01, 0x06]);
+    d.extend_from_slice(&[0x03, 0x03, 0xAA, 0xFE]);
+    d.push(0x17); // service data length: 23
+    d.push(0x16); // type: service data
+    d.extend_from_slice(&[0xAA, 0xFE]);
+    d.push(0x00); // frame type UID
+    d.push(tx_power_at_0m as u8);
+    d.extend_from_slice(namespace);
+    d.extend_from_slice(instance);
+    d
+}
+
+/// Convenience: a complete iBeacon advertising packet.
+///
+/// # Errors
+/// Propagates packet-size errors (cannot occur for valid inputs).
+pub fn ibeacon(
+    adv_addr: [u8; 6],
+    uuid: &[u8; 16],
+    major: u16,
+    minor: u16,
+    tx_power: i8,
+) -> Result<AdvPacket, PacketError> {
+    AdvPacket::beacon(adv_addr, &ibeacon_adv_data(uuid, major, minor, tx_power))
+}
+
+/// Convenience: a complete Eddystone-UID advertising packet.
+///
+/// # Errors
+/// Propagates packet-size errors (cannot occur for valid inputs).
+pub fn eddystone_uid(
+    adv_addr: [u8; 6],
+    namespace: &[u8; 10],
+    instance: &[u8; 6],
+    tx_power_at_0m: i8,
+) -> Result<AdvPacket, PacketError> {
+    AdvPacket::beacon(adv_addr, &eddystone_uid_adv_data(namespace, instance, tx_power_at_0m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibeacon_fits_and_round_trips() {
+        let pkt = ibeacon([1, 2, 3, 4, 5, 6], &[0xAB; 16], 7, 9, -59).unwrap();
+        assert!(pkt.adv_data.len() <= 30);
+        let bits = pkt.to_bits(37);
+        let back = AdvPacket::from_bits(&bits, 37).unwrap();
+        assert_eq!(back, pkt);
+        // Apple company ID present
+        assert!(pkt.adv_data.windows(2).any(|w| w == [0x4C, 0x00]));
+    }
+
+    #[test]
+    fn ibeacon_field_layout() {
+        let d = ibeacon_adv_data(&[0x11; 16], 0x0102, 0x0304, -59);
+        assert_eq!(d.len(), 30);
+        assert_eq!(&d[..3], &[0x02, 0x01, 0x06]);
+        // major/minor big-endian at fixed offsets
+        assert_eq!(&d[25..27], &[0x01, 0x02]);
+        assert_eq!(&d[27..29], &[0x03, 0x04]);
+        assert_eq!(d[29], (-59i8) as u8);
+    }
+
+    #[test]
+    fn eddystone_fits_and_round_trips() {
+        let pkt =
+            eddystone_uid([9, 8, 7, 6, 5, 4], &[0x22; 10], &[0x33; 6], -10).unwrap();
+        assert!(pkt.adv_data.len() <= 31);
+        let bits = pkt.to_bits(39);
+        let back = AdvPacket::from_bits(&bits, 39).unwrap();
+        assert_eq!(back, pkt);
+        // Eddystone service UUID present
+        assert!(pkt.adv_data.windows(2).any(|w| w == [0xAA, 0xFE]));
+    }
+}

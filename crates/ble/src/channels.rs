@@ -1,0 +1,71 @@
+//! BLE channel plan.
+//!
+//! "BLE divides the 2.4 GHz band into channels, each spaced 2 MHz apart,
+//! but BLE beacons are only transmitted on three advertising channels"
+//! (paper §4.2): 37 (2402 MHz), 38 (2426 MHz), 39 (2480 MHz) — spread
+//! across the band to dodge Wi-Fi.
+
+/// The three advertising channel indices, in the standard hop order.
+pub const ADVERTISING_CHANNELS: [u8; 3] = [37, 38, 39];
+
+/// Center frequency of a BLE RF channel index, Hz.
+///
+/// # Panics
+/// Panics for indices above 39.
+pub fn channel_freq_hz(channel: u8) -> f64 {
+    match channel {
+        37 => 2.402e9,
+        38 => 2.426e9,
+        39 => 2.480e9,
+        // data channels 0..=36 fill the gaps, 2 MHz apart
+        0..=10 => 2.404e9 + channel as f64 * 2e6,
+        11..=36 => 2.428e9 + (channel - 11) as f64 * 2e6,
+        _ => panic!("BLE channel index {channel} out of range"),
+    }
+}
+
+/// `true` for the advertising channels.
+pub fn is_advertising(channel: u8) -> bool {
+    ADVERTISING_CHANNELS.contains(&channel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertising_channel_frequencies() {
+        assert_eq!(channel_freq_hz(37), 2.402e9);
+        assert_eq!(channel_freq_hz(38), 2.426e9);
+        assert_eq!(channel_freq_hz(39), 2.480e9);
+    }
+
+    #[test]
+    fn data_channels_are_2mhz_spaced_and_distinct() {
+        let mut freqs: Vec<f64> = (0..40).map(channel_freq_hz).collect();
+        freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in freqs.windows(2) {
+            assert!((w[1] - w[0] - 2e6).abs() < 1.0, "spacing {}", w[1] - w[0]);
+        }
+    }
+
+    #[test]
+    fn all_channels_in_ism_band() {
+        for ch in 0..40u8 {
+            let f = channel_freq_hz(ch);
+            assert!((2.4e9..=2.4835e9).contains(&f), "channel {ch} at {f}");
+        }
+    }
+
+    #[test]
+    fn advertising_predicate() {
+        assert!(is_advertising(37) && is_advertising(39));
+        assert!(!is_advertising(0) && !is_advertising(36));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_40_rejected() {
+        channel_freq_hz(40);
+    }
+}

@@ -1,0 +1,65 @@
+//! FPGA resource mapping of the BLE beacon generator.
+//!
+//! "The full baseband packet generation on the FPGA uses 3% of its
+//! resources" (paper §1/§5.2). Like the LoRa map, the per-block LUT
+//! costs are calibration data summing to the paper's figure.
+
+use tinysdr_fpga::block::{Design, LeafBlock};
+use tinysdr_fpga::resources::ResourceRequest;
+
+/// LUT costs of the BLE TX pipeline blocks.
+pub mod luts {
+    /// PDU assembly + CRC-24 LFSR + whitening LFSR.
+    pub const PACKET_LFSRS: u32 = 140;
+    /// Gaussian pulse-shaping filter (fixed coefficients).
+    pub const GAUSSIAN_FILTER: u32 = 260;
+    /// Phase integrator.
+    pub const PHASE_ACCUM: u32 = 90;
+    /// Sin/cos lookup.
+    pub const SINCOS_LUT: u32 = 180;
+    /// I/Q serializer (shared design with the LoRa TX).
+    pub const IQ_SERIALIZER: u32 = 150;
+}
+
+/// The BLE beacon transmit design.
+pub fn ble_tx_design() -> Design {
+    let mut d = Design::new("ble_tx");
+    d.add(LeafBlock::new("packet_lfsrs", luts::PACKET_LFSRS))
+        .add(LeafBlock::new("gaussian_filter", luts::GAUSSIAN_FILTER))
+        .add(LeafBlock::new("phase_accum", luts::PHASE_ACCUM))
+        .add(LeafBlock::with_cost(
+            "sincos_lut",
+            ResourceRequest { luts: luts::SINCOS_LUT, ebr_bits: 1024 * 26, ..Default::default() },
+            1.0,
+        ))
+        .add(LeafBlock::new("iq_serializer", luts::IQ_SERIALIZER));
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinysdr_fpga::resources::paper_percent;
+    use tinysdr_fpga::timing;
+
+    #[test]
+    fn ble_design_is_3_percent() {
+        let d = ble_tx_design();
+        assert_eq!(d.total_luts(), 820);
+        assert_eq!(paper_percent(d.total_luts()), 3);
+    }
+
+    #[test]
+    fn ble_design_meets_realtime() {
+        assert!(timing::check(ble_tx_design().cycles_per_sample()).meets_realtime());
+    }
+
+    #[test]
+    fn coexists_with_lora_tx() {
+        use tinysdr_fpga::resources::{ResourceLedger, LFE5U_25F};
+        let mut ledger = ResourceLedger::new(LFE5U_25F);
+        ble_tx_design().place_on(&mut ledger).unwrap();
+        // plenty of space left for a LoRa modem beside it
+        assert!(ledger.lut_utilization() < 0.05);
+    }
+}

@@ -1,0 +1,376 @@
+//! BLE advertising packet construction (paper §4.2).
+//!
+//! "Bluetooth advertisements consist of 6-37 octets, beginning with
+//! fixed preamble and access address fields indicating the packet type
+//! set to 0xAA and 0x8E89BED6 respectively. This is followed by the
+//! packet data unit (PDU) beginning with a 2 byte length field and
+//! followed by a manufacturer specific advertisement address and data.
+//! The final 3 bytes of the packet consist of a CRC generated using a
+//! 24-bit linear feedback shift register (LFSR) with the polynomial
+//! x24+x10+x9+x6+x4+x3+x+1. The LFSR is set to a starting state of
+//! 0x555555 and the PDU is input LSB first. […] Data whitening is then
+//! performed over the PDU and CRC fields […] using a 7-bit LFSR with
+//! polynomial x7+x4+1. The LFSR is initialized with the lower 7 bits of
+//! the channel number."
+
+/// Advertising access address.
+pub const ACCESS_ADDRESS: u32 = 0x8E89_BED6;
+/// 1-Mbps preamble byte.
+pub const PREAMBLE: u8 = 0xAA;
+/// Maximum AdvData payload, octets.
+pub const MAX_ADV_DATA: usize = 31;
+
+/// PDU types used by beacons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PduType {
+    /// Connectable undirected advertising.
+    AdvInd,
+    /// Non-connectable undirected advertising — the beacon type.
+    AdvNonConnInd,
+    /// Scannable undirected advertising.
+    AdvScanInd,
+}
+
+impl PduType {
+    /// 4-bit PDU type code.
+    pub fn code(self) -> u8 {
+        match self {
+            PduType::AdvInd => 0x0,
+            PduType::AdvNonConnInd => 0x2,
+            PduType::AdvScanInd => 0x6,
+        }
+    }
+}
+
+/// CRC-24 over a byte stream, bits entering LSB first (BLE convention).
+/// Polynomial `x²⁴+x¹⁰+x⁹+x⁶+x⁴+x³+x+1` (0x65B), initial state
+/// `0x555555`.
+pub fn crc24(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0x555555;
+    for &byte in data {
+        for bit in 0..8 {
+            let b = (byte >> bit) & 1;
+            let t = ((crc >> 23) & 1) as u8 ^ b;
+            crc = (crc << 1) & 0xFF_FFFF;
+            if t != 0 {
+                crc ^= 0x00_065B;
+            }
+        }
+    }
+    crc
+}
+
+/// The 7-bit channel whitening LFSR (`x⁷+x⁴+1`), initialized with
+/// `1 | channel[5:0]` per the spec.
+#[derive(Debug, Clone)]
+pub struct Whitener {
+    state: u8, // 7 bits, b6..b0
+}
+
+impl Whitener {
+    /// Whitener for an RF channel index (0..=39).
+    pub fn new(channel: u8) -> Self {
+        assert!(channel <= 39, "BLE channel index 0..=39");
+        Whitener { state: 0x40 | (channel & 0x3F) }
+    }
+
+    /// Whiten/de-whiten one bit (symmetric).
+    pub fn next_bit(&mut self, bit: u8) -> u8 {
+        let out = bit ^ ((self.state >> 6) & 1);
+        let fb = (self.state >> 6) & 1;
+        self.state = ((self.state << 1) & 0x7F) | fb;
+        if fb != 0 {
+            self.state ^= 0x10; // tap into b4 (x⁴ term)
+        }
+        out
+    }
+
+    /// Whiten a bit vector in place.
+    pub fn apply(&mut self, bits: &mut [u8]) {
+        for b in bits.iter_mut() {
+            *b = self.next_bit(*b);
+        }
+    }
+}
+
+/// A beacon advertising packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvPacket {
+    /// PDU type.
+    pub pdu_type: PduType,
+    /// 6-byte advertiser (device) address.
+    pub adv_addr: [u8; 6],
+    /// Advertisement payload (≤ 31 octets).
+    pub adv_data: Vec<u8>,
+}
+
+/// Errors building/parsing packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// AdvData longer than 31 octets.
+    DataTooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// Bit stream too short or framing wrong.
+    Malformed,
+    /// CRC check failed.
+    BadCrc,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::DataTooLong { len } => {
+                write!(f, "AdvData {len} exceeds the 31-octet limit")
+            }
+            PacketError::Malformed => write!(f, "malformed advertising packet"),
+            PacketError::BadCrc => write!(f, "CRC-24 mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+fn bytes_to_bits_lsb(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        for i in 0..8 {
+            out.push((b >> i) & 1);
+        }
+    }
+}
+
+fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|c| c.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (b << i)))
+        .collect()
+}
+
+impl AdvPacket {
+    /// Build a non-connectable beacon.
+    ///
+    /// # Errors
+    /// Fails if `adv_data` exceeds 31 octets.
+    pub fn beacon(adv_addr: [u8; 6], adv_data: &[u8]) -> Result<Self, PacketError> {
+        if adv_data.len() > MAX_ADV_DATA {
+            return Err(PacketError::DataTooLong { len: adv_data.len() });
+        }
+        Ok(AdvPacket {
+            pdu_type: PduType::AdvNonConnInd,
+            adv_addr,
+            adv_data: adv_data.to_vec(),
+        })
+    }
+
+    /// PDU bytes: 2-byte header (type/flags + length) then AdvA + AdvData.
+    pub fn pdu(&self) -> Vec<u8> {
+        let len = 6 + self.adv_data.len() as u8;
+        let header = [self.pdu_type.code(), len];
+        let mut pdu = Vec::with_capacity(2 + len as usize);
+        pdu.extend_from_slice(&header);
+        pdu.extend_from_slice(&self.adv_addr);
+        pdu.extend_from_slice(&self.adv_data);
+        pdu
+    }
+
+    /// Full over-the-air bit stream for an RF channel: preamble + access
+    /// address (unwhitened) then whitened PDU+CRC, all LSB first.
+    pub fn to_bits(&self, channel: u8) -> Vec<u8> {
+        let pdu = self.pdu();
+        let crc = crc24(&pdu);
+        // CRC transmitted MSB-first per the BLE spec
+        let crc_bytes = [(crc >> 16) as u8, (crc >> 8) as u8, crc as u8];
+
+        let mut bits = Vec::with_capacity(8 * (1 + 4 + pdu.len() + 3));
+        bytes_to_bits_lsb(&[PREAMBLE], &mut bits);
+        bytes_to_bits_lsb(&ACCESS_ADDRESS.to_le_bytes(), &mut bits);
+
+        let mut body = Vec::new();
+        bytes_to_bits_lsb(&pdu, &mut body);
+        for b in crc_bytes {
+            for i in (0..8).rev() {
+                body.push((b >> i) & 1);
+            }
+        }
+        Whitener::new(channel).apply(&mut body);
+        bits.extend_from_slice(&body);
+        bits
+    }
+
+    /// Packet airtime at 1 Mbps, seconds.
+    pub fn airtime_1mbps(&self) -> f64 {
+        self.to_bits(37).len() as f64 / 1e6
+    }
+
+    /// Parse a received bit stream (preamble + AA already located at
+    /// offset 0), de-whitening with the channel LFSR and checking CRC.
+    ///
+    /// # Errors
+    /// Fails on truncation, AA mismatch or CRC error.
+    pub fn from_bits(bits: &[u8], channel: u8) -> Result<Self, PacketError> {
+        if bits.len() < 8 + 32 + 16 + 24 {
+            return Err(PacketError::Malformed);
+        }
+        // verify access address
+        let aa_bits = &bits[8..40];
+        let aa = bits_to_bytes_lsb(aa_bits);
+        if aa != ACCESS_ADDRESS.to_le_bytes() {
+            return Err(PacketError::Malformed);
+        }
+        let mut body = bits[40..].to_vec();
+        Whitener::new(channel).apply(&mut body);
+        if body.len() < 16 {
+            return Err(PacketError::Malformed);
+        }
+        let header = bits_to_bytes_lsb(&body[..16]);
+        let pdu_len = header[1] as usize;
+        let total_pdu_bits = (2 + pdu_len) * 8;
+        if body.len() < total_pdu_bits + 24 {
+            return Err(PacketError::Malformed);
+        }
+        let pdu = bits_to_bytes_lsb(&body[..total_pdu_bits]);
+        // CRC bits, MSB first
+        let crc_bits = &body[total_pdu_bits..total_pdu_bits + 24];
+        let mut crc_got = 0u32;
+        for &b in crc_bits {
+            crc_got = (crc_got << 1) | b as u32;
+        }
+        if crc24(&pdu) != crc_got {
+            return Err(PacketError::BadCrc);
+        }
+        if pdu_len < 6 {
+            return Err(PacketError::Malformed);
+        }
+        let pdu_type = match pdu[0] & 0x0F {
+            0x0 => PduType::AdvInd,
+            0x2 => PduType::AdvNonConnInd,
+            0x6 => PduType::AdvScanInd,
+            _ => return Err(PacketError::Malformed),
+        };
+        let mut adv_addr = [0u8; 6];
+        adv_addr.copy_from_slice(&pdu[2..8]);
+        Ok(AdvPacket { pdu_type, adv_addr, adv_data: pdu[8..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_packet() -> AdvPacket {
+        AdvPacket::beacon([0xC0, 0xFF, 0xEE, 0x12, 0x34, 0x56], b"tinySDR beacon").unwrap()
+    }
+
+    #[test]
+    fn pdu_layout() {
+        let p = test_packet();
+        let pdu = p.pdu();
+        assert_eq!(pdu[0], 0x2); // ADV_NONCONN_IND
+        assert_eq!(pdu[1] as usize, 6 + 14);
+        assert_eq!(&pdu[2..8], &[0xC0, 0xFF, 0xEE, 0x12, 0x34, 0x56]);
+        assert_eq!(&pdu[8..], b"tinySDR beacon");
+    }
+
+    #[test]
+    fn packet_size_limits() {
+        // "Bluetooth advertisements consist of 6-37 octets" of PDU payload
+        assert!(AdvPacket::beacon([0; 6], &[0u8; 31]).is_ok());
+        assert!(matches!(
+            AdvPacket::beacon([0; 6], &[0u8; 32]),
+            Err(PacketError::DataTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_round_trip_all_adv_channels() {
+        let p = test_packet();
+        for ch in [37u8, 38, 39] {
+            let bits = p.to_bits(ch);
+            let back = AdvPacket::from_bits(&bits, ch).unwrap();
+            assert_eq!(back, p, "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn preamble_alternates() {
+        let p = test_packet();
+        let bits = p.to_bits(37);
+        // 0xAA LSB-first = 0,1,0,1,0,1,0,1
+        assert_eq!(&bits[..8], &[0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn whitening_breaks_runs_and_is_symmetric() {
+        let mut zeros = vec![0u8; 128];
+        Whitener::new(37).apply(&mut zeros);
+        let ones: usize = zeros.iter().map(|&b| b as usize).sum();
+        assert!(ones > 40 && ones < 90, "whitened zeros look unbalanced: {ones}");
+        // involution
+        Whitener::new(37).apply(&mut zeros);
+        assert!(zeros.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn whitening_differs_per_channel() {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        Whitener::new(37).apply(&mut a);
+        Whitener::new(38).apply(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn whitener_period_is_127() {
+        // a maximal 7-bit LFSR cycles every 127 bits
+        let mut w = Whitener::new(5);
+        let seq: Vec<u8> = (0..254).map(|_| w.next_bit(0)).collect();
+        assert_eq!(&seq[..127], &seq[127..]);
+        // and is not a shorter cycle
+        assert_ne!(&seq[..63], &seq[63..126]);
+    }
+
+    #[test]
+    fn crc_detects_any_single_bit_flip() {
+        let p = test_packet();
+        let bits = p.to_bits(37);
+        for i in 40..bits.len() {
+            let mut bad = bits.clone();
+            bad[i] ^= 1;
+            assert!(
+                AdvPacket::from_bits(&bad, 37).is_err(),
+                "flip at bit {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_channel_dewhitening_fails_crc() {
+        let p = test_packet();
+        let bits = p.to_bits(37);
+        assert!(AdvPacket::from_bits(&bits, 38).is_err());
+    }
+
+    #[test]
+    fn crc24_reference_properties() {
+        // deterministic, length-sensitive, init-dependent
+        assert_eq!(crc24(b"hello"), crc24(b"hello"));
+        assert_ne!(crc24(b"hello"), crc24(b"hellp"));
+        assert_ne!(crc24(b"hello"), crc24(b"hello "));
+        // empty input returns the init state
+        assert_eq!(crc24(&[]), 0x555555);
+    }
+
+    #[test]
+    fn airtime_for_typical_beacon() {
+        // preamble(1)+AA(4)+header(2)+AdvA(6)+data(14)+CRC(3) = 30 B = 240 µs
+        let p = test_packet();
+        assert!((p.airtime_1mbps() - 240e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_or_garbage_rejected() {
+        assert!(AdvPacket::from_bits(&[0u8; 10], 37).is_err());
+        let garbage = vec![1u8; 400];
+        assert!(AdvPacket::from_bits(&garbage, 37).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based invariants for the BLE stack.
+
+use proptest::prelude::*;
+use tinysdr_ble::packet::{crc24, AdvPacket, Whitener};
+
+proptest! {
+    /// Advertising packets round-trip through the bit layer on any
+    /// channel with any payload.
+    #[test]
+    fn adv_packet_round_trip(
+        addr in any::<[u8; 6]>(),
+        data in prop::collection::vec(any::<u8>(), 0..=31),
+        ch in prop::sample::select(vec![37u8, 38, 39]),
+    ) {
+        let pkt = AdvPacket::beacon(addr, &data).unwrap();
+        let bits = pkt.to_bits(ch);
+        let back = AdvPacket::from_bits(&bits, ch).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    /// Any single bit flip in the PDU/CRC region is detected.
+    #[test]
+    fn crc_catches_bit_flips(
+        data in prop::collection::vec(any::<u8>(), 1..=24),
+        flip in any::<u16>(),
+    ) {
+        let pkt = AdvPacket::beacon([1, 2, 3, 4, 5, 6], &data).unwrap();
+        let mut bits = pkt.to_bits(37);
+        let region = bits.len() - 40; // past preamble + AA
+        let i = 40 + (flip as usize % region);
+        bits[i] ^= 1;
+        prop_assert!(AdvPacket::from_bits(&bits, 37).is_err());
+    }
+
+    /// Whitening is involutive for every channel.
+    #[test]
+    fn whitening_involutive(ch in 0u8..=39, data in prop::collection::vec(0u8..=1, 0..300)) {
+        let mut x = data.clone();
+        Whitener::new(ch).apply(&mut x);
+        Whitener::new(ch).apply(&mut x);
+        prop_assert_eq!(x, data);
+    }
+
+    /// CRC-24 stays within 24 bits and is sensitive to every input byte.
+    #[test]
+    fn crc24_properties(data in prop::collection::vec(any::<u8>(), 1..64), at in any::<u16>()) {
+        let c = crc24(&data);
+        prop_assert!(c <= 0xFF_FFFF);
+        let mut other = data.clone();
+        let i = at as usize % other.len();
+        other[i] ^= 0xFF;
+        prop_assert_ne!(crc24(&other), c);
+    }
+}

@@ -1,0 +1,100 @@
+//! BOM cost model (paper Table 5: "TinySDR Cost Breakdown for 1000
+//! Units", total $54.53).
+
+/// A BOM line item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostItem {
+    /// Subsystem grouping as printed in Table 5.
+    pub group: &'static str,
+    /// Component description.
+    pub component: &'static str,
+    /// Unit price at 1000 units, USD.
+    pub price_usd: f64,
+}
+
+/// Table 5, verbatim.
+pub const BOM: &[CostItem] = &[
+    CostItem { group: "DSP", component: "FPGA", price_usd: 8.69 },
+    CostItem { group: "DSP", component: "Oscillator", price_usd: 0.90 },
+    CostItem { group: "IQ Front-End", component: "Radio", price_usd: 5.08 },
+    CostItem { group: "IQ Front-End", component: "Crystal", price_usd: 0.53 },
+    CostItem { group: "IQ Front-End", component: "2.4 GHz Balun", price_usd: 0.36 },
+    CostItem { group: "IQ Front-End", component: "Sub-GHz Balun", price_usd: 0.30 },
+    CostItem { group: "Backbone", component: "Radio", price_usd: 4.50 },
+    CostItem { group: "Backbone", component: "Crystal", price_usd: 0.40 },
+    CostItem { group: "Backbone", component: "Flash Memory", price_usd: 1.60 },
+    CostItem { group: "MAC", component: "MCU", price_usd: 3.89 },
+    CostItem { group: "MAC", component: "Crystals", price_usd: 0.68 },
+    CostItem { group: "RF", component: "Switch", price_usd: 3.14 },
+    CostItem { group: "RF", component: "Sub-GHz PA", price_usd: 1.54 },
+    CostItem { group: "RF", component: "2.4 GHz PA", price_usd: 1.72 },
+    CostItem { group: "Power Management", component: "Regulators", price_usd: 3.70 },
+    CostItem { group: "Supporting Components", component: "-", price_usd: 4.50 },
+    CostItem { group: "Production", component: "Fabrication", price_usd: 3.00 },
+    CostItem { group: "Production", component: "Assembly", price_usd: 10.00 },
+];
+
+/// Total unit cost, USD.
+pub fn total_cost_usd() -> f64 {
+    BOM.iter().map(|i| i.price_usd).sum()
+}
+
+/// Subtotals per group, in Table 5 order.
+pub fn group_subtotals() -> Vec<(&'static str, f64)> {
+    let mut out: Vec<(&'static str, f64)> = Vec::new();
+    for item in BOM {
+        match out.iter_mut().find(|(g, _)| *g == item.group) {
+            Some((_, total)) => *total += item.price_usd,
+            None => out.push((item.group, item.price_usd)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_matches_table5() {
+        assert!((total_cost_usd() - 54.53).abs() < 0.01, "total {}", total_cost_usd());
+    }
+
+    #[test]
+    fn under_55_dollars() {
+        // the paper's headline: "$55" per node
+        assert!(total_cost_usd() < 55.0);
+    }
+
+    #[test]
+    fn production_is_the_biggest_group() {
+        // fabrication + assembly ($13) dominates any silicon line item —
+        // the practical point Table 5 makes about low-cost deployment
+        let groups = group_subtotals();
+        let production = groups.iter().find(|(g, _)| *g == "Production").unwrap().1;
+        assert!((production - 13.0).abs() < 1e-9);
+        let max_silicon = BOM
+            .iter()
+            .filter(|i| i.group != "Production")
+            .map(|i| i.price_usd)
+            .fold(0.0, f64::max);
+        assert!(max_silicon < production);
+    }
+
+    #[test]
+    fn component_prices_match_catalog() {
+        // the I/Q radio's BOM price is consistent with the Table 2 entry
+        let radio = BOM
+            .iter()
+            .find(|i| i.group == "IQ Front-End" && i.component == "Radio")
+            .unwrap();
+        let table2 = tinysdr_rf::catalog::IQ_RADIO_CATALOG.last().unwrap();
+        assert!((radio.price_usd - table2.cost_usd).abs() < 0.5);
+    }
+
+    #[test]
+    fn group_subtotals_cover_everything() {
+        let sum: f64 = group_subtotals().iter().map(|(_, t)| t).sum();
+        assert!((sum - total_cost_usd()).abs() < 1e-9);
+    }
+}

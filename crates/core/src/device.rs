@@ -1,0 +1,454 @@
+//! The TinySDR device: Fig. 3's block diagram as a state machine.
+//!
+//! Composition: AT86RF215 I/Q radio, LFE5U-25F configuration controller,
+//! MSP432 MCU, SX1276 backbone, PMU, programming flash — "Each of these
+//! subsystems are controlled in software running on the MCU" (§3).
+//!
+//! The device-level timing of Table 4 falls out of the composition:
+//! waking from sleep boots the FPGA from flash (22 ms) *in parallel*
+//! with the radio setup (1.2 ms) — "Because we can perform the I/Q radio
+//! setup in parallel with booting the FPGA, the total wakeup time for RX
+//! and TX is 22 ms".
+
+use tinysdr_fpga::config::{ConfigController, ConfigError};
+use tinysdr_fpga::power as fpga_power;
+use tinysdr_hw::flash::{Flash, ImageSlot};
+use tinysdr_hw::mcu::{Mcu, McuMode};
+use tinysdr_power::domains::{Component, Domain};
+use tinysdr_power::energy::EnergyLedger;
+use tinysdr_power::pmu::Pmu;
+use tinysdr_rf::at86rf215::{timing, At86Rf215, RadioError, RadioState};
+use tinysdr_rf::sx1276::Sx1276;
+
+/// Device-level states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// 30 µW floor: everything gated, MCU in LPM3.
+    Sleep,
+    /// Awake: FPGA configured and idle, radio in TRXOFF.
+    Idle,
+    /// Receiving on the I/Q radio.
+    Receiving,
+    /// Transmitting on the I/Q radio.
+    Transmitting,
+    /// OTA update mode: backbone radio active, FPGA off.
+    Updating,
+}
+
+/// Errors from device operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// Radio-level failure.
+    Radio(RadioError),
+    /// FPGA configuration failure.
+    Config(ConfigError),
+    /// Operation not valid in the current state.
+    WrongState {
+        /// Current device state.
+        state: DeviceState,
+        /// What was attempted.
+        op: &'static str,
+    },
+    /// No bitstream stored in the requested slot.
+    EmptySlot,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Radio(e) => write!(f, "radio: {e}"),
+            DeviceError::Config(e) => write!(f, "fpga: {e}"),
+            DeviceError::WrongState { state, op } => {
+                write!(f, "cannot {op} in state {state:?}")
+            }
+            DeviceError::EmptySlot => write!(f, "no image stored in that slot"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<RadioError> for DeviceError {
+    fn from(e: RadioError) -> Self {
+        DeviceError::Radio(e)
+    }
+}
+
+impl From<ConfigError> for DeviceError {
+    fn from(e: ConfigError) -> Self {
+        DeviceError::Config(e)
+    }
+}
+
+/// The device.
+#[derive(Debug)]
+pub struct TinySdr {
+    /// I/Q radio.
+    pub radio: At86Rf215,
+    /// FPGA configuration controller.
+    pub fpga: ConfigController,
+    /// Microcontroller.
+    pub mcu: Mcu,
+    /// Power-management unit.
+    pub pmu: Pmu,
+    /// External programming flash.
+    pub flash: Flash,
+    /// Backbone (OTA) radio.
+    pub backbone: Sx1276,
+    /// Energy ledger (the simulated Fluke 287).
+    pub ledger: EnergyLedger,
+    state: DeviceState,
+    clock_ns: u64,
+    /// LUTs of the active design (drives fabric power).
+    active_luts: u32,
+    /// Directory of stored images: (slot, design name, length, crc32).
+    stored: Vec<(ImageSlot, String, usize, u32)>,
+}
+
+impl TinySdr {
+    /// A fresh board: awake but unconfigured, nothing stored.
+    pub fn new() -> Self {
+        let mut fpga = ConfigController::new();
+        fpga.power_on();
+        TinySdr {
+            radio: At86Rf215::new(),
+            fpga,
+            mcu: Mcu::new(),
+            pmu: Pmu::new(),
+            flash: Flash::new(),
+            backbone: Sx1276::new(),
+            ledger: EnergyLedger::new(),
+            state: DeviceState::Idle,
+            clock_ns: 0,
+            active_luts: 0,
+            stored: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// Simulation clock, nanoseconds since construction.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advance time, charging the current platform power to the ledger.
+    pub fn advance(&mut self, ns: u64) {
+        let p = self.platform_power_mw();
+        self.ledger.record(self.power_tag(), p, ns);
+        self.clock_ns += ns;
+    }
+
+    fn power_tag(&self) -> &'static str {
+        match self.state {
+            DeviceState::Sleep => "sleep",
+            DeviceState::Idle => "idle",
+            DeviceState::Receiving => "rx",
+            DeviceState::Transmitting => "tx",
+            DeviceState::Updating => "ota",
+        }
+    }
+
+    /// Instantaneous platform power, mW (battery-referred calibration).
+    pub fn platform_power_mw(&self) -> f64 {
+        match self.state {
+            DeviceState::Sleep => {
+                let mut pmu = self.pmu.clone();
+                pmu.enter_sleep()
+            }
+            DeviceState::Idle => {
+                10.0 + fpga_power::running_mw(self.active_luts).min(fpga_power::STATIC_MW)
+                    + self.mcu.supply_power_mw()
+            }
+            DeviceState::Receiving | DeviceState::Transmitting => {
+                self.radio.supply_power_mw()
+                    + fpga_power::running_mw(self.active_luts)
+                    + self.mcu.supply_power_mw()
+            }
+            DeviceState::Updating => {
+                self.backbone.supply_power_mw() + self.mcu.supply_power_mw()
+            }
+        }
+    }
+
+    /// Store a firmware image into a flash slot so the FPGA can boot
+    /// from it ("it allows tinySDR to store multiple FPGA bitstreams and
+    /// MCU programs to quickly switch between stored protocols").
+    ///
+    /// # Errors
+    /// Flash-level failures surface as `Config` errors.
+    pub fn store_image(
+        &mut self,
+        slot: ImageSlot,
+        name: &str,
+        data: &[u8],
+    ) -> Result<(), DeviceError> {
+        assert!(data.len() <= slot.capacity(), "image exceeds slot");
+        self.flash
+            .erase_and_program(slot.base_addr(), data)
+            .map_err(|_| DeviceError::EmptySlot)?;
+        let crc = tinysdr_fpga::bitstream::crc32(data);
+        self.stored.retain(|(s, ..)| *s != slot);
+        self.stored.push((slot, name.to_string(), data.len(), crc));
+        Ok(())
+    }
+
+    /// Names of stored images.
+    pub fn stored_images(&self) -> Vec<(ImageSlot, String)> {
+        self.stored.iter().map(|(s, n, ..)| (*s, n.clone())).collect()
+    }
+
+    /// Configure the FPGA from a stored slot, declaring the design's LUT
+    /// count (for the power model). Returns the configuration time in
+    /// nanoseconds (≈ 22 ms).
+    ///
+    /// # Errors
+    /// Fails if the slot is empty or the FPGA rejects the image.
+    pub fn configure_from_slot(
+        &mut self,
+        slot: ImageSlot,
+        design_luts: u32,
+    ) -> Result<u64, DeviceError> {
+        let (_, name, len, crc) = self
+            .stored
+            .iter()
+            .find(|(s, ..)| *s == slot)
+            .cloned()
+            .ok_or(DeviceError::EmptySlot)?;
+        let data = self
+            .flash
+            .read(slot.base_addr(), len)
+            .map_err(|_| DeviceError::EmptySlot)?
+            .to_vec();
+        if tinysdr_fpga::bitstream::crc32(&data) != crc {
+            return Err(DeviceError::Config(ConfigError::CrcMismatch));
+        }
+        // model the image as a bitstream for the controller (FPGA images
+        // are full-size; MCU images configure nothing)
+        let padded = if data.len() == tinysdr_fpga::bitstream::BITSTREAM_SIZE {
+            data
+        } else {
+            let mut p = data;
+            p.resize(tinysdr_fpga::bitstream::BITSTREAM_SIZE, 0);
+            p
+        };
+        let image = tinysdr_fpga::bitstream::Bitstream::from_raw(&name, padded);
+        self.fpga.power_on();
+        let t = self.fpga.start_configuration(&image, None)?;
+        self.ledger.record("fpga_config", fpga_power::CONFIGURING_MW, t);
+        self.clock_ns += t;
+        self.fpga.tick(t);
+        self.active_luts = design_luts;
+        Ok(t)
+    }
+
+    /// Enter the 30 µW sleep state (§5.1): gate the FPGA and PAs, radio
+    /// to sleep, MCU to LPM3.
+    pub fn sleep(&mut self) {
+        self.radio.transition(RadioState::Sleep);
+        self.fpga.power_off();
+        self.pmu.enter_sleep();
+        self.mcu.set_mode(McuMode::Lpm3);
+        self.state = DeviceState::Sleep;
+    }
+
+    /// Wake from sleep into RX or TX. Returns the wakeup latency in
+    /// nanoseconds — Table 4's 22 ms, dominated by the FPGA boot running
+    /// in parallel with the 1.2 ms radio setup.
+    ///
+    /// # Errors
+    /// Requires a previously stored FPGA image in slot 0.
+    pub fn wake(&mut self, to: RadioState, design_luts: u32) -> Result<u64, DeviceError> {
+        if self.state != DeviceState::Sleep {
+            return Err(DeviceError::WrongState { state: self.state, op: "wake" });
+        }
+        self.mcu.set_mode(McuMode::Active);
+        for d in [Domain::V2, Domain::V3, Domain::V4, Domain::V5] {
+            self.pmu.set_domain(d, true);
+        }
+        self.pmu.set_load(Component::Mcu, McuMode::Active.supply_power_mw());
+        // parallel: FPGA boot || radio setup
+        let t_fpga = self.configure_from_slot(ImageSlot::Fpga(0), design_luts)?;
+        let t_radio = self.radio.transition(to);
+        let total = t_fpga.max(t_radio);
+        self.state = match to {
+            RadioState::Rx => DeviceState::Receiving,
+            RadioState::Tx => DeviceState::Transmitting,
+            _ => DeviceState::Idle,
+        };
+        Ok(total)
+    }
+
+    /// Switch between RX and TX, returning the switching time (Table 4:
+    /// 45 µs / 11 µs).
+    ///
+    /// # Errors
+    /// Only valid while the I/Q radio is active.
+    pub fn switch_trx(&mut self) -> Result<u64, DeviceError> {
+        let (to, next) = match self.state {
+            DeviceState::Receiving => (RadioState::Tx, DeviceState::Transmitting),
+            DeviceState::Transmitting => (RadioState::Rx, DeviceState::Receiving),
+            s => return Err(DeviceError::WrongState { state: s, op: "switch TRX" }),
+        };
+        let t = self.radio.transition(to);
+        self.state = next;
+        self.advance(t);
+        Ok(t)
+    }
+
+    /// Retune the radio, returning the 220 µs frequency-switch time.
+    ///
+    /// # Errors
+    /// Propagates out-of-band errors.
+    pub fn switch_frequency(&mut self, freq_hz: f64) -> Result<u64, DeviceError> {
+        let before = self.radio.transition_ns;
+        self.radio.set_frequency(freq_hz)?;
+        let t = self.radio.transition_ns - before;
+        self.advance(t);
+        Ok(t)
+    }
+
+    /// Enter OTA update mode: "periodically turn off the FPGA and switch
+    /// from IQ radio mode to the backbone radio to listen for new
+    /// firmware updates" (§3.4).
+    pub fn enter_update_mode(&mut self) {
+        self.radio.transition(RadioState::Sleep);
+        self.fpga.power_off();
+        self.active_luts = 0;
+        self.backbone.state = tinysdr_rf::sx1276::Sx1276State::Rx;
+        self.state = DeviceState::Updating;
+    }
+
+    /// Reproduce Table 4 by exercising the state machine and measuring.
+    /// Returns `(operation, milliseconds)` rows.
+    ///
+    /// # Errors
+    /// Needs an FPGA image stored in slot 0.
+    pub fn measure_table4(&mut self) -> Result<Vec<(&'static str, f64)>, DeviceError> {
+        let mut rows = Vec::new();
+        self.sleep();
+        let wake = self.wake(RadioState::Rx, 2700)?;
+        rows.push(("Sleep to Radio Operation", wake as f64 / 1e6));
+        rows.push(("Radio Setup", timing::RADIO_SETUP_NS as f64 / 1e6));
+        let rx_to_tx = self.switch_trx()?; // Receiving → Transmitting
+        let tx_to_rx = self.switch_trx()?; // back
+        rows.insert(2, ("TX to RX", tx_to_rx as f64 / 1e6));
+        rows.push(("RX to TX", rx_to_tx as f64 / 1e6));
+        let hop = self.switch_frequency(2.426e9)?;
+        rows.push(("Frequency Switch", hop as f64 / 1e6));
+        Ok(rows)
+    }
+}
+
+impl Default for TinySdr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device_with_image() -> TinySdr {
+        let mut dev = TinySdr::new();
+        let img = tinysdr_fpga::bitstream::Bitstream::synthesize("lora_phy", 0.15, 1);
+        dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data()).unwrap();
+        dev
+    }
+
+    #[test]
+    fn wakeup_is_22ms_dominated_by_fpga() {
+        let mut dev = device_with_image();
+        dev.sleep();
+        let t = dev.wake(RadioState::Rx, 2700).unwrap();
+        let ms = t as f64 / 1e6;
+        assert!((ms - 22.0).abs() < 0.5, "wakeup {ms} ms");
+        assert_eq!(dev.state(), DeviceState::Receiving);
+    }
+
+    #[test]
+    fn table4_rows_match_paper() {
+        let mut dev = device_with_image();
+        let rows = dev.measure_table4().unwrap();
+        let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!((get("Sleep to Radio Operation") - 22.0).abs() < 0.5);
+        assert!((get("Radio Setup") - 1.2).abs() < 0.01);
+        assert!((get("TX to RX") - 0.045).abs() < 1e-9);
+        assert!((get("RX to TX") - 0.011).abs() < 1e-9);
+        assert!((get("Frequency Switch") - 0.220).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_power_at_floor() {
+        let mut dev = device_with_image();
+        dev.sleep();
+        let p = dev.platform_power_mw();
+        assert!((p * 1000.0 - 30.0).abs() < 3.0, "sleep {} µW", p * 1000.0);
+    }
+
+    #[test]
+    fn rx_power_matches_lora_rx() {
+        let mut dev = device_with_image();
+        dev.sleep();
+        dev.wake(RadioState::Rx, 2700).unwrap();
+        let p = dev.platform_power_mw();
+        assert!((p - 186.0).abs() < 6.0, "RX platform {p} mW");
+    }
+
+    #[test]
+    fn cannot_wake_when_not_sleeping() {
+        let mut dev = device_with_image();
+        assert!(matches!(
+            dev.wake(RadioState::Rx, 100),
+            Err(DeviceError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn wake_without_stored_image_fails() {
+        let mut dev = TinySdr::new();
+        dev.sleep();
+        assert_eq!(dev.wake(RadioState::Rx, 100).unwrap_err(), DeviceError::EmptySlot);
+    }
+
+    #[test]
+    fn energy_ledger_accumulates() {
+        let mut dev = device_with_image();
+        dev.sleep();
+        dev.advance(1_000_000_000); // 1 s of sleep ≈ 0.03 mJ
+        dev.wake(RadioState::Rx, 2700).unwrap();
+        dev.advance(1_000_000_000); // 1 s of RX ≈ 186 mJ
+        let total = dev.ledger.total_mj();
+        assert!((total - 186.5).abs() < 8.0, "ledger {total} mJ");
+        let tags = dev.ledger.by_tag();
+        assert!(tags.contains_key("sleep") && tags.contains_key("rx"));
+    }
+
+    #[test]
+    fn multiple_stored_protocols_switch_quickly() {
+        let mut dev = TinySdr::new();
+        let lora = tinysdr_fpga::bitstream::Bitstream::synthesize("lora", 0.15, 1);
+        let ble = tinysdr_fpga::bitstream::Bitstream::synthesize("ble", 0.034, 2);
+        dev.store_image(ImageSlot::Fpga(0), "lora", lora.data()).unwrap();
+        dev.store_image(ImageSlot::Fpga(1), "ble", ble.data()).unwrap();
+        assert_eq!(dev.stored_images().len(), 2);
+        // switching protocols = one 22 ms reconfiguration, no OTA needed
+        let t = dev.configure_from_slot(ImageSlot::Fpga(1), 820).unwrap();
+        assert!((t as f64 / 1e6 - 22.0).abs() < 0.5);
+        assert_eq!(dev.fpga.loaded_design(), Some("ble"));
+    }
+
+    #[test]
+    fn update_mode_uses_backbone_only() {
+        let mut dev = device_with_image();
+        dev.enter_update_mode();
+        assert_eq!(dev.state(), DeviceState::Updating);
+        // ~40 mW backbone RX + MCU
+        let p = dev.platform_power_mw();
+        assert!(p > 40.0 && p < 70.0, "update-mode power {p}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Calibrated operating-point power profile (paper §5.1–§5.2).
+//!
+//! These are the battery-referred platform totals the paper measures
+//! with a Fluke 287. Each is *computed* from the component calibrations
+//! in the substrate crates — the radio model (`tinysdr-rf`), the fabric
+//! power model (`tinysdr-fpga`) and the MCU model (`tinysdr-hw`) — so a
+//! change to any calibration propagates here and the tests catch drift
+//! against the paper's numbers.
+
+use tinysdr_fpga::power as fpga_power;
+use tinysdr_hw::mcu::McuMode;
+use tinysdr_lora::fpga_map;
+use tinysdr_rf::at86rf215;
+
+/// Platform operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatingPoint {
+    /// Everything gated, MCU in LPM3 with the wakeup timer (§5.1).
+    Sleep,
+    /// Single-tone TX at a given output power and band (Fig. 9).
+    SingleTone {
+        /// RF output power, dBm ×10 (integer for Eq/Hash; -140..=140).
+        deci_dbm: i16,
+        /// `true` for the 2.4 GHz path.
+        band_2g4: bool,
+    },
+    /// LoRa packet transmission at 14 dBm (§5.2: 287 mW).
+    LoRaTx,
+    /// LoRa packet reception (§5.2: 186 mW).
+    LoRaRx,
+    /// BLE beacon transmission at 0 dBm.
+    BleTx,
+    /// Concurrent two-configuration LoRa reception (§6: 207 mW).
+    ConcurrentRx,
+}
+
+/// Single-tone generator fabric cost: NCO + serializer + control, LUTs.
+const SINGLE_TONE_LUTS: u32 = 520;
+
+/// Platform power at an operating point, mW (battery-referred).
+pub fn platform_power_mw(op: OperatingPoint) -> f64 {
+    let mcu_active = McuMode::Active.supply_power_mw();
+    match op {
+        OperatingPoint::Sleep => {
+            let mut pmu = tinysdr_power::pmu::Pmu::new();
+            pmu.enter_sleep()
+        }
+        OperatingPoint::SingleTone { deci_dbm, band_2g4 } => {
+            let p = deci_dbm as f64 / 10.0;
+            let radio = if band_2g4 {
+                at86rf215::power::tx_mw_2g4(p)
+            } else {
+                at86rf215::power::tx_mw(p)
+            };
+            radio + fpga_power::running_mw(SINGLE_TONE_LUTS) + mcu_active
+        }
+        OperatingPoint::LoRaTx => {
+            at86rf215::power::tx_mw(14.0)
+                + fpga_power::running_mw(fpga_map::lora_tx_design().total_luts())
+                + mcu_active
+        }
+        OperatingPoint::LoRaRx => {
+            at86rf215::power::RX_MW
+                + fpga_power::running_mw(fpga_map::lora_rx_design(8).total_luts())
+                + mcu_active
+        }
+        OperatingPoint::BleTx => {
+            at86rf215::power::tx_mw_2g4(0.0)
+                + fpga_power::running_mw(820)
+                + mcu_active
+        }
+        OperatingPoint::ConcurrentRx => {
+            at86rf215::power::RX_MW
+                + fpga_power::running_mw(fpga_map::concurrent_rx_design().total_luts())
+                + mcu_active
+        }
+    }
+}
+
+/// The radio's share at an operating point, mW — the paper reports these
+/// attributions ("287 mW from which 179 mW is for the radio").
+pub fn radio_power_mw(op: OperatingPoint) -> f64 {
+    match op {
+        OperatingPoint::Sleep => at86rf215::power::SLEEP_MW,
+        OperatingPoint::SingleTone { deci_dbm, band_2g4 } => {
+            let p = deci_dbm as f64 / 10.0;
+            if band_2g4 {
+                at86rf215::power::tx_mw_2g4(p)
+            } else {
+                at86rf215::power::tx_mw(p)
+            }
+        }
+        OperatingPoint::LoRaTx => at86rf215::power::tx_mw(14.0),
+        OperatingPoint::BleTx => at86rf215::power::tx_mw_2g4(0.0),
+        OperatingPoint::LoRaRx | OperatingPoint::ConcurrentRx => at86rf215::power::RX_MW,
+    }
+}
+
+/// The Fig. 9 sweep: platform power vs radio output power for one band.
+pub fn fig9_curve(band_2g4: bool) -> Vec<(f64, f64)> {
+    (-14..=14)
+        .step_by(2)
+        .map(|p| {
+            let op = OperatingPoint::SingleTone { deci_dbm: (p * 10) as i16, band_2g4 };
+            (p as f64, platform_power_mw(op))
+        })
+        .collect()
+}
+
+/// BLE beaconing battery life (the §5.2 claim: "it could run for over 2
+/// years on a 1000 mAh battery when transmitting once per second").
+///
+/// The FPGA keeps its configuration (SRAM retained, clock gated between
+/// events) so a beacon event costs only the radio bursts plus the fabric
+/// wake; the platform returns to the 30 µW floor between beacons.
+/// `channels` is the number of advertising channels per event: the
+/// paper's ">2 years … transmitting once per second" measurement matches
+/// single-channel beaconing (≈4 years here); a full 3-channel event
+/// lands at ≈1.7 years — the claim sits between the two, consistent with
+/// a short-duration extrapolated measurement (see EXPERIMENTS.md).
+pub fn ble_beacon_battery_years(interval_s: f64, channels: usize) -> f64 {
+    use tinysdr_power::battery::Battery;
+    use tinysdr_power::duty::DutyCycle;
+    assert!((1..=3).contains(&channels));
+    // 30-byte beacon burst = 240 µs on air, 220 µs hop gap between
+    let burst_s = 240e-6;
+    let event_active_s = channels as f64 * burst_s + (channels - 1) as f64 * 220e-6;
+    // during hop gaps the radio is retuning (idle-class power), the
+    // fabric stays up; approximate the whole event at TX power minus the
+    // PA share during gaps — dominated by bursts anyway
+    let d = DutyCycle {
+        period_s: interval_s,
+        active_s: event_active_s,
+        active_mw: platform_power_mw(OperatingPoint::BleTx),
+        sleep_mw: platform_power_mw(OperatingPoint::Sleep),
+        // radio wake from standby (no FPGA reboot): ~1.2 ms at idle-class
+        // power plus regulator ramp
+        wakeup_mj: 0.02,
+    };
+    d.battery_life_years(&Battery::lipo_1000mah())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_is_30uw() {
+        let p = platform_power_mw(OperatingPoint::Sleep);
+        assert!((p * 1000.0 - 30.0).abs() < 3.0, "sleep {} µW", p * 1000.0);
+    }
+
+    #[test]
+    fn fig9_anchors() {
+        // §5.1: "TinySDR consumes 231 mW when transmitting at 0 dBm …
+        // 283 mW at its 14 dBm setting"
+        let p0 = platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 0, band_2g4: false });
+        let p14 =
+            platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 140, band_2g4: false });
+        assert!((p0 - 231.0).abs() < 10.0, "0 dBm: {p0} mW");
+        assert!((p14 - 283.0).abs() < 10.0, "14 dBm: {p14} mW");
+    }
+
+    #[test]
+    fn fig9_shape_flat_then_rising() {
+        let curve = fig9_curve(false);
+        // flat at the low end: −14 → −6 dBm changes < 3 mW
+        let low_delta = curve[4].1 - curve[0].1;
+        assert!(low_delta < 3.0, "low-end delta {low_delta}");
+        // rising at the top: 12 → 14 dBm jumps > 5 mW
+        let n = curve.len();
+        let top_delta = curve[n - 1].1 - curve[n - 2].1;
+        assert!(top_delta > 5.0, "top-end delta {top_delta}");
+        // 2.4 GHz curve sits slightly above 900 MHz
+        let c24 = fig9_curve(true);
+        assert!(c24[n - 1].1 > curve[n - 1].1);
+    }
+
+    #[test]
+    fn usrp_e310_comparison() {
+        // "the end-to-end power consumption of the USRP E310 is 16x
+        // higher under the same conditions … 15x higher [at 14 dBm]"
+        let e310_0dbm = 3700.0; // W-class embedded SDR (Table 1 platform)
+        let p0 = platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 0, band_2g4: false });
+        let ratio = e310_0dbm / p0;
+        assert!(ratio > 14.0 && ratio < 18.0, "E310 ratio {ratio}");
+    }
+
+    #[test]
+    fn lora_operating_points_match_sec52() {
+        let tx = platform_power_mw(OperatingPoint::LoRaTx);
+        let rx = platform_power_mw(OperatingPoint::LoRaRx);
+        assert!((tx - 287.0).abs() < 6.0, "LoRa TX {tx} mW");
+        assert!((rx - 186.0).abs() < 6.0, "LoRa RX {rx} mW");
+        // radio attribution ≈ 179 mW TX / 59 mW RX
+        assert!((radio_power_mw(OperatingPoint::LoRaTx) - 179.0).abs() < 6.0);
+        assert!((radio_power_mw(OperatingPoint::LoRaRx) - 59.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn concurrent_matches_sec6() {
+        let p = platform_power_mw(OperatingPoint::ConcurrentRx);
+        assert!((p - 207.0).abs() < 8.0, "concurrent {p} mW");
+    }
+
+    #[test]
+    fn ble_beacon_runs_over_two_years() {
+        let years = ble_beacon_battery_years(1.0, 1);
+        assert!(years > 2.0, "BLE beacon life {years:.2} years");
+        assert!(years < 8.0, "suspiciously long: {years:.2} years");
+        // three-channel events are ~3× heavier: just over a year
+        let years3 = ble_beacon_battery_years(1.0, 3);
+        assert!(years3 > 1.0 && years3 < years, "3-channel life {years3:.2}");
+    }
+
+    #[test]
+    fn faster_beaconing_shortens_life() {
+        assert!(ble_beacon_battery_years(0.1, 1) < ble_beacon_battery_years(1.0, 1));
+    }
+}

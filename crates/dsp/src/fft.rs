@@ -1,0 +1,258 @@
+//! Iterative radix-2 FFT with a reusable plan.
+//!
+//! The paper's LoRa demodulator feeds dechirped symbols to "an FFT block
+//! implemented using a standard IP core from Lattice" (§4.1) whose size is
+//! `2^SF` (64..4096 for SF 6..12, times the oversampling ratio). This
+//! module is the software stand-in for that core. A [`FftPlan`] owns the
+//! twiddle-factor and bit-reversal tables so per-symbol work is
+//! allocation-free, mirroring how the hardware core is instantiated once
+//! per configuration.
+
+use crate::complex::Complex;
+
+/// Precomputed FFT plan for a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    log2n: u32,
+    /// Twiddles for the forward transform: `exp(-j 2π k / n)` for `k < n/2`.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for an `n`-point transform.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "FFT size must be a power of two >= 2, got {n}");
+        let log2n = n.trailing_zeros();
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let theta = -std::f64::consts::TAU * k as f64 / n as f64;
+                Complex::from_angle(theta)
+            })
+            .collect();
+        let mut rev = vec![0u32; n];
+        for i in 0..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n - 1));
+        }
+        FftPlan { n, log2n, twiddles, rev }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the plan size is zero (never; kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT (no normalization), `X[k] = Σ x[n] e^{-j2πnk/N}`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the plan size.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "FFT buffer length mismatch");
+        self.permute(buf);
+        self.butterflies(buf, false);
+    }
+
+    /// In-place inverse DFT with `1/N` normalization.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the plan size.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "FFT buffer length mismatch");
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let inv = 1.0 / self.n as f64;
+        for s in buf.iter_mut() {
+            *s = s.scale(inv);
+        }
+    }
+
+    /// Convenience: forward transform of a slice into a fresh vector.
+    pub fn forward_vec(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut buf = x.to_vec();
+        self.forward(&mut buf);
+        buf
+    }
+
+    fn permute(&self, buf: &mut [Complex]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * step];
+                    let tw = if inverse { tw.conj() } else { tw };
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * tw;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        let _ = self.log2n;
+    }
+}
+
+/// One-shot forward FFT (builds a plan internally). Prefer [`FftPlan`] in
+/// loops.
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    FftPlan::new(x.len()).forward_vec(x)
+}
+
+/// One-shot inverse FFT with `1/N` normalization.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let plan = FftPlan::new(x.len());
+    let mut buf = x.to_vec();
+    plan.inverse(&mut buf);
+    buf
+}
+
+/// Index and magnitude of the strongest FFT bin.
+///
+/// This is the paper's "Symbol Detector [that] scans the output of the FFT
+/// for peaks" (Fig. 6b). Returns `(argmax_k |X[k]|, max |X[k]|)`.
+pub fn peak_bin(x: &[Complex]) -> (usize, f64) {
+    let mut best = (0usize, f64::MIN);
+    for (k, v) in x.iter().enumerate() {
+        let m = v.norm_sqr();
+        if m > best.1 {
+            best = (k, m);
+        }
+    }
+    (best.0, best.1.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a - b).abs() < tol,
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let plan = FftPlan::new(16);
+        plan.forward(&mut x);
+        for v in &x {
+            assert_close(*v, Complex::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let k0 = 37;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(std::f64::consts::TAU * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        let (k, mag) = peak_bin(&spec);
+        assert_eq!(k, k0);
+        assert!((mag - n as f64).abs() < 1e-6);
+        // all other bins ~0
+        for (i, v) in spec.iter().enumerate() {
+            if i != k0 {
+                assert!(v.abs() < 1e-6, "leakage at bin {i}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let n = 1024;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in y.iter().zip(&x) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (n - i) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        for i in 0..n {
+            assert_close(fsum[i], fa[i] + fb[i], 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 512;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|s| s.norm_sqr()).sum();
+        let spec = fft(&x);
+        let freq_energy: f64 = spec.iter().map(|s| s.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_dft_small() {
+        let n = 32;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 1.7).cos(), (i as f64 * 0.3).sin()))
+            .collect();
+        let fast = fft(&x);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (i, &xi) in x.iter().enumerate() {
+                let theta = -std::f64::consts::TAU * (k * i) as f64 / n as f64;
+                acc += xi * Complex::from_angle(theta);
+            }
+            assert_close(fast[k], acc, 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_sf_sizes_plan() {
+        // paper instantiates FFTs for SF 6..12
+        for sf in 6..=12u32 {
+            let plan = FftPlan::new(1 << sf);
+            assert_eq!(plan.len(), 1 << sf);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Small numeric helpers shared across the DSP crate.
+
+/// Normalized sinc: `sin(πx)/(πx)`, with `sinc(0) = 1`.
+#[inline]
+pub fn sinc(x: f64) -> f64 {
+    if x == 0.0 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    }
+}
+
+/// Next power of two at or above `n` (`n = 0` maps to 1).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// `log2` of a power of two.
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+#[inline]
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "log2_exact: {n} is not a power of two");
+    n.trailing_zeros()
+}
+
+/// Linear interpolation between `a` and `b` with `t` in `[0,1]`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Clamp `x` into `[lo, hi]`.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// Euclidean modulo that always returns a value in `[0, m)`.
+#[inline]
+pub fn fmod_pos(x: f64, m: f64) -> f64 {
+    let r = x % m;
+    if r < 0.0 {
+        r + m
+    } else {
+        r
+    }
+}
+
+/// Wrap a frequency into the first Nyquist zone `[-fs/2, fs/2)`.
+#[inline]
+pub fn wrap_freq(f: f64, fs: f64) -> f64 {
+    fmod_pos(f + fs / 2.0, fs) - fs / 2.0
+}
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple (panics on overflow in debug builds).
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+///
+/// Used by the analytic BER references the evaluation harness prints next
+/// to simulated curves.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Complementary error function.
+#[inline]
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Gaussian Q-function `Q(x) = P[N(0,1) > x]`.
+#[inline]
+pub fn q_func(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinc_values() {
+        assert_eq!(sinc(0.0), 1.0);
+        assert!(sinc(1.0).abs() < 1e-15);
+        assert!(sinc(2.0).abs() < 1e-15);
+        assert!((sinc(0.5) - 2.0 / std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(100), 128);
+        assert_eq!(log2_exact(4096), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log2_rejects_non_pow2() {
+        log2_exact(100);
+    }
+
+    #[test]
+    fn fmod_pos_negative_input() {
+        assert!((fmod_pos(-0.25, 1.0) - 0.75).abs() < 1e-15);
+        assert!((fmod_pos(2.5, 1.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wrap_freq_nyquist() {
+        assert!((wrap_freq(0.6, 1.0) + 0.4).abs() < 1e-12);
+        assert!((wrap_freq(-0.6, 1.0) - 0.4).abs() < 1e-12);
+        assert!((wrap_freq(0.4, 1.0) - 0.4).abs() < 1e-12);
+        // exactly fs/2 wraps to -fs/2 (half-open interval)
+        assert!((wrap_freq(0.5, 1.0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        // sampling-rate use case: common rate of 125 kHz and 250 kHz chips
+        assert_eq!(lcm(125_000, 250_000), 250_000);
+    }
+
+    #[test]
+    fn erf_reference_points() {
+        // the A&S 7.1.26 approximation has ~1e-9 residual at the origin
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erfc(0.0) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn q_function_tails() {
+        assert!((q_func(0.0) - 0.5).abs() < 1e-9);
+        // Q(3) ≈ 1.35e-3
+        assert!((q_func(3.0) - 1.3499e-3).abs() < 1e-5);
+        assert!(q_func(10.0) < 1e-20);
+    }
+
+    #[test]
+    fn clamp_lerp() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(lerp(0.0, 10.0, 0.25), 2.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Integer-factor resampling.
+//!
+//! Used to bridge sample-rate domains: the BLE modulator upsamples the bit
+//! stream before Gaussian shaping (paper §4.2), and the concurrent LoRa
+//! receiver decimates a 500 kHz stream down to each decoder's chip rate.
+
+use crate::complex::Complex;
+use crate::fir::{lowpass, Fir};
+use crate::window::Window;
+
+/// Zero-stuffing upsampler followed by an interpolation low-pass filter.
+#[derive(Debug, Clone)]
+pub struct Upsampler {
+    factor: usize,
+    filter: Fir,
+}
+
+impl Upsampler {
+    /// Create an upsampler by `factor` with a `taps`-tap interpolation
+    /// filter.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize, taps: usize) -> Self {
+        assert!(factor >= 1, "upsample factor must be >= 1");
+        let filter = if factor == 1 {
+            Fir::new(vec![1.0])
+        } else {
+            // cutoff at the original Nyquist, gain factor to restore power
+            let mut f = lowpass(taps, 0.5 / factor as f64 * 0.9, Window::Hamming);
+            let taps: Vec<f64> = f.taps().iter().map(|t| t * factor as f64).collect();
+            f = Fir::new(taps);
+            f
+        };
+        Upsampler { factor, filter }
+    }
+
+    /// Upsampling factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Upsample a buffer (stateful across calls).
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(x.len() * self.factor);
+        for &s in x {
+            out.push(self.filter.push(s));
+            for _ in 1..self.factor {
+                out.push(self.filter.push(Complex::ZERO));
+            }
+        }
+        out
+    }
+}
+
+/// Anti-alias filter followed by keep-one-in-N decimation.
+#[derive(Debug, Clone)]
+pub struct Decimator {
+    factor: usize,
+    filter: Fir,
+    phase: usize,
+}
+
+impl Decimator {
+    /// Create a decimator by `factor` with a `taps`-tap anti-alias filter.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize, taps: usize) -> Self {
+        assert!(factor >= 1, "decimation factor must be >= 1");
+        let filter = if factor == 1 {
+            Fir::new(vec![1.0])
+        } else {
+            lowpass(taps, 0.5 / factor as f64 * 0.9, Window::Hamming)
+        };
+        Decimator { factor, filter, phase: 0 }
+    }
+
+    /// Decimation factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Decimate a buffer (stateful across calls; keeps filter state and
+    /// decimation phase).
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(x.len() / self.factor + 1);
+        for &s in x {
+            let y = self.filter.push(s);
+            if self.phase == 0 {
+                out.push(y);
+            }
+            self.phase = (self.phase + 1) % self.factor;
+        }
+        out
+    }
+}
+
+/// Repeat-hold upsampling of a real-valued sequence (no filtering) — the
+/// zero-order hold used ahead of the Gaussian shaper.
+pub fn repeat_hold(x: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor >= 1);
+    let mut out = Vec::with_capacity(x.len() * factor);
+    for &v in x {
+        for _ in 0..factor {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::mean_power;
+    use crate::fft::{fft, peak_bin};
+    use crate::nco::ideal_tone;
+
+    #[test]
+    fn upsample_length() {
+        let mut u = Upsampler::new(4, 31);
+        let y = u.process(&vec![Complex::ONE; 100]);
+        assert_eq!(y.len(), 400);
+    }
+
+    #[test]
+    fn upsampled_tone_stays_at_same_absolute_freq() {
+        // 1 kHz tone at 8 kHz, upsampled 4x → still bin matching 1 kHz at 32 kHz
+        let n = 512;
+        let fs = 8_000.0;
+        let f = 1_000.0;
+        let x = ideal_tone(f, fs, n);
+        let mut u = Upsampler::new(4, 63);
+        let y = u.process(&x);
+        let spec = fft(&y[..2048.min(y.len())]);
+        let (k, _) = peak_bin(&spec);
+        // at 32 kHz over 2048 points, 1 kHz = bin 64
+        assert_eq!(k, 64);
+    }
+
+    #[test]
+    fn decimate_length_and_phase() {
+        let mut d = Decimator::new(4, 31);
+        let y = d.process(&vec![Complex::ONE; 103]);
+        assert_eq!(y.len(), 26); // ceil(103/4)
+    }
+
+    #[test]
+    fn decimation_preserves_in_band_tone() {
+        let fs = 500e3;
+        let f = 20e3; // well inside post-decimation Nyquist of 62.5 kHz
+        let x = ideal_tone(f, fs, 8192);
+        let mut d = Decimator::new(4, 63);
+        let y = d.process(&x);
+        let spec = fft(&y[..1024]);
+        let (k, _) = peak_bin(&spec);
+        // 20 kHz at 125 kHz over 1024 points → bin 163.84 → 164±1
+        assert!((k as i64 - 164).abs() <= 1, "bin {k}");
+        // power preserved within 1 dB (ignore filter edges)
+        let p_ratio = mean_power(&y[64..]) / mean_power(&x);
+        assert!(p_ratio > 0.8 && p_ratio < 1.2, "power ratio {p_ratio}");
+    }
+
+    #[test]
+    fn decimation_rejects_out_of_band_tone() {
+        let fs = 500e3;
+        let f = 180e3; // outside 62.5 kHz post-decimation Nyquist
+        let x = ideal_tone(f, fs, 8192);
+        let mut d = Decimator::new(4, 63);
+        let y = d.process(&x);
+        let leak = mean_power(&y[64..]) / mean_power(&x);
+        assert!(leak < 0.02, "alias leak {leak}");
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let x = ideal_tone(1e3, 1e6, 64);
+        let mut u = Upsampler::new(1, 1);
+        let mut d = Decimator::new(1, 1);
+        assert_eq!(u.process(&x), x);
+        assert_eq!(d.process(&x), x);
+    }
+
+    #[test]
+    fn repeat_hold_values() {
+        assert_eq!(repeat_hold(&[1.0, -1.0], 3), vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Error-rate counters and empirical distributions for the evaluation
+//! harness.
+//!
+//! The paper reports packet error rate (Fig. 10), chirp-symbol error rate
+//! (Figs. 11 and 15), bit error rate (Fig. 12) and a CDF of programming
+//! time (Fig. 14). These are the shared accumulator types behind those
+//! plots.
+
+/// Streaming error-rate counter (bits, symbols or packets alike).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrorRate {
+    trials: u64,
+    errors: u64,
+}
+
+impl ErrorRate {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one trial with its outcome.
+    #[inline]
+    pub fn record(&mut self, error: bool) {
+        self.trials += 1;
+        if error {
+            self.errors += 1;
+        }
+    }
+
+    /// Record a batch: `errors` failures out of `trials`.
+    pub fn record_batch(&mut self, errors: u64, trials: u64) {
+        assert!(errors <= trials, "more errors than trials");
+        self.trials += trials;
+        self.errors += errors;
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &ErrorRate) {
+        self.trials += other.trials;
+        self.errors += other.errors;
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of errors recorded.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Error rate in `[0, 1]`; 0 for no trials.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.trials as f64
+        }
+    }
+
+    /// Error rate as a percentage (paper's y-axes use %).
+    pub fn percent(&self) -> f64 {
+        self.rate() * 100.0
+    }
+
+    /// 95% Wilson confidence interval half-width, useful to decide whether
+    /// a sweep point has enough trials.
+    pub fn wilson_halfwidth(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z = 1.96;
+        z * ((p * (1.0 - p) + z * z / (4.0 * n)) / n).sqrt() / (1.0 + z * z / n)
+    }
+}
+
+/// Count differing bits between two equal-length byte slices.
+pub fn bit_errors(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "bit_errors: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones() as u64).sum()
+}
+
+/// Empirical CDF over `f64` observations.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Ecdf {
+    /// Fresh, empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Add many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        self.samples.extend(xs);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+    }
+
+    /// `P[X <= x]`.
+    pub fn cdf(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.samples.partition_point(|&v| v <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Quantile `q` in `[0,1]` (nearest-rank).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        assert!(!self.samples.is_empty(), "quantile of empty distribution");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.samples[idx]
+    }
+
+    /// Median.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum observation.
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.first().expect("empty distribution")
+    }
+
+    /// Maximum observation.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.last().expect("empty distribution")
+    }
+
+    /// `(x, P[X<=x])` series for plotting a CDF like the paper's Fig. 14.
+    pub fn curve(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len() as f64;
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// Find the sensitivity threshold: the smallest x (assumed sorted
+/// ascending) where the error-rate series crosses *below* `threshold`.
+///
+/// `points` are `(x_dbm, error_rate)` pairs with error rate decreasing as
+/// x grows (more power → fewer errors). Linear interpolation between the
+/// two bracketing points. Returns `None` if the series never crosses.
+pub fn sensitivity_crossing(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if y0 > threshold && y1 <= threshold {
+            if (y0 - y1).abs() < 1e-30 {
+                return Some(x1);
+            }
+            let t = (y0 - threshold) / (y0 - y1);
+            return Some(x0 + t * (x1 - x0));
+        }
+        if y0 <= threshold {
+            return Some(x0);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_accumulates() {
+        let mut er = ErrorRate::new();
+        for i in 0..100 {
+            er.record(i % 4 == 0);
+        }
+        assert_eq!(er.trials(), 100);
+        assert_eq!(er.errors(), 25);
+        assert!((er.rate() - 0.25).abs() < 1e-12);
+        assert!((er.percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_rate_merge_and_batch() {
+        let mut a = ErrorRate::new();
+        a.record_batch(5, 50);
+        let mut b = ErrorRate::new();
+        b.record_batch(15, 50);
+        a.merge(&b);
+        assert!((a.rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_shrinks_with_trials() {
+        let mut small = ErrorRate::new();
+        small.record_batch(5, 10);
+        let mut big = ErrorRate::new();
+        big.record_batch(500, 1000);
+        assert!(big.wilson_halfwidth() < small.wilson_halfwidth());
+    }
+
+    #[test]
+    fn bit_error_count() {
+        assert_eq!(bit_errors(&[0xFF], &[0x00]), 8);
+        assert_eq!(bit_errors(&[0b1010_1010], &[0b1010_1000]), 1);
+        assert_eq!(bit_errors(&[1, 2, 3], &[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let mut e = Ecdf::new();
+        e.extend((1..=100).map(|i| i as f64));
+        assert_eq!(e.len(), 100);
+        assert!((e.median() - 50.0).abs() <= 1.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+        assert!((e.cdf(25.0) - 0.25).abs() < 0.01);
+        assert!((e.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_curve_monotone() {
+        let mut e = Ecdf::new();
+        e.extend([3.0, 1.0, 2.0, 5.0, 4.0]);
+        let c = e.curve();
+        assert_eq!(c.len(), 5);
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_interpolation() {
+        // PER falls from 100% to 0 between -128 and -124 dBm
+        let pts = vec![(-130.0, 1.0), (-128.0, 1.0), (-126.0, 0.5), (-124.0, 0.0), (-120.0, 0.0)];
+        // 10% PER crossing sits between -126 and -124
+        let s = sensitivity_crossing(&pts, 0.10).unwrap();
+        assert!(s > -126.0 && s < -124.0, "crossing {s}");
+        // never crossing below 0 → first point at threshold works
+        assert!(sensitivity_crossing(&[(-130.0, 1.0)], 0.1).is_none());
+    }
+}

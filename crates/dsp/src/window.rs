@@ -1,0 +1,98 @@
+//! Spectral windows for filter design and spectrum estimation.
+
+/// The window families used by the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Rectangular (no) window.
+    Rect,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window (the paper-era default for short FIRs).
+    Hamming,
+    /// Blackman window (better stopband, wider main lobe).
+    Blackman,
+}
+
+impl Window {
+    /// Generate `n` window coefficients (symmetric form).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    Window::Rect => 1.0,
+                    Window::Hann => 0.5 - 0.5 * (std::f64::consts::TAU * x).cos(),
+                    Window::Hamming => 0.54 - 0.46 * (std::f64::consts::TAU * x).cos(),
+                    Window::Blackman => {
+                        0.42 - 0.5 * (std::f64::consts::TAU * x).cos()
+                            + 0.08 * (2.0 * std::f64::consts::TAU * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of squared coefficients (noise-equivalent scaling for Welch).
+    pub fn power(self, n: usize) -> f64 {
+        self.coefficients(n).iter().map(|w| w * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_all_ones() {
+        assert!(Window::Rect.coefficients(16).iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_zero_center_one() {
+        let w = Window::Hann.coefficients(65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.coefficients(15);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[14] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_endpoints_near_zero() {
+        let w = Window::Blackman.coefficients(33);
+        assert!(w[0].abs() < 1e-10);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(22);
+            for i in 0..11 {
+                assert!((w[i] - w[21 - i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_window() {
+        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+            assert_eq!(win.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn window_power_positive() {
+        assert!(Window::Hann.power(64) > 0.0);
+        assert_eq!(Window::Rect.power(64), 64.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based invariants for the DSP substrate.
+
+use proptest::prelude::*;
+use tinysdr_dsp::chirp::{ChirpConfig, ChirpGenerator};
+use tinysdr_dsp::complex::Complex;
+use tinysdr_dsp::fft::{fft, ifft};
+use tinysdr_dsp::fixed::Quantizer;
+use tinysdr_dsp::stats::Ecdf;
+
+proptest! {
+    /// FFT → IFFT is the identity for any signal.
+    #[test]
+    fn fft_round_trip(re in prop::collection::vec(-1e3f64..1e3, 64), im in prop::collection::vec(-1e3f64..1e3, 64)) {
+        let x: Vec<Complex> = re.iter().zip(&im).map(|(&r, &i)| Complex::new(r, i)).collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// Parseval holds for arbitrary signals.
+    #[test]
+    fn fft_parseval(re in prop::collection::vec(-10f64..10.0, 128)) {
+        let x: Vec<Complex> = re.iter().map(|&r| Complex::new(r, -r * 0.5)).collect();
+        let t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let f: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((t - f).abs() <= 1e-9 * t.max(1.0));
+    }
+
+    /// Quantizer round-trip error is bounded by half an LSB for in-range
+    /// values, and clamps out-of-range values to full scale.
+    #[test]
+    fn quantizer_bounds(x in -2.0f64..2.0, bits in 4u32..16) {
+        let q = Quantizer::new(bits);
+        let y = q.round_trip(x);
+        if x.abs() <= 1.0 {
+            let lsb = 1.0 / q.max_code() as f64;
+            prop_assert!((y - x).abs() <= lsb / 2.0 + 1e-12);
+        } else {
+            prop_assert!(y.abs() <= 1.0 + 1.0 / q.max_code() as f64);
+        }
+    }
+
+    /// Every chirp symbol decodes back to itself (quantized generator,
+    /// any SF, any symbol, OSR 1).
+    #[test]
+    fn chirp_symbol_self_decodes(sf in 6u8..=10, seed in 0u64..1000) {
+        let cfg = ChirpConfig::new(sf, 125e3, 1);
+        let n = cfg.n_chips() as u32;
+        let symbol = ((seed as u32).wrapping_mul(2654435761)) % n;
+        let gen = ChirpGenerator::new(cfg);
+        let sig = gen.upchirp(symbol);
+        // dechirp + FFT peak
+        let dref = gen.dechirp_reference();
+        let prod: Vec<Complex> = sig.iter().zip(&dref).map(|(&a, &b)| a * b).collect();
+        let spec = fft(&prod);
+        let (k, _) = tinysdr_dsp::fft::peak_bin(&spec);
+        prop_assert_eq!(k as u32, symbol);
+    }
+
+    /// Chirps are constant-envelope within LUT quantization.
+    #[test]
+    fn chirp_constant_envelope(sf in 6u8..=9, sym_seed in 0u32..64) {
+        let cfg = ChirpConfig::new(sf, 250e3, 1);
+        let gen = ChirpGenerator::new(cfg);
+        let sym = sym_seed % cfg.n_chips() as u32;
+        for z in gen.upchirp(sym) {
+            prop_assert!((z.abs() - 1.0).abs() < 3e-3);
+        }
+    }
+
+    /// ECDF quantiles are monotone and bounded by min/max.
+    #[test]
+    fn ecdf_quantiles_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut e = Ecdf::new();
+        e.extend(xs.iter().copied());
+        let q25 = e.quantile(0.25);
+        let q50 = e.quantile(0.5);
+        let q75 = e.quantile(0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert!(e.min() <= q25 && q75 <= e.max());
+    }
+
+    /// normalize_power hits the requested power for any nonzero signal.
+    #[test]
+    fn normalize_power_exact(scale in 0.01f64..100.0, target in 0.001f64..10.0) {
+        let mut x: Vec<Complex> =
+            (0..64).map(|i| Complex::from_angle(i as f64 * 0.3).scale(scale)).collect();
+        tinysdr_dsp::complex::normalize_power(&mut x, target);
+        let p = tinysdr_dsp::complex::mean_power(&x);
+        prop_assert!((p - target).abs() < 1e-9 * target);
+    }
+}

@@ -1,0 +1,195 @@
+//! The FPGA block abstraction: named DSP stages with declared resource
+//! cost and per-sample throughput.
+//!
+//! The paper's designs (Fig. 6a/6b) are pipelines of Verilog modules —
+//! Packet Generator, Chirp Generator, I/Q Serializer, FIR, Complex
+//! Multiplier, FFT, Symbol Detector. In this reproduction each stage is a
+//! Rust type implementing [`FpgaBlock`]; a [`Design`] groups the stages,
+//! places them on a [`ResourceLedger`](crate::resources::ResourceLedger)
+//! and answers the timing/power questions the paper's Tables 4/6 ask.
+
+use crate::resources::{PlacementError, ResourceLedger, ResourceRequest};
+
+/// Metadata contract for a synthesizable block.
+pub trait FpgaBlock {
+    /// Instance name for the map report.
+    fn name(&self) -> &str;
+
+    /// Resource cost when synthesized.
+    fn resources(&self) -> ResourceRequest;
+
+    /// Fabric clock cycles consumed per I/Q sample processed.
+    /// Blocks that run one sample per clock return 1; an FFT that
+    /// processes a 2^SF-symbol in N·log N cycles amortizes to its
+    /// per-sample share.
+    fn cycles_per_sample(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A simple leaf block defined by constants (used for infrastructure
+/// blocks like the deserializer or memory controller).
+#[derive(Debug, Clone)]
+pub struct LeafBlock {
+    /// Instance name.
+    pub block_name: String,
+    /// Declared cost.
+    pub cost: ResourceRequest,
+    /// Declared throughput.
+    pub cps: f64,
+}
+
+impl LeafBlock {
+    /// Build a LUT-only leaf with 1 cycle/sample.
+    pub fn new(name: &str, luts: u32) -> Self {
+        LeafBlock { block_name: name.to_string(), cost: ResourceRequest::luts(luts), cps: 1.0 }
+    }
+
+    /// Build a leaf with a full resource request.
+    pub fn with_cost(name: &str, cost: ResourceRequest, cps: f64) -> Self {
+        LeafBlock { block_name: name.to_string(), cost, cps }
+    }
+}
+
+impl FpgaBlock for LeafBlock {
+    fn name(&self) -> &str {
+        &self.block_name
+    }
+    fn resources(&self) -> ResourceRequest {
+        self.cost
+    }
+    fn cycles_per_sample(&self) -> f64 {
+        self.cps
+    }
+}
+
+/// A named design: an ordered set of blocks placed together.
+#[derive(Debug, Default)]
+pub struct Design {
+    name: String,
+    blocks: Vec<LeafBlock>,
+}
+
+impl Design {
+    /// New empty design.
+    pub fn new(name: &str) -> Self {
+        Design { name: name.to_string(), blocks: Vec::new() }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a block.
+    pub fn add(&mut self, block: LeafBlock) -> &mut Self {
+        self.blocks.push(block);
+        self
+    }
+
+    /// Total LUTs across blocks.
+    pub fn total_luts(&self) -> u32 {
+        self.blocks.iter().map(|b| b.resources().luts).sum()
+    }
+
+    /// Total resource request.
+    pub fn total_resources(&self) -> ResourceRequest {
+        let mut r = ResourceRequest::default();
+        for b in &self.blocks {
+            let c = b.resources();
+            r.luts += c.luts;
+            r.ebr_bits += c.ebr_bits;
+            r.dsp_slices += c.dsp_slices;
+            r.plls += c.plls;
+        }
+        r
+    }
+
+    /// Worst-case cycles/sample over the pipeline (stages run in
+    /// parallel, so the slowest stage sets the rate).
+    pub fn cycles_per_sample(&self) -> f64 {
+        self.blocks.iter().map(|b| b.cycles_per_sample()).fold(0.0, f64::max)
+    }
+
+    /// Place every block on a ledger under a `design/` prefix.
+    ///
+    /// # Errors
+    /// Stops and reports at the first block that does not fit; blocks
+    /// placed so far are rolled back.
+    pub fn place_on(&self, ledger: &mut ResourceLedger) -> Result<(), PlacementError> {
+        let mut placed = Vec::new();
+        for b in &self.blocks {
+            let full = format!("{}/{}", self.name, b.name());
+            match ledger.place(&full, b.resources()) {
+                Ok(()) => placed.push(full),
+                Err(e) => {
+                    for p in placed {
+                        ledger.remove(&p);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks in order.
+    pub fn blocks(&self) -> &[LeafBlock] {
+        &self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::LFE5U_25F;
+
+    fn toy_design() -> Design {
+        let mut d = Design::new("toy");
+        d.add(LeafBlock::new("a", 100))
+            .add(LeafBlock::new("b", 200))
+            .add(LeafBlock::with_cost(
+                "fft",
+                ResourceRequest { luts: 1000, ebr_bits: 18 * 1024, dsp_slices: 4, plls: 0 },
+                2.5,
+            ));
+        d
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let d = toy_design();
+        assert_eq!(d.total_luts(), 1300);
+        let r = d.total_resources();
+        assert_eq!(r.dsp_slices, 4);
+        assert_eq!(r.ebr_bits, 18 * 1024);
+    }
+
+    #[test]
+    fn pipeline_rate_is_slowest_stage() {
+        let d = toy_design();
+        assert_eq!(d.cycles_per_sample(), 2.5);
+    }
+
+    #[test]
+    fn placement_all_or_nothing() {
+        let mut ledger = ResourceLedger::new(LFE5U_25F);
+        // pre-fill so the fft block cannot fit
+        ledger
+            .place("hog", ResourceRequest::luts(LFE5U_25F.luts - 500))
+            .unwrap();
+        let d = toy_design();
+        assert!(d.place_on(&mut ledger).is_err());
+        // rollback: only the hog remains
+        assert_eq!(ledger.blocks().len(), 1);
+        assert_eq!(ledger.luts_used(), LFE5U_25F.luts - 500);
+    }
+
+    #[test]
+    fn placement_success_registers_names() {
+        let mut ledger = ResourceLedger::new(LFE5U_25F);
+        toy_design().place_on(&mut ledger).unwrap();
+        let names: Vec<_> = ledger.blocks().iter().map(|b| b.name.clone()).collect();
+        assert_eq!(names, vec!["toy/a", "toy/b", "toy/fft"]);
+    }
+}

@@ -1,0 +1,234 @@
+//! FPGA configuration controller (SRAM-based device, boots from external
+//! flash).
+//!
+//! "When the FPGA switches to programming mode, it automatically reads
+//! its firmware directly from the flash memory using a 62 MHz quad SPI
+//! interface and programs itself. Reading from flash using quad SPI
+//! achieves programming times of 22 ms" (paper §3.4). The 22 ms FPGA
+//! boot also dominates the platform's 22 ms sleep→radio wakeup
+//! (Table 4).
+
+use crate::bitstream::{Bitstream, BITSTREAM_SIZE};
+
+/// Quad-SPI configuration clock, Hz.
+pub const QSPI_CLOCK_HZ: f64 = 62e6;
+/// Quad SPI moves 4 bits per clock.
+pub const QSPI_BITS_PER_CLOCK: f64 = 4.0;
+
+/// Fixed configuration overhead beyond raw bit shifting: wake from
+/// POR/PROGRAMN, preamble sync, CRC check and GSR release. Chosen so the
+/// total equals the paper's measured 22 ms.
+pub const CONFIG_OVERHEAD_NS: u64 = 2_900_000;
+
+/// Time to load a full bitstream over quad SPI, nanoseconds.
+pub fn configuration_time_ns() -> u64 {
+    let bits = (BITSTREAM_SIZE * 8) as f64;
+    let shift_ns = bits / (QSPI_CLOCK_HZ * QSPI_BITS_PER_CLOCK) * 1e9;
+    shift_ns as u64 + CONFIG_OVERHEAD_NS
+}
+
+/// Configuration state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigState {
+    /// Core powered off (power-gated by the PMU): SRAM config lost.
+    PoweredOff,
+    /// Powered, no valid configuration loaded.
+    Unconfigured,
+    /// Loading from flash; `remaining_ns` until DONE asserts.
+    Configuring {
+        /// Nanoseconds until DONE.
+        remaining_ns: u64,
+    },
+    /// DONE high, user design running.
+    Running,
+}
+
+/// Errors from the configuration controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Operation requires power.
+    PoweredOff,
+    /// Image failed its CRC check.
+    CrcMismatch,
+    /// No configuration in progress/loaded for the requested operation.
+    NotConfigured,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::PoweredOff => write!(f, "FPGA core is power-gated"),
+            ConfigError::CrcMismatch => write!(f, "bitstream CRC mismatch"),
+            ConfigError::NotConfigured => write!(f, "no configuration loaded"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The configuration controller: tracks power, the loaded design and the
+/// DONE timer.
+#[derive(Debug, Clone)]
+pub struct ConfigController {
+    state: ConfigState,
+    loaded_design: Option<String>,
+    /// Total number of (re)configurations performed.
+    pub config_count: u64,
+}
+
+impl ConfigController {
+    /// Power-on-reset state (powered but unconfigured; the PMU decides
+    /// whether the core even has power).
+    pub fn new() -> Self {
+        ConfigController { state: ConfigState::PoweredOff, loaded_design: None, config_count: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &ConfigState {
+        &self.state
+    }
+
+    /// Name of the running design, if any.
+    pub fn loaded_design(&self) -> Option<&str> {
+        self.loaded_design.as_deref()
+    }
+
+    /// Apply core power. SRAM configuration was lost while off.
+    pub fn power_on(&mut self) {
+        if self.state == ConfigState::PoweredOff {
+            self.state = ConfigState::Unconfigured;
+            self.loaded_design = None;
+        }
+    }
+
+    /// Remove core power (PMU power gating for the 30 µW sleep mode).
+    pub fn power_off(&mut self) {
+        self.state = ConfigState::PoweredOff;
+        self.loaded_design = None;
+    }
+
+    /// Begin configuration from flash with a CRC-checked image. Returns
+    /// the time until DONE in nanoseconds.
+    ///
+    /// # Errors
+    /// Fails if the core is unpowered or the image CRC does not match
+    /// `expected_crc` (pass the stored CRC; `None` skips the check, as
+    /// the hardware does when no CRC frame is present).
+    pub fn start_configuration(
+        &mut self,
+        image: &Bitstream,
+        expected_crc: Option<u32>,
+    ) -> Result<u64, ConfigError> {
+        if self.state == ConfigState::PoweredOff {
+            return Err(ConfigError::PoweredOff);
+        }
+        if let Some(crc) = expected_crc {
+            if image.crc32() != crc {
+                return Err(ConfigError::CrcMismatch);
+            }
+        }
+        let t = configuration_time_ns();
+        self.state = ConfigState::Configuring { remaining_ns: t };
+        self.loaded_design = Some(image.design_name.clone());
+        Ok(t)
+    }
+
+    /// Advance time by `dt_ns`; DONE asserts when the timer expires.
+    pub fn tick(&mut self, dt_ns: u64) {
+        if let ConfigState::Configuring { remaining_ns } = self.state {
+            if dt_ns >= remaining_ns {
+                self.state = ConfigState::Running;
+                self.config_count += 1;
+            } else {
+                self.state = ConfigState::Configuring { remaining_ns: remaining_ns - dt_ns };
+            }
+        }
+    }
+
+    /// `true` once the user design is running.
+    pub fn is_running(&self) -> bool {
+        self.state == ConfigState::Running
+    }
+}
+
+impl Default for ConfigController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configuration_takes_22ms() {
+        let t_ms = configuration_time_ns() as f64 / 1e6;
+        assert!((t_ms - 22.0).abs() < 0.5, "config time {t_ms} ms");
+    }
+
+    #[test]
+    fn happy_path() {
+        let mut c = ConfigController::new();
+        c.power_on();
+        let img = Bitstream::synthesize("lora", 0.15, 1);
+        let crc = img.crc32();
+        let t = c.start_configuration(&img, Some(crc)).unwrap();
+        assert!(matches!(c.state(), ConfigState::Configuring { .. }));
+        c.tick(t / 2);
+        assert!(!c.is_running());
+        c.tick(t);
+        assert!(c.is_running());
+        assert_eq!(c.loaded_design(), Some("lora"));
+        assert_eq!(c.config_count, 1);
+    }
+
+    #[test]
+    fn crc_mismatch_rejected() {
+        let mut c = ConfigController::new();
+        c.power_on();
+        let img = Bitstream::synthesize("lora", 0.15, 1);
+        assert_eq!(
+            c.start_configuration(&img, Some(0xDEADBEEF)),
+            Err(ConfigError::CrcMismatch)
+        );
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn power_gating_loses_configuration() {
+        let mut c = ConfigController::new();
+        c.power_on();
+        let img = Bitstream::synthesize("ble", 0.03, 2);
+        let t = c.start_configuration(&img, None).unwrap();
+        c.tick(t);
+        assert!(c.is_running());
+        c.power_off();
+        assert_eq!(*c.state(), ConfigState::PoweredOff);
+        assert_eq!(c.loaded_design(), None);
+        // must reconfigure after repower
+        c.power_on();
+        assert_eq!(*c.state(), ConfigState::Unconfigured);
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn cannot_configure_unpowered() {
+        let mut c = ConfigController::new();
+        let img = Bitstream::synthesize("x", 0.1, 3);
+        assert_eq!(c.start_configuration(&img, None), Err(ConfigError::PoweredOff));
+    }
+
+    #[test]
+    fn reconfiguration_counts() {
+        let mut c = ConfigController::new();
+        c.power_on();
+        for i in 0..3 {
+            let img = Bitstream::synthesize(&format!("d{i}"), 0.1, i);
+            let t = c.start_configuration(&img, None).unwrap();
+            c.tick(t + 1);
+        }
+        assert_eq!(c.config_count, 3);
+        assert_eq!(c.loaded_design(), Some("d2"));
+    }
+}

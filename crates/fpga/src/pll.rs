@@ -1,0 +1,162 @@
+//! On-chip PLL model.
+//!
+//! The TX path "use[s] the FPGA's onboard PLL to generate the 64 MHz
+//! clock signal" for the LVDS interface (paper §3.2.1). The ECP5 PLL
+//! multiplies a reference through a feedback divider; the model captures
+//! the achievable frequency grid and lock time, which participates in the
+//! wakeup budget.
+
+/// ECP5 PLL constraints (datasheet, simplified).
+pub mod limits {
+    /// Minimum PFD (post-input-divider) frequency, Hz.
+    pub const PFD_MIN_HZ: f64 = 3.125e6;
+    /// Maximum PFD frequency, Hz.
+    pub const PFD_MAX_HZ: f64 = 400e6;
+    /// Minimum VCO frequency, Hz.
+    pub const VCO_MIN_HZ: f64 = 400e6;
+    /// Maximum VCO frequency, Hz.
+    pub const VCO_MAX_HZ: f64 = 800e6;
+    /// Worst-case lock time, nanoseconds.
+    pub const LOCK_TIME_NS: u64 = 15_000;
+}
+
+/// A solved PLL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PllConfig {
+    /// Input (reference) divider.
+    pub refclk_div: u32,
+    /// Feedback divider (multiplication).
+    pub feedback_div: u32,
+    /// Output divider from the VCO.
+    pub output_div: u32,
+}
+
+impl PllConfig {
+    /// Output frequency for a given reference.
+    pub fn output_hz(&self, ref_hz: f64) -> f64 {
+        ref_hz / self.refclk_div as f64 * self.feedback_div as f64 / self.output_div as f64
+    }
+
+    /// VCO frequency for a given reference.
+    pub fn vco_hz(&self, ref_hz: f64) -> f64 {
+        ref_hz / self.refclk_div as f64 * self.feedback_div as f64
+    }
+}
+
+/// Solve for dividers producing `target_hz` from `ref_hz` within
+/// `tol_hz`, honoring the PFD/VCO ranges. Searches small divider values
+/// exhaustively (the hardware range).
+pub fn solve(ref_hz: f64, target_hz: f64, tol_hz: f64) -> Option<PllConfig> {
+    for refclk_div in 1..=16u32 {
+        let pfd = ref_hz / refclk_div as f64;
+        if !(limits::PFD_MIN_HZ..=limits::PFD_MAX_HZ).contains(&pfd) {
+            continue;
+        }
+        for output_div in 1..=64u32 {
+            // want vco = target * output_div in range
+            let vco = target_hz * output_div as f64;
+            if !(limits::VCO_MIN_HZ..=limits::VCO_MAX_HZ).contains(&vco) {
+                continue;
+            }
+            let fb = (vco / pfd).round();
+            if !(1.0..=128.0).contains(&fb) {
+                continue;
+            }
+            let cfg = PllConfig {
+                refclk_div,
+                feedback_div: fb as u32,
+                output_div,
+            };
+            if (cfg.output_hz(ref_hz) - target_hz).abs() <= tol_hz {
+                return Some(cfg);
+            }
+        }
+    }
+    None
+}
+
+/// A locked/unlocked PLL instance.
+#[derive(Debug, Clone)]
+pub struct Pll {
+    /// Solved divider configuration.
+    pub config: PllConfig,
+    /// Reference input frequency, Hz.
+    pub ref_hz: f64,
+    locked: bool,
+}
+
+impl Pll {
+    /// Create and start locking a PLL for `target_hz` from `ref_hz`.
+    ///
+    /// Returns the PLL and the lock time in nanoseconds, or `None` if no
+    /// divider configuration reaches the target.
+    pub fn start(ref_hz: f64, target_hz: f64) -> Option<(Pll, u64)> {
+        let config = solve(ref_hz, target_hz, 1.0)?;
+        Some((Pll { config, ref_hz, locked: false }, limits::LOCK_TIME_NS))
+    }
+
+    /// Signal that the lock time has elapsed.
+    pub fn declare_locked(&mut self) {
+        self.locked = true;
+    }
+
+    /// `true` once locked.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Output frequency, Hz.
+    pub fn output_hz(&self) -> f64 {
+        self.config.output_hz(self.ref_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_64mhz_lvds_clock_from_16mhz() {
+        // board reference oscillator → the paper's 64 MHz TX clock
+        let cfg = solve(16e6, 64e6, 1.0).expect("64 MHz must be reachable");
+        assert!((cfg.output_hz(16e6) - 64e6).abs() < 1.0);
+        let vco = cfg.vco_hz(16e6);
+        assert!((limits::VCO_MIN_HZ..=limits::VCO_MAX_HZ).contains(&vco));
+    }
+
+    #[test]
+    fn solves_62mhz_qspi_clock() {
+        let cfg = solve(16e6, 62e6, 0.5e6).expect("62 MHz reachable within tolerance");
+        let out = cfg.output_hz(16e6);
+        assert!((out - 62e6).abs() <= 0.5e6, "got {out}");
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        // 1.3 GHz output exceeds the VCO ceiling for any output divider
+        assert!(solve(16e6, 1.3e9, 1.0).is_none());
+    }
+
+    #[test]
+    fn lock_sequence() {
+        let (mut pll, t) = Pll::start(16e6, 64e6).unwrap();
+        assert!(!pll.is_locked());
+        assert_eq!(t, limits::LOCK_TIME_NS);
+        pll.declare_locked();
+        assert!(pll.is_locked());
+        assert!((pll.output_hz() - 64e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn vco_constraint_respected_in_all_solutions() {
+        for target in [20e6, 48e6, 64e6, 100e6, 200e6] {
+            if let Some(cfg) = solve(16e6, target, 1.0) {
+                let vco = cfg.vco_hz(16e6);
+                assert!(
+                    (limits::VCO_MIN_HZ..=limits::VCO_MAX_HZ).contains(&vco),
+                    "target {target}: VCO {vco}"
+                );
+            }
+        }
+    }
+}

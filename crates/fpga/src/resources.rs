@@ -1,0 +1,287 @@
+//! FPGA resource accounting (LUTs, embedded block RAM, DSP slices, PLLs).
+//!
+//! Table 6 of the paper reports LUT utilization for every LoRa
+//! configuration; §4.2 and §6 quote 3% for BLE and 17% for the concurrent
+//! decoder. The [`ResourceLedger`] is the synthesizer's "map report" in
+//! miniature: blocks register their costs, the ledger enforces device
+//! capacity, and utilization percentages come out the same way the paper
+//! prints them (truncated toward zero).
+
+/// Static capacity of an FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Marketing/device name.
+    pub name: &'static str,
+    /// Total 4-input LUT count.
+    pub luts: u32,
+    /// Embedded block RAM, bits.
+    pub ebr_bits: u64,
+    /// sysDSP multiplier slices.
+    pub dsp_slices: u32,
+    /// On-chip PLLs.
+    pub plls: u32,
+}
+
+/// The Lattice LFE5U-25F (ECP5-25) on the TinySDR board: 24 346 LUTs,
+/// 56×18 kbit EBR (126 KB), 28 DSP slices, 2 PLLs.
+pub const LFE5U_25F: FpgaDevice = FpgaDevice {
+    name: "LFE5U-25F",
+    luts: 24_346,
+    ebr_bits: 56 * 18 * 1024,
+    dsp_slices: 28,
+    plls: 2,
+};
+
+/// Resource request made by one block when it is instantiated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceRequest {
+    /// LUTs consumed.
+    pub luts: u32,
+    /// Embedded RAM bits consumed.
+    pub ebr_bits: u64,
+    /// DSP slices consumed.
+    pub dsp_slices: u32,
+    /// PLLs consumed.
+    pub plls: u32,
+}
+
+impl ResourceRequest {
+    /// A LUT-only request.
+    pub const fn luts(n: u32) -> Self {
+        ResourceRequest { luts: n, ebr_bits: 0, dsp_slices: 0, plls: 0 }
+    }
+}
+
+/// Failure to place a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementError {
+    /// Which resource ran out.
+    pub resource: &'static str,
+    /// How much was requested.
+    pub requested: u64,
+    /// How much was available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FPGA out of {}: requested {}, available {}",
+            self.resource, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A placed block (name + cost), as recorded by the ledger.
+#[derive(Debug, Clone)]
+pub struct PlacedBlock {
+    /// Instance name.
+    pub name: String,
+    /// Resources it holds.
+    pub request: ResourceRequest,
+}
+
+/// The device-wide resource ledger.
+#[derive(Debug, Clone)]
+pub struct ResourceLedger {
+    device: FpgaDevice,
+    blocks: Vec<PlacedBlock>,
+    used: ResourceRequest,
+}
+
+impl ResourceLedger {
+    /// Fresh ledger for a device.
+    pub fn new(device: FpgaDevice) -> Self {
+        ResourceLedger { device, blocks: Vec::new(), used: ResourceRequest::default() }
+    }
+
+    /// The device being tracked.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Attempt to place a block.
+    ///
+    /// # Errors
+    /// Returns [`PlacementError`] naming the exhausted resource; the
+    /// ledger is unchanged on failure.
+    pub fn place(&mut self, name: &str, req: ResourceRequest) -> Result<(), PlacementError> {
+        if self.used.luts + req.luts > self.device.luts {
+            return Err(PlacementError {
+                resource: "LUTs",
+                requested: req.luts as u64,
+                available: (self.device.luts - self.used.luts) as u64,
+            });
+        }
+        if self.used.ebr_bits + req.ebr_bits > self.device.ebr_bits {
+            return Err(PlacementError {
+                resource: "EBR bits",
+                requested: req.ebr_bits,
+                available: self.device.ebr_bits - self.used.ebr_bits,
+            });
+        }
+        if self.used.dsp_slices + req.dsp_slices > self.device.dsp_slices {
+            return Err(PlacementError {
+                resource: "DSP slices",
+                requested: req.dsp_slices as u64,
+                available: (self.device.dsp_slices - self.used.dsp_slices) as u64,
+            });
+        }
+        if self.used.plls + req.plls > self.device.plls {
+            return Err(PlacementError {
+                resource: "PLLs",
+                requested: req.plls as u64,
+                available: (self.device.plls - self.used.plls) as u64,
+            });
+        }
+        self.used.luts += req.luts;
+        self.used.ebr_bits += req.ebr_bits;
+        self.used.dsp_slices += req.dsp_slices;
+        self.used.plls += req.plls;
+        self.blocks.push(PlacedBlock { name: name.to_string(), request: req });
+        Ok(())
+    }
+
+    /// Remove a block by name (reverse of placement). Returns `true` if a
+    /// block was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        if let Some(idx) = self.blocks.iter().position(|b| b.name == name) {
+            let b = self.blocks.remove(idx);
+            self.used.luts -= b.request.luts;
+            self.used.ebr_bits -= b.request.ebr_bits;
+            self.used.dsp_slices -= b.request.dsp_slices;
+            self.used.plls -= b.request.plls;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clear the whole design (reconfiguration).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.used = ResourceRequest::default();
+    }
+
+    /// LUTs currently used.
+    pub fn luts_used(&self) -> u32 {
+        self.used.luts
+    }
+
+    /// EBR bits currently used.
+    pub fn ebr_bits_used(&self) -> u64 {
+        self.used.ebr_bits
+    }
+
+    /// LUT utilization as a fraction.
+    pub fn lut_utilization(&self) -> f64 {
+        self.used.luts as f64 / self.device.luts as f64
+    }
+
+    /// LUT utilization the way the paper's Table 6 prints it: percent,
+    /// truncated toward zero (976 LUTs → "4%", 2 656 → "10%",
+    /// 2 700 → "11%").
+    pub fn lut_percent_paper_style(&self) -> u32 {
+        (self.lut_utilization() * 100.0) as u32
+    }
+
+    /// Placed blocks in placement order.
+    pub fn blocks(&self) -> &[PlacedBlock] {
+        &self.blocks
+    }
+}
+
+/// Compute a paper-style truncated percentage for a raw LUT count on the
+/// TinySDR device.
+pub fn paper_percent(luts: u32) -> u32 {
+    (luts as f64 / LFE5U_25F.luts as f64 * 100.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_capacity_matches_datasheet() {
+        assert_eq!(LFE5U_25F.luts, 24_346);
+        // 56 × 18 kbit = 126 KB of embedded SRAM (paper: "buffer up to 126 kB")
+        assert_eq!(LFE5U_25F.ebr_bits / 8 / 1024, 126);
+    }
+
+    #[test]
+    fn paper_table6_percentages() {
+        // Table 6's printed percentages follow from truncation
+        assert_eq!(paper_percent(976), 4);
+        assert_eq!(paper_percent(2656), 10);
+        assert_eq!(paper_percent(2670), 10);
+        assert_eq!(paper_percent(2700), 11);
+        assert_eq!(paper_percent(2742), 11);
+        assert_eq!(paper_percent(2786), 11);
+        assert_eq!(paper_percent(2794), 11);
+        assert_eq!(paper_percent(2818), 11);
+    }
+
+    #[test]
+    fn place_and_remove() {
+        let mut l = ResourceLedger::new(LFE5U_25F);
+        l.place("lora_tx", ResourceRequest::luts(976)).unwrap();
+        assert_eq!(l.luts_used(), 976);
+        assert_eq!(l.lut_percent_paper_style(), 4);
+        assert!(l.remove("lora_tx"));
+        assert_eq!(l.luts_used(), 0);
+        assert!(!l.remove("lora_tx"));
+    }
+
+    #[test]
+    fn lut_exhaustion_rejected_atomically() {
+        let mut l = ResourceLedger::new(LFE5U_25F);
+        l.place("big", ResourceRequest::luts(24_000)).unwrap();
+        let err = l.place("more", ResourceRequest::luts(400)).unwrap_err();
+        assert_eq!(err.resource, "LUTs");
+        assert_eq!(err.available, 346);
+        // failed placement must not change the ledger
+        assert_eq!(l.luts_used(), 24_000);
+        assert_eq!(l.blocks().len(), 1);
+    }
+
+    #[test]
+    fn ebr_exhaustion() {
+        let mut l = ResourceLedger::new(LFE5U_25F);
+        let req = ResourceRequest { ebr_bits: LFE5U_25F.ebr_bits, ..Default::default() };
+        l.place("fifo", req).unwrap();
+        let err = l
+            .place("fifo2", ResourceRequest { ebr_bits: 1, ..Default::default() })
+            .unwrap_err();
+        assert_eq!(err.resource, "EBR bits");
+    }
+
+    #[test]
+    fn pll_exhaustion() {
+        let mut l = ResourceLedger::new(LFE5U_25F);
+        let pll = ResourceRequest { plls: 1, ..Default::default() };
+        l.place("pll0", pll).unwrap();
+        l.place("pll1", pll).unwrap();
+        assert!(l.place("pll2", pll).is_err());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut l = ResourceLedger::new(LFE5U_25F);
+        l.place("a", ResourceRequest::luts(1000)).unwrap();
+        l.place("b", ResourceRequest { dsp_slices: 4, ..Default::default() }).unwrap();
+        l.clear();
+        assert_eq!(l.luts_used(), 0);
+        assert!(l.blocks().is_empty());
+        assert_eq!(l.lut_percent_paper_style(), 0);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut l = ResourceLedger::new(LFE5U_25F);
+        l.place("half", ResourceRequest::luts(LFE5U_25F.luts / 2)).unwrap();
+        assert!((l.lut_utilization() - 0.5).abs() < 1e-4);
+    }
+}

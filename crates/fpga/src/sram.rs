@@ -1,0 +1,215 @@
+//! Embedded SRAM FIFO and memory controller.
+//!
+//! "We store the samples into a FIFO buffer implemented using the FPGA's
+//! embedded SRAM. We implement a simple memory controller to write data
+//! to the FIFO which generates the memory control signals and writes a
+//! full data word on each cycle. […] The SRAM can buffer up to 126 kB"
+//! (paper §3.2.2).
+
+use crate::resources::LFE5U_25F;
+
+/// Maximum FIFO capacity available from EBR, bytes (126 KB).
+pub const MAX_FIFO_BYTES: usize = (LFE5U_25F.ebr_bits / 8) as usize;
+
+/// Errors from the FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoError {
+    /// Write to a full FIFO (sample dropped — the overflow counter
+    /// increments).
+    Overflow,
+    /// Read from an empty FIFO.
+    Underflow,
+}
+
+impl std::fmt::Display for FifoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FifoError::Overflow => write!(f, "FIFO overflow"),
+            FifoError::Underflow => write!(f, "FIFO underflow"),
+        }
+    }
+}
+
+impl std::error::Error for FifoError {}
+
+/// Word-oriented ring FIFO backed by "embedded SRAM".
+///
+/// Words are 32-bit (one LVDS I/Q word per entry), matching the memory
+/// controller that "writes a full data word on each cycle".
+#[derive(Debug, Clone)]
+pub struct SampleFifo {
+    buf: Vec<u32>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    /// Dropped writes due to a full FIFO.
+    pub overflows: u64,
+    /// High-water mark of occupancy (words).
+    pub high_water: usize,
+}
+
+impl SampleFifo {
+    /// Create a FIFO holding `capacity_words` 32-bit words.
+    ///
+    /// # Panics
+    /// Panics if the requested capacity exceeds the device's 126 KB of
+    /// EBR.
+    pub fn new(capacity_words: usize) -> Self {
+        assert!(capacity_words > 0, "FIFO needs capacity");
+        assert!(
+            capacity_words * 4 <= MAX_FIFO_BYTES,
+            "FIFO of {capacity_words} words exceeds the 126 KB EBR budget"
+        );
+        SampleFifo {
+            buf: vec![0; capacity_words],
+            head: 0,
+            tail: 0,
+            len: 0,
+            overflows: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The largest FIFO the device can host (all EBR as one buffer).
+    pub fn max_size() -> Self {
+        Self::new(MAX_FIFO_BYTES / 4)
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Current occupancy in words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when full.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Push one word.
+    ///
+    /// # Errors
+    /// [`FifoError::Overflow`] if full (the word is dropped and counted).
+    pub fn push(&mut self, word: u32) -> Result<(), FifoError> {
+        if self.is_full() {
+            self.overflows += 1;
+            return Err(FifoError::Overflow);
+        }
+        self.buf[self.head] = word;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+        Ok(())
+    }
+
+    /// Pop one word.
+    ///
+    /// # Errors
+    /// [`FifoError::Underflow`] if empty.
+    pub fn pop(&mut self) -> Result<u32, FifoError> {
+        if self.is_empty() {
+            return Err(FifoError::Underflow);
+        }
+        let w = self.buf[self.tail];
+        self.tail = (self.tail + 1) % self.buf.len();
+        self.len -= 1;
+        Ok(w)
+    }
+
+    /// Drain up to `n` words into a vector.
+    pub fn pop_many(&mut self, n: usize) -> Vec<u32> {
+        let take = n.min(self.len);
+        (0..take).map(|_| self.pop().expect("len checked")).collect()
+    }
+
+    /// Seconds of 4 MS/s I/Q stream this FIFO can absorb before
+    /// overflowing (each sample is one 32-bit word).
+    pub fn buffering_seconds(&self, sample_rate_hz: f64) -> f64 {
+        self.capacity() as f64 / sample_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_limit_is_126kb() {
+        assert_eq!(MAX_FIFO_BYTES, 126 * 1024);
+        let f = SampleFifo::max_size();
+        assert_eq!(f.capacity(), 126 * 1024 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "126 KB")]
+    fn oversize_rejected() {
+        SampleFifo::new(MAX_FIFO_BYTES / 4 + 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = SampleFifo::new(8);
+        for i in 0..8u32 {
+            f.push(i).unwrap();
+        }
+        for i in 0..8u32 {
+            assert_eq!(f.pop().unwrap(), i);
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn overflow_counts_and_drops() {
+        let mut f = SampleFifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.push(3), Err(FifoError::Overflow));
+        assert_eq!(f.overflows, 1);
+        assert_eq!(f.pop().unwrap(), 1); // 3 was dropped, order kept
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut f = SampleFifo::new(2);
+        assert_eq!(f.pop(), Err(FifoError::Underflow));
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let mut f = SampleFifo::new(4);
+        for round in 0..10u32 {
+            f.push(round).unwrap();
+            f.push(round + 100).unwrap();
+            assert_eq!(f.pop().unwrap(), round);
+            assert_eq!(f.pop().unwrap(), round + 100);
+        }
+    }
+
+    #[test]
+    fn high_water_mark() {
+        let mut f = SampleFifo::new(8);
+        for i in 0..5u32 {
+            f.push(i).unwrap();
+        }
+        f.pop_many(5);
+        assert_eq!(f.high_water, 5);
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn buffering_time_at_4msps() {
+        // full-EBR FIFO at 4 MS/s buffers ~8 ms of raw samples
+        let f = SampleFifo::max_size();
+        let t = f.buffering_seconds(4e6);
+        assert!((t - 0.00806).abs() < 0.0005, "buffer time {t}");
+    }
+}

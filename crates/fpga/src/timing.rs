@@ -1,0 +1,116 @@
+//! Real-time throughput budgets.
+//!
+//! The paper claims "Both the LoRa modulator and demodulator run in
+//! real-time" (§5.2): every pipeline must keep up with the radio's
+//! 4 MS/s I/Q stream from a 64 MHz fabric clock. This module expresses
+//! that budget so designs can be checked the way a timing report would.
+
+/// The radio's I/Q sample rate the fabric must sustain, Hz.
+pub const SAMPLE_RATE_HZ: f64 = 4e6;
+/// Fabric clock from the PLL, Hz.
+pub const FABRIC_CLOCK_HZ: f64 = 64e6;
+
+/// Cycles available per sample: 64 MHz / 4 MS/s = 16.
+pub fn cycles_per_sample_budget() -> f64 {
+    FABRIC_CLOCK_HZ / SAMPLE_RATE_HZ
+}
+
+/// Result of a real-time check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Cycles per sample the design needs (slowest stage).
+    pub required: f64,
+    /// Cycles per sample available.
+    pub available: f64,
+}
+
+impl TimingReport {
+    /// `true` if the design meets real time.
+    pub fn meets_realtime(&self) -> bool {
+        self.required <= self.available
+    }
+
+    /// Slack as a fraction of the budget (negative when failing).
+    pub fn slack_fraction(&self) -> f64 {
+        (self.available - self.required) / self.available
+    }
+}
+
+/// Check a design's worst-stage cycles/sample against the budget.
+pub fn check(cycles_per_sample: f64) -> TimingReport {
+    TimingReport { required: cycles_per_sample, available: cycles_per_sample_budget() }
+}
+
+/// Amortized cycles/sample of an FFT that processes a block of `n`
+/// samples in `n·log2(n)/radix_throughput` cycles. A streaming
+/// radix-2 pipeline with one butterfly per clock needs `log2(n)` cycles
+/// per sample; a fully pipelined core (the Lattice IP used in the paper)
+/// sustains one sample per clock with `log2(n)` stages of latency —
+/// modelled as 1.0 cycles/sample plus latency.
+pub fn fft_cycles_per_sample(n: usize, pipelined: bool) -> f64 {
+    assert!(n.is_power_of_two());
+    if pipelined {
+        1.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+/// Latency of a pipelined FFT in samples (block size — a result appears
+/// once a full symbol has streamed in).
+pub fn fft_latency_samples(n: usize) -> usize {
+    n
+}
+
+/// Wall-clock time to process `n_samples` at the fabric clock with a
+/// given cycles/sample, in seconds. Used to verify software models of
+/// hardware blocks against hardware budgets in the benches.
+pub fn processing_time_s(n_samples: usize, cycles_per_sample: f64) -> f64 {
+    n_samples as f64 * cycles_per_sample / FABRIC_CLOCK_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_16_cycles() {
+        assert_eq!(cycles_per_sample_budget(), 16.0);
+    }
+
+    #[test]
+    fn single_cycle_pipeline_passes() {
+        let r = check(1.0);
+        assert!(r.meets_realtime());
+        assert!((r.slack_fraction() - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_pipeline_fails() {
+        let r = check(20.0);
+        assert!(!r.meets_realtime());
+        assert!(r.slack_fraction() < 0.0);
+    }
+
+    #[test]
+    fn iterative_fft_fits_for_all_sf() {
+        // even a non-pipelined radix-2 FFT needs log2(4096) = 12 ≤ 16
+        for sf in 6..=12u32 {
+            let cps = fft_cycles_per_sample(1 << sf, false);
+            assert!(check(cps).meets_realtime(), "SF{sf} needs {cps}");
+        }
+    }
+
+    #[test]
+    fn pipelined_fft_is_one_cycle() {
+        assert_eq!(fft_cycles_per_sample(4096, true), 1.0);
+        assert_eq!(fft_latency_samples(256), 256);
+    }
+
+    #[test]
+    fn processing_time_scales() {
+        // 4M samples at 1 cycle/sample on 64 MHz = 62.5 ms
+        let t = processing_time_s(4_000_000, 1.0);
+        assert!((t - 0.0625).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tinysdr-hw
+//!
+//! Digital hardware substrate: the MSP432 microcontroller, the
+//! MX25R6435F programming flash, the microSD card, and the SPI
+//! interconnect that ties them together (paper §3.1–3.2).
+//!
+//! The models are behavioural, scoped to what the paper's experiments
+//! exercise:
+//!
+//! * [`mcu`] — sleep-mode power (LPM3 is the anchor of the 30 µW system
+//!   sleep), the 64 KB SRAM budget that forces the OTA pipeline's 30 KB
+//!   blocking scheme, the 256 KB program flash, and a coarse
+//!   utilization ledger behind the "18% of MCU resources" figure.
+//! * [`flash`] — 8 MB external flash with page-program/sector-erase
+//!   semantics, image slots ("store multiple FPGA bitstreams and MCU
+//!   programs to quickly switch between stored protocols"), QSPI read
+//!   throughput for the 22 ms FPGA boot.
+//! * [`microsd`] — microSD in SPI mode; the paper picks SPI over native
+//!   SD because one simple block covers the 104 Mbit/s real-time
+//!   recording rate (13-bit I + 13-bit Q at 4 MS/s).
+//! * [`spi`] — byte-time accounting for the control-plane SPI buses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flash;
+pub mod mcu;
+pub mod microsd;
+pub mod spi;

@@ -1,0 +1,135 @@
+//! SPI control-plane accounting.
+//!
+//! "The MCU communicates with the I/Q radio, backbone radio, FPGA and
+//! Flash memory through SPI which it uses to send commands for changing
+//! the frequency, selecting the outputs, etc." (paper §3.2.3). The model
+//! is a byte-time ledger per peripheral: enough to cost control
+//! exchanges (e.g. the 1.2 ms radio setup is ~dozens of register writes)
+//! in the device-level timing budget.
+
+/// Peripherals on the MCU's SPI buses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpiPeripheral {
+    /// AT86RF215 I/Q radio control port.
+    IqRadio,
+    /// SX1276 backbone radio.
+    Backbone,
+    /// FPGA configuration/control port.
+    Fpga,
+    /// MX25R6435F programming flash.
+    Flash,
+}
+
+/// A single SPI transfer record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpiTransfer {
+    /// Target peripheral.
+    pub peripheral: SpiPeripheral,
+    /// Bytes moved (command + address + data).
+    pub bytes: usize,
+    /// Wire time, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// SPI master with per-peripheral clocks and a transfer ledger.
+#[derive(Debug)]
+pub struct SpiMaster {
+    /// Clock for each peripheral, Hz (radios tolerate less than flash).
+    clocks: [(SpiPeripheral, f64); 4],
+    log: Vec<SpiTransfer>,
+}
+
+impl SpiMaster {
+    /// Default clocking: radios at 8 MHz (datasheet SPI max regions),
+    /// FPGA and flash at 24 MHz.
+    pub fn new() -> Self {
+        SpiMaster {
+            clocks: [
+                (SpiPeripheral::IqRadio, 8e6),
+                (SpiPeripheral::Backbone, 8e6),
+                (SpiPeripheral::Fpga, 24e6),
+                (SpiPeripheral::Flash, 24e6),
+            ],
+            log: Vec::new(),
+        }
+    }
+
+    /// Clock for a peripheral, Hz.
+    pub fn clock_hz(&self, p: SpiPeripheral) -> f64 {
+        self.clocks.iter().find(|(q, _)| *q == p).map(|(_, c)| *c).unwrap()
+    }
+
+    /// Perform (account) a transfer of `bytes` to `p`; returns its wire
+    /// time in nanoseconds. Adds 2 bytes of command/address framing.
+    pub fn transfer(&mut self, p: SpiPeripheral, bytes: usize) -> u64 {
+        let total = bytes + 2;
+        let ns = (total as f64 * 8.0 / self.clock_hz(p) * 1e9) as u64;
+        self.log.push(SpiTransfer { peripheral: p, bytes: total, duration_ns: ns });
+        ns
+    }
+
+    /// Total wire time spent on a peripheral, ns.
+    pub fn busy_ns(&self, p: SpiPeripheral) -> u64 {
+        self.log.iter().filter(|t| t.peripheral == p).map(|t| t.duration_ns).sum()
+    }
+
+    /// All transfers so far.
+    pub fn log(&self) -> &[SpiTransfer] {
+        &self.log
+    }
+
+    /// A radio bring-up sequence: `n_regs` single-byte register writes.
+    /// Returns total time in ns. The AT86RF215 needs on the order of 60
+    /// register writes after wake — at 8 MHz that is ~0.2 ms of SPI time;
+    /// the rest of the paper's 1.2 ms "radio setup" is PLL settling.
+    pub fn radio_setup(&mut self, n_regs: usize) -> u64 {
+        (0..n_regs).map(|_| self.transfer(SpiPeripheral::IqRadio, 1)).sum()
+    }
+}
+
+impl Default for SpiMaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_math() {
+        let mut m = SpiMaster::new();
+        // 14 bytes + 2 framing = 16 bytes = 128 bits at 8 MHz = 16 µs
+        let ns = m.transfer(SpiPeripheral::IqRadio, 14);
+        assert_eq!(ns, 16_000);
+    }
+
+    #[test]
+    fn per_peripheral_accounting() {
+        let mut m = SpiMaster::new();
+        m.transfer(SpiPeripheral::Flash, 256);
+        m.transfer(SpiPeripheral::IqRadio, 1);
+        m.transfer(SpiPeripheral::Flash, 256);
+        assert!(m.busy_ns(SpiPeripheral::Flash) > m.busy_ns(SpiPeripheral::IqRadio));
+        assert_eq!(m.log().len(), 3);
+        assert_eq!(m.busy_ns(SpiPeripheral::Backbone), 0);
+    }
+
+    #[test]
+    fn radio_setup_is_fraction_of_1200us() {
+        let mut m = SpiMaster::new();
+        let ns = m.radio_setup(60);
+        // SPI share of the 1.2 ms radio setup: ~0.18 ms
+        assert!(ns < 1_200_000, "setup SPI time {ns} ns exceeds the whole budget");
+        assert!(ns > 100_000);
+    }
+
+    #[test]
+    fn faster_clock_is_faster() {
+        let mut m = SpiMaster::new();
+        let slow = m.transfer(SpiPeripheral::IqRadio, 100);
+        let fast = m.transfer(SpiPeripheral::Flash, 100);
+        assert!(fast < slow);
+    }
+}

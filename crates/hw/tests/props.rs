@@ -1,0 +1,56 @@
+//! Property-based invariants for the hardware substrate.
+
+use proptest::prelude::*;
+use tinysdr_hw::flash::{Flash, SECTOR_SIZE};
+use tinysdr_hw::mcu::{Mcu, SRAM_BYTES};
+
+proptest! {
+    /// Erase-then-program stores any data at any sector-feasible offset.
+    #[test]
+    fn flash_store_recall(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        sector in 0usize..64,
+    ) {
+        let addr = sector * SECTOR_SIZE;
+        let mut f = Flash::new();
+        f.erase_and_program(addr, &data).unwrap();
+        prop_assert_eq!(f.read(addr, data.len()).unwrap(), &data[..]);
+    }
+
+    /// NOR semantics: programming can only clear bits — a second program
+    /// of the AND is always legal, and OR-with-new-bits always fails.
+    #[test]
+    fn flash_nor_monotone(a in any::<u8>(), b in any::<u8>()) {
+        let mut f = Flash::new();
+        f.program(0, &[a]).unwrap();
+        // clearing further bits is fine
+        f.program(0, &[a & b]).unwrap();
+        prop_assert_eq!(f.read(0, 1).unwrap()[0], a & b);
+        // setting any new bit must fail
+        let with_new_bit = (a & b) | !(a & b);
+        if with_new_bit != (a & b) {
+            prop_assert!(f.program(0, &[with_new_bit]).is_err());
+        }
+    }
+
+    /// SRAM accounting: allocations and frees always balance, and the
+    /// allocator never exceeds the 64 KB device.
+    #[test]
+    fn mcu_sram_accounting(sizes in prop::collection::vec(1usize..16_384, 1..12)) {
+        let mut mcu = Mcu::new();
+        let mut live = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let name = format!("a{i}");
+            if mcu.alloc_sram(&name, *s).is_ok() {
+                live.push((name, *s));
+            }
+            prop_assert!(mcu.sram_used() <= SRAM_BYTES);
+        }
+        let expected: usize = live.iter().map(|(_, s)| s).sum();
+        prop_assert_eq!(mcu.sram_used(), expected);
+        for (name, _) in &live {
+            mcu.free_sram(name).unwrap();
+        }
+        prop_assert_eq!(mcu.sram_used(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Rate adaptation — the paper's §7 research question, answered.
+//!
+//! "What is the trade-off between packet length and overall throughput?
+//! Are there benefits of rate adaptation?" LoRa's SF knob trades 2.5 dB
+//! of sensitivity per step against a 2× airtime cost; a node that knows
+//! its link margin can pick the *fastest* SF that still closes the link
+//! — the essence of LoRaWAN's ADR.
+
+use tinysdr_rf::sx1276::{sensitivity_dbm, LoRaParams};
+
+/// Pick the fastest (lowest) spreading factor whose sensitivity plus
+/// `margin_db` of fade headroom still closes a link at `rssi_dbm`.
+/// Returns `None` if even SF12 cannot close it.
+pub fn select_sf(rssi_dbm: f64, bw_hz: f64, margin_db: f64) -> Option<u8> {
+    (7..=12u8).find(|&sf| rssi_dbm >= sensitivity_dbm(sf, bw_hz) + margin_db)
+}
+
+/// Airtime for a payload at the ADR-selected rate, seconds.
+pub fn adaptive_airtime(
+    rssi_dbm: f64,
+    bw_hz: f64,
+    margin_db: f64,
+    payload_len: usize,
+) -> Option<f64> {
+    let sf = select_sf(rssi_dbm, bw_hz, margin_db)?;
+    Some(LoRaParams::new(sf, bw_hz, 5).airtime(payload_len))
+}
+
+/// One row of the rate-adaptation study: a link's RSSI, the fixed-SF8
+/// outcome and the adaptive outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdrComparison {
+    /// Link RSSI, dBm.
+    pub rssi_dbm: f64,
+    /// Airtime at fixed SF8 (None = link does not close).
+    pub fixed_sf8_airtime_s: Option<f64>,
+    /// ADR-selected SF (None = unreachable even at SF12).
+    pub adaptive_sf: Option<u8>,
+    /// Airtime at the adaptive rate.
+    pub adaptive_airtime_s: Option<f64>,
+}
+
+/// Compare fixed SF8 against ADR across a set of link RSSIs (the §7
+/// study, quantified). `margin_db` is the fade headroom requirement.
+pub fn study(rssis: &[f64], bw_hz: f64, margin_db: f64, payload_len: usize) -> Vec<AdrComparison> {
+    rssis
+        .iter()
+        .map(|&rssi| {
+            let fixed = if rssi >= sensitivity_dbm(8, bw_hz) + margin_db {
+                Some(LoRaParams::new(8, bw_hz, 5).airtime(payload_len))
+            } else {
+                None
+            };
+            let sf = select_sf(rssi, bw_hz, margin_db);
+            AdrComparison {
+                rssi_dbm: rssi,
+                fixed_sf8_airtime_s: fixed,
+                adaptive_sf: sf,
+                adaptive_airtime_s: adaptive_airtime(rssi, bw_hz, margin_db, payload_len),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_links_get_fast_rates() {
+        // −100 dBm at BW125: SF7 closes with room to spare
+        assert_eq!(select_sf(-100.0, 125e3, 10.0), Some(7));
+    }
+
+    #[test]
+    fn weak_links_step_up_sf() {
+        // each ~2.5 dB below SF7's threshold costs one SF step
+        let s7 = sensitivity_dbm(7, 125e3);
+        assert_eq!(select_sf(s7 + 10.0, 125e3, 10.0), Some(7));
+        assert_eq!(select_sf(s7 + 8.0, 125e3, 10.0), Some(8));
+        // 4 dB below SF7's threshold with a 5 dB margin → SF11 territory
+        assert!(select_sf(s7 - 4.0, 125e3, 5.0).unwrap() >= 10);
+    }
+
+    #[test]
+    fn dead_links_return_none() {
+        assert_eq!(select_sf(-150.0, 125e3, 5.0), None);
+    }
+
+    #[test]
+    fn adr_extends_range_beyond_fixed_sf8() {
+        // the §7 payoff: between SF8's margin limit and SF12's, ADR
+        // reaches nodes a fixed-SF8 deployment loses
+        let rows = study(&[-100.0, -120.0, -130.0], 125e3, 5.0, 20);
+        // strong link: both work, ADR is faster or equal
+        assert!(rows[0].fixed_sf8_airtime_s.is_some());
+        assert!(rows[0].adaptive_airtime_s.unwrap() <= rows[0].fixed_sf8_airtime_s.unwrap());
+        // mid link: both close, same or slower rate
+        assert!(rows[1].fixed_sf8_airtime_s.is_some());
+        // far link: fixed SF8 fails, ADR still delivers
+        assert!(rows[2].fixed_sf8_airtime_s.is_none());
+        assert!(rows[2].adaptive_sf.is_some(), "ADR must reach the far node");
+    }
+
+    #[test]
+    fn airtime_monotone_in_sf() {
+        let mut prev = 0.0;
+        for sf in 7..=12u8 {
+            let t = LoRaParams::new(sf, 125e3, 5).airtime(20);
+            assert!(t > prev, "SF{sf} airtime must grow");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn margin_trades_rate_for_robustness() {
+        // demanding more fade margin forces slower rates on the same link
+        let tight = select_sf(-115.0, 125e3, 2.0).unwrap();
+        let safe = select_sf(-115.0, 125e3, 12.0).unwrap();
+        assert!(safe >= tight);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tinysdr-lora
+//!
+//! The complete LoRa stack of the TinySDR paper's first case study
+//! (§4.1) plus the §6 research study:
+//!
+//! * [`modulator`] — the Fig. 6a pipeline: Packet Generator → Chirp
+//!   Generator (squared phase accumulator + sin/cos LUT) → I/Q samples.
+//! * [`demodulator`] — the Fig. 6b pipeline: 14-tap FIR → buffer →
+//!   dechirp (Complex Multiplier) → FFT → Symbol Detector, including the
+//!   up/down chirp-type discrimination the paper describes and
+//!   preamble/SFD frame synchronization.
+//! * [`phy`] — the bit-level PHY chain between bytes and chirp symbols:
+//!   whitening, Hamming FEC (4/5…4/8), diagonal interleaving, Gray
+//!   mapping, the explicit header and payload CRC-16. The chain is
+//!   algorithmically faithful to LoRa (gr-lora-style); bit-exact interop
+//!   with Semtech silicon is out of scope since the format is
+//!   proprietary — see DESIGN.md.
+//! * [`packet`] — frame assembly: preamble (10 upchirps by default, as
+//!   in the paper's Fig. 5), two sync upchirps, 2.25 downchirp SFD,
+//!   payload symbols.
+//! * [`concurrent`] — the §6 concurrent receiver: parallel decoders for
+//!   chirp-slope-orthogonal configurations sharing one sample stream.
+//! * [`fpga_map`] — Table 6: LUT costs of every pipeline block and the
+//!   per-SF FFT cores, wired to `tinysdr-fpga`'s resource ledger.
+//! * [`adr`] — the §7 rate-adaptation study: pick the fastest SF that
+//!   closes each link, quantified against a fixed-SF deployment.
+//! * [`lorawan`] — the MAC layer of §4.1: TTN-compatible LoRaWAN 1.0.x
+//!   frames with AES-128/AES-CMAC (implemented from scratch — no crypto
+//!   crate in the offline set), ABP and OTAA activation, Class A receive
+//!   windows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adr;
+pub mod concurrent;
+pub mod demodulator;
+pub mod fpga_map;
+pub mod lorawan;
+pub mod modulator;
+pub mod packet;
+pub mod phy;
+
+pub use tinysdr_dsp::chirp::{ChirpConfig, ChirpDirection, ChirpGenerator};

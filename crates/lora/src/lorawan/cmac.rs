@@ -1,0 +1,144 @@
+//! AES-CMAC (RFC 4493) — the LoRaWAN MIC primitive.
+
+use super::aes::Aes128;
+
+const RB: u8 = 0x87;
+
+fn left_shift_one(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    out
+}
+
+/// Generate the CMAC subkeys K1, K2.
+fn subkeys(aes: &Aes128) -> ([u8; 16], [u8; 16]) {
+    let l = aes.encrypt_block(&[0u8; 16]);
+    let mut k1 = left_shift_one(&l);
+    if l[0] & 0x80 != 0 {
+        k1[15] ^= RB;
+    }
+    let mut k2 = left_shift_one(&k1);
+    if k1[0] & 0x80 != 0 {
+        k2[15] ^= RB;
+    }
+    (k1, k2)
+}
+
+/// Compute the 16-byte AES-CMAC of `msg` under `key`.
+pub fn cmac_aes128(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
+    let aes = Aes128::new(key);
+    let (k1, k2) = subkeys(&aes);
+
+    let n_blocks = if msg.is_empty() { 1 } else { msg.len().div_ceil(16) };
+    let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+
+    let mut x = [0u8; 16];
+    for i in 0..n_blocks - 1 {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&msg[i * 16..(i + 1) * 16]);
+        for j in 0..16 {
+            x[j] ^= block[j];
+        }
+        x = aes.encrypt_block(&x);
+    }
+
+    // last block
+    let mut last = [0u8; 16];
+    let start = (n_blocks - 1) * 16;
+    if complete_last {
+        last.copy_from_slice(&msg[start..start + 16]);
+        for j in 0..16 {
+            last[j] ^= k1[j];
+        }
+    } else {
+        let rem = &msg[start..];
+        last[..rem.len()].copy_from_slice(rem);
+        last[rem.len()] = 0x80;
+        for j in 0..16 {
+            last[j] ^= k2[j];
+        }
+    }
+    for j in 0..16 {
+        x[j] ^= last[j];
+    }
+    aes.encrypt_block(&x)
+}
+
+/// First four bytes of the CMAC — the LoRaWAN MIC.
+pub fn mic(key: &[u8; 16], msg: &[u8]) -> [u8; 4] {
+    let full = cmac_aes128(key, msg);
+    [full[0], full[1], full[2], full[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4493 test key.
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+        0x4f, 0x3c,
+    ];
+
+    const MSG64: [u8; 64] = [
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+        0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+        0x45, 0xaf, 0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb,
+        0xc1, 0x19, 0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17,
+        0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10,
+    ];
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let want = [
+            0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,
+            0x67, 0x46,
+        ];
+        assert_eq!(cmac_aes128(&KEY, &[]), want);
+    }
+
+    #[test]
+    fn rfc4493_example_2_16_bytes() {
+        let want = [
+            0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a,
+            0x28, 0x7c,
+        ];
+        assert_eq!(cmac_aes128(&KEY, &MSG64[..16]), want);
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let want = [
+            0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14, 0x97,
+            0xc8, 0x27,
+        ];
+        assert_eq!(cmac_aes128(&KEY, &MSG64[..40]), want);
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let want = [
+            0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79, 0x36,
+            0x3c, 0xfe,
+        ];
+        assert_eq!(cmac_aes128(&KEY, &MSG64), want);
+    }
+
+    #[test]
+    fn mic_is_prefix() {
+        let full = cmac_aes128(&KEY, b"lorawan");
+        let m = mic(&KEY, b"lorawan");
+        assert_eq!(&full[..4], &m);
+    }
+
+    #[test]
+    fn mic_detects_tampering() {
+        let a = mic(&KEY, b"payload one");
+        let b = mic(&KEY, b"payload two");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,508 @@
+//! LoRaWAN 1.0.x frame construction and parsing.
+//!
+//! Wire layout (LoRaWAN 1.0.3 §4):
+//!
+//! ```text
+//! PHYPayload = MHDR(1) | MACPayload | MIC(4)
+//! MACPayload = FHDR | FPort(1) | FRMPayload
+//! FHDR       = DevAddr(4, LE) | FCtrl(1) | FCnt(2, LE) | FOpts(0..15)
+//! ```
+//!
+//! FRMPayload is encrypted with the AES "A-block" keystream; the MIC is
+//! the 4-byte AES-CMAC over `B0 | MHDR | MACPayload`.
+
+use super::aes::Aes128;
+use super::cmac;
+
+/// Uplink or downlink — affects the crypto direction byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDirection {
+    /// Device → network (Dir = 0).
+    Uplink,
+    /// Network → device (Dir = 1).
+    Downlink,
+}
+
+impl FrameDirection {
+    fn byte(self) -> u8 {
+        match self {
+            FrameDirection::Uplink => 0,
+            FrameDirection::Downlink => 1,
+        }
+    }
+}
+
+/// MAC header message types (MType field of MHDR).
+pub mod mtype {
+    /// Join-request.
+    pub const JOIN_REQUEST: u8 = 0x00;
+    /// Join-accept.
+    pub const JOIN_ACCEPT: u8 = 0x20;
+    /// Unconfirmed data up.
+    pub const UNCONFIRMED_UP: u8 = 0x40;
+    /// Unconfirmed data down.
+    pub const UNCONFIRMED_DOWN: u8 = 0x60;
+    /// Confirmed data up.
+    pub const CONFIRMED_UP: u8 = 0x80;
+    /// Confirmed data down.
+    pub const CONFIRMED_DOWN: u8 = 0xA0;
+}
+
+/// Session keys (either personalized for ABP or derived by OTAA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// Network session key (MIC).
+    pub nwk_skey: [u8; 16],
+    /// Application session key (payload encryption).
+    pub app_skey: [u8; 16],
+}
+
+/// Encrypt/decrypt an FRMPayload with the LoRaWAN A-block keystream
+/// (symmetric operation).
+pub fn crypt_payload(
+    key: &[u8; 16],
+    dev_addr: u32,
+    fcnt: u32,
+    dir: FrameDirection,
+    payload: &[u8],
+) -> Vec<u8> {
+    let aes = Aes128::new(key);
+    let mut out = Vec::with_capacity(payload.len());
+    for (i, chunk) in payload.chunks(16).enumerate() {
+        let mut a = [0u8; 16];
+        a[0] = 0x01;
+        a[5] = dir.byte();
+        a[6..10].copy_from_slice(&dev_addr.to_le_bytes());
+        a[10..14].copy_from_slice(&fcnt.to_le_bytes());
+        a[15] = (i + 1) as u8;
+        let s = aes.encrypt_block(&a);
+        for (j, &b) in chunk.iter().enumerate() {
+            out.push(b ^ s[j]);
+        }
+    }
+    out
+}
+
+/// Compute the frame MIC over `MHDR | MACPayload`.
+pub fn frame_mic(
+    nwk_skey: &[u8; 16],
+    dev_addr: u32,
+    fcnt: u32,
+    dir: FrameDirection,
+    mhdr_and_macpayload: &[u8],
+) -> [u8; 4] {
+    let mut b0 = [0u8; 16];
+    b0[0] = 0x49;
+    b0[5] = dir.byte();
+    b0[6..10].copy_from_slice(&dev_addr.to_le_bytes());
+    b0[10..14].copy_from_slice(&fcnt.to_le_bytes());
+    b0[15] = mhdr_and_macpayload.len() as u8;
+    let mut msg = Vec::with_capacity(16 + mhdr_and_macpayload.len());
+    msg.extend_from_slice(&b0);
+    msg.extend_from_slice(mhdr_and_macpayload);
+    cmac::mic(nwk_skey, &msg)
+}
+
+/// A data frame (uplink or downlink).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Device short address.
+    pub dev_addr: u32,
+    /// Frame counter.
+    pub fcnt: u32,
+    /// Application port (1..=223 for app data).
+    pub fport: u8,
+    /// Decrypted application payload.
+    pub payload: Vec<u8>,
+    /// Confirmed-traffic flag.
+    pub confirmed: bool,
+    /// Direction.
+    pub dir: FrameDirection,
+}
+
+/// Errors from frame parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer too short to be a LoRaWAN frame.
+    TooShort,
+    /// MIC verification failed.
+    BadMic,
+    /// Unexpected message type.
+    WrongType {
+        /// MHDR found.
+        mhdr: u8,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort => write!(f, "frame too short"),
+            FrameError::BadMic => write!(f, "MIC verification failed"),
+            FrameError::WrongType { mhdr } => write!(f, "unexpected MHDR {mhdr:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl DataFrame {
+    /// Serialize to the PHYPayload wire format (encrypting the payload
+    /// and appending the MIC).
+    pub fn to_bytes(&self, keys: &SessionKeys) -> Vec<u8> {
+        let mhdr = match (self.dir, self.confirmed) {
+            (FrameDirection::Uplink, false) => mtype::UNCONFIRMED_UP,
+            (FrameDirection::Uplink, true) => mtype::CONFIRMED_UP,
+            (FrameDirection::Downlink, false) => mtype::UNCONFIRMED_DOWN,
+            (FrameDirection::Downlink, true) => mtype::CONFIRMED_DOWN,
+        };
+        let mut buf = vec![mhdr];
+        buf.extend_from_slice(&self.dev_addr.to_le_bytes());
+        buf.push(0x00); // FCtrl: no ADR/ACK/FOpts in this subset
+        buf.extend_from_slice(&(self.fcnt as u16).to_le_bytes());
+        buf.push(self.fport);
+        let key =
+            if self.fport == 0 { &keys.nwk_skey } else { &keys.app_skey };
+        buf.extend(crypt_payload(key, self.dev_addr, self.fcnt, self.dir, &self.payload));
+        let mic = frame_mic(&keys.nwk_skey, self.dev_addr, self.fcnt, self.dir, &buf);
+        buf.extend_from_slice(&mic);
+        buf
+    }
+
+    /// Parse and verify a PHYPayload, decrypting the application data.
+    ///
+    /// # Errors
+    /// Fails on truncation, a wrong message type, or MIC mismatch.
+    pub fn from_bytes(bytes: &[u8], keys: &SessionKeys) -> Result<Self, FrameError> {
+        if bytes.len() < 13 {
+            return Err(FrameError::TooShort);
+        }
+        let mhdr = bytes[0];
+        let (dir, confirmed) = match mhdr {
+            x if x == mtype::UNCONFIRMED_UP => (FrameDirection::Uplink, false),
+            x if x == mtype::CONFIRMED_UP => (FrameDirection::Uplink, true),
+            x if x == mtype::UNCONFIRMED_DOWN => (FrameDirection::Downlink, false),
+            x if x == mtype::CONFIRMED_DOWN => (FrameDirection::Downlink, true),
+            _ => return Err(FrameError::WrongType { mhdr }),
+        };
+        let dev_addr = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+        let fctrl = bytes[5];
+        let fopts_len = (fctrl & 0x0F) as usize;
+        let fcnt = u16::from_le_bytes([bytes[6], bytes[7]]) as u32;
+        let body_end = bytes.len() - 4;
+        let mic_got: [u8; 4] = bytes[body_end..].try_into().unwrap();
+        let mic_want = frame_mic(&keys.nwk_skey, dev_addr, fcnt, dir, &bytes[..body_end]);
+        if mic_got != mic_want {
+            return Err(FrameError::BadMic);
+        }
+        let port_idx = 8 + fopts_len;
+        if port_idx >= body_end {
+            // no FPort/FRMPayload
+            return Ok(DataFrame {
+                dev_addr,
+                fcnt,
+                fport: 0,
+                payload: Vec::new(),
+                confirmed,
+                dir,
+            });
+        }
+        let fport = bytes[port_idx];
+        let enc = &bytes[port_idx + 1..body_end];
+        let key = if fport == 0 { &keys.nwk_skey } else { &keys.app_skey };
+        let payload = crypt_payload(key, dev_addr, fcnt, dir, enc);
+        Ok(DataFrame { dev_addr, fcnt, fport, payload, confirmed, dir })
+    }
+}
+
+/// OTAA join-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// Application (join EUI), little-endian on the wire.
+    pub app_eui: [u8; 8],
+    /// Device EUI.
+    pub dev_eui: [u8; 8],
+    /// Device nonce (random per join attempt).
+    pub dev_nonce: u16,
+}
+
+impl JoinRequest {
+    /// Serialize with MIC under the AppKey.
+    pub fn to_bytes(&self, app_key: &[u8; 16]) -> Vec<u8> {
+        let mut buf = vec![mtype::JOIN_REQUEST];
+        buf.extend(self.app_eui.iter().rev());
+        buf.extend(self.dev_eui.iter().rev());
+        buf.extend_from_slice(&self.dev_nonce.to_le_bytes());
+        let mic = cmac::mic(app_key, &buf);
+        buf.extend_from_slice(&mic);
+        buf
+    }
+
+    /// Parse and verify.
+    ///
+    /// # Errors
+    /// Fails on truncation, type or MIC mismatch.
+    pub fn from_bytes(bytes: &[u8], app_key: &[u8; 16]) -> Result<Self, FrameError> {
+        if bytes.len() != 23 {
+            return Err(FrameError::TooShort);
+        }
+        if bytes[0] != mtype::JOIN_REQUEST {
+            return Err(FrameError::WrongType { mhdr: bytes[0] });
+        }
+        let mic_want = cmac::mic(app_key, &bytes[..19]);
+        if bytes[19..] != mic_want {
+            return Err(FrameError::BadMic);
+        }
+        let mut app_eui = [0u8; 8];
+        let mut dev_eui = [0u8; 8];
+        for i in 0..8 {
+            app_eui[i] = bytes[8 - i];
+            dev_eui[i] = bytes[16 - i];
+        }
+        Ok(JoinRequest {
+            app_eui,
+            dev_eui,
+            dev_nonce: u16::from_le_bytes([bytes[17], bytes[18]]),
+        })
+    }
+}
+
+/// OTAA join-accept (what the network sends back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinAccept {
+    /// Server nonce.
+    pub app_nonce: [u8; 3],
+    /// Network identifier.
+    pub net_id: [u8; 3],
+    /// Assigned device address.
+    pub dev_addr: u32,
+}
+
+impl JoinAccept {
+    /// Serialize: the join-accept body is encrypted with AES *decrypt*
+    /// under the AppKey so the device can use its encrypt-only engine.
+    pub fn to_bytes(&self, app_key: &[u8; 16]) -> Vec<u8> {
+        let mut body = vec![mtype::JOIN_ACCEPT];
+        body.extend(self.app_nonce.iter().rev());
+        body.extend(self.net_id.iter().rev());
+        body.extend_from_slice(&self.dev_addr.to_le_bytes());
+        body.push(0x00); // DLSettings
+        body.push(0x01); // RxDelay
+        let mic = cmac::mic(app_key, &body);
+        body.extend_from_slice(&mic);
+        // encrypt all but MHDR with aes128_decrypt
+        let aes = Aes128::new(app_key);
+        let mut out = vec![body[0]];
+        for chunk in body[1..].chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            out.extend_from_slice(&aes.decrypt_block(&block));
+        }
+        out
+    }
+
+    /// Device-side parse: apply AES *encrypt* to recover the body, then
+    /// verify the MIC.
+    ///
+    /// # Errors
+    /// Fails on truncation, type or MIC mismatch.
+    pub fn from_bytes(bytes: &[u8], app_key: &[u8; 16]) -> Result<Self, FrameError> {
+        if bytes.len() < 17 {
+            return Err(FrameError::TooShort);
+        }
+        if bytes[0] != mtype::JOIN_ACCEPT {
+            return Err(FrameError::WrongType { mhdr: bytes[0] });
+        }
+        let aes = Aes128::new(app_key);
+        let mut body = vec![bytes[0]];
+        for chunk in bytes[1..].chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            body.extend_from_slice(&aes.encrypt_block(&block));
+        }
+        body.truncate(1 + 12 + 4); // MHDR + body + MIC in the base form
+        let mic_got: [u8; 4] = body[body.len() - 4..].try_into().unwrap();
+        let mic_want = cmac::mic(app_key, &body[..body.len() - 4]);
+        if mic_got != mic_want {
+            return Err(FrameError::BadMic);
+        }
+        let mut app_nonce = [0u8; 3];
+        let mut net_id = [0u8; 3];
+        for i in 0..3 {
+            app_nonce[i] = body[3 - i];
+            net_id[i] = body[6 - i];
+        }
+        let dev_addr = u32::from_le_bytes([body[7], body[8], body[9], body[10]]);
+        Ok(JoinAccept { app_nonce, net_id, dev_addr })
+    }
+
+    /// Derive the session keys (LoRaWAN 1.0.x key derivation).
+    pub fn derive_keys(&self, app_key: &[u8; 16], dev_nonce: u16) -> SessionKeys {
+        let aes = Aes128::new(app_key);
+        let mut base = [0u8; 16];
+        base[1..4].copy_from_slice(&{
+            let mut n = self.app_nonce;
+            n.reverse();
+            n
+        });
+        base[4..7].copy_from_slice(&{
+            let mut n = self.net_id;
+            n.reverse();
+            n
+        });
+        base[7..9].copy_from_slice(&dev_nonce.to_le_bytes());
+        let mut nwk = base;
+        nwk[0] = 0x01;
+        let mut app = base;
+        app[0] = 0x02;
+        SessionKeys {
+            nwk_skey: aes.encrypt_block(&nwk),
+            app_skey: aes.encrypt_block(&app),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> SessionKeys {
+        SessionKeys {
+            nwk_skey: core::array::from_fn(|i| i as u8),
+            app_skey: core::array::from_fn(|i| (i + 100) as u8),
+        }
+    }
+
+    #[test]
+    fn data_frame_round_trip() {
+        let k = keys();
+        let f = DataFrame {
+            dev_addr: 0x2601_1FAB,
+            fcnt: 42,
+            fport: 1,
+            payload: b"temperature=21.5".to_vec(),
+            confirmed: false,
+            dir: FrameDirection::Uplink,
+        };
+        let wire = f.to_bytes(&k);
+        let back = DataFrame::from_bytes(&wire, &k).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn payload_is_actually_encrypted_on_the_wire() {
+        let k = keys();
+        let f = DataFrame {
+            dev_addr: 1,
+            fcnt: 0,
+            fport: 1,
+            payload: b"plaintext secret".to_vec(),
+            confirmed: false,
+            dir: FrameDirection::Uplink,
+        };
+        let wire = f.to_bytes(&k);
+        // the plaintext must not appear anywhere in the wire format
+        let needle = b"plaintext";
+        assert!(!wire.windows(needle.len()).any(|w| w == needle));
+    }
+
+    #[test]
+    fn mic_catches_single_bit_flip() {
+        let k = keys();
+        let f = DataFrame {
+            dev_addr: 7,
+            fcnt: 1,
+            fport: 2,
+            payload: vec![1, 2, 3],
+            confirmed: true,
+            dir: FrameDirection::Uplink,
+        };
+        let mut wire = f.to_bytes(&k);
+        for i in 0..wire.len() {
+            wire[i] ^= 0x01;
+            assert!(
+                DataFrame::from_bytes(&wire, &k).is_err(),
+                "flip at byte {i} must be caught"
+            );
+            wire[i] ^= 0x01;
+        }
+    }
+
+    #[test]
+    fn crypt_is_involutive() {
+        let key = [9u8; 16];
+        let data = b"the keystream construction is symmetric";
+        let enc = crypt_payload(&key, 5, 77, FrameDirection::Downlink, data);
+        let dec = crypt_payload(&key, 5, 77, FrameDirection::Downlink, &enc);
+        assert_eq!(dec, data);
+        assert_ne!(enc.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn different_fcnt_gives_different_ciphertext() {
+        let key = [9u8; 16];
+        let a = crypt_payload(&key, 5, 1, FrameDirection::Uplink, b"same payload");
+        let b = crypt_payload(&key, 5, 2, FrameDirection::Uplink, b"same payload");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn join_request_round_trip() {
+        let app_key = [0x77u8; 16];
+        let jr = JoinRequest {
+            app_eui: *b"APPEUI!!",
+            dev_eui: *b"DEVEUI!!",
+            dev_nonce: 0xBEEF,
+        };
+        let wire = jr.to_bytes(&app_key);
+        assert_eq!(wire.len(), 23);
+        let back = JoinRequest::from_bytes(&wire, &app_key).unwrap();
+        assert_eq!(back, jr);
+        // wrong key → MIC failure
+        assert!(JoinRequest::from_bytes(&wire, &[0u8; 16]).is_err());
+    }
+
+    #[test]
+    fn join_accept_round_trip_and_key_derivation() {
+        let app_key = [0x42u8; 16];
+        let ja = JoinAccept {
+            app_nonce: [1, 2, 3],
+            net_id: [0x13, 0x00, 0x00],
+            dev_addr: 0x0F0E_0D0C,
+        };
+        let wire = ja.to_bytes(&app_key);
+        let back = JoinAccept::from_bytes(&wire, &app_key).unwrap();
+        assert_eq!(back, ja);
+        // both sides derive identical session keys
+        let dev = back.derive_keys(&app_key, 0x1234);
+        let srv = ja.derive_keys(&app_key, 0x1234);
+        assert_eq!(dev, srv);
+        assert_ne!(dev.nwk_skey, dev.app_skey);
+    }
+
+    #[test]
+    fn fport0_uses_network_key() {
+        let k = keys();
+        let f = DataFrame {
+            dev_addr: 3,
+            fcnt: 9,
+            fport: 0,
+            payload: vec![0x02], // a MAC command
+            confirmed: false,
+            dir: FrameDirection::Uplink,
+        };
+        let wire = f.to_bytes(&k);
+        let back = DataFrame::from_bytes(&wire, &k).unwrap();
+        assert_eq!(back.payload, vec![0x02]);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let k = keys();
+        assert_eq!(DataFrame::from_bytes(&[0x40; 5], &k), Err(FrameError::TooShort));
+        assert!(matches!(
+            DataFrame::from_bytes(&[0xFF; 20], &k),
+            Err(FrameError::WrongType { .. })
+        ));
+    }
+}

@@ -1,0 +1,400 @@
+//! Class-A device MAC state machine with ABP and OTAA activation.
+//!
+//! "In OTAA, each node performs a join-procedure during which a dynamic
+//! device address is assigned to a node. However, in ABP we can
+//! hard-code the device address in the device which makes it simpler
+//! since the node skips the join procedure. Our platform can support
+//! both OTAA and ABP methods" (paper §4.1).
+//!
+//! Class A timing: after every uplink the device opens RX1 at
+//! `RECEIVE_DELAY1` (1 s) and RX2 at `RECEIVE_DELAY2` (2 s) — the
+//! Table 4 switching delays (TX→RX 45 µs) are what make these windows
+//! reachable.
+
+use super::frame::{
+    DataFrame, FrameDirection, JoinAccept, JoinRequest, SessionKeys,
+};
+
+/// RX1 delay, seconds (LoRaWAN default).
+pub const RECEIVE_DELAY1_S: f64 = 1.0;
+/// RX2 delay, seconds.
+pub const RECEIVE_DELAY2_S: f64 = 2.0;
+/// Join-accept RX1 delay, seconds.
+pub const JOIN_ACCEPT_DELAY1_S: f64 = 5.0;
+
+/// How the device was activated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Activation {
+    /// Activation by personalization: keys and address baked in.
+    Abp {
+        /// Hard-coded device address.
+        dev_addr: u32,
+        /// Hard-coded session keys.
+        keys: SessionKeys,
+    },
+    /// Over-the-air activation: joins with the AppKey.
+    Otaa {
+        /// Application EUI.
+        app_eui: [u8; 8],
+        /// Device EUI.
+        dev_eui: [u8; 8],
+        /// Root application key.
+        app_key: [u8; 16],
+    },
+}
+
+/// Static MAC configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacConfig {
+    /// Activation material.
+    pub activation: Activation,
+}
+
+/// MAC protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacState {
+    /// OTAA device before/while joining.
+    Joining,
+    /// Session established (always the case for ABP).
+    Joined,
+}
+
+/// Errors from the MAC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MacError {
+    /// Operation requires a session.
+    NotJoined,
+    /// ABP devices do not join.
+    AbpCannotJoin,
+    /// Downlink did not verify/parse.
+    BadDownlink,
+}
+
+impl std::fmt::Display for MacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacError::NotJoined => write!(f, "no session: join first"),
+            MacError::AbpCannotJoin => write!(f, "ABP devices have no join procedure"),
+            MacError::BadDownlink => write!(f, "downlink failed verification"),
+        }
+    }
+}
+
+impl std::error::Error for MacError {}
+
+/// The Class-A device MAC.
+#[derive(Debug, Clone)]
+pub struct ClassAMac {
+    config: MacConfig,
+    state: MacState,
+    session: Option<(u32, SessionKeys)>,
+    fcnt_up: u32,
+    fcnt_down: u32,
+    last_dev_nonce: u16,
+}
+
+impl ClassAMac {
+    /// Create the MAC. ABP devices come up joined; OTAA devices must
+    /// run the join procedure.
+    pub fn new(config: MacConfig) -> Self {
+        let (state, session) = match &config.activation {
+            Activation::Abp { dev_addr, keys } => {
+                (MacState::Joined, Some((*dev_addr, *keys)))
+            }
+            Activation::Otaa { .. } => (MacState::Joining, None),
+        };
+        ClassAMac {
+            config,
+            state,
+            session,
+            fcnt_up: 0,
+            fcnt_down: 0,
+            last_dev_nonce: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> MacState {
+        self.state
+    }
+
+    /// Uplink frame counter.
+    pub fn fcnt_up(&self) -> u32 {
+        self.fcnt_up
+    }
+
+    /// Device address once joined.
+    pub fn dev_addr(&self) -> Option<u32> {
+        self.session.map(|(a, _)| a)
+    }
+
+    /// Build a join-request (OTAA only). `dev_nonce` must be fresh per
+    /// attempt (the network rejects reuse).
+    ///
+    /// # Errors
+    /// Fails for ABP devices.
+    pub fn build_join_request(&mut self, dev_nonce: u16) -> Result<Vec<u8>, MacError> {
+        match &self.config.activation {
+            Activation::Otaa { app_eui, dev_eui, app_key } => {
+                self.last_dev_nonce = dev_nonce;
+                self.state = MacState::Joining;
+                Ok(JoinRequest { app_eui: *app_eui, dev_eui: *dev_eui, dev_nonce }
+                    .to_bytes(app_key))
+            }
+            Activation::Abp { .. } => Err(MacError::AbpCannotJoin),
+        }
+    }
+
+    /// Process a join-accept, deriving session keys.
+    ///
+    /// # Errors
+    /// Fails for ABP devices or an invalid accept.
+    pub fn process_join_accept(&mut self, bytes: &[u8]) -> Result<u32, MacError> {
+        match &self.config.activation {
+            Activation::Otaa { app_key, .. } => {
+                let ja =
+                    JoinAccept::from_bytes(bytes, app_key).map_err(|_| MacError::BadDownlink)?;
+                let keys = ja.derive_keys(app_key, self.last_dev_nonce);
+                self.session = Some((ja.dev_addr, keys));
+                self.state = MacState::Joined;
+                self.fcnt_up = 0;
+                self.fcnt_down = 0;
+                Ok(ja.dev_addr)
+            }
+            Activation::Abp { .. } => Err(MacError::AbpCannotJoin),
+        }
+    }
+
+    /// Build an uplink data frame, incrementing the frame counter.
+    ///
+    /// # Errors
+    /// Fails before a session exists.
+    pub fn build_uplink(
+        &mut self,
+        fport: u8,
+        payload: &[u8],
+        confirmed: bool,
+    ) -> Result<Vec<u8>, MacError> {
+        let (dev_addr, keys) = self.session.ok_or(MacError::NotJoined)?;
+        let frame = DataFrame {
+            dev_addr,
+            fcnt: self.fcnt_up,
+            fport,
+            payload: payload.to_vec(),
+            confirmed,
+            dir: FrameDirection::Uplink,
+        };
+        self.fcnt_up += 1;
+        Ok(frame.to_bytes(&keys))
+    }
+
+    /// Process a downlink received in RX1/RX2.
+    ///
+    /// # Errors
+    /// Fails without a session, on MIC failure, on a foreign address,
+    /// or on a replayed counter.
+    pub fn process_downlink(&mut self, bytes: &[u8]) -> Result<DataFrame, MacError> {
+        let (dev_addr, keys) = self.session.ok_or(MacError::NotJoined)?;
+        let f = DataFrame::from_bytes(bytes, &keys).map_err(|_| MacError::BadDownlink)?;
+        if f.dev_addr != dev_addr || f.dir != FrameDirection::Downlink {
+            return Err(MacError::BadDownlink);
+        }
+        if f.fcnt < self.fcnt_down {
+            return Err(MacError::BadDownlink); // replay
+        }
+        self.fcnt_down = f.fcnt + 1;
+        Ok(f)
+    }
+
+    /// The two Class-A receive-window offsets after an uplink, seconds.
+    pub fn rx_windows(&self) -> (f64, f64) {
+        match self.state {
+            MacState::Joining => (JOIN_ACCEPT_DELAY1_S, JOIN_ACCEPT_DELAY1_S + 1.0),
+            MacState::Joined => (RECEIVE_DELAY1_S, RECEIVE_DELAY2_S),
+        }
+    }
+}
+
+/// A minimal network-server counterpart for tests and examples: accepts
+/// joins and reflects confirmed uplinks with downlinks.
+#[derive(Debug, Clone)]
+pub struct TestNetworkServer {
+    /// Root key shared with devices.
+    pub app_key: [u8; 16],
+    /// Network-assigned addresses, next to hand out.
+    next_addr: u32,
+    sessions: Vec<(u32, SessionKeys)>,
+}
+
+impl TestNetworkServer {
+    /// New server with a key.
+    pub fn new(app_key: [u8; 16]) -> Self {
+        TestNetworkServer { app_key, next_addr: 0x2600_0001, sessions: Vec::new() }
+    }
+
+    /// Handle a join-request; returns the join-accept wire bytes.
+    pub fn handle_join(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let jr = JoinRequest::from_bytes(bytes, &self.app_key).ok()?;
+        let ja = JoinAccept {
+            app_nonce: [0xA1, 0xB2, 0xC3],
+            net_id: [0x13, 0x00, 0x00],
+            dev_addr: self.next_addr,
+        };
+        let keys = ja.derive_keys(&self.app_key, jr.dev_nonce);
+        self.sessions.push((self.next_addr, keys));
+        self.next_addr += 1;
+        Some(ja.to_bytes(&self.app_key))
+    }
+
+    /// Verify and decrypt an uplink from any joined device.
+    pub fn handle_uplink(&self, bytes: &[u8]) -> Option<DataFrame> {
+        for (_, keys) in &self.sessions {
+            if let Ok(f) = DataFrame::from_bytes(bytes, keys) {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Build a downlink to a device.
+    pub fn build_downlink(&self, dev_addr: u32, fcnt: u32, payload: &[u8]) -> Option<Vec<u8>> {
+        let keys = self.sessions.iter().find(|(a, _)| *a == dev_addr).map(|(_, k)| *k)?;
+        Some(
+            DataFrame {
+                dev_addr,
+                fcnt,
+                fport: 1,
+                payload: payload.to_vec(),
+                confirmed: false,
+                dir: FrameDirection::Downlink,
+            }
+            .to_bytes(&keys),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abp_mac() -> ClassAMac {
+        ClassAMac::new(MacConfig {
+            activation: Activation::Abp {
+                dev_addr: 0x2601_1FAB,
+                keys: SessionKeys {
+                    nwk_skey: [1u8; 16],
+                    app_skey: [2u8; 16],
+                },
+            },
+        })
+    }
+
+    #[test]
+    fn abp_comes_up_joined() {
+        let mac = abp_mac();
+        assert_eq!(mac.state(), MacState::Joined);
+        assert_eq!(mac.dev_addr(), Some(0x2601_1FAB));
+    }
+
+    #[test]
+    fn abp_uplinks_count_up() {
+        let mut mac = abp_mac();
+        let a = mac.build_uplink(1, b"one", false).unwrap();
+        let b = mac.build_uplink(1, b"two", false).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(mac.fcnt_up(), 2);
+    }
+
+    #[test]
+    fn abp_cannot_join() {
+        let mut mac = abp_mac();
+        assert_eq!(mac.build_join_request(1).unwrap_err(), MacError::AbpCannotJoin);
+    }
+
+    #[test]
+    fn full_otaa_join_and_data_exchange() {
+        let app_key = [0x5Au8; 16];
+        let mut server = TestNetworkServer::new(app_key);
+        let mut mac = ClassAMac::new(MacConfig {
+            activation: Activation::Otaa {
+                app_eui: *b"APP_EUI_",
+                dev_eui: *b"DEV_EUI_",
+                app_key,
+            },
+        });
+        assert_eq!(mac.state(), MacState::Joining);
+        // join round trip
+        let jr = mac.build_join_request(0x1234).unwrap();
+        let ja = server.handle_join(&jr).expect("server accepts");
+        let addr = mac.process_join_accept(&ja).unwrap();
+        assert_eq!(mac.state(), MacState::Joined);
+        assert_eq!(mac.dev_addr(), Some(addr));
+        // uplink decodes on the server with derived keys
+        let up = mac.build_uplink(1, b"sensor reading", false).unwrap();
+        let got = server.handle_uplink(&up).expect("server decodes");
+        assert_eq!(got.payload, b"sensor reading");
+        assert_eq!(got.dev_addr, addr);
+        // downlink decodes on the device
+        let down = server.build_downlink(addr, 0, b"ack!").unwrap();
+        let f = mac.process_downlink(&down).unwrap();
+        assert_eq!(f.payload, b"ack!");
+    }
+
+    #[test]
+    fn replayed_downlink_rejected() {
+        let app_key = [0x66u8; 16];
+        let mut server = TestNetworkServer::new(app_key);
+        let mut mac = ClassAMac::new(MacConfig {
+            activation: Activation::Otaa {
+                app_eui: [0; 8],
+                dev_eui: [1; 8],
+                app_key,
+            },
+        });
+        let jr = mac.build_join_request(7).unwrap();
+        let ja = server.handle_join(&jr).unwrap();
+        let addr = mac.process_join_accept(&ja).unwrap();
+        let down = server.build_downlink(addr, 5, b"x").unwrap();
+        mac.process_downlink(&down).unwrap();
+        // same counter again → replay
+        assert_eq!(mac.process_downlink(&down).unwrap_err(), MacError::BadDownlink);
+    }
+
+    #[test]
+    fn uplink_before_join_fails() {
+        let mut mac = ClassAMac::new(MacConfig {
+            activation: Activation::Otaa {
+                app_eui: [0; 8],
+                dev_eui: [0; 8],
+                app_key: [0; 16],
+            },
+        });
+        assert_eq!(mac.build_uplink(1, b"x", false).unwrap_err(), MacError::NotJoined);
+    }
+
+    #[test]
+    fn rx_window_timing() {
+        let mac = abp_mac();
+        assert_eq!(mac.rx_windows(), (1.0, 2.0));
+        // TX→RX switch (45 µs, Table 4) easily makes a 1 s window
+        assert!(45e-6 < RECEIVE_DELAY1_S);
+    }
+
+    #[test]
+    fn corrupt_join_accept_rejected() {
+        let app_key = [9u8; 16];
+        let mut server = TestNetworkServer::new(app_key);
+        let mut mac = ClassAMac::new(MacConfig {
+            activation: Activation::Otaa {
+                app_eui: [0; 8],
+                dev_eui: [2; 8],
+                app_key,
+            },
+        });
+        let jr = mac.build_join_request(3).unwrap();
+        let mut ja = server.handle_join(&jr).unwrap();
+        ja[5] ^= 0xFF;
+        assert_eq!(mac.process_join_accept(&ja).unwrap_err(), MacError::BadDownlink);
+        assert_eq!(mac.state(), MacState::Joining);
+    }
+}

@@ -1,0 +1,27 @@
+//! LoRaWAN MAC layer (TTN-compatible subset, paper §4.1).
+//!
+//! "To demonstrate that our LoRa implementation on tinySDR is compatible
+//! with existing LoRa networks such as the LoRa Alliance's The Things
+//! Network (TTN), we adopt their LoRa MAC design […] TTN uses two
+//! methods for device association; Over-the-air activation (OTAA) and
+//! activation by personalization (ABP). […] Our platform can support
+//! both OTAA and ABP methods."
+//!
+//! The offline crate set has no cryptography crate, so [`aes`] and
+//! [`cmac`] implement AES-128 (FIPS-197) and AES-CMAC (RFC 4493) from
+//! scratch, validated against the published test vectors. [`frame`]
+//! builds/parses LoRaWAN 1.0.x frames with real MIC and payload
+//! encryption; [`mac`] is the Class-A device state machine with ABP and
+//! the OTAA join procedure.
+
+pub mod aes;
+pub mod cmac;
+pub mod frame;
+pub mod mac;
+pub mod regional;
+
+pub use aes::Aes128;
+pub use cmac::cmac_aes128;
+pub use frame::{DataFrame, FrameDirection, JoinAccept, JoinRequest, SessionKeys};
+pub use mac::{Activation, ClassAMac, MacConfig};
+pub use regional::Region;

@@ -1,0 +1,178 @@
+//! Regional channel plans for the LoRaWAN MAC.
+//!
+//! TTN compatibility (paper §4.1) means obeying a region's channel grid,
+//! data-rate table and duty-cycle rules. The paper's testbed runs in the
+//! US 900 MHz ISM band (US915); EU868 is included because TTN's public
+//! network launched there and the Class-A RX2 parameters differ in ways
+//! the MAC must know about.
+
+use tinysdr_rf::sx1276::LoRaParams;
+
+/// A LoRaWAN region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// US 902–928 MHz (the paper's deployment band).
+    Us915,
+    /// EU 863–870 MHz.
+    Eu868,
+}
+
+impl Region {
+    /// Uplink channel center frequencies, Hz. US915 defines 64×125 kHz
+    /// channels; TTN uses sub-band 2 (channels 8–15), which is what we
+    /// expose. EU868 has the three mandatory join channels plus TTN's
+    /// five extras.
+    pub fn uplink_channels(self) -> Vec<f64> {
+        match self {
+            Region::Us915 => (0..8).map(|i| 903.9e6 + i as f64 * 200e3).collect(),
+            Region::Eu868 => vec![
+                868.1e6, 868.3e6, 868.5e6, 867.1e6, 867.3e6, 867.5e6, 867.7e6, 867.9e6,
+            ],
+        }
+    }
+
+    /// Downlink RX2 parameters: `(frequency_hz, sf, bw_hz)`.
+    pub fn rx2(self) -> (f64, u8, f64) {
+        match self {
+            Region::Us915 => (923.3e6, 12, 500e3),
+            Region::Eu868 => (869.525e6, 9, 125e3),
+        }
+    }
+
+    /// Default uplink data-rate table as `(sf, bw)` pairs, DR0 first.
+    pub fn data_rates(self) -> Vec<(u8, f64)> {
+        match self {
+            Region::Us915 => vec![(10, 125e3), (9, 125e3), (8, 125e3), (7, 125e3), (8, 500e3)],
+            Region::Eu868 => vec![
+                (12, 125e3),
+                (11, 125e3),
+                (10, 125e3),
+                (9, 125e3),
+                (8, 125e3),
+                (7, 125e3),
+                (7, 250e3),
+            ],
+        }
+    }
+
+    /// Maximum application payload per data rate index (LoRaWAN 1.0.3
+    /// regional parameters, dwell-time limited for US915).
+    pub fn max_payload(self, dr: usize) -> usize {
+        match self {
+            Region::Us915 => [11, 53, 125, 242, 242].get(dr).copied().unwrap_or(0),
+            Region::Eu868 => [51, 51, 51, 115, 242, 242, 242].get(dr).copied().unwrap_or(0),
+        }
+    }
+
+    /// Duty-cycle cap as a fraction (EU 868 MHz band g: 1 %); US915 has
+    /// a 400 ms dwell-time rule instead, expressed here as `None`.
+    pub fn duty_cycle_cap(self) -> Option<f64> {
+        match self {
+            Region::Us915 => None,
+            Region::Eu868 => Some(0.01),
+        }
+    }
+
+    /// US915 dwell-time limit per transmission, seconds.
+    pub fn dwell_limit_s(self) -> Option<f64> {
+        match self {
+            Region::Us915 => Some(0.4),
+            Region::Eu868 => None,
+        }
+    }
+
+    /// Check a planned uplink against the region's rules. Returns the
+    /// airtime on success.
+    ///
+    /// # Errors
+    /// Returns a human-readable violation.
+    pub fn check_uplink(self, dr: usize, payload_len: usize) -> Result<f64, String> {
+        let rates = self.data_rates();
+        let &(sf, bw) = rates.get(dr).ok_or_else(|| format!("DR{dr} undefined"))?;
+        if payload_len > self.max_payload(dr) {
+            return Err(format!(
+                "payload {payload_len} B exceeds DR{dr} limit {} B",
+                self.max_payload(dr)
+            ));
+        }
+        let airtime = LoRaParams::new(sf, bw, 5).airtime(payload_len + 13); // +MAC overhead
+        if let Some(dwell) = self.dwell_limit_s() {
+            if airtime > dwell {
+                return Err(format!("airtime {airtime:.3} s exceeds the {dwell} s dwell limit"));
+            }
+        }
+        Ok(airtime)
+    }
+
+    /// Minimum period between uplinks of `airtime_s` under the region's
+    /// duty-cycle rules, seconds (0 when only dwell rules apply).
+    pub fn min_period_s(self, airtime_s: f64) -> f64 {
+        match self.duty_cycle_cap() {
+            Some(cap) => airtime_s / cap,
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us915_channels_in_band() {
+        let chans = Region::Us915.uplink_channels();
+        assert_eq!(chans.len(), 8);
+        for c in chans {
+            assert!((902e6..=928e6).contains(&c), "{c}");
+            // the AT86RF215 band plan covers them all
+            assert!(tinysdr_rf::at86rf215::Band::containing(c).is_some());
+        }
+    }
+
+    #[test]
+    fn eu868_channels_in_band() {
+        for c in Region::Eu868.uplink_channels() {
+            assert!((863e6..=870e6).contains(&c));
+        }
+    }
+
+    #[test]
+    fn rx2_parameters() {
+        let (f, sf, bw) = Region::Us915.rx2();
+        assert_eq!((f, sf, bw), (923.3e6, 12, 500e3));
+        let (f, sf, bw) = Region::Eu868.rx2();
+        assert_eq!((f, sf, bw), (869.525e6, 9, 125e3));
+    }
+
+    #[test]
+    fn us915_dwell_time_bounds_dr0() {
+        // SF10/BW125 with an 11-byte payload squeaks under 400 ms
+        let t = Region::Us915.check_uplink(0, 11).expect("DR0 legal at 11 B");
+        assert!(t <= 0.4, "airtime {t}");
+        // a large payload at DR0 violates the payload cap
+        assert!(Region::Us915.check_uplink(0, 50).is_err());
+    }
+
+    #[test]
+    fn eu868_duty_cycle_math() {
+        // a 1.2 s SF12 uplink at 1% duty cycle → ≥120 s between packets
+        let t = Region::Eu868.check_uplink(0, 20).unwrap();
+        let period = Region::Eu868.min_period_s(t);
+        assert!(period >= 100.0 * t);
+    }
+
+    #[test]
+    fn undefined_dr_rejected() {
+        assert!(Region::Us915.check_uplink(9, 5).is_err());
+    }
+
+    #[test]
+    fn payload_caps_monotone_in_dr() {
+        for r in [Region::Us915, Region::Eu868] {
+            let n = r.data_rates().len();
+            for dr in 1..n {
+                assert!(r.max_payload(dr) >= r.max_payload(dr - 1), "{r:?} DR{dr}");
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The LoRa modulator (paper Fig. 6a).
+//!
+//! "The modulator begins with the Packet Generator module which reads
+//! data either from FPGA memory for transmitting fixed packets or from
+//! the MCU, as well as LoRa configuration parameters such as SF, coding
+//! and BW. This module determines each symbol value and its
+//! corresponding cyclic-shift. Next, the Packet Generator sends these
+//! parameters along with the symbol values to the Chirp Generator
+//! module, which generates the I/Q samples of each chirp symbol in the
+//! packet using a squared phase accumulator and two lookup tables."
+//!
+//! The modulator here is exactly that: [`crate::packet::Frame`] plays
+//! the Packet Generator; [`ChirpGenerator`] (squared phase accumulator +
+//! quantized LUT) plays the Chirp Generator; the output is the sample
+//! stream handed to the I/Q serializer.
+
+use tinysdr_dsp::chirp::{ChirpConfig, ChirpDirection, ChirpGenerator};
+use tinysdr_dsp::complex::Complex;
+
+use crate::packet::{Frame, FrameParams};
+use crate::phy::CodeParams;
+
+/// The modulator: one instance per (SF, BW, OSR) configuration.
+#[derive(Debug, Clone)]
+pub struct Modulator {
+    chirp_cfg: ChirpConfig,
+    generator: ChirpGenerator,
+    frame_params: FrameParams,
+}
+
+impl Modulator {
+    /// Build a modulator.
+    ///
+    /// # Panics
+    /// Panics if the frame's SF and the chirp configuration's SF differ.
+    pub fn new(chirp_cfg: ChirpConfig, frame_params: FrameParams) -> Self {
+        assert_eq!(
+            chirp_cfg.sf, frame_params.code.sf,
+            "chirp and code SF must agree"
+        );
+        Modulator { chirp_cfg, generator: ChirpGenerator::new(chirp_cfg), frame_params }
+    }
+
+    /// Convenience: standard frame around a payload at `(sf, bw, osr)`.
+    pub fn standard(sf: u8, bw: f64, osr: usize, cr: u8) -> Self {
+        let chirp = ChirpConfig::new(sf, bw, osr);
+        let code = CodeParams::new(sf, cr);
+        Modulator::new(chirp, FrameParams::new(code))
+    }
+
+    /// The chirp configuration.
+    pub fn chirp_config(&self) -> &ChirpConfig {
+        &self.chirp_cfg
+    }
+
+    /// Frame parameters.
+    pub fn frame_params(&self) -> &FrameParams {
+        &self.frame_params
+    }
+
+    /// Modulate payload bytes into a full frame of I/Q samples.
+    pub fn modulate(&self, payload: &[u8]) -> Vec<Complex> {
+        let frame = Frame::from_payload(payload, self.frame_params);
+        self.modulate_frame(&frame)
+    }
+
+    /// Modulate a pre-built frame.
+    pub fn modulate_frame(&self, frame: &Frame) -> Vec<Complex> {
+        let spsym = self.chirp_cfg.samples_per_symbol();
+        let total = (self.frame_params.frame_symbols(frame.symbols.len()) * spsym as f64)
+            .ceil() as usize;
+        let mut out = Vec::with_capacity(total);
+
+        // preamble: zero-shift upchirps
+        for _ in 0..self.frame_params.preamble_len {
+            out.extend(self.generator.upchirp(0));
+        }
+        // sync word: two upchirps
+        for &s in &self.frame_params.sync_word {
+            out.extend(self.generator.upchirp(s as u32));
+        }
+        // SFD: 2.25 downchirps
+        out.extend(self.generator.downchirp());
+        out.extend(self.generator.downchirp());
+        out.extend(self.generator.fractional_downchirp(1, 4));
+        // payload symbols
+        for &s in &frame.symbols {
+            out.extend(self.generator.upchirp(s as u32));
+        }
+        out
+    }
+
+    /// Modulate a bare symbol stream (no preamble/SFD) — the §6
+    /// concurrent-reception experiment transmits "random chirp symbols"
+    /// continuously.
+    pub fn modulate_symbols(&self, symbols: &[u16]) -> Vec<Complex> {
+        let mut out =
+            Vec::with_capacity(symbols.len() * self.chirp_cfg.samples_per_symbol());
+        for &s in symbols {
+            out.extend(self.generator.upchirp(s as u32));
+        }
+        out
+    }
+
+    /// Samples in one symbol period.
+    pub fn samples_per_symbol(&self) -> usize {
+        self.chirp_cfg.samples_per_symbol()
+    }
+}
+
+/// A single-tone "modulator" — the Fig. 8 experiment ("we implement a
+/// single-tone modulator on the FPGA that generates the appropriate I/Q
+/// samples and streams them over LVDS").
+pub fn single_tone(freq_offset_hz: f64, fs: f64, n: usize) -> Vec<Complex> {
+    let mut nco = tinysdr_dsp::nco::Nco::new(freq_offset_hz, fs);
+    nco.take(n)
+}
+
+/// Re-export for callers that need raw chirps.
+pub use tinysdr_dsp::chirp::ideal_chirp;
+
+/// An "SX1276-style" reference modulator: same frame structure, ideal
+/// (unquantized) chirps. This is the transmitter used as the comparator
+/// in Fig. 10 and the signal source in Fig. 11.
+#[derive(Debug, Clone)]
+pub struct ReferenceModulator {
+    chirp_cfg: ChirpConfig,
+    frame_params: FrameParams,
+}
+
+impl ReferenceModulator {
+    /// Build a reference modulator.
+    pub fn new(chirp_cfg: ChirpConfig, frame_params: FrameParams) -> Self {
+        assert_eq!(chirp_cfg.sf, frame_params.code.sf);
+        ReferenceModulator { chirp_cfg, frame_params }
+    }
+
+    /// Modulate payload bytes with ideal chirps.
+    pub fn modulate(&self, payload: &[u8]) -> Vec<Complex> {
+        let frame = Frame::from_payload(payload, self.frame_params);
+        let mut out = Vec::new();
+        for _ in 0..self.frame_params.preamble_len {
+            out.extend(ideal_chirp(&self.chirp_cfg, 0, ChirpDirection::Up));
+        }
+        for &s in &self.frame_params.sync_word {
+            out.extend(ideal_chirp(&self.chirp_cfg, s as u32, ChirpDirection::Up));
+        }
+        let down = ideal_chirp(&self.chirp_cfg, 0, ChirpDirection::Down);
+        out.extend(down.iter().copied());
+        out.extend(down.iter().copied());
+        out.extend(down[..down.len() / 4].iter().copied());
+        for &s in &frame.symbols {
+            out.extend(ideal_chirp(&self.chirp_cfg, s as u32, ChirpDirection::Up));
+        }
+        out
+    }
+
+    /// Modulate a bare symbol stream with ideal chirps.
+    pub fn modulate_symbols(&self, symbols: &[u16]) -> Vec<Complex> {
+        let mut out = Vec::new();
+        for &s in symbols {
+            out.extend(ideal_chirp(&self.chirp_cfg, s as u32, ChirpDirection::Up));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinysdr_dsp::complex::mean_power;
+
+    #[test]
+    fn frame_length_matches_structure() {
+        let m = Modulator::standard(8, 125e3, 1, 1);
+        let sig = m.modulate(&[1, 2, 3]);
+        let spsym = m.samples_per_symbol();
+        let frame = Frame::from_payload(&[1, 2, 3], *m.frame_params());
+        let expect = (m.frame_params().frame_symbols(frame.symbols.len()) * spsym as f64)
+            .round() as usize;
+        assert_eq!(sig.len(), expect);
+    }
+
+    #[test]
+    fn output_is_constant_envelope() {
+        let m = Modulator::standard(7, 250e3, 2, 1);
+        let sig = m.modulate(b"ce");
+        for z in &sig {
+            assert!((z.abs() - 1.0).abs() < 3e-3, "CSS must be constant envelope");
+        }
+        assert!((mean_power(&sig) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn symbols_only_stream_length() {
+        let m = Modulator::standard(8, 125e3, 4, 1);
+        let sig = m.modulate_symbols(&[0, 100, 255]);
+        assert_eq!(sig.len(), 3 * 256 * 4);
+    }
+
+    #[test]
+    fn single_tone_is_a_tone() {
+        use tinysdr_dsp::fft::{fft, peak_bin};
+        let sig = single_tone(500e3, 4e6, 4096);
+        let (k, _) = peak_bin(&fft(&sig));
+        assert_eq!(k, 512); // 500 kHz / 4 MHz × 4096
+    }
+
+    #[test]
+    #[should_panic(expected = "SF must agree")]
+    fn sf_mismatch_panics() {
+        let chirp = ChirpConfig::new(8, 125e3, 1);
+        let code = CodeParams::new(9, 1);
+        Modulator::new(chirp, FrameParams::new(code));
+    }
+
+    #[test]
+    fn reference_and_quantized_agree_closely() {
+        let chirp = ChirpConfig::new(8, 125e3, 1);
+        let fp = FrameParams::new(CodeParams::new(8, 1));
+        let q = Modulator::new(chirp, fp).modulate(b"abc");
+        let i = ReferenceModulator::new(chirp, fp).modulate(b"abc");
+        assert_eq!(q.len(), i.len());
+        let corr: Complex =
+            q.iter().zip(&i).map(|(&a, &b)| a * b.conj()).sum::<Complex>() / q.len() as f64;
+        assert!(corr.abs() > 0.98, "correlation {}", corr.abs());
+    }
+}

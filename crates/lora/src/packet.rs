@@ -1,0 +1,103 @@
+//! LoRa frame structure (paper Fig. 5).
+//!
+//! "the LoRa packet structure […] begins with a preamble of 10 zero
+//! symbols (upchirps with zero cyclic-shift). This is followed by the
+//! Sync field with two upchirp symbols. Next, a sequence of 2.25
+//! downchirp symbols (chirp symbol with linearly decreasing frequency)
+//! indicate the beginning of the payload. The payload then consists of a
+//! sequence of upchirp symbols which encode a header, payload and CRC."
+
+use crate::phy::CodeParams;
+
+/// Frame-level parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameParams {
+    /// PHY coding parameters.
+    pub code: CodeParams,
+    /// Preamble length in upchirp symbols (Fig. 5 uses 10; the OTA link
+    /// of §5.3 uses 8).
+    pub preamble_len: usize,
+    /// The two sync-word symbols (network discriminator).
+    pub sync_word: [u16; 2],
+}
+
+impl FrameParams {
+    /// Paper Fig. 5 defaults: 10-symbol preamble, public-network-style
+    /// sync symbols.
+    pub fn new(code: CodeParams) -> Self {
+        FrameParams { code, preamble_len: 10, sync_word: [8, 16] }
+    }
+
+    /// The §5.3 OTA configuration: 8-chirp preamble.
+    pub fn ota(code: CodeParams) -> Self {
+        FrameParams { code, preamble_len: 8, sync_word: [8, 16] }
+    }
+
+    /// Total frame length in *symbol periods* for a given payload-symbol
+    /// count: preamble + 2 sync + 2.25 SFD + payload.
+    pub fn frame_symbols(&self, payload_symbols: usize) -> f64 {
+        self.preamble_len as f64 + 2.0 + 2.25 + payload_symbols as f64
+    }
+}
+
+/// A fully described frame ready for the modulator: the symbol-domain
+/// view of Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame parameters used to build it.
+    pub params: FrameParams,
+    /// Payload chirp-symbol values (header + payload + CRC encoded).
+    pub symbols: Vec<u16>,
+}
+
+impl Frame {
+    /// Build a frame from payload bytes.
+    pub fn from_payload(payload: &[u8], params: FrameParams) -> Self {
+        let symbols = crate::phy::encode(payload, params.code);
+        Frame { params, symbols }
+    }
+
+    /// Total duration in seconds at bandwidth `bw`.
+    pub fn duration_s(&self, bw: f64) -> f64 {
+        let tsym = (1u32 << self.params.code.sf) as f64 / bw;
+        self.params.frame_symbols(self.symbols.len()) * tsym
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_structure_counts() {
+        let p = FrameParams::new(CodeParams::new(8, 1));
+        assert_eq!(p.preamble_len, 10);
+        // 10 preamble + 2 sync + 2.25 SFD + payload
+        assert!((p.frame_symbols(20) - 34.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_builds_and_times() {
+        let params = FrameParams::new(CodeParams::new(8, 1));
+        let f = Frame::from_payload(&[1, 2, 3], params);
+        assert!(!f.symbols.is_empty());
+        // SF8 BW125: tsym = 2.048 ms
+        let d = f.duration_s(125e3);
+        let expect = params.frame_symbols(f.symbols.len()) * 0.002048;
+        assert!((d - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ota_preamble_is_8() {
+        let p = FrameParams::ota(CodeParams::new(8, 2));
+        assert_eq!(p.preamble_len, 8);
+    }
+
+    #[test]
+    fn sync_word_symbols_in_range() {
+        let p = FrameParams::new(CodeParams::new(7, 1));
+        for s in p.sync_word {
+            assert!((s as usize) < (1 << 7));
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! LoRa PHY bit chain: bytes ⇄ chirp symbols.
+//!
+//! The layers, in transmit order (paper §4.1 primer + the LoRa PHY
+//! literature the paper builds on):
+//!
+//! 1. **Header** (explicit mode): payload length, coding rate, CRC flag,
+//!    checksum — always sent at the robust CR 4/8 in the first
+//!    interleaver block, which also runs at a reduced `SF−2` bits per
+//!    symbol.
+//! 2. **Whitening** of the payload (PN9 LFSR) to break up runs.
+//! 3. **CRC-16** over the unwhitened payload, appended.
+//! 4. **Hamming FEC** per nibble: CR 4/5 (parity), 4/6, 4/7, 4/8.
+//! 5. **Diagonal interleaving** over blocks of `sf_app` codewords.
+//! 6. **Gray mapping** so that off-by-one FFT-bin errors cost one bit.
+//!
+//! Every stage has an exact inverse, tested by round-trip and by
+//! error-injection tests (the Hamming stage must correct single bit
+//! errors at CR 4/7+, detect doubles at 4/8).
+
+/// Gray-encode (binary → Gray).
+#[inline]
+pub fn gray_encode(n: u16) -> u16 {
+    n ^ (n >> 1)
+}
+
+/// Gray-decode (Gray → binary).
+#[inline]
+pub fn gray_decode(g: u16) -> u16 {
+    let mut n = g;
+    let mut shift = 1;
+    while (g >> shift) > 0 {
+        n ^= g >> shift;
+        shift += 1;
+    }
+    // the loop above is O(width); equivalent closed form below keeps it
+    // simple and correct for 16-bit inputs
+    n
+}
+
+/// PN9 whitening sequence generator (x⁹ + x⁵ + 1, seed 0x1FF), one byte
+/// per step. Applied symmetric (XOR) on TX and RX.
+#[derive(Debug, Clone)]
+pub struct Whitener {
+    state: u16,
+}
+
+impl Whitener {
+    /// Fresh whitener at the standard seed.
+    pub fn new() -> Self {
+        Whitener { state: 0x1FF }
+    }
+
+    /// Next whitening byte.
+    pub fn next_byte(&mut self) -> u8 {
+        let mut out = 0u8;
+        for bit in 0..8 {
+            let fb = ((self.state >> 0) ^ (self.state >> 5)) & 1;
+            out |= ((self.state & 1) as u8) << bit;
+            self.state = (self.state >> 1) | (fb << 8);
+        }
+        out
+    }
+
+    /// XOR a buffer in place with the whitening stream.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+impl Default for Whitener {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC-16/CCITT (poly 0x1021, init 0x0000) — the LoRa payload CRC.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x0000;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Hamming-encode one nibble to a `4 + cr` bit codeword
+/// (`cr` ∈ 1..=4, i.e. CR 4/5 … 4/8).
+///
+/// * CR 4/8: Hamming(8,4) — corrects 1 bit, detects 2.
+/// * CR 4/7: Hamming(7,4) — corrects 1 bit.
+/// * CR 4/6: two parity bits — detects 1–2 bit errors.
+/// * CR 4/5: single parity — detects 1 bit error.
+pub fn hamming_encode(nibble: u8, cr: u8) -> u8 {
+    assert!(cr >= 1 && cr <= 4, "CR index must be 1..=4");
+    let d = nibble & 0x0F;
+    let d0 = d & 1;
+    let d1 = (d >> 1) & 1;
+    let d2 = (d >> 2) & 1;
+    let d3 = (d >> 3) & 1;
+    // Hamming(7,4) parity bits
+    let p0 = d0 ^ d1 ^ d3;
+    let p1 = d0 ^ d2 ^ d3;
+    let p2 = d1 ^ d2 ^ d3;
+    // extended parity for (8,4)
+    match cr {
+        1 => {
+            // CR 4/5: single parity over the nibble
+            let p = d0 ^ d1 ^ d2 ^ d3;
+            d | (p << 4)
+        }
+        2 => {
+            // CR 4/6: two parities
+            d | (p0 << 4) | (p1 << 5)
+        }
+        3 => {
+            // CR 4/7: full Hamming(7,4)
+            d | (p0 << 4) | (p1 << 5) | (p2 << 6)
+        }
+        _ => {
+            // CR 4/8: Hamming(7,4) + overall parity
+            let h7 = d | (p0 << 4) | (p1 << 5) | (p2 << 6);
+            let pe = (h7.count_ones() & 1) as u8;
+            h7 | (pe << 7)
+        }
+    }
+}
+
+/// Result of decoding one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammingResult {
+    /// Recovered nibble.
+    pub nibble: u8,
+    /// A single-bit error was corrected.
+    pub corrected: bool,
+    /// An uncorrectable error was detected (nibble is best-effort).
+    pub error: bool,
+}
+
+/// Decode a `4 + cr` bit codeword back to a nibble.
+pub fn hamming_decode(code: u8, cr: u8) -> HammingResult {
+    assert!(cr >= 1 && cr <= 4, "CR index must be 1..=4");
+    let d = code & 0x0F;
+    match cr {
+        1 => {
+            let p = (code >> 4) & 1;
+            let want = ((d & 1) ^ ((d >> 1) & 1) ^ ((d >> 2) & 1) ^ ((d >> 3) & 1)) & 1;
+            HammingResult { nibble: d, corrected: false, error: p != want }
+        }
+        2 => {
+            let d0 = d & 1;
+            let d1 = (d >> 1) & 1;
+            let d2 = (d >> 2) & 1;
+            let d3 = (d >> 3) & 1;
+            let p0 = (code >> 4) & 1;
+            let p1 = (code >> 5) & 1;
+            let e0 = p0 != (d0 ^ d1 ^ d3);
+            let e1 = p1 != (d0 ^ d2 ^ d3);
+            HammingResult { nibble: d, corrected: false, error: e0 || e1 }
+        }
+        3 | 4 => {
+            // Hamming(7,4) syndrome decode over bits [d0..d3, p0, p1, p2]
+            let mut bits = [0u8; 8];
+            for (i, b) in bits.iter_mut().enumerate() {
+                *b = (code >> i) & 1;
+            }
+            let s0 = bits[4] ^ bits[0] ^ bits[1] ^ bits[3];
+            let s1 = bits[5] ^ bits[0] ^ bits[2] ^ bits[3];
+            let s2 = bits[6] ^ bits[1] ^ bits[2] ^ bits[3];
+            let syndrome = (s2 << 2) | (s1 << 1) | s0;
+            // syndrome → bit position map for our parity equations:
+            // s0 covers {d0,d1,d3,p0}; s1 covers {d0,d2,d3,p1};
+            // s2 covers {d1,d2,d3,p2}
+            let flip: Option<usize> = match syndrome {
+                0b000 => None,
+                0b011 => Some(0), // d0 in s0+s1
+                0b101 => Some(1), // d1 in s0+s2
+                0b110 => Some(2), // d2 in s1+s2
+                0b111 => Some(3), // d3 in all
+                0b001 => Some(4), // p0 alone
+                0b010 => Some(5), // p1 alone
+                0b100 => Some(6), // p2 alone
+                _ => unreachable!(),
+            };
+            let mut corrected = false;
+            let mut fixed = bits;
+            if let Some(i) = flip {
+                fixed[i] ^= 1;
+                corrected = true;
+            }
+            let nibble = fixed[0] | (fixed[1] << 1) | (fixed[2] << 2) | (fixed[3] << 3);
+            if cr == 4 {
+                // overall parity check distinguishes double errors
+                let h7: u8 = (0..7).map(|i| (code >> i) & 1).sum::<u8>();
+                let pe = (code >> 7) & 1;
+                let parity_ok = (h7 & 1) == pe;
+                if corrected && parity_ok {
+                    // syndrome nonzero but overall parity consistent with
+                    // an even number of flips → double error, detectable
+                    return HammingResult { nibble, corrected: false, error: true };
+                }
+            }
+            HammingResult { nibble, corrected, error: false }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Diagonal interleaver: `sf_app` codewords of `4+cr` bits each →
+/// `4+cr` symbols of `sf_app` bits each.
+///
+/// Bit `j` of codeword `i` lands in symbol `j` at bit position
+/// `(i + j) mod sf_app` — the diagonal shift that spreads a burst of
+/// corrupted symbols across many codewords.
+pub fn interleave(codewords: &[u8], sf_app: usize, cr: u8) -> Vec<u16> {
+    assert_eq!(codewords.len(), sf_app, "one block is sf_app codewords");
+    let width = 4 + cr as usize;
+    let mut symbols = vec![0u16; width];
+    for (i, &cw) in codewords.iter().enumerate() {
+        for (j, sym) in symbols.iter_mut().enumerate() {
+            let bit = (cw >> j) & 1;
+            *sym |= (bit as u16) << ((i + j) % sf_app);
+        }
+    }
+    symbols
+}
+
+/// Inverse of [`interleave`].
+pub fn deinterleave(symbols: &[u16], sf_app: usize, cr: u8) -> Vec<u8> {
+    let width = 4 + cr as usize;
+    assert_eq!(symbols.len(), width, "one block is 4+cr symbols");
+    let mut codewords = vec![0u8; sf_app];
+    for (j, &sym) in symbols.iter().enumerate() {
+        for (i, cw) in codewords.iter_mut().enumerate() {
+            let bit = (sym >> ((i + j) % sf_app)) & 1;
+            *cw |= (bit as u8) << j;
+        }
+    }
+    codewords
+}
+
+/// PHY-layer coding parameters for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeParams {
+    /// Spreading factor 6..=12.
+    pub sf: u8,
+    /// Coding-rate index 1..=4 (CR 4/5..4/8).
+    pub cr: u8,
+    /// Low-data-rate optimization: use `SF−2` bits/symbol throughout.
+    pub ldro: bool,
+    /// Append/verify payload CRC-16.
+    pub crc: bool,
+}
+
+impl CodeParams {
+    /// Standard parameters.
+    pub fn new(sf: u8, cr: u8) -> Self {
+        assert!((6..=12).contains(&sf) && (1..=4).contains(&cr));
+        CodeParams { sf, cr, ldro: false, crc: true }
+    }
+
+    /// Bits carried per symbol in the payload blocks.
+    pub fn sf_app(&self) -> usize {
+        if self.ldro {
+            (self.sf - 2) as usize
+        } else {
+            self.sf as usize
+        }
+    }
+}
+
+/// Encode payload bytes into chirp-symbol values.
+///
+/// Layout: header block (8 symbols at CR 4/8, `SF−2` bits/symbol)
+/// carrying `[len, flags, checksum]` plus leading payload nibbles, then
+/// payload blocks at the configured CR. The returned symbols are ready
+/// for the modulator (Gray mapping already applied).
+pub fn encode(payload: &[u8], p: CodeParams) -> Vec<u16> {
+    assert!(payload.len() <= 255, "LoRa payload limit is 255 bytes");
+    assert!(
+        p.sf >= 7,
+        "explicit-header encoding needs SF >= 7 (SF6 is implicit-header only, as in LoRa)"
+    );
+    // 1. whiten payload, append CRC of the *unwhitened* payload
+    let crc = crc16(payload);
+    let mut body = payload.to_vec();
+    Whitener::new().apply(&mut body);
+    if p.crc {
+        body.push((crc >> 8) as u8);
+        body.push((crc & 0xFF) as u8);
+    }
+
+    // 2. header (unwhitened, fixed CR 4/8): the real LoRa PHY header is
+    // 20 bits = 5 nibbles — len(8), CR(3)+CRC(1), checksum(8) — which is
+    // exactly what fits the SF7 header block (sf_app = 5 codewords)
+    let flags = (p.cr << 1) | (p.crc as u8);
+    let hdr_chk = payload.len() as u8 ^ (flags << 4) ^ 0x5A;
+    let hdr_nibbles: [u8; 5] = [
+        (payload.len() as u8) >> 4,
+        (payload.len() as u8) & 0x0F,
+        flags,
+        hdr_chk >> 4,
+        hdr_chk & 0x0F,
+    ];
+    let mut body_nibbles: Vec<u8> = Vec::new();
+    for b in &body {
+        body_nibbles.push(b >> 4);
+        body_nibbles.push(b & 0x0F);
+    }
+
+    let mut symbols = Vec::new();
+
+    // 4. header block: sf_app = SF-2, CR 4/8; header nibbles first, then
+    // borrow payload nibbles to fill the block
+    let hdr_sf_app = (p.sf - 2) as usize;
+    let mut block0: Vec<u8> = Vec::with_capacity(hdr_sf_app);
+    let mut bn = body_nibbles.into_iter();
+    for k in 0..hdr_sf_app {
+        let nib = if k < hdr_nibbles.len() {
+            hdr_nibbles[k]
+        } else {
+            bn.next().unwrap_or(0)
+        };
+        block0.push(hamming_encode(nib, 4));
+    }
+    let blk = interleave(&block0, hdr_sf_app, 4);
+    // reduced-rate symbols are shifted up by 2 bits (they ride the
+    // most-significant SF-2 bits of the symbol, i.e. ×4)
+    symbols.extend(blk.iter().map(|&s| gray_to_symbol(s << 2, p.sf)));
+
+    // 5. payload blocks at the configured rate
+    let sf_app = p.sf_app();
+    let shift = (p.sf as usize - sf_app) as u16;
+    let rest: Vec<u8> = bn.collect();
+    for chunk in rest.chunks(sf_app) {
+        let mut block: Vec<u8> = chunk.iter().map(|&n| hamming_encode(n, p.cr)).collect();
+        while block.len() < sf_app {
+            block.push(hamming_encode(0, p.cr)); // pad nibbles
+        }
+        let blk = interleave(&block, sf_app, p.cr);
+        symbols.extend(blk.iter().map(|&s| gray_to_symbol(s << shift, p.sf)));
+    }
+    symbols
+}
+
+fn gray_to_symbol(v: u16, sf: u8) -> u16 {
+    // TX applies the inverse Gray map so that the receiver's
+    // gray_encode(bin) recovers the interleaved value
+    gray_decode(v) & ((1 << sf) - 1)
+}
+
+fn symbol_to_gray(s: u16, sf: u8) -> u16 {
+    gray_encode(s) & ((1 << sf) - 1)
+}
+
+/// Outcome of decoding a symbol stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Recovered payload bytes.
+    pub payload: Vec<u8>,
+    /// Payload CRC verified OK (always true when CRC disabled).
+    pub crc_ok: bool,
+    /// Header checksum verified OK.
+    pub header_ok: bool,
+    /// Number of FEC-corrected codewords.
+    pub corrections: usize,
+}
+
+/// Decode chirp-symbol values back into bytes. `p` must match the
+/// transmitter's parameters (in a real receiver the header conveys CR
+/// and CRC flag; we verify them against `p` and report mismatches via
+/// `header_ok`).
+pub fn decode(symbols: &[u16], p: CodeParams) -> Option<Decoded> {
+    let hdr_sf_app = (p.sf - 2) as usize;
+    if symbols.len() < 8 {
+        return None;
+    }
+    let mut corrections = 0usize;
+
+    // header block
+    let blk: Vec<u16> = symbols[..8]
+        .iter()
+        .map(|&s| symbol_to_gray(s, p.sf) >> 2)
+        .collect();
+    let cws = deinterleave(&blk, hdr_sf_app, 4);
+    let mut nibbles: Vec<u8> = Vec::new();
+    for cw in cws {
+        let r = hamming_decode(cw, 4);
+        if r.corrected {
+            corrections += 1;
+        }
+        nibbles.push(r.nibble);
+    }
+    if nibbles.len() < 5 {
+        return None;
+    }
+    let len = ((nibbles[0] << 4) | nibbles[1]) as usize;
+    let flags = nibbles[2];
+    let chk = (nibbles[3] << 4) | nibbles[4];
+    let header_ok = chk == (len as u8 ^ (flags << 4) ^ 0x5A)
+        && flags == ((p.cr << 1) | (p.crc as u8));
+
+    // payload nibbles borrowed into the header block
+    let mut body_nibbles: Vec<u8> = nibbles[5..].to_vec();
+
+    // payload blocks
+    let sf_app = p.sf_app();
+    let shift = (p.sf as usize - sf_app) as u16;
+    let width = 4 + p.cr as usize;
+    let mut idx = 8;
+    while idx + width <= symbols.len() {
+        let blk: Vec<u16> = symbols[idx..idx + width]
+            .iter()
+            .map(|&s| symbol_to_gray(s, p.sf) >> shift)
+            .collect();
+        let cws = deinterleave(&blk, sf_app, p.cr);
+        for cw in cws {
+            let r = hamming_decode(cw, p.cr);
+            if r.corrected {
+                corrections += 1;
+            }
+            body_nibbles.push(r.nibble);
+        }
+        idx += width;
+    }
+
+    // reassemble whitened body
+    let body_len = len + if p.crc { 2 } else { 0 };
+    if body_nibbles.len() < body_len * 2 {
+        return None;
+    }
+    let mut body: Vec<u8> = body_nibbles
+        .chunks(2)
+        .take(body_len)
+        .map(|c| (c[0] << 4) | c[1])
+        .collect();
+
+    // un-whiten payload portion, then check CRC
+    let mut crc_bytes = [0u8; 2];
+    if p.crc {
+        crc_bytes = [body[len], body[len + 1]];
+        body.truncate(len);
+    }
+    Whitener::new().apply(&mut body);
+    let crc_ok = if p.crc {
+        let want = ((crc_bytes[0] as u16) << 8) | crc_bytes[1] as u16;
+        crc16(&body) == want
+    } else {
+        true
+    };
+
+    Some(Decoded { payload: body, crc_ok, header_ok, corrections })
+}
+
+/// Number of symbols `encode` produces for a payload (used by the
+/// demodulator to know how many symbols to collect).
+pub fn symbol_count(payload_len: usize, p: CodeParams) -> usize {
+    let crc_bytes = if p.crc { 2 } else { 0 };
+    let total_nibbles = (payload_len + crc_bytes) * 2;
+    let hdr_sf_app = (p.sf - 2) as usize;
+    let borrowed = hdr_sf_app.saturating_sub(5);
+    let rest = total_nibbles.saturating_sub(borrowed);
+    let sf_app = p.sf_app();
+    let blocks = rest.div_ceil(sf_app);
+    8 + blocks * (4 + p.cr as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_round_trip() {
+        for n in 0..4096u16 {
+            assert_eq!(gray_decode(gray_encode(n)), n);
+        }
+        // adjacent values differ in exactly one bit
+        for n in 0..4095u16 {
+            let diff = gray_encode(n) ^ gray_encode(n + 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn whitener_is_symmetric_and_balanced() {
+        let mut a = vec![0u8; 256];
+        Whitener::new().apply(&mut a);
+        // applying again restores zeros
+        let mut b = a.clone();
+        Whitener::new().apply(&mut b);
+        assert!(b.iter().all(|&x| x == 0));
+        // output is roughly balanced (no long runs of zeros)
+        let ones: u32 = a.iter().map(|x| x.count_ones()).sum();
+        assert!((ones as i64 - 1024).abs() < 200, "ones {ones}");
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/XMODEM (poly 0x1021 init 0) of "123456789" = 0x31C3
+        assert_eq!(crc16(b"123456789"), 0x31C3);
+        assert_eq!(crc16(b""), 0x0000);
+    }
+
+    #[test]
+    fn hamming_round_trip_all_nibbles_all_rates() {
+        for cr in 1..=4u8 {
+            for n in 0..16u8 {
+                let c = hamming_encode(n, cr);
+                let r = hamming_decode(c, cr);
+                assert_eq!(r.nibble, n, "cr {cr} nibble {n}");
+                assert!(!r.corrected && !r.error);
+            }
+        }
+    }
+
+    #[test]
+    fn hamming74_corrects_any_single_bit() {
+        for n in 0..16u8 {
+            let c = hamming_encode(n, 3);
+            for bit in 0..7 {
+                let r = hamming_decode(c ^ (1 << bit), 3);
+                assert_eq!(r.nibble, n, "nibble {n} bit {bit}");
+                assert!(r.corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn hamming84_corrects_singles_detects_doubles() {
+        for n in 0..16u8 {
+            let c = hamming_encode(n, 4);
+            for bit in 0..7 {
+                let r = hamming_decode(c ^ (1 << bit), 4);
+                assert_eq!(r.nibble, n);
+                assert!(r.corrected && !r.error);
+            }
+            // double error: detected, not miscorrected silently
+            let r = hamming_decode(c ^ 0b11, 4);
+            assert!(r.error, "double error must be flagged for nibble {n}");
+        }
+    }
+
+    #[test]
+    fn parity_rates_detect_single_errors() {
+        for n in 0..16u8 {
+            for cr in 1..=2u8 {
+                let c = hamming_encode(n, cr);
+                let r = hamming_decode(c ^ 1, cr);
+                assert!(r.error, "cr {cr} must detect a flipped data bit");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_round_trip() {
+        for sf_app in [5usize, 7, 10, 12] {
+            for cr in 1..=4u8 {
+                let cws: Vec<u8> =
+                    (0..sf_app).map(|i| ((i * 37 + 11) % 256) as u8 & 0xFF).collect();
+                let masked: Vec<u8> =
+                    cws.iter().map(|&c| c & (((1u16 << (4 + cr)) - 1) as u8)).collect();
+                let syms = interleave(&masked, sf_app, cr);
+                assert_eq!(syms.len(), 4 + cr as usize);
+                let back = deinterleave(&syms, sf_app, cr);
+                assert_eq!(back, masked);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_spreads_symbol_corruption() {
+        // corrupting ONE symbol must touch at most one bit per codeword
+        let sf_app = 8;
+        let cr = 4;
+        let cws: Vec<u8> = (0..sf_app as u8).map(|i| hamming_encode(i, cr)).collect();
+        let mut syms = interleave(&cws, sf_app, cr);
+        syms[3] ^= 0xFF; // destroy a whole symbol
+        let back = deinterleave(&syms, sf_app, cr);
+        for (a, b) in back.iter().zip(&cws) {
+            assert!((a ^ b).count_ones() <= 1, "burst not spread: {a:08b} vs {b:08b}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for sf in 7..=12u8 {
+            for cr in 1..=4u8 {
+                let p = CodeParams::new(sf, cr);
+                let payload = b"tinySDR NSDI 2020";
+                let syms = encode(payload, p);
+                assert_eq!(syms.len(), symbol_count(payload.len(), p), "SF{sf} CR{cr}");
+                let dec = decode(&syms, p).expect("decodes");
+                assert_eq!(dec.payload, payload, "SF{sf} CR{cr}");
+                assert!(dec.crc_ok && dec.header_ok);
+                assert_eq!(dec.corrections, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn three_byte_payload_like_fig10() {
+        // the paper's Fig. 10 experiment uses 3-byte payloads at SF8
+        let p = CodeParams::new(8, 1);
+        let syms = encode(&[0xDE, 0xAD, 0xBF], p);
+        let dec = decode(&syms, p).unwrap();
+        assert_eq!(dec.payload, vec![0xDE, 0xAD, 0xBF]);
+        assert!(dec.crc_ok);
+    }
+
+    #[test]
+    fn single_symbol_error_corrected_at_cr48() {
+        let p = CodeParams { sf: 8, cr: 4, ldro: false, crc: true };
+        let payload = b"hello world, this is a longer payload";
+        let mut syms = encode(payload, p);
+        // flip one bit in one payload symbol (Gray mapping makes a ±1
+        // bin error a single bit flip)
+        let idx = 10;
+        syms[idx] ^= 1;
+        let dec = decode(&syms, p).unwrap();
+        assert_eq!(dec.payload, payload, "FEC must absorb a 1-bit symbol error");
+        assert!(dec.crc_ok);
+        assert!(dec.corrections >= 1);
+    }
+
+    #[test]
+    fn corrupted_payload_flagged_by_crc() {
+        let p = CodeParams::new(9, 1); // CR4/5 cannot correct
+        let payload = b"integrity matters";
+        let mut syms = encode(payload, p);
+        let n = syms.len();
+        syms[n - 2] ^= 0x3F; // big corruption near the end
+        let dec = decode(&syms, p).unwrap();
+        assert!(!dec.crc_ok, "CRC must catch uncorrectable damage");
+    }
+
+    #[test]
+    fn light_header_damage_is_corrected_by_fec() {
+        // the header block runs at CR 4/8 precisely so that a burst
+        // hitting a few symbols (≤1 bit per codeword after
+        // deinterleaving) is absorbed
+        let p = CodeParams::new(8, 2);
+        let payload = b"x";
+        let mut syms = encode(payload, p);
+        syms[0] ^= 0xC;
+        syms[1] ^= 0xC;
+        syms[2] ^= 0xC;
+        let dec = decode(&syms, p).expect("correctable");
+        assert_eq!(dec.payload, payload);
+        assert!(dec.header_ok && dec.crc_ok);
+        assert!(dec.corrections > 0, "FEC must have worked for this");
+    }
+
+    #[test]
+    fn heavy_header_damage_never_decodes_silently_wrong() {
+        // beyond FEC capacity the decoder must fail loudly: return None,
+        // clear header_ok/crc_ok, or still produce the true payload —
+        // anything but a silent wrong decode
+        let p = CodeParams::new(8, 2);
+        let payload = b"x";
+        for pattern in [0x3Fu16, 0xFF, 0xA5, 0x77] {
+            let mut syms = encode(payload, p);
+            for s in syms.iter_mut().take(6) {
+                *s ^= pattern;
+            }
+            if let Some(dec) = decode(&syms, p) {
+                let silent_wrong =
+                    dec.header_ok && dec.crc_ok && dec.payload != payload;
+                assert!(!silent_wrong, "pattern {pattern:#x} decoded silently wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn ldro_changes_symbol_count() {
+        let slow = CodeParams { sf: 12, cr: 1, ldro: true, crc: true };
+        let fast = CodeParams { sf: 12, cr: 1, ldro: false, crc: true };
+        let n_slow = encode(&[0u8; 50], slow).len();
+        let n_fast = encode(&[0u8; 50], fast).len();
+        assert!(n_slow > n_fast, "LDRO carries fewer bits per symbol");
+        // round trip still works
+        let dec = decode(&encode(&[7u8; 50], slow), slow).unwrap();
+        assert_eq!(dec.payload, vec![7u8; 50]);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let p = CodeParams::new(7, 1);
+        let dec = decode(&encode(&[], p), p).unwrap();
+        assert!(dec.payload.is_empty());
+        assert!(dec.crc_ok);
+    }
+
+    #[test]
+    fn max_payload_round_trips() {
+        let p = CodeParams::new(7, 4);
+        let payload: Vec<u8> = (0..255).map(|i| i as u8).collect();
+        let dec = decode(&encode(&payload, p), p).unwrap();
+        assert_eq!(dec.payload, payload);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based invariants for the LoRa stack.
+
+use proptest::prelude::*;
+use tinysdr_lora::lorawan::frame::{crypt_payload, DataFrame, FrameDirection, SessionKeys};
+use tinysdr_lora::lorawan::Aes128;
+use tinysdr_lora::phy::{self, CodeParams};
+
+proptest! {
+    /// The full PHY chain (whiten → CRC → Hamming → interleave → Gray)
+    /// is the identity for any payload at any SF/CR.
+    #[test]
+    fn phy_encode_decode_identity(
+        payload in prop::collection::vec(any::<u8>(), 0..120),
+        sf in 7u8..=12,
+        cr in 1u8..=4,
+    ) {
+        let p = CodeParams::new(sf, cr);
+        let syms = phy::encode(&payload, p);
+        let dec = phy::decode(&syms, p).expect("decodes");
+        prop_assert_eq!(dec.payload, payload);
+        prop_assert!(dec.crc_ok && dec.header_ok);
+    }
+
+    /// Any single corrupted symbol is absorbed at CR 4/7 and 4/8 (the
+    /// diagonal interleaver turns it into ≤1 bit per codeword).
+    #[test]
+    fn single_symbol_error_absorbed(
+        payload in prop::collection::vec(any::<u8>(), 4..60),
+        sf in 7u8..=10,
+        cr in 3u8..=4,
+        hit in any::<u16>(),
+        flip in any::<u16>(),
+    ) {
+        let p = CodeParams::new(sf, cr);
+        let mut syms = phy::encode(&payload, p);
+        let idx = 8 + (hit as usize % (syms.len() - 8)); // spare the header
+        let mask = ((1u16 << sf) - 1) & flip.max(1);
+        syms[idx] ^= mask;
+        if let Some(dec) = phy::decode(&syms, p) {
+            // either fully corrected or flagged — never silently wrong
+            if dec.crc_ok && dec.header_ok {
+                prop_assert_eq!(dec.payload, payload);
+            }
+        }
+    }
+
+    /// Hamming encode/decode identity for every nibble and rate, and
+    /// single-bit correction at CR 4/7 and 4/8.
+    #[test]
+    fn hamming_identity_and_correction(n in 0u8..16, cr in 1u8..=4, bit in 0u8..7) {
+        let c = phy::hamming_encode(n, cr);
+        prop_assert_eq!(phy::hamming_decode(c, cr).nibble, n);
+        if cr >= 3 {
+            let r = phy::hamming_decode(c ^ (1 << bit), cr);
+            prop_assert_eq!(r.nibble, n);
+        }
+    }
+
+    /// Interleaver is a bijection on blocks.
+    #[test]
+    fn interleaver_bijection(seed in any::<u64>(), sf_app in 5usize..=12, cr in 1u8..=4) {
+        let mask = ((1u16 << (4 + cr)) - 1) as u8;
+        let cws: Vec<u8> = (0..sf_app)
+            .map(|i| (seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32 * 7) as u8) & mask)
+            .collect();
+        let syms = phy::interleave(&cws, sf_app, cr);
+        prop_assert_eq!(phy::deinterleave(&syms, sf_app, cr), cws);
+    }
+
+    /// AES decrypt ∘ encrypt is the identity for any key/block.
+    #[test]
+    fn aes_round_trip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    /// LoRaWAN payload crypto is involutive and never the identity for
+    /// nonempty payloads (keystream is never all-zero in practice).
+    #[test]
+    fn lorawan_crypt_involutive(
+        key in any::<[u8; 16]>(),
+        addr in any::<u32>(),
+        fcnt in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let enc = crypt_payload(&key, addr, fcnt, FrameDirection::Uplink, &data);
+        let dec = crypt_payload(&key, addr, fcnt, FrameDirection::Uplink, &enc);
+        prop_assert_eq!(dec, data);
+    }
+
+    /// LoRaWAN data frames round-trip and any byte flip breaks the MIC.
+    #[test]
+    fn lorawan_frame_round_trip(
+        addr in any::<u32>(),
+        fcnt in 0u32..65536,
+        fport in 1u8..=223,
+        payload in prop::collection::vec(any::<u8>(), 0..48),
+        flip_at in any::<u16>(),
+    ) {
+        let keys = SessionKeys { nwk_skey: [7; 16], app_skey: [9; 16] };
+        let f = DataFrame {
+            dev_addr: addr,
+            fcnt,
+            fport,
+            payload: payload.clone(),
+            confirmed: false,
+            dir: FrameDirection::Uplink,
+        };
+        let wire = f.to_bytes(&keys);
+        let back = DataFrame::from_bytes(&wire, &keys).expect("verifies");
+        prop_assert_eq!(back.payload, payload);
+        prop_assert_eq!(back.fcnt, fcnt);
+        // tamper
+        let mut bad = wire.clone();
+        let i = flip_at as usize % bad.len();
+        bad[i] ^= 0x01;
+        prop_assert!(DataFrame::from_bytes(&bad, &keys).is_err());
+    }
+
+    /// Gray code: adjacent symbol values differ in exactly one bit.
+    #[test]
+    fn gray_adjacency(n in 0u16..4095) {
+        let d = phy::gray_encode(n) ^ phy::gray_encode(n + 1);
+        prop_assert_eq!(d.count_ones(), 1);
+    }
+
+    /// Whitening is involutive on arbitrary buffers.
+    #[test]
+    fn whitening_involutive(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut x = data.clone();
+        phy::Whitener::new().apply(&mut x);
+        phy::Whitener::new().apply(&mut x);
+        prop_assert_eq!(x, data);
+    }
+}

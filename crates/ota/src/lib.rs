@@ -1,0 +1,36 @@
+//! # tinysdr-ota
+//!
+//! Over-the-air programming (paper §3.4 and §5.3): "the first over-the-air
+//! SDR programming capability to support PHY and MAC updates in a
+//! wireless testbed."
+//!
+//! * [`lzo`] — a from-scratch byte-oriented LZ77 compressor/decompressor
+//!   in the miniLZO spirit (no entropy coder, byte-aligned tokens,
+//!   decompression working memory equal to the output size — the exact
+//!   property the paper leans on for the MCU).
+//! * [`image`] — firmware images: FPGA bitstreams (579 KB, content tied
+//!   to design utilization) and MCU programs (code-like content), with
+//!   CRC-32 integrity.
+//! * [`blocks`] — the 30 KB blocking pipeline: "we first divide the
+//!   original update file into blocks of 30 kB that will fit in the MCU
+//!   memory. Then we compress each block separately", and the
+//!   flash-backed decompression loop that respects the 64 KB SRAM.
+//! * [`protocol`] — the OTA MAC: ProgramRequest (device IDs + wake
+//!   time), Ready, sequenced+CRC'd Data packets, per-packet ACK,
+//!   End-of-update.
+//! * [`broadcast`] — the §7 "simultaneously broadcast the updates"
+//!   extension: one shared broadcast plus NACK-driven repair rounds,
+//!   with the sequential-vs-broadcast ablation.
+//! * [`session`] — the AP↔node session simulation over a lossy LoRa
+//!   link: programming time, retransmissions, and the §5.3 node-side
+//!   energy (6144 mJ per LoRa FPGA update, 2342 mJ per BLE update).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod broadcast;
+pub mod image;
+pub mod lzo;
+pub mod protocol;
+pub mod session;

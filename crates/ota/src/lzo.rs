@@ -1,0 +1,292 @@
+//! Byte-oriented LZ77 compression in the miniLZO spirit.
+//!
+//! The paper: "We choose the miniLZO compression algorithm, which is a
+//! lightweight subset of the Lempel–Ziv–Oberhumer (LZO) algorithm. Our
+//! implementation of miniLZO only requires a memory allocation equal to
+//! the size of the uncompressed data" (§3.4).
+//!
+//! This module implements the same *trade*, not the proprietary token
+//! grammar: greedy hash-chain matching, byte-aligned tokens, no entropy
+//! coder, single-pass decompression whose only working memory is the
+//! output buffer. Format (documented so the AP and MCU sides agree):
+//!
+//! ```text
+//! token T:
+//!   0x00..=0x7F  literal run of T+1 bytes (1..=128), bytes follow
+//!   0x80..=0xFF  match: length (T & 0x7F) + MIN_MATCH (4..=131),
+//!                followed by 2-byte little-endian distance (1..=65535)
+//! ```
+
+/// Minimum match length worth a 3-byte token.
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length encodable in one token.
+pub const MAX_MATCH: usize = 127 + MIN_MATCH;
+/// Maximum literal run per token.
+pub const MAX_LITERALS: usize = 128;
+/// Sliding-window (max match distance).
+pub const WINDOW: usize = 65_535;
+
+/// Errors from decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzoError {
+    /// Input ended inside a token.
+    Truncated,
+    /// A match referenced data before the start of the output.
+    BadDistance {
+        /// Offending distance.
+        distance: usize,
+        /// Output length at that point.
+        have: usize,
+    },
+    /// Output exceeded the caller's stated capacity (guards the MCU's
+    /// fixed allocation).
+    OutputOverflow,
+}
+
+impl std::fmt::Display for LzoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzoError::Truncated => write!(f, "compressed stream truncated"),
+            LzoError::BadDistance { distance, have } => {
+                write!(f, "match distance {distance} exceeds produced output {have}")
+            }
+            LzoError::OutputOverflow => write!(f, "output exceeds stated capacity"),
+        }
+    }
+}
+
+impl std::error::Error for LzoError {}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`. The output is self-framing; pair with
+/// [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let run = (to - s).min(MAX_LITERALS);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&input[s..s + run]);
+            s += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let cand = head[h];
+        head[h] = i;
+        let mut match_len = 0usize;
+        if cand != usize::MAX && i - cand <= WINDOW {
+            // verify and extend
+            let max = (input.len() - i).min(MAX_MATCH);
+            while match_len < max && input[cand + match_len] == input[i + match_len] {
+                match_len += 1;
+            }
+        }
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, lit_start, i, input);
+            let dist = i - cand;
+            out.push(0x80 | ((match_len - MIN_MATCH) as u8));
+            out.extend_from_slice(&(dist as u16).to_le_bytes());
+            // index the skipped positions sparsely (every other byte) —
+            // the speed/ratio trade miniLZO makes
+            let end = i + match_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= input.len() && j < end {
+                head[hash4(&input[j..])] = j;
+                j += 2;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, input.len(), input);
+    out
+}
+
+/// Decompress into a buffer of at most `max_output` bytes (the MCU's
+/// fixed allocation).
+///
+/// # Errors
+/// Fails on truncation, invalid back-references, or output overflow.
+pub fn decompress(input: &[u8], max_output: usize) -> Result<Vec<u8>, LzoError> {
+    let mut out: Vec<u8> = Vec::with_capacity(max_output.min(1 << 20));
+    let mut i = 0usize;
+    while i < input.len() {
+        let t = input[i];
+        i += 1;
+        if t < 0x80 {
+            let run = t as usize + 1;
+            if i + run > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            if out.len() + run > max_output {
+                return Err(LzoError::OutputOverflow);
+            }
+            out.extend_from_slice(&input[i..i + run]);
+            i += run;
+        } else {
+            if i + 2 > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            let len = (t & 0x7F) as usize + MIN_MATCH;
+            let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(LzoError::BadDistance { distance: dist, have: out.len() });
+            }
+            if out.len() + len > max_output {
+                return Err(LzoError::OutputOverflow);
+            }
+            // overlapping copy, byte at a time (RLE via dist < len)
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience ratio helper.
+pub fn ratio(uncompressed: usize, compressed: usize) -> f64 {
+    compressed as f64 / uncompressed as f64
+}
+
+/// MSP432-class decompression time model: the paper measures "a maximum
+/// of 450 ms" to decompress a full update. A byte-oriented LZ inner loop
+/// costs ~25 CPU cycles per *output* byte on a Cortex-M4F at 48 MHz.
+pub fn mcu_decompress_time_s(output_bytes: usize) -> f64 {
+    const CYCLES_PER_BYTE: f64 = 25.0;
+    const CLOCK_HZ: f64 = 48e6;
+    output_bytes as f64 * CYCLES_PER_BYTE / CLOCK_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let c = compress(data);
+        decompress(&c, data.len()).expect("decompresses")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(round_trip(&[]), Vec::<u8>::new());
+        assert_eq!(round_trip(b"a"), b"a");
+        assert_eq!(round_trip(b"abc"), b"abc");
+    }
+
+    #[test]
+    fn zeros_compress_hard() {
+        let data = vec![0u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 30, "zeros: {} -> {}", data.len(), c.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_stays_put() {
+        let mut s = 1u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 56) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        // incompressible: ≤ 1% expansion
+        assert!(c.len() <= data.len() + data.len() / 100 + 16);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data = b"tinySDR tinySDR tinySDR over the air over the air!".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 5, "text {} -> {}", data.len(), c.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // "abcabcabc..." exercises dist < len copies
+        let data: Vec<u8> = b"abc".iter().cycle().take(10_000).copied().collect();
+        assert_eq!(round_trip(&data), data);
+        let c = compress(&data);
+        assert!(c.len() < 400);
+    }
+
+    #[test]
+    fn mixed_structure() {
+        let mut data = vec![0u8; 4096];
+        data.extend(b"header".repeat(64));
+        data.extend((0u32..1024).flat_map(|x| x.to_le_bytes()));
+        data.extend(vec![0xFF; 2048]);
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let c = compress(b"hello world hello world hello world");
+        for cut in 1..c.len() {
+            // any prefix either errors or yields a strict prefix — never junk
+            match decompress(&c[..cut], 1024) {
+                Ok(partial) => assert!(b"hello world hello world hello world".starts_with(partial.as_slice())),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // match token with distance 100 but no produced output
+        let stream = [0x80 | 0, 100, 0];
+        assert!(matches!(
+            decompress(&stream, 1024),
+            Err(LzoError::BadDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn output_cap_enforced() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c, 999), Err(LzoError::OutputOverflow));
+        assert!(decompress(&c, 1000).is_ok());
+    }
+
+    #[test]
+    fn decompress_time_model_under_budget() {
+        // a full 579 KB bitstream decompresses in < 450 ms on the MCU
+        let t = mcu_decompress_time_s(579 * 1024);
+        assert!(t < 0.450, "decompress model {t} s");
+        assert!(t > 0.1, "should not be free either: {t} s");
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        // matches must never reference beyond 64 KB back
+        let mut data = vec![0xAAu8; 10];
+        data.extend(vec![0x55u8; WINDOW + 100]);
+        data.extend(vec![0xAAu8; 10]); // same as the prefix, but too far
+        assert_eq!(round_trip(&data), data);
+    }
+}

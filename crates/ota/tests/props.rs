@@ -1,0 +1,70 @@
+//! Property-based invariants for the OTA system.
+
+use proptest::prelude::*;
+use tinysdr_ota::lzo;
+use tinysdr_ota::protocol::{packetize, OtaMessage};
+
+proptest! {
+    /// LZ compression round-trips arbitrary data.
+    #[test]
+    fn lzo_round_trip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lzo::compress(&data);
+        let d = lzo::decompress(&c, data.len()).expect("decompresses");
+        prop_assert_eq!(d, data);
+    }
+
+    /// Compression of highly repetitive data always shrinks it.
+    #[test]
+    fn lzo_shrinks_repetition(byte in any::<u8>(), len in 256usize..8192) {
+        let data = vec![byte; len];
+        let c = lzo::compress(&data);
+        prop_assert!(c.len() < data.len() / 10);
+    }
+
+    /// Decompression never exceeds the stated output cap.
+    #[test]
+    fn lzo_respects_cap(data in prop::collection::vec(any::<u8>(), 1..1024)) {
+        let c = lzo::compress(&data);
+        match lzo::decompress(&c, data.len() - 1) {
+            Ok(out) => prop_assert!(out.len() < data.len()),
+            Err(lzo::LzoError::OutputOverflow) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// OTA messages round-trip and their CRC catches any single-bit
+    /// corruption.
+    #[test]
+    fn ota_message_round_trip(
+        seq in any::<u32>(),
+        chunk in prop::collection::vec(any::<u8>(), 0..=60),
+        flip in any::<u16>(),
+    ) {
+        let m = OtaMessage::Data { seq, chunk };
+        let wire = m.to_bytes().unwrap();
+        prop_assert_eq!(OtaMessage::from_bytes(&wire).unwrap(), m);
+        let mut bad = wire.clone();
+        let i = flip as usize % bad.len();
+        let bit = 1u8 << (flip % 8);
+        bad[i] ^= bit;
+        prop_assert!(OtaMessage::from_bytes(&bad).is_err());
+    }
+
+    /// Packetizing then concatenating the chunks reproduces the stream,
+    /// with sequence numbers dense from zero.
+    #[test]
+    fn packetize_lossless(stream in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let pkts = packetize(&stream);
+        let mut rebuilt = Vec::new();
+        for (i, p) in pkts.iter().enumerate() {
+            match p {
+                OtaMessage::Data { seq, chunk } => {
+                    prop_assert_eq!(*seq, i as u32);
+                    rebuilt.extend_from_slice(chunk);
+                }
+                _ => prop_assert!(false, "packetize must emit Data"),
+            }
+        }
+        prop_assert_eq!(rebuilt, stream);
+    }
+}

@@ -1,0 +1,103 @@
+//! Battery model and lifetime projections.
+//!
+//! The paper's claims anchored here (§5.2–5.3): a BLE beacon
+//! configuration "could run for over 2 years on a 1000 mAh battery when
+//! transmitting once per second", and "Using a 1000 mAh LiPo battery, we
+//! could OTA program each tinySDR node with LoRa 2100 times and BLE 5600
+//! times".
+
+/// A LiPo battery.
+#[derive(Debug, Clone, Copy)]
+pub struct Battery {
+    /// Rated capacity, mAh.
+    pub capacity_mah: f64,
+    /// Nominal voltage, volts.
+    pub voltage: f64,
+    /// Usable fraction of rated capacity (discharge cutoff, aging).
+    pub usable_fraction: f64,
+}
+
+impl Battery {
+    /// The paper's 1000 mAh 3.7 V LiPo, fully usable (the paper's
+    /// arithmetic is ideal-capacity).
+    pub fn lipo_1000mah() -> Self {
+        Battery { capacity_mah: 1000.0, voltage: 3.7, usable_fraction: 1.0 }
+    }
+
+    /// Total usable energy, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.capacity_mah / 1000.0 * 3600.0 * self.voltage * self.usable_fraction
+    }
+
+    /// Total usable energy, millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_j() * 1000.0
+    }
+
+    /// Lifetime in seconds at a constant average power draw (mW).
+    pub fn lifetime_s(&self, avg_power_mw: f64) -> f64 {
+        assert!(avg_power_mw > 0.0);
+        self.energy_mj() / avg_power_mw
+    }
+
+    /// Lifetime in days at a constant average draw (mW).
+    pub fn lifetime_days(&self, avg_power_mw: f64) -> f64 {
+        self.lifetime_s(avg_power_mw) / 86_400.0
+    }
+
+    /// Lifetime in years at a constant average draw (mW).
+    pub fn lifetime_years(&self, avg_power_mw: f64) -> f64 {
+        self.lifetime_days(avg_power_mw) / 365.25
+    }
+
+    /// How many operations of `energy_mj` each the battery can fund.
+    pub fn operations(&self, energy_mj: f64) -> u64 {
+        assert!(energy_mj > 0.0);
+        (self.energy_mj() / energy_mj) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_in_joules() {
+        // 1000 mAh · 3.7 V = 3.7 Wh = 13 320 J
+        let b = Battery::lipo_1000mah();
+        assert!((b.energy_j() - 13_320.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ota_update_counts_match_paper() {
+        // §5.3: 6144 mJ/LoRa update → 2100 updates; 2342 mJ/BLE → 5600
+        let b = Battery::lipo_1000mah();
+        let lora = b.operations(6144.0);
+        let ble = b.operations(2342.0);
+        assert!((lora as i64 - 2100).abs() < 100, "LoRa updates {lora}");
+        assert!((ble as i64 - 5600).abs() < 150, "BLE updates {ble}");
+    }
+
+    #[test]
+    fn sleep_only_lifetime_is_a_decade() {
+        // at the 30 µW sleep floor a 1000 mAh cell lasts ~14 years —
+        // sleep is not the binding constraint, duty cycling is
+        let b = Battery::lipo_1000mah();
+        assert!(b.lifetime_years(0.030) > 10.0);
+    }
+
+    #[test]
+    fn average_power_for_two_years() {
+        // 2-year lifetime needs ≤ 211 µW average
+        let b = Battery::lipo_1000mah();
+        let p = b.energy_mj() / (2.0 * 365.25 * 86_400.0);
+        assert!((p - 0.211).abs() < 0.01, "2-year budget {p} mW");
+    }
+
+    #[test]
+    fn usable_fraction_derates() {
+        let mut b = Battery::lipo_1000mah();
+        b.usable_fraction = 0.8;
+        assert!((b.energy_j() - 10_656.0).abs() < 1.0);
+    }
+}

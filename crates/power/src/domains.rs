@@ -1,0 +1,153 @@
+//! Power domains (paper Table 3).
+//!
+//! | Component      | Voltage            | Domain          |
+//! |----------------|--------------------|-----------------|
+//! | MCU            | 1.8 V              | V1              |
+//! | FPGA           | 1.1/1.8/2.5/Vlvds  | V2, V3, V4, V5  |
+//! | I/Q radio      | 1.8–3.6 V          | V5              |
+//! | Backbone radio | 1.8–3.6 V          | V5              |
+//! | sub-GHz PA     | 3.5 V              | V6              |
+//! | 2.4 GHz PA     | 1.8, 3.0 V         | V3, V7          |
+//! | Flash memory   | 1.8 V              | V3              |
+//! | microSD        | 3.0 V              | V7              |
+//!
+//! V1 is always on (TPS78218 LDO); V2/V3/V4/V7 are TPS62240 bucks; V6 is
+//! the TPS62080 (the 900 MHz PA's current exceeds the TPS62240 rating);
+//! V5 is the SC195 adjustable rail shared by both radios and the FPGA
+//! LVDS bank.
+
+use crate::regulator::{Regulator, RegulatorKind};
+
+/// The seven power domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Always-on MCU rail, 1.8 V.
+    V1,
+    /// FPGA core, 1.1 V.
+    V2,
+    /// FPGA aux / flash / 2.4 GHz PA logic, 1.8 V.
+    V3,
+    /// FPGA 2.5 V bank.
+    V4,
+    /// Shared adjustable rail: radios + FPGA LVDS bank, 1.8–3.6 V.
+    V5,
+    /// 900 MHz PA, 3.5 V.
+    V6,
+    /// microSD + 2.4 GHz PA supply, 3.0 V.
+    V7,
+}
+
+/// All domains in order.
+pub const ALL_DOMAINS: [Domain; 7] =
+    [Domain::V1, Domain::V2, Domain::V3, Domain::V4, Domain::V5, Domain::V6, Domain::V7];
+
+impl Domain {
+    /// The regulator species and default voltage for this domain
+    /// (Table 3 plus the §3.3 regulator selection narrative).
+    pub fn regulator(self) -> Regulator {
+        match self {
+            Domain::V1 => Regulator::new(RegulatorKind::Tps78218, 1.8),
+            Domain::V2 => Regulator::new(RegulatorKind::Tps62240, 1.1),
+            Domain::V3 => Regulator::new(RegulatorKind::Tps62240, 1.8),
+            Domain::V4 => Regulator::new(RegulatorKind::Tps62240, 2.5),
+            Domain::V5 => Regulator::new(RegulatorKind::Sc195, 1.8),
+            Domain::V6 => Regulator::new(RegulatorKind::Tps62080, 3.5),
+            Domain::V7 => Regulator::new(RegulatorKind::Tps62240, 3.0),
+        }
+    }
+
+    /// `true` if the PMU may gate this domain off (V1 keeps the MCU
+    /// alive for the wakeup timer).
+    pub fn gateable(self) -> bool {
+        self != Domain::V1
+    }
+}
+
+/// Components drawing power, for domain bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// MSP432 MCU.
+    Mcu,
+    /// LFE5U-25F FPGA (all rails aggregated onto its core domains).
+    Fpga,
+    /// AT86RF215 I/Q radio.
+    IqRadio,
+    /// SX1276 backbone radio.
+    Backbone,
+    /// SE2435L 900 MHz front end.
+    SubGhzPa,
+    /// SKY66112 2.4 GHz front end.
+    Pa2G4,
+    /// MX25R6435F programming flash.
+    Flash,
+    /// microSD card.
+    MicroSd,
+}
+
+impl Component {
+    /// Primary power domain of the component (Table 3). Components
+    /// spanning several rails are attributed to the rail carrying the
+    /// bulk of their current.
+    pub fn domain(self) -> Domain {
+        match self {
+            Component::Mcu => Domain::V1,
+            Component::Fpga => Domain::V2, // core rail dominates
+            Component::IqRadio => Domain::V5,
+            Component::Backbone => Domain::V5,
+            Component::SubGhzPa => Domain::V6,
+            Component::Pa2G4 => Domain::V7,
+            Component::Flash => Domain::V3,
+            Component::MicroSd => Domain::V7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_is_ldo_and_always_on() {
+        let r = Domain::V1.regulator();
+        assert_eq!(r.kind, RegulatorKind::Tps78218);
+        assert!(!Domain::V1.gateable());
+    }
+
+    #[test]
+    fn v6_uses_the_high_current_buck() {
+        assert_eq!(Domain::V6.regulator().kind, RegulatorKind::Tps62080);
+        assert!((Domain::V6.regulator().vout - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v5_is_adjustable() {
+        assert_eq!(Domain::V5.regulator().kind, RegulatorKind::Sc195);
+    }
+
+    #[test]
+    fn all_other_domains_gateable() {
+        for d in ALL_DOMAINS {
+            if d != Domain::V1 {
+                assert!(d.gateable(), "{d:?} must be gateable");
+            }
+        }
+    }
+
+    #[test]
+    fn component_domain_map_matches_table3() {
+        assert_eq!(Component::Mcu.domain(), Domain::V1);
+        assert_eq!(Component::IqRadio.domain(), Domain::V5);
+        assert_eq!(Component::Backbone.domain(), Domain::V5);
+        assert_eq!(Component::SubGhzPa.domain(), Domain::V6);
+        assert_eq!(Component::Flash.domain(), Domain::V3);
+        assert_eq!(Component::MicroSd.domain(), Domain::V7);
+    }
+
+    #[test]
+    fn voltages_match_table3() {
+        assert!((Domain::V2.regulator().vout - 1.1).abs() < 1e-9);
+        assert!((Domain::V3.regulator().vout - 1.8).abs() < 1e-9);
+        assert!((Domain::V4.regulator().vout - 2.5).abs() < 1e-9);
+        assert!((Domain::V7.regulator().vout - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Duty-cycle planning: the arithmetic behind "the key to achieving long
+//! battery lifetimes is exploiting their microwatt power sleep modes"
+//! (paper §2).
+//!
+//! A duty-cycled node alternates between an active phase (wake → work →
+//! sleep) and the 30 µW floor. Average power is the energy-weighted mix;
+//! Table 1's comparison exists precisely because other SDRs' *sleep*
+//! power exceeds TinySDR's *transmit* power.
+
+use crate::battery::Battery;
+
+/// One recurring activity pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct DutyCycle {
+    /// Period between activations, seconds.
+    pub period_s: f64,
+    /// Active time per activation (including wakeup), seconds.
+    pub active_s: f64,
+    /// Power while active, mW.
+    pub active_mw: f64,
+    /// Power while asleep, mW (the 30 µW floor → 0.030).
+    pub sleep_mw: f64,
+    /// Energy overhead per wakeup (FPGA reboot etc.), mJ.
+    pub wakeup_mj: f64,
+}
+
+impl DutyCycle {
+    /// Average power, mW.
+    pub fn average_power_mw(&self) -> f64 {
+        assert!(self.active_s <= self.period_s, "active time exceeds period");
+        let active_mj = self.active_mw * self.active_s + self.wakeup_mj;
+        let sleep_mj = self.sleep_mw * (self.period_s - self.active_s);
+        (active_mj + sleep_mj) / self.period_s
+    }
+
+    /// Duty-cycle fraction.
+    pub fn duty_fraction(&self) -> f64 {
+        self.active_s / self.period_s
+    }
+
+    /// Battery life under this pattern, years.
+    pub fn battery_life_years(&self, battery: &Battery) -> f64 {
+        battery.lifetime_years(self.average_power_mw())
+    }
+
+    /// Break-even sleep power: the sleep floor at which halving it stops
+    /// mattering (sleep and active contributions equal), mW. Useful for
+    /// the Table 1 argument.
+    pub fn sleep_power_parity_mw(&self) -> f64 {
+        (self.active_mw * self.active_s + self.wakeup_mj) / (self.period_s - self.active_s)
+    }
+}
+
+/// The Table 1 argument in one function: a platform with `sleep_mw` sleep
+/// power cannot benefit from duty cycling below that floor, so its best
+/// possible average equals `sleep_mw` even with zero active time.
+pub fn best_average_power_mw(sleep_mw: f64) -> f64 {
+    sleep_mw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sensor node reporting once a minute over LoRa.
+    fn lora_sensor() -> DutyCycle {
+        DutyCycle {
+            period_s: 60.0,
+            active_s: 0.15, // wake 22 ms + one SF8 packet
+            active_mw: 287.0,
+            sleep_mw: 0.030,
+            wakeup_mj: 2.0,
+        }
+    }
+
+    #[test]
+    fn duty_cycled_node_is_sub_milliwatt() {
+        let avg = lora_sensor().average_power_mw();
+        assert!(avg < 1.1, "average {avg} mW");
+        assert!(avg > 0.030);
+    }
+
+    #[test]
+    fn battery_life_dominated_by_activity_not_sleep() {
+        let b = Battery::lipo_1000mah();
+        let years = lora_sensor().battery_life_years(&b);
+        assert!(years > 0.3 && years < 2.0, "life {years} years");
+    }
+
+    #[test]
+    fn usrp_e310_cannot_duty_cycle_its_way_out() {
+        // E310 sleeps at 2820 mW (Table 1): even 0% duty cycle gives a
+        // 1000 mAh battery life of ~1.3 hours
+        let b = Battery::lipo_1000mah();
+        let best = best_average_power_mw(2820.0);
+        let hours = b.lifetime_s(best) / 3600.0;
+        assert!(hours < 2.0, "E310 best-case {hours} h");
+        // tinySDR's sleep floor alone gives years
+        assert!(b.lifetime_years(best_average_power_mw(0.030)) > 10.0);
+    }
+
+    #[test]
+    fn average_power_limits() {
+        // zero-activity pattern degenerates to the sleep floor
+        let idle = DutyCycle {
+            period_s: 60.0,
+            active_s: 0.0,
+            active_mw: 0.0,
+            sleep_mw: 0.030,
+            wakeup_mj: 0.0,
+        };
+        assert!((idle.average_power_mw() - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "active time exceeds period")]
+    fn over_100_percent_duty_rejected() {
+        DutyCycle {
+            period_s: 1.0,
+            active_s: 2.0,
+            active_mw: 1.0,
+            sleep_mw: 0.03,
+            wakeup_mj: 0.0,
+        }
+        .average_power_mw();
+    }
+
+    #[test]
+    fn parity_analysis() {
+        let d = lora_sensor();
+        // sleep floor is far below parity → further sleep reduction
+        // barely moves the average; activity dominates
+        assert!(d.sleep_mw < d.sleep_power_parity_mw());
+    }
+}

@@ -1,0 +1,32 @@
+//! # tinysdr-power
+//!
+//! The power-management substrate: voltage regulators, the seven power
+//! domains of the paper's Table 3, the PMU that gates them, an energy
+//! ledger, and battery/duty-cycle math.
+//!
+//! This crate is where the paper's headline number — **30 µW sleep
+//! power, 10 000× below existing SDR platforms** — is *computed* rather
+//! than asserted: [`pmu::Pmu::sleep_power_mw`] sums the LDO quiescent
+//! current, the buck converters' shutdown currents, the adjustable
+//! regulator's shutdown current, the MCU's LPM3 draw and the residual
+//! board leakage, and the test suite checks the total lands on the
+//! measured 30 µW.
+//!
+//! Modules:
+//! * [`regulator`] — TPS78218 LDO, TPS62240/TPS62080 bucks, SC195
+//!   adjustable, with quiescent/shutdown currents and efficiency curves.
+//! * [`domains`] — Table 3: which component hangs off which rail.
+//! * [`pmu`] — the gating logic the MCU drives (§3.3).
+//! * [`energy`] — (component, power, duration) ledger → mJ totals.
+//! * [`battery`] — 3.7 V LiPo model and lifetime projections.
+//! * [`duty`] — duty-cycle average-power planner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod domains;
+pub mod duty;
+pub mod energy;
+pub mod pmu;
+pub mod regulator;

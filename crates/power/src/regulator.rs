@@ -1,0 +1,178 @@
+//! Voltage-regulator models (paper §3.3).
+//!
+//! The board uses three regulator species, chosen around the
+//! quiescent-vs-efficiency trade-off the paper describes:
+//!
+//! * **TPS78218** LDO for the always-on MCU rail — "Although switching
+//!   voltage regulators have higher conversion efficiency when active,
+//!   they also have high quiescent currents so we instead select the
+//!   TPS78218 linear regulator."
+//! * **TPS62240** buck for gateable rails — "a shutdown current of only
+//!   0.1 uA".
+//! * **TPS62080** buck for the 900 MHz PA's high current.
+//! * **SC195** adjustable (1.8–3.6 V) for the shared radio/LVDS rail V5.
+
+/// Battery/input voltage assumed by the efficiency math, volts.
+pub const VIN: f64 = 3.7;
+
+/// Regulator species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegulatorKind {
+    /// TPS78218 150 mA LDO (always-on V1).
+    Tps78218,
+    /// TPS62240 300 mA buck (gateable rails).
+    Tps62240,
+    /// TPS62080 1.2 A buck (900 MHz PA rail).
+    Tps62080,
+    /// SC195 adjustable 500 mA buck (V5, 1.8–3.6 V programmable).
+    Sc195,
+}
+
+impl RegulatorKind {
+    /// Quiescent current while enabled, amps.
+    pub fn quiescent_a(self) -> f64 {
+        match self {
+            RegulatorKind::Tps78218 => 0.5e-6,
+            RegulatorKind::Tps62240 => 22e-6,
+            RegulatorKind::Tps62080 => 18e-6,
+            RegulatorKind::Sc195 => 30e-6,
+        }
+    }
+
+    /// Shutdown current while disabled, amps.
+    pub fn shutdown_a(self) -> f64 {
+        match self {
+            RegulatorKind::Tps78218 => 0.15e-6, // (never shut down in practice)
+            RegulatorKind::Tps62240 => 0.1e-6,  // the paper quotes this figure
+            RegulatorKind::Tps62080 => 0.3e-6,
+            RegulatorKind::Sc195 => 1.0e-6,
+        }
+    }
+
+    /// Peak conversion efficiency for buck types (LDO efficiency is
+    /// Vout/Vin by physics).
+    pub fn peak_efficiency(self) -> f64 {
+        match self {
+            RegulatorKind::Tps78218 => 1.0, // handled as Vout/Vin
+            RegulatorKind::Tps62240 => 0.90,
+            RegulatorKind::Tps62080 => 0.92,
+            RegulatorKind::Sc195 => 0.90,
+        }
+    }
+
+    /// `true` for switching converters.
+    pub fn is_switching(self) -> bool {
+        !matches!(self, RegulatorKind::Tps78218)
+    }
+}
+
+/// A regulator instance feeding one rail.
+#[derive(Debug, Clone, Copy)]
+pub struct Regulator {
+    /// Species.
+    pub kind: RegulatorKind,
+    /// Programmed output voltage, volts.
+    pub vout: f64,
+    /// Enable pin state.
+    pub enabled: bool,
+}
+
+impl Regulator {
+    /// New enabled regulator at `vout`.
+    pub fn new(kind: RegulatorKind, vout: f64) -> Self {
+        Regulator { kind, vout, enabled: true }
+    }
+
+    /// Conversion efficiency at a given load (mW at the output).
+    ///
+    /// Bucks follow a light-load rolloff (quiescent dominates); the LDO
+    /// is Vout/Vin regardless of load.
+    pub fn efficiency(&self, load_mw: f64) -> f64 {
+        if !self.kind.is_switching() {
+            return self.vout / VIN;
+        }
+        if load_mw <= 0.0 {
+            return 0.0;
+        }
+        let peak = self.kind.peak_efficiency();
+        // light-load rolloff: quiescent loss = Iq·Vin
+        let iq_mw = self.kind.quiescent_a() * VIN * 1000.0;
+        load_mw / (load_mw / peak + iq_mw)
+    }
+
+    /// Battery-side input power for a given output load, mW.
+    /// Disabled regulators draw only their shutdown current.
+    pub fn input_power_mw(&self, load_mw: f64) -> f64 {
+        if !self.enabled {
+            return self.kind.shutdown_a() * VIN * 1000.0;
+        }
+        if !self.kind.is_switching() {
+            // LDO: input current = output current + quiescent
+            let iout_a = if self.vout > 0.0 { load_mw / 1000.0 / self.vout } else { 0.0 };
+            return (iout_a + self.kind.quiescent_a()) * VIN * 1000.0;
+        }
+        let iq_mw = self.kind.quiescent_a() * VIN * 1000.0;
+        load_mw / self.kind.peak_efficiency() + iq_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldo_efficiency_is_voltage_ratio() {
+        let r = Regulator::new(RegulatorKind::Tps78218, 1.8);
+        assert!((r.efficiency(10.0) - 1.8 / 3.7).abs() < 1e-9);
+        assert!((r.efficiency(0.001) - 1.8 / 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldo_input_power_tracks_current() {
+        let r = Regulator::new(RegulatorKind::Tps78218, 1.8);
+        // 1.53 µW load (0.85 µA at 1.8 V) → input ≈ (0.85+0.5) µA · 3.7 V ≈ 5 µW
+        let p_in = r.input_power_mw(0.00153);
+        assert!((p_in - 0.005).abs() < 0.0005, "LDO sleep input {p_in} mW");
+    }
+
+    #[test]
+    fn buck_efficiency_peaks_at_load_and_rolls_off() {
+        let r = Regulator::new(RegulatorKind::Tps62240, 1.8);
+        let heavy = r.efficiency(100.0);
+        let light = r.efficiency(0.05);
+        assert!((heavy - 0.90).abs() < 0.01, "heavy-load eff {heavy}");
+        assert!(light < 0.45, "light-load eff {light} should collapse");
+        assert_eq!(r.efficiency(0.0), 0.0);
+    }
+
+    #[test]
+    fn shutdown_current_is_tiny() {
+        let mut r = Regulator::new(RegulatorKind::Tps62240, 1.8);
+        r.enabled = false;
+        // 0.1 µA · 3.7 V = 0.37 µW
+        assert!((r.input_power_mw(999.0) - 0.00037).abs() < 1e-6);
+    }
+
+    #[test]
+    fn buck_input_includes_quiescent() {
+        let r = Regulator::new(RegulatorKind::Tps62240, 1.8);
+        let p = r.input_power_mw(90.0);
+        assert!((p - (100.0 + 0.0814)).abs() < 0.1, "input {p}");
+    }
+
+    #[test]
+    fn pa_regulator_supports_high_load() {
+        // 900 MHz PA at 30 dBm: ~2.9 W supply → TPS62080 at 92%
+        let r = Regulator::new(RegulatorKind::Tps62080, 3.5);
+        let p = r.input_power_mw(2900.0);
+        assert!((p - 2900.0 / 0.92).abs() < 1.0);
+    }
+
+    #[test]
+    fn sc195_is_programmable_range() {
+        for v in [1.8, 2.5, 3.3, 3.6] {
+            let r = Regulator::new(RegulatorKind::Sc195, v);
+            assert!(r.efficiency(50.0) > 0.8);
+        }
+    }
+}

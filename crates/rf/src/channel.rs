@@ -1,0 +1,263 @@
+//! Channel models: calibrated AWGN, carrier/timing offsets, and
+//! packet-level fault injection.
+//!
+//! The paper's sensitivity sweeps (Figs. 10–12, 15) step the received
+//! signal strength while the receiver's noise stays fixed by physics:
+//! `N = −174 dBm/Hz + 10·log10(fs) + NF`. [`AwgnChannel`] reproduces
+//! exactly that: it scales the transmit waveform to the wanted RSSI and
+//! adds complex white Gaussian noise of the correct power for the
+//! simulation bandwidth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinysdr_dsp::complex::{mean_power, normalize_power, Complex};
+
+use crate::units::{dbm_to_mw, noise_floor_dbm};
+
+/// Complex AWGN generator with physical noise power.
+#[derive(Debug)]
+pub struct AwgnChannel {
+    /// Receiver noise figure in dB (AT86RF215: 3–5 dB per the paper; the
+    /// SX1276 comparator uses 7 dB).
+    pub noise_figure_db: f64,
+    rng: StdRng,
+}
+
+impl AwgnChannel {
+    /// Create a channel with a given receiver noise figure and RNG seed.
+    pub fn new(noise_figure_db: f64, seed: u64) -> Self {
+        AwgnChannel { noise_figure_db, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One sample of zero-mean complex Gaussian noise with total power
+    /// `p_mw` (split across I and Q), via Box–Muller.
+    #[inline]
+    fn noise_sample(&mut self, p_mw: f64) -> Complex {
+        let sigma = (p_mw / 2.0).sqrt();
+        // Box–Muller
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        Complex::new(sigma * r * theta.cos(), sigma * r * theta.sin())
+    }
+
+    /// Scale `sig` to `rssi_dbm` and add receiver noise for a simulation
+    /// (sampling) bandwidth of `fs` Hz. Returns the actual noise power in
+    /// mW that was injected.
+    ///
+    /// The *occupied* bandwidth of the signal does not matter here — a
+    /// narrowband signal inside a wide `fs` sees proportionally more total
+    /// noise, and the receiver's filtering/processing gain then recovers
+    /// the SNR, exactly as in hardware.
+    pub fn apply(&mut self, sig: &mut [Complex], rssi_dbm: f64, fs: f64) -> f64 {
+        normalize_power(sig, dbm_to_mw(rssi_dbm));
+        let n_mw = dbm_to_mw(noise_floor_dbm(fs, self.noise_figure_db));
+        for s in sig.iter_mut() {
+            *s += self.noise_sample(n_mw);
+        }
+        n_mw
+    }
+
+    /// Generate `n` samples of pure receiver noise (no signal present),
+    /// for noise-only occupancy tests.
+    pub fn noise_only(&mut self, n: usize, fs: f64) -> Vec<Complex> {
+        let n_mw = dbm_to_mw(noise_floor_dbm(fs, self.noise_figure_db));
+        (0..n).map(|_| self.noise_sample(n_mw)).collect()
+    }
+
+    /// Add noise to a pre-scaled signal without renormalizing it — used
+    /// when several transmitters are summed first (the concurrent
+    /// reception study, §6).
+    pub fn add_noise(&mut self, sig: &mut [Complex], fs: f64) -> f64 {
+        let n_mw = dbm_to_mw(noise_floor_dbm(fs, self.noise_figure_db));
+        for s in sig.iter_mut() {
+            *s += self.noise_sample(n_mw);
+        }
+        n_mw
+    }
+}
+
+/// Scale a signal buffer so its mean power equals `rssi_dbm` (no noise).
+pub fn set_rssi(sig: &mut [Complex], rssi_dbm: f64) {
+    normalize_power(sig, dbm_to_mw(rssi_dbm));
+}
+
+/// Measured RSSI of a buffer in dBm.
+pub fn measure_rssi(sig: &[Complex]) -> f64 {
+    crate::units::mw_to_dbm(mean_power(sig))
+}
+
+/// Apply a carrier frequency offset of `cfo_hz` (receiver LO error).
+pub fn apply_cfo(sig: &mut [Complex], cfo_hz: f64, fs: f64) {
+    let w = std::f64::consts::TAU * cfo_hz / fs;
+    for (n, s) in sig.iter_mut().enumerate() {
+        *s *= Complex::from_angle(w * n as f64);
+    }
+}
+
+/// Prepend `n` samples of silence (integer timing offset).
+pub fn apply_delay(sig: &[Complex], n: usize) -> Vec<Complex> {
+    let mut out = vec![Complex::ZERO; n];
+    out.extend_from_slice(sig);
+    out
+}
+
+/// Sum two transmissions sample-by-sample, zero-padding the shorter one —
+/// the collision channel for the concurrent-reception study.
+pub fn superpose(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            let x = a.get(i).copied().unwrap_or(Complex::ZERO);
+            let y = b.get(i).copied().unwrap_or(Complex::ZERO);
+            x + y
+        })
+        .collect()
+}
+
+/// smoltcp-style fault injection for packet-level links (the OTA testbed
+/// campaign uses this on top of the RSSI-derived PER).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Probability a packet is dropped outright.
+    pub drop_chance: f64,
+    /// Probability one random byte of a surviving packet is corrupted.
+    pub corrupt_chance: f64,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Create an injector; probabilities are clamped to `[0, 1]`.
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        FaultInjector {
+            drop_chance: drop_chance.clamp(0.0, 1.0),
+            corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Pass a packet through the faulty link. Returns `None` if dropped,
+    /// otherwise the (possibly corrupted) payload.
+    pub fn transmit(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        if self.rng.gen::<f64>() < self.drop_chance {
+            return None;
+        }
+        let mut out = packet.to_vec();
+        if !out.is_empty() && self.rng.gen::<f64>() < self.corrupt_chance {
+            let idx = self.rng.gen_range(0..out.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            out[idx] ^= bit;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{mw_to_dbm, thermal_noise_dbm};
+    use tinysdr_dsp::nco::ideal_tone;
+
+    #[test]
+    fn rssi_scaling_is_exact() {
+        let mut sig = ideal_tone(1000.0, 1e6, 4096);
+        set_rssi(&mut sig, -100.0);
+        assert!((measure_rssi(&sig) + 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_power_matches_physics() {
+        let mut ch = AwgnChannel::new(6.0, 42);
+        let fs = 1e6;
+        let noise = ch.noise_only(200_000, fs);
+        let p_dbm = mw_to_dbm(mean_power(&noise));
+        let expect = thermal_noise_dbm(fs) + 6.0;
+        assert!((p_dbm - expect).abs() < 0.1, "noise {p_dbm} vs {expect}");
+    }
+
+    #[test]
+    fn snr_after_apply_is_rssi_minus_floor() {
+        let fs = 500e3;
+        let nf = 4.5;
+        let rssi = -110.0;
+        let mut ch = AwgnChannel::new(nf, 7);
+        let mut sig = ideal_tone(10e3, fs, 100_000);
+        let n_mw = ch.apply(&mut sig, rssi, fs);
+        let total_dbm = measure_rssi(&sig);
+        // total power ≈ signal + noise
+        let expect_mw = dbm_to_mw(rssi) + n_mw;
+        assert!((dbm_to_mw(total_dbm) - expect_mw).abs() / expect_mw < 0.05);
+    }
+
+    #[test]
+    fn noise_is_complex_circular() {
+        let mut ch = AwgnChannel::new(0.0, 9);
+        let noise = ch.noise_only(100_000, 1e6);
+        let mean: Complex = noise.iter().copied().sum::<Complex>() / noise.len() as f64;
+        assert!(mean.abs() < 0.001 * mean_power(&noise).sqrt() * 100.0);
+        // I and Q power split equally
+        let pi: f64 = noise.iter().map(|z| z.re * z.re).sum::<f64>();
+        let pq: f64 = noise.iter().map(|z| z.im * z.im).sum::<f64>();
+        assert!((pi / pq - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cfo_shifts_tone() {
+        use tinysdr_dsp::fft::{fft, peak_bin};
+        let fs = 1e6;
+        let n = 1024;
+        let mut sig = ideal_tone(100.0 * fs / n as f64, fs, n);
+        apply_cfo(&mut sig, 50.0 * fs / n as f64, fs);
+        let (k, _) = peak_bin(&fft(&sig));
+        assert_eq!(k, 150);
+    }
+
+    #[test]
+    fn superpose_pads_shorter() {
+        let a = vec![Complex::ONE; 10];
+        let b = vec![Complex::ONE; 4];
+        let s = superpose(&a, &b);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], Complex::new(2.0, 0.0));
+        assert_eq!(s[9], Complex::ONE);
+    }
+
+    #[test]
+    fn delay_prepends_silence() {
+        let sig = vec![Complex::ONE; 3];
+        let d = apply_delay(&sig, 2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], Complex::ZERO);
+        assert_eq!(d[2], Complex::ONE);
+    }
+
+    #[test]
+    fn fault_injector_statistics() {
+        let mut fi = FaultInjector::new(0.3, 0.0, 123);
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            if fi.transmit(&[1, 2, 3]).is_none() {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn fault_injector_corruption_is_single_bit() {
+        let mut fi = FaultInjector::new(0.0, 1.0, 5);
+        let orig = vec![0u8; 16];
+        let got = fi.transmit(&orig).unwrap();
+        let diff: u32 = orig.iter().zip(&got).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = AwgnChannel::new(5.0, 99);
+        let mut b = AwgnChannel::new(5.0, 99);
+        assert_eq!(a.noise_only(16, 1e6), b.noise_only(16, 1e6));
+    }
+}

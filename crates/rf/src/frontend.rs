@@ -1,0 +1,216 @@
+//! External RF front-end modules: SE2435L (900 MHz) and SKY66112
+//! (2.4 GHz).
+//!
+//! The AT86RF215 tops out at 14 dBm, below the FCC's 30 dBm ceiling, so
+//! the board adds optional PAs with bypassable LNAs (paper §3.1.1):
+//! "Our 900 MHz PA supports up to 30 dBm output power, and the 2.4 GHz PA
+//! can output up to 27 dBm. […] The maximum bypass current is 280 uA and
+//! the sleep current of both power amplifiers is only 1 uA."
+
+use crate::units::{db_to_lin, dbm_to_mw};
+
+/// Which front-end chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEndKind {
+    /// Skyworks SE2435L, 900 MHz, up to +30 dBm.
+    Se2435l,
+    /// Skyworks SKY66112, 2.4 GHz, up to +27 dBm.
+    Sky66112,
+}
+
+impl FrontEndKind {
+    /// Maximum PA output power, dBm.
+    pub fn max_output_dbm(self) -> f64 {
+        match self {
+            FrontEndKind::Se2435l => 30.0,
+            FrontEndKind::Sky66112 => 27.0,
+        }
+    }
+
+    /// Small-signal PA gain, dB (datasheet typicals).
+    pub fn pa_gain_db(self) -> f64 {
+        match self {
+            FrontEndKind::Se2435l => 22.0,
+            FrontEndKind::Sky66112 => 20.0,
+        }
+    }
+
+    /// LNA gain in receive mode, dB.
+    pub fn lna_gain_db(self) -> f64 {
+        match self {
+            FrontEndKind::Se2435l => 16.0,
+            FrontEndKind::Sky66112 => 12.0,
+        }
+    }
+
+    /// LNA noise figure, dB.
+    pub fn lna_nf_db(self) -> f64 {
+        match self {
+            FrontEndKind::Se2435l => 2.0,
+            FrontEndKind::Sky66112 => 2.2,
+        }
+    }
+}
+
+/// Routing mode of the front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEndMode {
+    /// Everything off; 1 µA sleep current.
+    Sleep,
+    /// Straight-through: PA and LNA both bypassed (≤280 µA).
+    Bypass,
+    /// Transmit through the PA.
+    TxPa,
+    /// Receive through the LNA.
+    RxLna,
+}
+
+/// A front-end module instance.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    /// Which chip this is.
+    pub kind: FrontEndKind,
+    mode: FrontEndMode,
+    /// Supply voltage for current→power conversion (V6/V7 domains).
+    supply_v: f64,
+}
+
+impl FrontEnd {
+    /// Instantiate the 900 MHz front end (3.5 V domain V6).
+    pub fn se2435l() -> Self {
+        FrontEnd { kind: FrontEndKind::Se2435l, mode: FrontEndMode::Sleep, supply_v: 3.5 }
+    }
+
+    /// Instantiate the 2.4 GHz front end (3.0 V domain V7).
+    pub fn sky66112() -> Self {
+        FrontEnd { kind: FrontEndKind::Sky66112, mode: FrontEndMode::Sleep, supply_v: 3.0 }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> FrontEndMode {
+        self.mode
+    }
+
+    /// Switch operating mode.
+    pub fn set_mode(&mut self, mode: FrontEndMode) {
+        self.mode = mode;
+    }
+
+    /// Output power for a given radio (driver) output power, dBm,
+    /// respecting the mode and saturation.
+    pub fn output_power_dbm(&self, input_dbm: f64) -> f64 {
+        match self.mode {
+            FrontEndMode::Sleep => -300.0, // nothing gets through
+            FrontEndMode::Bypass => input_dbm - 0.5, // insertion loss
+            FrontEndMode::TxPa => {
+                (input_dbm + self.kind.pa_gain_db()).min(self.kind.max_output_dbm())
+            }
+            FrontEndMode::RxLna => input_dbm + self.kind.lna_gain_db(),
+        }
+    }
+
+    /// Supply power in the current mode, mW. The PA draw scales with RF
+    /// output (class-AB-ish efficiency), matching the datasheet's
+    /// hundreds-of-mA at full power.
+    pub fn supply_power_mw(&self, rf_out_dbm: f64) -> f64 {
+        match self.mode {
+            FrontEndMode::Sleep => 1e-3 * self.supply_v,          // 1 µA
+            FrontEndMode::Bypass => 0.28 * self.supply_v,         // ≤280 µA
+            FrontEndMode::RxLna => {
+                match self.kind {
+                    FrontEndKind::Se2435l => 15.0, // LNA bias
+                    FrontEndKind::Sky66112 => 10.0,
+                }
+            }
+            FrontEndMode::TxPa => {
+                let eff = 0.35; // drain efficiency near rated output
+                let bias = 40.0;
+                bias + dbm_to_mw(rf_out_dbm.min(self.kind.max_output_dbm())) / eff
+            }
+        }
+    }
+
+    /// Effective noise figure contribution in RX, dB: the LNA improves
+    /// the cascade; bypass adds only its insertion loss.
+    pub fn rx_noise_figure_db(&self, radio_nf_db: f64) -> f64 {
+        match self.mode {
+            FrontEndMode::RxLna => {
+                // Friis with LNA first: NF ≈ NF_lna + (NF_radio−1)/G_lna
+                let g = db_to_lin(self.kind.lna_gain_db());
+                let f_lna = db_to_lin(self.kind.lna_nf_db());
+                let f_radio = db_to_lin(radio_nf_db);
+                10.0 * (f_lna + (f_radio - 1.0) / g).log10()
+            }
+            FrontEndMode::Bypass => radio_nf_db + 0.5,
+            _ => radio_nf_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_reaches_rated_power() {
+        let mut fe = FrontEnd::se2435l();
+        fe.set_mode(FrontEndMode::TxPa);
+        // 14 dBm drive + 22 dB gain saturates at 30 dBm
+        assert_eq!(fe.output_power_dbm(14.0), 30.0);
+        assert!((fe.output_power_dbm(0.0) - 22.0).abs() < 1e-9);
+        let mut fe = FrontEnd::sky66112();
+        fe.set_mode(FrontEndMode::TxPa);
+        assert_eq!(fe.output_power_dbm(14.0), 27.0);
+    }
+
+    #[test]
+    fn bypass_has_insertion_loss_only() {
+        let mut fe = FrontEnd::se2435l();
+        fe.set_mode(FrontEndMode::Bypass);
+        assert!((fe.output_power_dbm(10.0) - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_current_is_one_microamp() {
+        let fe = FrontEnd::se2435l();
+        // 1 µA × 3.5 V = 3.5 µW
+        assert!((fe.supply_power_mw(0.0) - 0.0035).abs() < 1e-6);
+        let fe = FrontEnd::sky66112();
+        assert!((fe.supply_power_mw(0.0) - 0.003).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bypass_current_280ua() {
+        let mut fe = FrontEnd::se2435l();
+        fe.set_mode(FrontEndMode::Bypass);
+        assert!((fe.supply_power_mw(0.0) - 0.98).abs() < 0.01);
+    }
+
+    #[test]
+    fn pa_power_scales_with_output() {
+        let mut fe = FrontEnd::se2435l();
+        fe.set_mode(FrontEndMode::TxPa);
+        let p30 = fe.supply_power_mw(30.0);
+        let p20 = fe.supply_power_mw(20.0);
+        assert!(p30 > p20);
+        // 1 W out at 35% efficiency ≈ 2.9 W supply
+        assert!((p30 - (40.0 + 1000.0 / 0.35)).abs() < 1.0);
+    }
+
+    #[test]
+    fn lna_improves_noise_figure() {
+        let mut fe = FrontEnd::se2435l();
+        fe.set_mode(FrontEndMode::RxLna);
+        let nf = fe.rx_noise_figure_db(4.5);
+        assert!(nf < 4.5, "cascade NF {nf}");
+        assert!(nf > 2.0);
+        fe.set_mode(FrontEndMode::Bypass);
+        assert!((fe.rx_noise_figure_db(4.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_blocks_signal() {
+        let fe = FrontEnd::sky66112();
+        assert_eq!(fe.output_power_dbm(14.0), -300.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Bit-exact LVDS I/Q word interface (paper Fig. 4 and §3.2.1).
+//!
+//! The AT86RF215 streams 32-bit serial words at 4 Mword/s:
+//!
+//! ```text
+//!  bit 31 30 | 29 .. 17 | 16  | 15 14 | 13 .. 1 | 0
+//!     I_SYNC |  I_DATA  | CTRL| Q_SYNC | Q_DATA  | CTRL
+//!      (10)  | 13 bits  |     |  (01)  | 13 bits |
+//! ```
+//!
+//! "Each data word starts with the I_SYNC pattern which indicates the
+//! start of the I sample which we use for synchronization." The required
+//! 128 Mbit/s is carried on a 64 MHz DDR clock. The FPGA implements an
+//! *I/Q deserializer* that samples both clock edges, hunts for I_SYNC /
+//! Q_SYNC, and presents 13-bit parallel I/Q — this module is that block,
+//! plus its TX-side dual (the *I/Q serializer* built from the pseudo
+//! dual-edge flip-flop design the paper cites).
+
+use tinysdr_dsp::complex::Complex;
+use tinysdr_dsp::fixed::Quantizer;
+
+/// LVDS bit clock (DDR): 64 MHz × 2 edges = 128 Mbit/s.
+pub const LVDS_CLOCK_HZ: f64 = 64e6;
+/// Serial bit rate over the differential pair.
+pub const LVDS_BIT_RATE: f64 = 128e6;
+/// Bits per I/Q word.
+pub const BITS_PER_WORD: usize = 32;
+/// Word (sample) rate: 4 Mword/s at 4 MHz sampling.
+pub const WORD_RATE: f64 = LVDS_BIT_RATE / BITS_PER_WORD as f64;
+
+/// Two-bit synchronization pattern opening the I half-word.
+pub const I_SYNC: u32 = 0b10;
+/// Two-bit synchronization pattern opening the Q half-word.
+pub const Q_SYNC: u32 = 0b01;
+
+/// A decoded I/Q word: 13-bit signed I and Q plus the two control bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqWord {
+    /// In-phase sample, sign-extended from 13 bits.
+    pub i: i16,
+    /// Quadrature sample, sign-extended from 13 bits.
+    pub q: i16,
+    /// Control bit following I_DATA (radio status signalling).
+    pub ctrl_i: bool,
+    /// Control bit following Q_DATA.
+    pub ctrl_q: bool,
+}
+
+/// Errors from the word codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LvdsError {
+    /// The I_SYNC field did not match.
+    BadISync,
+    /// The Q_SYNC field did not match.
+    BadQSync,
+    /// A 13-bit field overflowed during encode.
+    Overflow,
+}
+
+impl std::fmt::Display for LvdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LvdsError::BadISync => write!(f, "I_SYNC pattern mismatch"),
+            LvdsError::BadQSync => write!(f, "Q_SYNC pattern mismatch"),
+            LvdsError::Overflow => write!(f, "13-bit I/Q field overflow"),
+        }
+    }
+}
+
+impl std::error::Error for LvdsError {}
+
+const DATA_MASK: i32 = 0x1FFF; // 13 bits
+const DATA_MAX: i16 = 4095;
+const DATA_MIN: i16 = -4096;
+
+impl IqWord {
+    /// Build a word from 13-bit signed I/Q values with control bits clear.
+    ///
+    /// # Errors
+    /// Returns [`LvdsError::Overflow`] if either value exceeds 13 signed
+    /// bits.
+    pub fn new(i: i16, q: i16) -> Result<Self, LvdsError> {
+        if !(DATA_MIN..=DATA_MAX).contains(&i) || !(DATA_MIN..=DATA_MAX).contains(&q) {
+            return Err(LvdsError::Overflow);
+        }
+        Ok(IqWord { i, q, ctrl_i: false, ctrl_q: false })
+    }
+
+    /// Pack into the 32-bit wire format of Fig. 4.
+    pub fn encode(&self) -> u32 {
+        let i13 = (self.i as i32 & DATA_MASK) as u32;
+        let q13 = (self.q as i32 & DATA_MASK) as u32;
+        (I_SYNC << 30)
+            | (i13 << 17)
+            | ((self.ctrl_i as u32) << 16)
+            | (Q_SYNC << 14)
+            | (q13 << 1)
+            | (self.ctrl_q as u32)
+    }
+
+    /// Unpack from the 32-bit wire format, verifying both sync patterns.
+    ///
+    /// # Errors
+    /// Returns a sync error if either pattern is wrong.
+    pub fn decode(word: u32) -> Result<Self, LvdsError> {
+        if (word >> 30) & 0b11 != I_SYNC {
+            return Err(LvdsError::BadISync);
+        }
+        if (word >> 14) & 0b11 != Q_SYNC {
+            return Err(LvdsError::BadQSync);
+        }
+        let sign_extend = |v: u32| -> i16 {
+            // 13-bit two's complement → i16
+            let v = v & DATA_MASK as u32;
+            if v & 0x1000 != 0 {
+                (v as i32 - 0x2000) as i16
+            } else {
+                v as i16
+            }
+        };
+        Ok(IqWord {
+            i: sign_extend(word >> 17),
+            q: sign_extend(word >> 1),
+            ctrl_i: (word >> 16) & 1 != 0,
+            ctrl_q: word & 1 != 0,
+        })
+    }
+}
+
+/// TX-side serializer: I/Q samples → LVDS bit stream (MSB first).
+///
+/// This is the FPGA's "I/Q Serializer" fed by the modulators; the 64 MHz
+/// PLL clock and dual-edge flip-flop are abstracted into the flat bit
+/// vector (one entry per DDR half-cycle).
+#[derive(Debug)]
+pub struct Serializer {
+    quantizer: Quantizer,
+}
+
+impl Default for Serializer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Serializer {
+    /// Serializer with the radio's 13-bit quantizer.
+    pub fn new() -> Self {
+        Serializer { quantizer: Quantizer::AT86RF215 }
+    }
+
+    /// Serialize complex samples (full scale ±1.0) into bits.
+    pub fn serialize(&self, samples: &[Complex]) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(samples.len() * BITS_PER_WORD);
+        for &z in samples {
+            let (i, q) = self.quantizer.quantize_iq(z);
+            let word = IqWord::new(i as i16, q as i16)
+                .expect("quantizer output always fits 13 bits")
+                .encode();
+            for b in (0..32).rev() {
+                bits.push((word >> b) & 1 != 0);
+            }
+        }
+        bits
+    }
+
+    /// Wire time to send `n_samples` at the fixed word rate, in seconds.
+    pub fn airtime(n_samples: usize) -> f64 {
+        n_samples as f64 / WORD_RATE
+    }
+}
+
+/// RX-side streaming deserializer with sync hunting.
+///
+/// Feed bits in any chunking via [`Deserializer::push_bits`]; decoded
+/// samples accumulate in order. The block hunts for bit alignment using
+/// the I_SYNC/Q_SYNC patterns of two consecutive words before declaring
+/// lock, and re-hunts if sync is lost mid-stream.
+#[derive(Debug)]
+pub struct Deserializer {
+    window: u64,
+    bits_in_window: usize,
+    locked: bool,
+    /// Words decoded since creation.
+    pub words_out: u64,
+    /// Number of times lock was lost after having been acquired.
+    pub sync_losses: u64,
+    quantizer: Quantizer,
+    out: Vec<Complex>,
+}
+
+impl Default for Deserializer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deserializer {
+    /// Fresh, unlocked deserializer.
+    pub fn new() -> Self {
+        Deserializer {
+            window: 0,
+            bits_in_window: 0,
+            locked: false,
+            words_out: 0,
+            sync_losses: 0,
+            quantizer: Quantizer::AT86RF215,
+            out: Vec::new(),
+        }
+    }
+
+    /// `true` once word alignment has been acquired.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Push a slice of bits; decoded samples are appended internally.
+    pub fn push_bits(&mut self, bits: &[bool]) {
+        for &b in bits {
+            self.window = (self.window << 1) | b as u64;
+            self.bits_in_window = (self.bits_in_window + 1).min(64);
+            if !self.locked {
+                // need two consecutive plausible words (64 bits) to lock
+                if self.bits_in_window == 64 && Self::plausible(self.window) {
+                    // consume the older word now, keep the newer 32 bits
+                    let w0 = (self.window >> 32) as u32;
+                    self.emit(w0);
+                    self.locked = true;
+                    self.bits_in_window = 32;
+                }
+            } else if self.bits_in_window == 64 {
+                let w0 = (self.window >> 32) as u32;
+                match IqWord::decode(w0) {
+                    Ok(_) => {
+                        self.emit(w0);
+                        self.bits_in_window = 32;
+                    }
+                    Err(_) => {
+                        self.locked = false;
+                        self.sync_losses += 1;
+                        // keep hunting with the current window contents
+                    }
+                }
+            }
+        }
+    }
+
+    fn plausible(window: u64) -> bool {
+        let w0 = (window >> 32) as u32;
+        let w1 = window as u32;
+        IqWord::decode(w0).is_ok() && IqWord::decode(w1).is_ok()
+    }
+
+    fn emit(&mut self, word: u32) {
+        if let Ok(iq) = IqWord::decode(word) {
+            self.out.push(Complex::new(
+                self.quantizer.dequantize(iq.i as i32),
+                self.quantizer.dequantize(iq.q as i32),
+            ));
+            self.words_out += 1;
+        }
+    }
+
+    /// Flush: decode the final buffered word if one is pending, then
+    /// return all decoded samples.
+    pub fn finish(mut self) -> Vec<Complex> {
+        if self.locked && self.bits_in_window >= 32 {
+            let w = (self.window >> (self.bits_in_window - 32)) as u32;
+            self.emit(w);
+        }
+        self.out
+    }
+
+    /// Borrow the samples decoded so far.
+    pub fn samples(&self) -> &[Complex] {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinysdr_dsp::nco::ideal_tone;
+
+    #[test]
+    fn word_encode_decode_round_trip() {
+        for (i, q) in [(0i16, 0i16), (4095, -4096), (-1, 1), (1234, -987)] {
+            let w = IqWord::new(i, q).unwrap();
+            let enc = w.encode();
+            let dec = IqWord::decode(enc).unwrap();
+            assert_eq!(dec.i, i);
+            assert_eq!(dec.q, q);
+        }
+    }
+
+    #[test]
+    fn sync_fields_present() {
+        let w = IqWord::new(0, 0).unwrap().encode();
+        assert_eq!(w >> 30, I_SYNC);
+        assert_eq!((w >> 14) & 0b11, Q_SYNC);
+    }
+
+    #[test]
+    fn decode_rejects_bad_sync() {
+        let good = IqWord::new(100, -100).unwrap().encode();
+        assert_eq!(IqWord::decode(good ^ (1 << 31)), Err(LvdsError::BadISync));
+        assert_eq!(IqWord::decode(good ^ (1 << 14)), Err(LvdsError::BadQSync));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        assert_eq!(IqWord::new(4096, 0), Err(LvdsError::Overflow));
+        assert_eq!(IqWord::new(0, -4097), Err(LvdsError::Overflow));
+    }
+
+    #[test]
+    fn control_bits_travel() {
+        let mut w = IqWord::new(5, -5).unwrap();
+        w.ctrl_i = true;
+        let dec = IqWord::decode(w.encode()).unwrap();
+        assert!(dec.ctrl_i && !dec.ctrl_q);
+    }
+
+    #[test]
+    fn serdes_round_trip_aligned() {
+        let tone = ideal_tone(100e3, 4e6, 256);
+        let ser = Serializer::new();
+        let bits = ser.serialize(&tone);
+        assert_eq!(bits.len(), 256 * 32);
+        let mut des = Deserializer::new();
+        des.push_bits(&bits);
+        let out = des.finish();
+        assert_eq!(out.len(), 256);
+        for (a, b) in out.iter().zip(&tone) {
+            assert!((*a - *b).abs() < 1e-3, "sample error {}", (*a - *b).abs());
+        }
+    }
+
+    #[test]
+    fn deserializer_hunts_misaligned_stream() {
+        let tone = ideal_tone(50e3, 4e6, 64);
+        let bits = Serializer::new().serialize(&tone);
+        // prepend 13 garbage bits that cannot form a word
+        let mut stream = vec![false; 13];
+        stream.extend_from_slice(&bits);
+        let mut des = Deserializer::new();
+        des.push_bits(&stream);
+        assert!(des.is_locked());
+        let out = des.finish();
+        // all 64 samples recovered (lock happens within the first word)
+        assert!(out.len() >= 63, "only {} samples", out.len());
+    }
+
+    #[test]
+    fn deserializer_survives_chunked_input() {
+        let tone = ideal_tone(200e3, 4e6, 128);
+        let bits = Serializer::new().serialize(&tone);
+        let mut des = Deserializer::new();
+        for chunk in bits.chunks(7) {
+            des.push_bits(chunk);
+        }
+        let out = des.finish();
+        assert_eq!(out.len(), 128);
+    }
+
+    #[test]
+    fn sync_loss_detected_and_recovered() {
+        let tone = ideal_tone(10e3, 4e6, 100);
+        let mut bits = Serializer::new().serialize(&tone);
+        // corrupt one sync bit mid-stream (word 50, bit 31)
+        let idx = 50 * 32;
+        bits[idx] = !bits[idx];
+        let mut des = Deserializer::new();
+        des.push_bits(&bits);
+        let out = des.finish();
+        assert!(des_samples_close(&out, &tone), "recovered {} samples", out.len());
+    }
+
+    fn des_samples_close(out: &[Complex], reference: &[Complex]) -> bool {
+        // at least 95% of samples must be recovered
+        out.len() >= reference.len() * 95 / 100
+    }
+
+    #[test]
+    fn rates_match_paper() {
+        assert_eq!(BITS_PER_WORD, 32);
+        assert!((WORD_RATE - 4e6).abs() < 1.0);
+        assert!((LVDS_BIT_RATE - 128e6).abs() < 1.0);
+        // 4 MHz sampling occupies exactly the wire rate
+        assert!((Serializer::airtime(4_000_000) - 1.0).abs() < 1e-9);
+    }
+}

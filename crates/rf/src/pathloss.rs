@@ -1,0 +1,177 @@
+//! Propagation models for the campus testbed (paper Fig. 7).
+//!
+//! The paper deploys 20 TinySDR nodes across a university campus and
+//! programs them from one LoRa access point. We reproduce the *RSSI
+//! distribution* that drives Fig. 14's programming-time CDF with a
+//! standard log-distance model plus lognormal shadowing, parameterized
+//! for a campus environment (buildings + open space).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Free-space path loss in dB at distance `d_m` meters and frequency
+/// `freq_hz`.
+pub fn free_space_db(d_m: f64, freq_hz: f64) -> f64 {
+    assert!(d_m > 0.0 && freq_hz > 0.0);
+    20.0 * d_m.log10() + 20.0 * freq_hz.log10() - 147.55
+}
+
+/// Log-distance path-loss model with optional lognormal shadowing.
+#[derive(Debug, Clone)]
+pub struct LogDistance {
+    /// Path loss at the reference distance, dB.
+    pub pl0_db: f64,
+    /// Reference distance, meters.
+    pub d0_m: f64,
+    /// Path-loss exponent (2 free space … 3.5 dense urban).
+    pub exponent: f64,
+    /// Shadowing standard deviation, dB (0 disables shadowing).
+    pub sigma_db: f64,
+}
+
+impl LogDistance {
+    /// Campus model at 915 MHz used for the Fig. 7/Fig. 14 testbed:
+    /// free-space anchor at 1 m (31.7 dB), exponent 2.9, σ = 4 dB —
+    /// typical for a mixed outdoor/indoor university deployment.
+    pub fn campus_915mhz() -> Self {
+        LogDistance {
+            pl0_db: free_space_db(1.0, 915e6),
+            d0_m: 1.0,
+            exponent: 2.9,
+            sigma_db: 4.0,
+        }
+    }
+
+    /// Deterministic (median) path loss at `d_m` meters.
+    pub fn median_path_loss_db(&self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0, "distance must be positive");
+        let d = d_m.max(self.d0_m);
+        self.pl0_db + 10.0 * self.exponent * (d / self.d0_m).log10()
+    }
+
+    /// Path loss with a specific shadowing realization `shadow_db`
+    /// (usually drawn once per link, not per packet).
+    pub fn path_loss_db(&self, d_m: f64, shadow_db: f64) -> f64 {
+        self.median_path_loss_db(d_m) + shadow_db
+    }
+
+    /// Draw a shadowing value (zero-mean Gaussian, σ = `sigma_db`).
+    pub fn draw_shadow(&self, rng: &mut StdRng) -> f64 {
+        if self.sigma_db == 0.0 {
+            return 0.0;
+        }
+        // Box–Muller
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * self.sigma_db
+    }
+
+    /// Received power for a link: `tx_dbm + gains − PL(d) − shadow`.
+    pub fn rssi_dbm(
+        &self,
+        tx_power_dbm: f64,
+        antenna_gains_db: f64,
+        d_m: f64,
+        shadow_db: f64,
+    ) -> f64 {
+        tx_power_dbm + antenna_gains_db - self.path_loss_db(d_m, shadow_db)
+    }
+}
+
+/// A point-to-point link with a frozen shadowing realization.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Distance in meters.
+    pub distance_m: f64,
+    /// Frozen shadowing draw for this link, dB.
+    pub shadow_db: f64,
+    /// Sum of antenna gains, dB.
+    pub antenna_gains_db: f64,
+}
+
+impl Link {
+    /// Create a link with shadowing drawn from the model.
+    pub fn new(model: &LogDistance, distance_m: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Link {
+            distance_m,
+            shadow_db: model.draw_shadow(&mut rng),
+            antenna_gains_db: 0.0,
+        }
+    }
+
+    /// RSSI at the far end for a given transmit power.
+    pub fn rssi_dbm(&self, model: &LogDistance, tx_power_dbm: f64) -> f64 {
+        model.rssi_dbm(tx_power_dbm, self.antenna_gains_db, self.distance_m, self.shadow_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_landmarks() {
+        // 915 MHz at 1 m ≈ 31.7 dB; at 1 km ≈ 91.7 dB
+        assert!((free_space_db(1.0, 915e6) - 31.7).abs() < 0.2);
+        assert!((free_space_db(1000.0, 915e6) - 91.7).abs() < 0.2);
+        // 2.44 GHz at 10 m ≈ 60.2 dB
+        assert!((free_space_db(10.0, 2.44e9) - 60.2).abs() < 0.3);
+    }
+
+    #[test]
+    fn median_monotone_in_distance() {
+        let m = LogDistance::campus_915mhz();
+        let mut prev = 0.0;
+        for d in [1.0, 10.0, 100.0, 1000.0, 2000.0] {
+            let pl = m.median_path_loss_db(d);
+            assert!(pl > prev);
+            prev = pl;
+        }
+    }
+
+    #[test]
+    fn campus_model_range_sanity() {
+        // at 14 dBm TX, a node 1 km away should sit near LoRa sensitivity:
+        // PL(1km) = 31.7 + 29*3 = 118.7 dB → RSSI ≈ −104.7 dBm (median)
+        let m = LogDistance::campus_915mhz();
+        let rssi = m.rssi_dbm(14.0, 0.0, 1000.0, 0.0);
+        assert!(rssi < -95.0 && rssi > -115.0, "rssi {rssi}");
+        // 2 km is marginal even for SF8/BW500 (−121 dBm sensitivity)
+        let rssi2 = m.rssi_dbm(14.0, 0.0, 2000.0, 0.0);
+        assert!(rssi2 < rssi - 8.0);
+    }
+
+    #[test]
+    fn shadow_statistics() {
+        let m = LogDistance::campus_915mhz();
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..20_000).map(|_| m.draw_shadow(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.15, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_disables_shadowing() {
+        let m = LogDistance { sigma_db: 0.0, ..LogDistance::campus_915mhz() };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.draw_shadow(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn link_is_reproducible() {
+        let m = LogDistance::campus_915mhz();
+        let a = Link::new(&m, 500.0, 77);
+        let b = Link::new(&m, 500.0, 77);
+        assert_eq!(a.shadow_db, b.shadow_db);
+        assert!((a.rssi_dbm(&m, 14.0) - b.rssi_dbm(&m, 14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_reference_distance_clamps() {
+        let m = LogDistance::campus_915mhz();
+        assert_eq!(m.median_path_loss_db(0.5), m.median_path_loss_db(1.0));
+    }
+}

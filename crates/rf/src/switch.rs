@@ -1,0 +1,119 @@
+//! RF routing: the ADG904 SP4T switch and the two baluns.
+//!
+//! The 900 MHz single-ended signal "must be shared between the backbone
+//! radio's two separate RF paths for transmit and receive and
+//! AT86RF215's 900 MHz single-ended signal. We choose between them using
+//! a ADG904 SP4T RF switch" (paper §3.2.3). The 2.4 GHz path goes through
+//! the 2450FB15A050E balun; the 900 MHz path through the 0896BM15E0025E.
+
+/// The four throw positions of the ADG904 on the 900 MHz path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchPort {
+    /// AT86RF215 900 MHz I/Q path.
+    IqRadio,
+    /// SX1276 backbone transmit path.
+    BackboneTx,
+    /// SX1276 backbone receive path.
+    BackboneRx,
+    /// Unused/terminated port.
+    Terminated,
+}
+
+/// ADG904 SP4T absorptive RF switch model.
+#[derive(Debug, Clone)]
+pub struct RfSwitch {
+    selected: SwitchPort,
+    /// Number of switch operations (wear/telemetry).
+    pub switch_count: u64,
+}
+
+/// Insertion loss through the ADG904, dB (datasheet ≈0.8 dB at 1 GHz).
+pub const SWITCH_INSERTION_LOSS_DB: f64 = 0.8;
+/// Isolation to unselected ports, dB.
+pub const SWITCH_ISOLATION_DB: f64 = 37.0;
+
+impl RfSwitch {
+    /// Power-on default: I/Q radio connected.
+    pub fn new() -> Self {
+        RfSwitch { selected: SwitchPort::IqRadio, switch_count: 0 }
+    }
+
+    /// Currently selected port.
+    pub fn selected(&self) -> SwitchPort {
+        self.selected
+    }
+
+    /// Select a port (near-instant; nanoseconds in hardware).
+    pub fn select(&mut self, port: SwitchPort) {
+        if port != self.selected {
+            self.switch_count += 1;
+            self.selected = port;
+        }
+    }
+
+    /// Gain (negative dB) seen from the antenna to `port`.
+    pub fn gain_to_db(&self, port: SwitchPort) -> f64 {
+        if port == self.selected {
+            -SWITCH_INSERTION_LOSS_DB
+        } else {
+            -SWITCH_ISOLATION_DB
+        }
+    }
+}
+
+impl Default for RfSwitch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Balun model: differential ⇄ single-ended conversion with insertion
+/// loss.
+#[derive(Debug, Clone, Copy)]
+pub struct Balun {
+    /// Part identity for documentation.
+    pub part: &'static str,
+    /// Insertion loss, dB.
+    pub insertion_loss_db: f64,
+}
+
+/// The 2.4 GHz balun+filter (Johanson 2450FB15A050E).
+pub const BALUN_2G4: Balun = Balun { part: "2450FB15A050E", insertion_loss_db: 1.1 };
+/// The 900 MHz impedance-matched balun + LPF (Johanson 0896BM15E0025E).
+pub const BALUN_900: Balun = Balun { part: "0896BM15E0025E", insertion_loss_db: 0.9 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_connects_iq_radio() {
+        let sw = RfSwitch::new();
+        assert_eq!(sw.selected(), SwitchPort::IqRadio);
+    }
+
+    #[test]
+    fn selection_and_counting() {
+        let mut sw = RfSwitch::new();
+        sw.select(SwitchPort::BackboneRx);
+        sw.select(SwitchPort::BackboneRx); // no-op
+        sw.select(SwitchPort::BackboneTx);
+        assert_eq!(sw.switch_count, 2);
+        assert_eq!(sw.selected(), SwitchPort::BackboneTx);
+    }
+
+    #[test]
+    fn selected_port_low_loss_others_isolated() {
+        let mut sw = RfSwitch::new();
+        sw.select(SwitchPort::BackboneRx);
+        assert_eq!(sw.gain_to_db(SwitchPort::BackboneRx), -SWITCH_INSERTION_LOSS_DB);
+        assert_eq!(sw.gain_to_db(SwitchPort::IqRadio), -SWITCH_ISOLATION_DB);
+    }
+
+    #[test]
+    fn balun_constants() {
+        assert!(BALUN_2G4.insertion_loss_db > 0.0);
+        assert!(BALUN_900.insertion_loss_db > 0.0);
+        assert_eq!(BALUN_900.part, "0896BM15E0025E");
+    }
+}

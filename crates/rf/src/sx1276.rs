@@ -1,0 +1,335 @@
+//! Semtech SX1276 backbone radio model.
+//!
+//! TinySDR carries a dedicated SX1276 LoRa transceiver as the OTA
+//! "backbone" (paper §3.1.2) and the paper also uses SX1276 chips as the
+//! reference transmitter/receiver in the Fig. 10/11 sensitivity
+//! experiments. The model provides:
+//!
+//! * datasheet sensitivity per `(SF, BW)` from first principles
+//!   (`−174 + 10·log10(BW) + NF + SNR_req(SF)` with the chip's NF ≈ 7 dB),
+//! * the Semtech airtime formula (AN1200.13) used by the OTA protocol to
+//!   cost packets,
+//! * a statistical chirp-symbol error model (noncoherent `2^SF`-ary
+//!   detection, evaluated by a seeded closed-loop draw) that matches the
+//!   full sample-level demodulator in `tinysdr-lora` and lets the 20-node
+//!   testbed campaign run without per-sample simulation,
+//! * TX/RX/sleep supply power for the OTA energy budget (§5.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::units::noise_floor_dbm;
+
+/// SX1276 receiver noise figure, dB. With this value the textbook formula
+/// reproduces the datasheet's −126 dBm at SF8/BW125 — the number the
+/// paper quotes as its sensitivity target.
+pub const NOISE_FIGURE_DB: f64 = 7.0;
+
+/// Demodulation SNR threshold per spreading factor, dB (Semtech SX1276
+/// datasheet table 13).
+pub fn required_snr_db(sf: u8) -> f64 {
+    match sf {
+        6 => -5.0,
+        7 => -7.5,
+        8 => -10.0,
+        9 => -12.5,
+        10 => -15.0,
+        11 => -17.5,
+        12 => -20.0,
+        _ => panic!("LoRa SF must be 6..=12, got {sf}"),
+    }
+}
+
+/// Datasheet-style sensitivity in dBm for a `(SF, BW)` configuration.
+pub fn sensitivity_dbm(sf: u8, bw_hz: f64) -> f64 {
+    noise_floor_dbm(bw_hz, NOISE_FIGURE_DB) + required_snr_db(sf)
+}
+
+/// LoRa modem parameters for airtime and rate computations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoRaParams {
+    /// Spreading factor 6..=12.
+    pub sf: u8,
+    /// Bandwidth, Hz.
+    pub bw_hz: f64,
+    /// Coding-rate denominator 5..=8 (rate = 4/cr_denom). The paper's OTA
+    /// link uses "CodingRate = 6", i.e. 4/6.
+    pub cr_denom: u8,
+    /// Preamble length in symbols (paper OTA uses 8).
+    pub preamble_symbols: usize,
+    /// Explicit PHY header present.
+    pub explicit_header: bool,
+    /// Payload CRC-16 appended.
+    pub crc_on: bool,
+    /// Low-data-rate optimization (mandated for symbol times ≥ 16 ms).
+    pub low_dr_opt: bool,
+}
+
+impl LoRaParams {
+    /// Typical uplink configuration.
+    pub fn new(sf: u8, bw_hz: f64, cr_denom: u8) -> Self {
+        assert!((6..=12).contains(&sf));
+        assert!((5..=8).contains(&cr_denom));
+        let symbol_time = (1u32 << sf) as f64 / bw_hz;
+        LoRaParams {
+            sf,
+            bw_hz,
+            cr_denom,
+            preamble_symbols: 8,
+            explicit_header: true,
+            crc_on: true,
+            low_dr_opt: symbol_time >= 16e-3,
+        }
+    }
+
+    /// The paper's OTA configuration: SF8, BW 500 kHz, CR 4/6, preamble 8.
+    pub fn ota_link() -> Self {
+        LoRaParams::new(8, 500e3, 6)
+    }
+
+    /// Symbol duration, seconds.
+    pub fn symbol_time(&self) -> f64 {
+        (1u32 << self.sf) as f64 / self.bw_hz
+    }
+
+    /// Number of payload symbols for `payload_len` bytes (Semtech
+    /// AN1200.13 formula).
+    pub fn payload_symbols(&self, payload_len: usize) -> usize {
+        let pl = payload_len as f64;
+        let sf = self.sf as f64;
+        let ih = if self.explicit_header { 0.0 } else { 1.0 };
+        let de = if self.low_dr_opt { 1.0 } else { 0.0 };
+        let crc = if self.crc_on { 1.0 } else { 0.0 };
+        let cr = (self.cr_denom - 4) as f64;
+        let num = 8.0 * pl - 4.0 * sf + 28.0 + 16.0 * crc - 20.0 * ih;
+        let den = 4.0 * (sf - 2.0 * de);
+        8 + ((num / den).ceil().max(0.0) as usize) * (cr as usize + 4)
+    }
+
+    /// Time on air for a `payload_len`-byte packet, seconds, including
+    /// preamble and the 4.25-symbol sync/SFD.
+    pub fn airtime(&self, payload_len: usize) -> f64 {
+        let n = self.preamble_symbols as f64 + 4.25 + self.payload_symbols(payload_len) as f64;
+        n * self.symbol_time()
+    }
+
+    /// Effective PHY bit rate including coding, bit/s.
+    pub fn bitrate(&self) -> f64 {
+        self.sf as f64 * (self.bw_hz / (1u32 << self.sf) as f64) * 4.0
+            / self.cr_denom as f64
+    }
+
+    /// Sensitivity for this configuration, dBm.
+    pub fn sensitivity_dbm(&self) -> f64 {
+        sensitivity_dbm(self.sf, self.bw_hz)
+    }
+}
+
+/// Statistical chirp-symbol error-rate model for noncoherent `2^SF`-ary
+/// detection.
+///
+/// Model: after dechirp + FFT, the correct bin holds `|√γ + n|²` with
+/// `γ = Es/N0 = 2^SF · SNR` and `n ~ CN(0,1)`; the other `2^SF − 1` bins
+/// hold i.i.d. unit exponentials whose maximum is drawn by inverse CDF.
+/// A symbol errs when the max noise bin beats the signal bin. This is
+/// the textbook noncoherent orthogonal-signalling model; the sample-level
+/// demodulator in `tinysdr-lora` reproduces it within measurement noise
+/// (see that crate's cross-validation test).
+pub fn symbol_error_rate(snr_db: f64, sf: u8, trials: u32, seed: u64) -> f64 {
+    assert!((6..=12).contains(&sf));
+    let m = (1u64 << sf) as f64;
+    let gamma = m * crate::units::db_to_lin(snr_db);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = 0u32;
+    for _ in 0..trials {
+        // signal bin: |sqrt(gamma) + CN(0,1)|²
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        let re = gamma.sqrt() + r * theta.cos();
+        let im = r * theta.sin();
+        let z = re * re + im * im;
+        // max of (M−1) unit exponentials via inverse CDF
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let v = -(1.0 - u.powf(1.0 / (m - 1.0))).max(1e-300).ln();
+        if v > z {
+            errors += 1;
+        }
+    }
+    errors as f64 / trials as f64
+}
+
+/// Packet error rate at a given RSSI for this model: a packet of
+/// `n_symbols` data symbols fails if any symbol errs (no FEC credit —
+/// conservative, matching the paper's uncoded chirp-symbol experiments).
+pub fn packet_error_rate(
+    rssi_dbm: f64,
+    params: &LoRaParams,
+    payload_len: usize,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    let snr_db = rssi_dbm - noise_floor_dbm(params.bw_hz, NOISE_FIGURE_DB);
+    let ser = symbol_error_rate(snr_db, params.sf, trials, seed);
+    let n = params.payload_symbols(payload_len) as f64;
+    1.0 - (1.0 - ser).powf(n)
+}
+
+/// Radio operating state for the power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sx1276State {
+    /// Register-retention sleep (0.2 µA).
+    Sleep,
+    /// Standby, crystal on.
+    Standby,
+    /// Receiving.
+    Rx,
+    /// Transmitting at the programmed power.
+    Tx,
+}
+
+/// SX1276 device model (state + power accounting).
+#[derive(Debug, Clone)]
+pub struct Sx1276 {
+    /// Current state.
+    pub state: Sx1276State,
+    /// Programmed TX power, dBm (up to +14 on the paper's OTA AP; the
+    /// chip itself reaches +20 on PA_BOOST).
+    pub tx_power_dbm: f64,
+    /// Carrier frequency, Hz.
+    pub freq_hz: f64,
+}
+
+impl Sx1276 {
+    /// Power-on defaults: sleep at 915 MHz, 14 dBm.
+    pub fn new() -> Self {
+        Sx1276 { state: Sx1276State::Sleep, tx_power_dbm: 14.0, freq_hz: 915e6 }
+    }
+
+    /// Supply power in the current state, mW (3.3 V rail; datasheet
+    /// currents: sleep 0.2 µA, standby 1.6 mA, RX 12 mA, TX 29 mA at
+    /// +13 dBm scaled by PA efficiency).
+    pub fn supply_power_mw(&self) -> f64 {
+        match self.state {
+            Sx1276State::Sleep => 0.2e-3 * 3.3,
+            Sx1276State::Standby => 1.6 * 3.3,
+            Sx1276State::Rx => 12.0 * 3.3, // ≈ 40 mW
+            Sx1276State::Tx => {
+                33.0 + crate::units::dbm_to_mw(self.tx_power_dbm) / 0.25
+            }
+        }
+    }
+}
+
+impl Default for Sx1276 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_reproduces_datasheet() {
+        // the paper's headline: −126 dBm at SF8/BW125
+        assert!((sensitivity_dbm(8, 125e3) + 126.0).abs() < 0.5);
+        // SF7/BW125 = −123, SF12/BW125 = −136 (datasheet)
+        assert!((sensitivity_dbm(7, 125e3) + 123.5).abs() < 1.0);
+        assert!((sensitivity_dbm(12, 125e3) + 136.0).abs() < 0.5);
+        // BW250 costs 3 dB
+        let d = sensitivity_dbm(8, 250e3) - sensitivity_dbm(8, 125e3);
+        assert!((d - 3.01).abs() < 0.05);
+    }
+
+    #[test]
+    fn airtime_reference_values() {
+        // SF7 BW125 CR4/5, 8-symbol preamble, 1-byte payload — classic
+        // reference ≈ 25.9 ms? Check internal consistency instead:
+        let p = LoRaParams::new(7, 125e3, 5);
+        let t1 = p.airtime(1);
+        assert!(t1 > 0.02 && t1 < 0.04, "airtime {t1}");
+        // airtime grows with payload
+        assert!(p.airtime(60) > p.airtime(10));
+        // SF12 is far slower than SF7
+        let p12 = LoRaParams::new(12, 125e3, 5);
+        assert!(p12.airtime(10) > 10.0 * p.airtime(10));
+    }
+
+    #[test]
+    fn ota_link_rate_matches_paper_math() {
+        // SF8 BW500 CR4/6 → 8 · (500e3/256) · 4/6 ≈ 10.4 kbit/s
+        let p = LoRaParams::ota_link();
+        assert!((p.bitrate() - 10_416.7).abs() < 1.0);
+        // 60-byte OTA packet airtime ≈ tens of ms
+        let t = p.airtime(60);
+        assert!(t > 0.03 && t < 0.09, "packet airtime {t}");
+    }
+
+    #[test]
+    fn payload_symbols_monotone_and_coded() {
+        let p5 = LoRaParams::new(8, 125e3, 5);
+        let p8 = LoRaParams::new(8, 125e3, 8);
+        assert!(p8.payload_symbols(20) > p5.payload_symbols(20));
+        assert!(p5.payload_symbols(40) > p5.payload_symbols(20));
+    }
+
+    #[test]
+    fn ser_transitions_at_required_snr() {
+        // At the datasheet threshold the SER is small; 4 dB above, near
+        // zero; well below, the channel is unusable. The noncoherent
+        // M-ary transition is ~10 dB wide, as in the paper's Fig. 11.
+        for sf in [7u8, 8, 10, 12] {
+            let thr = required_snr_db(sf);
+            let at = symbol_error_rate(thr, sf, 20_000, 1);
+            let above = symbol_error_rate(thr + 4.0, sf, 20_000, 2);
+            let mid = symbol_error_rate(thr - 6.0, sf, 20_000, 3);
+            let below = symbol_error_rate(thr - 12.0, sf, 20_000, 4);
+            assert!(at < 0.1, "SF{sf} at threshold: {at}");
+            assert!(above < 0.01, "SF{sf} above: {above}");
+            assert!(mid > 0.1, "SF{sf} mid-transition: {mid}");
+            assert!(below > 0.85, "SF{sf} below: {below}");
+        }
+    }
+
+    #[test]
+    fn ser_monotone_in_snr() {
+        let mut prev = 1.0;
+        for snr in [-16.0, -13.0, -10.0, -7.0, -4.0] {
+            let s = symbol_error_rate(snr, 8, 30_000, 9);
+            assert!(s <= prev + 0.02, "SER not monotone at {snr}: {s} > {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn per_collapses_at_sensitivity() {
+        let p = LoRaParams::new(8, 125e3, 5);
+        let sens = p.sensitivity_dbm();
+        let good = packet_error_rate(sens + 4.0, &p, 3, 20_000, 5);
+        let bad = packet_error_rate(sens - 6.0, &p, 3, 20_000, 6);
+        assert!(good < 0.1, "PER above sensitivity {good}");
+        assert!(bad > 0.9, "PER below sensitivity {bad}");
+    }
+
+    #[test]
+    fn power_model_values() {
+        let mut r = Sx1276::new();
+        assert!(r.supply_power_mw() < 0.001); // sleep
+        r.state = Sx1276State::Rx;
+        assert!((r.supply_power_mw() - 39.6).abs() < 0.1);
+        r.state = Sx1276State::Tx;
+        r.tx_power_dbm = 14.0;
+        // 33 + 25.1/0.25 ≈ 133 mW
+        assert!((r.supply_power_mw() - 133.5).abs() < 2.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = symbol_error_rate(-10.0, 8, 5000, 42);
+        let b = symbol_error_rate(-10.0, 8, 5000, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! # tinysdr — umbrella crate
+//!
+//! Rust reproduction of *TinySDR: Low-Power SDR Platform for Over-the-Air
+//! Programmable IoT Testbeds* (Hessar, Najafi, Iyer, Gollakota — NSDI
+//! 2020), with every hardware substrate simulated.
+//!
+//! This crate re-exports the workspace's public API under one roof so
+//! examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use tinysdr::lora::{ChirpConfig};
+//! let cfg = ChirpConfig::new(8, 125e3, 1);
+//! assert_eq!(cfg.n_chips(), 256);
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and the per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use tinysdr_ble as ble_crate;
+pub use tinysdr_core as core_crate;
+pub use tinysdr_dsp as dsp;
+pub use tinysdr_fpga as fpga;
+pub use tinysdr_hw as hw;
+pub use tinysdr_lora as lora_crate;
+pub use tinysdr_ota as ota_crate;
+pub use tinysdr_power as power;
+pub use tinysdr_rf as rf;
+
+/// LoRa PHY/MAC namespace (re-export with DSP chirp types merged in).
+pub mod lora {
+    pub use tinysdr_dsp::chirp::{ChirpConfig, ChirpDirection, ChirpGenerator};
+    pub use tinysdr_lora::*;
+}
+
+/// BLE beacon namespace.
+pub mod ble {
+    pub use tinysdr_ble::*;
+}
+
+/// OTA programming namespace.
+pub mod ota {
+    pub use tinysdr_ota::*;
+}
+
+/// Platform/device namespace.
+pub mod platform {
+    pub use tinysdr_core::*;
+}

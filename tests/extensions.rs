@@ -1,0 +1,104 @@
+//! Integration tests for the §7 extensions: broadcast OTA and rate
+//! adaptation, exercised over the same campus testbed the paper's
+//! evaluation uses.
+
+use tinysdr::ota::blocks::BlockedUpdate;
+use tinysdr::ota::broadcast::{run_broadcast, sequential_vs_broadcast, BroadcastConfig};
+use tinysdr::ota::image::FirmwareImage;
+use tinysdr::ota::session::LinkModel;
+use tinysdr::platform::testbed::Testbed;
+use tinysdr_lora::adr;
+
+fn campus_links(seed: u64) -> Vec<LinkModel> {
+    Testbed::campus(seed)
+        .nodes
+        .iter()
+        .map(|n| LinkModel::from_downlink(n.rssi_dbm))
+        .collect()
+}
+
+#[test]
+fn broadcast_scales_with_nodes_sequential_does_not() {
+    let upd = BlockedUpdate::build(&FirmwareImage::mcu("scale", 20_000, 1));
+    let mut prev_seq = 0.0;
+    for n in [5usize, 10, 20] {
+        let links: Vec<LinkModel> =
+            campus_links(42).into_iter().cycle().take(n).collect();
+        let (seq, bc) = sequential_vs_broadcast(&upd, &links, 9);
+        // sequential grows ~linearly with node count
+        assert!(seq > prev_seq, "sequential must grow with {n} nodes");
+        prev_seq = seq;
+        // broadcast stays within a small factor of a single session
+        assert!(bc < seq / (n as f64 / 3.0), "{n} nodes: bc {bc:.0} vs seq {seq:.0}");
+    }
+}
+
+#[test]
+fn broadcast_campaign_over_the_paper_testbed() {
+    let links = campus_links(42);
+    let upd = BlockedUpdate::build(&FirmwareImage::ble_fpga(3));
+    let rep = run_broadcast(&upd, &links, &BroadcastConfig { max_rounds: 20, seed: 5 });
+    // everyone in radio range completes; total time beats even ONE
+    // sequential BLE session pair
+    let done = rep.node_complete.iter().filter(|&&c| c).count();
+    assert!(done >= 19, "{done}/20 completed");
+    assert!(rep.total_time_s < 140.0, "campaign took {:.0} s", rep.total_time_s);
+}
+
+#[test]
+fn adr_covers_the_whole_testbed() {
+    let tb = Testbed::campus(42);
+    // BW125 uplinks with a 5 dB margin: ADR must close every link that
+    // is physically reachable at SF12
+    for n in &tb.nodes {
+        let sf = adr::select_sf(n.rssi_dbm, 125e3, 5.0);
+        if n.rssi_dbm > tinysdr::rf::sx1276::sensitivity_dbm(12, 125e3) + 5.0 {
+            assert!(sf.is_some(), "node {} at {:.1} dBm must be coverable", n.id, n.rssi_dbm);
+        }
+        // and stronger nodes never get slower rates than weaker ones
+    }
+    let mut by_rssi: Vec<_> = tb
+        .nodes
+        .iter()
+        .filter_map(|n| adr::select_sf(n.rssi_dbm, 125e3, 5.0).map(|sf| (n.rssi_dbm, sf)))
+        .collect();
+    by_rssi.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for w in by_rssi.windows(2) {
+        assert!(w[0].1 >= w[1].1, "SF must not increase with RSSI: {w:?}");
+    }
+}
+
+#[test]
+fn adr_energy_benefit_is_real() {
+    // airtime ∝ energy for a fixed TX power: the adaptive plan's total
+    // airtime across the testbed beats all-SF10 (a conservative fixed
+    // choice that reaches everyone SF10 can)
+    let tb = Testbed::campus(42);
+    let rssis: Vec<f64> = tb.nodes.iter().map(|n| n.rssi_dbm).collect();
+    let adaptive: f64 = rssis
+        .iter()
+        .filter_map(|&r| adr::adaptive_airtime(r, 125e3, 5.0, 20))
+        .sum();
+    let fixed_sf10 = rssis.len() as f64
+        * tinysdr::rf::sx1276::LoRaParams::new(10, 125e3, 5).airtime(20);
+    assert!(
+        adaptive < fixed_sf10 * 0.7,
+        "adaptive {adaptive:.2} s vs fixed-SF10 {fixed_sf10:.2} s"
+    );
+}
+
+#[test]
+fn regional_plans_integrate_with_the_radio() {
+    use tinysdr_lora::lorawan::Region;
+    // every US915 TTN uplink channel is tunable on the AT86RF215 and a
+    // DR0 sensor report obeys the dwell limit
+    let mut radio = tinysdr::rf::at86rf215::At86Rf215::new();
+    for f in Region::Us915.uplink_channels() {
+        radio.set_frequency(f).expect("in band");
+    }
+    let airtime = Region::Us915.check_uplink(0, 11).expect("legal");
+    assert!(airtime < 0.4);
+    // EU duty cycle shapes the sensor's minimum reporting period
+    let t = Region::Eu868.check_uplink(0, 11).unwrap();
+    assert!(Region::Eu868.min_period_s(t) > 60.0);
+}
