@@ -1,0 +1,61 @@
+//! Smoke tests for the umbrella crate's public API: every namespace the
+//! README and examples lean on must resolve, and a minimal end-to-end
+//! path through each must work. These tests exist so a future refactor
+//! that silently drops a re-export fails here rather than in a
+//! downstream user's build.
+
+use tinysdr::lora::ChirpConfig;
+
+#[test]
+fn lora_namespace_resolves_and_modulates() {
+    // `tinysdr::lora` merges the DSP chirp types with the LoRa stack.
+    let cfg = ChirpConfig::new(8, 125e3, 1);
+    assert_eq!(cfg.n_chips(), 256);
+
+    let m = tinysdr::lora::modulator::Modulator::standard(8, 125e3, 1, 1);
+    let d = tinysdr::lora::demodulator::Demodulator::standard(8, 125e3, 1, 1);
+    let sig = m.modulate(b"smoke");
+    assert!(!sig.is_empty());
+    let frame = d.demodulate(&sig).expect("clean channel demodulates");
+    assert_eq!(frame.payload, b"smoke");
+}
+
+#[test]
+fn ble_namespace_resolves_and_builds_beacons() {
+    let pkt = tinysdr::ble::packet::AdvPacket::beacon([1, 2, 3, 4, 5, 6], &[0u8; 8])
+        .expect("valid beacon payload");
+    let bits = pkt.to_bits(37);
+    assert!(!bits.is_empty());
+    let _m = tinysdr::ble::gfsk::GfskModulator::new(4);
+}
+
+#[test]
+fn ota_namespace_resolves_and_round_trips() {
+    let data = vec![0xA5u8; 4096];
+    let compressed = tinysdr::ota::lzo::compress(&data);
+    let restored = tinysdr::ota::lzo::decompress(&compressed, data.len()).unwrap();
+    assert_eq!(restored, data);
+}
+
+#[test]
+fn platform_namespace_resolves_and_boots() {
+    // A fresh board comes up awake-but-unconfigured.
+    let dev = tinysdr::platform::device::TinySdr::new();
+    assert_eq!(dev.state(), tinysdr::platform::device::DeviceState::Idle);
+    assert_eq!(dev.clock_ns(), 0);
+}
+
+#[test]
+fn substrate_reexports_resolve() {
+    // The flat aliases every example imports.
+    let _ = tinysdr::dsp::complex::Complex::new(1.0, -1.0);
+    let _ = tinysdr::rf::units::dbm_to_mw(0.0);
+    let _ = tinysdr::fpga::bitstream::BITSTREAM_SIZE;
+    let _ = tinysdr::hw::flash::ImageSlot::Fpga;
+    let _ = tinysdr::power::battery::Battery::lipo_1000mah();
+    // The `_crate` aliases kept for disambiguation.
+    let _ = tinysdr::lora_crate::phy::CodeParams::new(8, 1);
+    let _ = tinysdr::ble_crate::channels::ADVERTISING_CHANNELS;
+    let _ = tinysdr::ota_crate::lzo::ratio(2, 1);
+    let _ = tinysdr::core_crate::cost::total_cost_usd();
+}

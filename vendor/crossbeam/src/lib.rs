@@ -1,0 +1,127 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` / `Scope::spawn`
+//! (structured fork-join in the experiment harness). Since Rust 1.63
+//! the standard library provides scoped threads, so this shim simply
+//! adapts `std::thread::scope` to crossbeam's signatures:
+//!
+//! * `scope` returns `Result<R, Box<dyn Any + Send>>` (crossbeam reports
+//!   child panics through the return value; std propagates them — we
+//!   catch and convert).
+//! * `Scope::spawn` passes the scope back into the closure so workers
+//!   can spawn more workers.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A fork-join scope; child threads may borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. The closure receives the scope (crossbeam
+        /// convention) so it can spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Matching crossbeam 0.8: a panic in `f` itself
+    /// propagates to the caller, while a panic in an *unjoined* child
+    /// thread is returned as `Err`. (If both happen, the child's payload
+    /// wins — crossbeam would propagate `f`'s; the workspace joins every
+    /// handle explicitly, so the case never arises.)
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                catch_unwind(AssertUnwindSafe(|| f(&scope)))
+            })
+        }));
+        match result {
+            // `f` returned; every child joined (or none panicked).
+            Ok(Ok(value)) => Ok(value),
+            // `f` panicked: propagate, as crossbeam does.
+            Ok(Err(payload)) => std::panic::resume_unwind(payload),
+            // An unjoined child panicked; std's scope re-panics with its
+            // payload at scope exit, which we convert to Err.
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unjoined_child_panic_reported_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+            // not joined: the panic surfaces at scope exit
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn closure_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            let _ = thread::scope(|s| {
+                let h = s.spawn(|_| panic!("worker died"));
+                h.join().expect("joined a panicked worker");
+            });
+        });
+        // The expect() panics inside the closure, which must unwind out
+        // of scope() (crossbeam semantics), not come back as Err.
+        assert!(r.is_err());
+    }
+}

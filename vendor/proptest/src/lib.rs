@@ -1,0 +1,337 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! suites use, with two deliberate simplifications:
+//!
+//! 1. **Deterministic cases, no persistence.** Each `proptest!` test
+//!    derives its RNG seed from its fully-qualified name, so every run
+//!    of `cargo test` executes the identical case sequence. There is no
+//!    failure-persistence file.
+//! 2. **No shrinking.** On failure the offending inputs are printed
+//!    verbatim; since case generation is deterministic the failure is
+//!    already reproducible.
+//!
+//! Supported surface: range strategies over primitive numerics,
+//! `any::<T>()` for primitives and byte arrays, `prop::collection::vec`,
+//! `prop::sample::select`, `Just`, and the `proptest!` /
+//! `prop_assert*!` macros.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG driving case generation.
+pub type TestRng = rand::StdRng;
+
+/// Number of cases each `proptest!` test executes.
+pub const CASES: u32 = 64;
+
+/// Derive the deterministic RNG for a named test (FNV-1a over the name).
+pub fn deterministic_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + Debug,
+{
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: rand::SampleUniform + Debug,
+{
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values spanning a wide dynamic range (no NaN/inf —
+        // the real proptest default also avoids them by default).
+        let mag = rng.gen_range(-300.0f64..300.0);
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy form of [`Arbitrary`]; created by [`any`].
+pub struct Any<T: Arbitrary>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Size argument for [`vec`]: a fixed length or a length range.
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive bounds on the length.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths inside the given bounds.
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { elem, min, max }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy drawing uniformly from a fixed list.
+    pub struct Select<T: Clone + Debug> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(vec![...])`.
+    pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy modules (`prop::collection`, `prop::sample`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a property; on failure the harness reports the case inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each test runs [`CASES`] deterministic cases (seed derived from the
+/// test's module path and name). On failure the generated inputs are
+/// printed before the panic unwinds.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)+
+                // Snapshot the inputs before the body can move/mutate them,
+                // so a failing case is printed with its generated values.
+                let guard = $crate::CaseReporter {
+                    case,
+                    inputs: [$((stringify!($arg), format!("{:?}", $arg))),+],
+                };
+                $body
+                // Normal drop prints nothing (the reporter only speaks
+                // while panicking); it just frees the snapshot.
+                drop(guard);
+            }
+        }
+    )*};
+}
+
+/// Drop guard that prints the failing case's inputs during unwind.
+pub struct CaseReporter<const N: usize> {
+    /// Zero-based index of the current case.
+    pub case: u32,
+    /// `(name, debug-formatted value)` for each generated input.
+    pub inputs: [(&'static str, String); N],
+}
+
+impl<const N: usize> Drop for CaseReporter<N> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest case {} failed with inputs:", self.case);
+            for (name, value) in &self.inputs {
+                eprintln!("  {name} = {value}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..100, f in -1.0f64..1.0, k in 3u8..=5) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((3..=5).contains(&k));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(any::<u8>(), 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn select_only_yields_listed(ch in prop::sample::select(vec![37u8, 38, 39])) {
+            prop_assert!(ch == 37 || ch == 38 || ch == 39);
+        }
+
+        #[test]
+        fn arrays_generate(k in any::<[u8; 16]>(), a in any::<[u8; 6]>()) {
+            prop_assert_eq!(k.len(), 16);
+            prop_assert_eq!(a.len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_run_to_run() {
+        let mut a = crate::deterministic_rng("some::test");
+        let mut b = crate::deterministic_rng("some::test");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.sample_value(&mut a), s.sample_value(&mut b));
+        }
+    }
+}
