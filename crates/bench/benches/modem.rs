@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use tinysdr_dsp::chirp::{ChirpConfig, ChirpGenerator};
-use tinysdr_dsp::fft::FftPlan;
 use tinysdr_dsp::complex::Complex;
+use tinysdr_dsp::fft::FftPlan;
 use tinysdr_lora::concurrent::ConcurrentReceiver;
 use tinysdr_lora::demodulator::Demodulator;
 use tinysdr_lora::modulator::Modulator;
@@ -20,8 +20,9 @@ fn bench_fft(c: &mut Criterion) {
     for sf in [6u8, 8, 10, 12] {
         let n = 1usize << sf;
         let plan = FftPlan::new(n);
-        let buf: Vec<Complex> =
-            (0..n).map(|i| Complex::from_angle(i as f64 * 0.1)).collect();
+        let buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(i as f64 * 0.1))
+            .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
             b.iter(|| {

@@ -53,15 +53,17 @@ fn bench_spectrum(c: &mut Criterion) {
     g.throughput(Throughput::Elements(tone.len() as u64));
     g.bench_function("welch_64k", |b| {
         b.iter(|| {
-            tinysdr_dsp::spectrum::welch(
-                &tone,
-                4e6,
-                &tinysdr_dsp::spectrum::WelchConfig::default(),
-            )
+            tinysdr_dsp::spectrum::welch(&tone, 4e6, &tinysdr_dsp::spectrum::WelchConfig::default())
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_lzo, bench_aes, bench_per_model, bench_spectrum);
+criterion_group!(
+    benches,
+    bench_lzo,
+    bench_aes,
+    bench_per_model,
+    bench_spectrum
+);
 criterion_main!(benches);

@@ -18,14 +18,26 @@ struct Effort {
     bits: usize,
 }
 
-const FULL: Effort = Effort { packets: 100, symbols: 400, bits: 100_000 };
-const QUICK: Effort = Effort { packets: 25, symbols: 120, bits: 20_000 };
+const FULL: Effort = Effort {
+    packets: 100,
+    symbols: 400,
+    bits: 100_000,
+};
+const QUICK: Effort = Effort {
+    packets: 25,
+    symbols: 120,
+    bits: 20_000,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let effort = if quick { QUICK } else { FULL };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .collect();
     if wanted.is_empty() {
         eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation> ...");
         std::process::exit(2);
@@ -57,11 +69,19 @@ fn main() {
     }
     if want("fig8") {
         let (spectrum, spur) = phy::fig8(seed);
-        print_series("Fig 8: single-tone spectrum (around 915 MHz)", "MHz", &[decimate(spectrum, 16)]);
+        print_series(
+            "Fig 8: single-tone spectrum (around 915 MHz)",
+            "MHz",
+            &[decimate(spectrum, 16)],
+        );
         println!("  worst spur: {spur:.1} dBc  (paper: no unexpected harmonics)");
     }
     if want("fig9") {
-        print_series("Fig 9: single-tone TX power consumption", "dBm out", &sys::fig9());
+        print_series(
+            "Fig 9: single-tone TX power consumption",
+            "dBm out",
+            &sys::fig9(),
+        );
         let c = tinysdr_core::profile::fig9_curve(false);
         let p0 = c.iter().find(|p| p.0 == 0.0).unwrap().1;
         let p14 = c.iter().find(|p| p.0 == 14.0).unwrap().1;
@@ -70,7 +90,11 @@ fn main() {
     }
     if want("fig10") {
         let curves = phy::fig10(effort.packets, seed);
-        print_series("Fig 10: LoRa modulator PER vs RSSI (%)", "RSSI dBm", &curves);
+        print_series(
+            "Fig 10: LoRa modulator PER vs RSSI (%)",
+            "RSSI dBm",
+            &curves,
+        );
         for c in &curves {
             if let Some(s) = phy::sensitivity_from_curve(c, 10.0) {
                 println!("  {} 10%-PER sensitivity: {s:.1} dBm", c.label);
@@ -80,7 +104,11 @@ fn main() {
     }
     if want("fig11") {
         let curves = phy::fig11(effort.symbols, seed);
-        print_series("Fig 11: LoRa demodulator chirp SER vs RSSI (%)", "RSSI dBm", &curves);
+        print_series(
+            "Fig 11: LoRa demodulator chirp SER vs RSSI (%)",
+            "RSSI dBm",
+            &curves,
+        );
         for c in &curves {
             if let Some(s) = phy::sensitivity_from_curve(c, 10.0) {
                 println!("  {} 10%-SER sensitivity: {s:.1} dBm", c.label);
@@ -90,10 +118,12 @@ fn main() {
     }
     if want("fig12") {
         let (curve, cc2650) = phy::fig12(effort.bits, seed);
-        print_series("Fig 12: BLE beacon BER vs RSSI", "RSSI dBm", &[curve.clone()]);
-        if let Some(s) =
-            tinysdr_dsp::stats::sensitivity_crossing(&curve.points, 1e-3)
-        {
+        print_series(
+            "Fig 12: BLE beacon BER vs RSSI",
+            "RSSI dBm",
+            std::slice::from_ref(&curve),
+        );
+        if let Some(s) = tinysdr_dsp::stats::sensitivity_crossing(&curve.points, 1e-3) {
             println!("  BER=1e-3 sensitivity: {s:.1} dBm (paper: -94; CC2650 ref {cc2650:.0})");
         }
     }
@@ -107,7 +137,11 @@ fn main() {
             for (x, y) in cdf {
                 s.push(x, y);
             }
-            print_series(&format!("Fig 14: OTA programming time — {label}"), "minutes", &[s]);
+            print_series(
+                &format!("Fig 14: OTA programming time — {label}"),
+                "minutes",
+                &[s],
+            );
             println!("  mean: {mean_s:.0} s");
         }
         println!("  paper means: LoRa FPGA 150 s, BLE FPGA 59 s, MCU 39 s");
@@ -143,7 +177,10 @@ fn main() {
         print_facts("Sec 6: concurrent reception", &sys::sec6());
     }
     if want("ablation") {
-        print_facts("Ablation (Sec 7): broadcast OTA & rate adaptation", &sys::ablation(42));
+        print_facts(
+            "Ablation (Sec 7): broadcast OTA & rate adaptation",
+            &sys::ablation(42),
+        );
     }
 }
 

@@ -32,7 +32,10 @@ pub struct Series {
 impl Series {
     /// New series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point.
@@ -77,7 +80,11 @@ pub fn print_facts(title: &str, rows: &[(String, String)]) {
 
 /// Compare a measured value against the paper's and render a verdict.
 pub fn verdict(name: &str, measured: f64, paper: f64, tol_frac: f64) -> String {
-    let dev = if paper != 0.0 { (measured - paper) / paper } else { measured };
+    let dev = if paper != 0.0 {
+        (measured - paper) / paper
+    } else {
+        measured
+    };
     let ok = dev.abs() <= tol_frac;
     format!(
         "{name}: measured {measured:.3} vs paper {paper:.3} ({:+.1}%) {}",

@@ -27,35 +27,38 @@ use rand::{Rng, SeedableRng};
 /// Map a closure over items on the available cores (the PER sweeps are
 /// embarrassingly parallel).
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-    let chunk = items.len().div_ceil(n_threads.max(1));
-    let mut out: Vec<Option<R>> = Vec::new();
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for batch in items.into_iter().collect::<Vec<_>>().into_iter().enumerate().fold(
-            Vec::<Vec<(usize, T)>>::new(),
-            |mut acc, (i, t)| {
-                if i % chunk == 0 {
-                    acc.push(Vec::new());
-                }
-                acc.last_mut().unwrap().push((i, t));
-                acc
-            },
-        ) {
-            let f = &f;
-            handles.push(s.spawn(move |_| {
-                batch.into_iter().map(|(i, t)| (i, f(t))).collect::<Vec<_>>()
-            }));
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let chunk = items.len().div_ceil(n_threads.max(1)).max(1);
+    let mut batches: Vec<Vec<(usize, T)>> = Vec::new();
+    for (i, t) in items.into_iter().enumerate() {
+        if i % chunk == 0 {
+            batches.push(Vec::with_capacity(chunk));
         }
+        batches.last_mut().expect("pushed above").push((i, t));
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                let f = &f;
+                s.spawn(move |_| {
+                    batch
+                        .into_iter()
+                        .map(|(i, t)| (i, f(t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
         let mut indexed: Vec<(usize, R)> = Vec::new();
         for h in handles {
             indexed.extend(h.join().expect("worker panicked"));
         }
         indexed.sort_by_key(|(i, _)| *i);
-        out = indexed.into_iter().map(|(_, r)| Some(r)).collect();
+        indexed.into_iter().map(|(_, r)| r).collect()
     })
-    .expect("scope");
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    .expect("scope")
 }
 
 /// Fig. 8: single-tone TX spectrum through the 13-bit DAC.
@@ -82,13 +85,7 @@ pub fn fig8(seed: u64) -> (Series, f64) {
 }
 
 /// One PER measurement: `packets` three-byte-payload frames at `rssi`.
-fn lora_per_point(
-    tinysdr_tx: bool,
-    bw: f64,
-    rssi: f64,
-    packets: u32,
-    seed: u64,
-) -> f64 {
+fn lora_per_point(tinysdr_tx: bool, bw: f64, rssi: f64, packets: u32, seed: u64) -> f64 {
     let chirp = ChirpConfig::new(8, bw, 1);
     // CR 4/8: the diagonal interleaver spreads one corrupted symbol to
     // at most one bit per codeword, so Hamming(8,4) absorbs isolated
@@ -162,11 +159,9 @@ pub fn fig11(symbols: usize, seed: u64) -> Vec<Series> {
         let tx = ReferenceModulator::new(chirp, FrameParams::new(code));
         let pts = par_map(sweep.clone(), |rssi| {
             let mut rng = StdRng::seed_from_u64(seed ^ (rssi as i64 as u64) << 3);
-            let syms: Vec<u16> =
-                (0..symbols).map(|_| rng.gen_range(0..256)).collect();
+            let syms: Vec<u16> = (0..symbols).map(|_| rng.gen_range(0..256)).collect();
             let mut sig = tx.modulate_symbols(&syms);
-            let mut ch =
-                AwgnChannel::new(at86rf215::NOISE_FIGURE_DB, seed ^ (rssi as i64 as u64));
+            let mut ch = AwgnChannel::new(at86rf215::NOISE_FIGURE_DB, seed ^ (rssi as i64 as u64));
             ch.apply(&mut sig, rssi, chirp.fs());
             demod.symbol_error_rate(&sig, &syms) * 100.0
         });
@@ -230,7 +225,9 @@ pub fn fig12(bits_per_point: usize, seed: u64) -> (Series, f64) {
 /// SER-vs-RSSI for both lanes (percent).
 pub fn fig15a(symbols: usize, seed: u64) -> Vec<Series> {
     let sweep: Vec<f64> = (-130..=-100).step_by(2).map(|x| x as f64).collect();
-    let pts = par_map(sweep.clone(), |rssi| concurrent_point(rssi, rssi, symbols, seed));
+    let pts = par_map(sweep.clone(), |rssi| {
+        concurrent_point(rssi, rssi, symbols, seed)
+    });
     let mut s125 = Series::new("SF8 BW125 (concurrent)");
     let mut s250 = Series::new("SF8 BW250 (concurrent)");
     for (x, (a, b)) in sweep.iter().zip(pts) {
@@ -245,8 +242,9 @@ pub fn fig15a(symbols: usize, seed: u64) -> Vec<Series> {
 /// power.
 pub fn fig15b(symbols: usize, seed: u64) -> Series {
     let sweep: Vec<f64> = (-130..=-100).step_by(1).map(|x| x as f64).collect();
-    let pts =
-        par_map(sweep.clone(), |int_rssi| concurrent_point(-123.0, int_rssi, symbols, seed).0);
+    let pts = par_map(sweep.clone(), |int_rssi| {
+        concurrent_point(-123.0, int_rssi, symbols, seed).0
+    });
     let mut s = Series::new("SF8 BW125 @ -123 dBm");
     for (x, y) in sweep.iter().zip(pts) {
         s.push(*x, y * 100.0);
@@ -261,8 +259,8 @@ fn concurrent_point(rssi_125: f64, rssi_250: f64, symbols: usize, seed: u64) -> 
     let code = CodeParams::new(8, 1);
     let ma = Modulator::new(cfg_a, FrameParams::new(code));
     let mb = Modulator::new(cfg_b, FrameParams::new(code));
-    let mut rng = StdRng::seed_from_u64(seed ^ (rssi_125 as i64 as u64) << 7
-        ^ (rssi_250 as i64 as u64));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (rssi_125 as i64 as u64) << 7 ^ (rssi_250 as i64 as u64));
     let sa: Vec<u16> = (0..symbols).map(|_| rng.gen_range(0..256)).collect();
     let sb: Vec<u16> = (0..symbols * 2).map(|_| rng.gen_range(0..256)).collect();
     let mut siga = ma.modulate_symbols(&sa);
@@ -293,27 +291,40 @@ mod tests {
     fn fig10_sensitivity_close_to_minus126() {
         // small-trial smoke version of the full figure
         let curves = fig10(25, 7);
-        let tinysdr_bw125 =
-            curves.iter().find(|s| s.label == "TinySDR SF8 BW125").unwrap();
-        let sens = sensitivity_from_curve(tinysdr_bw125, 10.0)
-            .expect("curve must cross 10% PER");
+        let tinysdr_bw125 = curves
+            .iter()
+            .find(|s| s.label == "TinySDR SF8 BW125")
+            .unwrap();
+        let sens = sensitivity_from_curve(tinysdr_bw125, 10.0).expect("curve must cross 10% PER");
         assert!((sens + 126.0).abs() < 3.0, "sensitivity {sens} dBm");
         // BW250 costs ≈3 dB
-        let bw250 = curves.iter().find(|s| s.label == "TinySDR SF8 BW250").unwrap();
+        let bw250 = curves
+            .iter()
+            .find(|s| s.label == "TinySDR SF8 BW250")
+            .unwrap();
         let sens250 = sensitivity_from_curve(bw250, 10.0).unwrap();
-        assert!(sens250 > sens + 1.0 && sens250 < sens + 5.5, "BW250 {sens250}");
+        assert!(
+            sens250 > sens + 1.0 && sens250 < sens + 5.5,
+            "BW250 {sens250}"
+        );
     }
 
     #[test]
     fn fig10_tinysdr_comparable_to_sx1276() {
         let curves = fig10(25, 3);
         let t = sensitivity_from_curve(
-            curves.iter().find(|s| s.label == "TinySDR SF8 BW125").unwrap(),
+            curves
+                .iter()
+                .find(|s| s.label == "TinySDR SF8 BW125")
+                .unwrap(),
             10.0,
         )
         .unwrap();
         let r = sensitivity_from_curve(
-            curves.iter().find(|s| s.label == "SX1276 SF8 BW125").unwrap(),
+            curves
+                .iter()
+                .find(|s| s.label == "SX1276 SF8 BW125")
+                .unwrap(),
             10.0,
         )
         .unwrap();
@@ -342,13 +353,16 @@ mod tests {
     fn fig12_ble_sensitivity_near_cc2650_line() {
         let (curve, cc2650) = fig12(30_000, 9);
         let pts: Vec<(f64, f64)> = curve.points.clone();
-        let sens = tinysdr_dsp::stats::sensitivity_crossing(&pts, 1e-3)
-            .expect("BER curve crosses 1e-3");
+        let sens =
+            tinysdr_dsp::stats::sensitivity_crossing(&pts, 1e-3).expect("BER curve crosses 1e-3");
         // the paper reports −94 (CC2650 line −96/−97); our clean-TX
         // simulation sits on the CC2650 line itself — assert the curve
         // lands between the paper's figure and the datasheet reference
         assert!(sens > -100.0 && sens < -91.0, "BLE sensitivity {sens} dBm");
-        assert!((sens - cc2650).abs() < 3.5, "vs CC2650 line {cc2650}: {sens}");
+        assert!(
+            (sens - cc2650).abs() < 3.5,
+            "vs CC2650 line {cc2650}: {sens}"
+        );
         // waterfall shape: monotone non-increasing BER with RSSI
         for w in curve.points.windows(4) {
             assert!(w[3].1 <= w[0].1 + 5e-3, "BER not falling near {}", w[0].0);

@@ -61,7 +61,10 @@ pub fn fig2() -> Vec<(String, String)> {
                 (Some(w), Some(dbm)) => format!("TX {w:.3} W @{dbm:.0} dBm"),
                 _ => "No TX".to_string(),
             };
-            (p.name.to_string(), format!("{tx} | RX {:.3} W", p.fig2_rx_w))
+            (
+                p.name.to_string(),
+                format!("{tx} | RX {:.3} W", p.fig2_rx_w),
+            )
         })
         .collect()
 }
@@ -77,11 +80,18 @@ pub fn table2() -> Vec<(String, String)> {
                 .collect();
             (
                 m.name.to_string(),
-                format!("RX {:>5.0} mW | ${:<6.1} | {}", m.rx_power_mw, m.cost_usd, ranges.join(", ")),
+                format!(
+                    "RX {:>5.0} mW | ${:<6.1} | {}",
+                    m.rx_power_mw,
+                    m.cost_usd,
+                    ranges.join(", ")
+                ),
             )
         })
         .collect();
-    let sel = tinysdr_rf::catalog::select_radio(10.0).map(|m| m.name).unwrap_or("none");
+    let sel = tinysdr_rf::catalog::select_radio(10.0)
+        .map(|m| m.name)
+        .unwrap_or("none");
     rows.push(("SELECTED".into(), sel.to_string()));
     rows
 }
@@ -133,7 +143,8 @@ pub fn table3() -> Vec<(String, String)> {
 pub fn table4() -> Vec<(String, String)> {
     let mut dev = TinySdr::new();
     let img = tinysdr_fpga::bitstream::Bitstream::synthesize("lora_phy", 0.15, 1);
-    dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data()).unwrap();
+    dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data())
+        .unwrap();
     dev.measure_table4()
         .expect("device exercises cleanly")
         .into_iter()
@@ -145,7 +156,12 @@ pub fn table4() -> Vec<(String, String)> {
 pub fn table5() -> Vec<(String, String)> {
     let mut rows: Vec<(String, String)> = cost::BOM
         .iter()
-        .map(|i| (format!("{} / {}", i.group, i.component), format!("${:.2}", i.price_usd)))
+        .map(|i| {
+            (
+                format!("{} / {}", i.group, i.component),
+                format!("${:.2}", i.price_usd),
+            )
+        })
         .collect();
     rows.push(("TOTAL".into(), format!("${:.2}", cost::total_cost_usd())));
     rows
@@ -203,7 +219,10 @@ pub fn fig13() -> (Vec<(String, String)>, Series) {
     }
     rows.push((
         "iPhone 8 comparison".into(),
-        format!("{:.0} µs", tinysdr_ble::advertiser::IPHONE8_HOP_DELAY_S * 1e6),
+        format!(
+            "{:.0} µs",
+            tinysdr_ble::advertiser::IPHONE8_HOP_DELAY_S * 1e6
+        ),
     ));
     let mut env = Series::new("envelope");
     for (t, a) in adv.envelope_trace(2e6) {
@@ -212,21 +231,26 @@ pub fn fig13() -> (Vec<(String, String)>, Series) {
     (rows, env)
 }
 
+/// One Fig. 14 curve: `(label, cdf points in minutes, mean seconds)`.
+pub type Fig14Curve = (String, Vec<(f64, f64)>, f64);
+
 /// Fig. 14: OTA programming-time CDFs over the 20-node campus testbed.
-/// Returns `(label, cdf points in minutes, mean seconds)` per image.
-pub fn fig14(seed: u64) -> Vec<(String, Vec<(f64, f64)>, f64)> {
+pub fn fig14(seed: u64) -> Vec<Fig14Curve> {
     let tb = Testbed::campus(seed);
     let images = vec![
         ("FPGA: LoRa".to_string(), FirmwareImage::lora_fpga(1)),
         ("FPGA: BLE".to_string(), FirmwareImage::ble_fpga(2)),
-        ("MCU: LoRa/BLE".to_string(), FirmwareImage::paper_mcu("mac", 3)),
+        (
+            "MCU: LoRa/BLE".to_string(),
+            FirmwareImage::paper_mcu("mac", 3),
+        ),
     ];
     images
         .into_iter()
         .map(|(label, img)| {
             let upd = BlockedUpdate::build(&img);
             let (mut ecdf, _) = tb.programming_time_cdf(&upd, seed ^ 0xF14);
-            let mean_s = ecdf.mean() * 60.0;
+            let mean_s = ecdf.mean().expect("campaign completed no session") * 60.0;
             (label, ecdf.curve(), mean_s)
         })
         .collect()
@@ -236,10 +260,16 @@ pub fn fig14(seed: u64) -> Vec<(String, Vec<(f64, f64)>, f64)> {
 pub fn sec51() -> Vec<(String, String)> {
     let sleep_uw = profile::platform_power_mw(OperatingPoint::Sleep) * 1000.0;
     vec![
-        ("Sleep power".into(), format!("{sleep_uw:.1} µW (paper: 30 µW)")),
+        (
+            "Sleep power".into(),
+            format!("{sleep_uw:.1} µW (paper: 30 µW)"),
+        ),
         (
             "Sleep advantage".into(),
-            format!("{:.0}x vs best existing SDR (paper: 10,000x)", platforms::sleep_advantage()),
+            format!(
+                "{:.0}x vs best existing SDR (paper: 10,000x)",
+                platforms::sleep_advantage()
+            ),
         ),
         (
             "Wakeup".into(),
@@ -372,7 +402,11 @@ pub fn sec6() -> Vec<(String, String)> {
     vec![
         (
             "Concurrent decoder LUTs".into(),
-            format!("{} ({}%) (paper: 17%)", d.total_luts(), paper_percent(d.total_luts())),
+            format!(
+                "{} ({}%) (paper: 17%)",
+                d.total_luts(),
+                paper_percent(d.total_luts())
+            ),
         ),
         (
             "Concurrent RX power".into(),
@@ -391,8 +425,11 @@ pub fn ablation(seed: u64) -> Vec<(String, String)> {
     use tinysdr_ota::session::LinkModel;
 
     let tb = Testbed::campus(seed);
-    let links: Vec<LinkModel> =
-        tb.nodes.iter().map(|n| LinkModel::from_downlink(n.rssi_dbm)).collect();
+    let links: Vec<LinkModel> = tb
+        .nodes
+        .iter()
+        .map(|n| LinkModel::from_downlink(n.rssi_dbm))
+        .collect();
     let upd = BlockedUpdate::build(&FirmwareImage::ble_fpga(2));
     let (seq_s, bc_s) = sequential_vs_broadcast(&upd, &links, seed ^ 0xB0);
 
@@ -409,7 +446,10 @@ pub fn ablation(seed: u64) -> Vec<(String, String)> {
     // rate adaptation across the testbed's link budgets (BW125 uplinks)
     let rssis: Vec<f64> = tb.nodes.iter().map(|n| n.rssi_dbm - 6.0).collect();
     let study = tinysdr_lora::adr::study(&rssis, 125e3, 5.0, 20);
-    let fixed_reached = study.iter().filter(|r| r.fixed_sf8_airtime_s.is_some()).count();
+    let fixed_reached = study
+        .iter()
+        .filter(|r| r.fixed_sf8_airtime_s.is_some())
+        .count();
     let adr_reached = study.iter().filter(|r| r.adaptive_sf.is_some()).count();
     let adr_mean_airtime: f64 = study
         .iter()
@@ -423,7 +463,11 @@ pub fn ablation(seed: u64) -> Vec<(String, String)> {
     ));
     rows.push((
         "ADR: mean airtime (20 B)".to_string(),
-        format!("fixed SF8 {:.0} ms, adaptive {:.0} ms", sf8_airtime * 1e3, adr_mean_airtime * 1e3),
+        format!(
+            "fixed SF8 {:.0} ms, adaptive {:.0} ms",
+            sf8_airtime * 1e3,
+            adr_mean_airtime * 1e3
+        ),
     ));
     rows
 }
@@ -459,7 +503,10 @@ mod tests {
     fn table4_values() {
         let rows = table4();
         let find = |k: &str| {
-            rows.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).unwrap()
+            rows.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
         };
         assert!(find("Sleep to Radio Operation").starts_with("22."));
         assert!(find("Frequency Switch").starts_with("0.220"));

@@ -43,7 +43,11 @@ impl Advertiser {
     /// TinySDR advertiser: hardware-limited 220 µs hops, 1 s interval
     /// (the §5.2 battery-life experiment transmits once per second).
     pub fn tinysdr(packet: AdvPacket) -> Self {
-        Advertiser { packet, hop_delay_s: TINYSDR_HOP_DELAY_S, interval_s: 1.0 }
+        Advertiser {
+            packet,
+            hop_delay_s: TINYSDR_HOP_DELAY_S,
+            interval_s: 1.0,
+        }
     }
 
     /// One advertising event: the three channel bursts with hop gaps.
@@ -128,7 +132,7 @@ mod tests {
 
     #[test]
     fn tinysdr_beats_iphone8() {
-        assert!(TINYSDR_HOP_DELAY_S < IPHONE8_HOP_DELAY_S);
+        const { assert!(TINYSDR_HOP_DELAY_S < IPHONE8_HOP_DELAY_S) };
     }
 
     #[test]
@@ -136,7 +140,10 @@ mod tests {
         let a = Advertiser::tinysdr(beacon());
         let tr = a.envelope_trace(10e6);
         // count bursts: rising edges plus the burst already on at t=0
-        let rising = tr.windows(2).filter(|w| w[0].1 == 0.0 && w[1].1 == 1.0).count()
+        let rising = tr
+            .windows(2)
+            .filter(|w| w[0].1 == 0.0 && w[1].1 == 1.0)
+            .count()
             + (tr[0].1 == 1.0) as usize;
         assert_eq!(rising, 3, "Fig. 13 shows three bursts");
         // total ON time = 3 × airtime

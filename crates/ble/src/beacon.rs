@@ -72,7 +72,10 @@ pub fn eddystone_uid(
     instance: &[u8; 6],
     tx_power_at_0m: i8,
 ) -> Result<AdvPacket, PacketError> {
-    AdvPacket::beacon(adv_addr, &eddystone_uid_adv_data(namespace, instance, tx_power_at_0m))
+    AdvPacket::beacon(
+        adv_addr,
+        &eddystone_uid_adv_data(namespace, instance, tx_power_at_0m),
+    )
 }
 
 #[cfg(test)]
@@ -103,8 +106,7 @@ mod tests {
 
     #[test]
     fn eddystone_fits_and_round_trips() {
-        let pkt =
-            eddystone_uid([9, 8, 7, 6, 5, 4], &[0x22; 10], &[0x33; 6], -10).unwrap();
+        let pkt = eddystone_uid([9, 8, 7, 6, 5, 4], &[0x22; 10], &[0x33; 6], -10).unwrap();
         assert!(pkt.adv_data.len() <= 31);
         let bits = pkt.to_bits(39);
         let back = AdvPacket::from_bits(&bits, 39).unwrap();

@@ -29,7 +29,11 @@ pub fn ble_tx_design() -> Design {
         .add(LeafBlock::new("phase_accum", luts::PHASE_ACCUM))
         .add(LeafBlock::with_cost(
             "sincos_lut",
-            ResourceRequest { luts: luts::SINCOS_LUT, ebr_bits: 1024 * 26, ..Default::default() },
+            ResourceRequest {
+                luts: luts::SINCOS_LUT,
+                ebr_bits: 1024 * 26,
+                ..Default::default()
+            },
             1.0,
         ))
         .add(LeafBlock::new("iq_serializer", luts::IQ_SERIALIZER));

@@ -71,7 +71,9 @@ impl Whitener {
     /// Whitener for an RF channel index (0..=39).
     pub fn new(channel: u8) -> Self {
         assert!(channel <= 39, "BLE channel index 0..=39");
-        Whitener { state: 0x40 | (channel & 0x3F) }
+        Whitener {
+            state: 0x40 | (channel & 0x3F),
+        }
     }
 
     /// Whiten/de-whiten one bit (symmetric).
@@ -142,7 +144,11 @@ fn bytes_to_bits_lsb(bytes: &[u8], out: &mut Vec<u8>) {
 
 fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
     bits.chunks(8)
-        .map(|c| c.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (b << i)))
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | (b << i))
+        })
         .collect()
 }
 
@@ -153,7 +159,9 @@ impl AdvPacket {
     /// Fails if `adv_data` exceeds 31 octets.
     pub fn beacon(adv_addr: [u8; 6], adv_data: &[u8]) -> Result<Self, PacketError> {
         if adv_data.len() > MAX_ADV_DATA {
-            return Err(PacketError::DataTooLong { len: adv_data.len() });
+            return Err(PacketError::DataTooLong {
+                len: adv_data.len(),
+            });
         }
         Ok(AdvPacket {
             pdu_type: PduType::AdvNonConnInd,
@@ -249,7 +257,11 @@ impl AdvPacket {
         };
         let mut adv_addr = [0u8; 6];
         adv_addr.copy_from_slice(&pdu[2..8]);
-        Ok(AdvPacket { pdu_type, adv_addr, adv_data: pdu[8..].to_vec() })
+        Ok(AdvPacket {
+            pdu_type,
+            adv_addr,
+            adv_data: pdu[8..].to_vec(),
+        })
     }
 }
 
@@ -304,7 +316,10 @@ mod tests {
         let mut zeros = vec![0u8; 128];
         Whitener::new(37).apply(&mut zeros);
         let ones: usize = zeros.iter().map(|&b| b as usize).sum();
-        assert!(ones > 40 && ones < 90, "whitened zeros look unbalanced: {ones}");
+        assert!(
+            ones > 40 && ones < 90,
+            "whitened zeros look unbalanced: {ones}"
+        );
         // involution
         Whitener::new(37).apply(&mut zeros);
         assert!(zeros.iter().all(|&b| b == 0));

@@ -13,25 +13,99 @@ pub struct CostItem {
 }
 
 /// Table 5, verbatim.
+// the RF switch really does cost $3.14 in Table 5; it is not π
+#[allow(clippy::approx_constant)]
 pub const BOM: &[CostItem] = &[
-    CostItem { group: "DSP", component: "FPGA", price_usd: 8.69 },
-    CostItem { group: "DSP", component: "Oscillator", price_usd: 0.90 },
-    CostItem { group: "IQ Front-End", component: "Radio", price_usd: 5.08 },
-    CostItem { group: "IQ Front-End", component: "Crystal", price_usd: 0.53 },
-    CostItem { group: "IQ Front-End", component: "2.4 GHz Balun", price_usd: 0.36 },
-    CostItem { group: "IQ Front-End", component: "Sub-GHz Balun", price_usd: 0.30 },
-    CostItem { group: "Backbone", component: "Radio", price_usd: 4.50 },
-    CostItem { group: "Backbone", component: "Crystal", price_usd: 0.40 },
-    CostItem { group: "Backbone", component: "Flash Memory", price_usd: 1.60 },
-    CostItem { group: "MAC", component: "MCU", price_usd: 3.89 },
-    CostItem { group: "MAC", component: "Crystals", price_usd: 0.68 },
-    CostItem { group: "RF", component: "Switch", price_usd: 3.14 },
-    CostItem { group: "RF", component: "Sub-GHz PA", price_usd: 1.54 },
-    CostItem { group: "RF", component: "2.4 GHz PA", price_usd: 1.72 },
-    CostItem { group: "Power Management", component: "Regulators", price_usd: 3.70 },
-    CostItem { group: "Supporting Components", component: "-", price_usd: 4.50 },
-    CostItem { group: "Production", component: "Fabrication", price_usd: 3.00 },
-    CostItem { group: "Production", component: "Assembly", price_usd: 10.00 },
+    CostItem {
+        group: "DSP",
+        component: "FPGA",
+        price_usd: 8.69,
+    },
+    CostItem {
+        group: "DSP",
+        component: "Oscillator",
+        price_usd: 0.90,
+    },
+    CostItem {
+        group: "IQ Front-End",
+        component: "Radio",
+        price_usd: 5.08,
+    },
+    CostItem {
+        group: "IQ Front-End",
+        component: "Crystal",
+        price_usd: 0.53,
+    },
+    CostItem {
+        group: "IQ Front-End",
+        component: "2.4 GHz Balun",
+        price_usd: 0.36,
+    },
+    CostItem {
+        group: "IQ Front-End",
+        component: "Sub-GHz Balun",
+        price_usd: 0.30,
+    },
+    CostItem {
+        group: "Backbone",
+        component: "Radio",
+        price_usd: 4.50,
+    },
+    CostItem {
+        group: "Backbone",
+        component: "Crystal",
+        price_usd: 0.40,
+    },
+    CostItem {
+        group: "Backbone",
+        component: "Flash Memory",
+        price_usd: 1.60,
+    },
+    CostItem {
+        group: "MAC",
+        component: "MCU",
+        price_usd: 3.89,
+    },
+    CostItem {
+        group: "MAC",
+        component: "Crystals",
+        price_usd: 0.68,
+    },
+    CostItem {
+        group: "RF",
+        component: "Switch",
+        price_usd: 3.14,
+    },
+    CostItem {
+        group: "RF",
+        component: "Sub-GHz PA",
+        price_usd: 1.54,
+    },
+    CostItem {
+        group: "RF",
+        component: "2.4 GHz PA",
+        price_usd: 1.72,
+    },
+    CostItem {
+        group: "Power Management",
+        component: "Regulators",
+        price_usd: 3.70,
+    },
+    CostItem {
+        group: "Supporting Components",
+        component: "-",
+        price_usd: 4.50,
+    },
+    CostItem {
+        group: "Production",
+        component: "Fabrication",
+        price_usd: 3.00,
+    },
+    CostItem {
+        group: "Production",
+        component: "Assembly",
+        price_usd: 10.00,
+    },
 ];
 
 /// Total unit cost, USD.
@@ -57,7 +131,11 @@ mod tests {
 
     #[test]
     fn total_matches_table5() {
-        assert!((total_cost_usd() - 54.53).abs() < 0.01, "total {}", total_cost_usd());
+        assert!(
+            (total_cost_usd() - 54.53).abs() < 0.01,
+            "total {}",
+            total_cost_usd()
+        );
     }
 
     #[test]

@@ -168,9 +168,7 @@ impl TinySdr {
                     + fpga_power::running_mw(self.active_luts)
                     + self.mcu.supply_power_mw()
             }
-            DeviceState::Updating => {
-                self.backbone.supply_power_mw() + self.mcu.supply_power_mw()
-            }
+            DeviceState::Updating => self.backbone.supply_power_mw() + self.mcu.supply_power_mw(),
         }
     }
 
@@ -198,7 +196,10 @@ impl TinySdr {
 
     /// Names of stored images.
     pub fn stored_images(&self) -> Vec<(ImageSlot, String)> {
-        self.stored.iter().map(|(s, n, ..)| (*s, n.clone())).collect()
+        self.stored
+            .iter()
+            .map(|(s, n, ..)| (*s, n.clone()))
+            .collect()
     }
 
     /// Configure the FPGA from a stored slot, declaring the design's LUT
@@ -238,7 +239,8 @@ impl TinySdr {
         let image = tinysdr_fpga::bitstream::Bitstream::from_raw(&name, padded);
         self.fpga.power_on();
         let t = self.fpga.start_configuration(&image, None)?;
-        self.ledger.record("fpga_config", fpga_power::CONFIGURING_MW, t);
+        self.ledger
+            .record("fpga_config", fpga_power::CONFIGURING_MW, t);
         self.clock_ns += t;
         self.fpga.tick(t);
         self.active_luts = design_luts;
@@ -263,13 +265,17 @@ impl TinySdr {
     /// Requires a previously stored FPGA image in slot 0.
     pub fn wake(&mut self, to: RadioState, design_luts: u32) -> Result<u64, DeviceError> {
         if self.state != DeviceState::Sleep {
-            return Err(DeviceError::WrongState { state: self.state, op: "wake" });
+            return Err(DeviceError::WrongState {
+                state: self.state,
+                op: "wake",
+            });
         }
         self.mcu.set_mode(McuMode::Active);
         for d in [Domain::V2, Domain::V3, Domain::V4, Domain::V5] {
             self.pmu.set_domain(d, true);
         }
-        self.pmu.set_load(Component::Mcu, McuMode::Active.supply_power_mw());
+        self.pmu
+            .set_load(Component::Mcu, McuMode::Active.supply_power_mw());
         // parallel: FPGA boot || radio setup
         let t_fpga = self.configure_from_slot(ImageSlot::Fpga(0), design_luts)?;
         let t_radio = self.radio.transition(to);
@@ -291,7 +297,12 @@ impl TinySdr {
         let (to, next) = match self.state {
             DeviceState::Receiving => (RadioState::Tx, DeviceState::Transmitting),
             DeviceState::Transmitting => (RadioState::Rx, DeviceState::Receiving),
-            s => return Err(DeviceError::WrongState { state: s, op: "switch TRX" }),
+            s => {
+                return Err(DeviceError::WrongState {
+                    state: s,
+                    op: "switch TRX",
+                })
+            }
         };
         let t = self.radio.transition(to);
         self.state = next;
@@ -356,7 +367,8 @@ mod tests {
     fn device_with_image() -> TinySdr {
         let mut dev = TinySdr::new();
         let img = tinysdr_fpga::bitstream::Bitstream::synthesize("lora_phy", 0.15, 1);
-        dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data()).unwrap();
+        dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data())
+            .unwrap();
         dev
     }
 
@@ -412,7 +424,10 @@ mod tests {
     fn wake_without_stored_image_fails() {
         let mut dev = TinySdr::new();
         dev.sleep();
-        assert_eq!(dev.wake(RadioState::Rx, 100).unwrap_err(), DeviceError::EmptySlot);
+        assert_eq!(
+            dev.wake(RadioState::Rx, 100).unwrap_err(),
+            DeviceError::EmptySlot
+        );
     }
 
     #[test]
@@ -433,8 +448,10 @@ mod tests {
         let mut dev = TinySdr::new();
         let lora = tinysdr_fpga::bitstream::Bitstream::synthesize("lora", 0.15, 1);
         let ble = tinysdr_fpga::bitstream::Bitstream::synthesize("ble", 0.034, 2);
-        dev.store_image(ImageSlot::Fpga(0), "lora", lora.data()).unwrap();
-        dev.store_image(ImageSlot::Fpga(1), "ble", ble.data()).unwrap();
+        dev.store_image(ImageSlot::Fpga(0), "lora", lora.data())
+            .unwrap();
+        dev.store_image(ImageSlot::Fpga(1), "ble", ble.data())
+            .unwrap();
         assert_eq!(dev.stored_images().len(), 2);
         // switching protocols = one 22 ms reconfiguration, no OTA needed
         let t = dev.configure_from_slot(ImageSlot::Fpga(1), 820).unwrap();

@@ -26,6 +26,6 @@
 pub mod cost;
 pub mod device;
 pub mod platforms;
-pub mod sensors;
 pub mod profile;
+pub mod sensors;
 pub mod testbed;

@@ -41,8 +41,10 @@ pub struct Platform {
 /// computed from the workspace models.
 pub fn catalog() -> Vec<Platform> {
     let tinysdr_sleep = platform_power_mw(OperatingPoint::Sleep);
-    let tinysdr_tx =
-        platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 140, band_2g4: false });
+    let tinysdr_tx = platform_power_mw(OperatingPoint::SingleTone {
+        deci_dbm: 140,
+        band_2g4: false,
+    });
     vec![
         Platform {
             name: "USRP E310",
@@ -159,9 +161,8 @@ pub fn catalog() -> Vec<Platform> {
         },
     ]
     .into_iter()
-    .map(|p| {
+    .inspect(|_p| {
         let _ = tinysdr_tx; // documented: platform TX is profile::fig9_curve
-        p
     })
     .collect()
 }
@@ -169,7 +170,12 @@ pub fn catalog() -> Vec<Platform> {
 /// The Table 1 headline: TinySDR's sleep power vs the best competitor.
 pub fn sleep_advantage() -> f64 {
     let cat = catalog();
-    let tinysdr = cat.iter().find(|p| p.name == "TinySDR").unwrap().sleep_mw.unwrap();
+    let tinysdr = cat
+        .iter()
+        .find(|p| p.name == "TinySDR")
+        .unwrap()
+        .sleep_mw
+        .unwrap();
     let best_other = cat
         .iter()
         .filter(|p| p.name != "TinySDR")
@@ -181,7 +187,10 @@ pub fn sleep_advantage() -> f64 {
 /// §2's observation: every other platform's *sleep* power exceeds
 /// TinySDR's *transmit* power.
 pub fn others_sleep_above_tinysdr_tx() -> bool {
-    let tx = platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 140, band_2g4: false });
+    let tx = platform_power_mw(OperatingPoint::SingleTone {
+        deci_dbm: 140,
+        band_2g4: false,
+    });
     catalog()
         .iter()
         .filter(|p| p.name != "TinySDR")
@@ -266,7 +275,11 @@ mod tests {
     fn tinysdr_covers_both_iot_bands() {
         let cat = catalog();
         let t = cat.iter().find(|p| p.name == "TinySDR").unwrap();
-        let covers = |f: f64| t.spectrum_mhz.iter().any(|&(lo, hi)| (lo..=hi).contains(&f));
+        let covers = |f: f64| {
+            t.spectrum_mhz
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&f))
+        };
         assert!(covers(915.0) && covers(2440.0) && covers(433.0));
         assert!(!covers(5800.0));
     }

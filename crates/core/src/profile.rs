@@ -65,9 +65,7 @@ pub fn platform_power_mw(op: OperatingPoint) -> f64 {
                 + mcu_active
         }
         OperatingPoint::BleTx => {
-            at86rf215::power::tx_mw_2g4(0.0)
-                + fpga_power::running_mw(820)
-                + mcu_active
+            at86rf215::power::tx_mw_2g4(0.0) + fpga_power::running_mw(820) + mcu_active
         }
         OperatingPoint::ConcurrentRx => {
             at86rf215::power::RX_MW
@@ -101,7 +99,10 @@ pub fn fig9_curve(band_2g4: bool) -> Vec<(f64, f64)> {
     (-14..=14)
         .step_by(2)
         .map(|p| {
-            let op = OperatingPoint::SingleTone { deci_dbm: (p * 10) as i16, band_2g4 };
+            let op = OperatingPoint::SingleTone {
+                deci_dbm: (p * 10) as i16,
+                band_2g4,
+            };
             (p as f64, platform_power_mw(op))
         })
         .collect()
@@ -154,9 +155,14 @@ mod tests {
     fn fig9_anchors() {
         // §5.1: "TinySDR consumes 231 mW when transmitting at 0 dBm …
         // 283 mW at its 14 dBm setting"
-        let p0 = platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 0, band_2g4: false });
-        let p14 =
-            platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 140, band_2g4: false });
+        let p0 = platform_power_mw(OperatingPoint::SingleTone {
+            deci_dbm: 0,
+            band_2g4: false,
+        });
+        let p14 = platform_power_mw(OperatingPoint::SingleTone {
+            deci_dbm: 140,
+            band_2g4: false,
+        });
         assert!((p0 - 231.0).abs() < 10.0, "0 dBm: {p0} mW");
         assert!((p14 - 283.0).abs() < 10.0, "14 dBm: {p14} mW");
     }
@@ -181,7 +187,10 @@ mod tests {
         // "the end-to-end power consumption of the USRP E310 is 16x
         // higher under the same conditions … 15x higher [at 14 dBm]"
         let e310_0dbm = 3700.0; // W-class embedded SDR (Table 1 platform)
-        let p0 = platform_power_mw(OperatingPoint::SingleTone { deci_dbm: 0, band_2g4: false });
+        let p0 = platform_power_mw(OperatingPoint::SingleTone {
+            deci_dbm: 0,
+            band_2g4: false,
+        });
         let ratio = e310_0dbm / p0;
         assert!(ratio > 14.0 && ratio < 18.0, "E310 ratio {ratio}");
     }

@@ -31,7 +31,11 @@ impl AnalogChannel {
     /// New channel.
     pub fn new(index: u8) -> Self {
         assert!(index < 24, "MSP432 exposes A0..A23");
-        AnalogChannel { index, conversions: 0, energy_mj: 0.0 }
+        AnalogChannel {
+            index,
+            conversions: 0,
+            energy_mj: 0.0,
+        }
     }
 
     /// Sample a voltage: quantize through the 14-bit ADC. Returns the
@@ -73,7 +77,12 @@ impl I2cSensor {
     /// New fast-mode sensor.
     pub fn new(address: u8) -> Self {
         assert!(address < 0x80, "7-bit I2C address");
-        I2cSensor { address, clock_hz: 400e3, bytes: 0, bus_ns: 0 }
+        I2cSensor {
+            address,
+            clock_hz: 400e3,
+            bytes: 0,
+            bus_ns: 0,
+        }
     }
 
     /// Account a register read of `n` bytes (address + register + data,

@@ -1,16 +1,31 @@
-//! The 20-node campus testbed (paper Fig. 7) and the OTA campaign behind
-//! Fig. 14.
+//! The 20-node campus testbed (paper Fig. 7) and the OTA campaign
+//! engine behind Fig. 14.
 //!
 //! "We deploy a testbed of 20 tinySDR devices across our institution's
 //! campus" — node positions span tens of meters to about two kilometers
 //! from the LoRa access point, giving the RSSI spread that turns into
 //! Fig. 14's programming-time CDF.
+//!
+//! The campaign layer scales past the paper's 20 nodes: campaigns can
+//! be sharded across threads ([`CampaignConfig::shards`]) under a
+//! determinism contract — every node draws its randomness from an
+//! order-independent [`tinysdr_ota::seed`] stream, so a sharded
+//! campaign is **bit-identical** to the sequential one for the same
+//! seed, regardless of shard count or thread interleaving. Two
+//! programming strategies are wired in: the paper's §3.4 sequential
+//! unicast ([`Testbed::run_campaign`]) and the §7 broadcast with
+//! NACK-repair rounds plus targeted unicast repair
+//! ([`Testbed::broadcast_campaign`]).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tinysdr_dsp::stats::Ecdf;
 use tinysdr_ota::blocks::BlockedUpdate;
+use tinysdr_ota::broadcast::{run_broadcast_keyed, BroadcastConfig, BroadcastReport};
+use tinysdr_ota::seed::{
+    node_stream_seed, stream_seed, STREAM_BROADCAST, STREAM_INTERFERENCE, STREAM_SESSION,
+};
 use tinysdr_ota::session::{run_session, LinkModel, SessionConfig, SessionReport};
 use tinysdr_rf::pathloss::{Link, LogDistance};
 
@@ -51,8 +66,12 @@ impl Testbed {
         Self::with_nodes(20, seed)
     }
 
-    /// Build a testbed with `n` nodes.
+    /// Build a testbed with `n` nodes (`n <= 65_536`, the node-id space).
     pub fn with_nodes(n: usize, seed: u64) -> Self {
+        assert!(
+            n <= u16::MAX as usize + 1,
+            "node ids are u16, got {n} nodes"
+        );
         let model = LogDistance::campus_915mhz();
         let mut rng = StdRng::seed_from_u64(seed);
         let nodes = (0..n)
@@ -62,7 +81,12 @@ impl Testbed {
                 let mut link = Link::new(&model, distance_m, seed ^ (i as u64 * 7919));
                 link.antenna_gains_db = AP_ANTENNA_GAIN_DB;
                 let rssi = link.rssi_dbm(&model, AP_TX_POWER_DBM);
-                Node { id: i as u16, distance_m, link, rssi_dbm: rssi }
+                Node {
+                    id: i as u16,
+                    distance_m,
+                    link,
+                    rssi_dbm: rssi,
+                }
             })
             .collect();
         Testbed { model, nodes }
@@ -70,37 +94,330 @@ impl Testbed {
 
     /// RSSI distribution across nodes, dBm.
     pub fn rssi_spread(&self) -> (f64, f64) {
-        let min = self.nodes.iter().map(|n| n.rssi_dbm).fold(f64::MAX, f64::min);
-        let max = self.nodes.iter().map(|n| n.rssi_dbm).fold(f64::MIN, f64::max);
+        let min = self
+            .nodes
+            .iter()
+            .map(|n| n.rssi_dbm)
+            .fold(f64::MAX, f64::min);
+        let max = self
+            .nodes
+            .iter()
+            .map(|n| n.rssi_dbm)
+            .fold(f64::MIN, f64::max);
         (min, max)
     }
 
-    /// Run an OTA campaign: program every node with `update`, returning
-    /// per-node reports (the AP programs nodes sequentially, §3.4).
-    pub fn ota_campaign(&self, update: &BlockedUpdate, seed: u64) -> Vec<(u16, SessionReport)> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1F7E);
-        self.nodes
-            .iter()
-            .map(|n| {
-                let mut link = LinkModel::from_downlink(n.rssi_dbm);
-                // location-dependent co-channel interference loss
-                link.base_loss_prob = rng.gen_range(0.0..0.08);
-                let cfg = SessionConfig { max_attempts: 40, seed: seed ^ (n.id as u64) << 8 };
-                (n.id, run_session(update, &link, &cfg))
-            })
-            .collect()
+    /// Location-dependent co-channel interference loss probability for a
+    /// node, in `[0, 0.08)` — drawn from the node's own seed stream, so
+    /// the draw is independent of programming order and shard layout.
+    pub fn interference_loss(campaign_seed: u64, node_id: u16) -> f64 {
+        let mut rng = StdRng::seed_from_u64(node_stream_seed(
+            campaign_seed,
+            node_id as u64,
+            STREAM_INTERFERENCE,
+        ));
+        rng.gen_range(0.0..0.08)
     }
 
-    /// The Fig. 14 CDF of programming times, minutes.
+    /// The RNG seed a node's unicast programming session runs with.
+    /// Exposed so tests can assert the no-collision contract.
+    pub fn session_seed(campaign_seed: u64, node_id: u16) -> u64 {
+        node_stream_seed(campaign_seed, node_id as u64, STREAM_SESSION)
+    }
+
+    /// Program one node: frozen link + per-node interference + the
+    /// node's own session RNG stream. Pure in `(node, update, cfg)`.
+    fn program_node(node: &Node, update: &BlockedUpdate, cfg: &CampaignConfig) -> SessionReport {
+        let mut link = LinkModel::from_downlink(node.rssi_dbm);
+        link.base_loss_prob = Self::interference_loss(cfg.seed, node.id);
+        let scfg = SessionConfig {
+            max_attempts: cfg.max_attempts,
+            seed: Self::session_seed(cfg.seed, node.id),
+        };
+        run_session(update, &link, &scfg)
+    }
+
+    /// One shard's work: program a slice of nodes sequentially,
+    /// accumulating the shard-local programming-time ECDF (minutes,
+    /// completed sessions only).
+    fn program_nodes(
+        nodes: &[Node],
+        update: &BlockedUpdate,
+        cfg: &CampaignConfig,
+    ) -> (Vec<(u16, SessionReport)>, Ecdf) {
+        let mut out = Vec::with_capacity(nodes.len());
+        let mut ecdf = Ecdf::new();
+        for n in nodes {
+            let rep = Self::program_node(n, update, cfg);
+            if rep.completed {
+                ecdf.push(rep.duration_s / 60.0);
+            }
+            out.push((n.id, rep));
+        }
+        (out, ecdf)
+    }
+
+    /// Run a unicast OTA campaign over a node subset, sharded per `cfg`.
+    fn run_campaign_on(
+        nodes: &[Node],
+        update: &BlockedUpdate,
+        cfg: &CampaignConfig,
+    ) -> CampaignReport {
+        let shards = cfg.shards.clamp(1, nodes.len().max(1));
+        let shard_results: Vec<(Vec<(u16, SessionReport)>, Ecdf)> = if shards <= 1 {
+            vec![Self::program_nodes(nodes, update, cfg)]
+        } else {
+            let chunk = nodes.len().div_ceil(shards);
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = nodes
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move |_| Self::program_nodes(c, update, cfg)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign shard panicked"))
+                    .collect()
+            })
+            .expect("campaign scope")
+        };
+        CampaignReport::from_shards(shard_results)
+    }
+
+    /// Run a unicast OTA campaign: program every node with `update`.
+    /// With `cfg.shards == 1` this is the paper's §3.4 flow (the AP
+    /// programs nodes back to back); with more shards the sessions are
+    /// simulated in parallel under the determinism contract (the result
+    /// is bit-identical to the sequential run).
+    pub fn run_campaign(&self, update: &BlockedUpdate, cfg: &CampaignConfig) -> CampaignReport {
+        Self::run_campaign_on(&self.nodes, update, cfg)
+    }
+
+    /// Back-compat convenience: sequential unicast campaign.
+    pub fn ota_campaign(&self, update: &BlockedUpdate, seed: u64) -> CampaignReport {
+        self.run_campaign(update, &CampaignConfig::sequential(seed))
+    }
+
+    /// Run the §7 broadcast strategy: one shared broadcast with
+    /// NACK-driven repair rounds, then targeted unicast repair sessions
+    /// (through the sharded unicast engine) for any node the broadcast
+    /// phase left incomplete.
+    pub fn broadcast_campaign(
+        &self,
+        update: &BlockedUpdate,
+        cfg: &BroadcastCampaignConfig,
+    ) -> BroadcastCampaignReport {
+        let links: Vec<LinkModel> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut l = LinkModel::from_downlink(n.rssi_dbm);
+                l.base_loss_prob = Self::interference_loss(cfg.repair.seed, n.id);
+                l
+            })
+            .collect();
+        let ids: Vec<u64> = self.nodes.iter().map(|n| n.id as u64).collect();
+        let broadcast = run_broadcast_keyed(
+            update,
+            &links,
+            &ids,
+            &BroadcastConfig {
+                max_rounds: cfg.max_rounds,
+                seed: stream_seed(cfg.repair.seed, STREAM_BROADCAST),
+            },
+        );
+        let stragglers: Vec<Node> = self
+            .nodes
+            .iter()
+            .zip(&broadcast.node_complete)
+            .filter(|(_, &done)| !done)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let straggler_ids: Vec<u16> = stragglers.iter().map(|n| n.id).collect();
+        let repaired = Self::run_campaign_on(&stragglers, update, &cfg.repair);
+        let total_time_s = broadcast.total_time_s + repaired.total_air_time_s();
+        BroadcastCampaignReport {
+            broadcast,
+            straggler_ids,
+            repaired,
+            total_time_s,
+        }
+    }
+
+    /// The Fig. 14 CDF of programming times, minutes (completed
+    /// sessions only — check [`CampaignReport::completed`] against
+    /// [`CampaignReport::len`] for coverage; an all-incomplete campaign
+    /// yields an empty ECDF whose accessors return `None`).
     pub fn programming_time_cdf(
         &self,
         update: &BlockedUpdate,
         seed: u64,
-    ) -> (Ecdf, Vec<(u16, SessionReport)>) {
-        let reports = self.ota_campaign(update, seed);
-        let mut ecdf = Ecdf::new();
-        ecdf.extend(reports.iter().filter(|(_, r)| r.completed).map(|(_, r)| r.duration_s / 60.0));
-        (ecdf, reports)
+    ) -> (Ecdf, CampaignReport) {
+        let report = self.run_campaign(update, &CampaignConfig::sequential(seed));
+        (report.time_ecdf().clone(), report)
+    }
+}
+
+/// Knobs for a unicast programming campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Per-packet retry budget handed to each session.
+    pub max_attempts: u32,
+    /// Worker threads the campaign is sharded across (1 = sequential).
+    pub shards: usize,
+    /// Campaign seed; every node derives its own streams from it.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The paper's sequential flow: one thread, 40 attempts per packet.
+    pub fn sequential(seed: u64) -> Self {
+        CampaignConfig {
+            max_attempts: 40,
+            shards: 1,
+            seed,
+        }
+    }
+
+    /// Shard across `shards` worker threads.
+    pub fn sharded(seed: u64, shards: usize) -> Self {
+        CampaignConfig {
+            max_attempts: 40,
+            shards: shards.max(1),
+            seed,
+        }
+    }
+
+    /// Shard across the machine's available cores.
+    pub fn auto(seed: u64) -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::sharded(seed, n)
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self::sequential(1)
+    }
+}
+
+/// Outcome of a unicast campaign, keyed by node id (not by iteration
+/// position — shard layouts must not change what a report means).
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// `(node id, session report)`, sorted by node id.
+    reports: Vec<(u16, SessionReport)>,
+    /// Programming times of completed sessions, minutes; built by
+    /// merging the per-shard ECDFs.
+    time_ecdf: Ecdf,
+}
+
+impl CampaignReport {
+    fn from_shards(shards: Vec<(Vec<(u16, SessionReport)>, Ecdf)>) -> Self {
+        let mut reports = Vec::with_capacity(shards.iter().map(|(r, _)| r.len()).sum());
+        let mut time_ecdf = Ecdf::new();
+        for (shard_reports, shard_ecdf) in shards {
+            reports.extend(shard_reports);
+            time_ecdf.merge(&shard_ecdf);
+        }
+        reports.sort_by_key(|(id, _)| *id);
+        CampaignReport { reports, time_ecdf }
+    }
+
+    /// The session report for a node id, if the node was in the campaign.
+    pub fn get(&self, id: u16) -> Option<&SessionReport> {
+        self.reports
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|k| &self.reports[k].1)
+    }
+
+    /// All `(node id, report)` pairs, ascending by node id.
+    pub fn reports(&self) -> &[(u16, SessionReport)] {
+        &self.reports
+    }
+
+    /// Iterate over `(node id, report)` pairs, ascending by node id.
+    pub fn iter(&self) -> impl Iterator<Item = &(u16, SessionReport)> {
+        self.reports.iter()
+    }
+
+    /// Number of nodes in the campaign.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` if the campaign covered no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Number of nodes whose session completed.
+    pub fn completed(&self) -> usize {
+        self.reports.iter().filter(|(_, r)| r.completed).count()
+    }
+
+    /// Sum of session durations, seconds — the AP's wall-clock time when
+    /// sessions run back to back over the shared channel (simulation
+    /// shards don't shorten air time; there is still one AP radio).
+    pub fn total_air_time_s(&self) -> f64 {
+        self.reports.iter().map(|(_, r)| r.duration_s).sum()
+    }
+
+    /// Programming-time ECDF (minutes, completed sessions only). Empty
+    /// — all accessors `None` — when no session completed.
+    pub fn time_ecdf(&self) -> &Ecdf {
+        &self.time_ecdf
+    }
+}
+
+/// Knobs for the broadcast + targeted-repair strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastCampaignConfig {
+    /// NACK-repair rounds the broadcast phase may use before falling
+    /// back to targeted unicast.
+    pub max_rounds: u32,
+    /// Engine configuration (seed, shards, retry budget) for the
+    /// targeted unicast repair phase; its seed also keys the broadcast
+    /// streams.
+    pub repair: CampaignConfig,
+}
+
+impl BroadcastCampaignConfig {
+    /// Default shape: 12 broadcast repair rounds, sequential repair.
+    pub fn new(seed: u64) -> Self {
+        BroadcastCampaignConfig {
+            max_rounds: 12,
+            repair: CampaignConfig::sequential(seed),
+        }
+    }
+}
+
+/// Outcome of a broadcast campaign: the shared phase plus the targeted
+/// unicast repairs.
+#[derive(Debug, Clone)]
+pub struct BroadcastCampaignReport {
+    /// The shared broadcast phase (`node_complete`/`node_energy_mj` are
+    /// positional, in testbed order).
+    pub broadcast: BroadcastReport,
+    /// Node ids the broadcast phase left incomplete — the targets of
+    /// the repair phase.
+    pub straggler_ids: Vec<u16>,
+    /// Targeted unicast repair sessions for broadcast stragglers
+    /// (empty when the broadcast phase reached everyone).
+    pub repaired: CampaignReport,
+    /// Broadcast time plus repair sessions back to back, seconds.
+    pub total_time_s: f64,
+}
+
+impl BroadcastCampaignReport {
+    /// `true` once every node holds the full image (via broadcast or a
+    /// repair session).
+    pub fn all_complete(&self) -> bool {
+        self.straggler_ids
+            .iter()
+            .all(|&id| self.repaired.get(id).map(|r| r.completed).unwrap_or(false))
     }
 }
 
@@ -123,8 +440,16 @@ mod tests {
     #[test]
     fn distances_span_campus() {
         let tb = Testbed::campus(42);
-        let dmin = tb.nodes.iter().map(|n| n.distance_m).fold(f64::MAX, f64::min);
-        let dmax = tb.nodes.iter().map(|n| n.distance_m).fold(f64::MIN, f64::max);
+        let dmin = tb
+            .nodes
+            .iter()
+            .map(|n| n.distance_m)
+            .fold(f64::MAX, f64::min);
+        let dmax = tb
+            .nodes
+            .iter()
+            .map(|n| n.distance_m)
+            .fold(f64::MIN, f64::max);
         assert!(dmin < 150.0);
         assert!(dmax > 1000.0);
     }
@@ -139,12 +464,12 @@ mod tests {
         // the far tail of the campus may be unreachable at SF8/BW500 —
         // the paper's AP placement guaranteed coverage; we tolerate one
         // node out of range
-        let completed = reports.iter().filter(|(_, r)| r.completed).count();
+        let completed = reports.completed();
         assert!(completed >= 19, "only {completed}/20 nodes completed");
-        let mean_s = ecdf.mean() * 60.0;
+        let mean_s = ecdf.mean().expect("completed sessions") * 60.0;
         assert!((mean_s - 45.0).abs() < 15.0, "MCU campaign mean {mean_s} s");
         // CDF spread: far nodes pay for retransmissions
-        assert!(ecdf.max() > ecdf.min());
+        assert!(ecdf.max().unwrap() > ecdf.min().unwrap());
     }
 
     #[test]
@@ -157,14 +482,20 @@ mod tests {
         let mut by_rssi: Vec<_> = tb
             .nodes
             .iter()
-            .map(|n| (n.rssi_dbm, reports[n.id as usize].1.duration_s))
+            .map(|n| {
+                (
+                    n.rssi_dbm,
+                    reports.get(n.id).expect("node in campaign").duration_s,
+                )
+            })
             .collect();
         by_rssi.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let weak_mean: f64 =
-            by_rssi[..6].iter().map(|(_, d)| d).sum::<f64>() / 6.0;
-        let strong_mean: f64 =
-            by_rssi[14..].iter().map(|(_, d)| d).sum::<f64>() / 6.0;
-        assert!(weak_mean >= strong_mean, "weak {weak_mean} vs strong {strong_mean}");
+        let weak_mean: f64 = by_rssi[..6].iter().map(|(_, d)| d).sum::<f64>() / 6.0;
+        let strong_mean: f64 = by_rssi[14..].iter().map(|(_, d)| d).sum::<f64>() / 6.0;
+        assert!(
+            weak_mean >= strong_mean,
+            "weak {weak_mean} vs strong {strong_mean}"
+        );
     }
 
     #[test]
@@ -182,5 +513,164 @@ mod tests {
     fn custom_size_testbeds() {
         let tb = Testbed::with_nodes(5, 1);
         assert_eq!(tb.nodes.len(), 5);
+    }
+
+    #[test]
+    fn node_seeds_never_collide_with_each_other_or_the_campaign_rng() {
+        // regression: `seed ^ (id as u64) << 8` parsed as
+        // `seed ^ (id << 8)`, so node 0's session ran on the bare
+        // campaign seed and low ids differed in a few bits only
+        let campaign_seed = 42u64;
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(campaign_seed));
+        for id in 0..2048u16 {
+            assert!(
+                seen.insert(Testbed::session_seed(campaign_seed, id)),
+                "session seed collision at node {id}"
+            );
+        }
+        assert_ne!(Testbed::session_seed(campaign_seed, 0), campaign_seed);
+    }
+
+    #[test]
+    fn interference_is_per_node_and_order_independent() {
+        let a = Testbed::interference_loss(7, 3);
+        assert_eq!(a, Testbed::interference_loss(7, 3), "pure in (seed, id)");
+        assert!((0.0..0.08).contains(&a));
+        assert_ne!(a, Testbed::interference_loss(7, 4));
+        assert_ne!(a, Testbed::interference_loss(8, 3));
+    }
+
+    #[test]
+    fn sharded_campaign_is_bit_identical_to_sequential() {
+        // the determinism contract: same seed -> identical reports,
+        // regardless of shard count / thread interleaving
+        let tb = Testbed::with_nodes(64, 5);
+        let img = FirmwareImage::mcu("fw", 8_000, 2);
+        let upd = BlockedUpdate::build(&img);
+        let seq = tb.run_campaign(&upd, &CampaignConfig::sequential(11));
+        assert_eq!(seq.len(), 64);
+        for shards in [2usize, 3, 8, 64] {
+            let par = tb.run_campaign(&upd, &CampaignConfig::sharded(11, shards));
+            assert_eq!(seq.reports(), par.reports(), "{shards} shards diverged");
+            // merged per-shard ECDFs hold the same distribution
+            let mut a = seq.time_ecdf().clone();
+            let mut b = par.time_ecdf().clone();
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.curve(), b.curve());
+        }
+        // shard counts beyond the node count are clamped, not a panic
+        let wide = tb.run_campaign(&upd, &CampaignConfig::sharded(11, 1000));
+        assert_eq!(seq.reports(), wide.reports());
+    }
+
+    #[test]
+    fn campaign_reports_are_keyed_by_node_id() {
+        let tb = Testbed::with_nodes(9, 3);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("k", 6_000, 1));
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sharded(5, 4));
+        for n in &tb.nodes {
+            assert!(rep.get(n.id).is_some(), "node {} missing", n.id);
+        }
+        assert!(rep.get(9).is_none());
+        let ids: Vec<u16> = rep.iter().map(|(id, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "reports must come back ordered by node id");
+    }
+
+    #[test]
+    fn empty_campaign_cdf_is_explicit() {
+        // regression: with zero completed sessions the ECDF accessors
+        // used to panic (min/max/quantile) or lie (mean() == 0.0)
+        let mut tb = Testbed::with_nodes(3, 1);
+        for n in tb.nodes.iter_mut() {
+            n.rssi_dbm = -140.0; // below any fading margin: nothing completes
+        }
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("dead", 5_000, 1));
+        let (mut ecdf, reports) = tb.programming_time_cdf(&upd, 2);
+        assert_eq!(reports.completed(), 0);
+        assert!(ecdf.is_empty());
+        assert_eq!(ecdf.mean(), None);
+        assert_eq!(ecdf.min(), None);
+        assert_eq!(ecdf.max(), None);
+        assert_eq!(ecdf.quantile(0.5), None);
+    }
+
+    #[test]
+    fn targeted_repair_completes_what_broadcast_misses() {
+        // strong links but location-dependent interference (several
+        // percent per-packet loss), and a broadcast phase with zero
+        // repair rounds: whoever misses a packet in the single pass
+        // must be finished by a targeted unicast session
+        let mut tb = Testbed::with_nodes(6, 3);
+        for n in tb.nodes.iter_mut() {
+            n.rssi_dbm = -90.0;
+        }
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("strag", 8_000, 2));
+        let cfg = BroadcastCampaignConfig {
+            max_rounds: 0,
+            repair: CampaignConfig::sequential(4),
+        };
+        let rep = tb.broadcast_campaign(&upd, &cfg);
+        assert!(!rep.repaired.is_empty(), "the lossy node must need repair");
+        assert!(
+            rep.all_complete(),
+            "repair phase must finish the stragglers"
+        );
+        // a repair session is the same session the unicast campaign
+        // would have run: same seed stream, same link
+        let uni = tb.run_campaign(&upd, &CampaignConfig::sequential(4));
+        for (id, r) in rep.repaired.iter() {
+            assert_eq!(uni.get(*id), Some(r));
+        }
+    }
+
+    #[test]
+    fn broadcast_campaign_handles_reordered_node_lists() {
+        // node ids and vector positions diverge after a reorder; the
+        // repair bookkeeping must follow ids, not positions
+        let mut tb = Testbed::with_nodes(6, 3);
+        for n in tb.nodes.iter_mut() {
+            n.rssi_dbm = -90.0;
+        }
+        tb.nodes.reverse();
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("strag", 8_000, 2));
+        let cfg = BroadcastCampaignConfig {
+            max_rounds: 0,
+            repair: CampaignConfig::sequential(4),
+        };
+        let rep = tb.broadcast_campaign(&upd, &cfg);
+        assert!(
+            !rep.straggler_ids.is_empty(),
+            "single pass must leave stragglers"
+        );
+        for &id in &rep.straggler_ids {
+            assert!(rep.repaired.get(id).is_some(), "repair keyed by id {id}");
+        }
+        assert!(rep.all_complete());
+    }
+
+    #[test]
+    fn broadcast_campaign_repairs_stragglers() {
+        let tb = Testbed::campus(42);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("bc", 10_000, 4));
+        let cfg = BroadcastCampaignConfig {
+            max_rounds: 6,
+            repair: CampaignConfig::sequential(9),
+        };
+        let rep = tb.broadcast_campaign(&upd, &cfg);
+        assert!(
+            rep.all_complete(),
+            "broadcast + targeted repair must reach the campus"
+        );
+        // the shared phase plus repairs still crushes 20 unicast sessions
+        let uni = tb.run_campaign(&upd, &CampaignConfig::sequential(9));
+        assert!(
+            rep.total_time_s < uni.total_air_time_s() / 3.0,
+            "broadcast {:.0}s vs unicast {:.0}s",
+            rep.total_time_s,
+            uni.total_air_time_s()
+        );
     }
 }

@@ -120,7 +120,12 @@ impl ChirpGenerator {
         // slope in cycles/sample² is 1/(N·OSR²).
         let dstep = (Q32 / (cfg.n_chips() as f64 * (cfg.osr * cfg.osr) as f64)).round() as i64;
         let bw_step = (Q32 / cfg.osr as f64).round() as i64;
-        ChirpGenerator { cfg, lut: SinCosLut::new(), dstep, bw_step }
+        ChirpGenerator {
+            cfg,
+            lut: SinCosLut::new(),
+            dstep,
+            bw_step,
+        }
     }
 
     /// The configuration this generator was built for.
@@ -344,10 +349,13 @@ mod tests {
         let c = ChirpConfig::new(8, 125e3, 1);
         assert!(a.is_orthogonal_to(&b)); // different slope
         assert!(!a.is_orthogonal_to(&c)); // same SF/BW, OSR irrelevant
-        // SF10/BW250 vs SF8/BW125: slope 250²/1024 vs 125²/256 = 61.0 both!
+                                          // SF10/BW250 vs SF8/BW125: slope 250²/1024 vs 125²/256 = 61.0 both!
         let d = ChirpConfig::new(10, 250e3, 1);
         let e = ChirpConfig::new(8, 125e3, 1);
-        assert!(!d.is_orthogonal_to(&e), "equal-slope configs are NOT orthogonal");
+        assert!(
+            !d.is_orthogonal_to(&e),
+            "equal-slope configs are NOT orthogonal"
+        );
     }
 
     #[test]
@@ -372,6 +380,9 @@ mod tests {
         let total: f64 = spec.iter().map(|z| z.norm_sqr()).sum();
         let (_, peak) = peak_bin(&spec);
         let frac = peak * peak / total;
-        assert!(frac < 0.05, "interferer concentrated {frac} of energy in one bin");
+        assert!(
+            frac < 0.05,
+            "interferer concentrated {frac} of energy in one bin"
+        );
     }
 }

@@ -42,13 +42,19 @@ impl Complex {
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        Complex { re: r * c, im: r * s }
+        Complex {
+            re: r * c,
+            im: r * s,
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²` (power).
@@ -72,7 +78,10 @@ impl Complex {
     /// Multiply by a real scalar.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Reciprocal `1/z`. Returns `Complex::ZERO` for a zero input rather
@@ -83,7 +92,10 @@ impl Complex {
         if n == 0.0 {
             Complex::ZERO
         } else {
-            Complex { re: self.re / n, im: -self.im / n }
+            Complex {
+                re: self.re / n,
+                im: -self.im / n,
+            }
         }
     }
 
@@ -98,7 +110,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -114,7 +129,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -164,13 +182,18 @@ impl Div<f64> for Complex {
     type Output = Complex;
     #[inline]
     fn div(self, rhs: f64) -> Complex {
-        Complex { re: self.re / rhs, im: self.im / rhs }
+        Complex {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    // multiplying by the reciprocal IS complex division
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -180,7 +203,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -304,7 +330,10 @@ mod tests {
     #[test]
     fn arg_quadrants() {
         assert!(close(Complex::new(1.0, 0.0).arg(), 0.0));
-        assert!(close(Complex::new(0.0, 1.0).arg(), std::f64::consts::FRAC_PI_2));
+        assert!(close(
+            Complex::new(0.0, 1.0).arg(),
+            std::f64::consts::FRAC_PI_2
+        ));
         assert!(close(Complex::new(-1.0, 0.0).arg(), std::f64::consts::PI));
     }
 
@@ -330,8 +359,9 @@ mod tests {
     #[test]
     fn elementwise_mul_dechirp_identity() {
         // multiplying a phasor sequence by its conjugate gives all-ones
-        let x: Vec<Complex> =
-            (0..64).map(|n| Complex::from_angle(0.1 * n as f64)).collect();
+        let x: Vec<Complex> = (0..64)
+            .map(|n| Complex::from_angle(0.1 * n as f64))
+            .collect();
         let y: Vec<Complex> = x.iter().map(|z| z.conj()).collect();
         let prod = elementwise_mul(&x, &y);
         for p in prod {

@@ -27,7 +27,10 @@ impl FftPlan {
     /// # Panics
     /// Panics if `n` is not a power of two or is smaller than 2.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "FFT size must be a power of two >= 2, got {n}");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "FFT size must be a power of two >= 2, got {n}"
+        );
         let log2n = n.trailing_zeros();
         let twiddles = (0..n / 2)
             .map(|k| {
@@ -39,7 +42,12 @@ impl FftPlan {
         for i in 0..n {
             rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n - 1));
         }
-        FftPlan { n, log2n, twiddles, rev }
+        FftPlan {
+            n,
+            log2n,
+            twiddles,
+            rev,
+        }
     }
 
     /// Transform size.
@@ -48,10 +56,12 @@ impl FftPlan {
         self.n
     }
 
-    /// `true` if the plan size is zero (never; kept for API completeness).
+    /// Always `false`: [`FftPlan::new`] rejects sizes below 2, so a plan
+    /// cannot be empty. Provided only so `len` follows Rust's
+    /// `len`/`is_empty` API convention.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        false
     }
 
     /// In-place forward DFT (no normalization), `X[k] = Σ x[n] e^{-j2πnk/N}`.
@@ -96,8 +106,8 @@ impl FftPlan {
 
     fn butterflies(&self, buf: &mut [Complex], inverse: bool) {
         let n = self.n;
-        let mut len = 2usize;
-        while len <= n {
+        for stage in 0..self.log2n {
+            let len = 2usize << stage;
             let half = len / 2;
             let step = n / len;
             for start in (0..n).step_by(len) {
@@ -110,9 +120,7 @@ impl FftPlan {
                     buf[start + k + half] = a - b;
                 }
             }
-            len <<= 1;
         }
-        let _ = self.log2n;
     }
 }
 
@@ -150,10 +158,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: Complex, b: Complex, tol: f64) {
-        assert!(
-            (a - b).abs() < tol,
-            "expected {b}, got {a} (tol {tol})"
-        );
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
     }
 
     #[test]
@@ -237,13 +242,13 @@ mod tests {
             .map(|i| Complex::new((i as f64 * 1.7).cos(), (i as f64 * 0.3).sin()))
             .collect();
         let fast = fft(&x);
-        for k in 0..n {
+        for (k, &bin) in fast.iter().enumerate() {
             let mut acc = Complex::ZERO;
             for (i, &xi) in x.iter().enumerate() {
                 let theta = -std::f64::consts::TAU * (k * i) as f64 / n as f64;
                 acc += xi * Complex::from_angle(theta);
             }
-            assert_close(fast[k], acc, 1e-9);
+            assert_close(bin, acc, 1e-9);
         }
     }
 

@@ -27,7 +27,11 @@ impl Fir {
     pub fn new(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
         let n = taps.len();
-        Fir { taps, delay: vec![Complex::ZERO; n], pos: 0 }
+        Fir {
+            taps,
+            delay: vec![Complex::ZERO; n],
+            pos: 0,
+        }
     }
 
     /// Number of taps.
@@ -101,7 +105,10 @@ impl Fir {
 /// Panics if `cutoff` is outside `(0, 0.5)` or `num_taps == 0`.
 pub fn lowpass(num_taps: usize, cutoff: f64, window: Window) -> Fir {
     assert!(num_taps > 0, "need at least one tap");
-    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5), got {cutoff}");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff must be in (0, 0.5), got {cutoff}"
+    );
     let m = num_taps as f64 - 1.0;
     let w = window.coefficients(num_taps);
     let mut taps: Vec<f64> = (0..num_taps)
@@ -169,8 +176,9 @@ mod tests {
     fn streaming_matches_block_convolution() {
         let taps = vec![0.25, 0.5, 0.25];
         let mut fir = Fir::new(taps.clone());
-        let x: Vec<Complex> =
-            (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let y = fir.process(&x);
         for n in 0..x.len() {
             let mut expect = Complex::ZERO;
@@ -213,7 +221,10 @@ mod tests {
         let f = lowpass(21, 0.2, Window::Hann);
         let t = f.taps();
         for i in 0..t.len() / 2 {
-            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12, "tap {i} asymmetric");
+            assert!(
+                (t[i] - t[t.len() - 1 - i]).abs() < 1e-12,
+                "tap {i} asymmetric"
+            );
         }
     }
 

@@ -22,7 +22,10 @@ impl Quantizer {
     /// # Panics
     /// Panics if `bits` is out of range.
     pub fn new(bits: u32) -> Self {
-        assert!((2..=24).contains(&bits), "quantizer bits out of range: {bits}");
+        assert!(
+            (2..=24).contains(&bits),
+            "quantizer bits out of range: {bits}"
+        );
         Quantizer { bits }
     }
 

@@ -117,7 +117,10 @@ mod tests {
         let bits = [1i8, 1, 1, -1, -1, -1];
         let y = f.shape(&bits, sps);
         // max per-sample step must be much smaller than the 2.0 bit swing
-        let max_step = y.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
+        let max_step = y
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
         assert!(max_step < 0.4, "step {max_step}");
     }
 
@@ -139,7 +142,9 @@ mod tests {
         let bits = [-1i8, 1];
         let step = |f: &GaussianFilter| {
             let y = f.shape(&bits, sps);
-            y.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max)
+            y.windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .fold(0.0, f64::max)
         };
         assert!(step(&tight) > step(&loose));
     }

@@ -101,7 +101,11 @@ impl Nco {
     ///
     /// Negative frequencies are valid (two's-complement phase step).
     pub fn new(freq_hz: f64, fs: f64) -> Self {
-        let mut nco = Nco { lut: SinCosLut::new(), phase: 0, step: 0 };
+        let mut nco = Nco {
+            lut: SinCosLut::new(),
+            phase: 0,
+            step: 0,
+        };
         nco.set_freq(freq_hz, fs);
         nco
     }

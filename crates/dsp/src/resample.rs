@@ -73,7 +73,11 @@ impl Decimator {
         } else {
             lowpass(taps, 0.5 / factor as f64 * 0.9, Window::Hamming)
         };
-        Decimator { factor, filter, phase: 0 }
+        Decimator {
+            factor,
+            filter,
+            phase: 0,
+        }
     }
 
     /// Decimation factor.
@@ -183,6 +187,9 @@ mod tests {
 
     #[test]
     fn repeat_hold_values() {
-        assert_eq!(repeat_hold(&[1.0, -1.0], 3), vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        assert_eq!(
+            repeat_hold(&[1.0, -1.0], 3),
+            vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]
+        );
     }
 }

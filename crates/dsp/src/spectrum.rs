@@ -21,7 +21,11 @@ pub struct WelchConfig {
 
 impl Default for WelchConfig {
     fn default() -> Self {
-        WelchConfig { nfft: 1024, overlap: 512, window: Window::Hann }
+        WelchConfig {
+            nfft: 1024,
+            overlap: 512,
+            window: Window::Hann,
+        }
     }
 }
 
@@ -107,7 +111,11 @@ pub fn welch(x: &[Complex], fs: f64, cfg: &WelchConfig) -> PowerSpectrum {
 
     let mut process = |seg: &[Complex], acc: &mut [f64], segments: &mut usize| {
         for (i, b) in buf.iter_mut().enumerate() {
-            *b = if i < seg.len() { seg[i].scale(w[i]) } else { Complex::ZERO };
+            *b = if i < seg.len() {
+                seg[i].scale(w[i])
+            } else {
+                Complex::ZERO
+            };
         }
         plan.forward(&mut buf);
         for (a, v) in acc.iter_mut().zip(&buf) {
@@ -203,7 +211,10 @@ mod tests {
 
     #[test]
     fn freq_axis_centered() {
-        let spec = PowerSpectrum { power: vec![0.0; 8], fs: 8.0 };
+        let spec = PowerSpectrum {
+            power: vec![0.0; 8],
+            fs: 8.0,
+        };
         assert_eq!(spec.freq(0), -4.0);
         assert_eq!(spec.freq(4), 0.0);
         assert_eq!(spec.freq(7), 3.0);

@@ -81,7 +81,10 @@ impl ErrorRate {
 /// Count differing bits between two equal-length byte slices.
 pub fn bit_errors(a: &[u8], b: &[u8]) -> u64 {
     assert_eq!(a.len(), b.len(), "bit_errors: length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones() as u64).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x ^ y).count_ones() as u64)
+        .sum()
 }
 
 /// Empirical CDF over `f64` observations.
@@ -109,6 +112,43 @@ impl Ecdf {
         self.sorted = false;
     }
 
+    /// Merge another distribution into this one (mirror of
+    /// [`ErrorRate::merge`]) — the reduction step when per-shard ECDFs
+    /// from a parallel campaign are combined. When both sides are
+    /// already sorted the two runs are merged in `O(n + m)` instead of
+    /// re-sorting the world.
+    pub fn merge(&mut self, other: &Ecdf) {
+        if other.samples.is_empty() {
+            return;
+        }
+        if self.samples.is_empty() {
+            self.samples = other.samples.clone();
+            self.sorted = other.sorted;
+            return;
+        }
+        if self.sorted && other.sorted {
+            let a = std::mem::take(&mut self.samples);
+            let b = &other.samples;
+            let mut merged = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            self.samples = merged;
+        } else {
+            self.samples.extend_from_slice(&other.samples);
+            self.sorted = false;
+        }
+    }
+
     /// Number of observations.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -126,7 +166,7 @@ impl Ecdf {
         }
     }
 
-    /// `P[X <= x]`.
+    /// `P[X <= x]`; 0 for an empty distribution (no mass anywhere).
     pub fn cdf(&mut self, x: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -136,39 +176,46 @@ impl Ecdf {
         count as f64 / self.samples.len() as f64
     }
 
-    /// Quantile `q` in `[0,1]` (nearest-rank).
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    /// Quantile `q` in `[0,1]` (nearest-rank), `None` if no observations
+    /// were recorded.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        assert!(!self.samples.is_empty(), "quantile of empty distribution");
+        if self.samples.is_empty() {
+            return None;
+        }
         self.ensure_sorted();
         let n = self.samples.len();
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-        self.samples[idx]
+        Some(self.samples[idx])
     }
 
-    /// Median.
-    pub fn median(&mut self) -> f64 {
+    /// Median, `None` if empty.
+    pub fn median(&mut self) -> Option<f64> {
         self.quantile(0.5)
     }
 
-    /// Arithmetic mean.
-    pub fn mean(&self) -> f64 {
+    /// Arithmetic mean, `None` if empty (an empty campaign must not
+    /// masquerade as a zero-duration one).
+    pub fn mean(&self) -> Option<f64> {
         if self.samples.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
     }
 
-    /// Minimum observation.
-    pub fn min(&mut self) -> f64 {
+    /// Minimum observation, `None` if empty.
+    pub fn min(&mut self) -> Option<f64> {
         self.ensure_sorted();
-        *self.samples.first().expect("empty distribution")
+        self.samples.first().copied()
     }
 
-    /// Maximum observation.
-    pub fn max(&mut self) -> f64 {
+    /// Maximum observation, `None` if empty.
+    pub fn max(&mut self) -> Option<f64> {
         self.ensure_sorted();
-        *self.samples.last().expect("empty distribution")
+        self.samples.last().copied()
     }
 
     /// `(x, P[X<=x])` series for plotting a CDF like the paper's Fig. 14.
@@ -254,12 +301,65 @@ mod tests {
         let mut e = Ecdf::new();
         e.extend((1..=100).map(|i| i as f64));
         assert_eq!(e.len(), 100);
-        assert!((e.median() - 50.0).abs() <= 1.0);
-        assert_eq!(e.quantile(1.0), 100.0);
-        assert_eq!(e.min(), 1.0);
-        assert_eq!(e.max(), 100.0);
+        assert!((e.median().unwrap() - 50.0).abs() <= 1.0);
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(100.0));
         assert!((e.cdf(25.0) - 0.25).abs() < 0.01);
-        assert!((e.mean() - 50.5).abs() < 1e-9);
+        assert!((e.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ecdf_is_explicit_not_a_panic() {
+        // regression: min/max/quantile used to panic via `expect` and
+        // mean silently returned 0.0 on an empty distribution
+        let mut e = Ecdf::new();
+        assert!(e.is_empty());
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.median(), None);
+        assert_eq!(e.quantile(0.99), None);
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert!(e.curve().is_empty());
+    }
+
+    #[test]
+    fn ecdf_merge_matches_extend() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 37) % 19) as f64).collect();
+        let (left, right) = xs.split_at(20);
+        let mut merged = Ecdf::new();
+        merged.extend(left.iter().copied());
+        let mut shard = Ecdf::new();
+        shard.extend(right.iter().copied());
+        merged.merge(&shard);
+        let mut whole = Ecdf::new();
+        whole.extend(xs.iter().copied());
+        assert_eq!(merged.len(), whole.len());
+        assert_eq!(merged.curve(), whole.curve());
+        assert_eq!(merged.median(), whole.median());
+    }
+
+    #[test]
+    fn ecdf_merge_of_sorted_sides_stays_sorted() {
+        let mut a = Ecdf::new();
+        a.extend([5.0, 1.0, 3.0]);
+        let _ = a.min(); // force a sort
+        let mut b = Ecdf::new();
+        b.extend([4.0, 2.0, 6.0]);
+        let _ = b.min();
+        a.merge(&b);
+        assert!(a.sorted, "sorted runs must merge without a re-sort");
+        assert_eq!(
+            a.curve().iter().map(|p| p.0).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
+        // merging an empty side is a no-op; merging into empty adopts
+        let mut empty = Ecdf::new();
+        empty.merge(&a);
+        assert_eq!(empty.len(), 6);
+        a.merge(&Ecdf::new());
+        assert_eq!(a.len(), 6);
     }
 
     #[test]
@@ -278,7 +378,13 @@ mod tests {
     #[test]
     fn sensitivity_interpolation() {
         // PER falls from 100% to 0 between -128 and -124 dBm
-        let pts = vec![(-130.0, 1.0), (-128.0, 1.0), (-126.0, 0.5), (-124.0, 0.0), (-120.0, 0.0)];
+        let pts = vec![
+            (-130.0, 1.0),
+            (-128.0, 1.0),
+            (-126.0, 0.5),
+            (-124.0, 0.0),
+            (-120.0, 0.0),
+        ];
         // 10% PER crossing sits between -126 and -124
         let s = sensitivity_crossing(&pts, 0.10).unwrap();
         assert!(s > -126.0 && s < -124.0, "crossing {s}");

@@ -85,7 +85,12 @@ mod tests {
 
     #[test]
     fn single_point_window() {
-        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+        for win in [
+            Window::Rect,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
             assert_eq!(win.coefficients(1), vec![1.0]);
         }
     }

@@ -74,11 +74,29 @@ proptest! {
     fn ecdf_quantiles_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
         let mut e = Ecdf::new();
         e.extend(xs.iter().copied());
-        let q25 = e.quantile(0.25);
-        let q50 = e.quantile(0.5);
-        let q75 = e.quantile(0.75);
+        let q25 = e.quantile(0.25).unwrap();
+        let q50 = e.quantile(0.5).unwrap();
+        let q75 = e.quantile(0.75).unwrap();
         prop_assert!(q25 <= q50 && q50 <= q75);
-        prop_assert!(e.min() <= q25 && q75 <= e.max());
+        prop_assert!(e.min().unwrap() <= q25 && q75 <= e.max().unwrap());
+    }
+
+    /// Merging a split ECDF equals building it whole, for any split point.
+    #[test]
+    fn ecdf_merge_equals_whole(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..120),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let cut = (cut_ppm as usize * xs.len()) / 1_000_000;
+        let mut a = Ecdf::new();
+        a.extend(xs[..cut].iter().copied());
+        let mut b = Ecdf::new();
+        b.extend(xs[cut..].iter().copied());
+        a.merge(&b);
+        let mut whole = Ecdf::new();
+        whole.extend(xs.iter().copied());
+        prop_assert_eq!(a.len(), whole.len());
+        prop_assert_eq!(a.curve(), whole.curve());
     }
 
     /// normalize_power hits the requested power for any nonzero signal.

@@ -39,14 +39,16 @@ impl Bitstream {
     /// pseudo-random content seeded by `seed`; the rest stay zero, with a
     /// small fixed share of header/clock frames that are always present.
     pub fn synthesize(design_name: &str, lut_utilization: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&lut_utilization), "utilization must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&lut_utilization),
+            "utilization must be in [0,1]"
+        );
         let mut data = vec![0u8; BITSTREAM_SIZE];
         let n_frames = BITSTREAM_SIZE / FRAME_SIZE;
         // fixed overhead: preamble, IDCODE, clock/IO frames (~1.5%)
         let overhead_frames = n_frames * 3 / 200;
         // LUT frames scale with utilization; routing adds ~20% on top
-        let used_frames =
-            overhead_frames + (n_frames as f64 * lut_utilization * 1.2) as usize;
+        let used_frames = overhead_frames + (n_frames as f64 * lut_utilization * 1.2) as usize;
         let used_frames = used_frames.min(n_frames);
         let mut rng = seed ^ 0xC0FFEE;
         // spread used frames across the device (interleave) the way rows
@@ -75,7 +77,10 @@ impl Bitstream {
         let name = design_name.as_bytes();
         let n = name.len().min(32);
         data[16..16 + n].copy_from_slice(&name[..n]);
-        Bitstream { data, design_name: design_name.to_string() }
+        Bitstream {
+            data,
+            design_name: design_name.to_string(),
+        }
     }
 
     /// Wrap raw bytes as a bitstream (must be the exact device size).
@@ -84,7 +89,10 @@ impl Bitstream {
     /// Panics if `data` is not `BITSTREAM_SIZE` bytes.
     pub fn from_raw(design_name: &str, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), BITSTREAM_SIZE, "ECP5-25 bitstreams are 579 KB");
-        Bitstream { data, design_name: design_name.to_string() }
+        Bitstream {
+            data,
+            design_name: design_name.to_string(),
+        }
     }
 
     /// Raw bytes.

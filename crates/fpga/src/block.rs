@@ -42,12 +42,20 @@ pub struct LeafBlock {
 impl LeafBlock {
     /// Build a LUT-only leaf with 1 cycle/sample.
     pub fn new(name: &str, luts: u32) -> Self {
-        LeafBlock { block_name: name.to_string(), cost: ResourceRequest::luts(luts), cps: 1.0 }
+        LeafBlock {
+            block_name: name.to_string(),
+            cost: ResourceRequest::luts(luts),
+            cps: 1.0,
+        }
     }
 
     /// Build a leaf with a full resource request.
     pub fn with_cost(name: &str, cost: ResourceRequest, cps: f64) -> Self {
-        LeafBlock { block_name: name.to_string(), cost, cps }
+        LeafBlock {
+            block_name: name.to_string(),
+            cost,
+            cps,
+        }
     }
 }
 
@@ -73,7 +81,10 @@ pub struct Design {
 impl Design {
     /// New empty design.
     pub fn new(name: &str) -> Self {
-        Design { name: name.to_string(), blocks: Vec::new() }
+        Design {
+            name: name.to_string(),
+            blocks: Vec::new(),
+        }
     }
 
     /// Design name.
@@ -108,7 +119,10 @@ impl Design {
     /// Worst-case cycles/sample over the pipeline (stages run in
     /// parallel, so the slowest stage sets the rate).
     pub fn cycles_per_sample(&self) -> f64 {
-        self.blocks.iter().map(|b| b.cycles_per_sample()).fold(0.0, f64::max)
+        self.blocks
+            .iter()
+            .map(|b| b.cycles_per_sample())
+            .fold(0.0, f64::max)
     }
 
     /// Place every block on a ledger under a `design/` prefix.
@@ -150,7 +164,12 @@ mod tests {
             .add(LeafBlock::new("b", 200))
             .add(LeafBlock::with_cost(
                 "fft",
-                ResourceRequest { luts: 1000, ebr_bits: 18 * 1024, dsp_slices: 4, plls: 0 },
+                ResourceRequest {
+                    luts: 1000,
+                    ebr_bits: 18 * 1024,
+                    dsp_slices: 4,
+                    plls: 0,
+                },
                 2.5,
             ));
         d

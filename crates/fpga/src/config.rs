@@ -80,7 +80,11 @@ impl ConfigController {
     /// Power-on-reset state (powered but unconfigured; the PMU decides
     /// whether the core even has power).
     pub fn new() -> Self {
-        ConfigController { state: ConfigState::PoweredOff, loaded_design: None, config_count: 0 }
+        ConfigController {
+            state: ConfigState::PoweredOff,
+            loaded_design: None,
+            config_count: 0,
+        }
     }
 
     /// Current state.
@@ -140,7 +144,9 @@ impl ConfigController {
                 self.state = ConfigState::Running;
                 self.config_count += 1;
             } else {
-                self.state = ConfigState::Configuring { remaining_ns: remaining_ns - dt_ns };
+                self.state = ConfigState::Configuring {
+                    remaining_ns: remaining_ns - dt_ns,
+                };
             }
         }
     }
@@ -216,7 +222,10 @@ mod tests {
     fn cannot_configure_unpowered() {
         let mut c = ConfigController::new();
         let img = Bitstream::synthesize("x", 0.1, 3);
-        assert_eq!(c.start_configuration(&img, None), Err(ConfigError::PoweredOff));
+        assert_eq!(
+            c.start_configuration(&img, None),
+            Err(ConfigError::PoweredOff)
+        );
     }
 
     #[test]

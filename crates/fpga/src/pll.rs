@@ -92,7 +92,14 @@ impl Pll {
     /// divider configuration reaches the target.
     pub fn start(ref_hz: f64, target_hz: f64) -> Option<(Pll, u64)> {
         let config = solve(ref_hz, target_hz, 1.0)?;
-        Some((Pll { config, ref_hz, locked: false }, limits::LOCK_TIME_NS))
+        Some((
+            Pll {
+                config,
+                ref_hz,
+                locked: false,
+            },
+            limits::LOCK_TIME_NS,
+        ))
     }
 
     /// Signal that the lock time has elapsed.

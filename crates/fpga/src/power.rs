@@ -53,15 +53,19 @@ pub fn supply_power_mw(state: FpgaPowerState) -> f64 {
     match state {
         FpgaPowerState::Gated => GATED_MW,
         FpgaPowerState::Configuring => CONFIGURING_MW,
-        FpgaPowerState::Running { active_luts, clock_hz } => {
-            STATIC_MW + DYNAMIC_W_PER_LUT_HZ * active_luts as f64 * clock_hz * 1000.0
-        }
+        FpgaPowerState::Running {
+            active_luts,
+            clock_hz,
+        } => STATIC_MW + DYNAMIC_W_PER_LUT_HZ * active_luts as f64 * clock_hz * 1000.0,
     }
 }
 
 /// Convenience: running at the standard 64 MHz fabric clock.
 pub fn running_mw(active_luts: u32) -> f64 {
-    supply_power_mw(FpgaPowerState::Running { active_luts, clock_hz: FABRIC_CLOCK_HZ })
+    supply_power_mw(FpgaPowerState::Running {
+        active_luts,
+        clock_hz: FABRIC_CLOCK_HZ,
+    })
 }
 
 #[cfg(test)]
@@ -100,7 +104,10 @@ mod tests {
         assert!((rx_total - 186.0).abs() < 3.0, "LoRa RX total {rx_total}");
         // Concurrent: radio 59 + fabric + MCU ≈ 207 (paper §6)
         let cc_total = 59.0 + running_mw(4138) + MCU_ACTIVE_MW;
-        assert!((cc_total - 207.0).abs() < 6.0, "concurrent total {cc_total}");
+        assert!(
+            (cc_total - 207.0).abs() < 6.0,
+            "concurrent total {cc_total}"
+        );
     }
 
     #[test]
@@ -111,8 +118,14 @@ mod tests {
     #[test]
     fn power_monotone_in_luts_and_clock() {
         assert!(running_mw(4000) > running_mw(1000));
-        let slow = supply_power_mw(FpgaPowerState::Running { active_luts: 2000, clock_hz: 16e6 });
-        let fast = supply_power_mw(FpgaPowerState::Running { active_luts: 2000, clock_hz: 64e6 });
+        let slow = supply_power_mw(FpgaPowerState::Running {
+            active_luts: 2000,
+            clock_hz: 16e6,
+        });
+        let fast = supply_power_mw(FpgaPowerState::Running {
+            active_luts: 2000,
+            clock_hz: 64e6,
+        });
         assert!(fast > slow);
     }
 }

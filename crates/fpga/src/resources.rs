@@ -48,7 +48,12 @@ pub struct ResourceRequest {
 impl ResourceRequest {
     /// A LUT-only request.
     pub const fn luts(n: u32) -> Self {
-        ResourceRequest { luts: n, ebr_bits: 0, dsp_slices: 0, plls: 0 }
+        ResourceRequest {
+            luts: n,
+            ebr_bits: 0,
+            dsp_slices: 0,
+            plls: 0,
+        }
     }
 }
 
@@ -95,7 +100,11 @@ pub struct ResourceLedger {
 impl ResourceLedger {
     /// Fresh ledger for a device.
     pub fn new(device: FpgaDevice) -> Self {
-        ResourceLedger { device, blocks: Vec::new(), used: ResourceRequest::default() }
+        ResourceLedger {
+            device,
+            blocks: Vec::new(),
+            used: ResourceRequest::default(),
+        }
     }
 
     /// The device being tracked.
@@ -141,7 +150,10 @@ impl ResourceLedger {
         self.used.ebr_bits += req.ebr_bits;
         self.used.dsp_slices += req.dsp_slices;
         self.used.plls += req.plls;
-        self.blocks.push(PlacedBlock { name: name.to_string(), request: req });
+        self.blocks.push(PlacedBlock {
+            name: name.to_string(),
+            request: req,
+        });
         Ok(())
     }
 
@@ -250,10 +262,19 @@ mod tests {
     #[test]
     fn ebr_exhaustion() {
         let mut l = ResourceLedger::new(LFE5U_25F);
-        let req = ResourceRequest { ebr_bits: LFE5U_25F.ebr_bits, ..Default::default() };
+        let req = ResourceRequest {
+            ebr_bits: LFE5U_25F.ebr_bits,
+            ..Default::default()
+        };
         l.place("fifo", req).unwrap();
         let err = l
-            .place("fifo2", ResourceRequest { ebr_bits: 1, ..Default::default() })
+            .place(
+                "fifo2",
+                ResourceRequest {
+                    ebr_bits: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap_err();
         assert_eq!(err.resource, "EBR bits");
     }
@@ -261,7 +282,10 @@ mod tests {
     #[test]
     fn pll_exhaustion() {
         let mut l = ResourceLedger::new(LFE5U_25F);
-        let pll = ResourceRequest { plls: 1, ..Default::default() };
+        let pll = ResourceRequest {
+            plls: 1,
+            ..Default::default()
+        };
         l.place("pll0", pll).unwrap();
         l.place("pll1", pll).unwrap();
         assert!(l.place("pll2", pll).is_err());
@@ -271,7 +295,14 @@ mod tests {
     fn clear_resets_everything() {
         let mut l = ResourceLedger::new(LFE5U_25F);
         l.place("a", ResourceRequest::luts(1000)).unwrap();
-        l.place("b", ResourceRequest { dsp_slices: 4, ..Default::default() }).unwrap();
+        l.place(
+            "b",
+            ResourceRequest {
+                dsp_slices: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         l.clear();
         assert_eq!(l.luts_used(), 0);
         assert!(l.blocks().is_empty());
@@ -281,7 +312,8 @@ mod tests {
     #[test]
     fn utilization_fraction() {
         let mut l = ResourceLedger::new(LFE5U_25F);
-        l.place("half", ResourceRequest::luts(LFE5U_25F.luts / 2)).unwrap();
+        l.place("half", ResourceRequest::luts(LFE5U_25F.luts / 2))
+            .unwrap();
         assert!((l.lut_utilization() - 0.5).abs() < 1e-4);
     }
 }

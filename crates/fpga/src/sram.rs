@@ -128,7 +128,9 @@ impl SampleFifo {
     /// Drain up to `n` words into a vector.
     pub fn pop_many(&mut self, n: usize) -> Vec<u32> {
         let take = n.min(self.len);
-        (0..take).map(|_| self.pop().expect("len checked")).collect()
+        (0..take)
+            .map(|_| self.pop().expect("len checked"))
+            .collect()
     }
 
     /// Seconds of 4 MS/s I/Q stream this FIFO can absorb before

@@ -38,7 +38,10 @@ impl TimingReport {
 
 /// Check a design's worst-stage cycles/sample against the budget.
 pub fn check(cycles_per_sample: f64) -> TimingReport {
-    TimingReport { required: cycles_per_sample, available: cycles_per_sample_budget() }
+    TimingReport {
+        required: cycles_per_sample,
+        available: cycles_per_sample_budget(),
+    }
 }
 
 /// Amortized cycles/sample of an FFT that processes a block of `n`

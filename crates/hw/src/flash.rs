@@ -71,7 +71,10 @@ impl std::fmt::Display for FlashError {
                 write!(f, "flash access out of range: {len} bytes at {addr:#x}")
             }
             FlashError::NotErased { addr } => {
-                write!(f, "program to non-erased byte at {addr:#x} (bits can only clear)")
+                write!(
+                    f,
+                    "program to non-erased byte at {addr:#x} (bits can only clear)"
+                )
             }
             FlashError::Misaligned { addr } => {
                 write!(f, "erase address {addr:#x} not sector-aligned")
@@ -108,7 +111,12 @@ impl std::fmt::Debug for Flash {
 impl Flash {
     /// A factory-fresh device (all 0xFF).
     pub fn new() -> Self {
-        Flash { mem: vec![0xFF; CAPACITY], busy_ns: 0, bytes_programmed: 0, sector_erases: 0 }
+        Flash {
+            mem: vec![0xFF; CAPACITY],
+            busy_ns: 0,
+            bytes_programmed: 0,
+            sector_erases: 0,
+        }
     }
 
     /// Read `len` bytes at `addr`.
@@ -116,7 +124,7 @@ impl Flash {
     /// # Errors
     /// Fails if the range exceeds the device.
     pub fn read(&self, addr: usize, len: usize) -> Result<&[u8], FlashError> {
-        if addr.checked_add(len).map_or(true, |end| end > CAPACITY) {
+        if addr.checked_add(len).is_none_or(|end| end > CAPACITY) {
             return Err(FlashError::OutOfRange { addr, len });
         }
         Ok(&self.mem[addr..addr + len])
@@ -128,8 +136,14 @@ impl Flash {
     /// # Errors
     /// Fails on range overflow or an attempt to set a cleared bit.
     pub fn program(&mut self, addr: usize, data: &[u8]) -> Result<(), FlashError> {
-        if addr.checked_add(data.len()).map_or(true, |end| end > CAPACITY) {
-            return Err(FlashError::OutOfRange { addr, len: data.len() });
+        if addr
+            .checked_add(data.len())
+            .is_none_or(|end| end > CAPACITY)
+        {
+            return Err(FlashError::OutOfRange {
+                addr,
+                len: data.len(),
+            });
         }
         // verify NOR constraint first (atomic failure)
         for (i, &b) in data.iter().enumerate() {
@@ -155,11 +169,14 @@ impl Flash {
     /// # Errors
     /// Fails on misalignment or out-of-range.
     pub fn erase_sector(&mut self, addr: usize) -> Result<(), FlashError> {
-        if addr % SECTOR_SIZE != 0 {
+        if !addr.is_multiple_of(SECTOR_SIZE) {
             return Err(FlashError::Misaligned { addr });
         }
         if addr + SECTOR_SIZE > CAPACITY {
-            return Err(FlashError::OutOfRange { addr, len: SECTOR_SIZE });
+            return Err(FlashError::OutOfRange {
+                addr,
+                len: SECTOR_SIZE,
+            });
         }
         self.mem[addr..addr + SECTOR_SIZE].fill(0xFF);
         self.busy_ns += timing::SECTOR_ERASE_NS;
@@ -289,7 +306,10 @@ mod tests {
     #[test]
     fn erase_alignment_checked() {
         let mut f = Flash::new();
-        assert!(matches!(f.erase_sector(100), Err(FlashError::Misaligned { .. })));
+        assert!(matches!(
+            f.erase_sector(100),
+            Err(FlashError::Misaligned { .. })
+        ));
         f.erase_sector(4096).unwrap();
     }
 
@@ -317,7 +337,10 @@ mod tests {
         f.program(0, &vec![0u8; PAGE_SIZE * 3]).unwrap();
         assert_eq!(f.busy_ns, 3 * timing::PAGE_PROGRAM_NS);
         f.erase_sector(0).unwrap();
-        assert_eq!(f.busy_ns, 3 * timing::PAGE_PROGRAM_NS + timing::SECTOR_ERASE_NS);
+        assert_eq!(
+            f.busy_ns,
+            3 * timing::PAGE_PROGRAM_NS + timing::SECTOR_ERASE_NS
+        );
     }
 
     #[test]

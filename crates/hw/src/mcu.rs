@@ -85,11 +85,23 @@ pub enum McuError {
 impl std::fmt::Display for McuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            McuError::OutOfSram { requested, available } => {
-                write!(f, "MCU SRAM exhausted: need {requested} B, {available} B free")
+            McuError::OutOfSram {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "MCU SRAM exhausted: need {requested} B, {available} B free"
+                )
             }
-            McuError::OutOfFlash { requested, available } => {
-                write!(f, "MCU flash exhausted: need {requested} B, {available} B free")
+            McuError::OutOfFlash {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "MCU flash exhausted: need {requested} B, {available} B free"
+                )
             }
             McuError::UnknownAllocation(n) => write!(f, "no SRAM allocation named {n}"),
         }
@@ -149,7 +161,10 @@ impl Mcu {
     pub fn alloc_sram(&mut self, name: &str, bytes: usize) -> Result<(), McuError> {
         let used = self.sram_used();
         if used + bytes > SRAM_BYTES {
-            return Err(McuError::OutOfSram { requested: bytes, available: SRAM_BYTES - used });
+            return Err(McuError::OutOfSram {
+                requested: bytes,
+                available: SRAM_BYTES - used,
+            });
         }
         self.sram_allocs.push((name.to_string(), bytes));
         Ok(())
@@ -185,7 +200,10 @@ impl Mcu {
     /// Fails if it exceeds 256 KB.
     pub fn load_program(&mut self, bytes: usize) -> Result<(), McuError> {
         if bytes > FLASH_BYTES {
-            return Err(McuError::OutOfFlash { requested: bytes, available: FLASH_BYTES });
+            return Err(McuError::OutOfFlash {
+                requested: bytes,
+                available: FLASH_BYTES,
+            });
         }
         self.program_bytes = bytes;
         Ok(())
@@ -266,7 +284,10 @@ mod tests {
     #[test]
     fn unknown_free_is_error() {
         let mut m = Mcu::new();
-        assert!(matches!(m.free_sram("nope"), Err(McuError::UnknownAllocation(_))));
+        assert!(matches!(
+            m.free_sram("nope"),
+            Err(McuError::UnknownAllocation(_))
+        ));
     }
 
     #[test]

@@ -111,12 +111,14 @@ impl MicroSd {
     /// # Errors
     /// Fails on unaligned length or out-of-range block.
     pub fn write_blocks(&mut self, block: u64, data: &[u8]) -> Result<(), SdError> {
-        if data.len() % BLOCK_SIZE != 0 {
+        if !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(SdError::BadLength { len: data.len() });
         }
         let n = (data.len() / BLOCK_SIZE) as u64;
         if block + n > self.capacity_blocks {
-            return Err(SdError::OutOfRange { block: block + n - 1 });
+            return Err(SdError::OutOfRange {
+                block: block + n - 1,
+            });
         }
         for (i, chunk) in data.chunks(BLOCK_SIZE).enumerate() {
             let mut b = Box::new([0u8; BLOCK_SIZE]);
@@ -135,7 +137,9 @@ impl MicroSd {
     /// Fails on out-of-range block.
     pub fn read_blocks(&mut self, block: u64, n: u64) -> Result<Vec<u8>, SdError> {
         if block + n > self.capacity_blocks {
-            return Err(SdError::OutOfRange { block: block + n - 1 });
+            return Err(SdError::OutOfRange {
+                block: block + n - 1,
+            });
         }
         let mut out = Vec::with_capacity((n as usize) * BLOCK_SIZE);
         for i in 0..n {
@@ -191,7 +195,10 @@ mod tests {
     #[test]
     fn alignment_and_range_enforced() {
         let mut sd = MicroSd::new_spi(4 * BLOCK_SIZE as u64);
-        assert!(matches!(sd.write_blocks(0, &[0u8; 100]), Err(SdError::BadLength { .. })));
+        assert!(matches!(
+            sd.write_blocks(0, &[0u8; 100]),
+            Err(SdError::BadLength { .. })
+        ));
         assert!(matches!(
             sd.write_blocks(3, &[0u8; 2 * BLOCK_SIZE]),
             Err(SdError::OutOfRange { .. })
@@ -203,7 +210,11 @@ mod tests {
         let mut sd = MicroSd::new_spi(1 << 20);
         sd.write_blocks(0, &vec![0u8; BLOCK_SIZE]).unwrap();
         // 512 B × 8 / 104 Mbps ≈ 39.4 µs
-        assert!((sd.busy_ns as f64 - 39_384.0).abs() < 100.0, "busy {}", sd.busy_ns);
+        assert!(
+            (sd.busy_ns as f64 - 39_384.0).abs() < 100.0,
+            "busy {}",
+            sd.busy_ns
+        );
     }
 
     #[test]

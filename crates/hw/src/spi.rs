@@ -56,7 +56,11 @@ impl SpiMaster {
 
     /// Clock for a peripheral, Hz.
     pub fn clock_hz(&self, p: SpiPeripheral) -> f64 {
-        self.clocks.iter().find(|(q, _)| *q == p).map(|(_, c)| *c).unwrap()
+        self.clocks
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, c)| *c)
+            .unwrap()
     }
 
     /// Perform (account) a transfer of `bytes` to `p`; returns its wire
@@ -64,13 +68,21 @@ impl SpiMaster {
     pub fn transfer(&mut self, p: SpiPeripheral, bytes: usize) -> u64 {
         let total = bytes + 2;
         let ns = (total as f64 * 8.0 / self.clock_hz(p) * 1e9) as u64;
-        self.log.push(SpiTransfer { peripheral: p, bytes: total, duration_ns: ns });
+        self.log.push(SpiTransfer {
+            peripheral: p,
+            bytes: total,
+            duration_ns: ns,
+        });
         ns
     }
 
     /// Total wire time spent on a peripheral, ns.
     pub fn busy_ns(&self, p: SpiPeripheral) -> u64 {
-        self.log.iter().filter(|t| t.peripheral == p).map(|t| t.duration_ns).sum()
+        self.log
+            .iter()
+            .filter(|t| t.peripheral == p)
+            .map(|t| t.duration_ns)
+            .sum()
     }
 
     /// All transfers so far.
@@ -83,7 +95,9 @@ impl SpiMaster {
     /// register writes after wake — at 8 MHz that is ~0.2 ms of SPI time;
     /// the rest of the paper's 1.2 ms "radio setup" is PLL settling.
     pub fn radio_setup(&mut self, n_regs: usize) -> u64 {
-        (0..n_regs).map(|_| self.transfer(SpiPeripheral::IqRadio, 1)).sum()
+        (0..n_regs)
+            .map(|_| self.transfer(SpiPeripheral::IqRadio, 1))
+            .sum()
     }
 }
 
@@ -121,7 +135,10 @@ mod tests {
         let mut m = SpiMaster::new();
         let ns = m.radio_setup(60);
         // SPI share of the 1.2 ms radio setup: ~0.18 ms
-        assert!(ns < 1_200_000, "setup SPI time {ns} ns exceeds the whole budget");
+        assert!(
+            ns < 1_200_000,
+            "setup SPI time {ns} ns exceeds the whole budget"
+        );
         assert!(ns > 100_000);
     }
 

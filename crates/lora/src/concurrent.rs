@@ -108,11 +108,8 @@ impl ConcurrentReceiver {
     /// The paper's §6 evaluation pair: SF8 at BW 125 kHz and 250 kHz,
     /// sharing a 500 kHz stream.
     pub fn paper_pair() -> Self {
-        ConcurrentReceiver::new(&[
-            ChirpConfig::new(8, 125e3, 4),
-            ChirpConfig::new(8, 250e3, 2),
-        ])
-        .expect("paper pair is valid")
+        ConcurrentReceiver::new(&[ChirpConfig::new(8, 125e3, 4), ChirpConfig::new(8, 250e3, 2)])
+            .expect("paper pair is valid")
     }
 
     /// Number of lanes.
@@ -241,9 +238,11 @@ mod tests {
         // BW250 interferer.
         let (rx, sa, _sb) = scene(-118.0, -118.0, 80, 17);
         let rcv = ConcurrentReceiver::paper_pair();
-        let ser =
-            rcv.symbol_error_rates(&rx, &[sa, vec![]])[0];
-        assert!(ser < 0.1, "BW125 SER with equal-power orthogonal interferer: {ser}");
+        let ser = rcv.symbol_error_rates(&rx, &[sa, vec![]])[0];
+        assert!(
+            ser < 0.1,
+            "BW125 SER with equal-power orthogonal interferer: {ser}"
+        );
     }
 
     #[test]

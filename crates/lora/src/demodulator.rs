@@ -82,8 +82,11 @@ impl Demodulator {
         assert_eq!(cfg.sf, frame_params.code.sf, "chirp and code SF must agree");
         let generator = ChirpGenerator::new(cfg);
         let up_ref = generator.dechirp_reference();
-        let down_ref: Vec<Complex> =
-            generator.downchirp().into_iter().map(|z| z.conj()).collect();
+        let down_ref: Vec<Complex> = generator
+            .downchirp()
+            .into_iter()
+            .map(|z| z.conj())
+            .collect();
         let ns = cfg.samples_per_symbol();
         Demodulator {
             cfg,
@@ -129,8 +132,7 @@ impl Demodulator {
     fn detect_with(&self, window: &[Complex], reference: &[Complex]) -> SymbolDetection {
         let ns = self.cfg.samples_per_symbol();
         assert_eq!(window.len(), ns, "window must be one symbol");
-        let mut buf: Vec<Complex> =
-            window.iter().zip(reference).map(|(&a, &b)| a * b).collect();
+        let mut buf: Vec<Complex> = window.iter().zip(reference).map(|(&a, &b)| a * b).collect();
         self.plan.forward(&mut buf);
         let n = self.cfg.n_chips();
         let osr = self.cfg.osr;
@@ -275,7 +277,7 @@ impl Demodulator {
         let mut filtered = self.filter(rx);
         // one symbol of tail padding so a grid offset can't starve the
         // final symbol window
-        filtered.extend(std::iter::repeat(Complex::ZERO).take(ns));
+        filtered.extend(std::iter::repeat_n(Complex::ZERO, ns));
         let pos = self.find_preamble(&filtered)?;
 
         // Locate the SFD by total evidence rather than a fragile
@@ -407,7 +409,9 @@ mod tests {
         let sig = m.modulate(b"offset test");
         for delay in [1usize, 17, 100, 255, 300] {
             let delayed = apply_delay(&sig, delay);
-            let f = d.demodulate(&delayed).unwrap_or_else(|| panic!("delay {delay}"));
+            let f = d
+                .demodulate(&delayed)
+                .unwrap_or_else(|| panic!("delay {delay}"));
             assert_eq!(f.payload, b"offset test", "delay {delay}");
             assert!(f.crc_ok, "delay {delay}");
         }
@@ -500,6 +504,11 @@ mod tests {
                 }
             }
         }
-        assert!(ok[1] >= ok[0], "CR4/8 ({}) must beat CR4/5 ({})", ok[1], ok[0]);
+        assert!(
+            ok[1] >= ok[0],
+            "CR4/8 ({}) must beat CR4/5 ({})",
+            ok[1],
+            ok[0]
+        );
     }
 }

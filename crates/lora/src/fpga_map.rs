@@ -64,7 +64,11 @@ pub fn lora_tx_design() -> Design {
         .add(LeafBlock::new("iq_serializer", luts::IQ_SERIALIZER))
         .add(LeafBlock::with_cost(
             "pll_glue",
-            ResourceRequest { luts: luts::PLL_GLUE, plls: 1, ..Default::default() },
+            ResourceRequest {
+                luts: luts::PLL_GLUE,
+                plls: 1,
+                ..Default::default()
+            },
             1.0,
         ))
         .add(LeafBlock::new("tx_control", luts::TX_CONTROL));
@@ -118,7 +122,10 @@ pub fn concurrent_rx_design() -> Design {
     lane2
         .add(LeafBlock::new("lane2_chirp_gen", luts::CHIRP_GEN))
         .add(LeafBlock::new("lane2_complex_mult", luts::COMPLEX_MULT))
-        .add(LeafBlock::new("lane2_symbol_detector", luts::SYMBOL_DETECTOR))
+        .add(LeafBlock::new(
+            "lane2_symbol_detector",
+            luts::SYMBOL_DETECTOR,
+        ))
         .add(LeafBlock::with_cost(
             "fft_mux_sequencer",
             ResourceRequest {

@@ -161,9 +161,18 @@ impl DataFrame {
         buf.push(0x00); // FCtrl: no ADR/ACK/FOpts in this subset
         buf.extend_from_slice(&(self.fcnt as u16).to_le_bytes());
         buf.push(self.fport);
-        let key =
-            if self.fport == 0 { &keys.nwk_skey } else { &keys.app_skey };
-        buf.extend(crypt_payload(key, self.dev_addr, self.fcnt, self.dir, &self.payload));
+        let key = if self.fport == 0 {
+            &keys.nwk_skey
+        } else {
+            &keys.app_skey
+        };
+        buf.extend(crypt_payload(
+            key,
+            self.dev_addr,
+            self.fcnt,
+            self.dir,
+            &self.payload,
+        ));
         let mic = frame_mic(&keys.nwk_skey, self.dev_addr, self.fcnt, self.dir, &buf);
         buf.extend_from_slice(&mic);
         buf
@@ -209,9 +218,20 @@ impl DataFrame {
         }
         let fport = bytes[port_idx];
         let enc = &bytes[port_idx + 1..body_end];
-        let key = if fport == 0 { &keys.nwk_skey } else { &keys.app_skey };
+        let key = if fport == 0 {
+            &keys.nwk_skey
+        } else {
+            &keys.app_skey
+        };
         let payload = crypt_payload(key, dev_addr, fcnt, dir, enc);
-        Ok(DataFrame { dev_addr, fcnt, fport, payload, confirmed, dir })
+        Ok(DataFrame {
+            dev_addr,
+            fcnt,
+            fport,
+            payload,
+            confirmed,
+            dir,
+        })
     }
 }
 
@@ -333,7 +353,11 @@ impl JoinAccept {
             net_id[i] = body[6 - i];
         }
         let dev_addr = u32::from_le_bytes([body[7], body[8], body[9], body[10]]);
-        Ok(JoinAccept { app_nonce, net_id, dev_addr })
+        Ok(JoinAccept {
+            app_nonce,
+            net_id,
+            dev_addr,
+        })
     }
 
     /// Derive the session keys (LoRaWAN 1.0.x key derivation).
@@ -499,7 +523,10 @@ mod tests {
     #[test]
     fn truncated_frames_rejected() {
         let k = keys();
-        assert_eq!(DataFrame::from_bytes(&[0x40; 5], &k), Err(FrameError::TooShort));
+        assert_eq!(
+            DataFrame::from_bytes(&[0x40; 5], &k),
+            Err(FrameError::TooShort)
+        );
         assert!(matches!(
             DataFrame::from_bytes(&[0xFF; 20], &k),
             Err(FrameError::WrongType { .. })

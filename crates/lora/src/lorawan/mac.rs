@@ -11,9 +11,7 @@
 //! Table 4 switching delays (TX→RX 45 µs) are what make these windows
 //! reachable.
 
-use super::frame::{
-    DataFrame, FrameDirection, JoinAccept, JoinRequest, SessionKeys,
-};
+use super::frame::{DataFrame, FrameDirection, JoinAccept, JoinRequest, SessionKeys};
 
 /// RX1 delay, seconds (LoRaWAN default).
 pub const RECEIVE_DELAY1_S: f64 = 1.0;
@@ -98,9 +96,7 @@ impl ClassAMac {
     /// run the join procedure.
     pub fn new(config: MacConfig) -> Self {
         let (state, session) = match &config.activation {
-            Activation::Abp { dev_addr, keys } => {
-                (MacState::Joined, Some((*dev_addr, *keys)))
-            }
+            Activation::Abp { dev_addr, keys } => (MacState::Joined, Some((*dev_addr, *keys))),
             Activation::Otaa { .. } => (MacState::Joining, None),
         };
         ClassAMac {
@@ -135,11 +131,19 @@ impl ClassAMac {
     /// Fails for ABP devices.
     pub fn build_join_request(&mut self, dev_nonce: u16) -> Result<Vec<u8>, MacError> {
         match &self.config.activation {
-            Activation::Otaa { app_eui, dev_eui, app_key } => {
+            Activation::Otaa {
+                app_eui,
+                dev_eui,
+                app_key,
+            } => {
                 self.last_dev_nonce = dev_nonce;
                 self.state = MacState::Joining;
-                Ok(JoinRequest { app_eui: *app_eui, dev_eui: *dev_eui, dev_nonce }
-                    .to_bytes(app_key))
+                Ok(JoinRequest {
+                    app_eui: *app_eui,
+                    dev_eui: *dev_eui,
+                    dev_nonce,
+                }
+                .to_bytes(app_key))
             }
             Activation::Abp { .. } => Err(MacError::AbpCannotJoin),
         }
@@ -229,7 +233,11 @@ pub struct TestNetworkServer {
 impl TestNetworkServer {
     /// New server with a key.
     pub fn new(app_key: [u8; 16]) -> Self {
-        TestNetworkServer { app_key, next_addr: 0x2600_0001, sessions: Vec::new() }
+        TestNetworkServer {
+            app_key,
+            next_addr: 0x2600_0001,
+            sessions: Vec::new(),
+        }
     }
 
     /// Handle a join-request; returns the join-accept wire bytes.
@@ -258,7 +266,11 @@ impl TestNetworkServer {
 
     /// Build a downlink to a device.
     pub fn build_downlink(&self, dev_addr: u32, fcnt: u32, payload: &[u8]) -> Option<Vec<u8>> {
-        let keys = self.sessions.iter().find(|(a, _)| *a == dev_addr).map(|(_, k)| *k)?;
+        let keys = self
+            .sessions
+            .iter()
+            .find(|(a, _)| *a == dev_addr)
+            .map(|(_, k)| *k)?;
         Some(
             DataFrame {
                 dev_addr,
@@ -308,7 +320,10 @@ mod tests {
     #[test]
     fn abp_cannot_join() {
         let mut mac = abp_mac();
-        assert_eq!(mac.build_join_request(1).unwrap_err(), MacError::AbpCannotJoin);
+        assert_eq!(
+            mac.build_join_request(1).unwrap_err(),
+            MacError::AbpCannotJoin
+        );
     }
 
     #[test]
@@ -357,7 +372,10 @@ mod tests {
         let down = server.build_downlink(addr, 5, b"x").unwrap();
         mac.process_downlink(&down).unwrap();
         // same counter again → replay
-        assert_eq!(mac.process_downlink(&down).unwrap_err(), MacError::BadDownlink);
+        assert_eq!(
+            mac.process_downlink(&down).unwrap_err(),
+            MacError::BadDownlink
+        );
     }
 
     #[test]
@@ -369,7 +387,10 @@ mod tests {
                 app_key: [0; 16],
             },
         });
-        assert_eq!(mac.build_uplink(1, b"x", false).unwrap_err(), MacError::NotJoined);
+        assert_eq!(
+            mac.build_uplink(1, b"x", false).unwrap_err(),
+            MacError::NotJoined
+        );
     }
 
     #[test]
@@ -377,7 +398,7 @@ mod tests {
         let mac = abp_mac();
         assert_eq!(mac.rx_windows(), (1.0, 2.0));
         // TX→RX switch (45 µs, Table 4) easily makes a 1 s window
-        assert!(45e-6 < RECEIVE_DELAY1_S);
+        const { assert!(45e-6 < RECEIVE_DELAY1_S) };
     }
 
     #[test]
@@ -394,7 +415,10 @@ mod tests {
         let jr = mac.build_join_request(3).unwrap();
         let mut ja = server.handle_join(&jr).unwrap();
         ja[5] ^= 0xFF;
-        assert_eq!(mac.process_join_accept(&ja).unwrap_err(), MacError::BadDownlink);
+        assert_eq!(
+            mac.process_join_accept(&ja).unwrap_err(),
+            MacError::BadDownlink
+        );
         assert_eq!(mac.state(), MacState::Joining);
     }
 }

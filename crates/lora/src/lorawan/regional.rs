@@ -60,7 +60,10 @@ impl Region {
     pub fn max_payload(self, dr: usize) -> usize {
         match self {
             Region::Us915 => [11, 53, 125, 242, 242].get(dr).copied().unwrap_or(0),
-            Region::Eu868 => [51, 51, 51, 115, 242, 242, 242].get(dr).copied().unwrap_or(0),
+            Region::Eu868 => [51, 51, 51, 115, 242, 242, 242]
+                .get(dr)
+                .copied()
+                .unwrap_or(0),
         }
     }
 
@@ -98,7 +101,9 @@ impl Region {
         let airtime = LoRaParams::new(sf, bw, 5).airtime(payload_len + 13); // +MAC overhead
         if let Some(dwell) = self.dwell_limit_s() {
             if airtime > dwell {
-                return Err(format!("airtime {airtime:.3} s exceeds the {dwell} s dwell limit"));
+                return Err(format!(
+                    "airtime {airtime:.3} s exceeds the {dwell} s dwell limit"
+                ));
             }
         }
         Ok(airtime)
@@ -147,7 +152,9 @@ mod tests {
     #[test]
     fn us915_dwell_time_bounds_dr0() {
         // SF10/BW125 with an 11-byte payload squeaks under 400 ms
-        let t = Region::Us915.check_uplink(0, 11).expect("DR0 legal at 11 B");
+        let t = Region::Us915
+            .check_uplink(0, 11)
+            .expect("DR0 legal at 11 B");
         assert!(t <= 0.4, "airtime {t}");
         // a large payload at DR0 violates the payload cap
         assert!(Region::Us915.check_uplink(0, 50).is_err());

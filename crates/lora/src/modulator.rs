@@ -38,7 +38,11 @@ impl Modulator {
             chirp_cfg.sf, frame_params.code.sf,
             "chirp and code SF must agree"
         );
-        Modulator { chirp_cfg, generator: ChirpGenerator::new(chirp_cfg), frame_params }
+        Modulator {
+            chirp_cfg,
+            generator: ChirpGenerator::new(chirp_cfg),
+            frame_params,
+        }
     }
 
     /// Convenience: standard frame around a payload at `(sf, bw, osr)`.
@@ -67,8 +71,8 @@ impl Modulator {
     /// Modulate a pre-built frame.
     pub fn modulate_frame(&self, frame: &Frame) -> Vec<Complex> {
         let spsym = self.chirp_cfg.samples_per_symbol();
-        let total = (self.frame_params.frame_symbols(frame.symbols.len()) * spsym as f64)
-            .ceil() as usize;
+        let total =
+            (self.frame_params.frame_symbols(frame.symbols.len()) * spsym as f64).ceil() as usize;
         let mut out = Vec::with_capacity(total);
 
         // preamble: zero-shift upchirps
@@ -94,8 +98,7 @@ impl Modulator {
     /// concurrent-reception experiment transmits "random chirp symbols"
     /// continuously.
     pub fn modulate_symbols(&self, symbols: &[u16]) -> Vec<Complex> {
-        let mut out =
-            Vec::with_capacity(symbols.len() * self.chirp_cfg.samples_per_symbol());
+        let mut out = Vec::with_capacity(symbols.len() * self.chirp_cfg.samples_per_symbol());
         for &s in symbols {
             out.extend(self.generator.upchirp(s as u32));
         }
@@ -132,7 +135,10 @@ impl ReferenceModulator {
     /// Build a reference modulator.
     pub fn new(chirp_cfg: ChirpConfig, frame_params: FrameParams) -> Self {
         assert_eq!(chirp_cfg.sf, frame_params.code.sf);
-        ReferenceModulator { chirp_cfg, frame_params }
+        ReferenceModulator {
+            chirp_cfg,
+            frame_params,
+        }
     }
 
     /// Modulate payload bytes with ideal chirps.
@@ -176,8 +182,8 @@ mod tests {
         let sig = m.modulate(&[1, 2, 3]);
         let spsym = m.samples_per_symbol();
         let frame = Frame::from_payload(&[1, 2, 3], *m.frame_params());
-        let expect = (m.frame_params().frame_symbols(frame.symbols.len()) * spsym as f64)
-            .round() as usize;
+        let expect =
+            (m.frame_params().frame_symbols(frame.symbols.len()) * spsym as f64).round() as usize;
         assert_eq!(sig.len(), expect);
     }
 
@@ -186,7 +192,10 @@ mod tests {
         let m = Modulator::standard(7, 250e3, 2, 1);
         let sig = m.modulate(b"ce");
         for z in &sig {
-            assert!((z.abs() - 1.0).abs() < 3e-3, "CSS must be constant envelope");
+            assert!(
+                (z.abs() - 1.0).abs() < 3e-3,
+                "CSS must be constant envelope"
+            );
         }
         assert!((mean_power(&sig) - 1.0).abs() < 0.01);
     }
@@ -221,8 +230,12 @@ mod tests {
         let q = Modulator::new(chirp, fp).modulate(b"abc");
         let i = ReferenceModulator::new(chirp, fp).modulate(b"abc");
         assert_eq!(q.len(), i.len());
-        let corr: Complex =
-            q.iter().zip(&i).map(|(&a, &b)| a * b.conj()).sum::<Complex>() / q.len() as f64;
+        let corr: Complex = q
+            .iter()
+            .zip(&i)
+            .map(|(&a, &b)| a * b.conj())
+            .sum::<Complex>()
+            / q.len() as f64;
         assert!(corr.abs() > 0.98, "correlation {}", corr.abs());
     }
 }

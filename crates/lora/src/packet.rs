@@ -25,12 +25,20 @@ impl FrameParams {
     /// Paper Fig. 5 defaults: 10-symbol preamble, public-network-style
     /// sync symbols.
     pub fn new(code: CodeParams) -> Self {
-        FrameParams { code, preamble_len: 10, sync_word: [8, 16] }
+        FrameParams {
+            code,
+            preamble_len: 10,
+            sync_word: [8, 16],
+        }
     }
 
     /// The §5.3 OTA configuration: 8-chirp preamble.
     pub fn ota(code: CodeParams) -> Self {
-        FrameParams { code, preamble_len: 8, sync_word: [8, 16] }
+        FrameParams {
+            code,
+            preamble_len: 8,
+            sync_word: [8, 16],
+        }
     }
 
     /// Total frame length in *symbol periods* for a given payload-symbol

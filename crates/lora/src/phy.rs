@@ -54,7 +54,7 @@ impl Whitener {
     pub fn next_byte(&mut self) -> u8 {
         let mut out = 0u8;
         for bit in 0..8 {
-            let fb = ((self.state >> 0) ^ (self.state >> 5)) & 1;
+            let fb = (self.state ^ (self.state >> 5)) & 1;
             out |= ((self.state & 1) as u8) << bit;
             self.state = (self.state >> 1) | (fb << 8);
         }
@@ -99,7 +99,7 @@ pub fn crc16(data: &[u8]) -> u16 {
 /// * CR 4/6: two parity bits — detects 1–2 bit errors.
 /// * CR 4/5: single parity — detects 1 bit error.
 pub fn hamming_encode(nibble: u8, cr: u8) -> u8 {
-    assert!(cr >= 1 && cr <= 4, "CR index must be 1..=4");
+    assert!((1..=4).contains(&cr), "CR index must be 1..=4");
     let d = nibble & 0x0F;
     let d0 = d & 1;
     let d1 = (d >> 1) & 1;
@@ -146,13 +146,17 @@ pub struct HammingResult {
 
 /// Decode a `4 + cr` bit codeword back to a nibble.
 pub fn hamming_decode(code: u8, cr: u8) -> HammingResult {
-    assert!(cr >= 1 && cr <= 4, "CR index must be 1..=4");
+    assert!((1..=4).contains(&cr), "CR index must be 1..=4");
     let d = code & 0x0F;
     match cr {
         1 => {
             let p = (code >> 4) & 1;
             let want = ((d & 1) ^ ((d >> 1) & 1) ^ ((d >> 2) & 1) ^ ((d >> 3) & 1)) & 1;
-            HammingResult { nibble: d, corrected: false, error: p != want }
+            HammingResult {
+                nibble: d,
+                corrected: false,
+                error: p != want,
+            }
         }
         2 => {
             let d0 = d & 1;
@@ -163,7 +167,11 @@ pub fn hamming_decode(code: u8, cr: u8) -> HammingResult {
             let p1 = (code >> 5) & 1;
             let e0 = p0 != (d0 ^ d1 ^ d3);
             let e1 = p1 != (d0 ^ d2 ^ d3);
-            HammingResult { nibble: d, corrected: false, error: e0 || e1 }
+            HammingResult {
+                nibble: d,
+                corrected: false,
+                error: e0 || e1,
+            }
         }
         3 | 4 => {
             // Hamming(7,4) syndrome decode over bits [d0..d3, p0, p1, p2]
@@ -204,10 +212,18 @@ pub fn hamming_decode(code: u8, cr: u8) -> HammingResult {
                 if corrected && parity_ok {
                     // syndrome nonzero but overall parity consistent with
                     // an even number of flips → double error, detectable
-                    return HammingResult { nibble, corrected: false, error: true };
+                    return HammingResult {
+                        nibble,
+                        corrected: false,
+                        error: true,
+                    };
                 }
             }
-            HammingResult { nibble, corrected, error: false }
+            HammingResult {
+                nibble,
+                corrected,
+                error: false,
+            }
         }
         _ => unreachable!(),
     }
@@ -263,7 +279,12 @@ impl CodeParams {
     /// Standard parameters.
     pub fn new(sf: u8, cr: u8) -> Self {
         assert!((6..=12).contains(&sf) && (1..=4).contains(&cr));
-        CodeParams { sf, cr, ldro: false, crc: true }
+        CodeParams {
+            sf,
+            cr,
+            ldro: false,
+            crc: true,
+        }
     }
 
     /// Bits carried per symbol in the payload blocks.
@@ -404,8 +425,8 @@ pub fn decode(symbols: &[u16], p: CodeParams) -> Option<Decoded> {
     let len = ((nibbles[0] << 4) | nibbles[1]) as usize;
     let flags = nibbles[2];
     let chk = (nibbles[3] << 4) | nibbles[4];
-    let header_ok = chk == (len as u8 ^ (flags << 4) ^ 0x5A)
-        && flags == ((p.cr << 1) | (p.crc as u8));
+    let header_ok =
+        chk == (len as u8 ^ (flags << 4) ^ 0x5A) && flags == ((p.cr << 1) | (p.crc as u8));
 
     // payload nibbles borrowed into the header block
     let mut body_nibbles: Vec<u8> = nibbles[5..].to_vec();
@@ -456,7 +477,12 @@ pub fn decode(symbols: &[u16], p: CodeParams) -> Option<Decoded> {
         true
     };
 
-    Some(Decoded { payload: body, crc_ok, header_ok, corrections })
+    Some(Decoded {
+        payload: body,
+        crc_ok,
+        header_ok,
+        corrections,
+    })
 }
 
 /// Number of symbols `encode` produces for a payload (used by the
@@ -562,10 +588,11 @@ mod tests {
     fn interleaver_round_trip() {
         for sf_app in [5usize, 7, 10, 12] {
             for cr in 1..=4u8 {
-                let cws: Vec<u8> =
-                    (0..sf_app).map(|i| ((i * 37 + 11) % 256) as u8 & 0xFF).collect();
-                let masked: Vec<u8> =
-                    cws.iter().map(|&c| c & (((1u16 << (4 + cr)) - 1) as u8)).collect();
+                let cws: Vec<u8> = (0..sf_app).map(|i| ((i * 37 + 11) % 256) as u8).collect();
+                let masked: Vec<u8> = cws
+                    .iter()
+                    .map(|&c| c & (((1u16 << (4 + cr)) - 1) as u8))
+                    .collect();
                 let syms = interleave(&masked, sf_app, cr);
                 assert_eq!(syms.len(), 4 + cr as usize);
                 let back = deinterleave(&syms, sf_app, cr);
@@ -584,7 +611,10 @@ mod tests {
         syms[3] ^= 0xFF; // destroy a whole symbol
         let back = deinterleave(&syms, sf_app, cr);
         for (a, b) in back.iter().zip(&cws) {
-            assert!((a ^ b).count_ones() <= 1, "burst not spread: {a:08b} vs {b:08b}");
+            assert!(
+                (a ^ b).count_ones() <= 1,
+                "burst not spread: {a:08b} vs {b:08b}"
+            );
         }
     }
 
@@ -616,7 +646,12 @@ mod tests {
 
     #[test]
     fn single_symbol_error_corrected_at_cr48() {
-        let p = CodeParams { sf: 8, cr: 4, ldro: false, crc: true };
+        let p = CodeParams {
+            sf: 8,
+            cr: 4,
+            ldro: false,
+            crc: true,
+        };
         let payload = b"hello world, this is a longer payload";
         let mut syms = encode(payload, p);
         // flip one bit in one payload symbol (Gray mapping makes a ±1
@@ -670,8 +705,7 @@ mod tests {
                 *s ^= pattern;
             }
             if let Some(dec) = decode(&syms, p) {
-                let silent_wrong =
-                    dec.header_ok && dec.crc_ok && dec.payload != payload;
+                let silent_wrong = dec.header_ok && dec.crc_ok && dec.payload != payload;
                 assert!(!silent_wrong, "pattern {pattern:#x} decoded silently wrong");
             }
         }
@@ -679,8 +713,18 @@ mod tests {
 
     #[test]
     fn ldro_changes_symbol_count() {
-        let slow = CodeParams { sf: 12, cr: 1, ldro: true, crc: true };
-        let fast = CodeParams { sf: 12, cr: 1, ldro: false, crc: true };
+        let slow = CodeParams {
+            sf: 12,
+            cr: 1,
+            ldro: true,
+            crc: true,
+        };
+        let fast = CodeParams {
+            sf: 12,
+            cr: 1,
+            ldro: false,
+            crc: true,
+        };
         let n_slow = encode(&[0u8; 50], slow).len();
         let n_fast = encode(&[0u8; 50], fast).len();
         assert!(n_slow > n_fast, "LDRO carries fewer bits per symbol");

@@ -12,7 +12,11 @@ use tinysdr_rf::channel::{apply_cfo, apply_delay, AwgnChannel};
 fn modem() -> (Modulator, Demodulator, ChirpConfig) {
     let chirp = ChirpConfig::new(8, 125e3, 1);
     let fp = FrameParams::new(CodeParams::new(8, 4));
-    (Modulator::new(chirp, fp), Demodulator::new(chirp, fp), chirp)
+    (
+        Modulator::new(chirp, fp),
+        Demodulator::new(chirp, fp),
+        chirp,
+    )
 }
 
 /// Small carrier offsets (a fraction of one FFT bin) must not break
@@ -28,7 +32,9 @@ fn tolerates_residual_cfo() {
         apply_cfo(&mut sig, frac * bin_hz, chirp.fs());
         let mut ch = AwgnChannel::new(4.5, 3);
         ch.apply(&mut sig, -115.0, chirp.fs());
-        let f = d.demodulate(&sig).unwrap_or_else(|| panic!("CFO {frac} bins"));
+        let f = d
+            .demodulate(&sig)
+            .unwrap_or_else(|| panic!("CFO {frac} bins"));
         assert_eq!(f.payload, b"cfo test", "CFO {frac} bins");
         assert!(f.crc_ok);
     }
@@ -90,7 +96,9 @@ fn radio_in_the_loop() {
     let fpga_samples = des.finish();
     assert!(fpga_samples.len() >= digitized.len() - 1);
 
-    let f = d.demodulate(&fpga_samples).expect("decodes through the full chain");
+    let f = d
+        .demodulate(&fpga_samples)
+        .expect("decodes through the full chain");
     assert_eq!(f.payload, b"radio loop");
     assert!(f.crc_ok);
 }

@@ -154,11 +154,10 @@ pub fn reassemble(
     // block resident simultaneously
     mcu.alloc_sram("ota_in_block", BLOCK_SIZE)
         .map_err(|e| PipelineError::Sram(e.to_string()))?;
-    mcu.alloc_sram("ota_out_block", BLOCK_SIZE)
-        .map_err(|e| {
-            let _ = mcu.free_sram("ota_in_block");
-            PipelineError::Sram(e.to_string())
-        })?;
+    mcu.alloc_sram("ota_out_block", BLOCK_SIZE).map_err(|e| {
+        let _ = mcu.free_sram("ota_in_block");
+        PipelineError::Sram(e.to_string())
+    })?;
     let peak_sram = mcu.sram_used();
 
     let mut image = Vec::with_capacity(update.raw_len);
@@ -168,8 +167,8 @@ pub fn reassemble(
             .read(addr, clen)
             .map_err(|e| PipelineError::Flash(e.to_string()))?
             .to_vec();
-        let raw = lzo::decompress(&comp, BLOCK_SIZE)
-            .map_err(|_| PipelineError::Corrupt { index })?;
+        let raw =
+            lzo::decompress(&comp, BLOCK_SIZE).map_err(|_| PipelineError::Corrupt { index })?;
         if raw.len() != raw_len {
             return Err(PipelineError::Corrupt { index });
         }
@@ -226,7 +225,11 @@ mod tests {
         // and the pipeline peak fits in 64 KB
         assert!(rep.peak_sram <= 64 * 1024);
         // decompression inside the 450 ms budget
-        assert!(rep.decompress_time_s < 0.45, "decompress {}", rep.decompress_time_s);
+        assert!(
+            rep.decompress_time_s < 0.45,
+            "decompress {}",
+            rep.decompress_time_s
+        );
     }
 
     #[test]
@@ -238,7 +241,10 @@ mod tests {
         let mut flash = Flash::new();
         let err = reassemble(&upd, &mut mcu, &mut flash, 4 << 20, 4096).unwrap_err();
         assert!(
-            matches!(err, PipelineError::Corrupt { .. } | PipelineError::CrcMismatch),
+            matches!(
+                err,
+                PipelineError::Corrupt { .. } | PipelineError::CrcMismatch
+            ),
             "got {err:?}"
         );
         // SRAM must not leak on failure

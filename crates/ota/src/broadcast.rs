@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::blocks::BlockedUpdate;
 use crate::protocol::{packetize, OtaMessage};
+use crate::seed::{node_stream_seed, STREAM_BROADCAST_PER, STREAM_SESSION};
 use crate::session::{LinkModel, ACK_TIMEOUT_S, TURNAROUND_S};
 
 /// Node-side radio/MCU power during broadcast reception, mW (same
@@ -56,17 +57,52 @@ pub struct BroadcastConfig {
 
 impl Default for BroadcastConfig {
     fn default() -> Self {
-        BroadcastConfig { max_rounds: 12, seed: 1 }
+        BroadcastConfig {
+            max_rounds: 12,
+            seed: 1,
+        }
     }
 }
 
-/// Run a broadcast campaign over per-node links.
+/// Run a broadcast campaign over per-node links, with the per-node PER
+/// stream keyed by position (`node id == slice index`). Callers whose
+/// links are a subset or reordering of a larger fleet should use
+/// [`run_broadcast_keyed`] so each node keeps its own stream.
 pub fn run_broadcast(
     update: &BlockedUpdate,
     links: &[LinkModel],
     cfg: &BroadcastConfig,
 ) -> BroadcastReport {
-    assert!(!links.is_empty());
+    let ids: Vec<u64> = (0..links.len() as u64).collect();
+    run_broadcast_keyed(update, links, &ids, cfg)
+}
+
+/// [`run_broadcast`] with explicit node ids keying each node's PER
+/// sampling stream. The shared-medium RNG still hands out per-packet
+/// draws in slice order (one ether, one sequence of fades), so the
+/// engine is deterministic per `(seed, link order)`; the ids make the
+/// *per-node* statistics follow the node rather than its position.
+///
+/// An empty `links` slice yields an empty, complete report.
+///
+/// # Panics
+/// Panics if `links` and `node_ids` differ in length.
+pub fn run_broadcast_keyed(
+    update: &BlockedUpdate,
+    links: &[LinkModel],
+    node_ids: &[u64],
+    cfg: &BroadcastConfig,
+) -> BroadcastReport {
+    assert_eq!(links.len(), node_ids.len(), "one id per link");
+    if links.is_empty() {
+        return BroadcastReport {
+            total_time_s: 0.0,
+            rounds: 0,
+            repairs: 0,
+            node_complete: Vec::new(),
+            node_energy_mj: Vec::new(),
+        };
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // over-the-air stream, as in the unicast session
@@ -80,18 +116,28 @@ pub fn run_broadcast(
     let packets = packetize(&stream);
     let n_packets = packets.len();
 
-    let data_wire = OtaMessage::Data { seq: 0, chunk: vec![0; 60] }.wire_len();
+    let data_wire = OtaMessage::Data {
+        seq: 0,
+        chunk: vec![0; 60],
+    }
+    .wire_len();
     let nack_wire = OtaMessage::Ack { seq: 0 }.wire_len() + 8; // bitmap summary
     let params = &links[0].params;
     let t_data = params.airtime(data_wire);
     let t_nack = params.airtime(nack_wire);
 
     // per-node PER at the median RSSI (per-packet fading folded in by
-    // sampling around it, as in the unicast session)
+    // sampling around it, as in the unicast session); seeds are mixed
+    // per node so no node's PER sampling aliases the shared-medium RNG
     let pers: Vec<f64> = links
         .iter()
         .enumerate()
-        .map(|(i, l)| l.downlink_per(data_wire, cfg.seed ^ (i as u64) << 4))
+        .map(|(i, l)| {
+            l.downlink_per(
+                data_wire,
+                node_stream_seed(cfg.seed, node_ids[i], STREAM_BROADCAST_PER),
+            )
+        })
         .collect();
 
     let mut missing: Vec<Vec<bool>> = links.iter().map(|_| vec![true; n_packets]).collect();
@@ -107,7 +153,10 @@ pub fn run_broadcast(
             time += t_data + TURNAROUND_S;
             for (n, per) in pers.iter().enumerate() {
                 node_energy[n] += t_data * RX_MW;
-                if missing[n][seq] && rng.gen::<f64>() >= *per {
+                if missing[n][seq]
+                    && rng.gen::<f64>() >= *per
+                    && rng.gen::<f64>() >= links[n].base_loss_prob
+                {
                     missing[n][seq] = false;
                 }
             }
@@ -118,8 +167,12 @@ pub fn run_broadcast(
         let mut union: Vec<usize> = Vec::new();
         let mut any_incomplete = false;
         for (n, miss) in missing.iter().enumerate() {
-            let missing_now: Vec<usize> =
-                miss.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+            let missing_now: Vec<usize> = miss
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i)
+                .collect();
             if !missing_now.is_empty() {
                 any_incomplete = true;
                 // NACK poll: one short uplink per incomplete node
@@ -168,12 +221,22 @@ pub fn sequential_vs_broadcast(
             crate::session::run_session(
                 update,
                 l,
-                &crate::session::SessionConfig { max_attempts: 40, seed: seed ^ (i as u64) },
+                &crate::session::SessionConfig {
+                    max_attempts: 40,
+                    seed: node_stream_seed(seed, i as u64, STREAM_SESSION),
+                },
             )
             .duration_s
         })
         .sum();
-    let bc = run_broadcast(update, links, &BroadcastConfig { max_rounds: 12, seed });
+    let bc = run_broadcast(
+        update,
+        links,
+        &BroadcastConfig {
+            max_rounds: 12,
+            seed,
+        },
+    );
     (seq_total, bc.total_time_s)
 }
 
@@ -216,7 +279,14 @@ mod tests {
         // BW500 demodulation threshold → high PER on 68-byte packets)
         let mut ls = links(5, -90.0);
         ls.push(LinkModel::from_downlink(-121.0));
-        let rep = run_broadcast(&upd, &ls, &BroadcastConfig { max_rounds: 30, seed: 5 });
+        let rep = run_broadcast(
+            &upd,
+            &ls,
+            &BroadcastConfig {
+                max_rounds: 30,
+                seed: 5,
+            },
+        );
         assert!(rep.rounds > 0, "marginal node must trigger repairs");
         assert!(rep.repairs > 0);
         // the good nodes were done after round 0 regardless
@@ -230,7 +300,14 @@ mod tests {
         let upd = BlockedUpdate::build(&FirmwareImage::mcu("m", 20_000, 4));
         let mut ls = links(3, -90.0);
         ls.push(LinkModel::from_downlink(-135.0)); // dead
-        let rep = run_broadcast(&upd, &ls, &BroadcastConfig { max_rounds: 5, seed: 6 });
+        let rep = run_broadcast(
+            &upd,
+            &ls,
+            &BroadcastConfig {
+                max_rounds: 5,
+                seed: 6,
+            },
+        );
         assert!(!rep.node_complete[3]);
         assert!(rep.node_complete[..3].iter().all(|&c| c));
         assert_eq!(rep.rounds, 5, "bounded by max_rounds");
@@ -243,11 +320,8 @@ mod tests {
         let upd = BlockedUpdate::build(&FirmwareImage::ble_fpga(5));
         let ls = links(10, -90.0);
         let bc = run_broadcast(&upd, &ls, &BroadcastConfig::default());
-        let uni = crate::session::run_session(
-            &upd,
-            &ls[0],
-            &crate::session::SessionConfig::default(),
-        );
+        let uni =
+            crate::session::run_session(&upd, &ls[0], &crate::session::SessionConfig::default());
         let e = bc.node_energy_mj[0];
         assert!(
             e < uni.node_energy_mj * 2.0 && e > uni.node_energy_mj * 0.3,
@@ -260,8 +334,22 @@ mod tests {
     fn deterministic_per_seed() {
         let upd = BlockedUpdate::build(&FirmwareImage::mcu("m", 15_000, 7));
         let ls = links(4, -100.0);
-        let a = run_broadcast(&upd, &ls, &BroadcastConfig { max_rounds: 8, seed: 9 });
-        let b = run_broadcast(&upd, &ls, &BroadcastConfig { max_rounds: 8, seed: 9 });
+        let a = run_broadcast(
+            &upd,
+            &ls,
+            &BroadcastConfig {
+                max_rounds: 8,
+                seed: 9,
+            },
+        );
+        let b = run_broadcast(
+            &upd,
+            &ls,
+            &BroadcastConfig {
+                max_rounds: 8,
+                seed: 9,
+            },
+        );
         assert_eq!(a, b);
     }
 }

@@ -37,7 +37,12 @@ impl FirmwareImage {
     /// Wrap raw bytes.
     pub fn new(kind: ImageKind, name: &str, data: Vec<u8>) -> Self {
         let crc = crc32(&data);
-        FirmwareImage { kind, name: name.to_string(), data, crc32: crc }
+        FirmwareImage {
+            kind,
+            name: name.to_string(),
+            data,
+            crc32: crc,
+        }
     }
 
     /// A synthetic FPGA image for a design occupying `utilization` of
@@ -139,7 +144,10 @@ mod tests {
         let img = FirmwareImage::lora_fpga(1);
         let c = lzo::compress(&img.data);
         let kb = c.len() as f64 / 1024.0;
-        assert!((kb - 99.0).abs() < 20.0, "LoRa bitstream compressed to {kb:.0} KB");
+        assert!(
+            (kb - 99.0).abs() < 20.0,
+            "LoRa bitstream compressed to {kb:.0} KB"
+        );
     }
 
     #[test]
@@ -148,7 +156,10 @@ mod tests {
         let img = FirmwareImage::ble_fpga(2);
         let c = lzo::compress(&img.data);
         let kb = c.len() as f64 / 1024.0;
-        assert!((kb - 40.0).abs() < 10.0, "BLE bitstream compressed to {kb:.0} KB");
+        assert!(
+            (kb - 40.0).abs() < 10.0,
+            "BLE bitstream compressed to {kb:.0} KB"
+        );
     }
 
     #[test]
@@ -158,7 +169,10 @@ mod tests {
         assert_eq!(img.len(), 78 * 1024);
         let c = lzo::compress(&img.data);
         let kb = c.len() as f64 / 1024.0;
-        assert!((kb - 24.0).abs() < 10.0, "MCU image compressed to {kb:.0} KB");
+        assert!(
+            (kb - 24.0).abs() < 10.0,
+            "MCU image compressed to {kb:.0} KB"
+        );
     }
 
     #[test]

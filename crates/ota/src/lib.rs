@@ -24,6 +24,9 @@
 //! * [`session`] — the AP↔node session simulation over a lossy LoRa
 //!   link: programming time, retransmissions, and the §5.3 node-side
 //!   energy (6144 mJ per LoRa FPGA update, 2342 mJ per BLE update).
+//! * [`seed`] — splitmix64-based, order-independent seed derivation for
+//!   campaign RNG streams (what makes sharded campaigns bit-identical
+//!   to sequential ones).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,4 +36,5 @@ pub mod broadcast;
 pub mod image;
 pub mod lzo;
 pub mod protocol;
+pub mod seed;
 pub mod session;

@@ -48,7 +48,10 @@ impl std::fmt::Display for LzoError {
         match self {
             LzoError::Truncated => write!(f, "compressed stream truncated"),
             LzoError::BadDistance { distance, have } => {
-                write!(f, "match distance {distance} exceeds produced output {have}")
+                write!(
+                    f,
+                    "match distance {distance} exceeds produced output {have}"
+                )
             }
             LzoError::OutputOverflow => write!(f, "output exceeds stated capacity"),
         }
@@ -148,7 +151,10 @@ pub fn decompress(input: &[u8], max_output: usize) -> Result<Vec<u8>, LzoError> 
             let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
             i += 2;
             if dist == 0 || dist > out.len() {
-                return Err(LzoError::BadDistance { distance: dist, have: out.len() });
+                return Err(LzoError::BadDistance {
+                    distance: dist,
+                    have: out.len(),
+                });
             }
             if out.len() + len > max_output {
                 return Err(LzoError::OutputOverflow);
@@ -198,7 +204,12 @@ mod tests {
     fn zeros_compress_hard() {
         let data = vec![0u8; 100_000];
         let c = compress(&data);
-        assert!(c.len() < data.len() / 30, "zeros: {} -> {}", data.len(), c.len());
+        assert!(
+            c.len() < data.len() / 30,
+            "zeros: {} -> {}",
+            data.len(),
+            c.len()
+        );
         assert_eq!(decompress(&c, data.len()).unwrap(), data);
     }
 
@@ -221,7 +232,12 @@ mod tests {
     fn repetitive_text_compresses() {
         let data = b"tinySDR tinySDR tinySDR over the air over the air!".repeat(100);
         let c = compress(&data);
-        assert!(c.len() < data.len() / 5, "text {} -> {}", data.len(), c.len());
+        assert!(
+            c.len() < data.len() / 5,
+            "text {} -> {}",
+            data.len(),
+            c.len()
+        );
         assert_eq!(decompress(&c, data.len()).unwrap(), data);
     }
 
@@ -248,9 +264,8 @@ mod tests {
         let c = compress(b"hello world hello world hello world");
         for cut in 1..c.len() {
             // any prefix either errors or yields a strict prefix — never junk
-            match decompress(&c[..cut], 1024) {
-                Ok(partial) => assert!(b"hello world hello world hello world".starts_with(partial.as_slice())),
-                Err(_) => {}
+            if let Ok(partial) = decompress(&c[..cut], 1024) {
+                assert!(b"hello world hello world hello world".starts_with(partial.as_slice()))
             }
         }
     }
@@ -258,7 +273,7 @@ mod tests {
     #[test]
     fn bad_distance_rejected() {
         // match token with distance 100 but no produced output
-        let stream = [0x80 | 0, 100, 0];
+        let stream = [0x80, 100, 0];
         assert!(matches!(
             decompress(&stream, 1024),
             Err(LzoError::BadDistance { .. })

@@ -101,7 +101,11 @@ impl OtaMessage {
     pub fn to_bytes(&self) -> Result<Vec<u8>, ProtoError> {
         let mut buf = Vec::with_capacity(DATA_PAYLOAD + 10);
         match self {
-            OtaMessage::ProgramRequest { device_ids, wake_in_ms, total_packets } => {
+            OtaMessage::ProgramRequest {
+                device_ids,
+                wake_in_ms,
+                total_packets,
+            } => {
                 buf.push(tag::REQUEST);
                 buf.push(device_ids.len() as u8);
                 for id in device_ids {
@@ -187,7 +191,10 @@ impl OtaMessage {
                 let seq = u32::from_le_bytes(rest[..4].try_into().unwrap());
                 let len = rest[4] as usize;
                 need(5 + len)?;
-                Ok(OtaMessage::Data { seq, chunk: rest[5..5 + len].to_vec() })
+                Ok(OtaMessage::Data {
+                    seq,
+                    chunk: rest[5..5 + len].to_vec(),
+                })
             }
             tag::ACK => {
                 need(4)?;
@@ -216,7 +223,10 @@ pub fn packetize(stream: &[u8]) -> Vec<OtaMessage> {
     stream
         .chunks(DATA_PAYLOAD)
         .enumerate()
-        .map(|(i, c)| OtaMessage::Data { seq: i as u32, chunk: c.to_vec() })
+        .map(|(i, c)| OtaMessage::Data {
+            seq: i as u32,
+            chunk: c.to_vec(),
+        })
         .collect()
 }
 
@@ -233,9 +243,14 @@ mod tests {
                 total_packets: 1690,
             },
             OtaMessage::Ready { device_id: 5 },
-            OtaMessage::Data { seq: 77, chunk: vec![0xAB; 60] },
+            OtaMessage::Data {
+                seq: 77,
+                chunk: vec![0xAB; 60],
+            },
             OtaMessage::Ack { seq: 77 },
-            OtaMessage::EndOfUpdate { image_crc32: 0xDEAD_BEEF },
+            OtaMessage::EndOfUpdate {
+                image_crc32: 0xDEAD_BEEF,
+            },
         ];
         for m in msgs {
             let wire = m.to_bytes().unwrap();
@@ -247,14 +262,20 @@ mod tests {
     #[test]
     fn data_packet_fits_lora_payload() {
         // 60 B chunk + 5 B header + 2 B CRC = 67 B < the 255 B LoRa limit
-        let m = OtaMessage::Data { seq: 0, chunk: vec![0; DATA_PAYLOAD] };
+        let m = OtaMessage::Data {
+            seq: 0,
+            chunk: vec![0; DATA_PAYLOAD],
+        };
         assert_eq!(m.wire_len(), 68);
         assert!(m.wire_len() <= 255);
     }
 
     #[test]
     fn oversized_chunk_rejected() {
-        let m = OtaMessage::Data { seq: 0, chunk: vec![0; 61] };
+        let m = OtaMessage::Data {
+            seq: 0,
+            chunk: vec![0; 61],
+        };
         assert_eq!(m.to_bytes().unwrap_err(), ProtoError::ChunkTooBig(61));
     }
 
@@ -274,7 +295,10 @@ mod tests {
         let mut body = vec![0x7F, 1, 2, 3];
         let crc = crc16(&body);
         body.extend_from_slice(&crc.to_be_bytes());
-        assert_eq!(OtaMessage::from_bytes(&body).unwrap_err(), ProtoError::BadTag(0x7F));
+        assert_eq!(
+            OtaMessage::from_bytes(&body).unwrap_err(),
+            ProtoError::BadTag(0x7F)
+        );
     }
 
     #[test]

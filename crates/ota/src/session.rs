@@ -118,7 +118,9 @@ mod power {
 pub struct SessionReport {
     /// Wall-clock programming time, seconds (network downtime).
     pub duration_s: f64,
-    /// Data packets in the update.
+    /// Distinct data packets actually put on the air. Equals the
+    /// update's packet count when the session completes; smaller when
+    /// the session aborts partway.
     pub data_packets: u32,
     /// Retransmissions needed.
     pub retransmissions: u32,
@@ -146,16 +148,15 @@ pub struct SessionConfig {
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        SessionConfig { max_attempts: 20, seed: 1 }
+        SessionConfig {
+            max_attempts: 20,
+            seed: 1,
+        }
     }
 }
 
 /// Simulate programming one node with a blocked update over a link.
-pub fn run_session(
-    update: &BlockedUpdate,
-    link: &LinkModel,
-    cfg: &SessionConfig,
-) -> SessionReport {
+pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig) -> SessionReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let params = &link.params;
 
@@ -170,7 +171,11 @@ pub fn run_session(
     }
     let packets = packetize(&stream);
 
-    let data_wire = OtaMessage::Data { seq: 0, chunk: vec![0; 60] }.wire_len();
+    let data_wire = OtaMessage::Data {
+        seq: 0,
+        chunk: vec![0; 60],
+    }
+    .wire_len();
     let ack_wire = OtaMessage::Ack { seq: 0 }.wire_len();
     let t_data = params.airtime(data_wire);
     let t_ack = params.airtime(ack_wire);
@@ -183,23 +188,37 @@ pub fn run_session(
     let mut tx_mj = 0.0f64;
     let mut retx = 0u32;
     let mut completed = true;
+    // transmissions actually on the air, for byte accounting; an aborted
+    // session must not be credited with packets that were never sent
+    let mut sent_packets = 0u32; // distinct data packets aired
+    let mut data_tx = 1u64; // data-frame transmissions (handshake request)
+    let mut ack_tx = 1u64; // uplink transmissions (handshake Ready)
+    let mut flash_packets = 0u64; // packets the node received and stored
 
     // handshake: ProgramRequest + Ready (one exchange, retried like data)
     t += t_data + TURNAROUND_S + t_ack + TURNAROUND_S;
-    rx_mj += t_data * 1000.0 * power::RADIO_RX_MW / 1000.0;
-    tx_mj += t_ack * 1000.0 * power::RADIO_TX_ACK_MW / 1000.0;
+    rx_mj += t_data * power::RADIO_RX_MW;
+    tx_mj += t_ack * power::RADIO_TX_ACK_MW;
 
     'outer: for _pkt in &packets {
         let mut attempts = 0;
+        let mut received = false;
         loop {
             attempts += 1;
             if attempts > cfg.max_attempts {
                 completed = false;
+                if received {
+                    flash_packets += 1;
+                }
                 break 'outer;
+            }
+            if attempts == 1 {
+                sent_packets += 1;
             }
             // downlink data packet: node listens for its full airtime
             t += t_data + TURNAROUND_S;
             rx_mj += t_data * power::RADIO_RX_MW;
+            data_tx += 1;
             let data_ok = rng.gen::<f64>()
                 >= per_down[fading_index(&mut rng, link.fading_sigma_db)]
                 && rng.gen::<f64>() >= link.base_loss_prob;
@@ -210,11 +229,12 @@ pub fn run_session(
                 retx += 1;
                 continue;
             }
+            received = true;
             // node ACKs
             t += t_ack + TURNAROUND_S;
             tx_mj += t_ack * power::RADIO_TX_ACK_MW;
-            let ack_ok = rng.gen::<f64>()
-                >= per_up[fading_index(&mut rng, link.fading_sigma_db)]
+            ack_tx += 1;
+            let ack_ok = rng.gen::<f64>() >= per_up[fading_index(&mut rng, link.fading_sigma_db)]
                 && rng.gen::<f64>() >= link.base_loss_prob / 3.0; // ACKs are short
             if ack_ok {
                 break;
@@ -225,23 +245,27 @@ pub fn run_session(
             rx_mj += ACK_TIMEOUT_S * power::RADIO_RX_MW;
             retx += 1;
         }
+        flash_packets += 1;
     }
 
-    // end-of-update exchange
-    t += t_data + TURNAROUND_S + t_ack;
-    rx_mj += t_data * power::RADIO_RX_MW;
-    tx_mj += t_ack * power::RADIO_TX_ACK_MW;
+    if completed {
+        // end-of-update exchange (an aborted session just times out)
+        t += t_data + TURNAROUND_S + t_ack;
+        rx_mj += t_data * power::RADIO_RX_MW;
+        tx_mj += t_ack * power::RADIO_TX_ACK_MW;
+        data_tx += 1;
+        ack_tx += 1;
+    }
 
     let mcu_mj = t * power::MCU_SESSION_MW;
-    let flash_mj = packets.len() as f64 * power::FLASH_AVG_MW;
+    let flash_mj = flash_packets as f64 * power::FLASH_AVG_MW;
     let node_energy = rx_mj + tx_mj + mcu_mj + flash_mj;
 
-    let n_tx = packets.len() as u64 + retx as u64 + 2;
     SessionReport {
         duration_s: t,
-        data_packets: packets.len() as u32,
+        data_packets: sent_packets,
         retransmissions: retx,
-        bytes_over_air: n_tx * data_wire as u64 + n_tx * ack_wire as u64,
+        bytes_over_air: data_tx * data_wire as u64 + ack_tx * ack_wire as u64,
         node_energy_mj: node_energy,
         rx_energy_mj: rx_mj,
         tx_energy_mj: tx_mj,
@@ -315,16 +339,20 @@ mod tests {
         let b = Battery::lipo_1000mah();
         let lora = BlockedUpdate::build(&FirmwareImage::lora_fpga(1));
         let ble = BlockedUpdate::build(&FirmwareImage::ble_fpga(2));
-        let e_lora =
-            run_session(&lora, &strong_link(), &SessionConfig::default()).node_energy_mj;
-        let e_ble =
-            run_session(&ble, &strong_link(), &SessionConfig::default()).node_energy_mj;
+        let e_lora = run_session(&lora, &strong_link(), &SessionConfig::default()).node_energy_mj;
+        let e_ble = run_session(&ble, &strong_link(), &SessionConfig::default()).node_energy_mj;
         let n_lora = b.operations(e_lora);
         let n_ble = b.operations(e_ble);
         // §5.3: "we could OTA program each tinySDR node with LoRa 2100
         // times and BLE 5600 times"
-        assert!((n_lora as f64 - 2100.0).abs() < 500.0, "LoRa updates {n_lora}");
-        assert!((n_ble as f64 - 5600.0).abs() < 1400.0, "BLE updates {n_ble}");
+        assert!(
+            (n_lora as f64 - 2100.0).abs() < 500.0,
+            "LoRa updates {n_lora}"
+        );
+        assert!(
+            (n_ble as f64 - 5600.0).abs() < 1400.0,
+            "BLE updates {n_ble}"
+        );
         // daily updates → µW-scale average power (71 / 27 µW)
         let avg_lora_uw = e_lora / 86_400.0 * 1000.0;
         let avg_ble_uw = e_ble / 86_400.0 * 1000.0;
@@ -336,11 +364,17 @@ mod tests {
     fn weak_links_take_longer() {
         let img = FirmwareImage::ble_fpga(4);
         let upd = BlockedUpdate::build(&img);
-        let fast =
-            run_session(&upd, &LinkModel::from_downlink(-90.0), &SessionConfig::default());
+        let fast = run_session(
+            &upd,
+            &LinkModel::from_downlink(-90.0),
+            &SessionConfig::default(),
+        );
         // −114 dBm is ~7 dB above SF8/BW500 sensitivity (−121): lossy
-        let slow =
-            run_session(&upd, &LinkModel::from_downlink(-114.0), &SessionConfig::default());
+        let slow = run_session(
+            &upd,
+            &LinkModel::from_downlink(-114.0),
+            &SessionConfig::default(),
+        );
         assert!(slow.retransmissions > fast.retransmissions);
         assert!(slow.duration_s > fast.duration_s);
     }
@@ -352,17 +386,67 @@ mod tests {
         let rep = run_session(
             &upd,
             &LinkModel::from_downlink(-135.0),
-            &SessionConfig { max_attempts: 5, seed: 2 },
+            &SessionConfig {
+                max_attempts: 5,
+                seed: 2,
+            },
         );
         assert!(!rep.completed);
+    }
+
+    #[test]
+    fn aborted_session_counts_only_transmitted_packets() {
+        // regression: an aborted session used to report every packet of
+        // the update as sent, even ones that never went on the air
+        let img = FirmwareImage::mcu("x", 30_000, 5);
+        let upd = BlockedUpdate::build(&img);
+        let rep = run_session(
+            &upd,
+            &LinkModel::from_downlink(-140.0), // dead: PER = 1 at every fading offset
+            &SessionConfig {
+                max_attempts: 1,
+                seed: 2,
+            },
+        );
+        assert!(!rep.completed);
+        assert_eq!(rep.data_packets, 1, "only the first packet was ever aired");
+        assert_eq!(rep.retransmissions, 1);
+        let data_wire = crate::protocol::OtaMessage::Data {
+            seq: 0,
+            chunk: vec![0; 60],
+        }
+        .wire_len() as u64;
+        let ack_wire = crate::protocol::OtaMessage::Ack { seq: 0 }.wire_len() as u64;
+        // handshake (request + Ready) plus the single failed data
+        // attempt; no end-of-update exchange on an aborted session
+        assert_eq!(rep.bytes_over_air, 2 * data_wire + ack_wire);
+        // a completed session still reports the full update
+        let full = run_session(&upd, &strong_link(), &SessionConfig::default());
+        assert!(full.completed);
+        assert!(full.data_packets > 100, "MCU update spans many packets");
+        assert!(rep.bytes_over_air < full.bytes_over_air / 50);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let img = FirmwareImage::mcu("d", 20_000, 6);
         let upd = BlockedUpdate::build(&img);
-        let a = run_session(&upd, &strong_link(), &SessionConfig { max_attempts: 10, seed: 9 });
-        let b = run_session(&upd, &strong_link(), &SessionConfig { max_attempts: 10, seed: 9 });
+        let a = run_session(
+            &upd,
+            &strong_link(),
+            &SessionConfig {
+                max_attempts: 10,
+                seed: 9,
+            },
+        );
+        let b = run_session(
+            &upd,
+            &strong_link(),
+            &SessionConfig {
+                max_attempts: 10,
+                seed: 9,
+            },
+        );
         assert_eq!(a, b);
     }
 }

@@ -21,7 +21,11 @@ impl Battery {
     /// The paper's 1000 mAh 3.7 V LiPo, fully usable (the paper's
     /// arithmetic is ideal-capacity).
     pub fn lipo_1000mah() -> Self {
-        Battery { capacity_mah: 1000.0, voltage: 3.7, usable_fraction: 1.0 }
+        Battery {
+            capacity_mah: 1000.0,
+            voltage: 3.7,
+            usable_fraction: 1.0,
+        }
     }
 
     /// Total usable energy, joules.

@@ -38,8 +38,15 @@ pub enum Domain {
 }
 
 /// All domains in order.
-pub const ALL_DOMAINS: [Domain; 7] =
-    [Domain::V1, Domain::V2, Domain::V3, Domain::V4, Domain::V5, Domain::V6, Domain::V7];
+pub const ALL_DOMAINS: [Domain; 7] = [
+    Domain::V1,
+    Domain::V2,
+    Domain::V3,
+    Domain::V4,
+    Domain::V5,
+    Domain::V6,
+    Domain::V7,
+];
 
 impl Domain {
     /// The regulator species and default voltage for this domain

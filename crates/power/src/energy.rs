@@ -56,7 +56,11 @@ impl EnergyLedger {
     /// distinct tags may overlap; callers usually record wall-clock per
     /// component so the max per-tag time is the session length).
     pub fn total_time_s(&self) -> f64 {
-        self.records.iter().map(|r| r.duration_ns as f64).sum::<f64>() / 1e9
+        self.records
+            .iter()
+            .map(|r| r.duration_ns as f64)
+            .sum::<f64>()
+            / 1e9
     }
 
     /// Energy per tag, mJ, sorted by tag.
@@ -97,7 +101,11 @@ mod tests {
     #[test]
     fn energy_math() {
         // 100 mW for 2 s = 200 mJ
-        let r = EnergyRecord { tag: "x".into(), power_mw: 100.0, duration_ns: 2_000_000_000 };
+        let r = EnergyRecord {
+            tag: "x".into(),
+            power_mw: 100.0,
+            duration_ns: 2_000_000_000,
+        };
         assert!((r.energy_mj() - 200.0).abs() < 1e-9);
     }
 

@@ -31,7 +31,10 @@ impl Pmu {
     /// no loads registered.
     pub fn new() -> Self {
         let regulators = ALL_DOMAINS.iter().map(|&d| (d, d.regulator())).collect();
-        Pmu { regulators, loads: HashMap::new() }
+        Pmu {
+            regulators,
+            loads: HashMap::new(),
+        }
     }
 
     /// Enable or disable a domain's regulator.
@@ -43,7 +46,10 @@ impl Pmu {
         if !on {
             assert!(d.gateable(), "V1 (MCU rail) has no enable control");
         }
-        self.regulators.get_mut(&d).expect("all domains present").enabled = on;
+        self.regulators
+            .get_mut(&d)
+            .expect("all domains present")
+            .enabled = on;
     }
 
     /// `true` if a domain is powered.
@@ -152,7 +158,10 @@ mod tests {
         let on = pmu.battery_power_mw();
         pmu.set_domain(Domain::V2, false);
         let off = pmu.battery_power_mw();
-        assert!(on > off + 90.0, "gating must shed the FPGA load: {on} vs {off}");
+        assert!(
+            on > off + 90.0,
+            "gating must shed the FPGA load: {on} vs {off}"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ pub struct Regulator {
 impl Regulator {
     /// New enabled regulator at `vout`.
     pub fn new(kind: RegulatorKind, vout: f64) -> Self {
-        Regulator { kind, vout, enabled: true }
+        Regulator {
+            kind,
+            vout,
+            enabled: true,
+        }
     }
 
     /// Conversion efficiency at a given load (mW at the output).
@@ -108,7 +112,11 @@ impl Regulator {
         }
         if !self.kind.is_switching() {
             // LDO: input current = output current + quiescent
-            let iout_a = if self.vout > 0.0 { load_mw / 1000.0 / self.vout } else { 0.0 };
+            let iout_a = if self.vout > 0.0 {
+                load_mw / 1000.0 / self.vout
+            } else {
+                0.0
+            };
             return (iout_a + self.kind.quiescent_a()) * VIN * 1000.0;
         }
         let iq_mw = self.kind.quiescent_a() * VIN * 1000.0;

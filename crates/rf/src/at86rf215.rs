@@ -208,8 +208,7 @@ impl At86Rf215 {
     /// Fails if the frequency is outside all three bands. Takes
     /// [`timing::FREQ_SWITCH_NS`] if the radio is active.
     pub fn set_frequency(&mut self, freq_hz: f64) -> Result<Band, RadioError> {
-        let band =
-            Band::containing(freq_hz).ok_or(RadioError::FrequencyOutOfBand(freq_hz))?;
+        let band = Band::containing(freq_hz).ok_or(RadioError::FrequencyOutOfBand(freq_hz))?;
         if (self.freq_hz - freq_hz).abs() > 1.0 && self.state != RadioState::Sleep {
             self.transition_ns += timing::FREQ_SWITCH_NS;
         }
@@ -277,10 +276,15 @@ impl At86Rf215 {
     /// Requires the TX state.
     pub fn transmit(&self, baseband: &[Complex]) -> Result<Vec<Complex>, RadioError> {
         if self.state != RadioState::Tx {
-            return Err(RadioError::WrongState { need: RadioState::Tx, have: self.state });
+            return Err(RadioError::WrongState {
+                need: RadioState::Tx,
+                have: self.state,
+            });
         }
-        let mut out: Vec<Complex> =
-            baseband.iter().map(|&z| self.quantizer.round_trip_iq(z)).collect();
+        let mut out: Vec<Complex> = baseband
+            .iter()
+            .map(|&z| self.quantizer.round_trip_iq(z))
+            .collect();
         // scale quantized full-scale waveform to the programmed RF power
         crate::channel::set_rssi(&mut out, self.tx_power_dbm);
         Ok(out)
@@ -297,7 +301,10 @@ impl At86Rf215 {
     /// Requires the RX state.
     pub fn receive(&self, rf: &[Complex]) -> Result<(Vec<Complex>, usize), RadioError> {
         if self.state != RadioState::Rx {
-            return Err(RadioError::WrongState { need: RadioState::Rx, have: self.state });
+            return Err(RadioError::WrongState {
+                need: RadioState::Rx,
+                have: self.state,
+            });
         }
         let g = db_to_lin(self.rx_gain_db).sqrt();
         let mut out: Vec<Complex> = rf.iter().map(|&z| z.scale(g)).collect();
@@ -411,7 +418,10 @@ mod tests {
     fn transmit_requires_tx_state() {
         let r = At86Rf215::new();
         let tone = ideal_tone(100e3, SAMPLE_RATE_HZ, 64);
-        assert!(matches!(r.transmit(&tone), Err(RadioError::WrongState { .. })));
+        assert!(matches!(
+            r.transmit(&tone),
+            Err(RadioError::WrongState { .. })
+        ));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct AwgnChannel {
 impl AwgnChannel {
     /// Create a channel with a given receiver noise figure and RNG seed.
     pub fn new(noise_figure_db: f64, seed: u64) -> Self {
-        AwgnChannel { noise_figure_db, rng: StdRng::seed_from_u64(seed) }
+        AwgnChannel {
+            noise_figure_db,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One sample of zero-mean complex Gaussian noise with total power
@@ -250,7 +253,11 @@ mod tests {
         let mut fi = FaultInjector::new(0.0, 1.0, 5);
         let orig = vec![0u8; 16];
         let got = fi.transmit(&orig).unwrap();
-        let diff: u32 = orig.iter().zip(&got).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let diff: u32 = orig
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
         assert_eq!(diff, 1);
     }
 

@@ -78,12 +78,20 @@ pub struct FrontEnd {
 impl FrontEnd {
     /// Instantiate the 900 MHz front end (3.5 V domain V6).
     pub fn se2435l() -> Self {
-        FrontEnd { kind: FrontEndKind::Se2435l, mode: FrontEndMode::Sleep, supply_v: 3.5 }
+        FrontEnd {
+            kind: FrontEndKind::Se2435l,
+            mode: FrontEndMode::Sleep,
+            supply_v: 3.5,
+        }
     }
 
     /// Instantiate the 2.4 GHz front end (3.0 V domain V7).
     pub fn sky66112() -> Self {
-        FrontEnd { kind: FrontEndKind::Sky66112, mode: FrontEndMode::Sleep, supply_v: 3.0 }
+        FrontEnd {
+            kind: FrontEndKind::Sky66112,
+            mode: FrontEndMode::Sleep,
+            supply_v: 3.0,
+        }
     }
 
     /// Current mode.
@@ -100,7 +108,7 @@ impl FrontEnd {
     /// respecting the mode and saturation.
     pub fn output_power_dbm(&self, input_dbm: f64) -> f64 {
         match self.mode {
-            FrontEndMode::Sleep => -300.0, // nothing gets through
+            FrontEndMode::Sleep => -300.0,           // nothing gets through
             FrontEndMode::Bypass => input_dbm - 0.5, // insertion loss
             FrontEndMode::TxPa => {
                 (input_dbm + self.kind.pa_gain_db()).min(self.kind.max_output_dbm())
@@ -114,8 +122,8 @@ impl FrontEnd {
     /// hundreds-of-mA at full power.
     pub fn supply_power_mw(&self, rf_out_dbm: f64) -> f64 {
         match self.mode {
-            FrontEndMode::Sleep => 1e-3 * self.supply_v,          // 1 µA
-            FrontEndMode::Bypass => 0.28 * self.supply_v,         // ≤280 µA
+            FrontEndMode::Sleep => 1e-3 * self.supply_v,  // 1 µA
+            FrontEndMode::Bypass => 0.28 * self.supply_v, // ≤280 µA
             FrontEndMode::RxLna => {
                 match self.kind {
                     FrontEndKind::Se2435l => 15.0, // LNA bias

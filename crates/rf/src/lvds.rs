@@ -83,7 +83,12 @@ impl IqWord {
         if !(DATA_MIN..=DATA_MAX).contains(&i) || !(DATA_MIN..=DATA_MAX).contains(&q) {
             return Err(LvdsError::Overflow);
         }
-        Ok(IqWord { i, q, ctrl_i: false, ctrl_q: false })
+        Ok(IqWord {
+            i,
+            q,
+            ctrl_i: false,
+            ctrl_q: false,
+        })
     }
 
     /// Pack into the 32-bit wire format of Fig. 4.
@@ -146,7 +151,9 @@ impl Default for Serializer {
 impl Serializer {
     /// Serializer with the radio's 13-bit quantizer.
     pub fn new() -> Self {
-        Serializer { quantizer: Quantizer::AT86RF215 }
+        Serializer {
+            quantizer: Quantizer::AT86RF215,
+        }
     }
 
     /// Serialize complex samples (full scale ±1.0) into bits.
@@ -373,7 +380,11 @@ mod tests {
         let mut des = Deserializer::new();
         des.push_bits(&bits);
         let out = des.finish();
-        assert!(des_samples_close(&out, &tone), "recovered {} samples", out.len());
+        assert!(
+            des_samples_close(&out, &tone),
+            "recovered {} samples",
+            out.len()
+        );
     }
 
     fn des_samples_close(out: &[Complex], reference: &[Complex]) -> bool {

@@ -102,7 +102,12 @@ impl Link {
 
     /// RSSI at the far end for a given transmit power.
     pub fn rssi_dbm(&self, model: &LogDistance, tx_power_dbm: f64) -> f64 {
-        model.rssi_dbm(tx_power_dbm, self.antenna_gains_db, self.distance_m, self.shadow_db)
+        model.rssi_dbm(
+            tx_power_dbm,
+            self.antenna_gains_db,
+            self.distance_m,
+            self.shadow_db,
+        )
     }
 }
 
@@ -155,7 +160,10 @@ mod tests {
 
     #[test]
     fn zero_sigma_disables_shadowing() {
-        let m = LogDistance { sigma_db: 0.0, ..LogDistance::campus_915mhz() };
+        let m = LogDistance {
+            sigma_db: 0.0,
+            ..LogDistance::campus_915mhz()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(m.draw_shadow(&mut rng), 0.0);
     }

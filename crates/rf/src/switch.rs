@@ -35,7 +35,10 @@ pub const SWITCH_ISOLATION_DB: f64 = 37.0;
 impl RfSwitch {
     /// Power-on default: I/Q radio connected.
     pub fn new() -> Self {
-        RfSwitch { selected: SwitchPort::IqRadio, switch_count: 0 }
+        RfSwitch {
+            selected: SwitchPort::IqRadio,
+            switch_count: 0,
+        }
     }
 
     /// Currently selected port.
@@ -78,9 +81,15 @@ pub struct Balun {
 }
 
 /// The 2.4 GHz balun+filter (Johanson 2450FB15A050E).
-pub const BALUN_2G4: Balun = Balun { part: "2450FB15A050E", insertion_loss_db: 1.1 };
+pub const BALUN_2G4: Balun = Balun {
+    part: "2450FB15A050E",
+    insertion_loss_db: 1.1,
+};
 /// The 900 MHz impedance-matched balun + LPF (Johanson 0896BM15E0025E).
-pub const BALUN_900: Balun = Balun { part: "0896BM15E0025E", insertion_loss_db: 0.9 };
+pub const BALUN_900: Balun = Balun {
+    part: "0896BM15E0025E",
+    insertion_loss_db: 0.9,
+};
 
 #[cfg(test)]
 mod tests {
@@ -106,14 +115,17 @@ mod tests {
     fn selected_port_low_loss_others_isolated() {
         let mut sw = RfSwitch::new();
         sw.select(SwitchPort::BackboneRx);
-        assert_eq!(sw.gain_to_db(SwitchPort::BackboneRx), -SWITCH_INSERTION_LOSS_DB);
+        assert_eq!(
+            sw.gain_to_db(SwitchPort::BackboneRx),
+            -SWITCH_INSERTION_LOSS_DB
+        );
         assert_eq!(sw.gain_to_db(SwitchPort::IqRadio), -SWITCH_ISOLATION_DB);
     }
 
     #[test]
     fn balun_constants() {
-        assert!(BALUN_2G4.insertion_loss_db > 0.0);
-        assert!(BALUN_900.insertion_loss_db > 0.0);
+        const { assert!(BALUN_2G4.insertion_loss_db > 0.0) };
+        const { assert!(BALUN_900.insertion_loss_db > 0.0) };
         assert_eq!(BALUN_900.part, "0896BM15E0025E");
     }
 }

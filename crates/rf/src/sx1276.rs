@@ -115,8 +115,7 @@ impl LoRaParams {
 
     /// Effective PHY bit rate including coding, bit/s.
     pub fn bitrate(&self) -> f64 {
-        self.sf as f64 * (self.bw_hz / (1u32 << self.sf) as f64) * 4.0
-            / self.cr_denom as f64
+        self.sf as f64 * (self.bw_hz / (1u32 << self.sf) as f64) * 4.0 / self.cr_denom as f64
     }
 
     /// Sensitivity for this configuration, dBm.
@@ -204,7 +203,11 @@ pub struct Sx1276 {
 impl Sx1276 {
     /// Power-on defaults: sleep at 915 MHz, 14 dBm.
     pub fn new() -> Self {
-        Sx1276 { state: Sx1276State::Sleep, tx_power_dbm: 14.0, freq_hz: 915e6 }
+        Sx1276 {
+            state: Sx1276State::Sleep,
+            tx_power_dbm: 14.0,
+            freq_hz: 915e6,
+        }
     }
 
     /// Supply power in the current state, mW (3.3 V rail; datasheet
@@ -215,9 +218,7 @@ impl Sx1276 {
             Sx1276State::Sleep => 0.2e-3 * 3.3,
             Sx1276State::Standby => 1.6 * 3.3,
             Sx1276State::Rx => 12.0 * 3.3, // ≈ 40 mW
-            Sx1276State::Tx => {
-                33.0 + crate::units::dbm_to_mw(self.tx_power_dbm) / 0.25
-            }
+            Sx1276State::Tx => 33.0 + crate::units::dbm_to_mw(self.tx_power_dbm) / 0.25,
         }
     }
 }

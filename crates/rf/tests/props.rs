@@ -1,10 +1,10 @@
 //! Property-based invariants for the RF substrate.
 
 use proptest::prelude::*;
+use tinysdr_dsp::complex::Complex;
 use tinysdr_rf::channel::{measure_rssi, set_rssi};
 use tinysdr_rf::lvds::{Deserializer, IqWord, Serializer};
 use tinysdr_rf::units::{dbm_to_mw, mw_to_dbm};
-use tinysdr_dsp::complex::Complex;
 
 proptest! {
     /// dBm ↔ mW conversions are inverse over the full dynamic range.

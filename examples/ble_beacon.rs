@@ -40,7 +40,10 @@ fn main() {
     }
     println!(
         "hop gaps: {:?} µs (iPhone 8: 350 µs)",
-        adv.gaps_s().iter().map(|g| (g * 1e6).round()).collect::<Vec<_>>()
+        adv.gaps_s()
+            .iter()
+            .map(|g| (g * 1e6).round())
+            .collect::<Vec<_>>()
     );
 
     // --- over the air at -80 dBm on channel 38 ---

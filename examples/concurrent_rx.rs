@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tinysdr::lora::{ChirpConfig};
+use tinysdr::lora::ChirpConfig;
 use tinysdr::platform::profile::{platform_power_mw, OperatingPoint};
 use tinysdr::rf::channel::{set_rssi, superpose, AwgnChannel};
 use tinysdr_fpga::resources::paper_percent;

@@ -52,7 +52,11 @@ fn main() {
         let temp_back = f32::from_le_bytes(rx.payload.try_into().unwrap());
         println!(
             "uplink {i}: {:.1} C -> {} bytes, {:.1} ms airtime, FCnt {} (server read {:.1} C)",
-            temp, uplink.len(), airtime * 1e3, rx.fcnt, temp_back
+            temp,
+            uplink.len(),
+            airtime * 1e3,
+            rx.fcnt,
+            temp_back
         );
     }
 

@@ -40,7 +40,7 @@ fn main() {
     // --- program everyone, sequentially like the paper's AP ---
     let reports = tb.ota_campaign(&update, 99);
     let mut total_energy = 0.0;
-    for (id, r) in &reports {
+    for (id, r) in reports.iter() {
         let node = &tb.nodes[*id as usize];
         println!(
             "node {id:>2}: {:>6.0} m, {:>6.1} dBm | {:>5.1} s | {:>4} retx | {:>5.0} mJ | {}",
@@ -57,7 +57,7 @@ fn main() {
     let mean = done.iter().map(|(_, r)| r.duration_s).sum::<f64>() / done.len() as f64;
     println!(
         "\ncompleted {}/{} nodes | mean programming time {mean:.0} s (paper: 59 s for BLE)",
-        done.len(),
+        reports.completed(),
         reports.len()
     );
     let battery = Battery::lipo_1000mah();

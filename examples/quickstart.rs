@@ -10,7 +10,7 @@
 //! the radio sets up) → modulate on the "FPGA" → cross an AWGN channel →
 //! demodulate on the receiver → sleep at 30 µW.
 
-use tinysdr::lora::{ChirpConfig};
+use tinysdr::lora::ChirpConfig;
 use tinysdr::platform::device::{DeviceState, TinySdr};
 use tinysdr::rf::at86rf215::RadioState;
 use tinysdr::rf::channel::AwgnChannel;
@@ -29,7 +29,8 @@ fn main() {
     let mut tx_node = TinySdr::new();
     let mut rx_node = TinySdr::new();
     for node in [&mut tx_node, &mut rx_node] {
-        node.store_image(ImageSlot::Fpga(0), "lora_phy", lora_image.data()).unwrap();
+        node.store_image(ImageSlot::Fpga(0), "lora_phy", lora_image.data())
+            .unwrap();
         node.sleep();
     }
     println!(
@@ -68,7 +69,9 @@ fn main() {
 
     // --- demodulate on the receiving node ---
     let demodulator = Demodulator::new(chirp, frame);
-    let decoded = demodulator.demodulate(&signal).expect("frame decodes at -120 dBm");
+    let decoded = demodulator
+        .demodulate(&signal)
+        .expect("frame decodes at -120 dBm");
     println!(
         "\nreceived: {:?} (CRC ok: {}, FEC corrections: {})",
         String::from_utf8_lossy(&decoded.payload),

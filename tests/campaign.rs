@@ -1,0 +1,113 @@
+//! Integration tests for the scale-out OTA campaign engine: the
+//! determinism contract (sharded == sequential, bit for bit), node-id
+//! keyed reports, per-shard ECDF merging, and the broadcast + targeted
+//! repair strategy — all through the umbrella crate's public API.
+
+use tinysdr::ota::blocks::BlockedUpdate;
+use tinysdr::ota::image::FirmwareImage;
+use tinysdr::ota::seed::{node_stream_seed, splitmix64, STREAM_SESSION};
+use tinysdr::platform::testbed::{BroadcastCampaignConfig, CampaignConfig, Testbed};
+
+#[test]
+fn sharded_campaign_contract_holds_through_the_public_api() {
+    let tb = Testbed::with_nodes(150, 9);
+    let upd = BlockedUpdate::build(&FirmwareImage::mcu("fleet", 6_000, 1));
+    let seq = tb.run_campaign(&upd, &CampaignConfig::sequential(33));
+    for shards in [2usize, 7] {
+        let par = tb.run_campaign(&upd, &CampaignConfig::sharded(33, shards));
+        assert_eq!(
+            seq.reports(),
+            par.reports(),
+            "{shards} shards diverged from sequential"
+        );
+        // merged shard ECDFs carry the same distribution (same sorted
+        // samples, hence same quantiles)
+        let mut a = seq.time_ecdf().clone();
+        let mut b = par.time_ecdf().clone();
+        assert_eq!(a.curve(), b.curve());
+        assert_eq!(a.quantile(0.9), b.quantile(0.9));
+    }
+}
+
+#[test]
+fn campaign_is_insensitive_to_node_ordering() {
+    // stronger than shard-equivalence: reversing the node list must not
+    // change any node's report, because no randomness depends on
+    // iteration order any more
+    let tb = Testbed::with_nodes(40, 4);
+    let mut reversed = tb.clone();
+    reversed.nodes.reverse();
+    let upd = BlockedUpdate::build(&FirmwareImage::mcu("rev", 5_000, 1));
+    let cfg = CampaignConfig::sequential(21);
+    let a = tb.run_campaign(&upd, &cfg);
+    let b = reversed.run_campaign(&upd, &cfg);
+    // reports come back keyed and sorted by node id either way
+    assert_eq!(a.reports(), b.reports());
+}
+
+#[test]
+fn splitmix_streams_are_exposed_and_stable() {
+    // the seed derivation is part of the public API surface (the
+    // determinism contract depends on it), so pin its behavior
+    assert_eq!(
+        splitmix64(0),
+        0xE220_A839_7B1D_CDAF,
+        "splitmix64 reference vector"
+    );
+    let s = node_stream_seed(42, 0, STREAM_SESSION);
+    assert_eq!(s, node_stream_seed(42, 0, STREAM_SESSION));
+    assert_ne!(s, 42);
+}
+
+#[test]
+fn broadcast_strategy_beats_unicast_on_air_time_at_scale() {
+    let tb = Testbed::with_nodes(100, 8);
+    let upd = BlockedUpdate::build(&FirmwareImage::mcu("fw", 8_000, 3));
+    let uni = tb.run_campaign(&upd, &CampaignConfig::sharded(5, 4));
+    let bc = tb.broadcast_campaign(
+        &upd,
+        &BroadcastCampaignConfig {
+            max_rounds: 12,
+            repair: CampaignConfig::sharded(5, 4),
+        },
+    );
+    assert!(
+        bc.total_time_s < uni.total_air_time_s() / 5.0,
+        "broadcast {:.0}s vs unicast {:.0}s over 100 nodes",
+        bc.total_time_s,
+        uni.total_air_time_s()
+    );
+    // any node broadcast+repair missed is unreachable for unicast too
+    for (node, &done) in tb.nodes.iter().zip(&bc.broadcast.node_complete) {
+        let repaired = bc
+            .repaired
+            .get(node.id)
+            .map(|r| r.completed)
+            .unwrap_or(false);
+        if !done && !repaired {
+            assert!(!uni.get(node.id).expect("node present").completed);
+        }
+    }
+}
+
+#[test]
+fn aborted_sessions_surface_in_campaign_accounting() {
+    // a dead node's report must reflect what actually went on the air
+    let mut tb = Testbed::with_nodes(4, 2);
+    for n in tb.nodes.iter_mut() {
+        n.rssi_dbm = -90.0;
+    }
+    tb.nodes[3].rssi_dbm = -140.0; // dead
+    let upd = BlockedUpdate::build(&FirmwareImage::mcu("dead", 6_000, 1));
+    let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(6));
+    assert_eq!(rep.completed(), 3);
+    let dead = rep.get(3).expect("dead node still reported");
+    assert!(!dead.completed);
+    let alive = rep.get(0).expect("alive node");
+    assert!(alive.completed);
+    assert!(
+        dead.data_packets < alive.data_packets,
+        "aborted session must not claim the full update was sent"
+    );
+    assert!(dead.bytes_over_air < alive.bytes_over_air);
+}

@@ -22,7 +22,8 @@ fn full_link_between_two_devices() {
     let mut tx = TinySdr::new();
     let mut rx = TinySdr::new();
     for d in [&mut tx, &mut rx] {
-        d.store_image(ImageSlot::Fpga(0), "lora_phy", image.data()).unwrap();
+        d.store_image(ImageSlot::Fpga(0), "lora_phy", image.data())
+            .unwrap();
         d.sleep();
     }
     assert!(tx.platform_power_mw() * 1000.0 < 35.0);
@@ -37,7 +38,9 @@ fn full_link_between_two_devices() {
     let mut sig = Modulator::new(chirp, fp).modulate(payload);
     let mut ch = AwgnChannel::new(4.5, 77);
     ch.apply(&mut sig, -118.0, chirp.fs());
-    let frame = Demodulator::new(chirp, fp).demodulate(&sig).expect("decodes");
+    let frame = Demodulator::new(chirp, fp)
+        .demodulate(&sig)
+        .expect("decodes");
     assert_eq!(frame.payload, payload);
     assert!(frame.crc_ok);
 
@@ -63,7 +66,7 @@ fn lorawan_frame_over_the_air() {
     let fp = FrameParams::new(CodeParams::new(8, 4));
     let modem_tx = Modulator::new(chirp, fp);
     let modem_rx = Demodulator::new(chirp, fp);
-    let mut fly = |bytes: &[u8], seed: u64| -> Vec<u8> {
+    let fly = |bytes: &[u8], seed: u64| -> Vec<u8> {
         let mut sig = modem_tx.modulate(bytes);
         let mut ch = AwgnChannel::new(4.5, seed);
         ch.apply(&mut sig, -115.0, chirp.fs());
@@ -74,13 +77,17 @@ fn lorawan_frame_over_the_air() {
 
     let jr = mac.build_join_request(0x0BEE).unwrap();
     let jr_rx = fly(&jr, 1);
-    let ja = server.handle_join(&jr_rx).expect("join verifies after the air");
+    let ja = server
+        .handle_join(&jr_rx)
+        .expect("join verifies after the air");
     let ja_rx = fly(&ja, 2);
     let addr = mac.process_join_accept(&ja_rx).unwrap();
 
     let up = mac.build_uplink(1, b"e2e sensor data", false).unwrap();
     let up_rx = fly(&up, 3);
-    let decoded = server.handle_uplink(&up_rx).expect("MIC verifies after the air");
+    let decoded = server
+        .handle_uplink(&up_rx)
+        .expect("MIC verifies after the air");
     assert_eq!(decoded.payload, b"e2e sensor data");
     assert_eq!(decoded.dev_addr, addr);
 }
@@ -96,7 +103,8 @@ fn ota_update_then_protocol_switch() {
 
     let mut dev = TinySdr::new();
     let lora_img = Bitstream::synthesize("lora_phy", 0.15, 1);
-    dev.store_image(ImageSlot::Fpga(0), "lora_phy", lora_img.data()).unwrap();
+    dev.store_image(ImageSlot::Fpga(0), "lora_phy", lora_img.data())
+        .unwrap();
     dev.configure_from_slot(ImageSlot::Fpga(0), 2700).unwrap();
     assert_eq!(dev.fpga.loaded_design(), Some("lora_phy"));
 
@@ -106,7 +114,10 @@ fn ota_update_then_protocol_switch() {
     let report = run_session(
         &update,
         &LinkModel::from_downlink(-95.0),
-        &SessionConfig { max_attempts: 30, seed: 4 },
+        &SessionConfig {
+            max_attempts: 30,
+            seed: 4,
+        },
     );
     assert!(report.completed);
     assert!(report.duration_s < 120.0);
@@ -122,7 +133,8 @@ fn ota_update_then_protocol_switch() {
     .expect("image verifies");
     assert!(pipeline.decompress_time_s < 0.45);
     dev.stored_images(); // directory unaware of raw writes — register:
-    dev.store_image(ImageSlot::Fpga(1), "ble_beacon", &ble.data).unwrap();
+    dev.store_image(ImageSlot::Fpga(1), "ble_beacon", &ble.data)
+        .unwrap();
 
     // hot-switch protocols from flash: one 22 ms reconfiguration
     let t = dev.configure_from_slot(ImageSlot::Fpga(1), 820).unwrap();
@@ -169,5 +181,5 @@ fn umbrella_api_surface() {
     let _ = tinysdr::ota::lzo::compress(b"x");
     let _ = tinysdr::platform::cost::total_cost_usd();
     let _ = tinysdr::rf::units::dbm_to_mw(0.0);
-    let _ = tinysdr::dsp::fft::fft(&vec![tinysdr::dsp::complex::Complex::ONE; 8]);
+    let _ = tinysdr::dsp::fft::fft(&[tinysdr::dsp::complex::Complex::ONE; 8]);
 }

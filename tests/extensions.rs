@@ -22,14 +22,16 @@ fn broadcast_scales_with_nodes_sequential_does_not() {
     let upd = BlockedUpdate::build(&FirmwareImage::mcu("scale", 20_000, 1));
     let mut prev_seq = 0.0;
     for n in [5usize, 10, 20] {
-        let links: Vec<LinkModel> =
-            campus_links(42).into_iter().cycle().take(n).collect();
+        let links: Vec<LinkModel> = campus_links(42).into_iter().cycle().take(n).collect();
         let (seq, bc) = sequential_vs_broadcast(&upd, &links, 9);
         // sequential grows ~linearly with node count
         assert!(seq > prev_seq, "sequential must grow with {n} nodes");
         prev_seq = seq;
         // broadcast stays within a small factor of a single session
-        assert!(bc < seq / (n as f64 / 3.0), "{n} nodes: bc {bc:.0} vs seq {seq:.0}");
+        assert!(
+            bc < seq / (n as f64 / 3.0),
+            "{n} nodes: bc {bc:.0} vs seq {seq:.0}"
+        );
     }
 }
 
@@ -37,12 +39,23 @@ fn broadcast_scales_with_nodes_sequential_does_not() {
 fn broadcast_campaign_over_the_paper_testbed() {
     let links = campus_links(42);
     let upd = BlockedUpdate::build(&FirmwareImage::ble_fpga(3));
-    let rep = run_broadcast(&upd, &links, &BroadcastConfig { max_rounds: 20, seed: 5 });
+    let rep = run_broadcast(
+        &upd,
+        &links,
+        &BroadcastConfig {
+            max_rounds: 20,
+            seed: 5,
+        },
+    );
     // everyone in radio range completes; total time beats even ONE
     // sequential BLE session pair
     let done = rep.node_complete.iter().filter(|&&c| c).count();
     assert!(done >= 19, "{done}/20 completed");
-    assert!(rep.total_time_s < 140.0, "campaign took {:.0} s", rep.total_time_s);
+    assert!(
+        rep.total_time_s < 140.0,
+        "campaign took {:.0} s",
+        rep.total_time_s
+    );
 }
 
 #[test]
@@ -53,7 +66,12 @@ fn adr_covers_the_whole_testbed() {
     for n in &tb.nodes {
         let sf = adr::select_sf(n.rssi_dbm, 125e3, 5.0);
         if n.rssi_dbm > tinysdr::rf::sx1276::sensitivity_dbm(12, 125e3) + 5.0 {
-            assert!(sf.is_some(), "node {} at {:.1} dBm must be coverable", n.id, n.rssi_dbm);
+            assert!(
+                sf.is_some(),
+                "node {} at {:.1} dBm must be coverable",
+                n.id,
+                n.rssi_dbm
+            );
         }
         // and stronger nodes never get slower rates than weaker ones
     }
@@ -79,8 +97,8 @@ fn adr_energy_benefit_is_real() {
         .iter()
         .filter_map(|&r| adr::adaptive_airtime(r, 125e3, 5.0, 20))
         .sum();
-    let fixed_sf10 = rssis.len() as f64
-        * tinysdr::rf::sx1276::LoRaParams::new(10, 125e3, 5).airtime(20);
+    let fixed_sf10 =
+        rssis.len() as f64 * tinysdr::rf::sx1276::LoRaParams::new(10, 125e3, 5).airtime(20);
     assert!(
         adaptive < fixed_sf10 * 0.7,
         "adaptive {adaptive:.2} s vs fixed-SF10 {fixed_sf10:.2} s"

@@ -60,8 +60,16 @@ fn claim_cost() {
 #[test]
 fn claim_table6() {
     for (sf, tx, rx) in tinysdr_lora::fpga_map::TABLE6 {
-        assert_eq!(tinysdr_lora::fpga_map::lora_tx_design().total_luts(), tx, "SF{sf}");
-        assert_eq!(tinysdr_lora::fpga_map::lora_rx_design(sf).total_luts(), rx, "SF{sf}");
+        assert_eq!(
+            tinysdr_lora::fpga_map::lora_tx_design().total_luts(),
+            tx,
+            "SF{sf}"
+        );
+        assert_eq!(
+            tinysdr_lora::fpga_map::lora_rx_design(sf).total_luts(),
+            rx,
+            "SF{sf}"
+        );
     }
 }
 

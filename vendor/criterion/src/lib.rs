@@ -40,7 +40,9 @@ impl BenchmarkId {
 
     /// Identifier from a parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -72,8 +74,7 @@ impl Bencher {
         black_box(f());
         let one = warm_start.elapsed().max(Duration::from_nanos(50));
         let per_sample = Duration::from_millis(5);
-        self.iters_per_sample =
-            (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
 
         let mut best = Duration::MAX;
         for _ in 0..self.samples {
@@ -170,7 +171,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn scope_joins_and_returns() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = thread::scope(|s| {
             let mut handles = Vec::new();
             for chunk in data.chunks(2) {

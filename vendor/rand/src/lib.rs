@@ -154,7 +154,12 @@ impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// Types uniformly sampleable over a range (mirror of `rand::distributions::uniform::SampleUniform`).
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform draw in `[low, high)` (`inclusive == false`) or `[low, high]`.
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -293,8 +298,10 @@ mod tests {
             counts[rng.gen_range(0usize..8)] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 }
-
