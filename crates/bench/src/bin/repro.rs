@@ -5,8 +5,14 @@
 //! repro table1..table6      # Tables 1-6
 //! repro fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15a fig15b
 //! repro sec51 sec52 sec53 sec6
+//! repro waterfall           # PHY conformance waterfalls (not in `all`)
 //! repro --quick all         # reduced trial counts for smoke runs
 //! ```
+//!
+//! `waterfall` runs the sharded conformance sweep (`--quick` uses the
+//! coarse grid and additionally asserts the sharded-vs-sequential
+//! determinism contract — the CI smoke step). It is excluded from
+//! `all` because the full grid is a deliberate long-haul measurement.
 
 use tinysdr_bench::phy_experiments as phy;
 use tinysdr_bench::system_experiments as sys;
@@ -39,7 +45,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation> ...");
+        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall> ...");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -182,6 +188,54 @@ fn main() {
             &sys::ablation(42),
         );
     }
+    // deliberately NOT part of `all`: the full conformance grid is a
+    // long-haul measurement, not a figure of the paper
+    if wanted.contains(&"waterfall") {
+        run_waterfall_cmd(quick, seed);
+    }
+}
+
+/// The PHY conformance waterfalls: sharded sweep, per-scenario curves,
+/// 1%-error sensitivity table; in `--quick` mode also asserts the
+/// sharded-vs-sequential determinism contract.
+fn run_waterfall_cmd(quick: bool, seed: u64) {
+    use tinysdr_bench::waterfall::{run_waterfall, WaterfallConfig};
+    let cfg = if quick {
+        WaterfallConfig::quick(seed)
+    } else {
+        WaterfallConfig::full(seed)
+    };
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let rep = run_waterfall(&cfg.clone().sharded(shards));
+    if quick {
+        let seq = run_waterfall(&cfg);
+        assert_eq!(
+            seq, rep,
+            "waterfall determinism contract violated: sharded != sequential"
+        );
+        println!(
+            "determinism contract: {shards} shards == sequential, bit-identical on {} points",
+            rep.points.len()
+        );
+    }
+    for sc in rep.scenario_labels() {
+        print_series(
+            &format!("Waterfall: {sc} (error %)"),
+            "RSSI dBm",
+            &rep.to_series(&sc),
+        );
+    }
+    println!("\n== 1%-error sensitivity (dBm) ==");
+    for (sc, imp, sens) in rep.sensitivity_table(0.01) {
+        match sens {
+            Some(s) => println!("  {sc:<24} {imp:<12} {s:>8.1}"),
+            None => println!("  {sc:<24} {imp:<12} {:>8}", "no cross"),
+        }
+    }
+    println!("  paper anchors: LoRa -126 dBm @ SF8/BW125 (Figs. 10-11); BLE -94 dBm (Fig. 12)");
 }
 
 /// Thin out a dense spectrum series for terminal display.

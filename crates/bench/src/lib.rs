@@ -19,6 +19,7 @@
 
 pub mod phy_experiments;
 pub mod system_experiments;
+pub mod waterfall;
 
 /// A labelled series of `(x, y)` points — one curve of a figure.
 #[derive(Debug, Clone)]

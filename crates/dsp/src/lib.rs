@@ -24,6 +24,9 @@
 //!   the paper's Fig. 15a appear in simulation.
 //! * [`fixed`] — fixed-point quantization (the AT86RF215 data path is
 //!   13-bit I/Q).
+//! * [`delay`] — windowed-sinc fractional-delay interpolation and
+//!   sample-clock drift, the timing impairments of the conformance
+//!   harness.
 //! * [`resample`] — integer-factor upsampling/decimation.
 //! * [`spectrum`] — Welch periodogram used to regenerate Fig. 8.
 //! * [`stats`] — error-rate counters and empirical CDFs used throughout
@@ -40,6 +43,7 @@
 
 pub mod chirp;
 pub mod complex;
+pub mod delay;
 pub mod fft;
 pub mod fir;
 pub mod fixed;

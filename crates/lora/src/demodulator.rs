@@ -177,26 +177,35 @@ impl Demodulator {
     /// RF signals in the FPGA memory and run them through our
     /// demodulator to compute a chirp symbol error rate").
     pub fn symbol_error_rate(&self, rx: &[Complex], sent: &[u16]) -> f64 {
+        let (errors, total) = self.symbol_errors(rx, sent);
+        if total == 0 {
+            0.0
+        } else {
+            errors as f64 / total as f64
+        }
+    }
+
+    /// Raw `(errors, trials)` counts behind [`Self::symbol_error_rate`]
+    /// — the waterfall sweeps accumulate counts so that per-point Wilson
+    /// intervals and merged curves stay exact. Symbols whose window runs
+    /// past the capture are counted as errors (a truncated capture lost
+    /// them; ignoring them would understate the error rate).
+    pub fn symbol_errors(&self, rx: &[Complex], sent: &[u16]) -> (u64, u64) {
         let ns = self.cfg.samples_per_symbol();
         let filtered = self.filter(rx);
-        let mut errors = 0usize;
-        let mut total = 0usize;
+        let mut errors = 0u64;
         for (i, &tx_sym) in sent.iter().enumerate() {
             let start = i * ns;
             if start + ns > filtered.len() {
+                errors += (sent.len() - i) as u64;
                 break;
             }
             let det = self.detect_symbol(&filtered[start..start + ns]);
             if det.symbol != tx_sym {
                 errors += 1;
             }
-            total += 1;
         }
-        if total == 0 {
-            0.0
-        } else {
-            errors as f64 / total as f64
-        }
+        (errors, sent.len() as u64)
     }
 
     /// Locate the preamble in `rx` and return `(symbol_grid_start,

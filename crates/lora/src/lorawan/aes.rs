@@ -236,6 +236,41 @@ mod tests {
     }
 
     #[test]
+    fn fips197_appendix_c_decrypt_vector() {
+        // the inverse cipher against the same Appendix C.1 vector
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let ct: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let want: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        assert_eq!(Aes128::new(&key).decrypt_block(&ct), want);
+    }
+
+    #[test]
+    fn fips197_appendix_a_key_schedule() {
+        // FIPS-197 Appendix A.1 expands the 2b7e... key; pin the first
+        // and last round keys of the schedule (w[0..3] and w[40..43])
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.round_keys[0], key);
+        let last: [u8; 16] = [
+            0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
+            0x0c, 0xa6,
+        ];
+        assert_eq!(aes.round_keys[10], last);
+        // and one interior word: round 1 is a046... per the appendix
+        let rk1: [u8; 16] = [
+            0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c,
+            0x76, 0x05,
+        ];
+        assert_eq!(aes.round_keys[1], rk1);
+    }
+
+    #[test]
     fn decrypt_inverts_encrypt() {
         let key: [u8; 16] = core::array::from_fn(|i| (i * 7 + 3) as u8);
         let aes = Aes128::new(&key);

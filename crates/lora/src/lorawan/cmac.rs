@@ -97,6 +97,30 @@ mod tests {
     ];
 
     #[test]
+    fn rfc4493_subkey_generation() {
+        // RFC 4493 §4, Subkey Generation example: L = AES-128(K, 0^128),
+        // then K1 and K2 by the doubling rule
+        let aes = Aes128::new(&KEY);
+        let l = aes.encrypt_block(&[0u8; 16]);
+        let want_l = [
+            0x7d, 0xf7, 0x6b, 0x0c, 0x1a, 0xb8, 0x99, 0xb3, 0x3e, 0x42, 0xf0, 0x47, 0xb9, 0x1b,
+            0x54, 0x6f,
+        ];
+        assert_eq!(l, want_l);
+        let (k1, k2) = subkeys(&aes);
+        let want_k1 = [
+            0xfb, 0xee, 0xd6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7c, 0x85, 0xe0, 0x8f, 0x72, 0x36,
+            0xa8, 0xde,
+        ];
+        let want_k2 = [
+            0xf7, 0xdd, 0xac, 0x30, 0x6a, 0xe2, 0x66, 0xcc, 0xf9, 0x0b, 0xc1, 0x1e, 0xe4, 0x6d,
+            0x51, 0x3b,
+        ];
+        assert_eq!(k1, want_k1);
+        assert_eq!(k2, want_k2);
+    }
+
+    #[test]
     fn rfc4493_example_1_empty() {
         let want = [
             0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,

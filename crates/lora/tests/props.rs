@@ -1,9 +1,12 @@
 //! Property-based invariants for the LoRa stack.
 
 use proptest::prelude::*;
+use tinysdr_lora::demodulator::Demodulator;
 use tinysdr_lora::lorawan::frame::{crypt_payload, DataFrame, FrameDirection, SessionKeys};
 use tinysdr_lora::lorawan::Aes128;
+use tinysdr_lora::modulator::Modulator;
 use tinysdr_lora::phy::{self, CodeParams};
+use tinysdr_rf::impairments::ImpairmentChain;
 
 proptest! {
     /// The full PHY chain (whiten → CRC → Hamming → interleave → Gray)
@@ -115,6 +118,60 @@ proptest! {
         let i = flip_at as usize % bad.len();
         bad[i] ^= 0x01;
         prop_assert!(DataFrame::from_bytes(&bad, &keys).is_err());
+    }
+
+    /// The *waveform* chain — modulate → calibrated channel at high SNR
+    /// → demodulate — recovers any payload at any SF/CR (the sample-
+    /// domain mirror of `phy_encode_decode_identity`). −100 dBm is
+    /// ~18 dB above the SF8/BW125 sensitivity, so failure means a modem
+    /// regression, not bad luck.
+    #[test]
+    fn modem_round_trip_at_high_snr(
+        payload in prop::collection::vec(any::<u8>(), 1..12),
+        sf in 7u8..=8,
+        cr in 1u8..=4,
+        seed in any::<u64>(),
+    ) {
+        let bw = 125e3;
+        let m = Modulator::standard(sf, bw, 1, cr);
+        let d = Demodulator::standard(sf, bw, 1, cr);
+        let tx = m.modulate(&payload);
+        let rx = ImpairmentChain::new(4.5).apply(&tx, -100.0, bw, seed);
+        let f = d.demodulate(&rx).expect("high-SNR frame must decode");
+        prop_assert_eq!(f.payload, payload);
+        prop_assert!(f.crc_ok && f.header_ok);
+    }
+
+    /// The modem absorbs carrier and timing offsets inside the
+    /// documented tolerance. The budget is *combined*: a fractional
+    /// timing offset of τ chips shifts the dechirped peak by τ bins and
+    /// a CFO of ε bins by ±ε (the sign flips between up- and
+    /// downchirps), so correct decoding needs |τ| + |ε| comfortably
+    /// below the half-bin ambiguity point. We exercise ε ≤ 0.125 bin
+    /// and τ ≤ 0.25 chip (plus any integer offset); beyond the budget
+    /// the decoder fails loudly via CRC, never silently (covered by
+    /// `heavy_header_damage_never_decodes_silently_wrong`).
+    #[test]
+    fn modem_survives_cfo_and_timing_within_tolerance(
+        payload in prop::collection::vec(any::<u8>(), 1..8),
+        sf in 7u8..=8,
+        cfo_frac in -0.125f64..=0.125,
+        delay_int in 0u16..300,
+        delay_frac in 0.0f64..0.25,
+        seed in any::<u64>(),
+    ) {
+        let bw = 125e3;
+        let bin_hz = bw / (1u32 << sf) as f64;
+        let m = Modulator::standard(sf, bw, 1, 4);
+        let d = Demodulator::standard(sf, bw, 1, 4);
+        let tx = m.modulate(&payload);
+        let chain = ImpairmentChain::new(4.5)
+            .with_cfo_hz(cfo_frac * bin_hz)
+            .with_timing_offset(delay_int as f64 + delay_frac);
+        let rx = chain.apply(&tx, -100.0, bw, seed);
+        let f = d.demodulate(&rx).expect("offsets within tolerance must decode");
+        prop_assert_eq!(f.payload, payload);
+        prop_assert!(f.crc_ok);
     }
 
     /// Gray code: adjacent symbol values differ in exactly one bit.

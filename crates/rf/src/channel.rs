@@ -14,6 +14,19 @@ use tinysdr_dsp::complex::{mean_power, normalize_power, Complex};
 
 use crate::units::{dbm_to_mw, noise_floor_dbm};
 
+/// One pair of independent standard Gaussian samples via Box–Muller —
+/// the statistical kernel behind [`AwgnChannel`] and the randomized
+/// stages of [`crate::impairments::ImpairmentChain`] (one shared
+/// implementation so the two can never drift apart).
+#[inline]
+pub(crate) fn gauss_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
 /// Complex AWGN generator with physical noise power.
 #[derive(Debug)]
 pub struct AwgnChannel {
@@ -33,16 +46,12 @@ impl AwgnChannel {
     }
 
     /// One sample of zero-mean complex Gaussian noise with total power
-    /// `p_mw` (split across I and Q), via Box–Muller.
+    /// `p_mw` (split across I and Q).
     #[inline]
     fn noise_sample(&mut self, p_mw: f64) -> Complex {
         let sigma = (p_mw / 2.0).sqrt();
-        // Box–Muller
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = std::f64::consts::TAU * u2;
-        Complex::new(sigma * r * theta.cos(), sigma * r * theta.sin())
+        let (i, q) = gauss_pair(&mut self.rng);
+        Complex::new(sigma * i, sigma * q)
     }
 
     /// Scale `sig` to `rssi_dbm` and add receiver noise for a simulation
@@ -177,6 +186,58 @@ mod tests {
         let p_dbm = mw_to_dbm(mean_power(&noise));
         let expect = thermal_noise_dbm(fs) + 6.0;
         assert!((p_dbm - expect).abs() < 0.1, "noise {p_dbm} vs {expect}");
+    }
+
+    #[test]
+    fn noise_power_tracks_fs_and_nf_across_the_grid() {
+        // the calibration every waterfall leans on: injected noise power
+        // must equal noise_floor_dbm(fs, nf) for every (fs, NF) the
+        // sweeps use — LoRa 125/500 kHz, BLE 4 MHz, both front ends
+        for (i, &fs) in [125e3, 500e3, 4e6].iter().enumerate() {
+            for (j, &nf) in [3.0, 4.5, 6.7, 7.0].iter().enumerate() {
+                let mut ch = AwgnChannel::new(nf, 1000 + (i * 7 + j) as u64);
+                let noise = ch.noise_only(150_000, fs);
+                let got = mw_to_dbm(mean_power(&noise));
+                let want = noise_floor_dbm(fs, nf);
+                assert!(
+                    (got - want).abs() < 0.15,
+                    "fs {fs} NF {nf}: {got:.2} vs {want:.2} dBm"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_rssi_measure_rssi_round_trip_over_the_sweep_range() {
+        // the x-axis of every waterfall: scaling to a target RSSI and
+        // reading it back must agree over the full sweep span, for both
+        // a tone and a noise-like waveform
+        let mut ch = AwgnChannel::new(0.0, 55);
+        let noise_like = ch.noise_only(8192, 1e6);
+        let tone = ideal_tone(3000.0, 1e6, 8192);
+        for rssi in [-140.0, -126.0, -109.0, -94.0, -60.0, 0.0] {
+            for base in [&tone, &noise_like] {
+                let mut sig = base.clone();
+                set_rssi(&mut sig, rssi);
+                let got = measure_rssi(&sig);
+                assert!((got - rssi).abs() < 1e-9, "set {rssi} measured {got} dBm");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_returns_the_injected_noise_power() {
+        // the n_mw return value is documented as the actual injected
+        // noise power; pin it to the calibrated floor
+        let fs = 250e3;
+        let nf = 4.5;
+        let mut ch = AwgnChannel::new(nf, 77);
+        let mut sig = ideal_tone(10e3, fs, 1024);
+        let n_mw = ch.apply(&mut sig, -120.0, fs);
+        assert!(
+            (mw_to_dbm(n_mw) - noise_floor_dbm(fs, nf)).abs() < 1e-9,
+            "reported noise power off the calibrated floor"
+        );
     }
 
     #[test]

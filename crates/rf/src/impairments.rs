@@ -1,0 +1,444 @@
+//! Composable channel impairments for PHY conformance sweeps.
+//!
+//! The paper's sensitivity figures (10–12, 15) sweep received power
+//! through a calibrated AWGN channel. Real links add more than noise:
+//! LO offset and phase noise, sampling-clock error, I/Q path mismatch,
+//! multipath fading, and the ADC's finite word width. [`ImpairmentChain`]
+//! stacks those effects in their physical order and ends in the existing
+//! calibrated AWGN stage ([`crate::channel::AwgnChannel`]), so a
+//! conformance sweep can ask "what does the SF8 waterfall look like with
+//! 2 ppm clock drift and a 1 dB I/Q gain error?" and get a reproducible
+//! answer.
+//!
+//! The chain is **stateless and deterministic**: [`ImpairmentChain::apply`]
+//! takes an explicit seed and derives one independent splitmix64 stream
+//! per randomized stage, so the same `(chain, signal, seed)` triple
+//! produces bit-identical output on any thread of any shard — the same
+//! contract the OTA campaign engine enforces.
+//!
+//! Stage order (TX → antenna → RX):
+//!
+//! 1. fractional sample-timing offset ([`tinysdr_dsp::delay`])
+//! 2. sample-clock drift (ppm resampling)
+//! 3. transmitter I/Q gain/phase imbalance
+//! 4. carrier frequency offset
+//! 5. oscillator phase noise (Wiener process of a given linewidth)
+//! 6. scale to the wanted RSSI
+//! 7. block Rayleigh fading (unit mean power)
+//! 8. calibrated AWGN at the receiver noise figure
+//! 9. ADC quantization at the LVDS word width (AGC'd to full scale)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinysdr_dsp::complex::Complex;
+use tinysdr_dsp::delay::{fractional_delay, resample_drift};
+use tinysdr_dsp::fixed::Quantizer;
+
+use crate::channel::{gauss_pair, set_rssi, AwgnChannel};
+use crate::units::db_to_lin;
+
+/// splitmix64 finalizer (same avalanche the OTA seed derivation uses);
+/// kept local so the RF substrate stays below the OTA layer.
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG seed for one named stage of one chain application.
+#[inline]
+fn stage_seed(seed: u64, tag: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(tag))
+}
+
+/// Stream tag for the phase-noise Wiener process.
+const TAG_PHASE_NOISE: u64 = 0x7A5E_0001;
+/// Stream tag for the block-fading coefficient draws.
+const TAG_FADING: u64 = 0xFADE_0002;
+/// Stream tag for the AWGN stage.
+const TAG_NOISE: u64 = 0xA36A_0003;
+
+/// A deterministic stack of channel impairments ending in calibrated
+/// AWGN. Build with [`ImpairmentChain::new`] plus the `with_*` builder
+/// methods; apply with [`ImpairmentChain::apply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpairmentChain {
+    /// Receiver noise figure in dB for the final AWGN stage.
+    pub noise_figure_db: f64,
+    /// Sample-timing offset in samples (integer + fractional), ≥ 0.
+    pub timing_offset_samples: f64,
+    /// Sample-clock drift in parts per million (positive: RX clock fast).
+    pub clock_drift_ppm: f64,
+    /// I/Q gain imbalance in dB (Q rail relative to I rail).
+    pub iq_gain_db: f64,
+    /// I/Q phase (quadrature) error in degrees.
+    pub iq_phase_deg: f64,
+    /// Carrier frequency offset in Hz.
+    pub cfo_hz: f64,
+    /// Oscillator Lorentzian linewidth in Hz (0 disables phase noise).
+    pub phase_noise_linewidth_hz: f64,
+    /// Block Rayleigh fading: coherence length in samples (`None`
+    /// disables fading; the channel coefficient is redrawn every block
+    /// with unit mean power).
+    pub fading_block_samples: Option<usize>,
+    /// ADC word width in bits (`None` keeps the float path); the buffer
+    /// is AGC'd to full scale before quantization, as hardware does.
+    pub adc_bits: Option<u32>,
+}
+
+impl ImpairmentChain {
+    /// A chain with no impairments beyond calibrated AWGN at the given
+    /// receiver noise figure — behaviourally the plain
+    /// [`AwgnChannel`] sweep the paper's figures use.
+    pub fn new(noise_figure_db: f64) -> Self {
+        ImpairmentChain {
+            noise_figure_db,
+            timing_offset_samples: 0.0,
+            clock_drift_ppm: 0.0,
+            iq_gain_db: 0.0,
+            iq_phase_deg: 0.0,
+            cfo_hz: 0.0,
+            phase_noise_linewidth_hz: 0.0,
+            fading_block_samples: None,
+            adc_bits: None,
+        }
+    }
+
+    /// Replace the receiver noise figure (a conformance grid reuses one
+    /// impairment recipe across receivers with different front ends).
+    pub fn with_noise_figure(mut self, noise_figure_db: f64) -> Self {
+        self.noise_figure_db = noise_figure_db;
+        self
+    }
+
+    /// Add a sample-timing offset (integer + fractional samples, ≥ 0).
+    pub fn with_timing_offset(mut self, samples: f64) -> Self {
+        assert!(samples >= 0.0, "timing offset must be non-negative");
+        self.timing_offset_samples = samples;
+        self
+    }
+
+    /// Add sample-clock drift in ppm.
+    pub fn with_clock_drift_ppm(mut self, ppm: f64) -> Self {
+        self.clock_drift_ppm = ppm;
+        self
+    }
+
+    /// Add transmitter I/Q imbalance: `gain_db` on the Q rail relative
+    /// to I, plus a quadrature error of `phase_deg` degrees.
+    pub fn with_iq_imbalance(mut self, gain_db: f64, phase_deg: f64) -> Self {
+        self.iq_gain_db = gain_db;
+        self.iq_phase_deg = phase_deg;
+        self
+    }
+
+    /// Add a carrier frequency offset in Hz.
+    pub fn with_cfo_hz(mut self, cfo_hz: f64) -> Self {
+        self.cfo_hz = cfo_hz;
+        self
+    }
+
+    /// Add oscillator phase noise as a Wiener process whose per-sample
+    /// variance is `2π·linewidth/fs` (Lorentzian linewidth model).
+    pub fn with_phase_noise(mut self, linewidth_hz: f64) -> Self {
+        assert!(linewidth_hz >= 0.0, "linewidth must be non-negative");
+        self.phase_noise_linewidth_hz = linewidth_hz;
+        self
+    }
+
+    /// Add block Rayleigh fading with the given coherence length in
+    /// samples. The complex channel coefficient is redrawn per block
+    /// from CN(0, 1), so the *expected* receive power still equals the
+    /// requested RSSI.
+    pub fn with_block_fading(mut self, coherence_samples: usize) -> Self {
+        assert!(coherence_samples > 0, "coherence must be positive");
+        self.fading_block_samples = Some(coherence_samples);
+        self
+    }
+
+    /// Quantize the received waveform to `bits`-bit I/Q words (the LVDS
+    /// data path of Fig. 4 carries 13-bit words).
+    pub fn with_adc_quantization(mut self, bits: u32) -> Self {
+        self.adc_bits = Some(bits);
+        self
+    }
+
+    /// `true` if the chain is AWGN-only (no extra impairments).
+    pub fn is_awgn_only(&self) -> bool {
+        self.timing_offset_samples == 0.0
+            && self.clock_drift_ppm == 0.0
+            && self.iq_gain_db == 0.0
+            && self.iq_phase_deg == 0.0
+            && self.cfo_hz == 0.0
+            && self.phase_noise_linewidth_hz == 0.0
+            && self.fading_block_samples.is_none()
+            && self.adc_bits.is_none()
+    }
+
+    /// Run a transmit waveform through the chain: impairments in
+    /// physical order, scaled to `rssi_dbm`, noise for a simulation
+    /// bandwidth of `fs` Hz, and (optionally) ADC quantization.
+    ///
+    /// Deterministic: the output depends only on `(self, tx, rssi_dbm,
+    /// fs, seed)` — never on threads, shards or call order.
+    pub fn apply(&self, tx: &[Complex], rssi_dbm: f64, fs: f64, seed: u64) -> Vec<Complex> {
+        // 1. sample-timing offset
+        let mut sig = if self.timing_offset_samples > 0.0 {
+            fractional_delay(tx, self.timing_offset_samples)
+        } else {
+            tx.to_vec()
+        };
+        // 2. sample-clock drift
+        if self.clock_drift_ppm != 0.0 {
+            sig = resample_drift(&sig, self.clock_drift_ppm);
+        }
+        // 3. I/Q imbalance: y = μ·x + ν·conj(x) with g the linear gain
+        // ratio and φ the quadrature error
+        if self.iq_gain_db != 0.0 || self.iq_phase_deg != 0.0 {
+            let g = db_to_lin(self.iq_gain_db / 2.0); // amplitude ratio
+            let phi = self.iq_phase_deg.to_radians();
+            let e = Complex::from_angle(phi);
+            let mu = (Complex::ONE + e.scale(g)).scale(0.5);
+            let nu = (Complex::ONE - e.conj().scale(g)).scale(0.5);
+            for z in sig.iter_mut() {
+                *z = mu * *z + nu * z.conj();
+            }
+        }
+        // 4. carrier frequency offset
+        if self.cfo_hz != 0.0 {
+            crate::channel::apply_cfo(&mut sig, self.cfo_hz, fs);
+        }
+        // 5. phase noise (Wiener process); Box–Muller yields two
+        // Gaussians per draw — use both, alternating samples
+        if self.phase_noise_linewidth_hz > 0.0 {
+            let sigma = (std::f64::consts::TAU * self.phase_noise_linewidth_hz / fs).sqrt();
+            let mut rng = StdRng::seed_from_u64(stage_seed(seed, TAG_PHASE_NOISE));
+            let mut phase = 0.0f64;
+            let mut spare: Option<f64> = None;
+            for z in sig.iter_mut() {
+                *z *= Complex::from_angle(phase);
+                let n = match spare.take() {
+                    Some(n) => n,
+                    None => {
+                        let (a, b) = gauss_pair(&mut rng);
+                        spare = Some(b);
+                        a
+                    }
+                };
+                phase += sigma * n;
+            }
+        }
+        // 6. scale to the wanted RSSI
+        set_rssi(&mut sig, rssi_dbm);
+        // 7. block Rayleigh fading (after scaling: the noise floor is
+        // fixed by physics, the signal fades around the mean RSSI)
+        if let Some(block) = self.fading_block_samples {
+            let mut rng = StdRng::seed_from_u64(stage_seed(seed, TAG_FADING));
+            let len = sig.len();
+            let mut i = 0;
+            while i < len {
+                let (re, im) = gauss_pair(&mut rng);
+                let h = Complex::new(re, im).scale(std::f64::consts::FRAC_1_SQRT_2);
+                for z in sig[i..(i + block).min(len)].iter_mut() {
+                    *z *= h;
+                }
+                i += block;
+            }
+        }
+        // 8. calibrated AWGN
+        let mut awgn = AwgnChannel::new(self.noise_figure_db, stage_seed(seed, TAG_NOISE));
+        awgn.add_noise(&mut sig, fs);
+        // 9. ADC quantization with AGC: scale the peak rail near full
+        // scale, quantize, scale back (the AGC keeps downstream power
+        // arithmetic in dBm intact)
+        if let Some(bits) = self.adc_bits {
+            let q = Quantizer::new(bits);
+            let peak = sig
+                .iter()
+                .map(|z| z.re.abs().max(z.im.abs()))
+                .fold(0.0f64, f64::max);
+            if peak > 0.0 {
+                let agc = 0.9 / peak;
+                for z in sig.iter_mut() {
+                    *z = q.round_trip_iq(z.scale(agc)).scale(1.0 / agc);
+                }
+            }
+        }
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::measure_rssi;
+    use crate::units::noise_floor_dbm;
+    use tinysdr_dsp::complex::mean_power;
+    use tinysdr_dsp::fft::{fft, peak_bin};
+    use tinysdr_dsp::nco::ideal_tone;
+
+    const FS: f64 = 1e6;
+
+    /// Strong enough that the physical noise floor (−114 dBm at 1 MHz)
+    /// is ~100 dB down and linear-stage assertions are clean.
+    const LOUD: f64 = -10.0;
+
+    #[test]
+    fn awgn_only_chain_is_calibrated() {
+        // signal power lands on the requested RSSI and the added noise
+        // matches the physical floor for (fs, NF)
+        let chain = ImpairmentChain::new(5.0);
+        assert!(chain.is_awgn_only());
+        let tx = ideal_tone(100e3, FS, 100_000);
+        let rx = chain.apply(&tx, -60.0, FS, 42);
+        let total = measure_rssi(&rx);
+        // at −60 dBm the −109 dBm noise floor is invisible
+        assert!((total + 60.0).abs() < 0.05, "RSSI {total}");
+        // noise-only residual: subtract the scaled signal
+        let sig_mw = crate::units::dbm_to_mw(-60.0);
+        let scale = (sig_mw / mean_power(&tx)).sqrt();
+        let resid: Vec<Complex> = rx
+            .iter()
+            .zip(&tx)
+            .map(|(&r, &t)| r - t.scale(scale))
+            .collect();
+        let n_dbm = measure_rssi(&resid);
+        let want = noise_floor_dbm(FS, 5.0);
+        assert!((n_dbm - want).abs() < 0.2, "noise {n_dbm} vs {want}");
+    }
+
+    #[test]
+    fn apply_is_deterministic_in_the_seed() {
+        let chain = ImpairmentChain::new(4.5)
+            .with_cfo_hz(1e3)
+            .with_phase_noise(50.0)
+            .with_block_fading(256);
+        let tx = ideal_tone(50e3, FS, 4096);
+        let a = chain.apply(&tx, -90.0, FS, 7);
+        let b = chain.apply(&tx, -90.0, FS, 7);
+        assert_eq!(a, b, "same seed must be bit-identical");
+        let c = chain.apply(&tx, -90.0, FS, 8);
+        assert_ne!(a, c, "different seed must differ");
+    }
+
+    #[test]
+    fn cfo_stage_shifts_the_tone() {
+        let n = 4096;
+        let bin = FS / n as f64;
+        let chain = ImpairmentChain::new(4.5).with_cfo_hz(32.0 * bin);
+        let tx = ideal_tone(100.0 * bin, FS, n);
+        let rx = chain.apply(&tx, LOUD, FS, 1);
+        let (k, _) = peak_bin(&fft(&rx));
+        assert_eq!(k, 132);
+    }
+
+    #[test]
+    fn iq_imbalance_creates_the_predicted_image() {
+        // a +f tone through an imbalanced front end grows an image at −f
+        // with power |ν|²/|μ|²
+        let n = 8192;
+        let bin = FS / n as f64;
+        let gain_db = 1.0;
+        let phase_deg = 5.0;
+        let chain = ImpairmentChain::new(4.5).with_iq_imbalance(gain_db, phase_deg);
+        let tx = ideal_tone(200.0 * bin, FS, n);
+        let rx = chain.apply(&tx, LOUD, FS, 3);
+        let spec = fft(&rx);
+        let direct = spec[200].norm_sqr();
+        let image = spec[n - 200].norm_sqr();
+        let g = db_to_lin(gain_db / 2.0);
+        let phi = phase_deg.to_radians();
+        let e = Complex::from_angle(phi);
+        let mu = (Complex::ONE + e.scale(g)).scale(0.5);
+        let nu = (Complex::ONE - e.conj().scale(g)).scale(0.5);
+        let want_db = 10.0 * (nu.norm_sqr() / mu.norm_sqr()).log10();
+        let got_db = 10.0 * (image / direct).log10();
+        assert!(
+            (got_db - want_db).abs() < 1.0,
+            "image {got_db:.1} dB vs predicted {want_db:.1} dB"
+        );
+    }
+
+    #[test]
+    fn timing_offset_grows_the_buffer_and_keeps_power() {
+        let chain = ImpairmentChain::new(4.5).with_timing_offset(17.5);
+        let tx = ideal_tone(50e3, FS, 4096);
+        let rx = chain.apply(&tx, LOUD, FS, 4);
+        assert!(rx.len() > tx.len());
+        assert!((measure_rssi(&rx[64..4000]) - LOUD).abs() < 0.3);
+    }
+
+    #[test]
+    fn fading_keeps_unit_mean_power_across_blocks() {
+        // many independent Rayleigh blocks average to the requested RSSI
+        let chain = ImpairmentChain::new(0.0).with_block_fading(64);
+        let tx = ideal_tone(50e3, FS, 128 * 64);
+        let rx = chain.apply(&tx, LOUD, FS, 5);
+        let got = measure_rssi(&rx);
+        assert!((got - LOUD).abs() < 1.0, "mean faded power {got} dBm");
+        // and individual blocks actually fade (non-constant envelope)
+        let p0 = mean_power(&rx[..64]);
+        let p1 = mean_power(&rx[64 * 7..64 * 8]);
+        assert!(
+            (10.0 * (p0 / p1).log10()).abs() > 0.1,
+            "blocks should differ"
+        );
+    }
+
+    #[test]
+    fn phase_noise_preserves_envelope_and_decorrelates_phase() {
+        let chain = ImpairmentChain::new(0.0).with_phase_noise(500.0);
+        let tx = ideal_tone(50e3, FS, 50_000);
+        let rx = chain.apply(&tx, LOUD, FS, 6);
+        // envelope preserved (noise floor is ~100 dB down at −10 dBm)
+        assert!((measure_rssi(&rx) - LOUD).abs() < 0.1);
+        // accumulated phase error at the end of the buffer is visible
+        let scale = (crate::units::dbm_to_mw(LOUD) / mean_power(&tx)).sqrt();
+        let end_err = (rx[49_999] * tx[49_999].conj().scale(scale)).arg().abs();
+        let start_err = (rx[10] * tx[10].conj().scale(scale)).arg().abs();
+        assert!(
+            end_err > start_err,
+            "phase should wander: start {start_err} end {end_err}"
+        );
+    }
+
+    #[test]
+    fn coarse_quantization_sets_the_error_floor() {
+        let tx = ideal_tone(50e3, FS, 8192);
+        let clean = ImpairmentChain::new(0.0).apply(&tx, LOUD, FS, 9);
+        let q4 = ImpairmentChain::new(0.0)
+            .with_adc_quantization(4)
+            .apply(&tx, LOUD, FS, 9);
+        let q13 = ImpairmentChain::new(0.0)
+            .with_adc_quantization(13)
+            .apply(&tx, LOUD, FS, 9);
+        let err = |a: &[Complex], b: &[Complex]| {
+            let e: Vec<Complex> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+            mean_power(&e)
+        };
+        let e4 = err(&q4, &clean);
+        let e13 = err(&q13, &clean);
+        assert!(e4 > e13 * 1e3, "4-bit error {e4:e} vs 13-bit {e13:e}");
+        // 13-bit quantization is ~80 dB below the signal: negligible
+        let snr13 = 10.0 * (mean_power(&clean) / e13).log10();
+        assert!(snr13 > 60.0, "13-bit SNR {snr13} dB");
+    }
+
+    #[test]
+    fn chain_matches_plain_awgn_when_empty() {
+        // the AWGN-only chain must reproduce the calibrated channel the
+        // paper sweeps: same physics, deterministic in the seed
+        let nf = 4.5;
+        let tx = ideal_tone(30e3, 500e3, 65_536);
+        let rx = ImpairmentChain::new(nf).apply(&tx, -110.0, 500e3, 77);
+        let total_mw = mean_power(&rx);
+        let want_mw =
+            crate::units::dbm_to_mw(-110.0) + crate::units::dbm_to_mw(noise_floor_dbm(500e3, nf));
+        assert!(
+            (total_mw - want_mw).abs() / want_mw < 0.05,
+            "total {total_mw:e} vs {want_mw:e}"
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`channel`] — calibrated AWGN at a target RSSI, carrier frequency
 //!   offset, timing offset, and smoltcp-style fault injection for
 //!   packet-level links.
+//! * [`impairments`] — composable impairment chain (CFO, fractional
+//!   timing offset, clock drift, I/Q imbalance, phase noise, block
+//!   Rayleigh fading, ADC quantization) ending in calibrated AWGN —
+//!   the channel model behind the PHY conformance waterfalls.
 //! * [`pathloss`] — free-space and log-distance (shadowed) propagation for
 //!   the campus testbed of Fig. 7.
 //! * [`lvds`] — bit-exact implementation of the 32-bit I/Q word of Fig. 4
@@ -41,6 +45,7 @@ pub mod at86rf215;
 pub mod catalog;
 pub mod channel;
 pub mod frontend;
+pub mod impairments;
 pub mod lvds;
 pub mod pathloss;
 pub mod switch;

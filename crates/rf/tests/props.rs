@@ -58,4 +58,25 @@ proptest! {
         set_rssi(&mut sig, target);
         prop_assert!((measure_rssi(&sig) - target).abs() < 1e-6);
     }
+
+    /// The AWGN calibration the waterfalls lean on: for any sampling
+    /// rate and noise figure the sweeps use, the injected noise power
+    /// matches `noise_floor_dbm(fs, nf)` to within the statistical
+    /// tolerance of the sample count.
+    #[test]
+    fn awgn_noise_power_matches_the_floor(
+        fs in 100e3f64..5e6,
+        nf in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        use tinysdr_rf::channel::AwgnChannel;
+        use tinysdr_rf::units::noise_floor_dbm;
+        let mut ch = AwgnChannel::new(nf, seed);
+        let noise = ch.noise_only(30_000, fs);
+        let p_mw: f64 =
+            noise.iter().map(|z| z.norm_sqr()).sum::<f64>() / noise.len() as f64;
+        let got = mw_to_dbm(p_mw);
+        let want = noise_floor_dbm(fs, nf);
+        prop_assert!((got - want).abs() < 0.3, "noise {got:.2} vs floor {want:.2} dBm");
+    }
 }

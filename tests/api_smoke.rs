@@ -46,6 +46,23 @@ fn platform_namespace_resolves_and_boots() {
 }
 
 #[test]
+fn impairment_chain_resolves_and_is_deterministic() {
+    // the conformance harness's channel model, reachable through the
+    // umbrella rf namespace
+    use tinysdr::rf::impairments::ImpairmentChain;
+    let chain = ImpairmentChain::new(4.5)
+        .with_cfo_hz(100.0)
+        .with_timing_offset(0.25)
+        .with_adc_quantization(13);
+    let tx: Vec<tinysdr::dsp::complex::Complex> = (0..512)
+        .map(|i| tinysdr::dsp::complex::Complex::from_angle(i as f64 * 0.05))
+        .collect();
+    let a = chain.apply(&tx, -90.0, 125e3, 7);
+    let b = chain.apply(&tx, -90.0, 125e3, 7);
+    assert_eq!(a, b, "impairment chain must be seed-deterministic");
+}
+
+#[test]
 fn substrate_reexports_resolve() {
     // The flat aliases every example imports.
     let _ = tinysdr::dsp::complex::Complex::new(1.0, -1.0);
