@@ -197,9 +197,11 @@ fn main() {
 
 /// The PHY conformance waterfalls: sharded sweep, per-scenario curves,
 /// 1%-error sensitivity table; in `--quick` mode also asserts the
-/// sharded-vs-sequential determinism contract.
+/// sharded-vs-sequential determinism contract (with the 802.15.4
+/// scenario included) and the 802.15.4 spec sensitivity floor.
 fn run_waterfall_cmd(quick: bool, seed: u64) {
     use tinysdr_bench::waterfall::{run_waterfall, WaterfallConfig};
+    use tinysdr_zigbee::modem::SPEC_SENSITIVITY_DBM;
     let cfg = if quick {
         WaterfallConfig::quick(seed)
     } else {
@@ -220,6 +222,14 @@ fn run_waterfall_cmd(quick: bool, seed: u64) {
             "determinism contract: {shards} shards == sequential, bit-identical on {} points",
             rep.points.len()
         );
+        let zb = rep
+            .sensitivity_dbm("802.15.4 OQPSK", "clean", 0.01)
+            .expect("802.15.4 curve must cross 1% SER");
+        assert!(
+            zb <= SPEC_SENSITIVITY_DBM,
+            "802.15.4 sensitivity {zb:.1} dBm misses the spec's -85 dBm floor"
+        );
+        println!("802.15.4 1%-SER sensitivity {zb:.1} dBm <= spec floor -85 dBm");
     }
     for sc in rep.scenario_labels() {
         print_series(
@@ -235,7 +245,8 @@ fn run_waterfall_cmd(quick: bool, seed: u64) {
             None => println!("  {sc:<24} {imp:<12} {:>8}", "no cross"),
         }
     }
-    println!("  paper anchors: LoRa -126 dBm @ SF8/BW125 (Figs. 10-11); BLE -94 dBm (Fig. 12)");
+    println!("  paper anchors: LoRa -126 dBm @ SF8/BW125 (Figs. 10-11); BLE -94 dBm (Fig. 12);");
+    println!("  802.15.4 spec floor -85 dBm, typical silicon ~-97 dBm");
 }
 
 /// Thin out a dense spectrum series for terminal display.

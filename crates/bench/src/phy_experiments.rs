@@ -174,14 +174,10 @@ pub fn fig11(symbols: usize, seed: u64) -> Vec<Series> {
     out
 }
 
-/// Effective noise figure of the CC2650-class receiver, dB — calibrated
-/// so the matched-template detector reproduces the chip's datasheet
-/// sensitivity (−97 dBm at BER 1e-3 for 1 Mbps BLE). The paper's Fig. 12
-/// measures TinySDR beacons 2–3 dB above that line (−94 dBm); the TX
-/// impairments behind that gap (PA nonlinearity, LO phase noise) are not
-/// modelled, so our curve sits near the CC2650 line itself — recorded in
-/// EXPERIMENTS.md.
-pub const CC2650_NOISE_FIGURE_DB: f64 = 6.7;
+/// The CC2650-class effective noise figure now lives with the GFSK
+/// modem itself; re-exported here for the experiment code and older
+/// callers.
+pub use tinysdr_ble::gfsk::CC2650_NOISE_FIGURE_DB;
 
 /// Fig. 12: BLE beacon BER vs RSSI (TinySDR beacons, CC2650-class
 /// matched-template receiver). Returns the curve plus the CC2650

@@ -9,6 +9,15 @@
 //! `(errors, trials)` counts, plus the derived sensitivity (the RSSI at
 //! which the curve crosses a target error rate).
 //!
+//! The sweep engine is **protocol-agnostic**: every modem enters as a
+//! [`PhyModem`] trait object, and its label, sample rate, noise figure
+//! and default RSSI grid (derived from the published sensitivity
+//! anchor) all come from the trait — there is no per-protocol branch
+//! anywhere in the measurement path. [`Scenario`] is a thin constructor
+//! layer that builds [`SweepScenario`]s for the protocols the workspace
+//! ships (LoRa, BLE GFSK, 802.15.4 O-QPSK); anything implementing
+//! [`PhyModem`] sweeps identically via [`SweepScenario::new`].
+//!
 //! Two properties make the harness usable as a regression gate:
 //!
 //! * **Determinism contract.** Every point derives its randomness from
@@ -16,8 +25,8 @@
 //!   never by execution order — so a sweep sharded across N crossbeam
 //!   scoped threads is **bit-identical** to the sequential run, exactly
 //!   like `Testbed::run_campaign`.
-//! * **Common random numbers.** A scenario's payload/symbol/bit draws
-//!   and transmit waveform are generated once and shared by all of its
+//! * **Common random numbers.** A scenario's reference frame and
+//!   transmit waveform are generated once and shared by all of its
 //!   impairments and RSSI levels (only the channel draws differ per
 //!   impairment), so curves are monotone, smooth, and directly
 //!   comparable at far lower trial counts than independent sampling
@@ -27,79 +36,21 @@ use crossbeam::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tinysdr_ble::gfsk::{count_bit_errors, GfskDemodulator, GfskModulator};
+use tinysdr_ble::modem::BleBerPhy;
 use tinysdr_dsp::complex::Complex;
 use tinysdr_dsp::stats::sensitivity_crossing;
-use tinysdr_lora::demodulator::Demodulator;
-use tinysdr_lora::modulator::Modulator;
+use tinysdr_lora::modem::{LoraPerPhy, LoraSerPhy};
 use tinysdr_ota::seed::stream_seed;
 use tinysdr_rf::impairments::ImpairmentChain;
-use tinysdr_rf::{at86rf215, sx1276};
+use tinysdr_rf::phy::{ErrorCount, PhyModem, PhyRegistry};
+use tinysdr_zigbee::modem::ZigbeePhy;
 
-use crate::phy_experiments::CC2650_NOISE_FIGURE_DB;
 use crate::Series;
 
-/// Stream tag for a scenario's data (payload/symbol/bit) draws.
+/// Stream tag for a scenario's reference-frame draw.
 const TAG_DATA: u64 = 0xDA7A_0001;
 /// Stream tag for a curve's channel (impairment + noise) draws.
 const TAG_CHAIN: u64 = 0xC4A1_0002;
-
-/// One end-to-end modem scenario of the conformance grid.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Scenario {
-    /// LoRa chirp-symbol error rate (TinySDR TX and RX, Fig. 11 shape).
-    LoraSer {
-        /// Spreading factor.
-        sf: u8,
-        /// Bandwidth in Hz.
-        bw_hz: f64,
-    },
-    /// LoRa packet error rate with CR 4/8 framing (Fig. 10 shape,
-    /// SX1276-class receiver noise figure).
-    LoraPer {
-        /// Spreading factor.
-        sf: u8,
-        /// Bandwidth in Hz.
-        bw_hz: f64,
-    },
-    /// BLE GFSK bit error rate (Fig. 12 shape, CC2650-class receiver).
-    BleBer {
-        /// Samples per bit (the radio runs 4 at its native 4 MS/s).
-        sps: usize,
-    },
-}
-
-impl Scenario {
-    /// Human-readable label, used as the report key.
-    pub fn label(&self) -> String {
-        match *self {
-            Scenario::LoraSer { sf, bw_hz } => {
-                format!("LoRa SER SF{sf} BW{}", (bw_hz / 1e3) as u32)
-            }
-            Scenario::LoraPer { sf, bw_hz } => {
-                format!("LoRa PER SF{sf} BW{}", (bw_hz / 1e3) as u32)
-            }
-            Scenario::BleBer { sps } => format!("BLE BER {}Msps", sps),
-        }
-    }
-
-    /// Receiver noise figure for the scenario's front end.
-    fn noise_figure_db(&self) -> f64 {
-        match self {
-            Scenario::LoraSer { .. } => at86rf215::NOISE_FIGURE_DB,
-            Scenario::LoraPer { .. } => sx1276::NOISE_FIGURE_DB,
-            Scenario::BleBer { .. } => CC2650_NOISE_FIGURE_DB,
-        }
-    }
-
-    /// Simulation sampling rate in Hz.
-    fn fs(&self) -> f64 {
-        match *self {
-            Scenario::LoraSer { bw_hz, .. } | Scenario::LoraPer { bw_hz, .. } => bw_hz,
-            Scenario::BleBer { sps } => tinysdr_ble::gfsk::BIT_RATE * sps as f64,
-        }
-    }
-}
 
 /// An inclusive RSSI grid in whole dB (integer endpoints keep the grid
 /// exactly representable and the report keys exact).
@@ -125,6 +76,14 @@ impl RssiGrid {
         }
     }
 
+    /// A grid bracketing a sensitivity anchor: `below` dB under it to
+    /// `above` dB over it — how every scenario derives its default
+    /// window from [`PhyModem::sensitivity_anchor_dbm`].
+    pub fn around(anchor_dbm: f64, below: u32, above: u32, step_db: u32) -> Self {
+        let a = anchor_dbm.round() as i32;
+        RssiGrid::new(a - below as i32, a + above as i32, step_db)
+    }
+
     /// The grid points in ascending order.
     pub fn points(&self) -> Vec<f64> {
         (self.start_dbm..=self.stop_dbm)
@@ -134,8 +93,110 @@ impl RssiGrid {
     }
 }
 
+/// One scenario of the conformance grid: a boxed modem plus the sweep
+/// knobs the engine needs — nothing protocol-specific.
+#[derive(Debug, Clone)]
+pub struct SweepScenario {
+    /// The modem under test.
+    pub phy: Box<dyn PhyModem>,
+    /// RSSI window (defaults to a bracket around the modem's published
+    /// sensitivity anchor).
+    pub rssi: RssiGrid,
+    /// Reference-frame length in bytes, drawn once per scenario.
+    pub frame_len: usize,
+    /// Independent channel realizations per grid point (packet
+    /// scenarios count one trial per pass; stream scenarios usually
+    /// need just one pass over a long frame).
+    pub passes: u32,
+}
+
+impl SweepScenario {
+    /// New scenario with the modem's default RSSI window (anchor −16 dB
+    /// … anchor +26 dB in 2 dB steps) and a single pass.
+    pub fn new(phy: Box<dyn PhyModem>, frame_len: usize) -> Self {
+        assert!(frame_len > 0, "need a non-empty reference frame");
+        let rssi = RssiGrid::around(phy.sensitivity_anchor_dbm(), 16, 26, 2);
+        SweepScenario {
+            phy,
+            rssi,
+            frame_len,
+            passes: 1,
+        }
+    }
+
+    /// Builder: sweep a custom RSSI window.
+    pub fn with_rssi(mut self, grid: RssiGrid) -> Self {
+        self.rssi = grid;
+        self
+    }
+
+    /// Builder: run `n ≥ 1` channel realizations per point.
+    pub fn with_passes(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one pass");
+        self.passes = n;
+        self
+    }
+
+    /// The report key (the modem's label).
+    pub fn label(&self) -> String {
+        self.phy.label()
+    }
+}
+
+/// Thin constructor layer: the workspace's stock protocols as
+/// [`SweepScenario`]s. This is the **only** place the waterfall names
+/// concrete modems — the engine below never branches on protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario;
+
+impl Scenario {
+    /// LoRa chirp-symbol error rate (Fig. 11 shape): `symbols` random
+    /// chirps per point at `(sf, bw)`.
+    pub fn lora_ser(sf: u8, bw_hz: f64, symbols: usize) -> SweepScenario {
+        let frame_len = (symbols * sf as usize).div_ceil(8);
+        SweepScenario::new(Box::new(LoraSerPhy::new(sf, bw_hz)), frame_len)
+    }
+
+    /// LoRa packet error rate with CR 4/8 framing (Fig. 10 shape):
+    /// `packets` transmissions of one random `payload_len`-byte frame
+    /// per point.
+    pub fn lora_per(sf: u8, bw_hz: f64, payload_len: usize, packets: u32) -> SweepScenario {
+        SweepScenario::new(Box::new(LoraPerPhy::new(sf, bw_hz, 4)), payload_len)
+            .with_passes(packets)
+    }
+
+    /// BLE GFSK bit error rate (Fig. 12 shape): `bits` random bits per
+    /// point at `sps` samples per bit.
+    pub fn ble_ber(sps: usize, bits: usize) -> SweepScenario {
+        SweepScenario::new(Box::new(BleBerPhy::new(sps)), bits.div_ceil(8))
+    }
+
+    /// 802.15.4 O-QPSK DSSS symbol error rate: `symbols` random 4-bit
+    /// symbols per point at `spc` samples per chip.
+    pub fn zigbee_oqpsk(spc: usize, symbols: usize) -> SweepScenario {
+        SweepScenario::new(Box::new(ZigbeePhy::new(spc)), symbols.div_ceil(2))
+    }
+}
+
+/// The workspace's stock modems as a [`PhyRegistry`], in the canonical
+/// sweep order: the LoRa SF×BW grid, the framed OTA-class LoRa modem,
+/// BLE GFSK, and 802.15.4 O-QPSK. Registration order is iteration
+/// order, which the determinism contract relies on.
+pub fn standard_registry() -> PhyRegistry {
+    let mut reg = PhyRegistry::new();
+    for sf in 7..=10u8 {
+        for bw_hz in [125e3, 500e3] {
+            reg.register(Box::new(LoraSerPhy::new(sf, bw_hz)));
+        }
+    }
+    reg.register(Box::new(LoraPerPhy::new(8, 125e3, 4)));
+    reg.register(Box::new(BleBerPhy::new(4)));
+    reg.register(Box::new(ZigbeePhy::new(2)));
+    reg
+}
+
 /// A labelled impairment recipe of the grid (the chain's noise figure
-/// is overridden per scenario).
+/// is overridden per scenario from the modem's metadata).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NamedImpairment {
     /// Label used as the report key (e.g. `"cfo30"`).
@@ -155,69 +216,51 @@ impl NamedImpairment {
 }
 
 /// Configuration of one conformance sweep.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WaterfallConfig {
     /// Sweep seed; all randomness derives from it order-independently.
     pub seed: u64,
     /// Worker threads (1 = sequential reference).
     pub shards: usize,
     /// Modem scenarios.
-    pub scenarios: Vec<Scenario>,
+    pub scenarios: Vec<SweepScenario>,
     /// Impairment grid applied to every scenario.
     pub impairments: Vec<NamedImpairment>,
-    /// RSSI grid for the LoRa scenarios.
-    pub lora_rssi: RssiGrid,
-    /// RSSI grid for the BLE scenarios.
-    pub ble_rssi: RssiGrid,
-    /// Chirp symbols per LoRa SER point.
-    pub lora_symbols: usize,
-    /// Packets per LoRa PER point.
-    pub lora_packets: u32,
-    /// Bits per BLE BER point.
-    pub ble_bits: usize,
 }
 
 impl WaterfallConfig {
     /// The full conformance grid: LoRa SER across SF 7–10 at BW 125 and
-    /// 500 kHz, the SF8/BW125 packet waterfall, and BLE GFSK — each
-    /// under the default impairment set.
+    /// 500 kHz, the SF8/BW125 packet waterfall, BLE GFSK, and 802.15.4
+    /// O-QPSK — each under the default impairment set.
     pub fn full(seed: u64) -> Self {
         let mut scenarios = Vec::new();
         for sf in 7..=10u8 {
             for bw_hz in [125e3, 500e3] {
-                scenarios.push(Scenario::LoraSer { sf, bw_hz });
+                scenarios.push(Scenario::lora_ser(sf, bw_hz, 240));
             }
         }
-        scenarios.push(Scenario::LoraPer {
-            sf: 8,
-            bw_hz: 125e3,
-        });
-        scenarios.push(Scenario::BleBer { sps: 4 });
+        scenarios.push(Scenario::lora_per(8, 125e3, 3, 50));
+        scenarios.push(Scenario::ble_ber(4, 40_000));
+        scenarios.push(Scenario::zigbee_oqpsk(2, 4_000));
         WaterfallConfig {
             seed,
             shards: 1,
             scenarios,
             impairments: default_impairments(),
-            lora_rssi: RssiGrid::new(-142, -96, 2),
-            ble_rssi: RssiGrid::new(-104, -72, 2),
-            lora_symbols: 240,
-            lora_packets: 50,
-            ble_bits: 40_000,
         }
     }
 
-    /// A coarse smoke grid (CI and tests): SF8/BW125 SER plus BLE BER,
-    /// three impairments, wide RSSI steps, small trial counts.
+    /// A coarse smoke grid (CI and tests): SF8/BW125 SER, BLE BER and
+    /// 802.15.4 SER, three impairments, wide RSSI steps, small trial
+    /// counts.
     pub fn quick(seed: u64) -> Self {
         WaterfallConfig {
             seed,
             shards: 1,
             scenarios: vec![
-                Scenario::LoraSer {
-                    sf: 8,
-                    bw_hz: 125e3,
-                },
-                Scenario::BleBer { sps: 4 },
+                Scenario::lora_ser(8, 125e3, 64).with_rssi(RssiGrid::new(-136, -112, 4)),
+                Scenario::ble_ber(4, 4_000).with_rssi(RssiGrid::new(-102, -82, 4)),
+                Scenario::zigbee_oqpsk(2, 1_000).with_rssi(RssiGrid::new(-108, -88, 4)),
             ],
             impairments: vec![
                 NamedImpairment::new("clean", ImpairmentChain::new(0.0)),
@@ -227,11 +270,22 @@ impl WaterfallConfig {
                     ImpairmentChain::new(0.0).with_timing_offset(0.25),
                 ),
             ],
-            lora_rssi: RssiGrid::new(-136, -112, 4),
-            ble_rssi: RssiGrid::new(-102, -82, 4),
-            lora_symbols: 64,
-            lora_packets: 12,
-            ble_bits: 4_000,
+        }
+    }
+
+    /// A sweep covering every modem in a [`PhyRegistry`], one scenario
+    /// per registered PHY in registration order, each on its default
+    /// anchor-derived RSSI window with a `frame_len`-byte reference
+    /// frame.
+    pub fn from_registry(registry: &PhyRegistry, frame_len: usize, seed: u64) -> Self {
+        WaterfallConfig {
+            seed,
+            shards: 1,
+            scenarios: registry
+                .iter()
+                .map(|phy| SweepScenario::new(phy.clone_box(), frame_len))
+                .collect(),
+            impairments: default_impairments(),
         }
     }
 
@@ -393,7 +447,7 @@ impl WaterfallReport {
     }
 }
 
-/// Derived seed roots: one per scenario (data + modem state), one per
+/// Derived seed roots: one per scenario (reference frame), one per
 /// scenario × impairment curve (channel draws).
 #[inline]
 fn scenario_seed(sweep_seed: u64, s_idx: usize) -> u64 {
@@ -405,64 +459,26 @@ fn curve_seed(sweep_seed: u64, s_idx: usize, i_idx: usize) -> u64 {
     stream_seed(scenario_seed(sweep_seed, s_idx), i_idx as u64 ^ 0x13B0)
 }
 
-/// Pre-built modem state for one scenario — the receiver plus the
-/// reference data and its modulated waveform, generated **once** per
-/// scenario and shared read-only across every impairment, RSSI point
-/// and shard (the transmit side is identical for a whole scenario by
-/// the common-random-numbers design, so re-modulating per point would
-/// be pure waste).
-enum Ctx {
-    Lora {
-        demod: Demodulator,
-        syms: Vec<u16>,
-        tx: Vec<Complex>,
-    },
-    LoraPkt {
-        demod: Demodulator,
-        tx: Vec<Complex>,
-    },
-    Ble {
-        demod: GfskDemodulator,
-        bits: Vec<u8>,
-        tx: Vec<Complex>,
-    },
+/// Pre-built state for one scenario — the reference frame and its
+/// modulated waveform, generated **once** per scenario and shared
+/// read-only across every impairment, RSSI point and shard (the
+/// transmit side is identical for a whole scenario by the
+/// common-random-numbers design, so re-modulating per point would be
+/// pure waste). Protocol-agnostic: the modem built it, the engine just
+/// carries it.
+struct Ctx {
+    frame: Vec<u8>,
+    tx: Vec<Complex>,
 }
 
 impl Ctx {
     fn build(cfg: &WaterfallConfig, s_idx: usize) -> Ctx {
+        let sc = &cfg.scenarios[s_idx];
         let data_seed = stream_seed(scenario_seed(cfg.seed, s_idx), TAG_DATA);
-        match cfg.scenarios[s_idx] {
-            Scenario::LoraSer { sf, bw_hz } => {
-                let modulator = Modulator::standard(sf, bw_hz, 1, 1);
-                let mut rng = StdRng::seed_from_u64(data_seed);
-                let n_chips: u16 = 1 << sf;
-                let syms: Vec<u16> = (0..cfg.lora_symbols)
-                    .map(|_| rng.gen_range(0..n_chips))
-                    .collect();
-                let tx = modulator.modulate_symbols(&syms);
-                Ctx::Lora {
-                    demod: Demodulator::standard(sf, bw_hz, 1, 1),
-                    syms,
-                    tx,
-                }
-            }
-            Scenario::LoraPer { sf, bw_hz } => Ctx::LoraPkt {
-                // CR 4/8 framing, as the Fig. 10 experiment uses
-                demod: Demodulator::standard(sf, bw_hz, 1, 4),
-                tx: Modulator::standard(sf, bw_hz, 1, 4).modulate(&PER_PAYLOAD),
-            },
-            Scenario::BleBer { sps } => {
-                let modulator = GfskModulator::new(sps);
-                let mut rng = StdRng::seed_from_u64(data_seed);
-                let bits: Vec<u8> = (0..cfg.ble_bits).map(|_| rng.gen_range(0..=1u8)).collect();
-                let tx = modulator.modulate(&bits);
-                Ctx::Ble {
-                    demod: GfskDemodulator::new(sps),
-                    bits,
-                    tx,
-                }
-            }
-        }
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let frame: Vec<u8> = (0..sc.frame_len).map(|_| rng.gen::<u8>()).collect();
+        let tx = sc.phy.modulate(&frame);
+        Ctx { frame, tx }
     }
 }
 
@@ -474,58 +490,34 @@ struct Job {
     rssi_dbm: f64,
 }
 
-/// Payload for the LoRa PER scenario — the 3-byte beacon of Fig. 10.
-const PER_PAYLOAD: [u8; 3] = [0xA5, 0x5A, 0xC3];
-
 fn run_point(cfg: &WaterfallConfig, ctxs: &[Ctx], job: &Job) -> SweepPoint {
-    let scenario = &cfg.scenarios[job.s_idx];
+    let sc = &cfg.scenarios[job.s_idx];
+    let phy = sc.phy.as_ref();
     let named = &cfg.impairments[job.i_idx];
-    let chain = named
-        .chain
-        .clone()
-        .with_noise_figure(scenario.noise_figure_db());
-    let fs = scenario.fs();
+    let chain = named.chain.clone().with_noise_figure(phy.noise_figure_db());
+    let fs = phy.sample_rate_hz();
+    let ctx = &ctxs[job.s_idx];
     // common random numbers: the channel seed deliberately excludes
     // RSSI, so every point of a curve reuses the same channel draws
     // (and all curves of a scenario share one TX waveform, see Ctx) —
     // the waterfall is monotone at modest trial counts
     let curve_seed = curve_seed(cfg.seed, job.s_idx, job.i_idx);
-    let (errors, trials) = match &ctxs[job.s_idx] {
-        Ctx::Lora { demod, syms, tx } => {
-            let rx = chain.apply(tx, job.rssi_dbm, fs, stream_seed(curve_seed, TAG_CHAIN));
-            demod.symbol_errors(&rx, syms)
-        }
-        Ctx::LoraPkt { demod, tx } => {
-            let mut errors = 0u64;
-            for k in 0..cfg.lora_packets {
-                let rx = chain.apply(
-                    tx,
-                    job.rssi_dbm,
-                    fs,
-                    stream_seed(curve_seed, TAG_CHAIN ^ ((k as u64) << 20)),
-                );
-                let ok = demod
-                    .demodulate(&rx)
-                    .map(|f| f.crc_ok && f.payload == PER_PAYLOAD)
-                    .unwrap_or(false);
-                if !ok {
-                    errors += 1;
-                }
-            }
-            (errors, cfg.lora_packets as u64)
-        }
-        Ctx::Ble { demod, bits, tx } => {
-            let rx = chain.apply(tx, job.rssi_dbm, fs, stream_seed(curve_seed, TAG_CHAIN));
-            let rx_bits = demod.demodulate(&rx);
-            count_bit_errors(bits, &rx_bits)
-        }
-    };
+    let mut count = ErrorCount::ZERO;
+    for k in 0..sc.passes {
+        let rx = chain.apply(
+            &ctx.tx,
+            job.rssi_dbm,
+            fs,
+            stream_seed(curve_seed, TAG_CHAIN ^ ((k as u64) << 20)),
+        );
+        count += phy.count_errors(&ctx.frame, &phy.demodulate(&rx));
+    }
     SweepPoint {
-        scenario: scenario.label(),
+        scenario: phy.label(),
         impairment: named.label.clone(),
         rssi_dbm: job.rssi_dbm,
-        errors,
-        trials,
+        errors: count.errors,
+        trials: count.trials,
     }
 }
 
@@ -543,12 +535,8 @@ pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
         .collect();
     let mut jobs: Vec<Job> = Vec::new();
     for (s_idx, scenario) in cfg.scenarios.iter().enumerate() {
-        let grid = match scenario {
-            Scenario::BleBer { .. } => cfg.ble_rssi,
-            _ => cfg.lora_rssi,
-        };
         for i_idx in 0..cfg.impairments.len() {
-            for rssi_dbm in grid.points() {
+            for rssi_dbm in scenario.rssi.points() {
                 jobs.push(Job {
                     s_idx,
                     i_idx,
@@ -601,16 +589,12 @@ mod tests {
     /// A micro grid that keeps debug-mode runtime negligible.
     fn tiny() -> WaterfallConfig {
         let mut cfg = WaterfallConfig::quick(11);
-        cfg.scenarios = vec![Scenario::LoraSer {
-            sf: 7,
-            bw_hz: 125e3,
-        }];
+        cfg.scenarios =
+            vec![Scenario::lora_ser(7, 125e3, 24).with_rssi(RssiGrid::new(-136, -120, 8))];
         cfg.impairments = vec![
             NamedImpairment::new("clean", ImpairmentChain::new(0.0)),
             NamedImpairment::new("cfo30", ImpairmentChain::new(0.0).with_cfo_hz(30.0)),
         ];
-        cfg.lora_rssi = RssiGrid::new(-136, -120, 8);
-        cfg.lora_symbols = 24;
         cfg
     }
 
@@ -647,6 +631,20 @@ mod tests {
     }
 
     #[test]
+    fn default_grid_brackets_the_anchor() {
+        // the engine derives every scenario's default window from the
+        // modem's published sensitivity anchor — no per-protocol tables
+        let sc = Scenario::ble_ber(4, 800);
+        let anchor = sc.phy.sensitivity_anchor_dbm().round() as i32;
+        assert_eq!(sc.rssi.start_dbm, anchor - 16);
+        assert_eq!(sc.rssi.stop_dbm, anchor + 26);
+        assert_eq!(
+            RssiGrid::around(-96.4, 10, 10, 2),
+            RssiGrid::new(-106, -86, 2)
+        );
+    }
+
+    #[test]
     fn seeds_differ_between_curves_but_not_along_rssi() {
         // two curves of the same scenario must not share channel draws,
         // while a curve's own points share them (common random numbers)
@@ -667,5 +665,50 @@ mod tests {
             trials: 0,
         };
         assert_eq!(p.rate(), 0.0);
+    }
+
+    #[test]
+    fn packet_scenarios_accumulate_one_trial_per_pass() {
+        let mut cfg = tiny();
+        cfg.scenarios =
+            vec![Scenario::lora_per(8, 125e3, 3, 4).with_rssi(RssiGrid::new(-100, -100, 2))];
+        cfg.impairments = vec![NamedImpairment::new("clean", ImpairmentChain::new(0.0))];
+        let rep = run_waterfall(&cfg);
+        assert_eq!(rep.points.len(), 1);
+        assert_eq!(rep.points[0].trials, 4);
+        assert_eq!(rep.points[0].errors, 0, "clean PER at -100 dBm");
+    }
+
+    #[test]
+    fn registry_sweep_covers_every_phy_in_order() {
+        let mut reg = PhyRegistry::new();
+        reg.register(Box::new(ZigbeePhy::new(2)));
+        reg.register(Box::new(BleBerPhy::new(4)));
+        let mut cfg = WaterfallConfig::from_registry(&reg, 8, 3);
+        for sc in cfg.scenarios.iter_mut() {
+            // one high-SNR point each: a smoke pass, not a measurement
+            sc.rssi = RssiGrid::new(-70, -70, 1);
+        }
+        cfg.impairments = vec![NamedImpairment::new("clean", ImpairmentChain::new(0.0))];
+        let rep = run_waterfall(&cfg);
+        assert_eq!(
+            rep.scenario_labels(),
+            vec!["802.15.4 OQPSK", "BLE BER 4Msps"],
+            "registration order must be sweep order"
+        );
+        for p in &rep.points {
+            assert_eq!(p.errors, 0, "{} errs at -70 dBm", p.scenario);
+        }
+    }
+
+    #[test]
+    fn standard_registry_lists_the_three_protocols() {
+        let reg = standard_registry();
+        let labels = reg.labels();
+        assert!(labels.contains(&"LoRa SER SF8 BW125".to_string()));
+        assert!(labels.contains(&"LoRa PER SF8 BW125".to_string()));
+        assert!(labels.contains(&"BLE BER 4Msps".to_string()));
+        assert!(labels.contains(&"802.15.4 OQPSK".to_string()));
+        assert_eq!(reg.len(), 11);
     }
 }

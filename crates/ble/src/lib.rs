@@ -18,6 +18,9 @@
 //! * [`beacon`] — iBeacon / Eddystone payload builders for the
 //!   examples.
 //! * [`fpga_map`] — the 3%-of-LUTs baseband generator of §5.2.
+//! * [`modem`] — the [`tinysdr_rf::phy::PhyModem`] implementor
+//!   ([`modem::BleBerPhy`]) that plugs GFSK into the workspace-wide PHY
+//!   registry and sweep engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,4 +30,5 @@ pub mod beacon;
 pub mod channels;
 pub mod fpga_map;
 pub mod gfsk;
+pub mod modem;
 pub mod packet;

@@ -134,22 +134,14 @@ impl std::fmt::Display for PacketError {
 
 impl std::error::Error for PacketError {}
 
+/// Append `bytes` to `out` LSB-first, via the crate's shared bit-order
+/// helpers in [`crate::gfsk`].
 fn bytes_to_bits_lsb(bytes: &[u8], out: &mut Vec<u8>) {
-    for &b in bytes {
-        for i in 0..8 {
-            out.push((b >> i) & 1);
-        }
-    }
+    out.extend(crate::gfsk::bytes_to_bits(bytes));
 }
 
 fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
-    bits.chunks(8)
-        .map(|c| {
-            c.iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, &b)| acc | (b << i))
-        })
-        .collect()
+    crate::gfsk::bits_to_bytes(bits)
 }
 
 impl AdvPacket {

@@ -17,7 +17,8 @@ use tinysdr_hw::mcu::{Mcu, McuMode};
 use tinysdr_power::domains::{Component, Domain};
 use tinysdr_power::energy::EnergyLedger;
 use tinysdr_power::pmu::Pmu;
-use tinysdr_rf::at86rf215::{timing, At86Rf215, RadioError, RadioState};
+use tinysdr_rf::at86rf215::{timing, At86Rf215, Band, RadioError, RadioState, SAMPLE_RATE_HZ};
+use tinysdr_rf::phy::PhyModem;
 use tinysdr_rf::sx1276::Sx1276;
 
 /// Device-level states.
@@ -51,6 +52,13 @@ pub enum DeviceError {
     },
     /// No bitstream stored in the requested slot.
     EmptySlot,
+    /// The requested PHY exceeds what the I/Q radio path can carry.
+    PhyUnsupported {
+        /// The offending modem's label.
+        label: String,
+        /// Which constraint failed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -62,6 +70,9 @@ impl std::fmt::Display for DeviceError {
                 write!(f, "cannot {op} in state {state:?}")
             }
             DeviceError::EmptySlot => write!(f, "no image stored in that slot"),
+            DeviceError::PhyUnsupported { label, reason } => {
+                write!(f, "PHY {label:?} unsupported: {reason}")
+            }
         }
     }
 }
@@ -103,6 +114,8 @@ pub struct TinySdr {
     active_luts: u32,
     /// Directory of stored images: (slot, design name, length, crc32).
     stored: Vec<(ImageSlot, String, usize, u32)>,
+    /// Label of the PHY the radio path was last set up for.
+    active_phy: Option<String>,
 }
 
 impl TinySdr {
@@ -122,6 +135,7 @@ impl TinySdr {
             clock_ns: 0,
             active_luts: 0,
             stored: Vec::new(),
+            active_phy: None,
         }
     }
 
@@ -245,6 +259,56 @@ impl TinySdr {
         self.fpga.tick(t);
         self.active_luts = design_luts;
         Ok(t)
+    }
+
+    /// Configure the device for a protocol through the [`PhyModem`]
+    /// seam: boot the FPGA design from `slot` *and* set up the I/Q
+    /// radio from the modem's own metadata — carrier from
+    /// [`PhyModem::center_frequency_hz`], rate checked against the
+    /// AT86RF215's 4 MS/s I/Q interface. This is "program any IoT PHY"
+    /// as one call: the same boxed modem that sweeps waterfalls and
+    /// prices campaign air time also tunes the radio.
+    ///
+    /// Returns the setup time in nanoseconds — the FPGA boot and the
+    /// radio retune run in parallel, exactly like [`Self::wake`].
+    ///
+    /// # Errors
+    /// Fails if the slot is empty, the FPGA rejects the image, the
+    /// modem needs more than the radio's 4 MS/s, or the carrier is
+    /// outside the AT86RF215 band plan.
+    pub fn configure_phy(
+        &mut self,
+        slot: ImageSlot,
+        design_luts: u32,
+        phy: &dyn PhyModem,
+    ) -> Result<u64, DeviceError> {
+        // validate BOTH radio preconditions before touching anything —
+        // a failed setup must leave the device exactly as it was (no
+        // half-configured FPGA under the old carrier)
+        if phy.sample_rate_hz() > SAMPLE_RATE_HZ {
+            return Err(DeviceError::PhyUnsupported {
+                label: phy.label(),
+                reason: "sample rate exceeds the radio's 4 MS/s I/Q interface",
+            });
+        }
+        if Band::containing(phy.center_frequency_hz()).is_none() {
+            return Err(DeviceError::PhyUnsupported {
+                label: phy.label(),
+                reason: "carrier outside the AT86RF215 band plan",
+            });
+        }
+        let t_fpga = self.configure_from_slot(slot, design_luts)?;
+        let before = self.radio.transition_ns;
+        self.radio.set_frequency(phy.center_frequency_hz())?;
+        let t_radio = self.radio.transition_ns - before + timing::RADIO_SETUP_NS;
+        self.active_phy = Some(phy.label());
+        Ok(t_fpga.max(t_radio))
+    }
+
+    /// Label of the PHY the radio path was last configured for via
+    /// [`Self::configure_phy`].
+    pub fn active_phy(&self) -> Option<&str> {
+        self.active_phy.as_deref()
     }
 
     /// Enter the 30 µW sleep state (§5.1): gate the FPGA and PAs, radio
@@ -457,6 +521,106 @@ mod tests {
         let t = dev.configure_from_slot(ImageSlot::Fpga(1), 820).unwrap();
         assert!((t as f64 / 1e6 - 22.0).abs() < 0.5);
         assert_eq!(dev.fpga.loaded_design(), Some("ble"));
+    }
+
+    #[test]
+    fn configure_phy_sets_radio_from_modem_metadata() {
+        use tinysdr_ble::modem::BleBerPhy;
+        use tinysdr_lora::modem::LoraSerPhy;
+        let mut dev = TinySdr::new();
+        let lora = tinysdr_fpga::bitstream::Bitstream::synthesize("lora", 0.15, 1);
+        let ble = tinysdr_fpga::bitstream::Bitstream::synthesize("ble", 0.034, 2);
+        dev.store_image(ImageSlot::Fpga(0), "lora", lora.data())
+            .unwrap();
+        dev.store_image(ImageSlot::Fpga(1), "ble", ble.data())
+            .unwrap();
+        assert_eq!(dev.active_phy(), None);
+
+        let lora_phy = LoraSerPhy::new(8, 125e3);
+        let t = dev
+            .configure_phy(ImageSlot::Fpga(0), 2700, &lora_phy)
+            .unwrap();
+        assert!((t as f64 / 1e6 - 22.0).abs() < 0.5, "setup {t} ns");
+        assert_eq!(dev.active_phy(), Some("LoRa SER SF8 BW125"));
+        assert_eq!(dev.radio.frequency(), 915e6);
+
+        // protocol switch = reconfigure + retune, one call, still ~22 ms
+        let ble_phy = BleBerPhy::new(4);
+        let t = dev
+            .configure_phy(ImageSlot::Fpga(1), 820, &ble_phy)
+            .unwrap();
+        assert!((t as f64 / 1e6 - 22.0).abs() < 0.5);
+        assert_eq!(dev.active_phy(), Some("BLE BER 4Msps"));
+        assert_eq!(dev.radio.frequency(), 2.426e9);
+        assert_eq!(dev.fpga.loaded_design(), Some("ble"));
+    }
+
+    #[test]
+    fn configure_phy_rejects_rates_beyond_the_radio() {
+        use tinysdr_ble::modem::BleBerPhy;
+        let mut dev = device_with_image();
+        // 8 samples/bit at 1 Mb/s = 8 MS/s, past the 4 MS/s interface
+        let too_fast = BleBerPhy::new(8);
+        let err = dev
+            .configure_phy(ImageSlot::Fpga(0), 820, &too_fast)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::PhyUnsupported { .. }));
+        assert_eq!(dev.active_phy(), None, "failed setup must not stick");
+    }
+
+    /// A modem whose carrier sits outside every AT86RF215 band but whose
+    /// rate is fine — exercises the pre-mutation carrier check.
+    #[derive(Debug, Clone)]
+    struct OutOfBandPhy;
+
+    impl PhyModem for OutOfBandPhy {
+        fn label(&self) -> String {
+            "5.8 GHz test".into()
+        }
+        fn sample_rate_hz(&self) -> f64 {
+            1e6
+        }
+        fn occupied_bw_hz(&self) -> f64 {
+            1e6
+        }
+        fn noise_figure_db(&self) -> f64 {
+            5.0
+        }
+        fn sensitivity_anchor_dbm(&self) -> f64 {
+            -90.0
+        }
+        fn center_frequency_hz(&self) -> f64 {
+            5.8e9
+        }
+        fn modulate(&self, _frame: &[u8]) -> Vec<tinysdr_dsp::complex::Complex> {
+            Vec::new()
+        }
+        fn demodulate(
+            &self,
+            _iq: &[tinysdr_dsp::complex::Complex],
+        ) -> tinysdr_rf::phy::DemodResult {
+            tinysdr_rf::phy::DemodResult::empty()
+        }
+        fn clone_box(&self) -> Box<dyn PhyModem> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn configure_phy_rejects_out_of_band_carrier_without_touching_the_fpga() {
+        let mut dev = device_with_image();
+        dev.configure_from_slot(ImageSlot::Fpga(0), 2700).unwrap();
+        let loaded_before = dev.fpga.loaded_design().map(str::to_string);
+        let freq_before = dev.radio.frequency();
+        let err = dev
+            .configure_phy(ImageSlot::Fpga(0), 100, &OutOfBandPhy)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::PhyUnsupported { .. }));
+        // the failed call must be a no-op: same design, same carrier,
+        // no phy label recorded
+        assert_eq!(dev.fpga.loaded_design().map(str::to_string), loaded_before);
+        assert_eq!(dev.radio.frequency(), freq_before);
+        assert_eq!(dev.active_phy(), None);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! unicast ([`Testbed::run_campaign`]) and the §7 broadcast with
 //! NACK-repair rounds plus targeted unicast repair
 //! ([`Testbed::broadcast_campaign`]).
+//!
+//! Campaign payload air time is priced through the workspace-wide
+//! [`tinysdr_rf::phy::PhyModem`] seam: every session asks the OTA
+//! link's modem (`LinkModel::phy()`, the framed LoRa implementor) for
+//! [`tinysdr_rf::phy::PhyModem::airtime_s`] rather than keeping a
+//! parallel formula.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

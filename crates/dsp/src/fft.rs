@@ -140,7 +140,7 @@ pub fn ifft(x: &[Complex]) -> Vec<Complex> {
 
 /// Index and magnitude of the strongest FFT bin.
 ///
-/// This is the paper's "Symbol Detector [that] scans the output of the FFT
+/// This is the paper's "Symbol Detector \[that\] scans the output of the FFT
 /// for peaks" (Fig. 6b). Returns `(argmax_k |X[k]|, max |X[k]|)`.
 pub fn peak_bin(x: &[Complex]) -> (usize, f64) {
     let mut best = (0usize, f64::MIN);

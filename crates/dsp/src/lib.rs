@@ -19,7 +19,7 @@
 //! * [`nco`] / [`chirp`] — numerically-controlled oscillator and LoRa chirp
 //!   generation using the *squared phase accumulator + sin/cos lookup
 //!   table* structure the paper implements in Verilog (their reference
-//!   [67], LoRa Backscatter). The quantized accumulator is what makes the
+//!   \[67\], LoRa Backscatter). The quantized accumulator is what makes the
 //!   "discrete frequency steps introduce some non-orthogonality" effect of
 //!   the paper's Fig. 15a appear in simulation.
 //! * [`fixed`] — fixed-point quantization (the AT86RF215 data path is

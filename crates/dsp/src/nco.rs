@@ -2,7 +2,7 @@
 //!
 //! The paper's chirp generator "generates the I/Q samples of each chirp
 //! symbol in the packet using a squared phase accumulator and two lookup
-//! tables for Sin and Cos function" (§4.1, after their reference [67]).
+//! tables for Sin and Cos function" (§4.1, after their reference \[67\]).
 //! This module provides the lookup-table oscillator; [`crate::chirp`] adds
 //! the squared accumulator on top.
 //!

@@ -5,7 +5,7 @@
 //! Packet Generator, Chirp Generator, I/Q Serializer, FIR, Complex
 //! Multiplier, FFT, Symbol Detector. In this reproduction each stage is a
 //! Rust type implementing [`FpgaBlock`]; a [`Design`] groups the stages,
-//! places them on a [`ResourceLedger`](crate::resources::ResourceLedger)
+//! places them on a [`ResourceLedger`]
 //! and answers the timing/power questions the paper's Tables 4/6 ask.
 
 use crate::resources::{PlacementError, ResourceLedger, ResourceRequest};

@@ -1,6 +1,6 @@
 //! On-chip PLL model.
 //!
-//! The TX path "use[s] the FPGA's onboard PLL to generate the 64 MHz
+//! The TX path "use\[s\] the FPGA's onboard PLL to generate the 64 MHz
 //! clock signal" for the LVDS interface (paper §3.2.1). The ECP5 PLL
 //! multiplies a reference through a feedback divider; the model captures
 //! the achievable frequency grid and lock time, which participates in the

@@ -36,6 +36,9 @@ pub struct ConcurrentReceiver {
     /// Common sampling rate shared by all lanes, Hz.
     pub fs: f64,
     lanes: Vec<Lane>,
+    /// Lane configurations, in lane order (kept alongside the lanes so
+    /// [`Self::configs`] can lend a slice instead of allocating).
+    configs: Vec<ChirpConfig>,
 }
 
 /// Errors building the receiver.
@@ -102,7 +105,11 @@ impl ConcurrentReceiver {
                 demod: Demodulator::new(cfg, FrameParams::new(CodeParams::new(cfg.sf, 1))),
             })
             .collect();
-        Ok(ConcurrentReceiver { fs, lanes })
+        Ok(ConcurrentReceiver {
+            fs,
+            lanes,
+            configs: configs.to_vec(),
+        })
     }
 
     /// The paper's §6 evaluation pair: SF8 at BW 125 kHz and 250 kHz,
@@ -117,9 +124,10 @@ impl ConcurrentReceiver {
         self.lanes.len()
     }
 
-    /// Lane configurations.
-    pub fn configs(&self) -> Vec<ChirpConfig> {
-        self.lanes.iter().map(|l| l.cfg).collect()
+    /// Lane configurations, in lane order (borrowed — the receiver
+    /// already owns them; cloning per call was pure allocation waste).
+    pub fn configs(&self) -> &[ChirpConfig] {
+        &self.configs
     }
 
     /// Per-lane aligned symbol-error rates against known transmitted
@@ -184,6 +192,11 @@ mod tests {
         let rx = ConcurrentReceiver::paper_pair();
         assert_eq!(rx.n_lanes(), 2);
         assert_eq!(rx.fs, 500e3);
+        // configs() lends the lane configurations in lane order
+        let cfgs = rx.configs();
+        assert_eq!(cfgs.len(), 2);
+        assert_eq!((cfgs[0].sf, cfgs[0].bw), (8, 125e3));
+        assert_eq!((cfgs[1].sf, cfgs[1].bw), (8, 250e3));
     }
 
     #[test]

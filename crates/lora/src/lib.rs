@@ -20,6 +20,9 @@
 //!   payload symbols.
 //! * [`concurrent`] — the §6 concurrent receiver: parallel decoders for
 //!   chirp-slope-orthogonal configurations sharing one sample stream.
+//! * [`modem`] — the [`tinysdr_rf::phy::PhyModem`] implementors
+//!   ([`modem::LoraSerPhy`], [`modem::LoraPerPhy`]) that plug the LoRa
+//!   stack into the workspace-wide PHY registry and sweep engine.
 //! * [`fpga_map`] — Table 6: LUT costs of every pipeline block and the
 //!   per-SF FFT cores, wired to `tinysdr-fpga`'s resource ledger.
 //! * [`adr`] — the §7 rate-adaptation study: pick the fastest SF that
@@ -37,6 +40,7 @@ pub mod concurrent;
 pub mod demodulator;
 pub mod fpga_map;
 pub mod lorawan;
+pub mod modem;
 pub mod modulator;
 pub mod packet;
 pub mod phy;

@@ -32,8 +32,9 @@ pub fn gray_decode(g: u16) -> u16 {
         n ^= g >> shift;
         shift += 1;
     }
-    // the loop above is O(width); equivalent closed form below keeps it
-    // simple and correct for 16-bit inputs
+    // O(width) prefix-XOR loop: each iteration folds one more shifted
+    // copy of g into n, so bit i ends up as g[15] ^ … ^ g[i] — the Gray
+    // decode. (There is no closed form cheaper than this fold.)
     n
 }
 

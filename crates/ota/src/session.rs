@@ -13,6 +13,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use tinysdr_lora::modem::LoraPerPhy;
+use tinysdr_rf::phy::PhyModem;
 use tinysdr_rf::sx1276::{self, LoRaParams};
 
 use crate::blocks::BlockedUpdate;
@@ -64,6 +66,16 @@ impl LinkModel {
             fading_sigma_db: 2.0,
             base_loss_prob: 0.0,
         }
+    }
+
+    /// The link's modem as a [`PhyModem`] trait object — the framed
+    /// LoRa PHY carrying exactly this link's `params` (every flag,
+    /// including `explicit_header`/`crc_on`/`low_dr_opt`). Campaign
+    /// payload air time is charged through this route
+    /// ([`PhyModem::airtime_len_s`]), so every session prices packets
+    /// the way the registry's modem does, not via a parallel formula.
+    pub fn phy(&self) -> Box<dyn PhyModem> {
+        Box::new(LoraPerPhy::from_lora_params(self.params))
     }
 
     /// Downlink PER for a `len`-byte packet at the median RSSI.
@@ -158,7 +170,6 @@ impl Default for SessionConfig {
 /// Simulate programming one node with a blocked update over a link.
 pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig) -> SessionReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let params = &link.params;
 
     // assemble the over-the-air byte stream: all compressed blocks with
     // their 9-byte frame headers
@@ -177,8 +188,12 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
     }
     .wire_len();
     let ack_wire = OtaMessage::Ack { seq: 0 }.wire_len();
-    let t_data = params.airtime(data_wire);
-    let t_ack = params.airtime(ack_wire);
+    // packet air time is charged through the PhyModem trait (the same
+    // seam the conformance sweeps and the device use); for LoRa the
+    // modem's closed form is the Semtech formula, so this is exact
+    let phy = link.phy();
+    let t_data = phy.airtime_len_s(data_wire);
+    let t_ack = phy.airtime_len_s(ack_wire);
 
     let per_down = link.per_table(link.downlink_rssi_dbm, data_wire, cfg.seed ^ 0xD0);
     let per_up = link.per_table(link.uplink_rssi_dbm, ack_wire, cfg.seed ^ 0xAC);
@@ -425,6 +440,46 @@ mod tests {
         assert!(full.completed);
         assert!(full.data_packets > 100, "MCU update spans many packets");
         assert!(rep.bytes_over_air < full.bytes_over_air / 50);
+    }
+
+    #[test]
+    fn link_phy_airtime_is_the_semtech_closed_form() {
+        // routing air time through the PhyModem trait must not move a
+        // single session number: the LoRa modem's airtime override IS
+        // the AN1200.13 formula the session engine always used
+        let link = strong_link();
+        let phy = link.phy();
+        for len in [1usize, OtaMessage::Ack { seq: 0 }.wire_len(), 69, 120] {
+            let via_phy = phy.airtime_len_s(len);
+            let via_params = link.params.airtime(len);
+            assert!(
+                (via_phy - via_params).abs() < 1e-12,
+                "{len} bytes: {via_phy} vs {via_params}"
+            );
+            // the frame-based route agrees with the length-based one
+            assert_eq!(phy.airtime_s(&vec![0u8; len]), via_phy);
+        }
+        assert_eq!(phy.label(), "LoRa PER SF8 BW500");
+    }
+
+    #[test]
+    fn link_phy_airtime_honors_customized_link_flags() {
+        // LinkModel.params is public: a caller flipping crc_on or
+        // explicit_header must see the trait-routed air time follow
+        // (regression: phy() used to rebuild params from defaults)
+        let mut link = strong_link();
+        link.params.crc_on = false;
+        link.params.explicit_header = false;
+        link.params.preamble_symbols = 12;
+        let phy = link.phy();
+        for len in [10usize, 69] {
+            assert!(
+                (phy.airtime_len_s(len) - link.params.airtime(len)).abs() < 1e-12,
+                "customized flags must flow through the modem"
+            );
+        }
+        // and the customization genuinely changes the number
+        assert!(phy.airtime_len_s(69) < strong_link().phy().airtime_len_s(69));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! This crate is where the paper's headline number — **30 µW sleep
 //! power, 10 000× below existing SDR platforms** — is *computed* rather
-//! than asserted: [`pmu::Pmu::sleep_power_mw`] sums the LDO quiescent
+//! than asserted: [`pmu::Pmu::sleep_power_uw`] sums the LDO quiescent
 //! current, the buck converters' shutdown currents, the adjustable
 //! regulator's shutdown current, the MCU's LPM3 draw and the residual
 //! board leakage, and the test suite checks the total lands on the

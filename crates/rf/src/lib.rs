@@ -22,6 +22,10 @@
 //!   timing offset, clock drift, I/Q imbalance, phase noise, block
 //!   Rayleigh fading, ADC quantization) ending in calibrated AWGN —
 //!   the channel model behind the PHY conformance waterfalls.
+//! * [`phy`] — the [`phy::PhyModem`] trait and [`phy::PhyRegistry`]:
+//!   the protocol-programmability seam. Workload crates (`lora`, `ble`,
+//!   `zigbee`) implement it; the conformance waterfalls, the campus
+//!   testbed and the device consume `&dyn PhyModem`.
 //! * [`pathloss`] — free-space and log-distance (shadowed) propagation for
 //!   the campus testbed of Fig. 7.
 //! * [`lvds`] — bit-exact implementation of the 32-bit I/Q word of Fig. 4
@@ -48,6 +52,7 @@ pub mod frontend;
 pub mod impairments;
 pub mod lvds;
 pub mod pathloss;
+pub mod phy;
 pub mod switch;
 pub mod sx1276;
 pub mod units;

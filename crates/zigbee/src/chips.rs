@@ -1,0 +1,124 @@
+//! The 802.15.4 2.4 GHz DSSS chip table (IEEE 802.15.4-2006 Table 73).
+//!
+//! Each 4-bit data symbol maps to a 32-chip pseudo-noise sequence. The
+//! table has closed structure: symbols 1–7 are successive 4-chip cyclic
+//! right rotations of symbol 0's sequence, and symbols 8–15 are symbols
+//! 0–7 with every odd-indexed chip inverted (the odd chips ride the Q
+//! rail, so this is the quadrature-conjugate half of the set). We
+//! generate the table from that structure and pin spec rows in tests.
+
+/// Chips per symbol.
+pub const CHIPS_PER_SYMBOL: usize = 32;
+/// Data symbols (4 bits each).
+pub const N_SYMBOLS: usize = 16;
+/// Chip rate, chip/s (2.4 GHz O-QPSK PHY).
+pub const CHIP_RATE: f64 = 2e6;
+/// Symbol rate, symbol/s (32 chips per symbol).
+pub const SYMBOL_RATE: f64 = CHIP_RATE / CHIPS_PER_SYMBOL as f64;
+/// Data rate, bit/s (4 bits per symbol).
+pub const BIT_RATE: f64 = SYMBOL_RATE * 4.0;
+
+/// Symbol 0's chip sequence, `c0..c31` (Table 73 row 0).
+pub const SYMBOL_0_CHIPS: [u8; 32] = [
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
+];
+
+/// The chip sequence for a data symbol `0..16`.
+///
+/// # Panics
+/// Panics if `symbol >= 16`.
+pub fn chip_sequence(symbol: u8) -> [u8; CHIPS_PER_SYMBOL] {
+    assert!(
+        (symbol as usize) < N_SYMBOLS,
+        "802.15.4 symbols are 4 bits, got {symbol}"
+    );
+    let mut seq = SYMBOL_0_CHIPS;
+    for _ in 0..(symbol & 0x7) {
+        seq = rotate_right_4(&seq);
+    }
+    if symbol >= 8 {
+        for i in (1..CHIPS_PER_SYMBOL).step_by(2) {
+            seq[i] ^= 1;
+        }
+    }
+    seq
+}
+
+/// Cyclic right rotation by 4 chips.
+fn rotate_right_4(seq: &[u8; CHIPS_PER_SYMBOL]) -> [u8; CHIPS_PER_SYMBOL] {
+    let mut out = [0u8; CHIPS_PER_SYMBOL];
+    for (i, &c) in seq.iter().enumerate() {
+        out[(i + 4) % CHIPS_PER_SYMBOL] = c;
+    }
+    out
+}
+
+/// Hamming distance between two chip sequences.
+pub fn chip_distance(a: &[u8; CHIPS_PER_SYMBOL], b: &[u8; CHIPS_PER_SYMBOL]) -> u32 {
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_str(s: &[u8; 32]) -> String {
+        s.iter().map(|&c| char::from(b'0' + c)).collect()
+    }
+
+    #[test]
+    fn spec_rows_pin_the_generated_table() {
+        // IEEE 802.15.4-2006 Table 73, rows 0, 1, 8 and 15
+        assert_eq!(
+            seq_str(&chip_sequence(0)),
+            "11011001110000110101001000101110"
+        );
+        assert_eq!(
+            seq_str(&chip_sequence(1)),
+            "11101101100111000011010100100010"
+        );
+        assert_eq!(
+            seq_str(&chip_sequence(8)),
+            "10001100100101100000011101111011"
+        );
+        assert_eq!(
+            seq_str(&chip_sequence(15)),
+            "11001001011000000111011110111000"
+        );
+    }
+
+    #[test]
+    fn sequences_are_distinct_and_well_separated() {
+        let table: Vec<_> = (0..16u8).map(chip_sequence).collect();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let d = chip_distance(&table[i], &table[j]);
+                assert!(
+                    d >= 12,
+                    "symbols {i}/{j} separated by only {d} chips (spec set is quasi-orthogonal)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_are_balanced_to_within_two_chips() {
+        for s in 0..16u8 {
+            let ones: u32 = chip_sequence(s).iter().map(|&c| c as u32).sum();
+            assert!((15..=17).contains(&ones), "symbol {s}: {ones} ones");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4 bits")]
+    fn out_of_range_symbol_panics() {
+        chip_sequence(16);
+    }
+
+    #[test]
+    fn rates_are_the_2450mhz_phy() {
+        assert_eq!(CHIP_RATE, 2e6);
+        assert_eq!(SYMBOL_RATE, 62_500.0);
+        assert_eq!(BIT_RATE, 250e3);
+    }
+}

@@ -22,6 +22,7 @@ use tinysdr_rf::impairments::ImpairmentChain;
 
 fn main() {
     println!("=== PHY conformance waterfalls ===\n");
+    println!("(every scenario sweeps through the same &dyn PhyModem engine)\n");
 
     let shards = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -57,18 +58,15 @@ fn main() {
             }
         }
     }
-    println!("paper anchors: LoRa -126 dBm @ SF8/BW125; BLE -94 dBm\n");
+    println!(
+        "anchors: LoRa -126 dBm @ SF8/BW125; BLE -94 dBm; 802.15.4 spec -85 / silicon ~-97 dBm\n"
+    );
 
     // --- tolerance hunt: sample-clock drift on the SF8 LoRa lane ---
     // Each drift value is one custom chain in the impairment grid; the
     // sweep stays deterministic and sharded exactly as before.
     let mut hunt = WaterfallConfig::quick(42).sharded(shards);
-    hunt.scenarios = vec![Scenario::LoraSer {
-        sf: 8,
-        bw_hz: 125e3,
-    }];
-    hunt.lora_rssi = RssiGrid::new(-132, -116, 4);
-    hunt.lora_symbols = 96;
+    hunt.scenarios = vec![Scenario::lora_ser(8, 125e3, 96).with_rssi(RssiGrid::new(-132, -116, 4))];
     hunt.impairments = [0.0, 2.0, 8.0, 32.0]
         .into_iter()
         .map(|ppm| {

@@ -25,6 +25,7 @@ pub use tinysdr_lora as lora_crate;
 pub use tinysdr_ota as ota_crate;
 pub use tinysdr_power as power;
 pub use tinysdr_rf as rf;
+pub use tinysdr_zigbee as zigbee_crate;
 
 /// LoRa PHY/MAC namespace (re-export with DSP chirp types merged in).
 pub mod lora {
@@ -35,6 +36,20 @@ pub mod lora {
 /// BLE beacon namespace.
 pub mod ble {
     pub use tinysdr_ble::*;
+}
+
+/// 802.15.4 O-QPSK namespace.
+pub mod zigbee {
+    pub use tinysdr_zigbee::*;
+}
+
+/// The PHY modem abstraction: the [`phy::PhyModem`] trait every
+/// protocol implements ([`lora::modem::LoraSerPhy`],
+/// [`lora::modem::LoraPerPhy`], [`ble::modem::BleBerPhy`],
+/// [`zigbee::modem::ZigbeePhy`]) and the type-erased
+/// [`phy::PhyRegistry`] that sweeps, testbeds and devices consume.
+pub mod phy {
+    pub use tinysdr_rf::phy::*;
 }
 
 /// OTA programming namespace.

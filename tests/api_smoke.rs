@@ -63,6 +63,41 @@ fn impairment_chain_resolves_and_is_deterministic() {
 }
 
 #[test]
+fn phy_namespace_resolves_and_registers() {
+    // the protocol-programmability seam: trait + registry under
+    // `tinysdr::phy`, implementors under each protocol namespace
+    use tinysdr::phy::PhyRegistry;
+    let mut reg = PhyRegistry::new();
+    reg.register(Box::new(tinysdr::lora::modem::LoraSerPhy::new(8, 125e3)));
+    reg.register(Box::new(tinysdr::ble::modem::BleBerPhy::new(4)));
+    reg.register(Box::new(tinysdr::zigbee::modem::ZigbeePhy::new(2)));
+    assert_eq!(reg.len(), 3);
+    let phy = reg.get("LoRa SER SF8 BW125").expect("keyed lookup");
+    assert_eq!(
+        phy.noise_figure_db(),
+        tinysdr::rf::at86rf215::NOISE_FIGURE_DB
+    );
+    // one clean end-to-end pass through a trait object
+    let rx = phy.demodulate(&phy.modulate(b"phy smoke!"));
+    assert!(phy.count_errors(b"phy smoke!", &rx).is_clean());
+}
+
+#[test]
+fn zigbee_namespace_resolves_and_despreads() {
+    use tinysdr::zigbee::chips::{chip_sequence, CHIPS_PER_SYMBOL};
+    use tinysdr::zigbee::oqpsk::{OqpskDemodulator, OqpskModulator};
+    assert_eq!(chip_sequence(0).len(), CHIPS_PER_SYMBOL);
+    let m = OqpskModulator::new(2);
+    let d = OqpskDemodulator::new(2);
+    assert_eq!(
+        d.demodulate_symbols(&m.modulate_symbols(&[0xA, 0x5])),
+        vec![0xA, 0x5]
+    );
+    // the `_crate` alias too
+    let _ = tinysdr::zigbee_crate::chips::BIT_RATE;
+}
+
+#[test]
 fn substrate_reexports_resolve() {
     // The flat aliases every example imports.
     let _ = tinysdr::dsp::complex::Complex::new(1.0, -1.0);

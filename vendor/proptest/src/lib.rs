@@ -137,7 +137,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::*;
 
-    /// Size argument for [`vec`]: a fixed length or a length range.
+    /// Size argument for [`vec()`]: a fixed length or a length range.
     pub trait IntoSizeRange {
         /// `(min, max)` inclusive bounds on the length.
         fn size_bounds(self) -> (usize, usize);
