@@ -6,13 +6,19 @@
 //! repro fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15a fig15b
 //! repro sec51 sec52 sec53 sec6
 //! repro waterfall           # PHY conformance waterfalls (not in `all`)
+//! repro energy              # power-state/energy axis (not in `all`)
 //! repro --quick all         # reduced trial counts for smoke runs
 //! ```
 //!
 //! `waterfall` runs the sharded conformance sweep (`--quick` uses the
 //! coarse grid and additionally asserts the sharded-vs-sequential
-//! determinism contract — the CI smoke step). It is excluded from
-//! `all` because the full grid is a deliberate long-haul measurement.
+//! determinism contract — the CI smoke step). `energy` reproduces the
+//! paper's µW-sleep / mW-active / mJ-per-update numbers through the
+//! shared `tinysdr_power` model and projects battery life for a
+//! duty-cycled 1000-node campaign (`--quick`: 64 nodes, plus the
+//! campaign **energy** determinism contract assert — the second CI
+//! smoke step). Both are excluded from `all` because the full runs are
+//! deliberate long-haul measurements.
 
 use tinysdr_bench::phy_experiments as phy;
 use tinysdr_bench::system_experiments as sys;
@@ -45,7 +51,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall> ...");
+        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy> ...");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -188,10 +194,19 @@ fn main() {
             &sys::ablation(42),
         );
     }
-    // deliberately NOT part of `all`: the full conformance grid is a
-    // long-haul measurement, not a figure of the paper
+    // deliberately NOT part of `all`: the full conformance grid and the
+    // 1000-node energy campaign are long-haul measurements, not figures
     if wanted.contains(&"waterfall") {
         run_waterfall_cmd(quick, seed);
+    }
+    if wanted.contains(&"energy") {
+        // full: the ROADMAP-scale duty-cycled fleet; quick: 64 nodes +
+        // the campaign energy determinism contract (CI smoke). Seed 42
+        // is the canonical testbed seed (same as fig14 and ablation),
+        // not the PHY sweep seed — campaign experiments share it so
+        // their campuses are comparable.
+        let nodes = if quick { 64 } else { 1000 };
+        sys::energy(nodes, 42, quick);
     }
 }
 
@@ -238,15 +253,27 @@ fn run_waterfall_cmd(quick: bool, seed: u64) {
             &rep.to_series(&sc),
         );
     }
-    println!("\n== 1%-error sensitivity (dBm) ==");
+    println!("\n== 1%-error sensitivity (dBm) and RX energy per delivered bit (nJ) ==");
+    let rx_mw =
+        tinysdr_core::profile::platform_power_mw(tinysdr_core::profile::OperatingPoint::LoRaRx);
+    let energy = tinysdr_bench::waterfall::energy_per_bit_table(&cfg, &rep, rx_mw, 0.01);
     for (sc, imp, sens) in rep.sensitivity_table(0.01) {
-        match sens {
-            Some(s) => println!("  {sc:<24} {imp:<12} {s:>8.1}"),
-            None => println!("  {sc:<24} {imp:<12} {:>8}", "no cross"),
-        }
+        // pair by (scenario, impairment) key, never by row position
+        let nj = energy
+            .iter()
+            .find(|(s, i, _)| *s == sc && *i == imp)
+            .and_then(|(_, _, v)| *v);
+        let s = sens
+            .map(|s| format!("{s:>8.1}"))
+            .unwrap_or_else(|| format!("{:>8}", "no cross"));
+        let e = nj
+            .map(|e| format!("{e:>10.1}"))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        println!("  {sc:<24} {imp:<12} {s} {e}");
     }
     println!("  paper anchors: LoRa -126 dBm @ SF8/BW125 (Figs. 10-11); BLE -94 dBm (Fig. 12);");
     println!("  802.15.4 spec floor -85 dBm, typical silicon ~-97 dBm");
+    println!("  energy priced at the {rx_mw:.0} mW RX platform point through PhyModem air time");
 }
 
 /// Thin out a dense spectrum series for terminal display.

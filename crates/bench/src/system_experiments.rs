@@ -17,6 +17,201 @@ use tinysdr_power::domains::{Component, ALL_DOMAINS};
 
 use crate::{print_facts, print_series, Series};
 
+/// The `repro energy` experiment: the paper's power/energy numbers
+/// reproduced through the shared `tinysdr_power` model — the
+/// state-machine floors, the §5.2 operating points, the §5.3 per-update
+/// millijoules with their per-component breakdown, and a duty-cycled
+/// fleet battery-life projection from a real campaign. With `quick` the
+/// campaign shrinks to 64 nodes and the function **asserts the energy
+/// determinism contract** (sharded campaign bit-identical to
+/// sequential, down to the merged ledger) — the CI smoke gate.
+pub fn energy(nodes: usize, seed: u64, quick: bool) {
+    use tinysdr_core::testbed::CampaignConfig;
+    use tinysdr_power::battery::Battery;
+    use tinysdr_power::state::{self, OtaEnergyModel, PowerState};
+
+    // -- anchors: the state machine's floors and operating points --
+    let pw = OtaEnergyModel::paper();
+    let profile_rx = profile::platform_power_mw(OperatingPoint::LoRaRx);
+    let profile_tx = profile::platform_power_mw(OperatingPoint::LoRaTx);
+    let wake = profile::device_state_power(2700)
+        .transition_cost(PowerState::DeepSleep, PowerState::Idle)
+        .expect("wake edge priced");
+    print_facts(
+        "Energy: power-state anchors (shared model)",
+        &[
+            (
+                "Deep sleep".into(),
+                format!("{:.1} µW (paper: 30 µW)", state::deep_sleep_mw() * 1000.0),
+            ),
+            (
+                "Light sleep (LPM0 doze)".into(),
+                format!(
+                    "{:.2} mW (beyond paper: fast-wake option)",
+                    state::light_sleep_mw()
+                ),
+            ),
+            (
+                "LoRa RX / TX active".into(),
+                format!("{profile_rx:.0} / {profile_tx:.0} mW (paper: 186 / 287)"),
+            ),
+            (
+                "OTA listen (backbone + MCU)".into(),
+                format!("{:.1} mW", pw.rx_mw + pw.mcu_mw),
+            ),
+            (
+                "Wake transition".into(),
+                format!(
+                    "{:.0} ms, {:.2} mJ FPGA boot (Table 4: 22 ms)",
+                    wake.latency_ns as f64 / 1e6,
+                    wake.energy_mj
+                ),
+            ),
+        ],
+    );
+
+    // -- per-update energy through the shared model --
+    let (lora, ble) = reference_update_sessions();
+    let battery = Battery::lipo_1000mah();
+    let breakdown = |r: &tinysdr_ota::session::SessionReport| {
+        let tags = r.ledger.by_tag();
+        format!(
+            "rx {:.0}% / tx {:.0}% / mcu {:.0}% / flash {:.1}%",
+            tags["radio_rx"] / r.node_energy_mj * 100.0,
+            tags["radio_tx"] / r.node_energy_mj * 100.0,
+            tags["mcu"] / r.node_energy_mj * 100.0,
+            tags["flash"] / r.node_energy_mj * 100.0,
+        )
+    };
+    print_facts(
+        "Energy: OTA updates (Sec 5.3)",
+        &[
+            (
+                "LoRa FPGA update".into(),
+                format!(
+                    "{:.0} mJ (paper: 6144)  [{}]",
+                    lora.node_energy_mj,
+                    breakdown(&lora)
+                ),
+            ),
+            (
+                "BLE FPGA update".into(),
+                format!(
+                    "{:.0} mJ (paper: 2342)  [{}]",
+                    ble.node_energy_mj,
+                    breakdown(&ble)
+                ),
+            ),
+            (
+                "Updates per 1000 mAh".into(),
+                format!(
+                    "LoRa {} / BLE {} (paper: 2100 / 5600)",
+                    battery.operations(lora.node_energy_mj).expect("positive"),
+                    battery.operations(ble.node_energy_mj).expect("positive"),
+                ),
+            ),
+            (
+                "Daily-update average power".into(),
+                format!(
+                    "LoRa {:.0} µW / BLE {:.0} µW (paper: 71 / 27)",
+                    lora.node_energy_mj / 86.4,
+                    ble.node_energy_mj / 86.4
+                ),
+            ),
+        ],
+    );
+
+    // -- fleet: a duty-cycled campaign's energy axis --
+    let tb = Testbed::with_nodes(nodes, seed);
+    let upd = BlockedUpdate::build(&FirmwareImage::paper_mcu("mac", 3));
+    let campaign = tb.run_campaign(&upd, &CampaignConfig::auto(seed));
+    if quick {
+        // the determinism contract, extended to energy: a sharded
+        // campaign is bit-identical to the sequential one — reports,
+        // energy ECDF, merged ledger, per-tag totals
+        let seq = tb.run_campaign(&upd, &CampaignConfig::sequential(seed));
+        assert_eq!(
+            seq.reports(),
+            campaign.reports(),
+            "energy determinism contract violated: sharded != sequential"
+        );
+        assert_eq!(
+            seq.energy_ecdf().clone().curve(),
+            campaign.energy_ecdf().clone().curve()
+        );
+        assert_eq!(seq.ledger(), campaign.ledger());
+        assert_eq!(seq.energy_by_tag(), campaign.energy_by_tag());
+        println!(
+            "\nenergy determinism contract: sharded == sequential over {} nodes \
+             ({} ledger records, {:.0} mJ total)",
+            campaign.len(),
+            campaign.ledger().len(),
+            campaign.total_energy_mj()
+        );
+    }
+    let mut e = campaign.energy_ecdf().clone();
+    let tags = campaign.energy_by_tag();
+    print_facts(
+        &format!("Energy: {nodes}-node MCU-update campaign"),
+        &[
+            (
+                "Per-node energy".into(),
+                format!(
+                    "p10 {:.0} / median {:.0} / p90 {:.0} mJ",
+                    e.quantile(0.10).expect("nodes"),
+                    e.quantile(0.50).expect("nodes"),
+                    e.quantile(0.90).expect("nodes"),
+                ),
+            ),
+            (
+                "Fleet total".into(),
+                format!(
+                    "{:.1} J across {} nodes",
+                    campaign.total_energy_mj() / 1000.0,
+                    campaign.len()
+                ),
+            ),
+            (
+                "By component".into(),
+                format!(
+                    "rx {:.1} J / tx {:.1} J / mcu {:.1} J / flash {:.2} J",
+                    tags["radio_rx"] / 1000.0,
+                    tags["radio_tx"] / 1000.0,
+                    tags["mcu"] / 1000.0,
+                    tags["flash"] / 1000.0,
+                ),
+            ),
+        ],
+    );
+
+    // -- multi-year battery-life table per update cadence --
+    let sleep_mw = state::deep_sleep_mw();
+    println!("\n== Battery life, duty-cycled updates (1000 mAh, 30 µW floor) ==");
+    println!(
+        "  {:<18} {:>10} {:>10} {:>10}",
+        "update cadence", "p10 yrs", "median", "p90 yrs"
+    );
+    for (label, period_s) in [
+        ("hourly", 3600.0),
+        ("daily", 86_400.0),
+        ("weekly", 7.0 * 86_400.0),
+        ("monthly", 30.0 * 86_400.0),
+    ] {
+        let mut life = campaign.battery_life_years_ecdf(&battery, period_s, sleep_mw);
+        println!(
+            "  {:<18} {:>10.2} {:>10.2} {:>10.2}",
+            label,
+            life.quantile(0.10).expect("nodes"),
+            life.quantile(0.50).expect("nodes"),
+            life.quantile(0.90).expect("nodes"),
+        );
+    }
+    println!(
+        "  sleep-floor bound: {:.1} years (no updates at all)",
+        battery.lifetime_years(sleep_mw).expect("positive floor")
+    );
+}
+
 /// Table 1: the SDR platform comparison.
 pub fn table1() -> Vec<(String, String)> {
     platforms::catalog()
@@ -319,6 +514,31 @@ pub fn sec52() -> Vec<(String, String)> {
     ]
 }
 
+/// The §5.3 reference sessions — LoRa FPGA and BLE FPGA updates over
+/// the canonical strong (−90 dBm) link — shared by [`sec53`] and
+/// [`energy`] so the two experiments can never quote different numbers
+/// for the same paper claim.
+fn reference_update_sessions() -> (
+    tinysdr_ota::session::SessionReport,
+    tinysdr_ota::session::SessionReport,
+) {
+    use tinysdr_ota::session::{run_session, LinkModel, SessionConfig};
+    let link = LinkModel::from_downlink(-90.0);
+    let cfg = SessionConfig::default();
+    (
+        run_session(
+            &BlockedUpdate::build(&FirmwareImage::lora_fpga(1)),
+            &link,
+            &cfg,
+        ),
+        run_session(
+            &BlockedUpdate::build(&FirmwareImage::ble_fpga(2)),
+            &link,
+            &cfg,
+        ),
+    )
+}
+
 /// §5.3 scalars: compression, per-update energy, battery counts.
 pub fn sec53() -> Vec<(String, String)> {
     use tinysdr_ota::session::{run_session, LinkModel, SessionConfig};
@@ -328,11 +548,12 @@ pub fn sec53() -> Vec<(String, String)> {
     let lora_upd = BlockedUpdate::build(&lora);
     let ble_upd = BlockedUpdate::build(&ble);
     let mcu_upd = BlockedUpdate::build(&mcu);
-    let link = LinkModel::from_downlink(-90.0);
-    let cfg = SessionConfig::default();
-    let rl = run_session(&lora_upd, &link, &cfg);
-    let rb = run_session(&ble_upd, &link, &cfg);
-    let rm = run_session(&mcu_upd, &link, &cfg);
+    let (rl, rb) = reference_update_sessions();
+    let rm = run_session(
+        &mcu_upd,
+        &LinkModel::from_downlink(-90.0),
+        &SessionConfig::default(),
+    );
     let battery = tinysdr_power::battery::Battery::lipo_1000mah();
     vec![
         (
@@ -374,8 +595,12 @@ pub fn sec53() -> Vec<(String, String)> {
             "Updates per 1000 mAh".into(),
             format!(
                 "LoRa {} / BLE {} (paper: 2100 / 5600)",
-                battery.operations(rl.node_energy_mj),
-                battery.operations(rb.node_energy_mj)
+                battery
+                    .operations(rl.node_energy_mj)
+                    .expect("positive update energy"),
+                battery
+                    .operations(rb.node_energy_mj)
+                    .expect("positive update energy")
             ),
         ),
         (

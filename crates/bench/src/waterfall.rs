@@ -447,6 +447,65 @@ impl WaterfallReport {
     }
 }
 
+/// Receiver energy per **delivered** bit, nJ, priced through the
+/// modem's own [`PhyModem`] metadata: the receiver listens for the
+/// frame's air time ([`PhyModem::airtime_len_s`]) at `rx_platform_mw`,
+/// and `frame_len × 8 × (1 − error_rate)` payload bits survive. `None`
+/// when nothing survives (`error_rate ≥ 1`).
+///
+/// This is the conformance harness's energy axis: a slow, robust PHY
+/// (LoRa SF8) buys its sensitivity with orders of magnitude more
+/// energy per bit than a fast one (BLE at 1 Mb/s) at the *same*
+/// receive power — air time, not wattage, is what separates protocols.
+pub fn energy_per_delivered_bit_nj(
+    phy: &dyn PhyModem,
+    frame_len: usize,
+    rx_platform_mw: f64,
+    error_rate: f64,
+) -> Option<f64> {
+    assert!(frame_len > 0, "need a frame to deliver");
+    assert!(rx_platform_mw >= 0.0 && rx_platform_mw.is_finite());
+    if !(0.0..1.0).contains(&error_rate) {
+        return None;
+    }
+    let airtime_s = phy.airtime_len_s(frame_len);
+    let energy_mj = rx_platform_mw * airtime_s;
+    let delivered_bits = frame_len as f64 * 8.0 * (1.0 - error_rate);
+    Some(energy_mj * 1e6 / delivered_bits)
+}
+
+/// Per-curve energy pricing of a finished sweep: for every
+/// `scenario × impairment` curve, the receiver energy per delivered
+/// bit (nJ) at the curve's `threshold`-crossing sensitivity — the cost
+/// of the last usable dB. `None` where the curve never crosses (the
+/// impairment denies the target error rate everywhere in the window).
+pub fn energy_per_bit_table(
+    cfg: &WaterfallConfig,
+    rep: &WaterfallReport,
+    rx_platform_mw: f64,
+    threshold: f64,
+) -> Vec<(String, String, Option<f64>)> {
+    let mut out = Vec::new();
+    for sc in &cfg.scenarios {
+        let label = sc.label();
+        for imp in rep.impairment_labels() {
+            if rep.curve(&label, &imp).is_empty() {
+                continue;
+            }
+            let nj = rep.sensitivity_dbm(&label, &imp, threshold).and_then(|_| {
+                energy_per_delivered_bit_nj(
+                    sc.phy.as_ref(),
+                    sc.frame_len,
+                    rx_platform_mw,
+                    threshold,
+                )
+            });
+            out.push((label.clone(), imp, nj));
+        }
+    }
+    out
+}
+
 /// Derived seed roots: one per scenario (reference frame), one per
 /// scenario × impairment curve (channel draws).
 #[inline]
@@ -698,6 +757,50 @@ mod tests {
         );
         for p in &rep.points {
             assert_eq!(p.errors, 0, "{} errs at -70 dBm", p.scenario);
+        }
+    }
+
+    #[test]
+    fn energy_per_bit_orders_protocols_by_air_time() {
+        // at the same receive power, LoRa's long symbols cost orders of
+        // magnitude more energy per delivered bit than BLE's 1 µs bits
+        let rx_mw = 186.0;
+        let lora = Scenario::lora_ser(8, 125e3, 64);
+        let ble = Scenario::ble_ber(4, 4_000);
+        let e_lora =
+            energy_per_delivered_bit_nj(lora.phy.as_ref(), lora.frame_len, rx_mw, 0.01).unwrap();
+        let e_ble =
+            energy_per_delivered_bit_nj(ble.phy.as_ref(), ble.frame_len, rx_mw, 0.01).unwrap();
+        assert!(
+            e_lora > 50.0 * e_ble,
+            "LoRa {e_lora:.1} nJ/bit vs BLE {e_ble:.2} nJ/bit"
+        );
+        // worse error rates make every surviving bit dearer
+        let clean = energy_per_delivered_bit_nj(ble.phy.as_ref(), ble.frame_len, rx_mw, 0.0);
+        let lossy = energy_per_delivered_bit_nj(ble.phy.as_ref(), ble.frame_len, rx_mw, 0.5);
+        assert!(lossy.unwrap() > clean.unwrap());
+        // total loss delivers nothing
+        assert_eq!(
+            energy_per_delivered_bit_nj(ble.phy.as_ref(), ble.frame_len, rx_mw, 1.0),
+            None
+        );
+    }
+
+    #[test]
+    fn energy_table_follows_the_sensitivity_table() {
+        let cfg = tiny();
+        let rep = run_waterfall(&cfg);
+        let energy = energy_per_bit_table(&cfg, &rep, 186.0, 0.10);
+        let sens = rep.sensitivity_table(0.10);
+        assert_eq!(energy.len(), sens.len());
+        for ((sc_e, imp_e, nj), (sc_s, imp_s, dbm)) in energy.iter().zip(&sens) {
+            assert_eq!(sc_e, sc_s);
+            assert_eq!(imp_e, imp_s);
+            // priced exactly when the curve crosses, absent when not
+            assert_eq!(nj.is_some(), dbm.is_some(), "{sc_e}/{imp_e}");
+            if let Some(v) = nj {
+                assert!(*v > 0.0 && v.is_finite());
+            }
         }
     }
 

@@ -12,14 +12,17 @@
 
 use tinysdr_fpga::config::{ConfigController, ConfigError};
 use tinysdr_fpga::power as fpga_power;
-use tinysdr_hw::flash::{Flash, ImageSlot};
+use tinysdr_hw::flash::{self, Flash, ImageSlot};
 use tinysdr_hw::mcu::{Mcu, McuMode};
 use tinysdr_power::domains::{Component, Domain};
 use tinysdr_power::energy::EnergyLedger;
 use tinysdr_power::pmu::Pmu;
+use tinysdr_power::state::{PowerState, PowerStateMachine};
 use tinysdr_rf::at86rf215::{timing, At86Rf215, Band, RadioError, RadioState, SAMPLE_RATE_HZ};
 use tinysdr_rf::phy::PhyModem;
 use tinysdr_rf::sx1276::Sx1276;
+
+use crate::profile;
 
 /// Device-level states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +37,21 @@ pub enum DeviceState {
     Transmitting,
     /// OTA update mode: backbone radio active, FPGA off.
     Updating,
+}
+
+impl DeviceState {
+    /// The [`PowerState`] this device mode occupies. `Updating` is
+    /// [`PowerState::RxActive`] at the power level — the backbone
+    /// radio is listening; *which* radio is a device detail (the
+    /// ledger still tags update-mode dwells `"ota"`).
+    pub fn power_state(self) -> PowerState {
+        match self {
+            DeviceState::Sleep => PowerState::DeepSleep,
+            DeviceState::Idle => PowerState::Idle,
+            DeviceState::Receiving | DeviceState::Updating => PowerState::RxActive,
+            DeviceState::Transmitting => PowerState::TxActive,
+        }
+    }
 }
 
 /// Errors from device operations.
@@ -106,10 +124,12 @@ pub struct TinySdr {
     pub flash: Flash,
     /// Backbone (OTA) radio.
     pub backbone: Sx1276,
-    /// Energy ledger (the simulated Fluke 287).
-    pub ledger: EnergyLedger,
+    /// The power-state machine: power-level state, simulation clock and
+    /// the energy ledger (the simulated Fluke 287). Every device
+    /// operation — advancing time, booting the FPGA, storing images,
+    /// switching TRX — records into it.
+    power: PowerStateMachine,
     state: DeviceState,
-    clock_ns: u64,
     /// LUTs of the active design (drives fabric power).
     active_luts: u32,
     /// Directory of stored images: (slot, design name, length, crc32).
@@ -130,9 +150,8 @@ impl TinySdr {
             pmu: Pmu::new(),
             flash: Flash::new(),
             backbone: Sx1276::new(),
-            ledger: EnergyLedger::new(),
+            power: PowerStateMachine::new(profile::device_state_power(0)),
             state: DeviceState::Idle,
-            clock_ns: 0,
             active_luts: 0,
             stored: Vec::new(),
             active_phy: None,
@@ -144,16 +163,62 @@ impl TinySdr {
         self.state
     }
 
+    /// Current power-level state (the [`PowerState`] graph the device
+    /// moves through; always the mirror of [`Self::state`] except
+    /// transiently inside FPGA/flash operations).
+    pub fn power_state(&self) -> PowerState {
+        self.power.state()
+    }
+
+    /// The power-state machine (ledger, clock, profile).
+    pub fn power(&self) -> &PowerStateMachine {
+        &self.power
+    }
+
+    /// The energy ledger (the simulated Fluke 287).
+    pub fn ledger(&self) -> &EnergyLedger {
+        self.power.ledger()
+    }
+
+    /// A calibrated per-state power profile for the currently loaded
+    /// design — the machine's own profile
+    /// ([`profile::device_state_power`] at the active LUT count; the
+    /// machine is the single source of truth, recalibrated whenever
+    /// the design changes).
+    pub fn state_power(&self) -> tinysdr_power::state::StatePower {
+        self.power.profile().clone()
+    }
+
     /// Simulation clock, nanoseconds since construction.
     pub fn clock_ns(&self) -> u64 {
-        self.clock_ns
+        self.power.clock_ns()
     }
 
     /// Advance time, charging the current platform power to the ledger.
     pub fn advance(&mut self, ns: u64) {
         let p = self.platform_power_mw();
-        self.ledger.record(self.power_tag(), p, ns);
-        self.clock_ns += ns;
+        let tag = self.power_tag();
+        self.power.dwell_tagged(tag, p, ns);
+    }
+
+    /// Walk the power machine to `to` along legal zero-cost edges
+    /// (directly or via `Idle`). The real costs of these moves are
+    /// charged by the operations themselves — the FPGA-boot dwell in
+    /// [`Self::configure_from_slot`], the switch-time dwells in
+    /// [`Self::switch_trx`] — so the bookkeeping transitions are free;
+    /// legality is still enforced by the machine.
+    fn power_goto(&mut self, to: PowerState) {
+        if self.power.state() == to {
+            return;
+        }
+        if !self.power.state().can_transition_to(to) {
+            self.power
+                .transition_with(PowerState::Idle, 0, 0.0)
+                .expect("every power state borders Idle");
+        }
+        self.power
+            .transition_with(to, 0, 0.0)
+            .expect("two hops reach every power state");
     }
 
     fn power_tag(&self) -> &'static str {
@@ -190,8 +255,16 @@ impl TinySdr {
     /// from it ("it allows tinySDR to store multiple FPGA bitstreams and
     /// MCU programs to quickly switch between stored protocols").
     ///
+    /// The write is a real device operation: the power machine passes
+    /// through [`PowerState::FlashWrite`] and the erase+program busy
+    /// time is charged to the ledger (tag `"flash"`) at flash-program
+    /// plus MCU power.
+    ///
     /// # Errors
-    /// Flash-level failures surface as `Config` errors.
+    /// Fails with [`DeviceError::WrongState`] while the device is in
+    /// deep sleep — the flash rail (V3) is gated and the MCU is in
+    /// LPM3; wake first and pay the Table 4 cost. Flash-level failures
+    /// surface as `Config` errors.
     pub fn store_image(
         &mut self,
         slot: ImageSlot,
@@ -199,9 +272,24 @@ impl TinySdr {
         data: &[u8],
     ) -> Result<(), DeviceError> {
         assert!(data.len() <= slot.capacity(), "image exceeds slot");
+        if self.state == DeviceState::Sleep {
+            return Err(DeviceError::WrongState {
+                state: self.state,
+                op: "store image",
+            });
+        }
+        let busy_before = self.flash.busy_ns;
         self.flash
             .erase_and_program(slot.base_addr(), data)
             .map_err(|_| DeviceError::EmptySlot)?;
+        let t_flash = self.flash.busy_ns - busy_before;
+        let resume = self.power.state();
+        self.power_goto(PowerState::FlashWrite);
+        self.power.dwell_at(
+            flash::power::PROGRAM_MW + self.mcu.supply_power_mw(),
+            t_flash,
+        );
+        self.power_goto(resume);
         let crc = tinysdr_fpga::bitstream::crc32(data);
         self.stored.retain(|(s, ..)| *s != slot);
         self.stored.push((slot, name.to_string(), data.len(), crc));
@@ -227,6 +315,16 @@ impl TinySdr {
         slot: ImageSlot,
         design_luts: u32,
     ) -> Result<u64, DeviceError> {
+        // the boot reads flash over V3 and powers the fabric over V2 —
+        // both rails must be up. Keyed on the PMU (not DeviceState):
+        // wake() re-enables the domains before calling here, which is
+        // exactly the distinction a DeviceState::Sleep check would miss.
+        if !(self.pmu.domain_on(Domain::V2) && self.pmu.domain_on(Domain::V3)) {
+            return Err(DeviceError::WrongState {
+                state: self.state,
+                op: "configure FPGA (V2/V3 rails gated)",
+            });
+        }
         let (_, name, len, crc) = self
             .stored
             .iter()
@@ -253,11 +351,19 @@ impl TinySdr {
         let image = tinysdr_fpga::bitstream::Bitstream::from_raw(&name, padded);
         self.fpga.power_on();
         let t = self.fpga.start_configuration(&image, None)?;
-        self.ledger
-            .record("fpga_config", fpga_power::CONFIGURING_MW, t);
-        self.clock_ns += t;
+        // the boot is a FpgaProgram excursion on the power machine: the
+        // dwell charges QSPI-burst power under the "fpga_config" tag and
+        // advances the clock by the 22 ms of Table 4
+        let resume = self.power.state();
+        self.power_goto(PowerState::FpgaProgram);
+        self.power.dwell_at(fpga_power::CONFIGURING_MW, t);
+        self.power_goto(resume);
         self.fpga.tick(t);
         self.active_luts = design_luts;
+        // recalibrate the machine's profile to the new design so
+        // `power().profile()` agrees with `state_power()`
+        self.power
+            .set_profile(profile::device_state_power(design_luts));
         Ok(t)
     }
 
@@ -319,6 +425,7 @@ impl TinySdr {
         self.pmu.enter_sleep();
         self.mcu.set_mode(McuMode::Lpm3);
         self.state = DeviceState::Sleep;
+        self.power_goto(PowerState::DeepSleep);
     }
 
     /// Wake from sleep into RX or TX. Returns the wakeup latency in
@@ -349,6 +456,7 @@ impl TinySdr {
             RadioState::Tx => DeviceState::Transmitting,
             _ => DeviceState::Idle,
         };
+        self.power_goto(self.state.power_state());
         Ok(total)
     }
 
@@ -370,6 +478,7 @@ impl TinySdr {
         };
         let t = self.radio.transition(to);
         self.state = next;
+        self.power_goto(next.power_state());
         self.advance(t);
         Ok(t)
     }
@@ -393,8 +502,10 @@ impl TinySdr {
         self.radio.transition(RadioState::Sleep);
         self.fpga.power_off();
         self.active_luts = 0;
+        self.power.set_profile(profile::device_state_power(0));
         self.backbone.state = tinysdr_rf::sx1276::Sx1276State::Rx;
         self.state = DeviceState::Updating;
+        self.power_goto(PowerState::RxActive);
     }
 
     /// Reproduce Table 4 by exercising the state machine and measuring.
@@ -497,14 +608,127 @@ mod tests {
     #[test]
     fn energy_ledger_accumulates() {
         let mut dev = device_with_image();
+        // storing the image already cost flash-write energy; measure the
+        // sleep/RX cycle as a delta on top of it
+        let base = dev.ledger().total_mj();
         dev.sleep();
         dev.advance(1_000_000_000); // 1 s of sleep ≈ 0.03 mJ
         dev.wake(RadioState::Rx, 2700).unwrap();
         dev.advance(1_000_000_000); // 1 s of RX ≈ 186 mJ
-        let total = dev.ledger.total_mj();
+        let total = dev.ledger().total_mj() - base;
         assert!((total - 186.5).abs() < 8.0, "ledger {total} mJ");
-        let tags = dev.ledger.by_tag();
+        let tags = dev.ledger().by_tag();
         assert!(tags.contains_key("sleep") && tags.contains_key("rx"));
+    }
+
+    #[test]
+    fn storing_an_image_charges_flash_write_energy() {
+        let mut dev = TinySdr::new();
+        assert!(dev.ledger().is_empty());
+        let img = tinysdr_fpga::bitstream::Bitstream::synthesize("lora_phy", 0.15, 1);
+        dev.store_image(ImageSlot::Fpga(0), "lora_phy", img.data())
+            .unwrap();
+        let tags = dev.ledger().by_tag();
+        // a 579 KB erase+program at ~25 mW for a few seconds: tens of mJ
+        let flash_mj = tags["flash"];
+        assert!(
+            flash_mj > 20.0 && flash_mj < 500.0,
+            "flash write {flash_mj} mJ"
+        );
+        // the excursion returned to Idle — no state leak
+        assert_eq!(dev.power_state(), tinysdr_power::state::PowerState::Idle);
+        assert_eq!(dev.state(), DeviceState::Idle);
+    }
+
+    #[test]
+    fn power_machine_mirrors_device_state() {
+        use tinysdr_power::state::PowerState;
+        let mut dev = device_with_image();
+        assert_eq!(dev.power_state(), PowerState::Idle);
+        dev.sleep();
+        assert_eq!(dev.power_state(), PowerState::DeepSleep);
+        dev.wake(RadioState::Rx, 2700).unwrap();
+        assert_eq!(dev.power_state(), PowerState::RxActive);
+        dev.switch_trx().unwrap();
+        assert_eq!(dev.power_state(), PowerState::TxActive);
+        dev.enter_update_mode();
+        assert_eq!(dev.power_state(), PowerState::RxActive);
+        dev.sleep();
+        assert_eq!(dev.power_state(), PowerState::DeepSleep);
+        // every move above went through legal edges only — the machine
+        // would have panicked otherwise (power_goto unwraps)
+    }
+
+    #[test]
+    fn configuring_on_gated_rails_is_rejected() {
+        // direct configure while asleep must fail: V2/V3 are gated.
+        // wake() works because it re-enables the domains first — the
+        // guard is keyed on the PMU, not on DeviceState
+        let mut dev = device_with_image();
+        dev.sleep();
+        let err = dev
+            .configure_from_slot(ImageSlot::Fpga(0), 2700)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::WrongState { .. }));
+        assert_eq!(dev.fpga.loaded_design(), None, "nothing may have booted");
+        // the same slot boots fine through the legal path
+        dev.wake(RadioState::Rx, 2700).unwrap();
+        assert_eq!(dev.fpga.loaded_design(), Some("lora_phy"));
+    }
+
+    #[test]
+    fn storing_while_asleep_is_rejected() {
+        // the flash rail is gated in deep sleep: a write must wake first
+        // and pay the Table 4 cost, not teleport through FlashWrite
+        let mut dev = device_with_image();
+        dev.sleep();
+        let clock = dev.clock_ns();
+        let records = dev.ledger().len();
+        let img = tinysdr_fpga::bitstream::Bitstream::synthesize("late", 0.1, 9);
+        let err = dev
+            .store_image(ImageSlot::Fpga(1), "late", img.data())
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::WrongState { .. }));
+        // the refusal changed nothing: no phantom energy, no time
+        assert_eq!(dev.clock_ns(), clock);
+        assert_eq!(dev.ledger().len(), records);
+        assert_eq!(dev.stored_images().len(), 1);
+    }
+
+    #[test]
+    fn machine_profile_tracks_reconfiguration() {
+        use tinysdr_power::state::PowerState;
+        // regression: the machine used to keep its construction-time
+        // 0-LUT profile forever, contradicting state_power()
+        let mut dev = device_with_image();
+        dev.configure_from_slot(ImageSlot::Fpga(0), 2700).unwrap();
+        assert_eq!(
+            dev.power().profile().state_mw(PowerState::RxActive),
+            dev.state_power().state_mw(PowerState::RxActive),
+        );
+        dev.enter_update_mode(); // drops the design -> 0-LUT profile
+        assert_eq!(
+            dev.power().profile().state_mw(PowerState::RxActive),
+            crate::profile::device_state_power(0).state_mw(PowerState::RxActive),
+        );
+    }
+
+    #[test]
+    fn state_power_profile_tracks_the_loaded_design() {
+        use tinysdr_power::state::PowerState;
+        let mut dev = device_with_image();
+        dev.configure_from_slot(ImageSlot::Fpga(0), 2700).unwrap();
+        let p = dev.state_power();
+        // the profile's RxActive must match the device's own RX power
+        dev.sleep();
+        dev.wake(RadioState::Rx, 2700).unwrap();
+        let live = dev.platform_power_mw();
+        let profiled = p.state_mw(PowerState::RxActive);
+        assert!(
+            (live - profiled).abs() < 1e-9,
+            "profile {profiled} vs live {live}"
+        );
+        assert!((p.state_mw(PowerState::DeepSleep) * 1000.0 - 30.0).abs() < 3.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use tinysdr_fpga::power as fpga_power;
 use tinysdr_hw::mcu::McuMode;
 use tinysdr_lora::fpga_map;
+use tinysdr_power::state::{PowerState, StatePower, TransitionCost};
 use tinysdr_rf::at86rf215;
 
 /// Platform operating points.
@@ -94,6 +95,82 @@ pub fn radio_power_mw(op: OperatingPoint) -> f64 {
     }
 }
 
+/// The calibrated per-state power profile of a TinySDR device running a
+/// design of `active_luts` LUTs — every state of the
+/// [`tinysdr_power::state`] machine priced from the same component
+/// models as [`platform_power_mw`]:
+///
+/// * `DeepSleep` / `Sleep` come from the PMU/regulator summation
+///   ([`StatePower::baseline`]) — the 30 µW floor and the mW-class
+///   LPM0 doze;
+/// * `Idle` / `RxActive` / `TxActive` are the §5.2 battery-referred
+///   compositions (radio + fabric at `active_luts` + MCU);
+/// * `FpgaProgram` is the QSPI configuration burst, `FlashWrite` the
+///   external-flash page-program draw;
+/// * transition costs carry Table 4: the 22 ms FPGA boot (at
+///   configuration power) out of deep sleep, the 1.2 ms radio setup
+///   into RX/TX, and the 45 µs / 11 µs TRX switches.
+pub fn device_state_power(active_luts: u32) -> StatePower {
+    let mcu_active = McuMode::Active.supply_power_mw();
+    let fabric = fpga_power::running_mw(active_luts);
+    let boot_ns = tinysdr_fpga::config::configuration_time_ns();
+    let boot_mj = fpga_power::CONFIGURING_MW * boot_ns as f64 / 1e9;
+    let radio_setup = TransitionCost {
+        latency_ns: at86rf215::timing::RADIO_SETUP_NS,
+        energy_mj: 0.0,
+    };
+    StatePower::baseline()
+        .with_state_mw(
+            PowerState::Idle,
+            10.0 + fabric.min(fpga_power::STATIC_MW) + mcu_active,
+        )
+        .with_state_mw(
+            PowerState::RxActive,
+            at86rf215::power::RX_MW + fabric + mcu_active,
+        )
+        .with_state_mw(
+            PowerState::TxActive,
+            at86rf215::power::tx_mw(at86rf215::MAX_TX_POWER_DBM) + fabric + mcu_active,
+        )
+        .with_state_mw(
+            PowerState::FpgaProgram,
+            fpga_power::CONFIGURING_MW + mcu_active,
+        )
+        .with_state_mw(
+            PowerState::FlashWrite,
+            tinysdr_hw::flash::power::PROGRAM_MW + mcu_active,
+        )
+        .with_transition_cost(
+            PowerState::DeepSleep,
+            PowerState::Idle,
+            TransitionCost {
+                latency_ns: boot_ns,
+                energy_mj: boot_mj,
+            },
+        )
+        .with_transition_cost(PowerState::Idle, PowerState::RxActive, radio_setup)
+        .with_transition_cost(PowerState::Idle, PowerState::TxActive, radio_setup)
+        .with_transition_cost(
+            PowerState::RxActive,
+            PowerState::TxActive,
+            TransitionCost {
+                latency_ns: at86rf215::timing::RX_TO_TX_NS,
+                energy_mj: 0.0,
+            },
+        )
+        .with_transition_cost(
+            PowerState::TxActive,
+            PowerState::RxActive,
+            TransitionCost {
+                latency_ns: at86rf215::timing::TX_TO_RX_NS,
+                energy_mj: 0.0,
+            },
+        )
+    // remaining legal edges (Idle ⇄ FpgaProgram/FlashWrite/Sleep…) are
+    // deliberately unpriced: StatePower treats them as ZERO-cost, and
+    // their real costs are the dwells inside those states
+}
+
 /// The Fig. 9 sweep: platform power vs radio output power for one band.
 pub fn fig9_curve(band_2g4: bool) -> Vec<(f64, f64)> {
     (-14..=14)
@@ -139,6 +216,7 @@ pub fn ble_beacon_battery_years(interval_s: f64, channels: usize) -> f64 {
         wakeup_mj: 0.02,
     };
     d.battery_life_years(&Battery::lipo_1000mah())
+        .expect("beacon pattern is realizable: positive period and draw")
 }
 
 #[cfg(test)]
@@ -210,6 +288,51 @@ mod tests {
     fn concurrent_matches_sec6() {
         let p = platform_power_mw(OperatingPoint::ConcurrentRx);
         assert!((p - 207.0).abs() < 8.0, "concurrent {p} mW");
+    }
+
+    #[test]
+    fn device_state_power_matches_operating_points() {
+        // the state-machine profile and the operating-point table are
+        // two views of the same calibration — they must agree
+        let rx_luts = fpga_map::lora_rx_design(8).total_luts();
+        let p = device_state_power(rx_luts);
+        assert!(
+            (p.state_mw(PowerState::RxActive) - platform_power_mw(OperatingPoint::LoRaRx)).abs()
+                < 1e-9
+        );
+        let tx_luts = fpga_map::lora_tx_design().total_luts();
+        let ptx = device_state_power(tx_luts);
+        assert!(
+            (ptx.state_mw(PowerState::TxActive) - platform_power_mw(OperatingPoint::LoRaTx)).abs()
+                < 1e-9
+        );
+        assert!(
+            (p.state_mw(PowerState::DeepSleep) - platform_power_mw(OperatingPoint::Sleep)).abs()
+                < 1e-9
+        );
+        // ordering sanity: sleep < doze < idle < rx < tx
+        assert!(p.state_mw(PowerState::DeepSleep) < p.state_mw(PowerState::Sleep));
+        assert!(p.state_mw(PowerState::Sleep) < p.state_mw(PowerState::Idle));
+        assert!(p.state_mw(PowerState::Idle) < p.state_mw(PowerState::RxActive));
+        assert!(p.state_mw(PowerState::RxActive) < ptx.state_mw(PowerState::TxActive));
+    }
+
+    #[test]
+    fn device_state_power_carries_table4_costs() {
+        let p = device_state_power(2700);
+        let wake = p
+            .transition_cost(PowerState::DeepSleep, PowerState::Idle)
+            .unwrap();
+        assert!((wake.latency_ns as f64 / 1e6 - 22.0).abs() < 0.5, "22 ms");
+        assert!(wake.energy_mj > 1.0 && wake.energy_mj < 1.5, "boot energy");
+        let rx_tx = p
+            .transition_cost(PowerState::RxActive, PowerState::TxActive)
+            .unwrap();
+        assert_eq!(rx_tx.latency_ns, 11_000);
+        let tx_rx = p
+            .transition_cost(PowerState::TxActive, PowerState::RxActive)
+            .unwrap();
+        assert_eq!(tx_rx.latency_ns, 45_000);
     }
 
     #[test]

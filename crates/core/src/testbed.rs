@@ -23,6 +23,8 @@
 //! [`tinysdr_rf::phy::PhyModem::airtime_s`] rather than keeping a
 //! parallel formula.
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,6 +35,9 @@ use tinysdr_ota::seed::{
     node_stream_seed, stream_seed, STREAM_BROADCAST, STREAM_INTERFERENCE, STREAM_SESSION,
 };
 use tinysdr_ota::session::{run_session, LinkModel, SessionConfig, SessionReport};
+use tinysdr_power::battery::Battery;
+use tinysdr_power::duty::DutyCycle;
+use tinysdr_power::energy::EnergyLedger;
 use tinysdr_rf::pathloss::{Link, LogDistance};
 
 /// AP transmit power (paper: "transmitting at 14 dBm").
@@ -242,6 +247,7 @@ impl Testbed {
         let repaired = Self::run_campaign_on(&stragglers, update, &cfg.repair);
         let total_time_s = broadcast.total_time_s + repaired.total_air_time_s();
         BroadcastCampaignReport {
+            node_ids: self.nodes.iter().map(|n| n.id).collect(),
             broadcast,
             straggler_ids,
             repaired,
@@ -310,6 +316,14 @@ impl Default for CampaignConfig {
 
 /// Outcome of a unicast campaign, keyed by node id (not by iteration
 /// position — shard layouts must not change what a report means).
+///
+/// Beyond the Fig. 14 programming-time view, the report carries the
+/// campaign's **energy axis**: a per-node energy ECDF, the merged
+/// per-component [`EnergyLedger`] (tags `radio_rx` / `radio_tx` /
+/// `mcu` / `flash`), and battery-lifetime projections for duty-cycled
+/// fleets. All of it is derived from the id-sorted reports, so the
+/// sharded-equals-sequential determinism contract extends to every
+/// energy number.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
     /// `(node id, session report)`, sorted by node id.
@@ -317,6 +331,11 @@ pub struct CampaignReport {
     /// Programming times of completed sessions, minutes; built by
     /// merging the per-shard ECDFs.
     time_ecdf: Ecdf,
+    /// Per-node session energy, mJ — every node, completed or not
+    /// (aborted sessions still burned their energy).
+    energy_ecdf: Ecdf,
+    /// Per-component ledgers of every node, merged ascending by id.
+    ledger: EnergyLedger,
 }
 
 impl CampaignReport {
@@ -328,7 +347,20 @@ impl CampaignReport {
             time_ecdf.merge(&shard_ecdf);
         }
         reports.sort_by_key(|(id, _)| *id);
-        CampaignReport { reports, time_ecdf }
+        // energy views are derived from the id-sorted reports, never
+        // from shard order — bit-identical regardless of shard layout
+        let mut energy_ecdf = Ecdf::new();
+        let mut ledger = EnergyLedger::new();
+        for (_, r) in &reports {
+            energy_ecdf.push(r.node_energy_mj);
+            ledger.merge(&r.ledger);
+        }
+        CampaignReport {
+            reports,
+            time_ecdf,
+            energy_ecdf,
+            ledger,
+        }
     }
 
     /// The session report for a node id, if the node was in the campaign.
@@ -376,6 +408,82 @@ impl CampaignReport {
     pub fn time_ecdf(&self) -> &Ecdf {
         &self.time_ecdf
     }
+
+    /// Per-node session energy ECDF, mJ — **all** nodes, completed or
+    /// not (an aborted session still burned what it burned). Empty —
+    /// all accessors `None` — for an empty campaign.
+    pub fn energy_ecdf(&self) -> &Ecdf {
+        &self.energy_ecdf
+    }
+
+    /// Total node-side energy across the campaign, mJ (summed
+    /// ascending by node id).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.reports.iter().map(|(_, r)| r.node_energy_mj).sum()
+    }
+
+    /// The merged per-component ledger of every node, ascending by id
+    /// (tags `radio_rx`, `radio_tx`, `mcu`, `flash`).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Campaign energy per component, mJ (from the merged ledger).
+    pub fn energy_by_tag(&self) -> BTreeMap<String, f64> {
+        self.ledger.by_tag()
+    }
+
+    /// Battery-lifetime projection: each node repeats its session every
+    /// `period_s` seconds and spends the rest at the `sleep_mw` floor
+    /// (pass [`tinysdr_power::state::deep_sleep_mw`] for the paper's
+    /// 30 µW). Returns the ECDF of per-node lifetimes in **years**.
+    ///
+    /// Nodes whose session does not fit the period are projected as
+    /// continuously active (back-to-back updates); the backbone-radio
+    /// wake itself is treated as free — waking the OTA listener needs
+    /// no FPGA boot (§3.4 turns the FPGA *off* in update mode).
+    ///
+    /// # Panics
+    /// Panics on a non-positive/non-finite `period_s` or a negative/
+    /// non-finite `sleep_mw` — garbage inputs must not be silently
+    /// projected as always-on.
+    pub fn battery_life_years_ecdf(&self, battery: &Battery, period_s: f64, sleep_mw: f64) -> Ecdf {
+        assert!(
+            period_s > 0.0 && period_s.is_finite(),
+            "update period must be positive"
+        );
+        assert!(
+            sleep_mw >= 0.0 && sleep_mw.is_finite(),
+            "sleep floor must be >= 0"
+        );
+        let mut out = Ecdf::new();
+        for (_, r) in &self.reports {
+            if r.duration_s <= 0.0 {
+                continue;
+            }
+            let active_mw = r.node_energy_mj / r.duration_s;
+            // a session longer than its period saturates to always-on;
+            // with the inputs validated above that is the only way the
+            // duty-cycle average can be absent
+            let avg = if r.duration_s > period_s {
+                active_mw
+            } else {
+                DutyCycle {
+                    period_s,
+                    active_s: r.duration_s,
+                    active_mw,
+                    sleep_mw,
+                    wakeup_mj: 0.0,
+                }
+                .average_power_mw()
+                .expect("validated pattern")
+            };
+            if let Some(years) = battery.lifetime_years(avg) {
+                out.push(years);
+            }
+        }
+        out
+    }
 }
 
 /// Knobs for the broadcast + targeted-repair strategy.
@@ -404,6 +512,9 @@ impl BroadcastCampaignConfig {
 /// unicast repairs.
 #[derive(Debug, Clone)]
 pub struct BroadcastCampaignReport {
+    /// Node ids in testbed order — the key aligning the positional
+    /// broadcast vectors with the id-keyed repair report.
+    pub node_ids: Vec<u16>,
     /// The shared broadcast phase (`node_complete`/`node_energy_mj` are
     /// positional, in testbed order).
     pub broadcast: BroadcastReport,
@@ -424,6 +535,26 @@ impl BroadcastCampaignReport {
         self.straggler_ids
             .iter()
             .all(|&id| self.repaired.get(id).map(|r| r.completed).unwrap_or(false))
+    }
+
+    /// Per-node campaign energy, mJ: what the node spent listening to
+    /// the shared broadcast (plus NACKing) plus, for stragglers, the
+    /// targeted repair session on top.
+    pub fn node_energy_ecdf(&self) -> Ecdf {
+        let mut e = Ecdf::new();
+        for (i, &id) in self.node_ids.iter().enumerate() {
+            let mut mj = self.broadcast.node_energy_mj[i];
+            if let Some(r) = self.repaired.get(id) {
+                mj += r.node_energy_mj;
+            }
+            e.push(mj);
+        }
+        e
+    }
+
+    /// Total node-side energy across broadcast and repair phases, mJ.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.broadcast.node_energy_mj.iter().sum::<f64>() + self.repaired.total_energy_mj()
     }
 }
 
@@ -564,6 +695,16 @@ mod tests {
             let mut b = par.time_ecdf().clone();
             assert_eq!(a.len(), b.len());
             assert_eq!(a.curve(), b.curve());
+            // the contract extends to the energy axis: ECDF, merged
+            // ledger and per-tag totals are all bit-identical
+            assert_eq!(
+                seq.energy_ecdf().clone().curve(),
+                par.energy_ecdf().clone().curve(),
+                "{shards} shards: energy ECDF diverged"
+            );
+            assert_eq!(seq.ledger(), par.ledger(), "{shards} shards: ledger");
+            assert_eq!(seq.energy_by_tag(), par.energy_by_tag());
+            assert_eq!(seq.total_energy_mj(), par.total_energy_mj());
         }
         // shard counts beyond the node count are clamped, not a panic
         let wide = tb.run_campaign(&upd, &CampaignConfig::sharded(11, 1000));
@@ -601,6 +742,79 @@ mod tests {
         assert_eq!(ecdf.min(), None);
         assert_eq!(ecdf.max(), None);
         assert_eq!(ecdf.quantile(0.5), None);
+    }
+
+    #[test]
+    fn campaign_energy_axis_is_consistent() {
+        let tb = Testbed::campus(42);
+        let upd = BlockedUpdate::build(&FirmwareImage::paper_mcu("mac", 3));
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(7));
+        // the ECDF covers every node, the ledger totals the same energy
+        let mut e = rep.energy_ecdf().clone();
+        assert_eq!(e.len(), rep.len());
+        assert!(
+            (rep.ledger().total_mj() - rep.total_energy_mj()).abs() < 1e-6 * rep.total_energy_mj(),
+            "ledger {} vs sum {}",
+            rep.ledger().total_mj(),
+            rep.total_energy_mj()
+        );
+        // per-tag breakdown: the radio dominates an OTA session
+        let tags = rep.energy_by_tag();
+        assert!(tags["radio_rx"] > tags["mcu"]);
+        assert!(tags["radio_rx"] > tags["radio_tx"]);
+        assert!(tags.contains_key("flash"));
+        // far nodes retransmit more, so energy spreads like time does
+        assert!(e.max().unwrap() > e.min().unwrap());
+        // paper anchor: an MCU update costs ~1.9 kJ·10⁻³ per node on a
+        // strong link; the campus median sits in the same decade
+        let med = e.quantile(0.5).unwrap();
+        assert!(med > 1000.0 && med < 8000.0, "median {med} mJ");
+    }
+
+    #[test]
+    fn battery_projection_scales_with_update_period() {
+        use tinysdr_power::battery::Battery;
+        let tb = Testbed::with_nodes(8, 5);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("fw", 8_000, 2));
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(3));
+        let b = Battery::lipo_1000mah();
+        let sleep = tinysdr_power::state::deep_sleep_mw();
+        let daily = rep.battery_life_years_ecdf(&b, 86_400.0, sleep);
+        let weekly = rep.battery_life_years_ecdf(&b, 7.0 * 86_400.0, sleep);
+        let (mut d, mut w) = (daily.clone(), weekly.clone());
+        assert_eq!(d.len(), rep.len());
+        // updating 7x less often must extend every quantile of life
+        assert!(w.quantile(0.5).unwrap() > d.quantile(0.5).unwrap());
+        // and nothing can outlive the sleep-floor bound (~14 years)
+        let bound = b.lifetime_years(sleep).unwrap();
+        assert!(w.max().unwrap() <= bound);
+        // a node updated continuously lives measured-in-days
+        let frantic = rep.battery_life_years_ecdf(&b, 1.0, sleep);
+        assert!(frantic.clone().max().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn broadcast_report_carries_the_energy_axis() {
+        let tb = Testbed::campus(42);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("bc", 10_000, 4));
+        let cfg = BroadcastCampaignConfig {
+            max_rounds: 6,
+            repair: CampaignConfig::sequential(9),
+        };
+        let rep = tb.broadcast_campaign(&upd, &cfg);
+        let mut e = rep.node_energy_ecdf();
+        assert_eq!(e.len(), tb.nodes.len());
+        assert!(
+            (e.mean().unwrap() * tb.nodes.len() as f64 - rep.total_energy_mj()).abs()
+                < 1e-6 * rep.total_energy_mj()
+        );
+        // stragglers paid broadcast + repair: they sit at the top
+        if let Some(&id) = rep.straggler_ids.first() {
+            let pos = rep.node_ids.iter().position(|&n| n == id).unwrap();
+            let straggler_mj =
+                rep.broadcast.node_energy_mj[pos] + rep.repaired.get(id).unwrap().node_energy_mj;
+            assert!(straggler_mj > e.quantile(0.5).unwrap());
+        }
     }
 
     #[test]

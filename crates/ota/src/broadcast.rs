@@ -13,16 +13,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use tinysdr_power::state::OtaEnergyModel;
+
 use crate::blocks::BlockedUpdate;
 use crate::protocol::{packetize, OtaMessage};
 use crate::seed::{node_stream_seed, STREAM_BROADCAST_PER, STREAM_SESSION};
 use crate::session::{LinkModel, ACK_TIMEOUT_S, TURNAROUND_S};
-
-/// Node-side radio/MCU power during broadcast reception, mW (same
-/// station-keeping as the unicast session).
-const RX_MW: f64 = 39.6;
-const NACK_TX_MW: f64 = 49.0;
-const MCU_MW: f64 = 2.4;
 
 /// Result of one broadcast campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +90,9 @@ pub fn run_broadcast_keyed(
     cfg: &BroadcastConfig,
 ) -> BroadcastReport {
     assert_eq!(links.len(), node_ids.len(), "one id per link");
+    // node-side powers: the same shared calibration the unicast session
+    // prices with (broadcast nodes do the identical station-keeping)
+    let pw = OtaEnergyModel::paper();
     if links.is_empty() {
         return BroadcastReport {
             total_time_s: 0.0,
@@ -152,7 +151,7 @@ pub fn run_broadcast_keyed(
         for &seq in &to_send {
             time += t_data + TURNAROUND_S;
             for (n, per) in pers.iter().enumerate() {
-                node_energy[n] += t_data * RX_MW;
+                node_energy[n] += t_data * pw.rx_mw;
                 if missing[n][seq]
                     && rng.gen::<f64>() >= *per
                     && rng.gen::<f64>() >= links[n].base_loss_prob
@@ -177,7 +176,7 @@ pub fn run_broadcast_keyed(
                 any_incomplete = true;
                 // NACK poll: one short uplink per incomplete node
                 time += t_nack + TURNAROUND_S + ACK_TIMEOUT_S / 4.0;
-                node_energy[n] += t_nack * NACK_TX_MW;
+                node_energy[n] += t_nack * pw.ack_tx_mw;
                 for m in missing_now {
                     if !union.contains(&m) {
                         union.push(m);
@@ -195,7 +194,7 @@ pub fn run_broadcast_keyed(
     repairs = repairs.saturating_sub(n_packets as u64);
 
     for e in node_energy.iter_mut() {
-        *e += time * MCU_MW;
+        *e += time * pw.mcu_mw;
     }
     BroadcastReport {
         total_time_s: time,

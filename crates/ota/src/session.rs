@@ -14,6 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tinysdr_lora::modem::LoraPerPhy;
+use tinysdr_power::energy::EnergyLedger;
+use tinysdr_power::state::OtaEnergyModel;
 use tinysdr_rf::phy::PhyModem;
 use tinysdr_rf::sx1276::{self, LoRaParams};
 
@@ -113,18 +115,6 @@ fn fading_index(rng: &mut StdRng, sigma_db: f64) -> usize {
     ((g * sigma_db).round().clamp(-6.0, 6.0) + 6.0) as usize
 }
 
-/// Node-side power states during the session, mW.
-mod power {
-    /// SX1276 receive.
-    pub const RADIO_RX_MW: f64 = 39.6;
-    /// SX1276 transmit at the ACK power (+6 dBm): 33 + 4/0.25.
-    pub const RADIO_TX_ACK_MW: f64 = 49.0;
-    /// MCU mostly in LPM0 with brief active bursts, averaged.
-    pub const MCU_SESSION_MW: f64 = 2.4;
-    /// Flash page-program bursts, averaged per packet.
-    pub const FLASH_AVG_MW: f64 = 0.15;
-}
-
 /// Outcome of one programming session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
@@ -145,6 +135,11 @@ pub struct SessionReport {
     pub rx_energy_mj: f64,
     /// ACK-TX share, mJ.
     pub tx_energy_mj: f64,
+    /// Per-component ledger of the same energy: tags `radio_rx`,
+    /// `radio_tx`, `mcu`, `flash` — what campaign reports merge across
+    /// nodes. Its total equals [`Self::node_energy_mj`] (up to float
+    /// association).
+    pub ledger: EnergyLedger,
     /// Whether the session completed (false = retry limit exceeded).
     pub completed: bool,
 }
@@ -168,8 +163,14 @@ impl Default for SessionConfig {
 }
 
 /// Simulate programming one node with a blocked update over a link.
+///
+/// Node-side energy is priced through the workspace-wide
+/// [`OtaEnergyModel::paper`] calibration (backbone SX1276 RX/ACK-TX,
+/// MCU session average, flash page-program bursts) — the same model
+/// the broadcast engine and `repro energy` use.
 pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig) -> SessionReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pw = OtaEnergyModel::paper();
 
     // assemble the over-the-air byte stream: all compressed blocks with
     // their 9-byte frame headers
@@ -201,6 +202,9 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
     let mut t = 0.0f64;
     let mut rx_mj = 0.0f64;
     let mut tx_mj = 0.0f64;
+    // wall-clock the radio spends in each role, for the ledger records
+    let mut rx_s = 0.0f64;
+    let mut tx_s = 0.0f64;
     let mut retx = 0u32;
     let mut completed = true;
     // transmissions actually on the air, for byte accounting; an aborted
@@ -212,8 +216,10 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
 
     // handshake: ProgramRequest + Ready (one exchange, retried like data)
     t += t_data + TURNAROUND_S + t_ack + TURNAROUND_S;
-    rx_mj += t_data * power::RADIO_RX_MW;
-    tx_mj += t_ack * power::RADIO_TX_ACK_MW;
+    rx_mj += t_data * pw.rx_mw;
+    tx_mj += t_ack * pw.ack_tx_mw;
+    rx_s += t_data;
+    tx_s += t_ack;
 
     'outer: for _pkt in &packets {
         let mut attempts = 0;
@@ -232,7 +238,8 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
             }
             // downlink data packet: node listens for its full airtime
             t += t_data + TURNAROUND_S;
-            rx_mj += t_data * power::RADIO_RX_MW;
+            rx_mj += t_data * pw.rx_mw;
+            rx_s += t_data;
             data_tx += 1;
             let data_ok = rng.gen::<f64>()
                 >= per_down[fading_index(&mut rng, link.fading_sigma_db)]
@@ -240,14 +247,16 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
             if !data_ok {
                 // node misses it; AP times out waiting for the ACK
                 t += ACK_TIMEOUT_S;
-                rx_mj += ACK_TIMEOUT_S * power::RADIO_RX_MW;
+                rx_mj += ACK_TIMEOUT_S * pw.rx_mw;
+                rx_s += ACK_TIMEOUT_S;
                 retx += 1;
                 continue;
             }
             received = true;
             // node ACKs
             t += t_ack + TURNAROUND_S;
-            tx_mj += t_ack * power::RADIO_TX_ACK_MW;
+            tx_mj += t_ack * pw.ack_tx_mw;
+            tx_s += t_ack;
             ack_tx += 1;
             let ack_ok = rng.gen::<f64>() >= per_up[fading_index(&mut rng, link.fading_sigma_db)]
                 && rng.gen::<f64>() >= link.base_loss_prob / 3.0; // ACKs are short
@@ -257,7 +266,8 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
             // AP missed the ACK → timeout → retransmit (node will see a
             // duplicate sequence number and re-ACK)
             t += ACK_TIMEOUT_S;
-            rx_mj += ACK_TIMEOUT_S * power::RADIO_RX_MW;
+            rx_mj += ACK_TIMEOUT_S * pw.rx_mw;
+            rx_s += ACK_TIMEOUT_S;
             retx += 1;
         }
         flash_packets += 1;
@@ -266,15 +276,29 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
     if completed {
         // end-of-update exchange (an aborted session just times out)
         t += t_data + TURNAROUND_S + t_ack;
-        rx_mj += t_data * power::RADIO_RX_MW;
-        tx_mj += t_ack * power::RADIO_TX_ACK_MW;
+        rx_mj += t_data * pw.rx_mw;
+        tx_mj += t_ack * pw.ack_tx_mw;
+        rx_s += t_data;
+        tx_s += t_ack;
         data_tx += 1;
         ack_tx += 1;
     }
 
-    let mcu_mj = t * power::MCU_SESSION_MW;
-    let flash_mj = flash_packets as f64 * power::FLASH_AVG_MW;
+    let mcu_mj = t * pw.mcu_mw;
+    let flash_mj = flash_packets as f64 * pw.flash_mj_per_packet;
     let node_energy = rx_mj + tx_mj + mcu_mj + flash_mj;
+
+    // the same energy as a per-component ledger (burst records carry
+    // the exact mJ; durations attribute wall clock per component)
+    let mut ledger = EnergyLedger::new();
+    ledger.record_energy("radio_rx", rx_mj, (rx_s * 1e9) as u64);
+    ledger.record_energy("radio_tx", tx_mj, (tx_s * 1e9) as u64);
+    ledger.record_energy("mcu", mcu_mj, (t * 1e9) as u64);
+    ledger.record_energy(
+        "flash",
+        flash_mj,
+        flash_packets * tinysdr_hw::flash::timing::PAGE_PROGRAM_NS,
+    );
 
     SessionReport {
         duration_s: t,
@@ -284,6 +308,7 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
         node_energy_mj: node_energy,
         rx_energy_mj: rx_mj,
         tx_energy_mj: tx_mj,
+        ledger,
         completed,
     }
 }
@@ -356,8 +381,8 @@ mod tests {
         let ble = BlockedUpdate::build(&FirmwareImage::ble_fpga(2));
         let e_lora = run_session(&lora, &strong_link(), &SessionConfig::default()).node_energy_mj;
         let e_ble = run_session(&ble, &strong_link(), &SessionConfig::default()).node_energy_mj;
-        let n_lora = b.operations(e_lora);
-        let n_ble = b.operations(e_ble);
+        let n_lora = b.operations(e_lora).expect("positive update energy");
+        let n_ble = b.operations(e_ble).expect("positive update energy");
         // §5.3: "we could OTA program each tinySDR node with LoRa 2100
         // times and BLE 5600 times"
         assert!(
@@ -480,6 +505,29 @@ mod tests {
         }
         // and the customization genuinely changes the number
         assert!(phy.airtime_len_s(69) < strong_link().phy().airtime_len_s(69));
+    }
+
+    #[test]
+    fn ledger_accounts_for_the_whole_session() {
+        // the per-component ledger must agree with the scalar report:
+        // same total (up to float association), all four tags present,
+        // shares matching the rx/tx fields exactly
+        let img = FirmwareImage::ble_fpga(2);
+        let upd = BlockedUpdate::build(&img);
+        let rep = run_session(&upd, &strong_link(), &SessionConfig::default());
+        let tags = rep.ledger.by_tag();
+        assert_eq!(tags["radio_rx"], rep.rx_energy_mj);
+        assert_eq!(tags["radio_tx"], rep.tx_energy_mj);
+        assert!(tags.contains_key("mcu") && tags.contains_key("flash"));
+        assert!(
+            (rep.ledger.total_mj() - rep.node_energy_mj).abs() < 1e-9,
+            "ledger {} vs report {}",
+            rep.ledger.total_mj(),
+            rep.node_energy_mj
+        );
+        // the radio cannot listen longer than the session lasted
+        let rx_s = rep.ledger.records()[0].duration_ns as f64 / 1e9;
+        assert!(rx_s > 0.0 && rx_s < rep.duration_s);
     }
 
     #[test]

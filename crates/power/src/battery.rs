@@ -5,9 +5,12 @@
 //! transmitting once per second", and "Using a 1000 mAh LiPo battery, we
 //! could OTA program each tinySDR node with LoRa 2100 times and BLE 5600
 //! times".
+//!
+//! Lifetime queries at a zero or negative draw return `None` (absence,
+//! not `inf`), matching the [`crate::duty`] and `Ecdf` convention.
 
 /// A LiPo battery.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     /// Rated capacity, mAh.
     pub capacity_mah: f64,
@@ -39,25 +42,36 @@ impl Battery {
     }
 
     /// Lifetime in seconds at a constant average power draw (mW).
-    pub fn lifetime_s(&self, avg_power_mw: f64) -> f64 {
-        assert!(avg_power_mw > 0.0);
-        self.energy_mj() / avg_power_mw
+    /// `None` when the draw is zero, negative or non-finite.
+    pub fn lifetime_s(&self, avg_power_mw: f64) -> Option<f64> {
+        if avg_power_mw > 0.0 && avg_power_mw.is_finite() {
+            Some(self.energy_mj() / avg_power_mw)
+        } else {
+            None
+        }
     }
 
-    /// Lifetime in days at a constant average draw (mW).
-    pub fn lifetime_days(&self, avg_power_mw: f64) -> f64 {
-        self.lifetime_s(avg_power_mw) / 86_400.0
+    /// Lifetime in days at a constant average draw (mW); `None` for a
+    /// zero/negative/non-finite draw.
+    pub fn lifetime_days(&self, avg_power_mw: f64) -> Option<f64> {
+        Some(self.lifetime_s(avg_power_mw)? / 86_400.0)
     }
 
-    /// Lifetime in years at a constant average draw (mW).
-    pub fn lifetime_years(&self, avg_power_mw: f64) -> f64 {
-        self.lifetime_days(avg_power_mw) / 365.25
+    /// Lifetime in years at a constant average draw (mW); `None` for a
+    /// zero/negative/non-finite draw.
+    pub fn lifetime_years(&self, avg_power_mw: f64) -> Option<f64> {
+        Some(self.lifetime_days(avg_power_mw)? / 365.25)
     }
 
-    /// How many operations of `energy_mj` each the battery can fund.
-    pub fn operations(&self, energy_mj: f64) -> u64 {
-        assert!(energy_mj > 0.0);
-        (self.energy_mj() / energy_mj) as u64
+    /// How many operations of `energy_mj` each the battery can fund;
+    /// `None` when the per-operation energy is zero, negative or
+    /// non-finite (a free operation can be repeated forever).
+    pub fn operations(&self, energy_mj: f64) -> Option<u64> {
+        if energy_mj > 0.0 && energy_mj.is_finite() {
+            Some((self.energy_mj() / energy_mj) as u64)
+        } else {
+            None
+        }
     }
 }
 
@@ -76,8 +90,8 @@ mod tests {
     fn ota_update_counts_match_paper() {
         // §5.3: 6144 mJ/LoRa update → 2100 updates; 2342 mJ/BLE → 5600
         let b = Battery::lipo_1000mah();
-        let lora = b.operations(6144.0);
-        let ble = b.operations(2342.0);
+        let lora = b.operations(6144.0).unwrap();
+        let ble = b.operations(2342.0).unwrap();
         assert!((lora as i64 - 2100).abs() < 100, "LoRa updates {lora}");
         assert!((ble as i64 - 5600).abs() < 150, "BLE updates {ble}");
     }
@@ -87,7 +101,7 @@ mod tests {
         // at the 30 µW sleep floor a 1000 mAh cell lasts ~14 years —
         // sleep is not the binding constraint, duty cycling is
         let b = Battery::lipo_1000mah();
-        assert!(b.lifetime_years(0.030) > 10.0);
+        assert!(b.lifetime_years(0.030).unwrap() > 10.0);
     }
 
     #[test]
@@ -96,6 +110,17 @@ mod tests {
         let b = Battery::lipo_1000mah();
         let p = b.energy_mj() / (2.0 * 365.25 * 86_400.0);
         assert!((p - 0.211).abs() < 0.01, "2-year budget {p} mW");
+    }
+
+    #[test]
+    fn zero_draw_is_none_not_infinite() {
+        // regression: lifetime_s(0.0) and operations(0.0) used to assert
+        let b = Battery::lipo_1000mah();
+        assert_eq!(b.lifetime_s(0.0), None);
+        assert_eq!(b.lifetime_years(-1.0), None);
+        assert_eq!(b.lifetime_days(f64::NAN), None);
+        assert_eq!(b.operations(0.0), None);
+        assert_eq!(b.operations(-5.0), None);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! V1 is always on (TPS78218 LDO); V2/V3/V4/V7 are TPS62240 bucks; V6 is
 //! the TPS62080 (the 900 MHz PA's current exceeds the TPS62240 rating);
 //! V5 is the SC195 adjustable rail shared by both radios and the FPGA
-//! LVDS bank.
+//! LVDS bank. The regulator species themselves are modeled in
+//! [`crate::regulator`]; the [`crate::pmu::Pmu`] instantiates one per
+//! [`Domain`] and gates them per the §5.1 sleep sequence.
 
 use crate::regulator::{Regulator, RegulatorKind};
 

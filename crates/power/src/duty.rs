@@ -3,14 +3,20 @@
 //! (paper §2).
 //!
 //! A duty-cycled node alternates between an active phase (wake → work →
-//! sleep) and the 30 µW floor. Average power is the energy-weighted mix;
-//! Table 1's comparison exists precisely because other SDRs' *sleep*
-//! power exceeds TinySDR's *transmit* power.
+//! sleep) and the 30 µW floor ([`crate::state::deep_sleep_mw`]). Average
+//! power is the energy-weighted mix; Table 1's comparison exists
+//! precisely because other SDRs' *sleep* power exceeds TinySDR's
+//! *transmit* power.
+//!
+//! Degenerate patterns (zero period, active time exceeding the period,
+//! non-finite inputs) yield `None` rather than a panic or a nonsense
+//! number — the same explicit-absence convention as `Ecdf` and
+//! [`crate::energy::EnergyLedger::average_power_mw`].
 
 use crate::battery::Battery;
 
 /// One recurring activity pattern.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DutyCycle {
     /// Period between activations, seconds.
     pub period_s: f64,
@@ -25,29 +31,58 @@ pub struct DutyCycle {
 }
 
 impl DutyCycle {
-    /// Average power, mW.
-    pub fn average_power_mw(&self) -> f64 {
-        assert!(self.active_s <= self.period_s, "active time exceeds period");
+    /// `true` when the pattern is physically realizable: positive
+    /// finite period, `0 ≤ active_s ≤ period_s`, non-negative finite
+    /// powers and wakeup energy.
+    pub fn is_valid(&self) -> bool {
+        self.period_s > 0.0
+            && self.period_s.is_finite()
+            && (0.0..=self.period_s).contains(&self.active_s)
+            && self.active_mw >= 0.0
+            && self.active_mw.is_finite()
+            && self.sleep_mw >= 0.0
+            && self.sleep_mw.is_finite()
+            && self.wakeup_mj >= 0.0
+            && self.wakeup_mj.is_finite()
+    }
+
+    /// Average power, mW. `None` for unrealizable patterns (zero/
+    /// negative period, active time exceeding the period, non-finite
+    /// or negative inputs).
+    pub fn average_power_mw(&self) -> Option<f64> {
+        if !self.is_valid() {
+            return None;
+        }
         let active_mj = self.active_mw * self.active_s + self.wakeup_mj;
         let sleep_mj = self.sleep_mw * (self.period_s - self.active_s);
-        (active_mj + sleep_mj) / self.period_s
+        Some((active_mj + sleep_mj) / self.period_s)
     }
 
-    /// Duty-cycle fraction.
-    pub fn duty_fraction(&self) -> f64 {
-        self.active_s / self.period_s
+    /// Duty-cycle fraction in `[0, 1]`; `None` for unrealizable
+    /// patterns.
+    pub fn duty_fraction(&self) -> Option<f64> {
+        if !self.is_valid() {
+            return None;
+        }
+        Some(self.active_s / self.period_s)
     }
 
-    /// Battery life under this pattern, years.
-    pub fn battery_life_years(&self, battery: &Battery) -> f64 {
-        battery.lifetime_years(self.average_power_mw())
+    /// Battery life under this pattern, years. `None` for unrealizable
+    /// patterns or a zero-draw pattern (infinite life is reported as
+    /// absence, not as `inf`).
+    pub fn battery_life_years(&self, battery: &Battery) -> Option<f64> {
+        battery.lifetime_years(self.average_power_mw()?)
     }
 
     /// Break-even sleep power: the sleep floor at which halving it stops
     /// mattering (sleep and active contributions equal), mW. Useful for
-    /// the Table 1 argument.
-    pub fn sleep_power_parity_mw(&self) -> f64 {
-        (self.active_mw * self.active_s + self.wakeup_mj) / (self.period_s - self.active_s)
+    /// the Table 1 argument. `None` when the pattern never sleeps
+    /// (`active_s == period_s`) or is unrealizable.
+    pub fn sleep_power_parity_mw(&self) -> Option<f64> {
+        if !self.is_valid() || self.active_s >= self.period_s {
+            return None;
+        }
+        Some((self.active_mw * self.active_s + self.wakeup_mj) / (self.period_s - self.active_s))
     }
 }
 
@@ -75,7 +110,7 @@ mod tests {
 
     #[test]
     fn duty_cycled_node_is_sub_milliwatt() {
-        let avg = lora_sensor().average_power_mw();
+        let avg = lora_sensor().average_power_mw().unwrap();
         assert!(avg < 1.1, "average {avg} mW");
         assert!(avg > 0.030);
     }
@@ -83,7 +118,7 @@ mod tests {
     #[test]
     fn battery_life_dominated_by_activity_not_sleep() {
         let b = Battery::lipo_1000mah();
-        let years = lora_sensor().battery_life_years(&b);
+        let years = lora_sensor().battery_life_years(&b).unwrap();
         assert!(years > 0.3 && years < 2.0, "life {years} years");
     }
 
@@ -93,10 +128,10 @@ mod tests {
         // 1000 mAh battery life of ~1.3 hours
         let b = Battery::lipo_1000mah();
         let best = best_average_power_mw(2820.0);
-        let hours = b.lifetime_s(best) / 3600.0;
+        let hours = b.lifetime_s(best).unwrap() / 3600.0;
         assert!(hours < 2.0, "E310 best-case {hours} h");
         // tinySDR's sleep floor alone gives years
-        assert!(b.lifetime_years(best_average_power_mw(0.030)) > 10.0);
+        assert!(b.lifetime_years(best_average_power_mw(0.030)).unwrap() > 10.0);
     }
 
     #[test]
@@ -109,20 +144,48 @@ mod tests {
             sleep_mw: 0.030,
             wakeup_mj: 0.0,
         };
-        assert!((idle.average_power_mw() - 0.030).abs() < 1e-9);
+        assert!((idle.average_power_mw().unwrap() - 0.030).abs() < 1e-9);
+        assert_eq!(idle.duty_fraction(), Some(0.0));
     }
 
     #[test]
-    #[should_panic(expected = "active time exceeds period")]
-    fn over_100_percent_duty_rejected() {
-        DutyCycle {
+    fn unrealizable_patterns_are_none_not_a_panic() {
+        // regression: active_s > period_s used to assert; zero period
+        // divided by zero
+        let over = DutyCycle {
             period_s: 1.0,
             active_s: 2.0,
             active_mw: 1.0,
             sleep_mw: 0.03,
             wakeup_mj: 0.0,
-        }
-        .average_power_mw();
+        };
+        assert_eq!(over.average_power_mw(), None);
+        assert_eq!(over.duty_fraction(), None);
+        assert_eq!(over.battery_life_years(&Battery::lipo_1000mah()), None);
+        let zero_period = DutyCycle {
+            period_s: 0.0,
+            ..lora_sensor()
+        };
+        assert_eq!(zero_period.average_power_mw(), None);
+        let nan = DutyCycle {
+            active_mw: f64::NAN,
+            ..lora_sensor()
+        };
+        assert_eq!(nan.average_power_mw(), None);
+    }
+
+    #[test]
+    fn always_on_pattern_has_no_sleep_parity() {
+        let d = DutyCycle {
+            period_s: 1.0,
+            active_s: 1.0,
+            active_mw: 100.0,
+            sleep_mw: 0.03,
+            wakeup_mj: 0.0,
+        };
+        assert_eq!(d.sleep_power_parity_mw(), None);
+        // but its average is well-defined: it simply never sleeps
+        assert!((d.average_power_mw().unwrap() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -130,6 +193,6 @@ mod tests {
         let d = lora_sensor();
         // sleep floor is far below parity → further sleep reduction
         // barely moves the average; activity dominates
-        assert!(d.sleep_mw < d.sleep_power_parity_mw());
+        assert!(d.sleep_mw < d.sleep_power_parity_mw().unwrap());
     }
 }

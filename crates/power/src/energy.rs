@@ -3,30 +3,55 @@
 //! Replaces the paper's Fluke 287 logging multimeter. Every
 //! device-level simulation records its state dwell times here; the OTA
 //! energy figures of §5.3 (6144 mJ per LoRa update, 2342 mJ per BLE
-//! update) come out of this ledger.
+//! update) come out of this ledger, and campaign-level reports
+//! ([`merge`](EnergyLedger::merge)d across nodes) feed the battery
+//! projections of [`crate::battery`] and [`crate::duty`].
+//!
+//! Two record species exist:
+//!
+//! * **dwell** records ([`EnergyLedger::record`]) — a power drawn for a
+//!   duration, the Fluke-style measurement (energy = power × time);
+//! * **burst** records ([`EnergyLedger::record_energy`]) — an event
+//!   priced directly in millijoules (a flash page-program burst, a
+//!   wakeup transient), stored exactly so totals stay bit-reproducible.
+//!
+//! The ledger is deliberately dumb: it never deduplicates or overlaps
+//! intervals. Components recorded in parallel (radio + MCU over the
+//! same wall-clock span) simply contribute separate records, which is
+//! how the paper's per-component attribution works.
 
 use std::collections::BTreeMap;
 
-/// One recorded interval.
+/// One recorded interval or burst.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyRecord {
     /// Component/tag name.
     pub tag: String,
-    /// Power during the interval, mW.
-    pub power_mw: f64,
-    /// Interval length, nanoseconds.
+    /// Energy of the record, millijoules.
+    pub energy_mj: f64,
+    /// Interval length, nanoseconds (0 for instantaneous bursts).
     pub duration_ns: u64,
 }
 
 impl EnergyRecord {
     /// Energy of this record, millijoules.
     pub fn energy_mj(&self) -> f64 {
-        self.power_mw * self.duration_ns as f64 / 1e9
+        self.energy_mj
+    }
+
+    /// Average power over the interval, mW — `None` for zero-duration
+    /// burst records, whose power is undefined.
+    pub fn power_mw(&self) -> Option<f64> {
+        if self.duration_ns == 0 {
+            None
+        } else {
+            Some(self.energy_mj * 1e9 / self.duration_ns as f64)
+        }
     }
 }
 
 /// The ledger.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     records: Vec<EnergyRecord>,
 }
@@ -38,21 +63,44 @@ impl EnergyLedger {
     }
 
     /// Record `power_mw` drawn under `tag` for `duration_ns`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite power — a ledger holding
+    /// negative energy would silently corrupt every downstream battery
+    /// projection.
     pub fn record(&mut self, tag: &str, power_mw: f64, duration_ns: u64) {
         assert!(power_mw >= 0.0, "negative power");
+        assert!(power_mw.is_finite(), "non-finite power");
         self.records.push(EnergyRecord {
             tag: tag.to_string(),
-            power_mw,
+            energy_mj: power_mw * duration_ns as f64 / 1e9,
+            duration_ns,
+        });
+    }
+
+    /// Record a burst priced directly in millijoules (flash
+    /// page-program, wakeup transient). The energy is stored exactly —
+    /// no power × time round trip — with `duration_ns` attributing the
+    /// wall-clock span (0 for effectively-instantaneous events).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite energy.
+    pub fn record_energy(&mut self, tag: &str, energy_mj: f64, duration_ns: u64) {
+        assert!(energy_mj >= 0.0, "negative energy");
+        assert!(energy_mj.is_finite(), "non-finite energy");
+        self.records.push(EnergyRecord {
+            tag: tag.to_string(),
+            energy_mj,
             duration_ns,
         });
     }
 
     /// Total energy across all records, mJ.
     pub fn total_mj(&self) -> f64 {
-        self.records.iter().map(|r| r.energy_mj()).sum()
+        self.records.iter().map(|r| r.energy_mj).sum()
     }
 
-    /// Total recorded time, seconds (sum of all interval durations under
+    /// Total recorded time, seconds (sum of all interval durations —
     /// distinct tags may overlap; callers usually record wall-clock per
     /// component so the max per-tag time is the session length).
     pub fn total_time_s(&self) -> f64 {
@@ -67,15 +115,21 @@ impl EnergyLedger {
     pub fn by_tag(&self) -> BTreeMap<String, f64> {
         let mut m = BTreeMap::new();
         for r in &self.records {
-            *m.entry(r.tag.clone()).or_insert(0.0) += r.energy_mj();
+            *m.entry(r.tag.clone()).or_insert(0.0) += r.energy_mj;
         }
         m
     }
 
     /// Average power over a session of `session_s` seconds, mW.
-    pub fn average_power_mw(&self, session_s: f64) -> f64 {
-        assert!(session_s > 0.0);
-        self.total_mj() / session_s
+    /// `None` when `session_s` is zero, negative or non-finite — an
+    /// empty observation window has no average (the PR 2 `Ecdf`
+    /// convention: absent data is explicit, not a panic or a 0.0).
+    pub fn average_power_mw(&self, session_s: f64) -> Option<f64> {
+        if session_s > 0.0 && session_s.is_finite() {
+            Some(self.total_mj() / session_s)
+        } else {
+            None
+        }
     }
 
     /// Number of records.
@@ -88,7 +142,13 @@ impl EnergyLedger {
         self.records.is_empty()
     }
 
-    /// Merge another ledger's records into this one.
+    /// The raw records, in recording order.
+    pub fn records(&self) -> &[EnergyRecord] {
+        &self.records
+    }
+
+    /// Merge another ledger's records into this one (appended in
+    /// `other`'s recording order; merging an empty ledger is a no-op).
     pub fn merge(&mut self, other: &EnergyLedger) {
         self.records.extend(other.records.iter().cloned());
     }
@@ -101,12 +161,20 @@ mod tests {
     #[test]
     fn energy_math() {
         // 100 mW for 2 s = 200 mJ
-        let r = EnergyRecord {
-            tag: "x".into(),
-            power_mw: 100.0,
-            duration_ns: 2_000_000_000,
-        };
+        let mut l = EnergyLedger::new();
+        l.record("x", 100.0, 2_000_000_000);
+        let r = &l.records()[0];
         assert!((r.energy_mj() - 200.0).abs() < 1e-9);
+        assert!((r.power_mw().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_records_store_energy_exactly() {
+        let mut l = EnergyLedger::new();
+        l.record_energy("flash", 0.15, 0);
+        assert_eq!(l.total_mj(), 0.15, "burst energy must round-trip exactly");
+        assert_eq!(l.records()[0].power_mw(), None);
+        assert_eq!(l.total_time_s(), 0.0);
     }
 
     #[test]
@@ -125,9 +193,20 @@ mod tests {
     fn average_power() {
         let mut l = EnergyLedger::new();
         l.record("sys", 30.0, 10_000_000_000);
-        assert!((l.average_power_mw(10.0) - 30.0).abs() < 1e-9);
+        assert!((l.average_power_mw(10.0).unwrap() - 30.0).abs() < 1e-9);
         // averaged over a day-long session the same energy is tiny
-        assert!(l.average_power_mw(86_400.0) < 0.01);
+        assert!(l.average_power_mw(86_400.0).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn zero_window_average_is_none_not_a_panic() {
+        // regression: average_power_mw(0.0) used to assert
+        let mut l = EnergyLedger::new();
+        l.record("sys", 30.0, 1_000_000_000);
+        assert_eq!(l.average_power_mw(0.0), None);
+        assert_eq!(l.average_power_mw(-1.0), None);
+        assert_eq!(l.average_power_mw(f64::NAN), None);
+        assert_eq!(EnergyLedger::new().average_power_mw(0.0), None);
     }
 
     #[test]
@@ -142,8 +221,32 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = EnergyLedger::new();
+        a.record("x", 1.0, 500_000_000);
+        let before = a.clone();
+        a.merge(&EnergyLedger::new());
+        assert_eq!(a, before);
+        let mut e = EnergyLedger::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
     #[should_panic(expected = "negative power")]
     fn negative_power_rejected() {
         EnergyLedger::new().record("bad", -1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite power")]
+    fn non_finite_power_rejected() {
+        EnergyLedger::new().record("bad", f64::INFINITY, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative energy")]
+    fn negative_burst_rejected() {
+        EnergyLedger::new().record_energy("bad", -0.1, 0);
     }
 }

@@ -1,8 +1,8 @@
 //! # tinysdr-power
 //!
 //! The power-management substrate: voltage regulators, the seven power
-//! domains of the paper's Table 3, the PMU that gates them, an energy
-//! ledger, and battery/duty-cycle math.
+//! domains of the paper's Table 3, the PMU that gates them, the device
+//! power-state machine, an energy ledger, and battery/duty-cycle math.
 //!
 //! This crate is where the paper's headline number — **30 µW sleep
 //! power, 10 000× below existing SDR platforms** — is *computed* rather
@@ -12,14 +12,37 @@
 //! board leakage, and the test suite checks the total lands on the
 //! measured 30 µW.
 //!
-//! Modules:
+//! The modules stack bottom-up:
+//!
 //! * [`regulator`] — TPS78218 LDO, TPS62240/TPS62080 bucks, SC195
-//!   adjustable, with quiescent/shutdown currents and efficiency curves.
+//!   adjustable, with quiescent/shutdown currents and efficiency curves
+//!   (§3.3's regulator-selection narrative).
 //! * [`domains`] — Table 3: which component hangs off which rail.
-//! * [`pmu`] — the gating logic the MCU drives (§3.3).
-//! * [`energy`] — (component, power, duration) ledger → mJ totals.
-//! * [`battery`] — 3.7 V LiPo model and lifetime projections.
-//! * [`duty`] — duty-cycle average-power planner.
+//! * [`pmu`] — the gating logic the MCU drives (§3.3): regulators per
+//!   [`domains::Domain`], loads per [`domains::Component`], battery-side
+//!   totals.
+//! * [`state`] — the device power-state machine
+//!   ([`state::PowerState`]: DeepSleep → … → TxActive), per-state mW
+//!   profiles ([`state::StatePower`]), priced transitions, and the
+//!   shared OTA session energy model ([`state::OtaEnergyModel`]) behind
+//!   §5.3's per-update millijoule figures.
+//! * [`energy`] — the ledger ([`energy::EnergyLedger`]): (component,
+//!   power, duration) records → mJ totals, the simulated Fluke 287.
+//! * [`battery`] — 3.7 V LiPo model and lifetime projections (§5.2's
+//!   ">2 years on a 1000 mAh battery").
+//! * [`duty`] — duty-cycle average-power planner
+//!   ([`duty::DutyCycle`]): the §2 argument for why the 30 µW floor,
+//!   not peak power, decides battery life.
+//!
+//! Everything upstream consumes this crate through
+//! [`state`]/[`energy`]: the device (`tinysdr-core`) owns a
+//! [`state::PowerStateMachine`] and records every operation into its
+//! ledger; the OTA engines (`tinysdr-ota`) price sessions with
+//! [`state::OtaEnergyModel::paper`]; campaign reports merge per-node
+//! ledgers and project battery life with [`battery::Battery`] +
+//! [`duty::DutyCycle`]. See the "Power & energy model" chapter of
+//! `DESIGN.md` for the full picture and `repro energy` for the
+//! reproduced paper numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,3 +53,4 @@ pub mod duty;
 pub mod energy;
 pub mod pmu;
 pub mod regulator;
+pub mod state;

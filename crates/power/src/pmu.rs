@@ -5,6 +5,13 @@
 //! banks and core voltage. Similarly, we also turn off the PAs. Finally,
 //! we put the MCU in sleep mode LPM3 running only a wakeup timer. The
 //! measured total system sleep power in this mode was 30 uW" (§5.1).
+//!
+//! The [`Pmu`] composes one [`crate::regulator::Regulator`] per
+//! [`crate::domains::Domain`] (Table 3) and tracks per-
+//! [`crate::domains::Component`] loads; [`Pmu::enter_sleep`] is the
+//! §5.1 sleep sequence, and [`crate::state::deep_sleep_mw`] /
+//! [`crate::state::light_sleep_mw`] expose the resulting floors to the
+//! power-state machine.
 
 use std::collections::HashMap;
 

@@ -11,6 +11,11 @@
 //!   0.1 uA".
 //! * **TPS62080** buck for the 900 MHz PA's high current.
 //! * **SC195** adjustable (1.8–3.6 V) for the shared radio/LVDS rail V5.
+//!
+//! Which rail gets which species is Table 3's assignment, encoded in
+//! [`crate::domains::Domain::regulator`]; the quiescent and shutdown
+//! currents below are what [`crate::pmu::Pmu::enter_sleep`] sums into
+//! the 30 µW floor.
 
 /// Battery/input voltage assumed by the efficiency math, volts.
 pub const VIN: f64 = 3.7;

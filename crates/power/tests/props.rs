@@ -1,0 +1,170 @@
+//! Property-based invariants for the power substrate: ledger merges,
+//! duty-cycle math, and the power-state machine's transition graph.
+
+use proptest::prelude::*;
+use tinysdr_power::battery::Battery;
+use tinysdr_power::duty::DutyCycle;
+use tinysdr_power::energy::EnergyLedger;
+use tinysdr_power::state::{PowerState, PowerStateMachine, StatePower, ALL_STATES};
+
+/// Build a ledger from generated (tag index, power, duration) triples.
+fn ledger_from(parts: &[(u8, f64, u64)]) -> EnergyLedger {
+    let mut l = EnergyLedger::new();
+    for &(tag, mw, ns) in parts {
+        l.record(&format!("tag{}", tag % 5), mw, ns);
+    }
+    l
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Merging is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c), record for
+    /// record.
+    #[test]
+    fn ledger_merge_is_associative(
+        a in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..8),
+        b in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..8),
+        c in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..8),
+    ) {
+        let (la, lb, lc) = (ledger_from(&a), ledger_from(&b), ledger_from(&c));
+        let mut left = la.clone();
+        left.merge(&lb);
+        left.merge(&lc);
+        let mut bc = lb.clone();
+        bc.merge(&lc);
+        let mut right = la.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge order cannot change the physics: totals and per-tag
+    /// breakdowns agree (to float tolerance) whichever side absorbs the
+    /// other, and the record multiset is preserved.
+    #[test]
+    fn ledger_merge_totals_are_order_independent(
+        a in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..10),
+        b in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..10),
+    ) {
+        let (la, lb) = (ledger_from(&a), ledger_from(&b));
+        let mut ab = la.clone();
+        ab.merge(&lb);
+        let mut ba = lb.clone();
+        ba.merge(&la);
+        prop_assert_eq!(ab.len(), la.len() + lb.len());
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert!(close(ab.total_mj(), ba.total_mj()),
+            "totals {} vs {}", ab.total_mj(), ba.total_mj());
+        prop_assert!(close(ab.total_time_s(), ba.total_time_s()));
+        // tag-preserving: same tag set, matching per-tag energy
+        let (ta, tb) = (ab.by_tag(), ba.by_tag());
+        prop_assert_eq!(ta.keys().collect::<Vec<_>>(), tb.keys().collect::<Vec<_>>());
+        for (k, v) in &ta {
+            prop_assert!(close(*v, tb[k]), "tag {} diverged", k);
+        }
+    }
+
+    /// A merged ledger's total is the sum of its parts.
+    #[test]
+    fn ledger_merge_conserves_energy(
+        a in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..10),
+        b in prop::collection::vec((any::<u8>(), 0.0f64..500.0, 0u64..10_000_000_000), 0..10),
+    ) {
+        let (la, lb) = (ledger_from(&a), ledger_from(&b));
+        let mut m = la.clone();
+        m.merge(&lb);
+        prop_assert!(close(m.total_mj(), la.total_mj() + lb.total_mj()));
+    }
+
+    /// Every realizable duty cycle averages between its sleep floor and
+    /// its active power plus the amortized wakeup.
+    #[test]
+    fn duty_average_is_bracketed(
+        period_s in 0.01f64..86_400.0,
+        frac in 0.0f64..=1.0,
+        active_mw in 0.0f64..500.0,
+        sleep_mw in 0.0f64..1.0,
+        wakeup_mj in 0.0f64..10.0,
+    ) {
+        let d = DutyCycle {
+            period_s,
+            active_s: frac * period_s,
+            active_mw,
+            sleep_mw,
+            wakeup_mj,
+        };
+        let avg = d.average_power_mw().expect("realizable by construction");
+        let lo = sleep_mw.min(active_mw);
+        let hi = active_mw.max(sleep_mw) + wakeup_mj / period_s;
+        prop_assert!(avg >= lo - 1e-12 && avg <= hi + 1e-9,
+            "avg {} outside [{}, {}]", avg, lo, hi);
+        // and battery life is monotone in the average
+        let b = Battery::lipo_1000mah();
+        if let (Some(life), Some(floor_life)) =
+            (b.lifetime_s(avg), b.lifetime_s(sleep_mw))
+        {
+            prop_assert!(life <= floor_life * (1.0 + 1e-12));
+        }
+    }
+
+    /// Random walks over the legal edge set: the machine never goes
+    /// negative in energy, the clock never runs backwards, and illegal
+    /// requests never mutate anything.
+    #[test]
+    fn state_machine_walk_is_sane(steps in prop::collection::vec(0usize..7, 1..40)) {
+        let profile = StatePower::baseline()
+            .with_state_mw(PowerState::Idle, 107.0)
+            .with_state_mw(PowerState::RxActive, 186.0)
+            .with_state_mw(PowerState::TxActive, 287.0)
+            .with_state_mw(PowerState::FpgaProgram, 55.0)
+            .with_state_mw(PowerState::FlashWrite, 25.0);
+        let mut m = PowerStateMachine::new(profile);
+        let mut last_mj = 0.0;
+        let mut last_clock = 0;
+        for s in steps {
+            let to = ALL_STATES[s];
+            let before = (m.state(), m.clock_ns(), m.ledger().len());
+            match m.transition(to) {
+                Ok(t) => {
+                    prop_assert!(t.energy_mj >= 0.0, "negative transition energy");
+                    prop_assert!(before.0.can_transition_to(to));
+                    prop_assert_eq!(m.state(), to);
+                }
+                Err(_) => {
+                    // teleport rejected: nothing may have changed
+                    prop_assert_eq!(m.state(), before.0);
+                    prop_assert_eq!(m.clock_ns(), before.1);
+                    prop_assert_eq!(m.ledger().len(), before.2);
+                }
+            }
+            m.dwell(1_000_000);
+            prop_assert!(m.total_mj() >= last_mj, "energy must be monotone");
+            prop_assert!(m.clock_ns() >= last_clock, "clock must be monotone");
+            last_mj = m.total_mj();
+            last_clock = m.clock_ns();
+        }
+    }
+}
+
+/// Exhaustive (non-random) check that reachability via legal edges
+/// covers the whole graph: from any state you can reach any other in at
+/// most 2 hops through `Idle` — the graph has no stranded states.
+#[test]
+fn every_state_reachable_within_two_hops() {
+    for from in ALL_STATES {
+        for to in ALL_STATES {
+            if from == to {
+                continue;
+            }
+            let direct = from.can_transition_to(to);
+            let via_idle =
+                from.can_transition_to(PowerState::Idle) && PowerState::Idle.can_transition_to(to);
+            assert!(
+                direct || via_idle || from == PowerState::Idle,
+                "{from:?} cannot reach {to:?} within two hops"
+            );
+        }
+    }
+}

@@ -73,12 +73,12 @@ fn main() {
     let battery = Battery::lipo_1000mah();
     println!(
         "\nduty cycle: {:.4}% active | avg {:.3} mW | {:.2} years on 1000 mAh",
-        pattern.duty_fraction() * 100.0,
-        pattern.average_power_mw(),
-        pattern.battery_life_years(&battery)
+        pattern.duty_fraction().expect("realizable pattern") * 100.0,
+        pattern.average_power_mw().expect("realizable pattern"),
+        pattern.battery_life_years(&battery).expect("positive draw")
     );
     println!(
         "for contrast, a USRP E310 idles at 2.82 W: {:.1} hours on the same battery",
-        battery.lifetime_s(2820.0) / 3600.0
+        battery.lifetime_s(2820.0).expect("positive draw") / 3600.0
     );
 }

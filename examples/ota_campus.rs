@@ -64,7 +64,9 @@ fn main() {
     let per_node = total_energy / reports.len() as f64;
     println!(
         "mean node energy {per_node:.0} mJ -> {} updates per 1000 mAh (paper: 5600)",
-        battery.operations(per_node)
+        battery
+            .operations(per_node)
+            .expect("campaign spent positive energy")
     );
 
     // --- node-side reassembly under the 64 KB SRAM budget ---

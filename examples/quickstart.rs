@@ -85,7 +85,7 @@ fn main() {
     tx_node.sleep();
     tx_node.advance(1_000_000_000);
     println!("\nTX node energy ledger (mJ):");
-    for (tag, mj) in tx_node.ledger.by_tag() {
+    for (tag, mj) in tx_node.ledger().by_tag() {
         println!("  {tag:<12} {mj:.3}");
     }
     println!("\nquickstart complete.");

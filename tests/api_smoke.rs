@@ -105,6 +105,12 @@ fn substrate_reexports_resolve() {
     let _ = tinysdr::fpga::bitstream::BITSTREAM_SIZE;
     let _ = tinysdr::hw::flash::ImageSlot::Fpga;
     let _ = tinysdr::power::battery::Battery::lipo_1000mah();
+    // the power-state machine and the shared OTA energy model
+    let _ = tinysdr::power::state::OtaEnergyModel::paper();
+    let _ = tinysdr::power::state::PowerState::DeepSleep
+        .can_transition_to(tinysdr::power::state::PowerState::Idle);
+    let _ = tinysdr::power::state::deep_sleep_mw();
+    let _ = tinysdr::power::energy::EnergyLedger::new();
     // The `_crate` aliases kept for disambiguation.
     let _ = tinysdr::lora_crate::phy::CodeParams::new(8, 1);
     let _ = tinysdr::ble_crate::channels::ADVERTISING_CHANNELS;

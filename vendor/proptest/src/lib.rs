@@ -184,6 +184,21 @@ pub mod collection {
     }
 }
 
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(S0 / 0, S1 / 1);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+
 /// Sampling strategies (`prop::sample`).
 pub mod sample {
     use super::*;
