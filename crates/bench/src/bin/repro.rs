@@ -95,7 +95,9 @@ fn main() {
             &sys::fig9(),
         );
         let c = tinysdr_core::profile::fig9_curve(false);
+        // lint: allow(unjustified-panic, fig9_curve emits the 0 dBm grid point by construction)
         let p0 = c.iter().find(|p| p.0 == 0.0).unwrap().1;
+        // lint: allow(unjustified-panic, fig9_curve emits the 14 dBm grid point by construction)
         let p14 = c.iter().find(|p| p.0 == 14.0).unwrap().1;
         println!("  {}", verdict("platform @0 dBm (mW)", p0, 231.0, 0.05));
         println!("  {}", verdict("platform @14 dBm (mW)", p14, 283.0, 0.05));
@@ -108,7 +110,7 @@ fn main() {
             &curves,
         );
         for c in &curves {
-            if let Some(s) = phy::sensitivity_from_curve(c, 10.0) {
+            if let Some(s) = phy::curve_sensitivity_dbm(c, 10.0) {
                 println!("  {} 10%-PER sensitivity: {s:.1} dBm", c.label);
             }
         }
@@ -122,7 +124,7 @@ fn main() {
             &curves,
         );
         for c in &curves {
-            if let Some(s) = phy::sensitivity_from_curve(c, 10.0) {
+            if let Some(s) = phy::curve_sensitivity_dbm(c, 10.0) {
                 println!("  {} 10%-SER sensitivity: {s:.1} dBm", c.label);
             }
         }
@@ -135,7 +137,7 @@ fn main() {
             "RSSI dBm",
             std::slice::from_ref(&curve),
         );
-        if let Some(s) = tinysdr_dsp::stats::sensitivity_crossing(&curve.points, 1e-3) {
+        if let Some(s) = tinysdr_dsp::stats::threshold_crossing(&curve.points, 1e-3) {
             println!("  BER=1e-3 sensitivity: {s:.1} dBm (paper: -94; CC2650 ref {cc2650:.0})");
         }
     }
@@ -239,6 +241,7 @@ fn run_waterfall_cmd(quick: bool, seed: u64) {
         );
         let zb = rep
             .sensitivity_dbm("802.15.4 OQPSK", "clean", 0.01)
+            // lint: allow(unjustified-panic, repro asserts a paper anchor and must abort loudly)
             .expect("802.15.4 curve must cross 1% SER");
         assert!(
             zb <= SPEC_SENSITIVITY_DBM,

@@ -9,7 +9,7 @@ use tinysdr_ble::gfsk::{count_bit_errors, GfskDemodulator, GfskModulator};
 use tinysdr_ble::packet::AdvPacket;
 use tinysdr_dsp::chirp::ChirpConfig;
 use tinysdr_dsp::spectrum::{welch, WelchConfig};
-use tinysdr_dsp::stats::sensitivity_crossing;
+use tinysdr_dsp::stats::threshold_crossing;
 use tinysdr_lora::concurrent::ConcurrentReceiver;
 use tinysdr_lora::demodulator::Demodulator;
 use tinysdr_lora::modulator::{single_tone, Modulator, ReferenceModulator};
@@ -26,6 +26,10 @@ use rand::{Rng, SeedableRng};
 
 /// Map a closure over items on the available cores (the PER sweeps are
 /// embarrassingly parallel).
+///
+/// # Panics
+/// Propagates a panic from any worker thread: a shard that dies must
+/// abort the whole measurement rather than silently drop its points.
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -142,9 +146,9 @@ pub fn fig10(packets: u32, seed: u64) -> Vec<Series> {
 }
 
 /// Extract a 10%-PER sensitivity estimate from a Fig. 10-style curve.
-pub fn sensitivity_from_curve(s: &Series, threshold_percent: f64) -> Option<f64> {
+pub fn curve_sensitivity_dbm(s: &Series, threshold_percent: f64) -> Option<f64> {
     let pts: Vec<(f64, f64)> = s.points.iter().map(|&(x, y)| (x, y / 100.0)).collect();
-    sensitivity_crossing(&pts, threshold_percent / 100.0)
+    threshold_crossing(&pts, threshold_percent / 100.0)
 }
 
 /// Fig. 11: TinySDR demodulator chirp-symbol error rate vs RSSI
@@ -186,6 +190,7 @@ pub fn fig12(bits_per_point: usize, seed: u64) -> (Series, f64) {
     let sps = 4; // 4 MS/s at 1 Mbit/s — the radio's native rate
     let m = GfskModulator::new(sps);
     let d = GfskDemodulator::new(sps);
+    // lint: allow(unjustified-panic, static 24-byte payload is within the 31-byte AD limit)
     let pkt = AdvPacket::beacon([0xB0, 0x0B, 0x1E, 0x50, 0x5E, 0xC7], &[0x42; 24]).unwrap();
     let bits = pkt.to_bits(37);
     let base = m.modulate(&bits);
@@ -291,14 +296,14 @@ mod tests {
             .iter()
             .find(|s| s.label == "TinySDR SF8 BW125")
             .unwrap();
-        let sens = sensitivity_from_curve(tinysdr_bw125, 10.0).expect("curve must cross 10% PER");
+        let sens = curve_sensitivity_dbm(tinysdr_bw125, 10.0).expect("curve must cross 10% PER");
         assert!((sens + 126.0).abs() < 3.0, "sensitivity {sens} dBm");
         // BW250 costs ≈3 dB
         let bw250 = curves
             .iter()
             .find(|s| s.label == "TinySDR SF8 BW250")
             .unwrap();
-        let sens250 = sensitivity_from_curve(bw250, 10.0).unwrap();
+        let sens250 = curve_sensitivity_dbm(bw250, 10.0).unwrap();
         assert!(
             sens250 > sens + 1.0 && sens250 < sens + 5.5,
             "BW250 {sens250}"
@@ -308,7 +313,7 @@ mod tests {
     #[test]
     fn fig10_tinysdr_comparable_to_sx1276() {
         let curves = fig10(25, 3);
-        let t = sensitivity_from_curve(
+        let t = curve_sensitivity_dbm(
             curves
                 .iter()
                 .find(|s| s.label == "TinySDR SF8 BW125")
@@ -316,7 +321,7 @@ mod tests {
             10.0,
         )
         .unwrap();
-        let r = sensitivity_from_curve(
+        let r = curve_sensitivity_dbm(
             curves
                 .iter()
                 .find(|s| s.label == "SX1276 SF8 BW125")
@@ -337,11 +342,11 @@ mod tests {
         // (TinySDR's 4.5 dB NF front end beats the SX1276's 7 dB)
         let at_126 = bw125.points.iter().find(|p| p.0 == -126.0).unwrap().1;
         assert!(at_126 < 10.0, "SER at -126 dBm: {at_126}%");
-        let sens = sensitivity_from_curve(bw125, 10.0).expect("crossing");
+        let sens = curve_sensitivity_dbm(bw125, 10.0).expect("crossing");
         assert!(sens < -126.0 && sens > -136.0, "10% crossing {sens} dBm");
         // BW250 transitions ~3 dB earlier
         let bw250 = curves.iter().find(|s| s.label == "SF8 BW250").unwrap();
-        let sens250 = sensitivity_from_curve(bw250, 10.0).expect("crossing");
+        let sens250 = curve_sensitivity_dbm(bw250, 10.0).expect("crossing");
         assert!(sens250 > sens + 1.0 && sens250 < sens + 5.5);
     }
 
@@ -350,7 +355,7 @@ mod tests {
         let (curve, cc2650) = fig12(30_000, 9);
         let pts: Vec<(f64, f64)> = curve.points.clone();
         let sens =
-            tinysdr_dsp::stats::sensitivity_crossing(&pts, 1e-3).expect("BER curve crosses 1e-3");
+            tinysdr_dsp::stats::threshold_crossing(&pts, 1e-3).expect("BER curve crosses 1e-3");
         // the paper reports −94 (CC2650 line −96/−97); our clean-TX
         // simulation sits on the CC2650 line itself — assert the curve
         // lands between the paper's figure and the datasheet reference
@@ -370,10 +375,10 @@ mod tests {
         // concurrent BW125 sensitivity vs solo Fig. 11: ≈2 dB worse
         let conc = fig15a(80, 11);
         let c125 = conc.iter().find(|s| s.label.contains("BW125")).unwrap();
-        let sens_conc = sensitivity_from_curve(c125, 10.0).expect("crossing");
+        let sens_conc = curve_sensitivity_dbm(c125, 10.0).expect("crossing");
         let solo = fig11(80, 11);
         let s125 = solo.iter().find(|s| s.label == "SF8 BW125").unwrap();
-        let sens_solo = sensitivity_from_curve(s125, 10.0).expect("crossing");
+        let sens_solo = curve_sensitivity_dbm(s125, 10.0).expect("crossing");
         let loss = sens_conc - sens_solo;
         assert!(loss > -0.5 && loss < 4.5, "concurrency loss {loss} dB");
     }

@@ -25,6 +25,11 @@ use crate::{print_facts, print_series, Series};
 /// campaign shrinks to 64 nodes and the function **asserts the energy
 /// determinism contract** (sharded campaign bit-identical to
 /// sequential, down to the merged ledger) — the CI smoke gate.
+///
+/// # Panics
+/// Panics if the simulated device or campaign violates a repro
+/// invariant (empty ECDF, unpriced transition, malformed image): the
+/// reproduction must abort loudly rather than print nonsense.
 pub fn energy(nodes: usize, seed: u64, quick: bool) {
     use tinysdr_core::testbed::CampaignConfig;
     use tinysdr_power::battery::Battery;
@@ -335,6 +340,11 @@ pub fn table3() -> Vec<(String, String)> {
 }
 
 /// Table 4: operation timings measured from the device state machine.
+///
+/// # Panics
+/// Panics if the simulated device or campaign violates a repro
+/// invariant (empty ECDF, unpriced transition, malformed image): the
+/// reproduction must abort loudly rather than print nonsense.
 pub fn table4() -> Vec<(String, String)> {
     let mut dev = TinySdr::new();
     let img = tinysdr_fpga::bitstream::Bitstream::synthesize("lora_phy", 0.15, 1);
@@ -394,6 +404,11 @@ pub fn fig9() -> Vec<Series> {
 }
 
 /// Fig. 13: the BLE advertising event envelope and hop gaps.
+///
+/// # Panics
+/// Panics if the simulated device or campaign violates a repro
+/// invariant (empty ECDF, unpriced transition, malformed image): the
+/// reproduction must abort loudly rather than print nonsense.
 pub fn fig13() -> (Vec<(String, String)>, Series) {
     let pkt = beacon::ibeacon([2, 4, 6, 8, 10, 12], &[0x77; 16], 1, 2, -59).unwrap();
     let adv = Advertiser::tinysdr(pkt);
@@ -430,6 +445,11 @@ pub fn fig13() -> (Vec<(String, String)>, Series) {
 pub type Fig14Curve = (String, Vec<(f64, f64)>, f64);
 
 /// Fig. 14: OTA programming-time CDFs over the 20-node campus testbed.
+///
+/// # Panics
+/// Panics if the simulated device or campaign violates a repro
+/// invariant (empty ECDF, unpriced transition, malformed image): the
+/// reproduction must abort loudly rather than print nonsense.
 pub fn fig14(seed: u64) -> Vec<Fig14Curve> {
     let tb = Testbed::campus(seed);
     let images = vec![
@@ -474,6 +494,11 @@ pub fn sec51() -> Vec<(String, String)> {
 }
 
 /// §5.2 scalars: LoRa/BLE operating points, MCU utilization, battery.
+///
+/// # Panics
+/// Panics if the simulated device or campaign violates a repro
+/// invariant (empty ECDF, unpriced transition, malformed image): the
+/// reproduction must abort loudly rather than print nonsense.
 pub fn sec52() -> Vec<(String, String)> {
     let tx = profile::platform_power_mw(OperatingPoint::LoRaTx);
     let rx = profile::platform_power_mw(OperatingPoint::LoRaRx);
@@ -540,6 +565,11 @@ fn reference_update_sessions() -> (
 }
 
 /// §5.3 scalars: compression, per-update energy, battery counts.
+///
+/// # Panics
+/// Panics if the simulated device or campaign violates a repro
+/// invariant (empty ECDF, unpriced transition, malformed image): the
+/// reproduction must abort loudly rather than print nonsense.
 pub fn sec53() -> Vec<(String, String)> {
     use tinysdr_ota::session::{run_session, LinkModel, SessionConfig};
     let lora = FirmwareImage::lora_fpga(1);
@@ -681,7 +711,7 @@ pub fn ablation(seed: u64) -> Vec<(String, String)> {
         .filter_map(|r| r.adaptive_airtime_s)
         .sum::<f64>()
         / adr_reached.max(1) as f64;
-    let sf8_airtime = tinysdr_rf::sx1276::LoRaParams::new(8, 125e3, 5).airtime(20);
+    let sf8_airtime = tinysdr_rf::sx1276::LoRaParams::new(8, 125e3, 5).airtime_s(20);
     rows.push((
         "ADR: nodes reachable".to_string(),
         format!("fixed SF8 {fixed_reached}/20, adaptive {adr_reached}/20"),

@@ -38,7 +38,7 @@ use rand::{Rng, SeedableRng};
 
 use tinysdr_ble::modem::BleBerPhy;
 use tinysdr_dsp::complex::Complex;
-use tinysdr_dsp::stats::sensitivity_crossing;
+use tinysdr_dsp::stats::threshold_crossing;
 use tinysdr_lora::modem::{LoraPerPhy, LoraSerPhy};
 use tinysdr_ota::seed::stream_seed;
 use tinysdr_rf::impairments::ImpairmentChain;
@@ -378,7 +378,7 @@ impl WaterfallReport {
     /// `threshold` error rate (linear interpolation), `None` if it
     /// never does.
     pub fn sensitivity_dbm(&self, scenario: &str, impairment: &str, threshold: f64) -> Option<f64> {
-        sensitivity_crossing(&self.curve(scenario, impairment), threshold)
+        threshold_crossing(&self.curve(scenario, impairment), threshold)
     }
 
     /// `true` if the curve's error rate never *increases* with RSSI by
@@ -588,6 +588,10 @@ fn run_point(cfg: &WaterfallConfig, ctxs: &[Ctx], job: &Job) -> SweepPoint {
 /// config and seed — every point's randomness is derived from content,
 /// not from execution order (asserted by `tests/waterfall.rs` and the
 /// CI smoke step).
+///
+/// # Panics
+/// Propagates a panic from any sweep shard: a dead shard must abort
+/// the sweep, or the determinism contract would hide missing points.
 pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
     let ctxs: Vec<Ctx> = (0..cfg.scenarios.len())
         .map(|s_idx| Ctx::build(cfg, s_idx))

@@ -52,7 +52,7 @@ impl Advertiser {
 
     /// One advertising event: the three channel bursts with hop gaps.
     pub fn event(&self) -> Vec<Burst> {
-        let airtime = self.packet.airtime_1mbps();
+        let airtime = self.packet.airtime_1mbps_s();
         let mut t = 0.0;
         ADVERTISING_CHANNELS
             .iter()
@@ -72,6 +72,7 @@ impl Advertiser {
     /// Total active (radio-on) time of one event, seconds.
     pub fn event_active_s(&self) -> f64 {
         let e = self.event();
+        // lint: allow(unjustified-panic, event() always yields the 37/38/39 burst triple)
         let last = e.last().expect("three bursts");
         last.start_s + last.duration_s
     }
@@ -148,7 +149,7 @@ mod tests {
         assert_eq!(rising, 3, "Fig. 13 shows three bursts");
         // total ON time = 3 × airtime
         let on: f64 = tr.iter().map(|&(_, a)| a).sum::<f64>() / 10e6;
-        assert!((on - 3.0 * a.packet.airtime_1mbps()).abs() < 2e-6);
+        assert!((on - 3.0 * a.packet.airtime_1mbps_s()).abs() < 2e-6);
     }
 
     #[test]

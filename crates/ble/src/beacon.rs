@@ -10,7 +10,7 @@ use crate::packet::{AdvPacket, PacketError};
 ///
 /// Layout: flags AD (3 B) + manufacturer-specific AD (26 B):
 /// `4C 00 02 15 | UUID(16) | major(2) | minor(2) | txpower(1)`.
-pub fn ibeacon_adv_data(uuid: &[u8; 16], major: u16, minor: u16, tx_power: i8) -> Vec<u8> {
+pub fn ibeacon_adv_data(uuid: &[u8; 16], major: u16, minor: u16, tx_power_dbm: i8) -> Vec<u8> {
     let mut d = Vec::with_capacity(30);
     // Flags AD structure
     d.extend_from_slice(&[0x02, 0x01, 0x06]);
@@ -22,7 +22,7 @@ pub fn ibeacon_adv_data(uuid: &[u8; 16], major: u16, minor: u16, tx_power: i8) -
     d.extend_from_slice(uuid);
     d.extend_from_slice(&major.to_be_bytes());
     d.extend_from_slice(&minor.to_be_bytes());
-    d.push(tx_power as u8);
+    d.push(tx_power_dbm as u8);
     d
 }
 
@@ -33,7 +33,7 @@ pub fn ibeacon_adv_data(uuid: &[u8; 16], major: u16, minor: u16, tx_power: i8) -
 pub fn eddystone_uid_adv_data(
     namespace: &[u8; 10],
     instance: &[u8; 6],
-    tx_power_at_0m: i8,
+    tx_power_at_0m_dbm: i8,
 ) -> Vec<u8> {
     let mut d = Vec::with_capacity(31);
     d.extend_from_slice(&[0x02, 0x01, 0x06]);
@@ -42,7 +42,7 @@ pub fn eddystone_uid_adv_data(
     d.push(0x16); // type: service data
     d.extend_from_slice(&[0xAA, 0xFE]);
     d.push(0x00); // frame type UID
-    d.push(tx_power_at_0m as u8);
+    d.push(tx_power_at_0m_dbm as u8);
     d.extend_from_slice(namespace);
     d.extend_from_slice(instance);
     d
@@ -57,9 +57,12 @@ pub fn ibeacon(
     uuid: &[u8; 16],
     major: u16,
     minor: u16,
-    tx_power: i8,
+    tx_power_dbm: i8,
 ) -> Result<AdvPacket, PacketError> {
-    AdvPacket::beacon(adv_addr, &ibeacon_adv_data(uuid, major, minor, tx_power))
+    AdvPacket::beacon(
+        adv_addr,
+        &ibeacon_adv_data(uuid, major, minor, tx_power_dbm),
+    )
 }
 
 /// Convenience: a complete Eddystone-UID advertising packet.
@@ -70,11 +73,11 @@ pub fn eddystone_uid(
     adv_addr: [u8; 6],
     namespace: &[u8; 10],
     instance: &[u8; 6],
-    tx_power_at_0m: i8,
+    tx_power_at_0m_dbm: i8,
 ) -> Result<AdvPacket, PacketError> {
     AdvPacket::beacon(
         adv_addr,
-        &eddystone_uid_adv_data(namespace, instance, tx_power_at_0m),
+        &eddystone_uid_adv_data(namespace, instance, tx_power_at_0m_dbm),
     )
 }
 

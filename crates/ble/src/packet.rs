@@ -198,7 +198,7 @@ impl AdvPacket {
     }
 
     /// Packet airtime at 1 Mbps, seconds.
-    pub fn airtime_1mbps(&self) -> f64 {
+    pub fn airtime_1mbps_s(&self) -> f64 {
         self.to_bits(37).len() as f64 / 1e6
     }
 
@@ -371,7 +371,7 @@ mod tests {
     fn airtime_for_typical_beacon() {
         // preamble(1)+AA(4)+header(2)+AdvA(6)+data(14)+CRC(3) = 30 B = 240 µs
         let p = test_packet();
-        assert!((p.airtime_1mbps() - 240e-6).abs() < 1e-9);
+        assert!((p.airtime_1mbps_s() - 240e-6).abs() < 1e-9);
     }
 
     #[test]

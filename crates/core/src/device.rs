@@ -207,6 +207,10 @@ impl TinySdr {
     /// [`Self::configure_from_slot`], the switch-time dwells in
     /// [`Self::switch_trx`] — so the bookkeeping transitions are free;
     /// legality is still enforced by the machine.
+    ///
+    /// # Panics
+    /// Panics if the power-state graph loses the "every state borders
+    /// Idle" property — a bug in [`tinysdr_power::state`], not here.
     fn power_goto(&mut self, to: PowerState) {
         if self.power.state() == to {
             return;
@@ -766,7 +770,7 @@ mod tests {
             .unwrap();
         assert!((t as f64 / 1e6 - 22.0).abs() < 0.5, "setup {t} ns");
         assert_eq!(dev.active_phy(), Some("LoRa SER SF8 BW125"));
-        assert_eq!(dev.radio.frequency(), 915e6);
+        assert_eq!(dev.radio.frequency_hz(), 915e6);
 
         // protocol switch = reconfigure + retune, one call, still ~22 ms
         let ble_phy = BleBerPhy::new(4);
@@ -775,7 +779,7 @@ mod tests {
             .unwrap();
         assert!((t as f64 / 1e6 - 22.0).abs() < 0.5);
         assert_eq!(dev.active_phy(), Some("BLE BER 4Msps"));
-        assert_eq!(dev.radio.frequency(), 2.426e9);
+        assert_eq!(dev.radio.frequency_hz(), 2.426e9);
         assert_eq!(dev.fpga.loaded_design(), Some("ble"));
     }
 
@@ -835,7 +839,7 @@ mod tests {
         let mut dev = device_with_image();
         dev.configure_from_slot(ImageSlot::Fpga(0), 2700).unwrap();
         let loaded_before = dev.fpga.loaded_design().map(str::to_string);
-        let freq_before = dev.radio.frequency();
+        let freq_before = dev.radio.frequency_hz();
         let err = dev
             .configure_phy(ImageSlot::Fpga(0), 100, &OutOfBandPhy)
             .unwrap_err();
@@ -843,7 +847,7 @@ mod tests {
         // the failed call must be a no-op: same design, same carrier,
         // no phy label recorded
         assert_eq!(dev.fpga.loaded_design().map(str::to_string), loaded_before);
-        assert_eq!(dev.radio.frequency(), freq_before);
+        assert_eq!(dev.radio.frequency_hz(), freq_before);
         assert_eq!(dev.active_phy(), None);
     }
 

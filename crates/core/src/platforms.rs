@@ -168,6 +168,10 @@ pub fn catalog() -> Vec<Platform> {
 }
 
 /// The Table 1 headline: TinySDR's sleep power vs the best competitor.
+///
+/// # Panics
+/// Panics if the static catalog loses its TinySDR row or that row's
+/// measured sleep power — a malformed table, not a runtime condition.
 pub fn sleep_advantage() -> f64 {
     let cat = catalog();
     let tinysdr = cat

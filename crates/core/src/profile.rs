@@ -196,6 +196,10 @@ pub fn fig9_curve(band_2g4: bool) -> Vec<(f64, f64)> {
 /// single-channel beaconing (≈4 years here); a full 3-channel event
 /// lands at ≈1.7 years — the claim sits between the two, consistent with
 /// a short-duration extrapolated measurement (see EXPERIMENTS.md).
+///
+/// # Panics
+/// Panics when `channels` is outside 1..=3 or the beacon pattern is
+/// unrealizable (non-positive period or draw) — both are caller bugs.
 pub fn ble_beacon_battery_years(interval_s: f64, channels: usize) -> f64 {
     use tinysdr_power::battery::Battery;
     use tinysdr_power::duty::DutyCycle;

@@ -169,6 +169,10 @@ impl Testbed {
     }
 
     /// Run a unicast OTA campaign over a node subset, sharded per `cfg`.
+    ///
+    /// # Panics
+    /// Propagates a panic from any campaign shard: losing a shard's
+    /// nodes would silently skew every merged ECDF.
     fn run_campaign_on(
         nodes: &[Node],
         update: &BlockedUpdate,

@@ -75,7 +75,7 @@ impl ChirpConfig {
 
     /// Symbol duration `2^SF / BW` in seconds.
     #[inline]
-    pub fn symbol_duration(&self) -> f64 {
+    pub fn symbol_duration_s(&self) -> f64 {
         self.n_chips() as f64 / self.bw
     }
 
@@ -89,7 +89,7 @@ impl ChirpConfig {
     /// Raw PHY bit rate `SF · BW / 2^SF` in bit/s (before coding), the
     /// formula quoted in the paper's LoRa primer.
     #[inline]
-    pub fn phy_bit_rate(&self) -> f64 {
+    pub fn phy_bit_rate_bps(&self) -> f64 {
         self.sf as f64 * self.bw / self.n_chips() as f64
     }
 
@@ -336,10 +336,10 @@ mod tests {
     fn phy_bit_rate_formula() {
         // SF7 BW125: 125e3/128*7 ≈ 6.84 kbps (paper's rate formula)
         let cfg = ChirpConfig::new(7, 125e3, 1);
-        assert!((cfg.phy_bit_rate() - 6835.94).abs() < 1.0);
+        assert!((cfg.phy_bit_rate_bps() - 6835.94).abs() < 1.0);
         // SF12 at BW125 ≈ 366 bps raw
         let cfg = ChirpConfig::new(12, 125e3, 1);
-        assert!((cfg.phy_bit_rate() - 366.2).abs() < 1.0);
+        assert!((cfg.phy_bit_rate_bps() - 366.2).abs() < 1.0);
     }
 
     #[test]

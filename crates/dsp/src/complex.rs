@@ -241,6 +241,7 @@ impl fmt::Display for Complex {
 }
 
 /// Mean power `E[|z|²]` of a sample slice. Returns 0 for an empty slice.
+// lint: allow(unit-suffix, digital-domain signal power in arbitrary linear units - not a physical wattage)
 pub fn mean_power(x: &[Complex]) -> f64 {
     if x.is_empty() {
         return 0.0;

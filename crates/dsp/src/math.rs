@@ -52,7 +52,7 @@ pub fn fmod_pos(x: f64, m: f64) -> f64 {
 
 /// Wrap a frequency into the first Nyquist zone `[-fs/2, fs/2)`.
 #[inline]
-pub fn wrap_freq(f: f64, fs: f64) -> f64 {
+pub fn wrap_freq_hz(f: f64, fs: f64) -> f64 {
     fmod_pos(f + fs / 2.0, fs) - fs / 2.0
 }
 
@@ -137,11 +137,11 @@ mod tests {
 
     #[test]
     fn wrap_freq_nyquist() {
-        assert!((wrap_freq(0.6, 1.0) + 0.4).abs() < 1e-12);
-        assert!((wrap_freq(-0.6, 1.0) - 0.4).abs() < 1e-12);
-        assert!((wrap_freq(0.4, 1.0) - 0.4).abs() < 1e-12);
+        assert!((wrap_freq_hz(0.6, 1.0) + 0.4).abs() < 1e-12);
+        assert!((wrap_freq_hz(-0.6, 1.0) - 0.4).abs() < 1e-12);
+        assert!((wrap_freq_hz(0.4, 1.0) - 0.4).abs() < 1e-12);
         // exactly fs/2 wraps to -fs/2 (half-open interval)
-        assert!((wrap_freq(0.5, 1.0) + 0.5).abs() < 1e-12);
+        assert!((wrap_freq_hz(0.5, 1.0) + 0.5).abs() < 1e-12);
     }
 
     #[test]

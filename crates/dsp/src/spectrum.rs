@@ -41,7 +41,7 @@ pub struct PowerSpectrum {
 
 impl PowerSpectrum {
     /// Frequency (Hz, relative to center) of bin `k`.
-    pub fn freq(&self, k: usize) -> f64 {
+    pub fn freq_hz(&self, k: usize) -> f64 {
         let n = self.power.len() as f64;
         (k as f64 - n / 2.0) * self.fs / n
     }
@@ -51,19 +51,22 @@ impl PowerSpectrum {
         self.power
             .iter()
             .enumerate()
-            .map(|(k, &p)| (self.freq(k), 10.0 * (p / ref_p).max(1e-30).log10()))
+            .map(|(k, &p)| (self.freq_hz(k), 10.0 * (p / ref_p).max(1e-30).log10()))
             .collect()
     }
 
     /// Peak bin: `(freq, power)`.
+    ///
+    /// # Panics
+    /// Panics on an empty spectrum (no bins to take a peak over).
     pub fn peak(&self) -> (f64, f64) {
         let (k, &p) = self
             .power
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty spectrum");
-        (self.freq(k), p)
+        (self.freq_hz(k), p)
     }
 
     /// Highest spur relative to the peak, in dBc, excluding ±`guard` bins
@@ -74,7 +77,7 @@ impl PowerSpectrum {
             .power
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
         let peak = self.power[kpeak];
         let mut worst = f64::MIN;
         let mut found = false;
@@ -102,7 +105,7 @@ pub fn welch(x: &[Complex], fs: f64, cfg: &WelchConfig) -> PowerSpectrum {
     assert!(cfg.overlap < cfg.nfft, "overlap must be < nfft");
     let plan = FftPlan::new(cfg.nfft);
     let w = cfg.window.coefficients(cfg.nfft);
-    let wpow = cfg.window.power(cfg.nfft);
+    let wpow = cfg.window.sum_sq(cfg.nfft);
     let hop = cfg.nfft - cfg.overlap;
 
     let mut acc = vec![0.0f64; cfg.nfft];
@@ -215,8 +218,8 @@ mod tests {
             power: vec![0.0; 8],
             fs: 8.0,
         };
-        assert_eq!(spec.freq(0), -4.0);
-        assert_eq!(spec.freq(4), 0.0);
-        assert_eq!(spec.freq(7), 3.0);
+        assert_eq!(spec.freq_hz(0), -4.0);
+        assert_eq!(spec.freq_hz(4), 0.0);
+        assert_eq!(spec.freq_hz(7), 3.0);
     }
 }

@@ -161,7 +161,7 @@ impl Ecdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }
@@ -236,7 +236,7 @@ impl Ecdf {
 /// `points` are `(x_dbm, error_rate)` pairs with error rate decreasing as
 /// x grows (more power → fewer errors). Linear interpolation between the
 /// two bracketing points. Returns `None` if the series never crosses.
-pub fn sensitivity_crossing(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
+pub fn threshold_crossing(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
     for w in points.windows(2) {
         let (x0, y0) = w[0];
         let (x1, y1) = w[1];
@@ -386,9 +386,9 @@ mod tests {
             (-120.0, 0.0),
         ];
         // 10% PER crossing sits between -126 and -124
-        let s = sensitivity_crossing(&pts, 0.10).unwrap();
+        let s = threshold_crossing(&pts, 0.10).unwrap();
         assert!(s > -126.0 && s < -124.0, "crossing {s}");
         // never crossing below 0 → first point at threshold works
-        assert!(sensitivity_crossing(&[(-130.0, 1.0)], 0.1).is_none());
+        assert!(threshold_crossing(&[(-130.0, 1.0)], 0.1).is_none());
     }
 }

@@ -37,7 +37,7 @@ impl Window {
     }
 
     /// Sum of squared coefficients (noise-equivalent scaling for Welch).
-    pub fn power(self, n: usize) -> f64 {
+    pub fn sum_sq(self, n: usize) -> f64 {
         self.coefficients(n).iter().map(|w| w * w).sum()
     }
 }
@@ -97,7 +97,7 @@ mod tests {
 
     #[test]
     fn window_power_positive() {
-        assert!(Window::Hann.power(64) > 0.0);
-        assert_eq!(Window::Rect.power(64), 64.0);
+        assert!(Window::Hann.sum_sq(64) > 0.0);
+        assert_eq!(Window::Rect.sum_sq(64), 64.0);
     }
 }

@@ -129,6 +129,7 @@ impl SampleFifo {
     pub fn pop_many(&mut self, n: usize) -> Vec<u32> {
         let take = n.min(self.len);
         (0..take)
+            // lint: allow(unjustified-panic, take is clamped to len so pop cannot underflow)
             .map(|_| self.pop().expect("len checked"))
             .collect()
     }

@@ -55,6 +55,10 @@ impl SpiMaster {
     }
 
     /// Clock for a peripheral, Hz.
+    ///
+    /// # Panics
+    /// Panics if `p` has no clock entry — the constructor registers
+    /// every [`SpiPeripheral`] variant, so this is unreachable.
     pub fn clock_hz(&self, p: SpiPeripheral) -> f64 {
         self.clocks
             .iter()

@@ -1,0 +1,172 @@
+//! Baseline support: grandfathered findings live in a committed JSON
+//! file and stop counting against `--deny`, so the lint can land before
+//! every last historical violation is fixed — while any *new* violation
+//! fails CI immediately.
+//!
+//! An entry matches on `(rule, path, key)` where `key` is the trimmed
+//! text of the offending line — stable across unrelated edits that
+//! shift line numbers. Each entry carries a `why`, so a baseline entry
+//! is itself a justification, reviewed like any other code.
+
+use crate::findings::{json_str, parse_flat_json, Finding};
+
+/// The placeholder `why` that `--write-baseline` emits. An entry still
+/// carrying it does NOT grandfather anything: a human must replace it
+/// with a real justification for the entry to count.
+pub const TODO_WHY: &str = "TODO: justify or fix";
+
+/// One grandfathered finding.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Rule slug.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed offending-line text.
+    pub key: String,
+    /// Human justification (required; empty `why` entries are ignored).
+    pub why: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parse the committed baseline format: a JSON array, one object
+    /// per line (so diffs stay line-oriented).
+    pub fn parse(src: &str) -> Baseline {
+        let mut entries = Vec::new();
+        for line in src.lines() {
+            // Tolerate one-object-per-line and single-line `[{...}]`.
+            let mut line = line.trim();
+            line = line.strip_prefix('[').unwrap_or(line).trim();
+            line = line.strip_suffix(']').unwrap_or(line).trim();
+            line = line.strip_suffix(',').unwrap_or(line);
+            if !line.starts_with('{') {
+                continue;
+            }
+            let fields = parse_flat_json(line);
+            let get = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            let entry = BaselineEntry {
+                rule: get("rule"),
+                path: get("path"),
+                key: get("key"),
+                why: get("why"),
+            };
+            if !entry.rule.is_empty() && !entry.path.is_empty() {
+                entries.push(entry);
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Split findings into (new, baselined). Each entry absorbs any
+    /// number of occurrences of its `(rule, path, key)` triple — a
+    /// repeated idiom on several lines of one file is one decision.
+    /// Returns the indices of entries that matched nothing (stale).
+    pub fn split(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<usize>) {
+        let mut new = Vec::new();
+        let mut grandfathered = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        for f in findings {
+            let hit = self.entries.iter().position(|e| {
+                e.rule == f.rule
+                    && e.path == f.path
+                    && e.key == f.key
+                    && !e.why.trim().is_empty()
+                    && !e.why.starts_with("TODO")
+            });
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    grandfathered.push(f);
+                }
+                None => new.push(f),
+            }
+        }
+        let stale = (0..self.entries.len()).filter(|&i| !used[i]).collect();
+        (new, grandfathered, stale)
+    }
+
+    /// Render findings as a fresh baseline file (used by
+    /// `--write-baseline`; the `why` fields start as TODO markers that
+    /// a human must fill in for the entry to count).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from("[\n");
+        let mut seen: Vec<(String, String, String)> = Vec::new();
+        for f in findings {
+            let triple = (f.rule.to_string(), f.path.clone(), f.key.clone());
+            if seen.contains(&triple) {
+                continue;
+            }
+            seen.push(triple);
+            out.push_str(&format!(
+                r#"{{"rule":{},"path":{},"key":{},"why":{}}}"#,
+                json_str(f.rule),
+                json_str(&f.path),
+                json_str(&f.key),
+                json_str(TODO_WHY),
+            ));
+            out.push_str(",\n");
+        }
+        if out.ends_with(",\n") {
+            out.truncate(out.len() - 2);
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, key: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            help: String::new(),
+            key: key.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_split() {
+        let f = vec![
+            finding("unit-suffix", "a.rs", "pub fn power(x: f64) {}"),
+            finding("unit-suffix", "b.rs", "pub fn freq(x: f64) {}"),
+        ];
+        let rendered = Baseline::render(&f[..1]);
+        let with_why = rendered.replace("TODO: justify or fix", "legacy API, rename in PR 7");
+        let bl = Baseline::parse(&with_why);
+        assert_eq!(bl.entries.len(), 1);
+        let (new, old, stale) = bl.split(f);
+        assert_eq!(new.len(), 1);
+        assert_eq!(old.len(), 1);
+        assert!(stale.is_empty());
+        assert_eq!(new[0].path, "b.rs");
+    }
+
+    #[test]
+    fn empty_why_does_not_grandfather() {
+        let bl = Baseline::parse(r#"[{"rule":"r","path":"p","key":"k","why":""}]"#);
+        let (new, old, stale) = bl.split(vec![finding("r", "p", "k")]);
+        assert_eq!(new.len(), 1);
+        assert!(old.is_empty());
+        assert_eq!(stale, vec![0]);
+    }
+}

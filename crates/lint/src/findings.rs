@@ -1,0 +1,170 @@
+//! Findings: what a rule reports, and how it renders as text or JSON.
+
+/// One rule violation at a source span.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule slug (e.g. `nondeterministic-iter`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// One-sentence statement of the violation.
+    pub message: String,
+    /// How to fix or silence it.
+    pub help: String,
+    /// Trimmed text of the offending line — the baseline key.
+    pub key: String,
+}
+
+impl Finding {
+    /// Render as a compiler-style text diagnostic.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    | {}\n    = help: {}",
+            self.path, self.line, self.col, self.rule, self.message, self.key, self.help
+        )
+    }
+
+    /// Render as one JSON object (no external serializer: the escape
+    /// set is the JSON-mandatory one).
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"rule":{},"path":{},"line":{},"col":{},"message":{},"help":{},"key":{}}}"#,
+            json_str(self.rule),
+            json_str(&self.path),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.help),
+            json_str(&self.key),
+        )
+    }
+}
+
+/// Escape a string for JSON output.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse the `"key": "value"` fields of one flat JSON object line, as
+/// written by [`Finding::render_json`]. Good enough for reading our own
+/// baseline files back; not a general JSON parser.
+pub fn parse_flat_json(line: &str) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let (name, after) = match read_json_string(line, i) {
+            Some(v) => v,
+            None => break,
+        };
+        i = after;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            continue;
+        }
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            if let Some((value, after)) = read_json_string(line, i) {
+                fields.push((name, value));
+                i = after;
+            }
+        } else {
+            // Numeric or bare value: read to the next `,` or `}`.
+            let end = line[i..].find([',', '}']).map_or(line.len(), |p| i + p);
+            fields.push((name, line[i..end].trim().to_string()));
+            i = end;
+        }
+    }
+    fields
+}
+
+/// Read a JSON string starting at the opening quote; returns the
+/// unescaped value and the index past the closing quote.
+fn read_json_string(s: &str, start: usize) -> Option<(String, usize)> {
+    let bytes = s.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i)? {
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = u32::from_str_radix(s.get(i + 1..i + 5)?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    b => out.push(*b as char),
+                }
+                i += 1;
+            }
+            _ => {
+                let c = s[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let f = Finding {
+            rule: "unit-mix",
+            path: "a/b.rs".into(),
+            line: 3,
+            col: 9,
+            message: "mixes \"mw\" with \"mj\"".into(),
+            help: "convert first".into(),
+            key: "x_mw + y_mj".into(),
+        };
+        let fields = parse_flat_json(&f.render_json());
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(get("rule"), "unit-mix");
+        assert_eq!(get("line"), "3");
+        assert_eq!(get("message"), "mixes \"mw\" with \"mj\"");
+        assert_eq!(get("key"), "x_mw + y_mj");
+    }
+}

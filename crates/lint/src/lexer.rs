@@ -1,0 +1,445 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! The linter must never confuse the *mention* of a forbidden API inside
+//! a string literal or comment with a *use* of it, so the lexer handles
+//! the full set of Rust literal forms: plain/raw/byte/raw-byte strings
+//! (with arbitrary `#` fences), char literals vs. lifetimes, nested
+//! block comments, doc comments (line and block, inner and outer), and
+//! shebang lines. It does **not** validate — malformed input degrades to
+//! best-effort tokens rather than errors, which is the right trade for a
+//! linter that runs on code rustc has already accepted.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Character literal (`'x'`, `'\n'`, `'\u{1F980}'`).
+    CharLit,
+    /// Byte literal (`b'x'`).
+    ByteLit,
+    /// String literal (`"..."`), escapes included verbatim.
+    StrLit,
+    /// Raw string literal (`r"..."`, `r##"..."##`).
+    RawStrLit,
+    /// Byte string literal (`b"..."`).
+    ByteStrLit,
+    /// Raw byte string literal (`br#"..."#`).
+    RawByteStrLit,
+    /// Numeric literal (`42`, `0xFF_u8`, `1.5e-3`).
+    NumLit,
+    /// `// ...` comment; `doc` distinguishes `///` and `//!`.
+    LineComment {
+        /// `true` for `///` (outer) and `//!` (inner) doc comments.
+        doc: bool,
+    },
+    /// `/* ... */` comment (nesting handled); `doc` for `/**` / `/*!`.
+    BlockComment {
+        /// `true` for `/**` (outer) and `/*!` (inner) doc comments.
+        doc: bool,
+    },
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+    /// `#!/usr/bin/env ...` on line 1 (not an inner attribute).
+    Shebang,
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Multi-character operators lexed as single [`TokenKind::Punct`] tokens,
+/// longest first so maximal munch falls out of the scan order.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Whitespace is skipped; comments are kept
+/// (rules read allow-comments and doc text from them).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn char_at(&self, pos: usize) -> Option<char> {
+        self.src[pos..].chars().next()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32, start_col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    /// Advance over one byte, maintaining the line map. Only valid when
+    /// the byte is ASCII or part of a char already measured.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_char(&mut self) {
+        let c = self.char_at(self.pos).map_or(1, char::len_utf8);
+        for _ in 0..c {
+            self.bump();
+        }
+    }
+
+    fn col(&self, pos: usize) -> u32 {
+        (pos - self.line_start) as u32 + 1
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        // Shebang: `#!` at offset 0 not followed by `[` (which would be
+        // an inner attribute like `#![deny(unsafe_code)]`).
+        if self.bytes.starts_with(b"#!") && self.peek(2) != Some(b'[') {
+            let start = self.pos;
+            while self.peek(0).is_some_and(|b| b != b'\n') {
+                self.bump();
+            }
+            self.push(TokenKind::Shebang, start, 1, 1);
+        }
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col(start));
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line, col),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line, col),
+                b'r' if self.raw_string_follows(1) => {
+                    self.pos += 1;
+                    self.raw_string(start, line, col, TokenKind::RawStrLit);
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_follows(2) => {
+                    self.pos += 2;
+                    self.raw_string(start, line, col, TokenKind::RawByteStrLit);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.string(start, line, col, TokenKind::ByteStrLit);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal(start, line, col, TokenKind::ByteLit);
+                }
+                b'"' => self.string(start, line, col, TokenKind::StrLit),
+                b'\'' => self.quote(start, line, col),
+                b'0'..=b'9' => self.number(start, line, col),
+                _ if is_ident_start(self.char_at(start).unwrap_or('\0')) => {
+                    // Raw identifiers (`r#match`) reach here because
+                    // `raw_string_follows` rejected `r#` + ident-start.
+                    if b == b'r' && self.peek(1) == Some(b'#') {
+                        self.pos += 2;
+                    }
+                    while self.char_at(self.pos).is_some_and(is_ident_continue) {
+                        self.bump_char();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => self.punct(start, line, col),
+            }
+        }
+        self.tokens
+    }
+
+    /// After an `r` (at `self.pos + offset` the next byte), does a raw
+    /// string fence (`"` or `#...#"`) begin? Distinguishes `r"..."` /
+    /// `r#"..."#` from the raw identifier `r#match`.
+    fn raw_string_follows(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32, col: u32) {
+        // `///` and `//!` are doc comments, but `////...` is plain.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) | (Some(b'!'), _) => true,
+            _ => false,
+        };
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        self.push(TokenKind::LineComment { doc }, start, line, col);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32, col: u32) {
+        // `/**` and `/*!` are doc comments; `/**/` (empty) and `/***`
+        // are not.
+        let doc = match self.peek(2) {
+            Some(b'*') => self.peek(3) != Some(b'*') && self.peek(3) != Some(b'/'),
+            Some(b'!') => true,
+            _ => false,
+        };
+        self.pos += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+        self.push(TokenKind::BlockComment { doc }, start, line, col);
+    }
+
+    /// `self.pos` is on the opening `"`.
+    fn string(&mut self, start: usize, line: u32, col: u32, kind: TokenKind) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump_char();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        self.push(kind, start, line, col);
+    }
+
+    /// `self.pos` is on the first `#` or the `"` of a raw string fence.
+    fn raw_string(&mut self, start: usize, line: u32, col: u32, kind: TokenKind) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(b) = self.peek(0) {
+            self.bump_char();
+            if b == b'"' {
+                // A close requires exactly `hashes` following `#`s.
+                for i in 0..hashes {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(kind, start, line, col);
+    }
+
+    /// `self.pos` is on the `'` of a char/byte literal (`b` consumed).
+    fn char_literal(&mut self, start: usize, line: u32, col: u32, kind: TokenKind) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump_char();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // unterminated: tolerate
+                _ => self.bump_char(),
+            }
+        }
+        self.push(kind, start, line, col);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) from `'\n'`
+    /// (escaped char). The rule: `'` + ident-chars is a lifetime unless
+    /// a closing `'` immediately follows the ident run.
+    fn quote(&mut self, start: usize, line: u32, col: u32) {
+        let next = self.char_at(start + 1);
+        if next == Some('\\') || next.is_none() {
+            return self.char_literal(start, line, col, TokenKind::CharLit);
+        }
+        let next = next.unwrap_or('\0');
+        if is_ident_start(next) {
+            // Scan the ident run, then look for a closing quote.
+            let mut i = start + 1;
+            while self.char_at(i).is_some_and(is_ident_continue) {
+                i += self.char_at(i).map_or(1, char::len_utf8);
+            }
+            if self.char_at(i) == Some('\'') {
+                return self.char_literal(start, line, col, TokenKind::CharLit);
+            }
+            // Lifetime / loop label: consume `'` + ident run only.
+            self.bump();
+            while self.char_at(self.pos).is_some_and(is_ident_continue) {
+                self.bump_char();
+            }
+            self.push(TokenKind::Lifetime, start, line, col);
+        } else {
+            // `'('`, `'🦀'`, digits-as-char like `'5'`, etc.
+            self.char_literal(start, line, col, TokenKind::CharLit)
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32, col: u32) {
+        // Prefix (0x/0o/0b), digits with underscores, optional `.`
+        // fraction (but not `1..2` ranges or `1.method()`), optional
+        // exponent, optional type suffix — all folded into one token.
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.bump();
+            self.bump();
+        }
+        let digitish = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        while self.peek(0).is_some_and(digitish) {
+            // `1e-3` / `1E+3`: the sign belongs to the literal.
+            let b = self.bytes[self.pos];
+            self.bump();
+            if (b == b'e' || b == b'E')
+                && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some(b'.')
+            && self.peek(1) != Some(b'.')
+            && self.peek(1).is_none_or(|b| !is_ident_start(b as char))
+        {
+            self.bump();
+            while self.peek(0).is_some_and(digitish) {
+                let b = self.bytes[self.pos];
+                self.bump();
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::NumLit, start, line, col);
+    }
+
+    fn punct(&mut self, start: usize, line: u32, col: u32) {
+        for op in MULTI_PUNCT {
+            if self.src[start..].starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, start, line, col);
+                return;
+            }
+        }
+        self.bump_char();
+        self.push(TokenKind::Punct, start, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("fn a() -> u8 {}");
+        assert_eq!(ks[0], (TokenKind::Ident, "fn"));
+        assert_eq!(ks[3], (TokenKind::Punct, ")"));
+        assert_eq!(ks[4], (TokenKind::Punct, "->"));
+    }
+
+    #[test]
+    fn string_hides_keywords() {
+        let ks = kinds(r#"let s = "Instant::now() /* not a comment";"#);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("Instant")));
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "Instant"));
+    }
+
+    #[test]
+    fn line_map() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

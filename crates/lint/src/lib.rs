@@ -1,0 +1,278 @@
+//! `tinysdr-lint`: the workspace invariant checker.
+//!
+//! The repo's three load-bearing guarantees are conventions that rustc
+//! cannot see: sharded==sequential bit-for-bit determinism, unit
+//! suffixes on every physical number, and the fully-offline vendored
+//! dependency policy. This crate turns them into a CI-gated static
+//! pass: a hand-rolled [`lexer`] (no external deps — the linter obeys
+//! the policy it enforces), a per-file analysis [`context`], a
+//! [`rules`] catalog, and a [`baseline`] for grandfathered findings.
+//!
+//! Run it as `cargo run -p tinysdr-lint -- --deny` from the workspace
+//! root; see `DESIGN.md` ("Static analysis & checked invariants") for
+//! the rule catalog and the allow-comment syntax.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod context;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::PathBuf;
+
+use baseline::Baseline;
+use context::FileCtx;
+use findings::Finding;
+use rules::{rule_info, DefaultLevel};
+
+/// Parsed command-line configuration.
+#[derive(Debug)]
+pub struct Config {
+    /// Workspace root to lint.
+    pub root: PathBuf,
+    /// Non-baselined findings fail the run (exit 1).
+    pub deny: bool,
+    /// Rules disabled wholesale.
+    pub allow_rules: Vec<String>,
+    /// Advisory rules promoted to deny.
+    pub deny_rules: Vec<String>,
+    /// `text` (default) or `json`.
+    pub format: String,
+    /// Baseline file path (relative to `root` unless absolute).
+    pub baseline: PathBuf,
+    /// Regenerate the baseline file from current findings and exit.
+    pub write_baseline: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            root: PathBuf::from("."),
+            deny: false,
+            allow_rules: Vec::new(),
+            deny_rules: Vec::new(),
+            format: "text".to_string(),
+            baseline: PathBuf::from("lint-baseline.json"),
+            write_baseline: false,
+        }
+    }
+}
+
+/// CLI usage, printed on `--help` or a bad flag.
+pub const USAGE: &str = "\
+tinysdr-lint: workspace invariant checker (determinism, unit-safety, offline deps)
+
+USAGE: tinysdr-lint [OPTIONS]
+
+OPTIONS:
+  --deny              non-baselined findings fail the run (exit 1)
+  --allow <rule>      disable a rule (repeatable)
+  --deny-rule <rule>  promote an advisory rule to deny (repeatable)
+  --format <fmt>      text (default) or json
+  --baseline <path>   baseline file (default: lint-baseline.json at the root)
+  --write-baseline    regenerate the baseline from current findings and exit
+  --root <dir>        workspace root (default: current directory)
+  --list-rules        print the rule catalog and exit
+  --help              this text
+";
+
+impl Config {
+    /// Parse CLI arguments. `Err` carries a message for stderr.
+    pub fn parse(args: &[String]) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            // `--flag=value` and `--flag value` both accepted.
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (arg.as_str(), None),
+            };
+            let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+                inline
+                    .clone()
+                    .or_else(|| it.next().cloned())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag {
+                "--deny" => cfg.deny = true,
+                "--allow" => {
+                    let rule = value(&mut it)?;
+                    if rule_info(&rule).is_none() {
+                        return Err(format!("unknown rule `{rule}` (try --list-rules)"));
+                    }
+                    cfg.allow_rules.push(rule);
+                }
+                "--deny-rule" => {
+                    let rule = value(&mut it)?;
+                    if rule_info(&rule).is_none() {
+                        return Err(format!("unknown rule `{rule}` (try --list-rules)"));
+                    }
+                    cfg.deny_rules.push(rule);
+                }
+                "--format" => {
+                    let fmt = value(&mut it)?;
+                    if fmt != "text" && fmt != "json" {
+                        return Err(format!("unknown format `{fmt}` (text|json)"));
+                    }
+                    cfg.format = fmt;
+                }
+                "--baseline" => cfg.baseline = PathBuf::from(value(&mut it)?),
+                "--write-baseline" => cfg.write_baseline = true,
+                "--root" => cfg.root = PathBuf::from(value(&mut it)?),
+                "--list-rules" | "--help" => {
+                    return Err(String::new()); // caller prints usage/catalog
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn rule_counts(&self, rule: &str) -> bool {
+        if self.allow_rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        match rule_info(rule).map(|r| r.level) {
+            Some(DefaultLevel::Deny) => true,
+            Some(DefaultLevel::Advisory) => self.deny_rules.iter().any(|r| r == rule),
+            None => true,
+        }
+    }
+}
+
+/// The outcome of one lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that count against `--deny`.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub grandfathered: Vec<Finding>,
+    /// Advisory findings (reported, never fatal).
+    pub advisory: Vec<Finding>,
+    /// Baseline entries that matched nothing.
+    pub stale_baseline: Vec<String>,
+}
+
+/// Lint one source string as if it were a workspace file — the seam the
+/// rule unit tests and adversarial-fixture tests drive.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::new(path, src.to_string());
+    rules::check_file(&ctx)
+}
+
+/// Run the full workspace lint per `cfg`.
+pub fn run(cfg: &Config) -> std::io::Result<Report> {
+    let members = workspace::discover_members(&cfg.root)?;
+    let mut findings = Vec::new();
+    for member in &members {
+        // Manifest rule.
+        let manifest_path = cfg.root.join(&member.dir).join("Cargo.toml");
+        if let Ok(src) = fs::read_to_string(&manifest_path) {
+            rules::deps::check_manifest(
+                &workspace::rel(&cfg.root, &manifest_path),
+                &src,
+                &mut findings,
+            );
+        }
+        // Source rules.
+        for path in workspace::member_sources(&cfg.root, member) {
+            let src = fs::read_to_string(&path)?;
+            findings.extend(lint_source(&workspace::rel(&cfg.root, &path), &src));
+        }
+    }
+    findings.retain(|f| cfg.allow_rules.iter().all(|r| r != f.rule));
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    // Advisory rules never count toward deny, baseline or not.
+    let (counting, advisory): (Vec<_>, Vec<_>) =
+        findings.into_iter().partition(|f| cfg.rule_counts(f.rule));
+
+    let baseline_path = if cfg.baseline.is_absolute() {
+        cfg.baseline.clone()
+    } else {
+        cfg.root.join(&cfg.baseline)
+    };
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(src) => Baseline::parse(&src),
+        Err(_) => Baseline::default(),
+    };
+    let (new, grandfathered, stale) = baseline.split(counting);
+    let stale_baseline = stale
+        .into_iter()
+        .map(|i| {
+            let e = &baseline.entries[i];
+            format!("{} [{}] {}", e.path, e.rule, e.key)
+        })
+        .collect();
+    Ok(Report {
+        new,
+        grandfathered,
+        advisory,
+        stale_baseline,
+    })
+}
+
+/// Render the full report; returns the process exit code.
+pub fn render(
+    cfg: &Config,
+    report: &Report,
+    out: &mut impl std::io::Write,
+) -> std::io::Result<i32> {
+    if cfg.format == "json" {
+        writeln!(out, "{{\"findings\":[")?;
+        let all = report.new.iter().chain(&report.advisory);
+        let rendered: Vec<String> = all.map(Finding::render_json).collect();
+        writeln!(out, "{}", rendered.join(",\n"))?;
+        writeln!(
+            out,
+            "],\"new\":{},\"grandfathered\":{},\"advisory\":{},\"stale_baseline\":{}}}",
+            report.new.len(),
+            report.grandfathered.len(),
+            report.advisory.len(),
+            report.stale_baseline.len(),
+        )?;
+    } else {
+        for f in &report.new {
+            writeln!(out, "{}", f.render_text())?;
+        }
+        if !report.advisory.is_empty() {
+            writeln!(
+                out,
+                "note: {} advisory finding(s) (not fatal; rerun with --deny-rule <rule> to promote):",
+                report.advisory.len()
+            )?;
+            let mut by_rule: Vec<(&str, usize)> = Vec::new();
+            for f in &report.advisory {
+                match by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+                    Some((_, n)) => *n += 1,
+                    None => by_rule.push((f.rule, 1)),
+                }
+            }
+            for (rule, n) in by_rule {
+                writeln!(out, "  {rule}: {n}")?;
+            }
+        }
+        for s in &report.stale_baseline {
+            writeln!(out, "warning: stale baseline entry: {s}")?;
+        }
+        writeln!(
+            out,
+            "tinysdr-lint: {} new, {} grandfathered, {} advisory finding(s)",
+            report.new.len(),
+            report.grandfathered.len(),
+            report.advisory.len(),
+        )?;
+    }
+    Ok(if cfg.deny && !report.new.is_empty() {
+        1
+    } else {
+        0
+    })
+}

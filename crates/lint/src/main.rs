@@ -1,0 +1,69 @@
+//! CLI entry point for `tinysdr-lint`. See `--help` / [`tinysdr_lint::USAGE`].
+
+use std::process::ExitCode;
+
+use tinysdr_lint::rules::{DefaultLevel, RULES};
+use tinysdr_lint::{baseline::Baseline, render, run, Config, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match Config::parse(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg.is_empty() => {
+            // `--help` / `--list-rules`.
+            print!("{USAGE}");
+            println!("\nRULES:");
+            for r in RULES {
+                let level = match r.level {
+                    DefaultLevel::Deny => "deny",
+                    DefaultLevel::Advisory => "advisory",
+                };
+                println!("  {:<22} [{level}] {}", r.slug, r.description);
+            }
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cfg.write_baseline {
+        let findings: Vec<_> = report
+            .new
+            .iter()
+            .chain(&report.grandfathered)
+            .cloned()
+            .collect();
+        let path = if cfg.baseline.is_absolute() {
+            cfg.baseline.clone()
+        } else {
+            cfg.root.join(&cfg.baseline)
+        };
+        if let Err(e) = std::fs::write(&path, Baseline::render(&findings)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "tinysdr-lint: wrote {} entr(ies) to {} (fill in the `why` fields)",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut stdout = std::io::stdout().lock();
+    match render(&cfg, &report, &mut stdout) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code as u8),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

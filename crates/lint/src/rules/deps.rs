@@ -1,0 +1,217 @@
+//! The offline-dependency contract: every dependency in every
+//! `Cargo.toml` must resolve to a workspace crate or a `vendor/` path
+//! shim. A `version`-only, `git`, or registry dependency means the
+//! build wants a network, which this repo forbids (ROADMAP: "extend
+//! the shims, never add a network dep").
+//!
+//! The parser is a deliberately small line-oriented TOML subset: it
+//! understands `[section]` headers, `name = "ver"`, `name = { ... }`
+//! inline tables, and `name.workspace = true` dotted keys — the full
+//! grammar cargo accepts for dependency tables in this workspace.
+
+use crate::findings::Finding;
+
+/// Dependency-table section headers (also matched as suffixes so
+/// `[target.'cfg(unix)'.dependencies]` counts).
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Check one manifest. `path` is workspace-relative, `src` its text.
+pub fn check_manifest(path: &str, src: &str, findings: &mut Vec<Finding>) {
+    let mut in_dep_section = false;
+    let mut pending: Option<(String, u32, String)> = None; // multi-line table: (name, line, acc)
+                                                           // Dotted-key entries accumulate per dep name: `foo.version` plus
+                                                           // `foo.path` is offline; `foo.version` alone is not.
+    let mut dotted: Vec<(String, String, u32, String)> = Vec::new(); // (name, attrs, line, raw)
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, start, acc)) = pending.take() {
+            let acc = format!("{acc} {line}");
+            if acc.matches('{').count() <= acc.matches('}').count()
+                && acc.matches('[').count() <= acc.matches(']').count()
+            {
+                judge_dep(path, &name, &acc, start, raw, findings);
+            } else {
+                pending = Some((name, start, acc));
+                continue;
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            in_dep_section = DEP_SECTIONS
+                .iter()
+                .any(|s| section == *s || section.ends_with(&format!(".{s}")));
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // Dotted keys (`name.workspace`, `name.path`, `name.version`,
+        // `name.git`) all configure one dep entry; collect and judge
+        // the entry as a whole after the scan.
+        if let Some((name, attr)) = key.rsplit_once('.') {
+            match dotted.iter_mut().find(|(n, ..)| n == name) {
+                Some((_, attrs, ..)) => {
+                    attrs.push(' ');
+                    attrs.push_str(attr);
+                }
+                None => dotted.push((
+                    name.to_string(),
+                    attr.to_string(),
+                    line_no,
+                    raw.trim().to_string(),
+                )),
+            }
+            continue;
+        }
+        // Inline value: string (registry version) or table.
+        if value.starts_with('{')
+            && (value.matches('{').count() > value.matches('}').count()
+                || value.matches('[').count() > value.matches(']').count())
+        {
+            pending = Some((key.to_string(), line_no, value.to_string()));
+            continue;
+        }
+        judge_dep(path, key, value, line_no, raw, findings);
+    }
+    for (name, attrs, line, raw) in dotted {
+        let offline = attrs.split(' ').any(|a| a == "workspace" || a == "path");
+        let networky = attrs
+            .split(' ')
+            .any(|a| matches!(a, "git" | "registry" | "branch" | "rev" | "tag"));
+        if !offline || networky {
+            report(path, &name, line, &raw, findings);
+        }
+    }
+}
+
+/// Strip a `#` comment, respecting basic and literal strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_literal && !prev_backslash => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Decide whether one dependency entry honours the offline contract.
+fn judge_dep(
+    path: &str,
+    name: &str,
+    value: &str,
+    line: u32,
+    raw: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let offline = value.contains("path") && value.contains('"')
+        || value.contains("workspace = true")
+        || value.contains("workspace=true");
+    let networky = value.contains("git") || value.contains("registry");
+    if offline && !networky {
+        return;
+    }
+    report(path, name, line, raw, findings);
+}
+
+fn report(path: &str, name: &str, line: u32, raw: &str, findings: &mut Vec<Finding>) {
+    findings.push(Finding {
+        rule: "offline-deps",
+        path: path.to_string(),
+        line,
+        col: 1,
+        message: format!(
+            "dependency `{name}` does not resolve to a workspace or vendor/ path; \
+             the build environment has no network"
+        ),
+        help: "point it at a `path = \"...\"` crate (add a shim under vendor/ if the API is \
+               external) or inherit a path dep with `name.workspace = true`"
+            .to_string(),
+        key: raw.trim().to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut f = Vec::new();
+        check_manifest("Cargo.toml", src, &mut f);
+        f
+    }
+
+    #[test]
+    fn path_and_workspace_deps_ok() {
+        let src = "[dependencies]\nfoo = { path = \"../foo\" }\nbar.workspace = true\nbaz = { workspace = true }\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn registry_version_flagged() {
+        let f = run("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn git_dep_flagged_even_with_path_like_text() {
+        let f = run("[dependencies]\nfoo = { git = \"https://example.com/foo\", path = \"x\" }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn version_plus_path_ok() {
+        // workspace.dependencies pins version alongside path — fine.
+        let f = run(
+            "[workspace.dependencies]\nrand = { path = \"vendor/rand\", version = \"0.8.5\" }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let src = "[package]\nversion = \"0.1.0\"\n[features]\ndefault = []\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let src = "[dependencies]\n# serde = \"1.0\"\nfoo = { path = \"f\" } # ok\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn dotted_version_key_flagged() {
+        let f = run("[dependencies]\nserde.version = \"1.0\"\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn target_specific_sections_checked() {
+        let f = run("[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n");
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Determinism rules: the sharded==sequential bit-for-bit contracts
+//! (campaigns, waterfalls, energy) die the moment library code iterates
+//! a randomized-order container, reads a wall clock, or draws from an
+//! ambient RNG. These rules catch all three at the token level.
+
+use crate::context::FileCtx;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+
+/// Iteration-producing methods on hash containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Chain terminals whose result cannot depend on visit order (integer
+/// or boolean reductions). Floating-point `sum`/`product` are *not*
+/// here on purpose: f64 addition is non-associative, so a hash-ordered
+/// sum differs run to run in the last bits — exactly the class of bug
+/// this rule exists for.
+const ORDER_FREE_TERMINALS: &[&str] = &["count", "len", "all", "any", "contains", "is_empty"];
+
+/// Wall-clock constructors.
+const TIME_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Ambient-randomness entry points.
+const AMBIENT_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "random"];
+
+/// Run the three determinism rules over one file.
+pub fn check(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let hash_idents = collect_hash_idents(ctx);
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind != TokenKind::Ident || ctx.test_mask[i] {
+            continue;
+        }
+        let text = ctx.text(i);
+        ambient_time(ctx, i, text, findings);
+        ambient_rng(ctx, i, text, findings);
+        nondeterministic_iter(ctx, i, text, &hash_idents, findings);
+    }
+}
+
+fn push(ctx: &FileCtx, i: usize, rule: &'static str, message: String, help: &str) -> Finding {
+    let t = &ctx.tokens[i];
+    Finding {
+        rule,
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+        help: help.to_string(),
+        key: ctx.line_text(i).to_string(),
+    }
+}
+
+fn ambient_time(ctx: &FileCtx, i: usize, text: &str, findings: &mut Vec<Finding>) {
+    if !TIME_TYPES.contains(&text) {
+        return;
+    }
+    // Only flag *uses*: `Instant::now()`, `SystemTime::now()`, a
+    // `use std::time::Instant` import, or a type position. A bare
+    // mention in an ident like `InstantLike` never reaches here (the
+    // lexer gives us the full ident).
+    if ctx.allowed("ambient-time", ctx.tokens[i].line) {
+        return;
+    }
+    findings.push(push(
+        ctx,
+        i,
+        "ambient-time",
+        format!("`{text}` reads the ambient wall clock; library results must be a pure function of inputs and seeds"),
+        "thread an explicit timestamp/duration parameter through, or add `// lint: allow(ambient-time, reason)` if wall-clock is the point (e.g. a benchmark harness)",
+    ));
+}
+
+fn ambient_rng(ctx: &FileCtx, i: usize, text: &str, findings: &mut Vec<Finding>) {
+    if !AMBIENT_RNG.contains(&text) {
+        return;
+    }
+    // `random` is only ambient as the free function `rand::random` —
+    // a method named `random` on an explicitly-seeded source is fine.
+    if text == "random" && !(i >= 2 && ctx.text(i - 1) == "::" && ctx.text(i - 2) == "rand") {
+        return;
+    }
+    if ctx.allowed("ambient-rng", ctx.tokens[i].line) {
+        return;
+    }
+    findings.push(push(
+        ctx,
+        i,
+        "ambient-rng",
+        format!("`{text}` draws ambient randomness; every random stream must derive from an explicit caller-provided seed"),
+        "take a `seed: u64` (see tinysdr_ota::seed::splitmix64 stream derivation), or add `// lint: allow(ambient-rng, reason)`",
+    ));
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` in this file: struct fields
+/// (`name: HashMap<...>`), let bindings with an explicit hash type or a
+/// `HashMap::new()`-style initializer, and fn params.
+fn collect_hash_idents(ctx: &FileCtx) -> Vec<String> {
+    let mut idents = Vec::new();
+    for i in 0..ctx.tokens.len() {
+        let text = ctx.text(i);
+        if text != "HashMap" && text != "HashSet" {
+            continue;
+        }
+        if ctx.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        // Pattern `name : [path ::]* Hash{Map,Set}` — walk back over a
+        // path to the `:` and take the ident before it.
+        let mut j = i;
+        while j >= 2 && ctx.text(j - 1) == "::" {
+            j -= 2; // skip `segment ::`
+        }
+        if j >= 2 && ctx.text(j - 1) == ":" && ctx.tokens[j - 2].kind == TokenKind::Ident {
+            idents.push(ctx.text(j - 2).to_string());
+            continue;
+        }
+        // Pattern `let [mut] name = [path ::]* Hash{Map,Set} :: new(...)`
+        // — walk back over `=`.
+        if j >= 2 && ctx.text(j - 1) == "=" && ctx.tokens[j - 2].kind == TokenKind::Ident {
+            idents.push(ctx.text(j - 2).to_string());
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+fn nondeterministic_iter(
+    ctx: &FileCtx,
+    i: usize,
+    text: &str,
+    hash_idents: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    if !hash_idents.iter().any(|h| h == text) {
+        return;
+    }
+    // Case 1: `name.iter()` / `name.keys()` / ... — the ident is
+    // followed by `.` + iteration method.
+    let mut flagged_at = None;
+    if i + 2 < ctx.tokens.len() && ctx.text(i + 1) == "." && ITER_METHODS.contains(&ctx.text(i + 2))
+    {
+        flagged_at = Some(i + 2);
+    }
+    // Case 2: `for pat in &name {` / `for pat in name {` — scan back
+    // for `in` within the same for-head.
+    if flagged_at.is_none() {
+        let mut j = i;
+        let mut hops = 0;
+        while j > 0 && hops < 6 {
+            let t = ctx.text(j - 1);
+            if t == "in" {
+                // Confirm a `for` shortly before the `in`.
+                let back = j.saturating_sub(12);
+                if (back..j).any(|k| ctx.text(k) == "for") {
+                    // Plain `for _ in map` iterates the map itself; but
+                    // `for _ in map.something_sorted()` does not — only
+                    // flag when the ident is the end of the iterated
+                    // expression or followed by an iter method (case 1
+                    // already caught that).
+                    if i + 1 < ctx.tokens.len() && ctx.text(i + 1) == "{" {
+                        flagged_at = Some(i);
+                    }
+                }
+                break;
+            }
+            if !matches!(t, "&" | "mut" | "." | "self") {
+                break;
+            }
+            j -= 1;
+            hops += 1;
+        }
+    }
+    let Some(at) = flagged_at else { return };
+    // Suppress when the chain ends in an order-independent terminal:
+    // scan forward to the end of the expression (`;`, `)` closing the
+    // statement, or `{`) and look for a terminal method.
+    let mut j = at;
+    let mut depth = 0i32;
+    let mut order_free = false;
+    while j < ctx.tokens.len() {
+        let t = ctx.text(j);
+        match t {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            ";" | "{" if depth == 0 => break,
+            _ if ctx.tokens[j].kind == TokenKind::Ident
+                && depth == 0
+                && ORDER_FREE_TERMINALS.contains(&t) =>
+            {
+                order_free = true;
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if order_free {
+        return;
+    }
+    if ctx.allowed("nondeterministic-iter", ctx.tokens[i].line) {
+        return;
+    }
+    findings.push(push(
+        ctx,
+        i,
+        "nondeterministic-iter",
+        format!("iterating hash container `{text}` visits entries in a per-process random order; any f64 reduction or output built from it breaks the sharded==sequential bit-for-bit contract"),
+        "switch to BTreeMap/BTreeSet, sort before consuming, reduce with an integer/boolean terminal, or add `// lint: allow(nondeterministic-iter, reason)`",
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src.to_string());
+        let mut f = Vec::new();
+        check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn instant_in_lib_flagged_in_string_not() {
+        let f = run("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "ambient-time");
+        assert!(run(r#"fn f() -> &'static str { "Instant::now()" }"#).is_empty());
+    }
+
+    #[test]
+    fn instant_in_test_mod_ok() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let t = Instant::now(); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged_lookup_ok() {
+        let src = "struct S { m: HashMap<u8, f64> }\nimpl S { fn f(&self) -> f64 { self.m.values().sum() } }";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "nondeterministic-iter");
+        // Keyed lookup never iterates.
+        let src = "struct S { m: HashMap<u8, f64> }\nimpl S { fn f(&self) -> f64 { self.m[&1] } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn order_free_reduction_ok() {
+        let src = "struct S { m: HashMap<u8, f64> }\nimpl S { fn f(&self) -> usize { self.m.iter().count() } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_flagged() {
+        let src = "fn f(m: HashMap<u8, u8>) { for (k, v) in &m { g(k, v); } }";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "struct S { m: HashMap<u8, f64> }\nimpl S { fn f(&self) -> Vec<f64> {\n// lint: allow(nondeterministic-iter, sorted two lines down)\nself.m.values().cloned().collect() } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn thread_rng_flagged() {
+        let f = run("fn f() { let mut r = rand::thread_rng(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "ambient-rng");
+    }
+}

@@ -1,0 +1,99 @@
+//! The rule catalog. Every rule has a stable slug (used by `--allow`,
+//! allow-comments, and the baseline file), a one-line description, and
+//! a default severity.
+
+pub mod deps;
+pub mod determinism;
+pub mod robustness;
+pub mod units;
+
+use crate::context::FileCtx;
+use crate::findings::Finding;
+
+/// Whether a rule participates in `--deny` by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultLevel {
+    /// Counts toward a non-zero exit under `--deny`.
+    Deny,
+    /// Reported but never fails the build unless promoted with an
+    /// explicit `--deny-rule <slug>`.
+    Advisory,
+}
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    /// Stable slug: `--allow <slug>`, `// lint: allow(<slug>, why)`.
+    pub slug: &'static str,
+    /// What the rule protects, in one line.
+    pub description: &'static str,
+    /// Default severity.
+    pub level: DefaultLevel,
+}
+
+/// All source-level rules, in reporting order. The manifest-level
+/// `offline-deps` rule runs separately (it reads `Cargo.toml`, not
+/// `.rs` files) but shares this catalog for `--allow` and docs.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        slug: "nondeterministic-iter",
+        description: "HashMap/HashSet iteration in library code must be sorted, \
+                      order-independent, or explicitly allowed",
+        level: DefaultLevel::Deny,
+    },
+    RuleInfo {
+        slug: "ambient-time",
+        description: "std::time::{Instant, SystemTime} reads ambient wall-clock state; \
+                      library code must stay deterministic",
+        level: DefaultLevel::Deny,
+    },
+    RuleInfo {
+        slug: "ambient-rng",
+        description: "thread_rng/from_entropy/OsRng-style ambient randomness; all \
+                      randomness must flow from an explicit seed",
+        level: DefaultLevel::Deny,
+    },
+    RuleInfo {
+        slug: "unit-suffix",
+        description: "public numeric fns/params/fields naming a physical quantity must \
+                      carry a unit suffix (_mw, _mj, _dbm, _hz, ...)",
+        level: DefaultLevel::Deny,
+    },
+    RuleInfo {
+        slug: "unit-mix",
+        description: "same-expression +/-/comparison between identifiers with \
+                      mismatched unit suffixes",
+        level: DefaultLevel::Deny,
+    },
+    RuleInfo {
+        slug: "unjustified-panic",
+        description: "unwrap/expect/panic! in library code needs a `# Panics` doc or an \
+                      allow comment",
+        level: DefaultLevel::Deny,
+    },
+    RuleInfo {
+        slug: "unchecked-index",
+        description: "slice indexing in library code (advisory: DSP hot paths index \
+                      deliberately; promote per-crate when wanted)",
+        level: DefaultLevel::Advisory,
+    },
+    RuleInfo {
+        slug: "offline-deps",
+        description: "every Cargo.toml dependency must resolve to a workspace or \
+                      vendor/ path — the build must never touch a network",
+        level: DefaultLevel::Deny,
+    },
+];
+
+/// Look up a rule by slug.
+pub fn rule_info(slug: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.slug == slug)
+}
+
+/// Run every source-level rule over one file.
+pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    determinism::check(ctx, &mut findings);
+    units::check(ctx, &mut findings);
+    robustness::check(ctx, &mut findings);
+    findings
+}

@@ -1,0 +1,181 @@
+//! Robustness rules: a panic in library code takes down a whole
+//! campaign shard. Panicking is allowed — this is simulation code with
+//! real invariants — but only when *justified*: either the enclosing
+//! public fn documents it under a rustdoc `# Panics` section, or the
+//! site carries an allow comment naming the invariant.
+
+use crate::context::FileCtx;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+
+/// Macros that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the robustness rules over one file.
+pub fn check(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind != TokenKind::Ident || ctx.test_mask[i] {
+            continue;
+        }
+        let text = ctx.text(i);
+        match text {
+            "unwrap" | "expect" if i > 0 && ctx.text(i - 1) == "." => {
+                // `.unwrap()` / `.expect(` only — not `unwrap_or`,
+                // which the lexer already separates as a longer ident.
+                if i + 1 >= ctx.tokens.len() || ctx.text(i + 1) != "(" {
+                    continue;
+                }
+                report_panic_site(
+                    ctx,
+                    i,
+                    format!("`.{text}()` can panic at runtime"),
+                    findings,
+                );
+            }
+            _ if PANIC_MACROS.contains(&text)
+                && i + 1 < ctx.tokens.len()
+                && ctx.text(i + 1) == "!" =>
+            {
+                report_panic_site(ctx, i, format!("`{text}!` panics"), findings);
+            }
+            _ => {}
+        }
+    }
+    unchecked_index(ctx, findings);
+}
+
+/// A panic site is justified by (a) an allow comment, or (b) an
+/// enclosing fn whose doc comment has a `# Panics` section — the
+/// standard rustdoc contract, which the repo's public panicking fns
+/// already follow.
+fn report_panic_site(ctx: &FileCtx, i: usize, what: String, findings: &mut Vec<Finding>) {
+    if ctx.allowed("unjustified-panic", ctx.tokens[i].line) {
+        return;
+    }
+    if ctx
+        .enclosing_fn(i)
+        .is_some_and(|f| f.doc.contains("# Panics"))
+    {
+        return;
+    }
+    findings.push(Finding {
+        rule: "unjustified-panic",
+        path: ctx.path.clone(),
+        line: ctx.tokens[i].line,
+        col: ctx.tokens[i].col,
+        message: format!("{what} in library code without a stated justification"),
+        help: "document the invariant in a `# Panics` rustdoc section on the enclosing fn, \
+               return Option/Result instead, or add `// lint: allow(unjustified-panic, reason)`"
+            .to_string(),
+        key: ctx.line_text(i).to_string(),
+    });
+}
+
+/// Advisory rule: `expr[...]` indexing panics on out-of-bounds. DSP hot
+/// paths index deliberately (bounds are loop invariants), so this stays
+/// advisory by default; promote with `--deny-rule unchecked-index`.
+fn unchecked_index(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind != TokenKind::Punct
+            || ctx.text(i) != "["
+            || i == 0
+            || ctx.test_mask[i]
+        {
+            continue;
+        }
+        // Indexing only when `[` directly follows a value: ident, `)`,
+        // `]`, or a literal. `#[attr]`, `[u8; 4]`, array literals after
+        // `=`/`(`/`,` never match.
+        let prev = &ctx.tokens[i - 1];
+        let is_index = match prev.kind {
+            TokenKind::Ident => !matches!(
+                prev.text(&ctx.src),
+                "as" | "in" | "return" | "break" | "else" | "match" | "mut" | "dyn" | "impl"
+            ),
+            TokenKind::Punct => matches!(prev.text(&ctx.src), ")" | "]"),
+            _ => false,
+        };
+        if !is_index {
+            continue;
+        }
+        if ctx.allowed("unchecked-index", ctx.tokens[i].line) {
+            continue;
+        }
+        if ctx
+            .enclosing_fn(i)
+            .is_some_and(|f| f.doc.contains("# Panics"))
+        {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "unchecked-index",
+            path: ctx.path.clone(),
+            line: ctx.tokens[i].line,
+            col: ctx.tokens[i].col,
+            message: "slice/array indexing panics when out of bounds".to_string(),
+            help: "prefer `.get()`/iterators, document a `# Panics` contract, or add \
+                   `// lint: allow(unchecked-index, reason)`"
+                .to_string(),
+            key: ctx.line_text(i).to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src.to_string());
+        let mut f = Vec::new();
+        check(&ctx, &mut f);
+        f
+    }
+
+    fn panics(src: &str) -> usize {
+        run(src)
+            .iter()
+            .filter(|f| f.rule == "unjustified-panic")
+            .count()
+    }
+
+    #[test]
+    fn bare_unwrap_flagged() {
+        assert_eq!(panics("fn f() { x.unwrap(); }"), 1);
+        assert_eq!(panics("fn f() { x.expect(\"msg\"); }"), 1);
+        assert_eq!(panics("fn f() { panic!(\"boom\"); }"), 1);
+    }
+
+    #[test]
+    fn panics_doc_justifies() {
+        let src = "/// Frobs.\n///\n/// # Panics\n/// When x is None.\npub fn f() { x.unwrap(); }";
+        assert_eq!(panics(src), 0);
+    }
+
+    #[test]
+    fn allow_comment_justifies() {
+        let src = "fn f() {\n    // lint: allow(unjustified-panic, len checked above)\n    x.unwrap();\n}";
+        assert_eq!(panics(src), 0);
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        assert_eq!(panics("fn f() { x.unwrap_or(0); }"), 0);
+        assert_eq!(panics("fn f() { x.unwrap_or_default(); }"), 0);
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        assert_eq!(panics("#[test]\nfn t() { x.unwrap(); }"), 0);
+        assert_eq!(panics("#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }"), 0);
+    }
+
+    #[test]
+    fn indexing_advisory() {
+        let f = run("fn f(v: &[u8]) -> u8 { v[0] }");
+        assert_eq!(f.iter().filter(|f| f.rule == "unchecked-index").count(), 1);
+        // Attributes and array types are not indexing.
+        let f = run("#[derive(Debug)]\nstruct S { a: [u8; 4] }");
+        assert!(f.iter().all(|f| f.rule != "unchecked-index"));
+    }
+}

@@ -1,0 +1,524 @@
+//! Unit-safety rules. Every physical number in this workspace travels
+//! as a bare `f64`, so the *name* is the type system: `_mw` vs `_mj`
+//! is the only thing standing between a power and an energy. Rule
+//! `unit-suffix` makes the convention mandatory on the public surface;
+//! rule `unit-mix` catches `x_mw + y_mj`-style dimensional nonsense
+//! inside expressions.
+
+use crate::context::FileCtx;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+
+/// The repo's unit-suffix vocabulary, longest-first so compound
+/// suffixes (`_dbm_hz`, `_nj_per_bit`) win over their tails.
+pub const UNIT_SUFFIXES: &[&str] = &[
+    "dbm_hz",
+    "db_hz",
+    "nj_per_bit",
+    "mj_per_bit",
+    "uj_per_bit",
+    "bits_per_s",
+    "years",
+    "bytes",
+    "bits",
+    "mbps",
+    "kbps",
+    "samples",
+    "chips",
+    "symbols",
+    "ppm",
+    "dbm",
+    "mhz",
+    "khz",
+    "ghz",
+    "bps",
+    "sps",
+    "mah",
+    "mw",
+    "uw",
+    "nw",
+    "mj",
+    "uj",
+    "nj",
+    "kj",
+    "db",
+    "hz",
+    "ms",
+    "us",
+    "ns",
+    "mv",
+    "ma",
+    "ua",
+    "pct",
+    "j",
+    "s",
+    "v",
+    "w",
+];
+
+/// Identifier endings that mark a deliberately unitless quantity:
+/// probabilities, ratios, normalized values, indices.
+const UNITLESS_OK: &[&str] = &[
+    "prob",
+    "probability",
+    "ratio",
+    "factor",
+    "frac",
+    "fraction",
+    "norm",
+    "index",
+    "count",
+    "ecdf",
+    "per",
+    "ser",
+    "ber",
+    "efficiency",
+    "id",
+    "level",
+];
+
+/// Substrings that name a physical quantity. An identifier containing
+/// one must end in a unit suffix (or a [`UNITLESS_OK`] ending).
+const QUANTITY_STEMS: &[&str] = &[
+    "power",
+    "energy",
+    "freq",
+    "bandwidth",
+    "rssi",
+    "voltage",
+    "airtime",
+    "air_time",
+    "duration",
+    "latency",
+    "sensitivity",
+    "drift",
+    "bitrate",
+    "bit_rate",
+    "sample_rate",
+    "chip_rate",
+    "symbol_rate",
+    "baud_rate",
+    "data_rate",
+    "noise_floor",
+    "temperature",
+    "wavelength",
+];
+
+/// Primitive numeric types; a fn/param/field only falls under
+/// `unit-suffix` when its type is one of these (an `EnergyLedger`
+/// return carries its own units internally).
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Does `ident` end with a recognized unit suffix?
+pub fn has_unit_suffix(ident: &str) -> bool {
+    UNIT_SUFFIXES
+        .iter()
+        .any(|s| ident.ends_with(&format!("_{s}")))
+}
+
+/// The unit suffix of `ident`, if any.
+fn unit_suffix(ident: &str) -> Option<&'static str> {
+    UNIT_SUFFIXES
+        .iter()
+        .find(|s| ident.ends_with(&format!("_{s}")))
+        .copied()
+}
+
+fn is_unitless_ok(ident: &str) -> bool {
+    UNITLESS_OK.iter().any(|s| {
+        ident.ends_with(&format!("_{s}")) || ident == *s || ident.contains(&format!("_{s}_"))
+    })
+}
+
+fn names_quantity(ident: &str) -> bool {
+    QUANTITY_STEMS.iter().any(|s| ident.contains(s))
+}
+
+/// Two suffixes are dimensionally compatible in `+`/`-`/comparison
+/// position. Only the log-domain pair is: adding dB to dBm shifts a
+/// level, which is exactly how link budgets are written.
+fn compatible(a: &str, b: &str) -> bool {
+    a == b || matches!((a, b), ("db", "dbm") | ("dbm", "db"))
+}
+
+/// Run both unit rules over one file.
+pub fn check(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    unit_suffix_rule(ctx, findings);
+    unit_mix_rule(ctx, findings);
+}
+
+fn finding(ctx: &FileCtx, i: usize, rule: &'static str, message: String, help: &str) -> Finding {
+    let t = &ctx.tokens[i];
+    Finding {
+        rule,
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+        help: help.to_string(),
+        key: ctx.line_text(i).to_string(),
+    }
+}
+
+/// Is the type starting at token `i` numeric? Accepts `f64`,
+/// `Option<f64>`, and `&f64`-style shallow wrappers.
+fn numeric_type_at(ctx: &FileCtx, mut i: usize) -> bool {
+    let mut hops = 0;
+    while i < ctx.tokens.len() && hops < 4 {
+        let t = ctx.text(i);
+        if NUMERIC_TYPES.contains(&t) {
+            return true;
+        }
+        if matches!(t, "Option" | "&" | "<" | "mut") {
+            i += 1;
+            hops += 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+fn report_missing_suffix(
+    ctx: &FileCtx,
+    i: usize,
+    what: &str,
+    name: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if ctx.allowed("unit-suffix", ctx.tokens[i].line) {
+        return;
+    }
+    findings.push(finding(
+        ctx,
+        i,
+        "unit-suffix",
+        format!(
+            "public {what} `{name}` names a physical quantity but carries no unit suffix; \
+             a bare f64 with an ambiguous name is how mW and mJ get mixed"
+        ),
+        "append a vocabulary suffix (_mw, _mj, _dbm, _db, _hz, _mhz, _s, _ms, _ppm, _bits, \
+         _bytes, ...), or `// lint: allow(unit-suffix, reason)` if genuinely dimensionless",
+    ));
+}
+
+fn unit_suffix_rule(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind != TokenKind::Ident || ctx.test_mask[i] {
+            continue;
+        }
+        match ctx.text(i) {
+            "fn" if i > 0 && ctx.text(i - 1) == "pub" => {
+                let name_i = i + 1;
+                if name_i >= ctx.tokens.len() {
+                    continue;
+                }
+                let name = ctx.text(name_i);
+                // The fn itself: flag when it returns a bare number.
+                let sig_end = signature_end(ctx, name_i);
+                if names_quantity(name) && !has_unit_suffix(name) && !is_unitless_ok(name) {
+                    if let Some(arrow) = (name_i..sig_end).find(|&k| ctx.text(k) == "->") {
+                        if numeric_type_at(ctx, arrow + 1) {
+                            report_missing_suffix(ctx, name_i, "fn", name, findings);
+                        }
+                    }
+                }
+                // Params of any pub fn: `name: f64`.
+                check_params(ctx, name_i, sig_end, findings);
+            }
+            "pub" => {
+                // Struct field `pub name: f64,` (not fn/mod/use/etc.).
+                let Some(name_i) = field_after_pub(ctx, i) else {
+                    continue;
+                };
+                let name = ctx.text(name_i);
+                if names_quantity(name)
+                    && !has_unit_suffix(name)
+                    && !is_unitless_ok(name)
+                    && numeric_type_at(ctx, name_i + 2)
+                {
+                    report_missing_suffix(ctx, name_i, "field", name, findings);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Token index of the end of a fn signature (its `{`, `;`, or `where`).
+fn signature_end(ctx: &FileCtx, from: usize) -> usize {
+    let mut depth = 0i32;
+    for k in from..ctx.tokens.len() {
+        let t = ctx.text(k);
+        match t {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "{" | ";" if depth <= 0 => return k,
+            "where" if depth <= 0 => return k,
+            _ => {}
+        }
+    }
+    ctx.tokens.len()
+}
+
+/// Flag quantity-named `param: f64` pairs inside a signature.
+fn check_params(ctx: &FileCtx, from: usize, sig_end: usize, findings: &mut Vec<Finding>) {
+    for k in from..sig_end.saturating_sub(1) {
+        if ctx.tokens[k].kind != TokenKind::Ident || ctx.text(k + 1) != ":" {
+            continue;
+        }
+        let name = ctx.text(k);
+        if names_quantity(name)
+            && !has_unit_suffix(name)
+            && !is_unitless_ok(name)
+            && numeric_type_at(ctx, k + 2)
+        {
+            report_missing_suffix(ctx, k, "parameter", name, findings);
+        }
+    }
+}
+
+/// After a `pub` token, the field name of a `pub name: Type` struct
+/// field — rejects `pub fn`, `pub struct`, `pub(crate)`, etc.
+fn field_after_pub(ctx: &FileCtx, pub_i: usize) -> Option<usize> {
+    let name_i = pub_i + 1;
+    if name_i + 1 >= ctx.tokens.len() {
+        return None;
+    }
+    let name = ctx.text(name_i);
+    if ctx.tokens[name_i].kind != TokenKind::Ident
+        || matches!(
+            name,
+            "fn" | "struct"
+                | "enum"
+                | "mod"
+                | "use"
+                | "const"
+                | "static"
+                | "trait"
+                | "type"
+                | "impl"
+                | "unsafe"
+                | "async"
+                | "extern"
+                | "crate"
+        )
+    {
+        return None;
+    }
+    (ctx.text(name_i + 1) == ":").then_some(name_i)
+}
+
+/// The identifier naming the value to the *left* of an operator: the
+/// last path segment before `op_i`, hopping over one closed group so
+/// `f(x) + y` attributes the left side to `f`.
+fn left_operand(ctx: &FileCtx, op_i: usize) -> Option<usize> {
+    let mut i = op_i.checked_sub(1)?;
+    if matches!(ctx.text(i), ")" | "]") {
+        let close = ctx.text(i);
+        let open = if close == ")" { "(" } else { "[" };
+        let mut depth = 0i32;
+        loop {
+            let t = ctx.text(i);
+            if t == close {
+                depth += 1;
+            } else if t == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i = i.checked_sub(1)?;
+        }
+        i = i.checked_sub(1)?;
+    }
+    (ctx.tokens[i].kind == TokenKind::Ident).then_some(i)
+}
+
+/// The identifier naming the value to the *right* of an operator: the
+/// last segment of the leading path/field chain (`self.a.b_mw` → `b_mw`).
+fn right_operand(ctx: &FileCtx, op_i: usize) -> Option<usize> {
+    let mut i = op_i + 1;
+    // Skip leading unary operators and references.
+    while i < ctx.tokens.len() && matches!(ctx.text(i), "&" | "*" | "-" | "mut") {
+        i += 1;
+    }
+    let mut last_ident = None;
+    while i < ctx.tokens.len() {
+        match ctx.tokens[i].kind {
+            TokenKind::Ident => last_ident = Some(i),
+            TokenKind::Punct if matches!(ctx.text(i), "." | "::") => {}
+            _ => break,
+        }
+        i += 1;
+    }
+    // A call/index after the chain means the chain names a function —
+    // still the right attribution (`x + dbm_to_mw(y)` ⇒ `mw`).
+    last_ident
+}
+
+/// Is the operand ending at token `l` preceded by `*` or `/` (walking
+/// back over its `self.a.b_mw` chain)?
+fn multiplicative_before(ctx: &FileCtx, l: usize) -> bool {
+    // Walk back to the head of the `self.a.b_mw` chain `l` ends.
+    let mut i = l;
+    while i >= 2
+        && matches!(ctx.text(i - 1), "." | "::")
+        && ctx.tokens[i - 2].kind == TokenKind::Ident
+    {
+        i -= 2;
+    }
+    i > 0 && matches!(ctx.text(i - 1), "*" | "/" | "%")
+}
+
+/// Is the operand starting after the chain that contains token `r`
+/// followed by `*` or `/` (skipping one call/index group)?
+fn multiplicative_after(ctx: &FileCtx, r: usize) -> bool {
+    let mut i = r + 1;
+    // Continue over the rest of a path/field chain.
+    while i + 1 < ctx.tokens.len()
+        && matches!(ctx.text(i), "." | "::")
+        && ctx.tokens[i + 1].kind == TokenKind::Ident
+    {
+        i += 2;
+    }
+    // Skip a call or index group.
+    if i < ctx.tokens.len() && matches!(ctx.text(i), "(" | "[") {
+        let open = ctx.text(i);
+        let close = if open == "(" { ")" } else { "]" };
+        let mut depth = 0i32;
+        while i < ctx.tokens.len() {
+            let t = ctx.text(i);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    i < ctx.tokens.len() && matches!(ctx.text(i), "*" | "/" | "%")
+}
+
+fn unit_mix_rule(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind != TokenKind::Punct || ctx.test_mask[i] {
+            continue;
+        }
+        let op = ctx.text(i);
+        if !matches!(
+            op,
+            "+" | "-" | "+=" | "-=" | "<" | ">" | "<=" | ">=" | "==" | "!="
+        ) {
+            continue;
+        }
+        // `<`/`>` are also generics; only treat them as comparisons
+        // when both neighbours are value-ish (ident/literal/`)`).
+        let Some(l) = left_operand(ctx, i) else {
+            continue;
+        };
+        let Some(r) = right_operand(ctx, i) else {
+            continue;
+        };
+        let (Some(ls), Some(rs)) = (unit_suffix(ctx.text(l)), unit_suffix(ctx.text(r))) else {
+            continue;
+        };
+        // A multiplicative neighbour changes the term's dimension
+        // (`a_mw * b_s + c_mj` is correct: mW·s = mJ), so a suffix next
+        // to `*` or `/` says nothing about the term as a whole.
+        if multiplicative_before(ctx, l) || multiplicative_after(ctx, r) {
+            continue;
+        }
+        if compatible(ls, rs) {
+            continue;
+        }
+        if ctx.allowed("unit-mix", ctx.tokens[i].line) {
+            continue;
+        }
+        findings.push(finding(
+            ctx,
+            i,
+            "unit-mix",
+            format!(
+                "`{}` {op} `{}` mixes units `_{ls}` and `_{rs}` in one expression",
+                ctx.text(l),
+                ctx.text(r)
+            ),
+            "convert one side explicitly (e.g. dbm_to_mw, * 1e3) so both operands share a \
+             suffix, or `// lint: allow(unit-mix, reason)` when the mix is intentional",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src.to_string());
+        let mut f = Vec::new();
+        check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn unsuffixed_quantity_fn_flagged() {
+        let f = run("pub fn airtime(&self) -> f64 { 0.0 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unit-suffix");
+        assert!(run("pub fn airtime_s(&self) -> f64 { 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn struct_return_is_exempt() {
+        assert!(run("pub fn energy(&self) -> EnergyLedger { todo() }").is_empty());
+    }
+
+    #[test]
+    fn param_and_field_flagged() {
+        let f = run("pub fn set(power: f64) {}");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = run("pub struct S { pub rssi: f64 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(run("pub struct S { pub rssi_dbm: f64 }").is_empty());
+    }
+
+    #[test]
+    fn unitless_endings_exempt() {
+        assert!(run("pub fn packet_error_rate_prob(&self) -> f64 { 0.0 }").is_empty());
+        assert!(run("pub fn power_ratio(&self) -> f64 { 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn mix_flagged_compatible_ok() {
+        let f = run("fn f() { let z = x_mw + y_mj; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unit-mix");
+        assert!(run("fn f() { let z = x_dbm + y_db; }").is_empty());
+        assert!(run("fn f() { let z = a_mw + b_mw; }").is_empty());
+    }
+
+    #[test]
+    fn mix_through_field_chains() {
+        let f = run("fn f() { let z = self.tx_energy_mj - report.rx_power_mw; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn generics_not_comparisons() {
+        assert!(run("fn f() { let v: Vec<f64> = g::<f64>(); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let z = x_mw + y_mj; } }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Workspace discovery: which files does the lint walk?
+//!
+//! Source rules cover *library code*: every `src/` tree of every
+//! workspace member (vendored shims included — they are workspace
+//! members and their determinism matters just as much). `tests/`,
+//! `benches/`, and `examples/` trees are exempt from source rules by
+//! construction — they are the repo's test code. The manifest rule
+//! covers every member `Cargo.toml` plus the workspace root.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A discovered workspace member.
+#[derive(Debug)]
+pub struct Member {
+    /// Member directory relative to the workspace root (`""` for the
+    /// root package itself).
+    pub dir: PathBuf,
+}
+
+/// Discover members by reading the root `Cargo.toml` member globs.
+/// Only the `dir/*` glob form and literal dirs are supported — which
+/// is what this workspace uses (`crates/*`, `vendor/*`).
+pub fn discover_members(root: &Path) -> std::io::Result<Vec<Member>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members = vec![Member {
+        dir: PathBuf::new(),
+    }];
+    let mut in_members = false;
+    for raw in manifest.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with("members") {
+            in_members = true;
+        }
+        if !in_members {
+            continue;
+        }
+        for pat in line
+            .split(['[', ']', ',', '='])
+            .map(str::trim)
+            .filter(|p| p.starts_with('"'))
+        {
+            let pat = pat.trim_matches('"');
+            if let Some(prefix) = pat.strip_suffix("/*") {
+                let Ok(rd) = fs::read_dir(root.join(prefix)) else {
+                    continue;
+                };
+                let mut dirs: Vec<PathBuf> = rd
+                    .flatten()
+                    .filter(|e| e.path().join("Cargo.toml").is_file())
+                    .map(|e| Path::new(prefix).join(e.file_name()))
+                    .collect();
+                dirs.sort();
+                members.extend(dirs.into_iter().map(|dir| Member { dir }));
+            } else if root.join(pat).join("Cargo.toml").is_file() {
+                members.push(Member {
+                    dir: PathBuf::from(pat),
+                });
+            }
+        }
+        if line.contains(']') && in_members {
+            break;
+        }
+    }
+    Ok(members)
+}
+
+/// All `.rs` files under a member's `src/` tree, sorted for
+/// deterministic reporting order.
+pub fn member_sources(root: &Path, member: &Member) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect_rs(&root.join(&member.dir).join("src"), &mut out);
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// A path rendered relative to the workspace root with `/` separators,
+/// for findings and baseline keys that must not depend on the host.
+pub fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

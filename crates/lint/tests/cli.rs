@@ -1,0 +1,211 @@
+//! End-to-end tests of the `tinysdr-lint` binary against the committed
+//! fixture mini-workspaces: the bad fixture must fail `--deny` with
+//! every rule represented, the clean fixture must pass, and the
+//! baseline workflow must turn the bad fixture green only once every
+//! entry carries a real justification.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tinysdr-lint"))
+        .args(args)
+        .output()
+        .expect("spawn tinysdr-lint")
+}
+
+fn root_arg(name: &str) -> String {
+    fixture(name).to_string_lossy().into_owned()
+}
+
+/// All deny-by-default rule slugs (mirrors `--list-rules`).
+const DENY_RULES: &[&str] = &[
+    "nondeterministic-iter",
+    "ambient-time",
+    "ambient-rng",
+    "unit-suffix",
+    "unit-mix",
+    "unjustified-panic",
+    "offline-deps",
+];
+
+#[test]
+fn bad_fixture_fails_deny_with_every_rule_present() {
+    let out = run_lint(&["--root", &root_arg("bad"), "--deny", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "bad fixture must fail --deny");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in DENY_RULES {
+        assert!(
+            stdout.contains(&format!("\"rule\":\"{rule}\"")),
+            "rule {rule} missing from JSON output:\n{stdout}"
+        );
+    }
+    // the advisory rule is reported too, it just doesn't gate
+    assert!(stdout.contains("\"rule\":\"unchecked-index\""));
+}
+
+#[test]
+fn bad_fixture_text_format_names_the_offending_lines() {
+    let out = run_lint(&["--root", &root_arg("bad"), "--deny"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("crates/demo/src/lib.rs"));
+    assert!(stdout.contains("Instant::now"));
+    assert!(stdout.contains("crates/demo/Cargo.toml"));
+}
+
+#[test]
+fn advisory_rule_gates_only_when_promoted() {
+    // Allow every deny rule: the bad fixture's only remaining findings
+    // are advisory, so --deny passes…
+    let mut allow_all = vec!["--root".into(), root_arg("bad"), "--deny".into()];
+    for rule in DENY_RULES {
+        allow_all.push("--allow".into());
+        allow_all.push((*rule).into());
+    }
+    let args: Vec<&str> = allow_all.iter().map(String::as_str).collect();
+    let out = run_lint(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "advisory findings alone must not fail --deny: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // …until unchecked-index is promoted.
+    let mut promoted = allow_all.clone();
+    promoted.push("--deny-rule".into());
+    promoted.push("unchecked-index".into());
+    let args: Vec<&str> = promoted.iter().map(String::as_str).collect();
+    let out = run_lint(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--deny-rule unchecked-index must make v[0] fatal"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("unchecked-index"));
+}
+
+#[test]
+fn clean_fixture_passes_deny() {
+    let out = run_lint(&["--root", &root_arg("clean"), "--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean fixture must pass --deny:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn clean_fixture_passes_even_with_advisory_promoted() {
+    let out = run_lint(&[
+        "--root",
+        &root_arg("clean"),
+        "--deny",
+        "--deny-rule",
+        "unchecked-index",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn baseline_workflow_grandfathers_only_justified_entries() {
+    let dir = std::env::temp_dir().join(format!("tinysdr-lint-bl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bl = dir.join("baseline.json");
+    let bl_arg = bl.to_string_lossy().into_owned();
+
+    // 1. --write-baseline captures every counting finding with TODO whys.
+    let out = run_lint(&[
+        "--root",
+        &root_arg("bad"),
+        "--baseline",
+        &bl_arg,
+        "--write-baseline",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--write-baseline itself succeeds"
+    );
+    let written = std::fs::read_to_string(&bl).unwrap();
+    assert!(written.contains("TODO: justify or fix"));
+
+    // 2. TODO whys do not count: --deny still fails.
+    let out = run_lint(&["--root", &root_arg("bad"), "--baseline", &bl_arg, "--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a TODO why must not grandfather anything"
+    );
+
+    // 3. Fill in real justifications: --deny passes, findings move to
+    //    the grandfathered bucket.
+    let justified = written.replace("TODO: justify or fix", "fixture debt, tracked");
+    std::fs::write(&bl, justified).unwrap();
+    let out = run_lint(&["--root", &root_arg("bad"), "--baseline", &bl_arg, "--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "fully-justified baseline must pass --deny:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 new"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_baseline_entries_are_reported() {
+    let dir = std::env::temp_dir().join(format!("tinysdr-lint-stale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bl = dir.join("baseline.json");
+    std::fs::write(
+        &bl,
+        r#"[
+{"rule":"ambient-time","path":"crates/gone/src/lib.rs","key":"Instant::now()","why":"file was deleted"}
+]"#,
+    )
+    .unwrap();
+    let out = run_lint(&[
+        "--root",
+        &root_arg("clean"),
+        "--baseline",
+        &bl.to_string_lossy(),
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stdout.contains("stale") || stderr.contains("stale"),
+        "stale baseline entries must be surfaced:\nstdout:{stdout}\nstderr:{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_flags_and_rules_exit_with_usage_error() {
+    let out = run_lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_lint(&["--allow", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_the_whole_catalog() {
+    let out = run_lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in DENY_RULES {
+        assert!(stdout.contains(rule), "catalog missing {rule}");
+    }
+    assert!(stdout.contains("unchecked-index"));
+}

@@ -1,0 +1,51 @@
+//! Fixture crate that trips every source rule exactly where the CLI
+//! tests expect. Never compiled — only lexed by tinysdr-lint.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Holds a hash map so iteration order is nondeterministic.
+pub struct Accumulator {
+    totals: HashMap<String, f64>,
+}
+
+impl Accumulator {
+    /// nondeterministic-iter: folds f64 in hash order.
+    pub fn grand_total(&self) -> f64 {
+        let mut t = 0.0;
+        for (_k, v) in self.totals.iter() {
+            t += v;
+        }
+        t
+    }
+}
+
+/// ambient-time: reads the wall clock in library code.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// ambient-rng: ambient process-global randomness.
+pub fn roll() -> u32 {
+    rand::thread_rng().gen()
+}
+
+/// unit-suffix: names a physical quantity with no unit suffix.
+pub fn power(x: f64) -> f64 {
+    x * 2.0
+}
+
+/// unit-mix: adds a milliwatt to a millijoule.
+pub fn nonsense(a_mw: f64, b_mj: f64) -> f64 {
+    a_mw + b_mj
+}
+
+/// unjustified-panic: unwrap with no justification attached.
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+/// unchecked-index (advisory unless promoted with --deny-rule).
+pub fn head(v: &[u8]) -> u8 {
+    v[0]
+}

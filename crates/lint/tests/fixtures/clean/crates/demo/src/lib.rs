@@ -1,0 +1,55 @@
+//! Fixture crate that exercises the same idioms as the bad fixture but
+//! stays within every rule: sorted maps, suffixed quantities, justified
+//! panics, and an allow comment used the supported way.
+
+use std::collections::BTreeMap;
+
+/// BTreeMap iterates in key order, so the f64 fold is deterministic.
+pub struct Accumulator {
+    totals: BTreeMap<String, f64>,
+}
+
+impl Accumulator {
+    /// Deterministic fold: visit order is the key order.
+    pub fn grand_total_mj(&self) -> f64 {
+        let mut t_mj = 0.0;
+        for (_k, v) in self.totals.iter() {
+            t_mj += v;
+        }
+        t_mj
+    }
+}
+
+/// Suffixed physical quantity.
+pub fn power_mw(x_mw: f64) -> f64 {
+    x_mw * 2.0
+}
+
+/// Unit-consistent arithmetic.
+pub fn total_mj(a_mj: f64, b_mj: f64) -> f64 {
+    a_mj + b_mj
+}
+
+/// Dimensionally sound mixed multiplication: mW times s is mJ.
+pub fn energy_mj(p_mw: f64, t_s: f64) -> f64 {
+    p_mw * t_s
+}
+
+/// No panic path at all.
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+/// A justified panic, documented the idiomatic way.
+///
+/// # Panics
+/// Panics on an empty slice: callers guarantee at least one element.
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+/// A justified panic via an allow comment.
+pub fn tail(v: &[u8]) -> u8 {
+    // lint: allow(unjustified-panic, fixture demonstrates the allow-comment path)
+    *v.last().unwrap()
+}

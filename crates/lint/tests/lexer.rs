@@ -1,0 +1,279 @@
+//! Adversarial lexer tests: the inputs a naive string-scanner gets
+//! wrong. Each case is a source snippet plus the exact kind/text
+//! sequence the lexer must produce (whitespace skipped); if the lexer
+//! mis-brackets a string or comment, every rule downstream of it
+//! misfires, so these are the foundation the whole tool stands on.
+
+use tinysdr_lint::lexer::{lex, TokenKind};
+
+/// Lex `src` and return `(kind, text)` pairs for comparison.
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+/// Shorthand used by the tables below.
+fn k(kind: TokenKind, text: &str) -> (TokenKind, String) {
+    (kind, text.to_string())
+}
+
+use TokenKind::*;
+
+#[test]
+fn raw_strings_with_hash_fences() {
+    // The `#` count must match: `r##"..."##` can contain `"#` unfenced.
+    let cases: &[(&str, &[(TokenKind, &str)])] = &[
+        (r####"r"plain""####, &[(RawStrLit, r#"r"plain""#)]),
+        (
+            r####"r#"has " quote"#"####,
+            &[(RawStrLit, r##"r#"has " quote"#"##)],
+        ),
+        (
+            r####"r##"ends "# inside"##"####,
+            &[(RawStrLit, r###"r##"ends "# inside"##"###)],
+        ),
+        // a raw string followed by more code: the fence must not overrun
+        (
+            r####"r#"a"# + b"####,
+            &[(RawStrLit, r##"r#"a"#"##), (Punct, "+"), (Ident, "b")],
+        ),
+    ];
+    for (src, want) in cases {
+        let want: Vec<_> = want.iter().map(|(kd, tx)| k(*kd, tx)).collect();
+        assert_eq!(kinds(src), want, "src: {src}");
+    }
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string() {
+    // `r#match` is an identifier; `r#"match"#` is a string. One byte of
+    // lookahead decides.
+    assert_eq!(kinds("r#match"), vec![k(Ident, "r#match")]);
+    assert_eq!(
+        kinds(r##"r#"match"#"##),
+        vec![k(RawStrLit, r##"r#"match"#"##)]
+    );
+}
+
+#[test]
+fn nested_block_comments() {
+    // Rust block comments nest; `/* /* */ */` is ONE comment, and code
+    // after the outer close must re-appear as tokens.
+    let src = "a /* outer /* inner */ still comment */ b";
+    assert_eq!(
+        kinds(src),
+        vec![
+            k(Ident, "a"),
+            k(
+                BlockComment { doc: false },
+                "/* outer /* inner */ still comment */"
+            ),
+            k(Ident, "b"),
+        ]
+    );
+}
+
+#[test]
+fn block_comment_depth_three() {
+    let src = "/* 1 /* 2 /* 3 */ 2 */ 1 */ x";
+    let toks = kinds(src);
+    assert_eq!(toks.len(), 2, "{toks:?}");
+    assert_eq!(toks[1], k(Ident, "x"));
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // `'a` (lifetime) vs `'a'` (char): only the closing quote decides.
+    let cases: &[(&str, &[(TokenKind, &str)])] = &[
+        ("&'a str", &[(Punct, "&"), (Lifetime, "'a"), (Ident, "str")]),
+        ("'a'", &[(CharLit, "'a'")]),
+        ("'static", &[(Lifetime, "'static")]),
+        // escaped quote inside a char literal
+        (r"'\''", &[(CharLit, r"'\''")]),
+        (r"'\n'", &[(CharLit, r"'\n'")]),
+        // unicode escape
+        (r"'\u{1F980}'", &[(CharLit, r"'\u{1F980}'")]),
+        // a lifetime immediately followed by a comma must not eat it
+        (
+            "<'a,'b>",
+            &[
+                (Punct, "<"),
+                (Lifetime, "'a"),
+                (Punct, ","),
+                (Lifetime, "'b"),
+                (Punct, ">"),
+            ],
+        ),
+        // loop label position
+        (
+            "'outer: loop",
+            &[(Lifetime, "'outer"), (Punct, ":"), (Ident, "loop")],
+        ),
+    ];
+    for (src, want) in cases {
+        let want: Vec<_> = want.iter().map(|(kd, tx)| k(*kd, tx)).collect();
+        assert_eq!(kinds(src), want, "src: {src}");
+    }
+}
+
+#[test]
+fn byte_strings_and_byte_literals() {
+    let cases: &[(&str, &[(TokenKind, &str)])] = &[
+        (r#"b"bytes""#, &[(ByteStrLit, r#"b"bytes""#)]),
+        (r"b'x'", &[(ByteLit, "b'x'")]),
+        (r"b'\0'", &[(ByteLit, r"b'\0'")]),
+        (
+            r###"br#"raw bytes "# "###.trim_end(),
+            &[(RawByteStrLit, r###"br#"raw bytes "#"###)],
+        ),
+        // `b` alone is an identifier, not a prefix
+        ("b + 1", &[(Ident, "b"), (Punct, "+"), (NumLit, "1")]),
+    ];
+    for (src, want) in cases {
+        let want: Vec<_> = want.iter().map(|(kd, tx)| k(*kd, tx)).collect();
+        assert_eq!(kinds(src), want, "src: {src}");
+    }
+}
+
+#[test]
+fn strings_hide_comment_markers_and_vice_versa() {
+    // `//` inside a string is not a comment; `"` inside a comment is
+    // not a string. Either mistake desynchronizes the whole file.
+    assert_eq!(
+        kinds(r#"let u = "https://example.com";"#),
+        vec![
+            k(Ident, "let"),
+            k(Ident, "u"),
+            k(Punct, "="),
+            k(StrLit, r#""https://example.com""#),
+            k(Punct, ";"),
+        ]
+    );
+    assert_eq!(
+        kinds("/* \" */ x"),
+        vec![k(BlockComment { doc: false }, "/* \" */"), k(Ident, "x")]
+    );
+    assert_eq!(
+        kinds("// unterminated \" quote\nx"),
+        vec![
+            k(LineComment { doc: false }, "// unterminated \" quote"),
+            k(Ident, "x"),
+        ]
+    );
+}
+
+#[test]
+fn escaped_quotes_in_strings() {
+    assert_eq!(
+        kinds(r#""a\"b" c"#),
+        vec![k(StrLit, r#""a\"b""#), k(Ident, "c")]
+    );
+    // escaped backslash right before the closing quote
+    assert_eq!(
+        kinds(r#""a\\" c"#),
+        vec![k(StrLit, r#""a\\""#), k(Ident, "c")]
+    );
+}
+
+#[test]
+fn shebang_only_on_line_one() {
+    let src = "#!/usr/bin/env run\nfn main() {}";
+    let toks = kinds(src);
+    assert_eq!(toks[0], k(Shebang, "#!/usr/bin/env run"));
+    assert_eq!(toks[1], k(Ident, "fn"));
+    // `#![...]` is an inner attribute, NOT a shebang
+    let attr = kinds("#![forbid(unsafe_code)]");
+    assert_eq!(attr[0], k(Punct, "#"));
+    assert_eq!(attr[1], k(Punct, "!"));
+}
+
+#[test]
+fn doc_comment_classification() {
+    assert_eq!(
+        kinds("/// outer\nx")[0],
+        k(LineComment { doc: true }, "/// outer")
+    );
+    assert_eq!(
+        kinds("//! inner\nx")[0],
+        k(LineComment { doc: true }, "//! inner")
+    );
+    // four slashes is NOT a doc comment (rustdoc rule)
+    assert_eq!(
+        kinds("//// not doc\nx")[0],
+        k(LineComment { doc: false }, "//// not doc")
+    );
+    // `/**/` is an empty plain comment, not a doc comment
+    assert_eq!(kinds("/**/ x")[0], k(BlockComment { doc: false }, "/**/"));
+    assert_eq!(
+        kinds("/** doc */ x")[0],
+        k(BlockComment { doc: true }, "/** doc */")
+    );
+}
+
+#[test]
+fn numeric_literals_with_exponents_and_suffixes() {
+    let cases: &[&str] = &["42", "0xFF_u8", "1.5e-3", "2E+10", "0b1010_1111", "7_usize"];
+    for src in cases {
+        let toks = kinds(src);
+        assert_eq!(toks, vec![k(NumLit, src)], "src: {src}");
+    }
+    // `1.5e-3` must be one token — the `-` belongs to the exponent…
+    assert_eq!(kinds("1.5e-3").len(), 1);
+    // …but `1-3` is three tokens.
+    assert_eq!(
+        kinds("1-3"),
+        vec![k(NumLit, "1"), k(Punct, "-"), k(NumLit, "3")]
+    );
+}
+
+#[test]
+fn multichar_punct_is_one_token() {
+    assert_eq!(
+        kinds("a >>= b"),
+        vec![k(Ident, "a"), k(Punct, ">>="), k(Ident, "b")]
+    );
+    assert_eq!(
+        kinds("x..=y"),
+        vec![k(Ident, "x"), k(Punct, "..="), k(Ident, "y")]
+    );
+    assert_eq!(kinds("a::<B>")[1], k(Punct, "::"));
+}
+
+#[test]
+fn spans_and_lines_survive_multiline_tokens() {
+    // Line numbers after a multi-line raw string must stay correct —
+    // finding locations depend on them.
+    let src = "let a = r#\"line1\nline2\nline3\"#;\nlet b = 1;";
+    let toks = lex(src);
+    let b = toks
+        .iter()
+        .find(|t| t.text(src) == "b")
+        .expect("ident b present");
+    assert_eq!(
+        b.line, 4,
+        "multi-line raw string must advance the line counter"
+    );
+    // every token's span must round-trip through the source
+    for t in &toks {
+        assert!(t.start <= t.end && t.end <= src.len());
+    }
+}
+
+#[test]
+fn unterminated_inputs_do_not_panic_or_loop() {
+    // Degenerate inputs: the lexer must terminate and cover the file.
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated",
+        "/* unterminated",
+        "'",
+        "b'",
+        "r#",
+        "",
+    ] {
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| t.end <= src.len()), "src: {src:?}");
+    }
+}

@@ -16,14 +16,14 @@ pub fn select_sf(rssi_dbm: f64, bw_hz: f64, margin_db: f64) -> Option<u8> {
 }
 
 /// Airtime for a payload at the ADR-selected rate, seconds.
-pub fn adaptive_airtime(
+pub fn adaptive_airtime_s(
     rssi_dbm: f64,
     bw_hz: f64,
     margin_db: f64,
     payload_len: usize,
 ) -> Option<f64> {
     let sf = select_sf(rssi_dbm, bw_hz, margin_db)?;
-    Some(LoRaParams::new(sf, bw_hz, 5).airtime(payload_len))
+    Some(LoRaParams::new(sf, bw_hz, 5).airtime_s(payload_len))
 }
 
 /// One row of the rate-adaptation study: a link's RSSI, the fixed-SF8
@@ -47,7 +47,7 @@ pub fn study(rssis: &[f64], bw_hz: f64, margin_db: f64, payload_len: usize) -> V
         .iter()
         .map(|&rssi| {
             let fixed = if rssi >= sensitivity_dbm(8, bw_hz) + margin_db {
-                Some(LoRaParams::new(8, bw_hz, 5).airtime(payload_len))
+                Some(LoRaParams::new(8, bw_hz, 5).airtime_s(payload_len))
             } else {
                 None
             };
@@ -56,7 +56,7 @@ pub fn study(rssis: &[f64], bw_hz: f64, margin_db: f64, payload_len: usize) -> V
                 rssi_dbm: rssi,
                 fixed_sf8_airtime_s: fixed,
                 adaptive_sf: sf,
-                adaptive_airtime_s: adaptive_airtime(rssi, bw_hz, margin_db, payload_len),
+                adaptive_airtime_s: adaptive_airtime_s(rssi, bw_hz, margin_db, payload_len),
             }
         })
         .collect()
@@ -106,7 +106,7 @@ mod tests {
     fn airtime_monotone_in_sf() {
         let mut prev = 0.0;
         for sf in 7..=12u8 {
-            let t = LoRaParams::new(sf, 125e3, 5).airtime(20);
+            let t = LoRaParams::new(sf, 125e3, 5).airtime_s(20);
             assert!(t > prev, "SF{sf} airtime must grow");
             prev = t;
         }

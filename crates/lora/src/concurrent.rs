@@ -116,6 +116,7 @@ impl ConcurrentReceiver {
     /// sharing a 500 kHz stream.
     pub fn paper_pair() -> Self {
         ConcurrentReceiver::new(&[ChirpConfig::new(8, 125e3, 4), ChirpConfig::new(8, 250e3, 2)])
+            // lint: allow(unjustified-panic, static configs share one 500 kHz stream by construction)
             .expect("paper pair is valid")
     }
 
@@ -165,8 +166,8 @@ mod tests {
     /// Build the paper's two-transmitter scene: both SF8, BW 125/250 kHz,
     /// at given RSSIs, over a 500 kHz stream with AT86RF215 noise.
     fn scene(
-        rssi_a: f64,
-        rssi_b: f64,
+        rssi_a_dbm: f64,
+        rssi_b_dbm: f64,
         n_syms: usize,
         seed: u64,
     ) -> (Vec<tinysdr_dsp::complex::Complex>, Vec<u16>, Vec<u16>) {
@@ -179,8 +180,8 @@ mod tests {
         let sb = random_syms(n_syms * 2, 8, seed + 1);
         let mut siga = ma.modulate_symbols(&sa);
         let mut sigb = mb.modulate_symbols(&sb);
-        set_rssi(&mut siga, rssi_a);
-        set_rssi(&mut sigb, rssi_b);
+        set_rssi(&mut siga, rssi_a_dbm);
+        set_rssi(&mut sigb, rssi_b_dbm);
         let mut rx = superpose(&siga, &sigb);
         let mut ch = AwgnChannel::new(4.5, seed + 2);
         ch.add_noise(&mut rx, 500e3);

@@ -47,6 +47,9 @@ pub mod luts {
     ];
 
     /// FFT LUTs for one SF.
+    ///
+    /// # Panics
+    /// Panics for spreading factors outside 6..=12 (no LUT row exists).
     pub fn fft(sf: u8) -> u32 {
         FFT_BY_SF
             .iter()

@@ -199,6 +199,7 @@ impl DataFrame {
         let fopts_len = (fctrl & 0x0F) as usize;
         let fcnt = u16::from_le_bytes([bytes[6], bytes[7]]) as u32;
         let body_end = bytes.len() - 4;
+        // lint: allow(unjustified-panic, slice is exactly four bytes by the index arithmetic)
         let mic_got: [u8; 4] = bytes[body_end..].try_into().unwrap();
         let mic_want = frame_mic(&keys.nwk_skey, dev_addr, fcnt, dir, &bytes[..body_end]);
         if mic_got != mic_want {
@@ -341,6 +342,7 @@ impl JoinAccept {
             body.extend_from_slice(&aes.encrypt_block(&block));
         }
         body.truncate(1 + 12 + 4); // MHDR + body + MIC in the base form
+                                   // lint: allow(unjustified-panic, slice is exactly four bytes by the index arithmetic)
         let mic_got: [u8; 4] = body[body.len() - 4..].try_into().unwrap();
         let mic_want = cmac::mic(app_key, &body[..body.len() - 4]);
         if mic_got != mic_want {

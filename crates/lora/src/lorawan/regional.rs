@@ -98,7 +98,7 @@ impl Region {
                 self.max_payload(dr)
             ));
         }
-        let airtime = LoRaParams::new(sf, bw, 5).airtime(payload_len + 13); // +MAC overhead
+        let airtime = LoRaParams::new(sf, bw, 5).airtime_s(payload_len + 13); // +MAC overhead
         if let Some(dwell) = self.dwell_limit_s() {
             if airtime > dwell {
                 return Err(format!(

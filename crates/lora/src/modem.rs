@@ -286,7 +286,7 @@ impl PhyModem for LoraPerPhy {
     /// Length-only closed form, allocation-free (the OTA session engine
     /// prices every packet through this).
     fn airtime_len_s(&self, frame_len: usize) -> f64 {
-        self.lora_params().airtime(frame_len)
+        self.lora_params().airtime_s(frame_len)
     }
 
     fn clone_box(&self) -> Box<dyn PhyModem> {
@@ -378,7 +378,7 @@ mod tests {
         for len in [1usize, 10, 60, 69] {
             let frame = vec![0u8; len];
             assert!(
-                (phy.airtime_s(&frame) - params.airtime(len)).abs() < 1e-12,
+                (phy.airtime_s(&frame) - params.airtime_s(len)).abs() < 1e-12,
                 "airtime diverged at {len} bytes"
             );
         }

@@ -196,6 +196,7 @@ pub fn hamming_decode(code: u8, cr: u8) -> HammingResult {
                 0b001 => Some(4), // p0 alone
                 0b010 => Some(5), // p1 alone
                 0b100 => Some(6), // p2 alone
+                // lint: allow(unjustified-panic, 3-bit syndrome has exactly eight values, all matched)
                 _ => unreachable!(),
             };
             let mut corrected = false;
@@ -226,6 +227,7 @@ pub fn hamming_decode(code: u8, cr: u8) -> HammingResult {
                 error: false,
             }
         }
+        // lint: allow(unjustified-panic, caller-validated coding rate is matched exhaustively)
         _ => unreachable!(),
     }
 }

@@ -122,8 +122,8 @@ pub fn run_broadcast_keyed(
     .wire_len();
     let nack_wire = OtaMessage::Ack { seq: 0 }.wire_len() + 8; // bitmap summary
     let params = &links[0].params;
-    let t_data = params.airtime(data_wire);
-    let t_nack = params.airtime(nack_wire);
+    let t_data = params.airtime_s(data_wire);
+    let t_nack = params.airtime_s(nack_wire);
 
     // per-node PER at the median RSSI (per-packet fading folded in by
     // sampling around it, as in the unicast session); seeds are mixed

@@ -176,7 +176,9 @@ impl OtaMessage {
                 let o = 1 + 2 * n;
                 Ok(OtaMessage::ProgramRequest {
                     device_ids: ids,
+                    // lint: allow(unjustified-panic, slice is exactly four bytes by the need() length check)
                     wake_in_ms: u32::from_le_bytes(rest[o..o + 4].try_into().unwrap()),
+                    // lint: allow(unjustified-panic, slice is exactly four bytes by the need() length check)
                     total_packets: u32::from_le_bytes(rest[o + 4..o + 8].try_into().unwrap()),
                 })
             }
@@ -188,6 +190,7 @@ impl OtaMessage {
             }
             tag::DATA => {
                 need(5)?;
+                // lint: allow(unjustified-panic, slice is exactly four bytes by the need() length check)
                 let seq = u32::from_le_bytes(rest[..4].try_into().unwrap());
                 let len = rest[4] as usize;
                 need(5 + len)?;
@@ -199,12 +202,14 @@ impl OtaMessage {
             tag::ACK => {
                 need(4)?;
                 Ok(OtaMessage::Ack {
+                    // lint: allow(unjustified-panic, slice is exactly four bytes by the need() length check)
                     seq: u32::from_le_bytes(rest[..4].try_into().unwrap()),
                 })
             }
             tag::END => {
                 need(4)?;
                 Ok(OtaMessage::EndOfUpdate {
+                    // lint: allow(unjustified-panic, slice is exactly four bytes by the need() length check)
                     image_crc32: u32::from_le_bytes(rest[..4].try_into().unwrap()),
                 })
             }

@@ -476,7 +476,7 @@ mod tests {
         let phy = link.phy();
         for len in [1usize, OtaMessage::Ack { seq: 0 }.wire_len(), 69, 120] {
             let via_phy = phy.airtime_len_s(len);
-            let via_params = link.params.airtime(len);
+            let via_params = link.params.airtime_s(len);
             assert!(
                 (via_phy - via_params).abs() < 1e-12,
                 "{len} bytes: {via_phy} vs {via_params}"
@@ -499,7 +499,7 @@ mod tests {
         let phy = link.phy();
         for len in [10usize, 69] {
             assert!(
-                (phy.airtime_len_s(len) - link.params.airtime(len)).abs() < 1e-12,
+                (phy.airtime_len_s(len) - link.params.airtime_s(len)).abs() < 1e-12,
                 "customized flags must flow through the modem"
             );
         }

@@ -15,7 +15,7 @@ pub struct Battery {
     /// Rated capacity, mAh.
     pub capacity_mah: f64,
     /// Nominal voltage, volts.
-    pub voltage: f64,
+    pub voltage_v: f64,
     /// Usable fraction of rated capacity (discharge cutoff, aging).
     pub usable_fraction: f64,
 }
@@ -26,14 +26,14 @@ impl Battery {
     pub fn lipo_1000mah() -> Self {
         Battery {
             capacity_mah: 1000.0,
-            voltage: 3.7,
+            voltage_v: 3.7,
             usable_fraction: 1.0,
         }
     }
 
     /// Total usable energy, joules.
     pub fn energy_j(&self) -> f64 {
-        self.capacity_mah / 1000.0 * 3600.0 * self.voltage * self.usable_fraction
+        self.capacity_mah / 1000.0 * 3600.0 * self.voltage_v * self.usable_fraction
     }
 
     /// Total usable energy, millijoules.

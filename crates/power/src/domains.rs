@@ -21,7 +21,10 @@
 use crate::regulator::{Regulator, RegulatorKind};
 
 /// The seven power domains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` so domain-keyed maps iterate in rail order deterministically
+/// (the PMU sums f64 loads per domain; order changes the last bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Domain {
     /// Always-on MCU rail, 1.8 V.
     V1,
@@ -73,7 +76,9 @@ impl Domain {
 }
 
 /// Components drawing power, for domain bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` for the same deterministic-iteration reason as [`Domain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Component {
     /// MSP432 MCU.
     Mcu,

@@ -13,7 +13,7 @@
 //! [`crate::state::light_sleep_mw`] expose the resulting floors to the
 //! power-state machine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::domains::{Component, Domain, ALL_DOMAINS};
 use crate::regulator::Regulator;
@@ -26,11 +26,17 @@ use tinysdr_hw::mcu::McuMode;
 pub const BOARD_LEAKAGE_MW: f64 = 0.0185; // 5 µA at 3.7 V
 
 /// The PMU: per-domain regulators plus per-component load registrations.
+///
+/// Both maps are `BTreeMap`, not `HashMap`: [`Pmu::battery_power_mw`]
+/// folds f64 rail powers, and floating-point addition is sensitive to
+/// visit order — a hash map would make the total differ in its last
+/// bits from process to process, breaking the campaign energy
+/// determinism contract (sharded == sequential, bit-for-bit).
 #[derive(Debug, Clone)]
 pub struct Pmu {
-    regulators: HashMap<Domain, Regulator>,
+    regulators: BTreeMap<Domain, Regulator>,
     /// Load each component currently presents at its rail, mW.
-    loads: HashMap<Component, f64>,
+    loads: BTreeMap<Component, f64>,
 }
 
 impl Pmu {
@@ -40,7 +46,7 @@ impl Pmu {
         let regulators = ALL_DOMAINS.iter().map(|&d| (d, d.regulator())).collect();
         Pmu {
             regulators,
-            loads: HashMap::new(),
+            loads: BTreeMap::new(),
         }
     }
 

@@ -193,7 +193,7 @@ impl At86Rf215 {
     }
 
     /// Current carrier frequency in Hz.
-    pub fn frequency(&self) -> f64 {
+    pub fn frequency_hz(&self) -> f64 {
         self.freq_hz
     }
 
@@ -431,7 +431,7 @@ mod tests {
         r.set_tx_power(10.0).unwrap();
         let tone = ideal_tone(100e3, SAMPLE_RATE_HZ, 4096);
         let rf = r.transmit(&tone).unwrap();
-        let rssi = crate::channel::measure_rssi(&rf);
+        let rssi = crate::channel::measure_rssi_dbm(&rf);
         assert!((rssi - 10.0).abs() < 0.05, "TX power {rssi}");
     }
 

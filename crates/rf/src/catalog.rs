@@ -89,7 +89,7 @@ pub fn select_radio(max_cost_usd: f64) -> Option<&'static IqRadioModule> {
     IQ_RADIO_CATALOG
         .iter()
         .filter(|m| m.covers(915.0) && m.covers(2440.0) && m.cost_usd <= max_cost_usd)
-        .min_by(|a, b| a.rx_power_mw.partial_cmp(&b.rx_power_mw).unwrap())
+        .min_by(|a, b| a.rx_power_mw.total_cmp(&b.rx_power_mw))
 }
 
 #[cfg(test)]

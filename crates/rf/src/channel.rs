@@ -96,7 +96,7 @@ pub fn set_rssi(sig: &mut [Complex], rssi_dbm: f64) {
 }
 
 /// Measured RSSI of a buffer in dBm.
-pub fn measure_rssi(sig: &[Complex]) -> f64 {
+pub fn measure_rssi_dbm(sig: &[Complex]) -> f64 {
     crate::units::mw_to_dbm(mean_power(sig))
 }
 
@@ -175,7 +175,7 @@ mod tests {
     fn rssi_scaling_is_exact() {
         let mut sig = ideal_tone(1000.0, 1e6, 4096);
         set_rssi(&mut sig, -100.0);
-        assert!((measure_rssi(&sig) + 100.0).abs() < 0.01);
+        assert!((measure_rssi_dbm(&sig) + 100.0).abs() < 0.01);
     }
 
     #[test]
@@ -219,7 +219,7 @@ mod tests {
             for base in [&tone, &noise_like] {
                 let mut sig = base.clone();
                 set_rssi(&mut sig, rssi);
-                let got = measure_rssi(&sig);
+                let got = measure_rssi_dbm(&sig);
                 assert!((got - rssi).abs() < 1e-9, "set {rssi} measured {got} dBm");
             }
         }
@@ -248,7 +248,7 @@ mod tests {
         let mut ch = AwgnChannel::new(nf, 7);
         let mut sig = ideal_tone(10e3, fs, 100_000);
         let n_mw = ch.apply(&mut sig, rssi, fs);
-        let total_dbm = measure_rssi(&sig);
+        let total_dbm = measure_rssi_dbm(&sig);
         // total power ≈ signal + noise
         let expect_mw = dbm_to_mw(rssi) + n_mw;
         assert!((dbm_to_mw(total_dbm) - expect_mw).abs() / expect_mw < 0.05);

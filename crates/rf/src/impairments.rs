@@ -273,7 +273,7 @@ impl ImpairmentChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::measure_rssi;
+    use crate::channel::measure_rssi_dbm;
     use crate::units::noise_floor_dbm;
     use tinysdr_dsp::complex::mean_power;
     use tinysdr_dsp::fft::{fft, peak_bin};
@@ -293,7 +293,7 @@ mod tests {
         assert!(chain.is_awgn_only());
         let tx = ideal_tone(100e3, FS, 100_000);
         let rx = chain.apply(&tx, -60.0, FS, 42);
-        let total = measure_rssi(&rx);
+        let total = measure_rssi_dbm(&rx);
         // at −60 dBm the −109 dBm noise floor is invisible
         assert!((total + 60.0).abs() < 0.05, "RSSI {total}");
         // noise-only residual: subtract the scaled signal
@@ -304,7 +304,7 @@ mod tests {
             .zip(&tx)
             .map(|(&r, &t)| r - t.scale(scale))
             .collect();
-        let n_dbm = measure_rssi(&resid);
+        let n_dbm = measure_rssi_dbm(&resid);
         let want = noise_floor_dbm(FS, 5.0);
         assert!((n_dbm - want).abs() < 0.2, "noise {n_dbm} vs {want}");
     }
@@ -367,7 +367,7 @@ mod tests {
         let tx = ideal_tone(50e3, FS, 4096);
         let rx = chain.apply(&tx, LOUD, FS, 4);
         assert!(rx.len() > tx.len());
-        assert!((measure_rssi(&rx[64..4000]) - LOUD).abs() < 0.3);
+        assert!((measure_rssi_dbm(&rx[64..4000]) - LOUD).abs() < 0.3);
     }
 
     #[test]
@@ -376,7 +376,7 @@ mod tests {
         let chain = ImpairmentChain::new(0.0).with_block_fading(64);
         let tx = ideal_tone(50e3, FS, 128 * 64);
         let rx = chain.apply(&tx, LOUD, FS, 5);
-        let got = measure_rssi(&rx);
+        let got = measure_rssi_dbm(&rx);
         assert!((got - LOUD).abs() < 1.0, "mean faded power {got} dBm");
         // and individual blocks actually fade (non-constant envelope)
         let p0 = mean_power(&rx[..64]);
@@ -393,7 +393,7 @@ mod tests {
         let tx = ideal_tone(50e3, FS, 50_000);
         let rx = chain.apply(&tx, LOUD, FS, 6);
         // envelope preserved (noise floor is ~100 dB down at −10 dBm)
-        assert!((measure_rssi(&rx) - LOUD).abs() < 0.1);
+        assert!((measure_rssi_dbm(&rx) - LOUD).abs() < 0.1);
         // accumulated phase error at the end of the buffer is visible
         let scale = (crate::units::dbm_to_mw(LOUD) / mean_power(&tx)).sqrt();
         let end_err = (rx[49_999] * tx[49_999].conj().scale(scale)).arg().abs();

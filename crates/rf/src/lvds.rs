@@ -162,6 +162,7 @@ impl Serializer {
         for &z in samples {
             let (i, q) = self.quantizer.quantize_iq(z);
             let word = IqWord::new(i as i16, q as i16)
+                // lint: allow(unjustified-panic, quantizer clamps to 13 bits so IqWord::new cannot fail)
                 .expect("quantizer output always fits 13 bits")
                 .encode();
             for b in (0..32).rev() {
@@ -172,7 +173,7 @@ impl Serializer {
     }
 
     /// Wire time to send `n_samples` at the fixed word rate, in seconds.
-    pub fn airtime(n_samples: usize) -> f64 {
+    pub fn airtime_s(n_samples: usize) -> f64 {
         n_samples as f64 / WORD_RATE
     }
 }
@@ -398,6 +399,6 @@ mod tests {
         assert!((WORD_RATE - 4e6).abs() < 1.0);
         assert!((LVDS_BIT_RATE - 128e6).abs() < 1.0);
         // 4 MHz sampling occupies exactly the wire rate
-        assert!((Serializer::airtime(4_000_000) - 1.0).abs() < 1e-9);
+        assert!((Serializer::airtime_s(4_000_000) - 1.0).abs() < 1e-9);
     }
 }

@@ -27,6 +27,10 @@ pub const NOISE_FIGURE_DB: f64 = 7.0;
 
 /// Demodulation SNR threshold per spreading factor, dB (Semtech SX1276
 /// datasheet table 13).
+///
+/// # Panics
+/// Panics for spreading factors outside 6..=12 — the datasheet has no
+/// row to answer with.
 pub fn required_snr_db(sf: u8) -> f64 {
     match sf {
         6 => -5.0,
@@ -108,13 +112,13 @@ impl LoRaParams {
 
     /// Time on air for a `payload_len`-byte packet, seconds, including
     /// preamble and the 4.25-symbol sync/SFD.
-    pub fn airtime(&self, payload_len: usize) -> f64 {
+    pub fn airtime_s(&self, payload_len: usize) -> f64 {
         let n = self.preamble_symbols as f64 + 4.25 + self.payload_symbols(payload_len) as f64;
         n * self.symbol_time()
     }
 
     /// Effective PHY bit rate including coding, bit/s.
-    pub fn bitrate(&self) -> f64 {
+    pub fn bitrate_bps(&self) -> f64 {
         self.sf as f64 * (self.bw_hz / (1u32 << self.sf) as f64) * 4.0 / self.cr_denom as f64
     }
 
@@ -250,22 +254,22 @@ mod tests {
         // SF7 BW125 CR4/5, 8-symbol preamble, 1-byte payload — classic
         // reference ≈ 25.9 ms? Check internal consistency instead:
         let p = LoRaParams::new(7, 125e3, 5);
-        let t1 = p.airtime(1);
+        let t1 = p.airtime_s(1);
         assert!(t1 > 0.02 && t1 < 0.04, "airtime {t1}");
         // airtime grows with payload
-        assert!(p.airtime(60) > p.airtime(10));
+        assert!(p.airtime_s(60) > p.airtime_s(10));
         // SF12 is far slower than SF7
         let p12 = LoRaParams::new(12, 125e3, 5);
-        assert!(p12.airtime(10) > 10.0 * p.airtime(10));
+        assert!(p12.airtime_s(10) > 10.0 * p.airtime_s(10));
     }
 
     #[test]
     fn ota_link_rate_matches_paper_math() {
         // SF8 BW500 CR4/6 → 8 · (500e3/256) · 4/6 ≈ 10.4 kbit/s
         let p = LoRaParams::ota_link();
-        assert!((p.bitrate() - 10_416.7).abs() < 1.0);
+        assert!((p.bitrate_bps() - 10_416.7).abs() < 1.0);
         // 60-byte OTA packet airtime ≈ tens of ms
-        let t = p.airtime(60);
+        let t = p.airtime_s(60);
         assert!(t > 0.03 && t < 0.09, "packet airtime {t}");
     }
 

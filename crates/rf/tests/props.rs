@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use tinysdr_dsp::complex::Complex;
-use tinysdr_rf::channel::{measure_rssi, set_rssi};
+use tinysdr_rf::channel::{measure_rssi_dbm, set_rssi};
 use tinysdr_rf::lvds::{Deserializer, IqWord, Serializer};
 use tinysdr_rf::units::{dbm_to_mw, mw_to_dbm};
 
@@ -56,7 +56,7 @@ proptest! {
         let mut sig: Vec<Complex> =
             (0..256).map(|i| Complex::from_angle(i as f64 * 0.1).scale(scale)).collect();
         set_rssi(&mut sig, target);
-        prop_assert!((measure_rssi(&sig) - target).abs() < 1e-6);
+        prop_assert!((measure_rssi_dbm(&sig) - target).abs() < 1e-6);
     }
 
     /// The AWGN calibration the waterfalls lean on: for any sampling

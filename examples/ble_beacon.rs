@@ -24,7 +24,7 @@ fn main() {
     println!(
         "iBeacon PDU: {} bytes, airtime {:.0} µs at 1 Mbps",
         pkt.pdu().len(),
-        pkt.airtime_1mbps() * 1e6
+        pkt.airtime_1mbps_s() * 1e6
     );
 
     // --- the advertising event: 37 -> 38 -> 39 with 220 µs hops ---

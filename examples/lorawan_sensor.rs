@@ -46,7 +46,7 @@ fn main() {
     for (i, temp) in [21.5f32, 21.7, 22.0].iter().enumerate() {
         let payload = temp.to_le_bytes();
         let uplink = mac.build_uplink(1, &payload, false).unwrap();
-        let airtime = params.airtime(uplink.len());
+        let airtime = params.airtime_s(uplink.len());
         total_airtime += airtime;
         let rx = server.handle_uplink(&uplink).expect("server decodes");
         let temp_back = f32::from_le_bytes(rx.payload.try_into().unwrap());

@@ -14,6 +14,10 @@
 //! cargo run --release --example ota_scale
 //! ```
 
+// Examples are demo harnesses: measuring wall time here is the point,
+// and nothing downstream consumes it.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use tinysdr::ota::blocks::BlockedUpdate;

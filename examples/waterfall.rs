@@ -13,6 +13,10 @@
 //! cargo run --release --example waterfall
 //! ```
 
+// Examples are demo harnesses: measuring wall time here is the point,
+// and nothing downstream consumes it.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use tinysdr_bench::waterfall::{

@@ -69,7 +69,7 @@ fn main() {
     println!(
         "device: FPGA boot ∥ radio setup = {:.1} ms, radio at {:.3} GHz, active PHY {:?}\n",
         t as f64 / 1e6,
-        dev.radio.frequency() / 1e9,
+        dev.radio.frequency_hz() / 1e9,
         dev.active_phy().unwrap()
     );
 

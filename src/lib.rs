@@ -16,6 +16,9 @@
 //! See `DESIGN.md` for the full system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use tinysdr_ble as ble_crate;
 pub use tinysdr_core as core_crate;
 pub use tinysdr_dsp as dsp;

@@ -95,10 +95,10 @@ fn adr_energy_benefit_is_real() {
     let rssis: Vec<f64> = tb.nodes.iter().map(|n| n.rssi_dbm).collect();
     let adaptive: f64 = rssis
         .iter()
-        .filter_map(|&r| adr::adaptive_airtime(r, 125e3, 5.0, 20))
+        .filter_map(|&r| adr::adaptive_airtime_s(r, 125e3, 5.0, 20))
         .sum();
     let fixed_sf10 =
-        rssis.len() as f64 * tinysdr::rf::sx1276::LoRaParams::new(10, 125e3, 5).airtime(20);
+        rssis.len() as f64 * tinysdr::rf::sx1276::LoRaParams::new(10, 125e3, 5).airtime_s(20);
     assert!(
         adaptive < fixed_sf10 * 0.7,
         "adaptive {adaptive:.2} s vs fixed-SF10 {fixed_sf10:.2} s"

@@ -9,8 +9,10 @@
 //! this exists so `cargo bench` works without network access.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Display;
+// lint: allow(ambient-time, wall-clock measurement is the whole point of a benchmark harness)
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -68,8 +70,11 @@ pub struct Bencher {
 impl Bencher {
     /// Time the closure. Runs a warm-up to pick an iteration count, then
     /// `sample_size` samples; the best sample defines the reported time.
+    // A benchmark harness is the one place wall-clock time is the output.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: find how many iterations fit ~5 ms.
+        // lint: allow(ambient-time, benchmark timing reads the wall clock by design)
         let warm_start = Instant::now();
         black_box(f());
         let one = warm_start.elapsed().max(Duration::from_nanos(50));
@@ -78,6 +83,7 @@ impl Bencher {
 
         let mut best = Duration::MAX;
         for _ in 0..self.samples {
+            // lint: allow(ambient-time, benchmark timing reads the wall clock by design)
             let start = Instant::now();
             for _ in 0..self.iters_per_sample {
                 black_box(f());

@@ -12,6 +12,7 @@
 //!   can spawn more workers.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Scoped-thread API mirroring `crossbeam::thread`.
 pub mod thread {

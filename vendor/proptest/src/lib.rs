@@ -17,6 +17,7 @@
 //! `prop_assert*!` macros.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use rand::{Rng, SeedableRng};
 use std::fmt::Debug;

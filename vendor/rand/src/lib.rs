@@ -16,6 +16,7 @@
 //! network dependency.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 
