@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use tinysdr_core::testbed::{BroadcastCampaignConfig, CampaignConfig, Testbed};
+use tinysdr_ota::aggregate::RetainMode;
 use tinysdr_ota::blocks::BlockedUpdate;
 use tinysdr_ota::image::FirmwareImage;
 
@@ -31,6 +32,14 @@ fn bench_campaign(c: &mut Criterion) {
     });
     g.bench_function(format!("sharded_{NODES}_x{threads}"), |b| {
         b.iter(|| tb.run_campaign(&upd, &CampaignConfig::sharded(SEED, threads)))
+    });
+    g.bench_function(format!("sharded_sketch_{NODES}_x{threads}"), |b| {
+        b.iter(|| {
+            tb.run_campaign(
+                &upd,
+                &CampaignConfig::sharded(SEED, threads).with_retain(RetainMode::sketch()),
+            )
+        })
     });
     g.bench_function(format!("broadcast_{NODES}"), |b| {
         b.iter(|| tb.broadcast_campaign(&upd, &BroadcastCampaignConfig::new(SEED)))

@@ -7,6 +7,7 @@
 //! repro sec51 sec52 sec53 sec6
 //! repro waterfall           # PHY conformance waterfalls (not in `all`)
 //! repro energy              # power-state/energy axis (not in `all`)
+//! repro campaign            # million-node campaign scaling (not in `all`)
 //! repro --quick all         # reduced trial counts for smoke runs
 //! ```
 //!
@@ -18,7 +19,12 @@
 //! duty-cycled 1000-node campaign (`--quick`: 64 nodes, plus the
 //! campaign **energy** determinism contract assert — the second CI
 //! smoke step). Both are excluded from `all` because the full runs are
-//! deliberate long-haul measurements.
+//! deliberate long-haul measurements. `campaign` runs the scale
+//! benchmark behind the streaming-aggregation stack: contract gates
+//! (work-stealing == sequential, kill/resume == uninterrupted, both
+//! asserted), the flat-report-memory check, and the
+//! `BENCH_campaign.json` trajectory point (`--quick`: 20k nodes — the
+//! third CI smoke step; full: 1M nodes).
 
 use tinysdr_bench::phy_experiments as phy;
 use tinysdr_bench::system_experiments as sys;
@@ -51,7 +57,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy> ...");
+        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign> ...");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -200,6 +206,14 @@ fn main() {
     // 1000-node energy campaign are long-haul measurements, not figures
     if wanted.contains(&"waterfall") {
         run_waterfall_cmd(quick, seed);
+    }
+    if wanted.contains(&"campaign") {
+        // contract gates (work-stealing == sequential, kill/resume ==
+        // uninterrupted) followed by the flat-memory scale measurement
+        // and the BENCH_campaign.json trajectory point. Quick: 20k
+        // nodes (CI smoke); full: the ROADMAP's million-node fleet.
+        let nodes = if quick { 20_000 } else { 1_000_000 };
+        tinysdr_bench::campaign::campaign(nodes, 42, quick);
     }
     if wanted.contains(&"energy") {
         // full: the ROADMAP-scale duty-cycled fleet; quick: 64 nodes +

@@ -1,0 +1,249 @@
+//! The million-node campaign benchmark behind `repro campaign`.
+//!
+//! Three things happen here, in order:
+//!
+//! 1. **Contract gates** — the work-stealing scheduler must be
+//!    bit-identical to the sequential run (reports, aggregate, every
+//!    energy number) in both retention modes, and a killed + resumed
+//!    checkpointed campaign must equal the uninterrupted one. The
+//!    gates `assert!`, so a contract violation aborts the binary — the
+//!    CI smoke step relies on that.
+//! 2. **Scale measurement** — a small reference campaign and the full
+//!    campaign (1M nodes in the non-`--quick` run) both execute under
+//!    [`RetainMode::Sketch`]; the report memory of the two is compared
+//!    to demonstrate (and assert) that report state is independent of
+//!    node count.
+//! 3. **Trajectory point** — the measurement lands in
+//!    `BENCH_campaign.json`, the first point of the campaign-scaling
+//!    trajectory the ROADMAP wants tracked across commits.
+
+use tinysdr_core::testbed::{CampaignConfig, CampaignReport, CheckpointConfig, Testbed};
+use tinysdr_ota::aggregate::RetainMode;
+use tinysdr_ota::blocks::BlockedUpdate;
+use tinysdr_ota::image::FirmwareImage;
+
+/// The firmware image every campaign node downloads: a mid-size MCU
+/// update (the paper's smallest update class, so million-node runs
+/// stay tractable on one machine).
+fn bench_update() -> BlockedUpdate {
+    BlockedUpdate::build(&FirmwareImage::mcu("fleet_fw", 8_000, 2))
+}
+
+fn bench_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// Gate 1: work-stealing == sequential, bit for bit, in both retention
+/// modes — including the aggregate, the merged ledger and every energy
+/// number (the whole [`CampaignReport`] is `PartialEq`).
+fn gate_work_stealing(seed: u64, nodes: usize) {
+    let tb = Testbed::with_nodes(nodes, seed);
+    let upd = bench_update();
+    let shards = bench_shards();
+    for retain in [RetainMode::Exact, RetainMode::sketch()] {
+        let base = CampaignConfig::sequential(seed ^ 0xC0)
+            .with_block_len(16)
+            .with_retain(retain);
+        let seq = tb.run_campaign(&upd, &base);
+        for s in [shards, 3] {
+            let par = tb.run_campaign(&upd, &CampaignConfig { shards: s, ..base });
+            assert_eq!(
+                seq, par,
+                "work-stealing contract violated: {s} shards != sequential ({retain:?})"
+            );
+        }
+    }
+    println!(
+        "gate: work-stealing == sequential over {nodes} nodes, bit-identical \
+         (reports, aggregate, ledger, energy) in Exact and Sketch modes"
+    );
+}
+
+/// Gate 2: a campaign killed at a checkpoint and resumed is
+/// bit-identical to the uninterrupted run.
+fn gate_kill_resume(seed: u64, nodes: usize) {
+    let tb = Testbed::with_nodes(nodes, seed ^ 0x5E);
+    let upd = bench_update();
+    let cfg = CampaignConfig::sharded(seed ^ 0x5E, bench_shards())
+        .with_block_len(8)
+        .with_retain(RetainMode::sketch());
+    let uninterrupted = tb.run_campaign(&upd, &cfg);
+    let dir = std::env::temp_dir().join("tinysdr_bench_campaign");
+    // lint: allow(unjustified-panic, repro harness aborts loudly on an unusable temp dir)
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("kill_resume.ckpt");
+    std::fs::remove_file(&path).ok();
+    let kill_at = nodes / cfg.block_len / 2;
+    let killed = tb
+        .run_campaign_checkpointed(
+            &upd,
+            &cfg,
+            &CheckpointConfig::new(&path, 1).stop_after(kill_at),
+        )
+        // lint: allow(unjustified-panic, repro gate must abort loudly on a checkpoint failure)
+        .expect("checkpointed run");
+    let resumed = tb
+        .run_campaign_checkpointed(&upd, &cfg, &CheckpointConfig::new(&path, 4))
+        // lint: allow(unjustified-panic, repro gate must abort loudly on a resume failure)
+        .expect("resume")
+        .expect_complete();
+    assert_eq!(
+        resumed, uninterrupted,
+        "kill/resume contract violated: resumed run diverged"
+    );
+    std::fs::remove_file(&path).ok();
+    println!(
+        "gate: kill at block {kill_at}/{} + resume == uninterrupted, bit-identical \
+         ({:?})",
+        nodes.div_ceil(cfg.block_len),
+        killed
+    );
+}
+
+/// One measured campaign: run `nodes` under sketch retention with
+/// periodic checkpoints, return the report plus wall seconds.
+#[allow(clippy::disallowed_methods)] // measuring wall time is the point of a bench harness
+fn measured_run(nodes: usize, seed: u64, label: &str) -> (CampaignReport, f64) {
+    let tb = Testbed::with_nodes(nodes, seed);
+    let upd = bench_update();
+    let cfg = CampaignConfig::sharded(seed, bench_shards()).with_retain(RetainMode::sketch());
+    let dir = std::env::temp_dir().join("tinysdr_bench_campaign");
+    // lint: allow(unjustified-panic, repro harness aborts loudly on an unusable temp dir)
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{label}.ckpt"));
+    std::fs::remove_file(&path).ok();
+    // checkpoint every ~1% of the run so a kill loses little work
+    let every = (nodes / CampaignConfig::default().block_len / 100).max(64);
+    let t0 = std::time::Instant::now(); // lint: allow(ambient-time, bench harness measures wall time)
+    let rep = tb
+        .run_campaign_checkpointed(&upd, &cfg, &CheckpointConfig::new(&path, every))
+        // lint: allow(unjustified-panic, repro measurement must abort loudly on a campaign failure)
+        .expect("campaign run")
+        .expect_complete();
+    let wall_s = t0.elapsed().as_secs_f64();
+    std::fs::remove_file(&path).ok();
+    println!(
+        "{label}: {} nodes in {:.1} s ({:.0} sessions/s), report memory {} KB",
+        rep.len(),
+        wall_s,
+        rep.len() as f64 / wall_s.max(1e-9),
+        rep.memory_bytes() / 1024
+    );
+    (rep, wall_s)
+}
+
+/// Format one f64 for the JSON writer (plain decimal, no locale).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write the `BENCH_campaign.json` trajectory point (hand-rolled JSON:
+/// the workspace has no serializer dependency, by design).
+fn write_trajectory(
+    path: &str,
+    mode: &str,
+    small: &CampaignReport,
+    full: &CampaignReport,
+    wall_s: f64,
+) -> std::io::Result<()> {
+    let time = full.time_dist();
+    let energy = full.energy_dist();
+    let point = format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"{mode}\",\n",
+            "      \"nodes\": {nodes},\n",
+            "      \"completed\": {completed},\n",
+            "      \"wall_s\": {wall_s},\n",
+            "      \"sessions_per_s\": {rate},\n",
+            "      \"report_memory_bytes\": {{\"small\": {mem_s}, \"full\": {mem_f}}},\n",
+            "      \"small_nodes\": {small_nodes},\n",
+            "      \"time_min\": {{\"p50\": {t50}, \"p90\": {t90}, \"p99\": {t99}}},\n",
+            "      \"energy_mj\": {{\"p50\": {e50}, \"p90\": {e90}}},\n",
+            "      \"total_energy_j\": {tot_j},\n",
+            "      \"total_bytes\": {tot_b}\n",
+            "    }}"
+        ),
+        mode = mode,
+        nodes = full.len(),
+        completed = full.completed(),
+        wall_s = jnum(wall_s),
+        rate = jnum(full.len() as f64 / wall_s.max(1e-9)),
+        mem_s = small.memory_bytes(),
+        mem_f = full.memory_bytes(),
+        small_nodes = small.len(),
+        t50 = jnum(time.quantile(0.50).unwrap_or(f64::NAN)),
+        t90 = jnum(time.quantile(0.90).unwrap_or(f64::NAN)),
+        t99 = jnum(time.quantile(0.99).unwrap_or(f64::NAN)),
+        e50 = jnum(energy.quantile(0.50).unwrap_or(f64::NAN)),
+        e90 = jnum(energy.quantile(0.90).unwrap_or(f64::NAN)),
+        tot_j = jnum(full.total_energy_mj() / 1000.0),
+        tot_b = full.total_bytes(),
+    );
+    let doc = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"campaign\",\n  \"points\": [\n{point}\n  ]\n}}\n"
+    );
+    std::fs::write(path, doc)
+}
+
+/// The `repro campaign` entry point. Runs the contract gates, then the
+/// scale measurement (`nodes_full` nodes; 1M in the non-quick run),
+/// asserts flat report memory, and writes `BENCH_campaign.json`.
+#[allow(clippy::disallowed_methods)] // bench harness: wall time is the measurement
+pub fn campaign(nodes_full: usize, seed: u64, quick: bool) {
+    println!("== Campaign scale: streaming aggregation + work stealing + checkpoints ==\n");
+    let gate_nodes = if quick { 384 } else { 1024 };
+    gate_work_stealing(seed, gate_nodes);
+    gate_kill_resume(seed, if quick { 256 } else { 1024 });
+
+    // the 10k-node reference: large enough to saturate the sketches'
+    // log-bucket sets, so the full run's report can be compared
+    // against an already-converged baseline
+    let nodes_small = (nodes_full / 100).clamp(10_000, nodes_full / 2);
+    let (small, _) = measured_run(nodes_small, seed, "reference");
+    let (full, wall_s) = measured_run(nodes_full, seed, "full");
+
+    // the tentpole claim: report memory is independent of node count.
+    // The sketch's bucket set saturates once the value range is
+    // covered, so a 100x node-count increase may grow the report only
+    // by not-yet-seen buckets — well under 2x.
+    let ratio = full.memory_bytes() as f64 / small.memory_bytes() as f64;
+    assert!(
+        ratio < 2.0,
+        "report memory grew {ratio:.2}x from {} to {} nodes — not flat",
+        nodes_small,
+        nodes_full
+    );
+    println!(
+        "flat-memory check: {}x nodes -> {:.2}x report memory ({} KB vs {} KB)",
+        nodes_full / nodes_small,
+        ratio,
+        full.memory_bytes() / 1024,
+        small.memory_bytes() / 1024
+    );
+
+    let time = full.time_dist();
+    println!(
+        "\nfull campaign: {}/{} completed | time p50 {:.1} / p90 {:.1} / p99 {:.1} min | {:.1} kJ total",
+        full.completed(),
+        full.len(),
+        time.quantile(0.50).unwrap_or(f64::NAN),
+        time.quantile(0.90).unwrap_or(f64::NAN),
+        time.quantile(0.99).unwrap_or(f64::NAN),
+        full.total_energy_mj() / 1e6,
+    );
+
+    let mode = if quick { "quick" } else { "full" };
+    let out = "BENCH_campaign.json";
+    match write_trajectory(out, mode, &small, &full, wall_s) {
+        Ok(()) => println!("trajectory point written to {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod phy_experiments;
 pub mod system_experiments;
 pub mod waterfall;

@@ -141,8 +141,8 @@ pub fn energy(nodes: usize, seed: u64, quick: bool) {
             "energy determinism contract violated: sharded != sequential"
         );
         assert_eq!(
-            seq.energy_ecdf().clone().curve(),
-            campaign.energy_ecdf().clone().curve()
+            seq.energy_ecdf().expect("exact mode").curve(),
+            campaign.energy_ecdf().expect("exact mode").curve()
         );
         assert_eq!(seq.ledger(), campaign.ledger());
         assert_eq!(seq.energy_by_tag(), campaign.energy_by_tag());
@@ -154,7 +154,7 @@ pub fn energy(nodes: usize, seed: u64, quick: bool) {
             campaign.total_energy_mj()
         );
     }
-    let mut e = campaign.energy_ecdf().clone();
+    let e = campaign.energy_ecdf().expect("exact mode").clone();
     let tags = campaign.energy_by_tag();
     print_facts(
         &format!("Energy: {nodes}-node MCU-update campaign"),
@@ -202,7 +202,7 @@ pub fn energy(nodes: usize, seed: u64, quick: bool) {
         ("weekly", 7.0 * 86_400.0),
         ("monthly", 30.0 * 86_400.0),
     ] {
-        let mut life = campaign.battery_life_years_ecdf(&battery, period_s, sleep_mw);
+        let life = campaign.battery_life_years_ecdf(&battery, period_s, sleep_mw);
         println!(
             "  {:<18} {:>10.2} {:>10.2} {:>10.2}",
             label,
@@ -464,7 +464,7 @@ pub fn fig14(seed: u64) -> Vec<Fig14Curve> {
         .into_iter()
         .map(|(label, img)| {
             let upd = BlockedUpdate::build(&img);
-            let (mut ecdf, _) = tb.programming_time_cdf(&upd, seed ^ 0xF14);
+            let (ecdf, _) = tb.programming_time_cdf(&upd, seed ^ 0xF14);
             let mean_s = ecdf.mean().expect("campaign completed no session") * 60.0;
             (label, ecdf.curve(), mean_s)
         })

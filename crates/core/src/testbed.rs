@@ -6,15 +6,32 @@
 //! from the LoRa access point, giving the RSSI spread that turns into
 //! Fig. 14's programming-time CDF.
 //!
-//! The campaign layer scales past the paper's 20 nodes: campaigns can
-//! be sharded across threads ([`CampaignConfig::shards`]) under a
-//! determinism contract — every node draws its randomness from an
-//! order-independent [`tinysdr_ota::seed`] stream, so a sharded
-//! campaign is **bit-identical** to the sequential one for the same
-//! seed, regardless of shard count or thread interleaving. Two
-//! programming strategies are wired in: the paper's §3.4 sequential
-//! unicast ([`Testbed::run_campaign`]) and the §7 broadcast with
-//! NACK-repair rounds plus targeted unicast repair
+//! The campaign layer scales past the paper's 20 nodes, all the way to
+//! the ROADMAP's million-node fleets:
+//!
+//! * **Work-stealing block scheduler** — nodes are split into fixed
+//!   blocks of [`CampaignConfig::block_len`] ids; worker threads claim
+//!   blocks from a shared atomic cursor (fast workers steal what slow
+//!   ones would have owned under static chunking) and an in-order
+//!   merger folds finished blocks **strictly by block index**. Every
+//!   floating-point sum therefore has a fixed association, so a
+//!   sharded campaign is **bit-identical** to the sequential one for
+//!   the same seed — including every energy number — regardless of
+//!   shard count or steal interleaving. (Per-node randomness comes
+//!   from order-independent [`tinysdr_ota::seed`] streams, as before.)
+//! * **Streaming aggregation** — per-block results fold into a
+//!   [`NodeAggregate`]; with [`RetainMode::Sketch`] the report's
+//!   memory is independent of node count ([`RetainMode::Exact`], the
+//!   default, retains per-node reports so paper-scale figures are
+//!   unchanged).
+//! * **Checkpoint/resume** — [`Testbed::run_campaign_checkpointed`]
+//!   persists the merged prefix through
+//!   [`tinysdr_ota::checkpoint`] and resumes a killed campaign
+//!   bit-identically to an uninterrupted run.
+//!
+//! Two programming strategies are wired in: the paper's §3.4
+//! sequential unicast ([`Testbed::run_campaign`]) and the §7 broadcast
+//! with NACK-repair rounds plus targeted unicast repair
 //! ([`Testbed::broadcast_campaign`]).
 //!
 //! Campaign payload air time is priced through the workspace-wide
@@ -24,19 +41,23 @@
 //! parallel formula.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tinysdr_dsp::stats::Ecdf;
+use tinysdr_ota::aggregate::{LifeProjection, NodeAggregate, NodeMetric, RetainMode};
 use tinysdr_ota::blocks::BlockedUpdate;
 use tinysdr_ota::broadcast::{run_broadcast_keyed, BroadcastConfig, BroadcastReport};
+use tinysdr_ota::checkpoint::{chain_mix, CampaignCheckpoint, CheckpointError, VERSION};
 use tinysdr_ota::seed::{
     node_stream_seed, stream_seed, STREAM_BROADCAST, STREAM_INTERFERENCE, STREAM_SESSION,
 };
 use tinysdr_ota::session::{run_session, LinkModel, SessionConfig, SessionReport};
 use tinysdr_power::battery::Battery;
-use tinysdr_power::duty::DutyCycle;
+use tinysdr_power::duty::projected_life_years;
 use tinysdr_power::energy::EnergyLedger;
 use tinysdr_rf::pathloss::{Link, LogDistance};
 
@@ -45,11 +66,17 @@ pub const AP_TX_POWER_DBM: f64 = 14.0;
 /// AP patch-antenna gain, dB.
 pub const AP_ANTENNA_GAIN_DB: f64 = 6.0;
 
+/// Default scheduler block length, nodes per block. Small enough that
+/// modest campaigns exercise real work stealing, large enough that the
+/// per-block merge lock is noise (a block is hundreds of milliseconds
+/// of session simulation).
+pub const DEFAULT_BLOCK_LEN: usize = 32;
+
 /// One testbed node.
 #[derive(Debug, Clone)]
 pub struct Node {
     /// Device identifier.
-    pub id: u16,
+    pub id: u32,
     /// Distance from the AP, meters.
     pub distance_m: f64,
     /// Frozen link (shadowing realization).
@@ -77,11 +104,14 @@ impl Testbed {
         Self::with_nodes(20, seed)
     }
 
-    /// Build a testbed with `n` nodes (`n <= 65_536`, the node-id space).
+    /// Build a testbed with `n` nodes (`n <= 2^32`, the node-id
+    /// space). The testbed itself is `O(n)` — one [`Node`] per device;
+    /// it is the campaign *report* whose memory the sketch mode keeps
+    /// flat.
     pub fn with_nodes(n: usize, seed: u64) -> Self {
         assert!(
-            n <= u16::MAX as usize + 1,
-            "node ids are u16, got {n} nodes"
+            n <= u32::MAX as usize + 1,
+            "node ids are u32, got {n} nodes"
         );
         let model = LogDistance::campus_915mhz();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -93,7 +123,7 @@ impl Testbed {
                 link.antenna_gains_db = AP_ANTENNA_GAIN_DB;
                 let rssi = link.rssi_dbm(&model, AP_TX_POWER_DBM);
                 Node {
-                    id: i as u16,
+                    id: i as u32,
                     distance_m,
                     link,
                     rssi_dbm: rssi,
@@ -121,7 +151,7 @@ impl Testbed {
     /// Location-dependent co-channel interference loss probability for a
     /// node, in `[0, 0.08)` — drawn from the node's own seed stream, so
     /// the draw is independent of programming order and shard layout.
-    pub fn interference_loss(campaign_seed: u64, node_id: u16) -> f64 {
+    pub fn interference_loss(campaign_seed: u64, node_id: u32) -> f64 {
         let mut rng = StdRng::seed_from_u64(node_stream_seed(
             campaign_seed,
             node_id as u64,
@@ -132,7 +162,7 @@ impl Testbed {
 
     /// The RNG seed a node's unicast programming session runs with.
     /// Exposed so tests can assert the no-collision contract.
-    pub fn session_seed(campaign_seed: u64, node_id: u16) -> u64 {
+    pub fn session_seed(campaign_seed: u64, node_id: u32) -> u64 {
         node_stream_seed(campaign_seed, node_id as u64, STREAM_SESSION)
     }
 
@@ -148,63 +178,244 @@ impl Testbed {
         run_session(update, &link, &scfg)
     }
 
-    /// One shard's work: program a slice of nodes sequentially,
-    /// accumulating the shard-local programming-time ECDF (minutes,
-    /// completed sessions only).
-    fn program_nodes(
+    /// One scheduler block's work: program a slice of nodes
+    /// sequentially into a fresh block-local aggregate.
+    fn program_block(nodes: &[Node], update: &BlockedUpdate, cfg: &CampaignConfig) -> BlockOut {
+        let mut agg = NodeAggregate::new(cfg.retain, cfg.projection);
+        let mut reports = Vec::with_capacity(if cfg.retain.is_exact() {
+            nodes.len()
+        } else {
+            0
+        });
+        for n in nodes {
+            let rep = Self::program_node(n, update, cfg);
+            agg.push_session(&rep);
+            if cfg.retain.is_exact() {
+                reports.push((n.id, rep));
+            }
+        }
+        BlockOut { agg, reports }
+    }
+
+    /// Fingerprint of everything that determines a campaign's result:
+    /// format version, campaign config (minus `shards`, which the
+    /// determinism contract makes irrelevant), node identities/links,
+    /// and the update payload. A resumed checkpoint must carry the
+    /// same fingerprint or the resume is refused.
+    fn campaign_fingerprint(nodes: &[Node], update: &BlockedUpdate, cfg: &CampaignConfig) -> u64 {
+        let mut h = chain_mix(0xCA3B_A160_0000_0000, VERSION as u64);
+        h = chain_mix(h, cfg.seed);
+        h = chain_mix(h, cfg.max_attempts as u64);
+        h = chain_mix(h, cfg.block_len as u64);
+        match cfg.retain {
+            RetainMode::Exact => h = chain_mix(h, 0),
+            RetainMode::Sketch { alpha } => {
+                h = chain_mix(h, 1);
+                h = chain_mix(h, alpha.to_bits());
+            }
+        }
+        match &cfg.projection {
+            None => h = chain_mix(h, 0),
+            Some(p) => {
+                h = chain_mix(h, 1);
+                h = chain_mix(h, p.period_s.to_bits());
+                h = chain_mix(h, p.sleep_mw.to_bits());
+                h = chain_mix(h, p.battery.capacity_mah.to_bits());
+                h = chain_mix(h, p.battery.voltage_v.to_bits());
+                h = chain_mix(h, p.battery.usable_fraction.to_bits());
+            }
+        }
+        h = chain_mix(h, nodes.len() as u64);
+        for n in nodes {
+            h = chain_mix(h, n.id as u64);
+            h = chain_mix(h, n.rssi_dbm.to_bits());
+        }
+        h = chain_mix(h, update.raw_len as u64);
+        h = chain_mix(h, update.image_crc32 as u64);
+        h = chain_mix(h, update.compressed_len() as u64);
+        h = chain_mix(h, update.blocks.len() as u64);
+        h
+    }
+
+    /// The scheduler core: claim blocks from the shared cursor, fold
+    /// them through the in-order merger, stop on interruption.
+    fn scheduler_worker(
         nodes: &[Node],
         update: &BlockedUpdate,
         cfg: &CampaignConfig,
-    ) -> (Vec<(u16, SessionReport)>, Ecdf) {
-        let mut out = Vec::with_capacity(nodes.len());
-        let mut ecdf = Ecdf::new();
-        for n in nodes {
-            let rep = Self::program_node(n, update, cfg);
-            if rep.completed {
-                ecdf.push(rep.duration_s / 60.0);
+        nblocks: usize,
+        cursor: &AtomicUsize,
+        merger: &Mutex<InOrderMerger>,
+        abort: &AtomicBool,
+    ) {
+        loop {
+            if abort.load(Ordering::Relaxed) {
+                return;
             }
-            out.push((n.id, rep));
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= nblocks {
+                return;
+            }
+            let lo = b * cfg.block_len;
+            let hi = (lo + cfg.block_len).min(nodes.len());
+            let out = Self::program_block(&nodes[lo..hi], update, cfg);
+            // lint: allow(unjustified-panic, a poisoned merger means a sibling worker panicked; propagating is correct)
+            let mut m = merger.lock().expect("merger mutex poisoned");
+            m.offer(b, out);
+            if m.should_abort() {
+                abort.store(true, Ordering::Relaxed);
+                return;
+            }
         }
-        (out, ecdf)
+    }
+
+    /// Run a unicast campaign over a node slice with work stealing and
+    /// optional checkpointing. The single engine behind
+    /// [`Self::run_campaign`] and [`Self::run_campaign_checkpointed`].
+    fn run_campaign_blocks(
+        nodes: &[Node],
+        update: &BlockedUpdate,
+        cfg: &CampaignConfig,
+        ckpt: Option<&CheckpointConfig>,
+    ) -> Result<CampaignRun, CheckpointError> {
+        assert!(cfg.block_len >= 1, "block_len must be at least 1");
+        let nblocks = nodes.len().div_ceil(cfg.block_len);
+        let fingerprint = Self::campaign_fingerprint(nodes, update, cfg);
+
+        // resume from an existing checkpoint, if one matches
+        let mut start_block = 0usize;
+        let mut acc = BlockOut {
+            agg: NodeAggregate::new(cfg.retain, cfg.projection),
+            reports: Vec::new(),
+        };
+        if let Some(ck) = ckpt {
+            if ck.path.exists() {
+                let saved = CampaignCheckpoint::read(&ck.path)?;
+                if saved.fingerprint != fingerprint {
+                    return Err(CheckpointError::Mismatch(
+                        "checkpoint belongs to a different campaign",
+                    ));
+                }
+                if saved.total_blocks != nblocks as u64 {
+                    return Err(CheckpointError::Mismatch(
+                        "checkpoint block count disagrees with campaign",
+                    ));
+                }
+                start_block = saved.merged_blocks as usize;
+                acc = BlockOut {
+                    agg: saved.agg,
+                    reports: saved.reports,
+                };
+            }
+        }
+
+        let merger = Mutex::new(InOrderMerger {
+            next_block: start_block,
+            acc,
+            pending: BTreeMap::new(),
+            ckpt: ckpt.map(|c| CkptState {
+                cfg: c.clone(),
+                fingerprint,
+                total_blocks: nblocks as u64,
+                last_written: start_block,
+            }),
+            failed: None,
+            stopped: false,
+        });
+        let cursor = AtomicUsize::new(start_block);
+        let abort = AtomicBool::new(false);
+        let remaining = nblocks.saturating_sub(start_block);
+        let workers = cfg.shards.clamp(1, remaining.max(1));
+
+        if workers <= 1 {
+            Self::scheduler_worker(nodes, update, cfg, nblocks, &cursor, &merger, &abort);
+        } else {
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|_| {
+                            Self::scheduler_worker(
+                                nodes, update, cfg, nblocks, &cursor, &merger, &abort,
+                            )
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // lint: allow(unjustified-panic, a panicked worker lost a block of nodes; propagating is correct)
+                    h.join().expect("campaign worker panicked");
+                }
+            })
+            // lint: allow(unjustified-panic, scope only errors if a worker panicked after join, which join already surfaced)
+            .expect("campaign scope");
+        }
+
+        // lint: allow(unjustified-panic, a poisoned merger means a worker panicked; propagating is correct)
+        let mut m = merger.into_inner().expect("merger mutex poisoned");
+        if let Some(e) = m.failed.take() {
+            return Err(e);
+        }
+        if m.next_block < nblocks {
+            // interrupted by stop_after_blocks: persist the frontier
+            m.write_checkpoint()?;
+            return Ok(CampaignRun::Interrupted {
+                merged_blocks: m.next_block,
+                total_blocks: nblocks,
+            });
+        }
+        if m.ckpt.is_some() {
+            m.write_checkpoint()?;
+        }
+        Ok(CampaignRun::Complete(CampaignReport::from_blocks(m.acc)))
     }
 
     /// Run a unicast OTA campaign over a node subset, sharded per `cfg`.
     ///
     /// # Panics
-    /// Propagates a panic from any campaign shard: losing a shard's
-    /// nodes would silently skew every merged ECDF.
+    /// Propagates a panic from any campaign worker: losing a block's
+    /// nodes would silently skew every merged distribution.
     fn run_campaign_on(
         nodes: &[Node],
         update: &BlockedUpdate,
         cfg: &CampaignConfig,
     ) -> CampaignReport {
-        let shards = cfg.shards.clamp(1, nodes.len().max(1));
-        let shard_results: Vec<(Vec<(u16, SessionReport)>, Ecdf)> = if shards <= 1 {
-            vec![Self::program_nodes(nodes, update, cfg)]
-        } else {
-            let chunk = nodes.len().div_ceil(shards);
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = nodes
-                    .chunks(chunk)
-                    .map(|c| s.spawn(move |_| Self::program_nodes(c, update, cfg)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("campaign shard panicked"))
-                    .collect()
-            })
-            .expect("campaign scope")
-        };
-        CampaignReport::from_shards(shard_results)
+        match Self::run_campaign_blocks(nodes, update, cfg, None) {
+            Ok(CampaignRun::Complete(rep)) => rep,
+            // without a checkpoint config there is no I/O and no stop
+            // condition, so the engine cannot fail or stop early
+            Ok(CampaignRun::Interrupted { .. }) | Err(_) => {
+                unreachable!("checkpoint-free campaign cannot stop early or fail")
+            }
+        }
     }
 
     /// Run a unicast OTA campaign: program every node with `update`.
     /// With `cfg.shards == 1` this is the paper's §3.4 flow (the AP
     /// programs nodes back to back); with more shards the sessions are
-    /// simulated in parallel under the determinism contract (the result
-    /// is bit-identical to the sequential run).
+    /// simulated by work-stealing workers under the determinism
+    /// contract (the result is bit-identical to the sequential run).
     pub fn run_campaign(&self, update: &BlockedUpdate, cfg: &CampaignConfig) -> CampaignReport {
         Self::run_campaign_on(&self.nodes, update, cfg)
+    }
+
+    /// Run a unicast campaign with periodic checkpoints, resuming from
+    /// `ckpt.path` when a matching checkpoint exists. A resumed run is
+    /// **bit-identical** to an uninterrupted one: the merged prefix is
+    /// restored from disk and the remaining blocks are recomputed from
+    /// their order-independent seed streams.
+    ///
+    /// Errors surface as [`CheckpointError`]: I/O problems, corrupt
+    /// files, or a checkpoint written by a different campaign
+    /// configuration. With [`CheckpointConfig::stop_after_blocks`] set
+    /// the run stops early (writing a final checkpoint) and returns
+    /// [`CampaignRun::Interrupted`] — the kill half of the CI
+    /// kill/resume equality gate.
+    pub fn run_campaign_checkpointed(
+        &self,
+        update: &BlockedUpdate,
+        cfg: &CampaignConfig,
+        ckpt: &CheckpointConfig,
+    ) -> Result<CampaignRun, CheckpointError> {
+        Self::run_campaign_blocks(&self.nodes, update, cfg, Some(ckpt))
     }
 
     /// Back-compat convenience: sequential unicast campaign.
@@ -247,7 +458,7 @@ impl Testbed {
             .filter(|(_, &done)| !done)
             .map(|(n, _)| n.clone())
             .collect();
-        let straggler_ids: Vec<u16> = stragglers.iter().map(|n| n.id).collect();
+        let straggler_ids: Vec<u32> = stragglers.iter().map(|n| n.id).collect();
         let repaired = Self::run_campaign_on(&stragglers, update, &cfg.repair);
         let total_time_s = broadcast.total_time_s + repaired.total_air_time_s();
         BroadcastCampaignReport {
@@ -269,7 +480,100 @@ impl Testbed {
         seed: u64,
     ) -> (Ecdf, CampaignReport) {
         let report = self.run_campaign(update, &CampaignConfig::sequential(seed));
-        (report.time_ecdf().clone(), report)
+        let ecdf = report
+            .time_ecdf()
+            // lint: allow(unjustified-panic, sequential() fixes RetainMode::Exact, so the ECDF always exists)
+            .expect("sequential() campaigns retain exact ECDFs")
+            .clone();
+        (ecdf, report)
+    }
+}
+
+/// One finished scheduler block: its aggregate and (exact mode only)
+/// its per-node reports.
+struct BlockOut {
+    agg: NodeAggregate,
+    reports: Vec<(u32, SessionReport)>,
+}
+
+/// Checkpointing state carried by the merger.
+struct CkptState {
+    cfg: CheckpointConfig,
+    fingerprint: u64,
+    total_blocks: u64,
+    last_written: usize,
+}
+
+/// Folds finished blocks strictly in block-index order (late blocks
+/// wait in `pending`), so the merged state never depends on steal
+/// interleaving — the same reassembly discipline a TCP receiver
+/// applies to out-of-order segments.
+struct InOrderMerger {
+    next_block: usize,
+    acc: BlockOut,
+    pending: BTreeMap<usize, BlockOut>,
+    ckpt: Option<CkptState>,
+    failed: Option<CheckpointError>,
+    stopped: bool,
+}
+
+impl InOrderMerger {
+    fn offer(&mut self, idx: usize, out: BlockOut) {
+        if self.failed.is_some() || self.stopped {
+            return;
+        }
+        self.pending.insert(idx, out);
+        let mut progressed = false;
+        while let Some(out) = self.pending.remove(&self.next_block) {
+            self.acc.agg.merge(&out.agg);
+            self.acc.reports.extend(out.reports);
+            self.next_block += 1;
+            progressed = true;
+        }
+        if !progressed {
+            return;
+        }
+        let Some(ck) = &self.ckpt else { return };
+        let stop_hit = ck
+            .cfg
+            .stop_after_blocks
+            .is_some_and(|n| self.next_block >= n);
+        let due = self.next_block - ck.last_written >= ck.cfg.every_blocks;
+        if stop_hit {
+            self.stopped = true;
+        } else if due {
+            if let Err(e) = self.write_checkpoint() {
+                self.failed = Some(e);
+            }
+        }
+    }
+
+    fn should_abort(&self) -> bool {
+        self.failed.is_some() || self.stopped
+    }
+
+    /// Persist the merged prefix. Reports are sorted by id for the
+    /// writer (ids are unique, so the sort is deterministic); the
+    /// in-memory order keeps following block order until finalization.
+    fn write_checkpoint(&mut self) -> Result<(), CheckpointError> {
+        let Some(ck) = &mut self.ckpt else {
+            return Ok(());
+        };
+        if self.next_block == ck.last_written {
+            return Ok(());
+        }
+        let mut reports = self.acc.reports.clone();
+        reports.sort_by_key(|(id, _)| *id);
+        let snapshot = CampaignCheckpoint {
+            fingerprint: ck.fingerprint,
+            merged_blocks: self.next_block as u64,
+            total_blocks: ck.total_blocks,
+            agg: self.acc.agg.clone(),
+            reports,
+        };
+        snapshot.write_atomic(&ck.cfg.path)?;
+        ck.last_written = self.next_block;
+        Ok(())
     }
 }
 
@@ -278,37 +582,73 @@ impl Testbed {
 pub struct CampaignConfig {
     /// Per-packet retry budget handed to each session.
     pub max_attempts: u32,
-    /// Worker threads the campaign is sharded across (1 = sequential).
+    /// Worker threads the campaign's blocks are stolen by
+    /// (1 = sequential).
     pub shards: usize,
     /// Campaign seed; every node derives its own streams from it.
     pub seed: u64,
+    /// What the report retains per node (exact reports vs sketches).
+    pub retain: RetainMode,
+    /// Scheduler block length, nodes per block. The unit of stealing,
+    /// merging and checkpointing.
+    pub block_len: usize,
+    /// Optional battery-life projection streamed per node.
+    pub projection: Option<LifeProjection>,
 }
 
 impl CampaignConfig {
-    /// The paper's sequential flow: one thread, 40 attempts per packet.
+    /// The paper's sequential flow: one thread, 40 attempts per packet,
+    /// exact retention.
     pub fn sequential(seed: u64) -> Self {
         CampaignConfig {
             max_attempts: 40,
             shards: 1,
             seed,
+            retain: RetainMode::Exact,
+            block_len: DEFAULT_BLOCK_LEN,
+            projection: None,
         }
     }
 
-    /// Shard across `shards` worker threads.
+    /// Steal blocks across `shards` worker threads.
     pub fn sharded(seed: u64, shards: usize) -> Self {
         CampaignConfig {
-            max_attempts: 40,
             shards: shards.max(1),
-            seed,
+            ..Self::sequential(seed)
         }
     }
 
-    /// Shard across the machine's available cores.
+    /// Steal blocks across the machine's available cores.
     pub fn auto(seed: u64) -> Self {
         let n = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         Self::sharded(seed, n)
+    }
+
+    /// Select the retention mode (exact reports vs bounded-memory
+    /// sketches).
+    pub fn with_retain(mut self, retain: RetainMode) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// Override the scheduler block length.
+    ///
+    /// # Panics
+    /// Panics on `block_len == 0` — an empty block can never make
+    /// progress.
+    pub fn with_block_len(mut self, block_len: usize) -> Self {
+        assert!(block_len >= 1, "block_len must be at least 1");
+        self.block_len = block_len;
+        self
+    }
+
+    /// Stream a battery-life projection per node (the sketch-mode
+    /// counterpart of [`CampaignReport::battery_life_years_ecdf`]).
+    pub fn with_projection(mut self, projection: LifeProjection) -> Self {
+        self.projection = Some(projection);
+        self
     }
 }
 
@@ -318,123 +658,240 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Periodic-checkpoint configuration for
+/// [`Testbed::run_campaign_checkpointed`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path (written atomically via temp + rename).
+    pub path: std::path::PathBuf,
+    /// Write a checkpoint every this many newly merged blocks.
+    pub every_blocks: usize,
+    /// Stop (with a final checkpoint) once this many leading blocks
+    /// are merged — the deterministic "kill" half of the kill/resume
+    /// equality gate. `None` runs to completion.
+    pub stop_after_blocks: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` every `every_blocks` merged blocks.
+    pub fn new(path: impl Into<std::path::PathBuf>, every_blocks: usize) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every_blocks: every_blocks.max(1),
+            stop_after_blocks: None,
+        }
+    }
+
+    /// Stop after `n` merged blocks (simulated kill).
+    pub fn stop_after(mut self, n: usize) -> Self {
+        self.stop_after_blocks = Some(n);
+        self
+    }
+}
+
+/// Outcome of a checkpointed campaign run.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Complete is the common case; boxing it would tax every caller
+pub enum CampaignRun {
+    /// The campaign merged every block.
+    Complete(CampaignReport),
+    /// The run stopped at [`CheckpointConfig::stop_after_blocks`]; the
+    /// checkpoint file holds the merged prefix for a later resume.
+    Interrupted {
+        /// Leading blocks merged (and persisted) before stopping.
+        merged_blocks: usize,
+        /// Total blocks in the campaign.
+        total_blocks: usize,
+    },
+}
+
+impl CampaignRun {
+    /// The completed report.
+    ///
+    /// # Panics
+    /// Panics if the run was interrupted — callers that set
+    /// `stop_after_blocks` must match on [`CampaignRun`] instead.
+    pub fn expect_complete(self) -> CampaignReport {
+        match self {
+            CampaignRun::Complete(rep) => rep,
+            CampaignRun::Interrupted {
+                merged_blocks,
+                total_blocks,
+            } => panic!("campaign interrupted at block {merged_blocks}/{total_blocks}"),
+        }
+    }
+}
+
 /// Outcome of a unicast campaign, keyed by node id (not by iteration
-/// position — shard layouts must not change what a report means).
+/// position — block layouts must not change what a report means).
 ///
 /// Beyond the Fig. 14 programming-time view, the report carries the
-/// campaign's **energy axis**: a per-node energy ECDF, the merged
-/// per-component [`EnergyLedger`] (tags `radio_rx` / `radio_tx` /
-/// `mcu` / `flash`), and battery-lifetime projections for duty-cycled
-/// fleets. All of it is derived from the id-sorted reports, so the
-/// sharded-equals-sequential determinism contract extends to every
-/// energy number.
-#[derive(Debug, Clone)]
+/// campaign's **energy axis**: per-node energy distribution, per-tag
+/// component totals (`radio_rx` / `radio_tx` / `mcu` / `flash`), and
+/// battery-lifetime projections for duty-cycled fleets. All of it is
+/// folded blockwise in block-index order, so the sharded-equals-
+/// sequential determinism contract extends to every energy number.
+///
+/// In [`RetainMode::Exact`] (the default) per-node reports and exact
+/// ECDFs are retained and the pre-streaming accessors
+/// ([`Self::time_ecdf`], [`Self::energy_ecdf`], [`Self::ledger`])
+/// return `Some`/populated values; in [`RetainMode::Sketch`] only the
+/// bounded-memory aggregate exists and the distribution accessors
+/// ([`Self::time_dist`] etc.) are the interface.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
-    /// `(node id, session report)`, sorted by node id.
-    reports: Vec<(u16, SessionReport)>,
-    /// Programming times of completed sessions, minutes; built by
-    /// merging the per-shard ECDFs.
-    time_ecdf: Ecdf,
-    /// Per-node session energy, mJ — every node, completed or not
-    /// (aborted sessions still burned their energy).
-    energy_ecdf: Ecdf,
-    /// Per-component ledgers of every node, merged ascending by id.
+    /// Streaming aggregate over every node.
+    agg: NodeAggregate,
+    /// `(node id, session report)`, sorted by node id — exact mode
+    /// only, empty in sketch mode.
+    reports: Vec<(u32, SessionReport)>,
+    /// Per-component ledgers of every node, merged ascending by id —
+    /// exact mode only, empty in sketch mode (use
+    /// [`Self::energy_by_tag`], which works in both modes).
     ledger: EnergyLedger,
 }
 
 impl CampaignReport {
-    fn from_shards(shards: Vec<(Vec<(u16, SessionReport)>, Ecdf)>) -> Self {
-        let mut reports = Vec::with_capacity(shards.iter().map(|(r, _)| r.len()).sum());
-        let mut time_ecdf = Ecdf::new();
-        for (shard_reports, shard_ecdf) in shards {
-            reports.extend(shard_reports);
-            time_ecdf.merge(&shard_ecdf);
-        }
-        reports.sort_by_key(|(id, _)| *id);
-        // energy views are derived from the id-sorted reports, never
-        // from shard order — bit-identical regardless of shard layout
-        let mut energy_ecdf = Ecdf::new();
+    fn from_blocks(mut acc: BlockOut) -> Self {
+        acc.reports.sort_by_key(|(id, _)| *id);
         let mut ledger = EnergyLedger::new();
-        for (_, r) in &reports {
-            energy_ecdf.push(r.node_energy_mj);
+        for (_, r) in &acc.reports {
             ledger.merge(&r.ledger);
         }
         CampaignReport {
-            reports,
-            time_ecdf,
-            energy_ecdf,
+            agg: acc.agg,
+            reports: acc.reports,
             ledger,
         }
     }
 
-    /// The session report for a node id, if the node was in the campaign.
-    pub fn get(&self, id: u16) -> Option<&SessionReport> {
+    /// The streaming aggregate behind this report.
+    pub fn aggregate(&self) -> &NodeAggregate {
+        &self.agg
+    }
+
+    /// The retention mode the campaign ran with.
+    pub fn retain(&self) -> RetainMode {
+        self.agg.retain()
+    }
+
+    /// The session report for a node id, if the node was in the
+    /// campaign (exact mode; sketch mode retains no per-node reports).
+    pub fn get(&self, id: u32) -> Option<&SessionReport> {
         self.reports
             .binary_search_by_key(&id, |(i, _)| *i)
             .ok()
             .map(|k| &self.reports[k].1)
     }
 
-    /// All `(node id, report)` pairs, ascending by node id.
-    pub fn reports(&self) -> &[(u16, SessionReport)] {
+    /// All `(node id, report)` pairs, ascending by node id (empty in
+    /// sketch mode).
+    pub fn reports(&self) -> &[(u32, SessionReport)] {
         &self.reports
     }
 
     /// Iterate over `(node id, report)` pairs, ascending by node id.
-    pub fn iter(&self) -> impl Iterator<Item = &(u16, SessionReport)> {
+    pub fn iter(&self) -> impl Iterator<Item = &(u32, SessionReport)> {
         self.reports.iter()
     }
 
     /// Number of nodes in the campaign.
     pub fn len(&self) -> usize {
-        self.reports.len()
+        self.agg.len()
     }
 
     /// `true` if the campaign covered no nodes.
     pub fn is_empty(&self) -> bool {
-        self.reports.is_empty()
+        self.agg.is_empty()
     }
 
     /// Number of nodes whose session completed.
     pub fn completed(&self) -> usize {
-        self.reports.iter().filter(|(_, r)| r.completed).count()
+        self.agg.completed()
     }
 
     /// Sum of session durations, seconds — the AP's wall-clock time when
     /// sessions run back to back over the shared channel (simulation
     /// shards don't shorten air time; there is still one AP radio).
     pub fn total_air_time_s(&self) -> f64 {
-        self.reports.iter().map(|(_, r)| r.duration_s).sum()
+        self.agg.total_duration_s()
     }
 
-    /// Programming-time ECDF (minutes, completed sessions only). Empty
-    /// — all accessors `None` — when no session completed.
-    pub fn time_ecdf(&self) -> &Ecdf {
-        &self.time_ecdf
+    /// Programming-time distribution (minutes, completed sessions
+    /// only) — works in both retention modes.
+    pub fn time_dist(&self) -> &NodeMetric {
+        self.agg.time_dist()
     }
 
-    /// Per-node session energy ECDF, mJ — **all** nodes, completed or
-    /// not (an aborted session still burned what it burned). Empty —
-    /// all accessors `None` — for an empty campaign.
-    pub fn energy_ecdf(&self) -> &Ecdf {
-        &self.energy_ecdf
+    /// Per-node session energy distribution, mJ — **all** nodes,
+    /// completed or not (an aborted session still burned what it
+    /// burned). Works in both retention modes.
+    pub fn energy_dist(&self) -> &NodeMetric {
+        self.agg.energy_dist()
     }
 
-    /// Total node-side energy across the campaign, mJ (summed
-    /// ascending by node id).
+    /// Per-node bytes-over-air distribution — both retention modes.
+    pub fn bytes_dist(&self) -> &NodeMetric {
+        self.agg.bytes_dist()
+    }
+
+    /// Projected battery-life distribution, years — present iff the
+    /// campaign was configured with a [`LifeProjection`].
+    pub fn life_dist(&self) -> Option<&NodeMetric> {
+        self.agg.life_dist()
+    }
+
+    /// Programming-time ECDF (minutes, completed sessions only).
+    /// `None` in sketch mode — use [`Self::time_dist`] there.
+    pub fn time_ecdf(&self) -> Option<&Ecdf> {
+        self.agg.time_dist().as_ecdf()
+    }
+
+    /// Per-node session energy ECDF, mJ. `None` in sketch mode — use
+    /// [`Self::energy_dist`] there.
+    pub fn energy_ecdf(&self) -> Option<&Ecdf> {
+        self.agg.energy_dist().as_ecdf()
+    }
+
+    /// Total node-side energy across the campaign, mJ (folded
+    /// blockwise in block-index order).
     pub fn total_energy_mj(&self) -> f64 {
-        self.reports.iter().map(|(_, r)| r.node_energy_mj).sum()
+        self.agg.total_energy_mj()
+    }
+
+    /// Total bytes over the air across the campaign.
+    pub fn total_bytes(&self) -> u64 {
+        self.agg.total_bytes()
     }
 
     /// The merged per-component ledger of every node, ascending by id
-    /// (tags `radio_rx`, `radio_tx`, `mcu`, `flash`).
+    /// (tags `radio_rx`, `radio_tx`, `mcu`, `flash`). Exact mode only:
+    /// a million-node ledger would hold millions of records, so sketch
+    /// mode leaves it empty — [`Self::energy_by_tag`] carries the
+    /// per-tag totals in both modes.
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
     }
 
-    /// Campaign energy per component, mJ (from the merged ledger).
+    /// Campaign energy per component, mJ — streamed per-tag totals,
+    /// available in both retention modes.
     pub fn energy_by_tag(&self) -> BTreeMap<String, f64> {
-        self.ledger.by_tag()
+        self.agg.energy_by_tag()
+    }
+
+    /// Bytes of state this report holds — the quantity sketch mode
+    /// keeps independent of node count.
+    pub fn memory_bytes(&self) -> usize {
+        let reports: usize = self
+            .reports
+            .iter()
+            .map(|(_, r)| {
+                std::mem::size_of::<(u32, SessionReport)>()
+                    + std::mem::size_of_val(r.ledger.records())
+            })
+            .sum();
+        let ledger = std::mem::size_of_val(self.ledger.records());
+        self.agg.memory_bytes() + reports + ledger
     }
 
     /// Battery-lifetime projection: each node repeats its session every
@@ -442,47 +899,22 @@ impl CampaignReport {
     /// (pass [`tinysdr_power::state::deep_sleep_mw`] for the paper's
     /// 30 µW). Returns the ECDF of per-node lifetimes in **years**.
     ///
-    /// Nodes whose session does not fit the period are projected as
-    /// continuously active (back-to-back updates); the backbone-radio
-    /// wake itself is treated as free — waking the OTA listener needs
-    /// no FPGA boot (§3.4 turns the FPGA *off* in update mode).
+    /// Exact mode only (it replays the retained reports); in sketch
+    /// mode configure [`CampaignConfig::with_projection`] up front and
+    /// read [`Self::life_dist`]. Both paths share
+    /// [`tinysdr_power::duty::projected_life_years`], so their math
+    /// cannot drift apart.
     ///
     /// # Panics
     /// Panics on a non-positive/non-finite `period_s` or a negative/
     /// non-finite `sleep_mw` — garbage inputs must not be silently
     /// projected as always-on.
     pub fn battery_life_years_ecdf(&self, battery: &Battery, period_s: f64, sleep_mw: f64) -> Ecdf {
-        assert!(
-            period_s > 0.0 && period_s.is_finite(),
-            "update period must be positive"
-        );
-        assert!(
-            sleep_mw >= 0.0 && sleep_mw.is_finite(),
-            "sleep floor must be >= 0"
-        );
         let mut out = Ecdf::new();
         for (_, r) in &self.reports {
-            if r.duration_s <= 0.0 {
-                continue;
-            }
-            let active_mw = r.node_energy_mj / r.duration_s;
-            // a session longer than its period saturates to always-on;
-            // with the inputs validated above that is the only way the
-            // duty-cycle average can be absent
-            let avg = if r.duration_s > period_s {
-                active_mw
-            } else {
-                DutyCycle {
-                    period_s,
-                    active_s: r.duration_s,
-                    active_mw,
-                    sleep_mw,
-                    wakeup_mj: 0.0,
-                }
-                .average_power_mw()
-                .expect("validated pattern")
-            };
-            if let Some(years) = battery.lifetime_years(avg) {
+            if let Some(years) =
+                projected_life_years(r.node_energy_mj, r.duration_s, period_s, sleep_mw, battery)
+            {
                 out.push(years);
             }
         }
@@ -518,13 +950,13 @@ impl BroadcastCampaignConfig {
 pub struct BroadcastCampaignReport {
     /// Node ids in testbed order — the key aligning the positional
     /// broadcast vectors with the id-keyed repair report.
-    pub node_ids: Vec<u16>,
+    pub node_ids: Vec<u32>,
     /// The shared broadcast phase (`node_complete`/`node_energy_mj` are
     /// positional, in testbed order).
     pub broadcast: BroadcastReport,
     /// Node ids the broadcast phase left incomplete — the targets of
     /// the repair phase.
-    pub straggler_ids: Vec<u16>,
+    pub straggler_ids: Vec<u32>,
     /// Targeted unicast repair sessions for broadcast stragglers
     /// (empty when the broadcast phase reached everyone).
     pub repaired: CampaignReport,
@@ -601,7 +1033,7 @@ mod tests {
         let tb = Testbed::campus(42);
         let img = FirmwareImage::paper_mcu("mac", 3);
         let upd = BlockedUpdate::build(&img);
-        let (mut ecdf, reports) = tb.programming_time_cdf(&upd, 7);
+        let (ecdf, reports) = tb.programming_time_cdf(&upd, 7);
         // the far tail of the campus may be unreachable at SF8/BW500 —
         // the paper's AP placement guaranteed coverage; we tolerate one
         // node out of range
@@ -664,7 +1096,7 @@ mod tests {
         let campaign_seed = 42u64;
         let mut seen = std::collections::HashSet::new();
         assert!(seen.insert(campaign_seed));
-        for id in 0..2048u16 {
+        for id in 0..2048u32 {
             assert!(
                 seen.insert(Testbed::session_seed(campaign_seed, id)),
                 "session seed collision at node {id}"
@@ -685,46 +1117,151 @@ mod tests {
     #[test]
     fn sharded_campaign_is_bit_identical_to_sequential() {
         // the determinism contract: same seed -> identical reports,
-        // regardless of shard count / thread interleaving
+        // regardless of worker count / steal interleaving. block_len 8
+        // over 64 nodes gives 8 blocks, so every shard count below
+        // genuinely interleaves.
         let tb = Testbed::with_nodes(64, 5);
         let img = FirmwareImage::mcu("fw", 8_000, 2);
         let upd = BlockedUpdate::build(&img);
-        let seq = tb.run_campaign(&upd, &CampaignConfig::sequential(11));
+        let seq = tb.run_campaign(&upd, &CampaignConfig::sequential(11).with_block_len(8));
         assert_eq!(seq.len(), 64);
         for shards in [2usize, 3, 8, 64] {
-            let par = tb.run_campaign(&upd, &CampaignConfig::sharded(11, shards));
+            let par = tb.run_campaign(&upd, &CampaignConfig::sharded(11, shards).with_block_len(8));
             assert_eq!(seq.reports(), par.reports(), "{shards} shards diverged");
-            // merged per-shard ECDFs hold the same distribution
-            let mut a = seq.time_ecdf().clone();
-            let mut b = par.time_ecdf().clone();
+            // the whole report (aggregate included) is bit-identical
+            assert_eq!(seq, par, "{shards} shards: aggregate diverged");
+            let a = seq.time_ecdf().expect("exact mode");
+            let b = par.time_ecdf().expect("exact mode");
             assert_eq!(a.len(), b.len());
             assert_eq!(a.curve(), b.curve());
             // the contract extends to the energy axis: ECDF, merged
             // ledger and per-tag totals are all bit-identical
             assert_eq!(
-                seq.energy_ecdf().clone().curve(),
-                par.energy_ecdf().clone().curve(),
+                seq.energy_ecdf().expect("exact mode").curve(),
+                par.energy_ecdf().expect("exact mode").curve(),
                 "{shards} shards: energy ECDF diverged"
             );
             assert_eq!(seq.ledger(), par.ledger(), "{shards} shards: ledger");
             assert_eq!(seq.energy_by_tag(), par.energy_by_tag());
             assert_eq!(seq.total_energy_mj(), par.total_energy_mj());
         }
-        // shard counts beyond the node count are clamped, not a panic
-        let wide = tb.run_campaign(&upd, &CampaignConfig::sharded(11, 1000));
+        // shard counts beyond the block count are clamped, not a panic
+        let wide = tb.run_campaign(&upd, &CampaignConfig::sharded(11, 1000).with_block_len(8));
         assert_eq!(seq.reports(), wide.reports());
+    }
+
+    #[test]
+    fn sketch_campaign_matches_exact_mode_contract() {
+        // sketch retention obeys the same determinism contract, and
+        // its quantiles track the exact run within alpha
+        let tb = Testbed::with_nodes(48, 5);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("sk", 8_000, 2));
+        let base = CampaignConfig::sequential(11)
+            .with_block_len(8)
+            .with_retain(RetainMode::sketch());
+        let seq = tb.run_campaign(&upd, &base);
+        let par = tb.run_campaign(&upd, &CampaignConfig { shards: 4, ..base });
+        assert_eq!(seq, par, "sketch mode must stay bit-identical");
+        assert!(seq.reports().is_empty(), "sketch mode retains no reports");
+        assert!(seq.time_ecdf().is_none());
+        let exact = tb.run_campaign(&upd, &CampaignConfig::sequential(11).with_block_len(8));
+        assert_eq!(seq.len(), exact.len());
+        assert_eq!(seq.completed(), exact.completed());
+        assert_eq!(seq.total_energy_mj(), exact.total_energy_mj());
+        for q in [0.1, 0.5, 0.9] {
+            let s = seq.energy_dist().quantile(q).unwrap();
+            let e = exact.energy_dist().quantile(q).unwrap();
+            assert!(
+                (s - e).abs() <= 0.011 * e.abs(),
+                "q={q}: sketch {s} vs exact {e}"
+            );
+        }
+        assert_eq!(seq.energy_dist().min(), exact.energy_dist().min());
+        assert_eq!(seq.energy_dist().max(), exact.energy_dist().max());
+        // per-tag totals are streamed, not derived from a ledger
+        assert!(seq.ledger().is_empty());
+        let (s_tags, e_tags) = (seq.energy_by_tag(), exact.energy_by_tag());
+        for (tag, mj) in &e_tags {
+            assert!((s_tags[tag] - mj).abs() < 1e-9 * mj.abs().max(1.0), "{tag}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted() {
+        let dir = std::env::temp_dir().join("tinysdr_testbed_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tb = Testbed::with_nodes(40, 5);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("ck", 8_000, 2));
+        for retain in [RetainMode::Exact, RetainMode::sketch()] {
+            let cfg = CampaignConfig::sharded(11, 3)
+                .with_block_len(8)
+                .with_retain(retain);
+            let uninterrupted = tb.run_campaign(&upd, &cfg);
+            let path = dir.join(format!("c_{}.ckpt", retain.is_exact()));
+            std::fs::remove_file(&path).ok();
+            // phase 1: killed after 2 of 5 blocks
+            let killed = tb
+                .run_campaign_checkpointed(
+                    &upd,
+                    &cfg,
+                    &CheckpointConfig::new(&path, 1).stop_after(2),
+                )
+                .expect("checkpointed run");
+            match killed {
+                CampaignRun::Interrupted {
+                    merged_blocks,
+                    total_blocks,
+                } => {
+                    assert!(merged_blocks >= 2, "stopped at {merged_blocks}");
+                    assert_eq!(total_blocks, 5);
+                }
+                CampaignRun::Complete(_) => panic!("must stop after 2 blocks"),
+            }
+            // phase 2: resume to completion
+            let resumed = tb
+                .run_campaign_checkpointed(&upd, &cfg, &CheckpointConfig::new(&path, 2))
+                .expect("resume")
+                .expect_complete();
+            assert_eq!(
+                resumed, uninterrupted,
+                "{retain:?}: resume diverged from uninterrupted run"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn checkpoint_refuses_a_different_campaign() {
+        let dir = std::env::temp_dir().join("tinysdr_testbed_ckpt_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        std::fs::remove_file(&path).ok();
+        let tb = Testbed::with_nodes(16, 5);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("fp", 8_000, 2));
+        let cfg = CampaignConfig::sequential(11).with_block_len(4);
+        let run = tb
+            .run_campaign_checkpointed(&upd, &cfg, &CheckpointConfig::new(&path, 1).stop_after(2))
+            .expect("first run");
+        assert!(matches!(run, CampaignRun::Interrupted { .. }));
+        // same path, different seed → refuse
+        let other = CampaignConfig::sequential(12).with_block_len(4);
+        let err = tb
+            .run_campaign_checkpointed(&upd, &other, &CheckpointConfig::new(&path, 1))
+            .expect_err("mismatched checkpoint must be refused");
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn campaign_reports_are_keyed_by_node_id() {
         let tb = Testbed::with_nodes(9, 3);
         let upd = BlockedUpdate::build(&FirmwareImage::mcu("k", 6_000, 1));
-        let rep = tb.run_campaign(&upd, &CampaignConfig::sharded(5, 4));
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sharded(5, 4).with_block_len(2));
         for n in &tb.nodes {
             assert!(rep.get(n.id).is_some(), "node {} missing", n.id);
         }
         assert!(rep.get(9).is_none());
-        let ids: Vec<u16> = rep.iter().map(|(id, _)| *id).collect();
+        let ids: Vec<u32> = rep.iter().map(|(id, _)| *id).collect();
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted, "reports must come back ordered by node id");
@@ -739,7 +1276,7 @@ mod tests {
             n.rssi_dbm = -140.0; // below any fading margin: nothing completes
         }
         let upd = BlockedUpdate::build(&FirmwareImage::mcu("dead", 5_000, 1));
-        let (mut ecdf, reports) = tb.programming_time_cdf(&upd, 2);
+        let (ecdf, reports) = tb.programming_time_cdf(&upd, 2);
         assert_eq!(reports.completed(), 0);
         assert!(ecdf.is_empty());
         assert_eq!(ecdf.mean(), None);
@@ -754,7 +1291,7 @@ mod tests {
         let upd = BlockedUpdate::build(&FirmwareImage::paper_mcu("mac", 3));
         let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(7));
         // the ECDF covers every node, the ledger totals the same energy
-        let mut e = rep.energy_ecdf().clone();
+        let e = rep.energy_ecdf().expect("exact mode");
         assert_eq!(e.len(), rep.len());
         assert!(
             (rep.ledger().total_mj() - rep.total_energy_mj()).abs() < 1e-6 * rep.total_energy_mj(),
@@ -783,9 +1320,8 @@ mod tests {
         let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(3));
         let b = Battery::lipo_1000mah();
         let sleep = tinysdr_power::state::deep_sleep_mw();
-        let daily = rep.battery_life_years_ecdf(&b, 86_400.0, sleep);
-        let weekly = rep.battery_life_years_ecdf(&b, 7.0 * 86_400.0, sleep);
-        let (mut d, mut w) = (daily.clone(), weekly.clone());
+        let d = rep.battery_life_years_ecdf(&b, 86_400.0, sleep);
+        let w = rep.battery_life_years_ecdf(&b, 7.0 * 86_400.0, sleep);
         assert_eq!(d.len(), rep.len());
         // updating 7x less often must extend every quantile of life
         assert!(w.quantile(0.5).unwrap() > d.quantile(0.5).unwrap());
@@ -794,7 +1330,30 @@ mod tests {
         assert!(w.max().unwrap() <= bound);
         // a node updated continuously lives measured-in-days
         let frantic = rep.battery_life_years_ecdf(&b, 1.0, sleep);
-        assert!(frantic.clone().max().unwrap() < 0.1);
+        assert!(frantic.max().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn streamed_life_projection_matches_exact_replay() {
+        // the sketch-mode path (projection configured up front) and
+        // the exact-mode replay produce the same values in exact mode
+        let tb = Testbed::with_nodes(8, 5);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("fw", 8_000, 2));
+        let b = Battery::lipo_1000mah();
+        let sleep = tinysdr_power::state::deep_sleep_mw();
+        let proj = LifeProjection {
+            period_s: 86_400.0,
+            sleep_mw: sleep,
+            battery: b,
+        };
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(3).with_projection(proj));
+        let streamed = rep.life_dist().expect("projection configured");
+        let replayed = rep.battery_life_years_ecdf(&b, 86_400.0, sleep);
+        assert_eq!(
+            streamed.as_ecdf().expect("exact mode"),
+            &replayed,
+            "streamed and replayed life projections must agree"
+        );
     }
 
     #[test]
@@ -806,7 +1365,7 @@ mod tests {
             repair: CampaignConfig::sequential(9),
         };
         let rep = tb.broadcast_campaign(&upd, &cfg);
-        let mut e = rep.node_energy_ecdf();
+        let e = rep.node_energy_ecdf();
         assert_eq!(e.len(), tb.nodes.len());
         assert!(
             (e.mean().unwrap() * tb.nodes.len() as f64 - rep.total_energy_mj()).abs()

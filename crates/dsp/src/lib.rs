@@ -30,7 +30,11 @@
 //! * [`resample`] — integer-factor upsampling/decimation.
 //! * [`spectrum`] — Welch periodogram used to regenerate Fig. 8.
 //! * [`stats`] — error-rate counters and empirical CDFs used throughout
-//!   the evaluation harness.
+//!   the evaluation harness, plus the [`stats::Distribution`] trait the
+//!   campaign engine aggregates through.
+//! * [`sketch`] — a deterministic, mergeable log-bucket quantile sketch
+//!   ([`sketch::QuantileSketch`]) for bounded-memory million-node
+//!   campaign aggregation.
 //! * [`window`] — the usual spectral windows.
 //!
 //! The crate is deliberately synchronous and allocation-conscious:
@@ -51,6 +55,7 @@ pub mod gaussian;
 pub mod math;
 pub mod nco;
 pub mod resample;
+pub mod sketch;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

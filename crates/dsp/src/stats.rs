@@ -5,6 +5,16 @@
 //! (Figs. 11 and 15), bit error rate (Fig. 12) and a CDF of programming
 //! time (Fig. 14). These are the shared accumulator types behind those
 //! plots.
+//!
+//! Two distribution accumulators implement the [`Distribution`] trait:
+//! the exact [`Ecdf`] (every sample retained, paper-scale figures) and
+//! the bounded-memory [`QuantileSketch`](crate::sketch::QuantileSketch)
+//! (million-node campaigns). Both share the same non-finite-sample
+//! policy: `NaN`/`±inf` observations are a bug in the producer, so they
+//! trip a `debug_assert!` in debug builds and are silently dropped in
+//! release builds — a dropped sample shifts a quantile by one rank,
+//! while an admitted `NaN` would corrupt `max` and every high quantile
+//! through the `total_cmp` sort order.
 
 /// Streaming error-rate counter (bits, symbols or packets alike).
 #[derive(Debug, Clone, Copy, Default)]
@@ -87,11 +97,73 @@ pub fn bit_errors(a: &[u8], b: &[u8]) -> u64 {
         .sum()
 }
 
+/// Common interface over distribution accumulators: the exact [`Ecdf`]
+/// and the bounded-memory
+/// [`QuantileSketch`](crate::sketch::QuantileSketch).
+///
+/// Campaign code is written against this trait so the retention policy
+/// (exact samples vs. logarithmic buckets) is a configuration choice,
+/// not a code path. Implementations must keep `merge` equivalent to
+/// pushing the other side's observations — the reduction step when
+/// per-shard accumulators from a parallel campaign are combined — and
+/// must follow the crate's non-finite-sample policy (debug-assert,
+/// drop in release).
+pub trait Distribution {
+    /// Add one observation.
+    fn push(&mut self, x: f64);
+
+    /// Fold another accumulator of the same kind into this one.
+    fn merge(&mut self, other: &Self)
+    where
+        Self: Sized;
+
+    /// Number of observations recorded.
+    fn len(&self) -> usize;
+
+    /// `true` if no observations were recorded.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `P[X <= x]`; 0 for an empty distribution.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile `q` in `[0,1]` (nearest-rank), `None` if empty.
+    fn quantile(&self, q: f64) -> Option<f64>;
+
+    /// Median, `None` if empty.
+    fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean, `None` if empty.
+    fn mean(&self) -> Option<f64>;
+
+    /// Minimum observation, `None` if empty.
+    fn min(&self) -> Option<f64>;
+
+    /// Maximum observation, `None` if empty.
+    fn max(&self) -> Option<f64>;
+
+    /// Bytes of heap + inline state this accumulator currently holds.
+    /// Deterministic: a function of the logical state, not allocator
+    /// behaviour (lengths, not capacities).
+    fn memory_bytes(&self) -> usize;
+}
+
 /// Empirical CDF over `f64` observations.
-#[derive(Debug, Clone, Default)]
+///
+/// The sample vector is kept **sorted at all times** (by
+/// `f64::total_cmp`), so every read accessor takes `&self`. `push` is a
+/// binary-search insert (`O(n)` worst-case memmove — fine at paper
+/// scale; million-node campaigns use the sketch instead), `extend` is
+/// append + one sort, and `merge` is an `O(n + m)` sorted-run merge.
+///
+/// Non-finite observations are rejected per the module policy
+/// (debug-assert, dropped in release).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ecdf {
     samples: Vec<f64>,
-    sorted: bool,
 }
 
 impl Ecdf {
@@ -100,53 +172,60 @@ impl Ecdf {
         Self::default()
     }
 
-    /// Add one observation.
+    /// Add one observation. Non-finite values are rejected (see module
+    /// docs).
     pub fn push(&mut self, x: f64) {
-        self.samples.push(x);
-        self.sorted = false;
+        debug_assert!(x.is_finite(), "Ecdf::push: non-finite sample {x}");
+        if !x.is_finite() {
+            return;
+        }
+        let at = self.samples.partition_point(|v| v.total_cmp(&x).is_lt());
+        self.samples.insert(at, x);
     }
 
-    /// Add many observations.
+    /// Add many observations. Non-finite values are rejected (see module
+    /// docs).
     pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
-        self.samples.extend(xs);
-        self.sorted = false;
+        let before = self.samples.len();
+        for x in xs {
+            debug_assert!(x.is_finite(), "Ecdf::extend: non-finite sample {x}");
+            if x.is_finite() {
+                self.samples.push(x);
+            }
+        }
+        if self.samples.len() != before {
+            self.samples.sort_by(|a, b| a.total_cmp(b));
+        }
     }
 
     /// Merge another distribution into this one (mirror of
     /// [`ErrorRate::merge`]) — the reduction step when per-shard ECDFs
-    /// from a parallel campaign are combined. When both sides are
-    /// already sorted the two runs are merged in `O(n + m)` instead of
-    /// re-sorting the world.
+    /// from a parallel campaign are combined. Both sides are always
+    /// sorted, so this is an `O(n + m)` sorted-run merge.
     pub fn merge(&mut self, other: &Ecdf) {
         if other.samples.is_empty() {
             return;
         }
         if self.samples.is_empty() {
             self.samples = other.samples.clone();
-            self.sorted = other.sorted;
             return;
         }
-        if self.sorted && other.sorted {
-            let a = std::mem::take(&mut self.samples);
-            let b = &other.samples;
-            let mut merged = Vec::with_capacity(a.len() + b.len());
-            let (mut i, mut j) = (0, 0);
-            while i < a.len() && j < b.len() {
-                if a[i] <= b[j] {
-                    merged.push(a[i]);
-                    i += 1;
-                } else {
-                    merged.push(b[j]);
-                    j += 1;
-                }
+        let a = std::mem::take(&mut self.samples);
+        let b = &other.samples;
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
             }
-            merged.extend_from_slice(&a[i..]);
-            merged.extend_from_slice(&b[j..]);
-            self.samples = merged;
-        } else {
-            self.samples.extend_from_slice(&other.samples);
-            self.sorted = false;
         }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.samples = merged;
     }
 
     /// Number of observations.
@@ -159,19 +238,35 @@ impl Ecdf {
         self.samples.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_by(|a, b| a.total_cmp(b));
-            self.sorted = true;
-        }
+    /// The sorted observations, ascending — the serialization surface
+    /// for campaign checkpoints.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Rebuild from samples that are **already sorted ascending** (by
+    /// `total_cmp`) and finite — the checkpoint-reader fast path.
+    ///
+    /// # Panics
+    /// Panics if the samples are out of order or non-finite; a
+    /// checkpoint that fails this was corrupted and must not be trusted.
+    pub fn from_sorted_samples(samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "Ecdf::from_sorted_samples: non-finite sample"
+        );
+        assert!(
+            samples.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "Ecdf::from_sorted_samples: samples not sorted"
+        );
+        Self { samples }
     }
 
     /// `P[X <= x]`; 0 for an empty distribution (no mass anywhere).
-    pub fn cdf(&mut self, x: f64) -> f64 {
+    pub fn cdf(&self, x: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
         let count = self.samples.partition_point(|&v| v <= x);
         count as f64 / self.samples.len() as f64
     }
@@ -181,19 +276,18 @@ impl Ecdf {
     ///
     /// # Panics
     /// Panics if `q` is outside `[0, 1]`.
-    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
         if self.samples.is_empty() {
             return None;
         }
-        self.ensure_sorted();
         let n = self.samples.len();
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
         Some(self.samples[idx])
     }
 
     /// Median, `None` if empty.
-    pub fn median(&mut self) -> Option<f64> {
+    pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
 
@@ -207,26 +301,67 @@ impl Ecdf {
     }
 
     /// Minimum observation, `None` if empty.
-    pub fn min(&mut self) -> Option<f64> {
-        self.ensure_sorted();
+    pub fn min(&self) -> Option<f64> {
         self.samples.first().copied()
     }
 
     /// Maximum observation, `None` if empty.
-    pub fn max(&mut self) -> Option<f64> {
-        self.ensure_sorted();
+    pub fn max(&self) -> Option<f64> {
         self.samples.last().copied()
     }
 
+    /// Bytes of state held: one `f64` per retained sample. Grows
+    /// linearly with observations — the quantity the sketch bounds.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.samples.len() * std::mem::size_of::<f64>()
+    }
+
     /// `(x, P[X<=x])` series for plotting a CDF like the paper's Fig. 14.
-    pub fn curve(&mut self) -> Vec<(f64, f64)> {
-        self.ensure_sorted();
+    pub fn curve(&self) -> Vec<(f64, f64)> {
         let n = self.samples.len() as f64;
         self.samples
             .iter()
             .enumerate()
             .map(|(i, &x)| (x, (i + 1) as f64 / n))
             .collect()
+    }
+}
+
+impl Distribution for Ecdf {
+    fn push(&mut self, x: f64) {
+        Ecdf::push(self, x);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        Ecdf::merge(self, other);
+    }
+
+    fn len(&self) -> usize {
+        Ecdf::len(self)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        Ecdf::cdf(self, x)
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        Ecdf::quantile(self, q)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Ecdf::mean(self)
+    }
+
+    fn min(&self) -> Option<f64> {
+        Ecdf::min(self)
+    }
+
+    fn max(&self) -> Option<f64> {
+        Ecdf::max(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Ecdf::memory_bytes(self)
     }
 }
 
@@ -313,7 +448,7 @@ mod tests {
     fn empty_ecdf_is_explicit_not_a_panic() {
         // regression: min/max/quantile used to panic via `expect` and
         // mean silently returned 0.0 on an empty distribution
-        let mut e = Ecdf::new();
+        let e = Ecdf::new();
         assert!(e.is_empty());
         assert_eq!(e.min(), None);
         assert_eq!(e.max(), None);
@@ -322,6 +457,65 @@ mod tests {
         assert_eq!(e.mean(), None);
         assert_eq!(e.cdf(0.0), 0.0);
         assert!(e.curve().is_empty());
+    }
+
+    #[test]
+    fn ecdf_accessors_are_shared_refs() {
+        // regression (PR 7): accessors used to take `&mut self` because
+        // sorting was lazy; reports could not be read through `&self`
+        let mut e = Ecdf::new();
+        e.extend([3.0, 1.0, 2.0]);
+        let r: &Ecdf = &e;
+        assert_eq!(r.min(), Some(1.0));
+        assert_eq!(r.max(), Some(3.0));
+        assert_eq!(r.median(), Some(2.0));
+        assert_eq!(r.curve().len(), 3);
+        assert!((r.cdf(2.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_push_keeps_samples_sorted() {
+        let mut e = Ecdf::new();
+        for x in [5.0, -1.0, 3.0, 3.0, 0.0, 9.0, -2.5] {
+            e.push(x);
+        }
+        let s = e.samples();
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(e.len(), 7);
+        assert_eq!(e.min(), Some(-2.5));
+        assert_eq!(e.max(), Some(9.0));
+    }
+
+    #[test]
+    fn ecdf_rejects_non_finite_in_release() {
+        // the debug_assert path is exercised by debug builds; this pins
+        // the documented release behaviour: the sample is dropped, max
+        // and quantiles stay finite
+        let mut e = Ecdf::new();
+        e.extend([1.0, 2.0]);
+        if cfg!(not(debug_assertions)) {
+            e.push(f64::NAN);
+            e.push(f64::INFINITY);
+            e.extend([f64::NEG_INFINITY, 3.0]);
+            assert_eq!(e.len(), 3);
+            assert_eq!(e.max(), Some(3.0));
+            assert_eq!(e.quantile(1.0), Some(3.0));
+        }
+    }
+
+    #[test]
+    fn ecdf_round_trips_through_sorted_samples() {
+        let mut e = Ecdf::new();
+        e.extend([4.0, 1.0, 3.0, 2.0]);
+        let back = Ecdf::from_sorted_samples(e.samples().to_vec());
+        assert_eq!(back, e);
+        assert!(e.memory_bytes() >= 4 * std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn ecdf_from_unsorted_samples_panics() {
+        let _ = Ecdf::from_sorted_samples(vec![2.0, 1.0]);
     }
 
     #[test]
@@ -344,12 +538,13 @@ mod tests {
     fn ecdf_merge_of_sorted_sides_stays_sorted() {
         let mut a = Ecdf::new();
         a.extend([5.0, 1.0, 3.0]);
-        let _ = a.min(); // force a sort
         let mut b = Ecdf::new();
         b.extend([4.0, 2.0, 6.0]);
-        let _ = b.min();
         a.merge(&b);
-        assert!(a.sorted, "sorted runs must merge without a re-sort");
+        assert!(
+            a.samples().windows(2).all(|w| w[0] <= w[1]),
+            "sorted runs must merge into a sorted run"
+        );
         assert_eq!(
             a.curve().iter().map(|p| p.0).collect::<Vec<_>>(),
             vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
@@ -373,6 +568,16 @@ mod tests {
             assert!(w[1].1 > w[0].1);
         }
         assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_trait_is_object_safe_enough_for_generics() {
+        fn summarize<D: Distribution>(d: &D) -> (usize, Option<f64>) {
+            (d.len(), d.median())
+        }
+        let mut e = Ecdf::new();
+        e.extend([1.0, 2.0, 3.0]);
+        assert_eq!(summarize(&e), (3, Some(2.0)));
     }
 
     #[test]

@@ -109,3 +109,103 @@ proptest! {
         prop_assert!((p - target).abs() < 1e-9 * target);
     }
 }
+
+use tinysdr_dsp::sketch::{quantile_error_within_bound, QuantileSketch};
+
+/// Decode raw draws into an adversarial sample stream: values spanning
+/// many decades on both sides of zero, plus exact zeros and
+/// near-`MIN_TRACKED` magnitudes — the regimes where a log-bucketed
+/// sketch is most fragile.
+fn adversarial_stream(raw: &[(u8, f64, f64)]) -> Vec<f64> {
+    raw.iter()
+        .map(|&(kind, exp, lin)| match kind {
+            0 => 0.0,
+            1 => lin,
+            2 => lin * 1e-12,
+            3 => 10f64.powf(exp),
+            _ => -(10f64.powf(exp)),
+        })
+        .collect()
+}
+
+/// The raw-draw strategy feeding [`adversarial_stream`].
+fn adversarial_raw() -> prop::collection::VecStrategy<(
+    std::ops::Range<u8>,
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+)> {
+    prop::collection::vec((0u8..5, -60f64..20.0, -1e9f64..1e9), 1..400)
+}
+
+proptest! {
+    /// The documented rank-error bound holds against the exact ECDF on
+    /// adversarial streams, at every quantile probed.
+    #[test]
+    fn sketch_quantiles_stay_within_bound(raw in adversarial_raw()) {
+        let xs = adversarial_stream(&raw);
+        let mut sk = QuantileSketch::new();
+        let mut ec = Ecdf::new();
+        for &x in &xs {
+            sk.push(x);
+            ec.push(x);
+        }
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert!(
+                quantile_error_within_bound(&sk, &ec, q),
+                "q={} sketch={:?} exact={:?}",
+                q,
+                sk.quantile(q),
+                ec.quantile(q)
+            );
+        }
+    }
+
+    /// Merging is order-independent bit for bit: any split of the
+    /// stream, merged in either order, equals the one-pass sketch.
+    #[test]
+    fn sketch_merge_is_order_independent(
+        raw in adversarial_raw(),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let xs = adversarial_stream(&raw);
+        let cut = (cut_ppm as usize * xs.len()) / 1_000_000;
+        let mut whole = QuantileSketch::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = QuantileSketch::new();
+        for &x in &xs[..cut] {
+            a.push(x);
+        }
+        let mut b = QuantileSketch::new();
+        for &x in &xs[cut..] {
+            b.push(x);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &whole, "a+b != one-pass");
+        prop_assert_eq!(&ba, &whole, "b+a != one-pass");
+    }
+
+    /// The sketch's cdf is monotone non-decreasing, like the exact one.
+    #[test]
+    fn sketch_cdf_is_monotone(raw in adversarial_raw()) {
+        let xs = adversarial_stream(&raw);
+        let mut sk = QuantileSketch::new();
+        for &x in &xs {
+            sk.push(x);
+        }
+        let lo = sk.min().unwrap();
+        let hi = sk.max().unwrap();
+        let mut prev = -1.0f64;
+        for i in 0..=20 {
+            let x = lo + (hi - lo) * i as f64 / 20.0;
+            let c = sk.cdf(x);
+            prop_assert!(c >= prev - 1e-15, "cdf dipped at {x}: {c} < {prev}");
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+}

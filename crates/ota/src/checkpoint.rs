@@ -1,0 +1,725 @@
+//! Versioned, deterministic on-disk campaign checkpoints.
+//!
+//! A million-node campaign runs for hours; losing the run to a crash
+//! at block 3900/3907 is not acceptable, so the campaign engine
+//! periodically persists its merged prefix — completed block count
+//! plus the merged [`NodeAggregate`] (and, in exact mode, the session
+//! reports) — and can resume **bit-identically** to an uninterrupted
+//! run: the remaining blocks are recomputed from their per-node seed
+//! streams and merged in block-index order, exactly as the first run
+//! would have.
+//!
+//! The format is hand-rolled (the offline dependency policy rules out
+//! serde): little-endian fixed-width integers, `f64` as raw IEEE-754
+//! bits (`to_bits`, so round-trips are bit-exact), length-prefixed
+//! UTF-8 strings. Framing:
+//!
+//! ```text
+//! magic   b"TSDRCKP\0"            8 bytes
+//! version u32                      (currently 1)
+//! fingerprint u64                  splitmix64 chain over the campaign
+//!                                  configuration + testbed identity;
+//!                                  resume refuses a mismatch
+//! merged_blocks u64 | total_blocks u64
+//! NodeAggregate                    counters, tag totals, metrics
+//! reports                          exact mode only: (node id, report)*
+//! checksum u64                     splitmix64 chain over everything
+//!                                  above — integrity, not crypto
+//! ```
+//!
+//! Everything is written via a temp file + rename, so a kill mid-write
+//! leaves the previous checkpoint intact. Corruption (truncation, bit
+//! rot, wrong magic) surfaces as [`CheckpointError::Corrupt`] — never
+//! a panic and never a silently wrong resume.
+//!
+//! Determinism note: the ISSUE's splitmix64 keying lives here, in the
+//! fingerprint and checksum chains ([`chain_mix`]) — the quantile
+//! sketch itself needs no randomness because its bucket grid is fixed
+//! (see `tinysdr_dsp::sketch`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+use tinysdr_dsp::sketch::QuantileSketch;
+use tinysdr_dsp::stats::Ecdf;
+use tinysdr_power::battery::Battery;
+use tinysdr_power::energy::EnergyLedger;
+
+use crate::aggregate::{LifeProjection, NodeAggregate, NodeMetric, RetainMode, TagTotal};
+use crate::seed::splitmix64;
+use crate::session::SessionReport;
+
+/// File magic: "TSDRCKP" + NUL.
+pub const MAGIC: [u8; 8] = *b"TSDRCKP\0";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Why a checkpoint could not be read.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The bytes do not decode as a well-formed checkpoint.
+    Corrupt(&'static str),
+    /// A well-formed checkpoint for a *different* campaign (seed,
+    /// config, testbed or format version differ).
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Fold one word into a splitmix64 hash chain. Used for both the
+/// configuration fingerprint and the file checksum; order-dependent by
+/// design (a chain, not a multiset hash).
+#[inline]
+#[must_use]
+pub fn chain_mix(h: u64, word: u64) -> u64 {
+    splitmix64(h ^ word)
+}
+
+/// Checksum a byte slice: the splitmix64 chain over its 8-byte words
+/// (zero-padded tail) and its length.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = chain_mix(0x5EED_C4A9_0000_0000, bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = chain_mix(h, u64::from_le_bytes(w));
+    }
+    h
+}
+
+/// A campaign's persisted progress: how many leading blocks are merged
+/// and the merged state itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// Fingerprint of the campaign configuration + testbed identity;
+    /// resume refuses to continue under a different configuration.
+    pub fingerprint: u64,
+    /// Number of leading blocks already merged into `agg`.
+    pub merged_blocks: u64,
+    /// Total blocks in the campaign (progress denominator).
+    pub total_blocks: u64,
+    /// The merged aggregate over blocks `0..merged_blocks`.
+    pub agg: NodeAggregate,
+    /// Per-node reports of the merged prefix — exact mode only, empty
+    /// in sketch mode.
+    pub reports: Vec<(u32, SessionReport)>,
+}
+
+impl CampaignCheckpoint {
+    /// Serialize to the on-disk format (including checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.bytes(&MAGIC);
+        e.u32(VERSION);
+        e.u64(self.fingerprint);
+        e.u64(self.merged_blocks);
+        e.u64(self.total_blocks);
+        encode_aggregate(&mut e, &self.agg);
+        e.u64(self.reports.len() as u64);
+        for (id, rep) in &self.reports {
+            e.u32(*id);
+            encode_report(&mut e, rep);
+        }
+        let sum = checksum(&e.buf);
+        e.u64(sum);
+        e.buf
+    }
+
+    /// Decode and validate (magic, version, checksum, internal
+    /// consistency). Configuration fingerprint checking is the
+    /// caller's job — only it knows the expected value.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(CheckpointError::Corrupt("truncated header"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        // lint: allow(unjustified-panic, split_at yields exactly 8 tail bytes)
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if checksum(body) != stored {
+            return Err(CheckpointError::Corrupt("checksum mismatch"));
+        }
+        let mut d = Dec { b: body, pos: 0 };
+        if d.take(MAGIC.len())? != MAGIC {
+            return Err(CheckpointError::Corrupt("bad magic"));
+        }
+        let version = d.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::Mismatch("unsupported format version"));
+        }
+        let fingerprint = d.u64()?;
+        let merged_blocks = d.u64()?;
+        let total_blocks = d.u64()?;
+        if merged_blocks > total_blocks {
+            return Err(CheckpointError::Corrupt("merged_blocks > total_blocks"));
+        }
+        let agg = decode_aggregate(&mut d)?;
+        let n = d.u64()? as usize;
+        if n > body.len() / 8 {
+            return Err(CheckpointError::Corrupt("report count exceeds file size"));
+        }
+        let mut reports = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let id = d.u32()?;
+            if prev.is_some_and(|p| p >= id) {
+                return Err(CheckpointError::Corrupt("report ids not ascending"));
+            }
+            prev = Some(id);
+            reports.push((id, decode_report(&mut d)?));
+        }
+        if agg.retain().is_exact() && reports.len() != agg.len() {
+            return Err(CheckpointError::Corrupt(
+                "report count disagrees with aggregate",
+            ));
+        }
+        if d.pos != body.len() {
+            return Err(CheckpointError::Corrupt("trailing bytes"));
+        }
+        Ok(CampaignCheckpoint {
+            fingerprint,
+            merged_blocks,
+            total_blocks,
+            agg,
+            reports,
+        })
+    }
+
+    /// Write atomically: temp file in the same directory, then rename.
+    /// A kill mid-write leaves any previous checkpoint intact.
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read and decode a checkpoint file.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+}
+
+// ---------------------------------------------------------------- codec
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.b.len() {
+            return Err(CheckpointError::Corrupt("unexpected end of file"));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            // lint: allow(unjustified-panic, take(4) yields exactly 4 bytes)
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn i32(&mut self) -> Result<i32, CheckpointError> {
+        Ok(i32::from_le_bytes(
+            // lint: allow(unjustified-panic, take(4) yields exactly 4 bytes)
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            // lint: allow(unjustified-panic, take(8) yields exactly 8 bytes)
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, CheckpointError> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| CheckpointError::Corrupt("invalid UTF-8"))
+    }
+}
+
+fn encode_metric(e: &mut Enc, m: &NodeMetric) {
+    match m {
+        NodeMetric::Exact(ecdf) => {
+            e.u8(0);
+            e.u64(ecdf.len() as u64);
+            for &x in ecdf.samples() {
+                e.f64(x);
+            }
+        }
+        NodeMetric::Sketch(s) => {
+            e.u8(1);
+            let (alpha, neg, zero, pos, count, min, max) = s.to_parts();
+            e.f64(alpha);
+            e.u64(neg.len() as u64);
+            for (k, n) in neg {
+                e.i32(k);
+                e.u64(n);
+            }
+            e.u64(zero);
+            e.u64(pos.len() as u64);
+            for (k, n) in pos {
+                e.i32(k);
+                e.u64(n);
+            }
+            e.u64(count);
+            e.f64(min);
+            e.f64(max);
+        }
+    }
+}
+
+fn decode_metric(d: &mut Dec) -> Result<NodeMetric, CheckpointError> {
+    match d.u8()? {
+        0 => {
+            let n = d.u64()? as usize;
+            if n > d.b.len() / 8 {
+                return Err(CheckpointError::Corrupt("sample count exceeds file size"));
+            }
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = d.f64()?;
+                if !x.is_finite() {
+                    return Err(CheckpointError::Corrupt("non-finite ECDF sample"));
+                }
+                samples.push(x);
+            }
+            if samples.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
+                return Err(CheckpointError::Corrupt("ECDF samples not sorted"));
+            }
+            Ok(NodeMetric::Exact(Ecdf::from_sorted_samples(samples)))
+        }
+        1 => {
+            let alpha = d.f64()?;
+            let read_buckets = |d: &mut Dec| -> Result<Vec<(i32, u64)>, CheckpointError> {
+                let n = d.u64()? as usize;
+                if n > d.b.len() / 12 {
+                    return Err(CheckpointError::Corrupt("bucket count exceeds file size"));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = d.i32()?;
+                    let c = d.u64()?;
+                    if let Some(&(pk, _)) = v.last() {
+                        if pk >= k {
+                            return Err(CheckpointError::Corrupt("bucket keys not ascending"));
+                        }
+                    }
+                    v.push((k, c));
+                }
+                Ok(v)
+            };
+            let neg = read_buckets(d)?;
+            let zero = d.u64()?;
+            let pos = read_buckets(d)?;
+            let count = d.u64()?;
+            let min = d.f64()?;
+            let max = d.f64()?;
+            QuantileSketch::from_parts(alpha, neg, zero, pos, count, min, max)
+                .map(NodeMetric::Sketch)
+                .map_err(CheckpointError::Corrupt)
+        }
+        _ => Err(CheckpointError::Corrupt("unknown metric kind")),
+    }
+}
+
+fn encode_aggregate(e: &mut Enc, a: &NodeAggregate) {
+    match a.retain {
+        RetainMode::Exact => e.u8(0),
+        RetainMode::Sketch { alpha } => {
+            e.u8(1);
+            e.f64(alpha);
+        }
+    }
+    match &a.projection {
+        None => e.u8(0),
+        Some(p) => {
+            e.u8(1);
+            e.f64(p.period_s);
+            e.f64(p.sleep_mw);
+            e.f64(p.battery.capacity_mah);
+            e.f64(p.battery.voltage_v);
+            e.f64(p.battery.usable_fraction);
+        }
+    }
+    e.u64(a.nodes);
+    e.u64(a.completed);
+    e.f64(a.total_duration_s);
+    e.f64(a.total_energy_mj);
+    e.u64(a.total_bytes);
+    encode_metric(e, &a.time_min);
+    encode_metric(e, &a.energy_mj);
+    encode_metric(e, &a.bytes);
+    match &a.life_years {
+        None => e.u8(0),
+        Some(m) => {
+            e.u8(1);
+            encode_metric(e, m);
+        }
+    }
+    e.u64(a.by_tag.len() as u64);
+    for (tag, t) in &a.by_tag {
+        e.str(tag);
+        e.f64(t.energy_mj);
+        e.u64(t.duration_ns);
+    }
+}
+
+fn decode_aggregate(d: &mut Dec) -> Result<NodeAggregate, CheckpointError> {
+    let retain = match d.u8()? {
+        0 => RetainMode::Exact,
+        1 => {
+            let alpha = d.f64()?;
+            if !(alpha > 0.0 && alpha < 1.0) {
+                return Err(CheckpointError::Corrupt("sketch alpha out of range"));
+            }
+            RetainMode::Sketch { alpha }
+        }
+        _ => return Err(CheckpointError::Corrupt("unknown retain mode")),
+    };
+    let projection = match d.u8()? {
+        0 => None,
+        1 => {
+            let period_s = d.f64()?;
+            let sleep_mw = d.f64()?;
+            let battery = Battery {
+                capacity_mah: d.f64()?,
+                voltage_v: d.f64()?,
+                usable_fraction: d.f64()?,
+            };
+            if !(period_s > 0.0 && period_s.is_finite()) {
+                return Err(CheckpointError::Corrupt("projection period invalid"));
+            }
+            if !(sleep_mw >= 0.0 && sleep_mw.is_finite()) {
+                return Err(CheckpointError::Corrupt("projection sleep floor invalid"));
+            }
+            Some(LifeProjection {
+                period_s,
+                sleep_mw,
+                battery,
+            })
+        }
+        _ => return Err(CheckpointError::Corrupt("unknown projection flag")),
+    };
+    let nodes = d.u64()?;
+    let completed = d.u64()?;
+    if completed > nodes {
+        return Err(CheckpointError::Corrupt("completed > nodes"));
+    }
+    let total_duration_s = d.f64()?;
+    let total_energy_mj = d.f64()?;
+    let total_bytes = d.u64()?;
+    if !total_duration_s.is_finite() || !total_energy_mj.is_finite() {
+        return Err(CheckpointError::Corrupt("non-finite totals"));
+    }
+    let time_min = decode_metric(d)?;
+    let energy_mj = decode_metric(d)?;
+    let bytes = decode_metric(d)?;
+    let life_years = match d.u8()? {
+        0 => None,
+        1 => Some(decode_metric(d)?),
+        _ => return Err(CheckpointError::Corrupt("unknown life flag")),
+    };
+    if projection.is_some() != life_years.is_some() {
+        return Err(CheckpointError::Corrupt("projection/life flag disagree"));
+    }
+    let ntags = d.u64()? as usize;
+    if ntags > d.b.len() / 8 {
+        return Err(CheckpointError::Corrupt("tag count exceeds file size"));
+    }
+    let mut by_tag = BTreeMap::new();
+    let mut prev: Option<String> = None;
+    for _ in 0..ntags {
+        let tag = d.str()?;
+        if prev.as_ref().is_some_and(|p| *p >= tag) {
+            return Err(CheckpointError::Corrupt("tags not ascending"));
+        }
+        let energy_mj = d.f64()?;
+        let duration_ns = d.u64()?;
+        if !energy_mj.is_finite() || energy_mj < 0.0 {
+            return Err(CheckpointError::Corrupt("invalid tag energy"));
+        }
+        prev = Some(tag.clone());
+        by_tag.insert(
+            tag,
+            TagTotal {
+                energy_mj,
+                duration_ns,
+            },
+        );
+    }
+    if energy_mj.len() as u64 != nodes || bytes.len() as u64 != nodes {
+        return Err(CheckpointError::Corrupt(
+            "metric counts disagree with nodes",
+        ));
+    }
+    if time_min.len() as u64 != completed {
+        return Err(CheckpointError::Corrupt(
+            "time metric disagrees with completed",
+        ));
+    }
+    Ok(NodeAggregate {
+        retain,
+        projection,
+        nodes,
+        completed,
+        total_duration_s,
+        total_energy_mj,
+        total_bytes,
+        time_min,
+        energy_mj,
+        bytes,
+        life_years,
+        by_tag,
+    })
+}
+
+fn encode_report(e: &mut Enc, r: &SessionReport) {
+    e.f64(r.duration_s);
+    e.u32(r.data_packets);
+    e.u32(r.retransmissions);
+    e.u64(r.bytes_over_air);
+    e.f64(r.node_energy_mj);
+    e.f64(r.rx_energy_mj);
+    e.f64(r.tx_energy_mj);
+    e.u8(u8::from(r.completed));
+    e.u32(r.ledger.records().len() as u32);
+    for rec in r.ledger.records() {
+        e.str(&rec.tag);
+        e.f64(rec.energy_mj);
+        e.u64(rec.duration_ns);
+    }
+}
+
+fn decode_report(d: &mut Dec) -> Result<SessionReport, CheckpointError> {
+    let duration_s = d.f64()?;
+    let data_packets = d.u32()?;
+    let retransmissions = d.u32()?;
+    let bytes_over_air = d.u64()?;
+    let node_energy_mj = d.f64()?;
+    let rx_energy_mj = d.f64()?;
+    let tx_energy_mj = d.f64()?;
+    let completed = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CheckpointError::Corrupt("bad completed flag")),
+    };
+    for v in [duration_s, node_energy_mj, rx_energy_mj, tx_energy_mj] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CheckpointError::Corrupt("invalid report quantity"));
+        }
+    }
+    let nrec = d.u32()? as usize;
+    if nrec > d.b.len() / 8 {
+        return Err(CheckpointError::Corrupt("record count exceeds file size"));
+    }
+    let mut ledger = EnergyLedger::new();
+    for _ in 0..nrec {
+        let tag = d.str()?;
+        let energy_mj = d.f64()?;
+        let duration_ns = d.u64()?;
+        if !energy_mj.is_finite() || energy_mj < 0.0 {
+            return Err(CheckpointError::Corrupt("invalid ledger record"));
+        }
+        ledger.record_energy(&tag, energy_mj, duration_ns);
+    }
+    Ok(SessionReport {
+        duration_s,
+        data_packets,
+        retransmissions,
+        bytes_over_air,
+        node_energy_mj,
+        rx_energy_mj,
+        tx_energy_mj,
+        ledger,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::RetainMode;
+    use crate::blocks::BlockedUpdate;
+    use crate::image::FirmwareImage;
+    use crate::session::{run_session, LinkModel, SessionConfig};
+
+    fn sample_checkpoint(retain: RetainMode) -> CampaignCheckpoint {
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("ckpt", 6_000, 1));
+        let mut agg = NodeAggregate::new(
+            retain,
+            Some(LifeProjection {
+                period_s: 86_400.0,
+                sleep_mw: 0.030,
+                battery: Battery::lipo_1000mah(),
+            }),
+        );
+        let mut reports = Vec::new();
+        for id in 0..5u32 {
+            let rep = run_session(
+                &upd,
+                &LinkModel::from_downlink(-95.0 - id as f64),
+                &SessionConfig {
+                    max_attempts: 40,
+                    seed: 1000 + id as u64,
+                },
+            );
+            agg.push_session(&rep);
+            if retain.is_exact() {
+                reports.push((id, rep));
+            }
+        }
+        CampaignCheckpoint {
+            fingerprint: 0xFEED_F00D,
+            merged_blocks: 2,
+            total_blocks: 7,
+            agg,
+            reports,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity_both_modes() {
+        for retain in [RetainMode::Exact, RetainMode::sketch()] {
+            let ck = sample_checkpoint(retain);
+            let back = CampaignCheckpoint::decode(&ck.encode()).expect("decode");
+            assert_eq!(back, ck, "{retain:?} round trip");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = sample_checkpoint(RetainMode::Exact).encode();
+        let b = sample_checkpoint(RetainMode::Exact).encode();
+        assert_eq!(a, b, "same state must produce identical bytes");
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_identical() {
+        let dir = std::env::temp_dir().join("tinysdr_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        let ck = sample_checkpoint(RetainMode::sketch());
+        ck.write_atomic(&path).expect("write");
+        // overwrite with a later checkpoint; the rename replaces whole
+        let mut later = ck.clone();
+        later.merged_blocks = 5;
+        later.write_atomic(&path).expect("rewrite");
+        let back = CampaignCheckpoint::read(&path).expect("read");
+        assert_eq!(back, later);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_trusted() {
+        let ck = sample_checkpoint(RetainMode::Exact);
+        let good = ck.encode();
+        // truncation
+        assert!(matches!(
+            CampaignCheckpoint::decode(&good[..good.len() - 9]),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // single bit flip anywhere trips the checksum
+        for at in [8, good.len() / 2, good.len() - 9] {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                matches!(
+                    CampaignCheckpoint::decode(&bad),
+                    Err(CheckpointError::Corrupt(_) | CheckpointError::Mismatch(_))
+                ),
+                "flip at {at} must not decode"
+            );
+        }
+        // wrong magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(CampaignCheckpoint::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn checksum_chain_pins() {
+        // pin the chain so a silent change to the hash breaks loudly
+        assert_eq!(checksum(b""), checksum(b""));
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+        assert_ne!(checksum(b"ab"), checksum(b"ba"), "order must matter");
+        // length is mixed in: a zero byte differs from no byte
+        assert_ne!(checksum(b"\0"), checksum(b""));
+    }
+
+    #[test]
+    fn version_bump_is_a_mismatch_not_garbage() {
+        let mut bytes = sample_checkpoint(RetainMode::Exact).encode();
+        // bump the version field (offset 8..12) and re-checksum
+        bytes[8] = 2;
+        let body_len = bytes.len() - 8;
+        let sum = checksum(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            CampaignCheckpoint::decode(&bytes),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

@@ -27,12 +27,21 @@
 //! * [`seed`] — splitmix64-based, order-independent seed derivation for
 //!   campaign RNG streams (what makes sharded campaigns bit-identical
 //!   to sequential ones).
+//! * [`aggregate`] — streaming per-node aggregation
+//!   ([`aggregate::NodeAggregate`]): counters, per-tag energy totals
+//!   and exact-or-sketch distributions, the bounded-memory replacement
+//!   for retaining every session report at million-node scale.
+//! * [`checkpoint`] — versioned, deterministic on-disk campaign
+//!   checkpoints (hand-rolled codec, splitmix64-chained checksum) for
+//!   kill/resume of long campaigns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod blocks;
 pub mod broadcast;
+pub mod checkpoint;
 pub mod image;
 pub mod lzo;
 pub mod protocol;

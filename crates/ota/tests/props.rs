@@ -68,3 +68,125 @@ proptest! {
         prop_assert_eq!(rebuilt, stream);
     }
 }
+
+use tinysdr_ota::aggregate::{LifeProjection, NodeAggregate, RetainMode};
+use tinysdr_ota::checkpoint::{checksum, CampaignCheckpoint, CheckpointError};
+use tinysdr_ota::session::SessionReport;
+use tinysdr_power::battery::Battery;
+use tinysdr_power::energy::EnergyLedger;
+
+/// Build a synthetic (but internally consistent) session report from
+/// raw non-negative draws.
+fn synth_report(duration_s: f64, energy_scale: f64, bytes: u64, completed: bool) -> SessionReport {
+    let rx = energy_scale * 0.6;
+    let tx = energy_scale * 0.1;
+    let mcu = energy_scale * 0.2;
+    let flash = energy_scale * 0.1;
+    let mut ledger = EnergyLedger::new();
+    let ns = (duration_s * 1e9) as u64;
+    ledger.record_energy("radio_rx", rx, ns / 2);
+    ledger.record_energy("radio_tx", tx, ns / 8);
+    ledger.record_energy("mcu", mcu, ns / 4);
+    ledger.record_energy("flash", flash, ns / 8);
+    SessionReport {
+        duration_s,
+        data_packets: (bytes / 200) as u32,
+        retransmissions: (bytes % 7) as u32,
+        bytes_over_air: bytes,
+        node_energy_mj: rx + tx + mcu + flash,
+        rx_energy_mj: rx,
+        tx_energy_mj: tx,
+        ledger,
+        completed,
+    }
+}
+
+proptest! {
+    /// A campaign checkpoint round-trips bit for bit through the
+    /// on-disk codec, for any session mix and both retention modes.
+    #[test]
+    fn checkpoint_round_trips_bit_for_bit(
+        raw in prop::collection::vec((0.01f64..5e4, 0.1f64..1e6, 1u64..1_000_000, 0u8..4), 0..60),
+        exact_mode in 0u8..2,
+        fingerprint in 0u64..u64::MAX,
+        merged in 0u64..1000,
+    ) {
+        let retain = if exact_mode == 0 {
+            RetainMode::Exact
+        } else {
+            RetainMode::sketch()
+        };
+        let proj = LifeProjection {
+            period_s: 86_400.0,
+            sleep_mw: 0.03,
+            battery: Battery::lipo_1000mah(),
+        };
+        let mut agg = NodeAggregate::new(retain, Some(proj));
+        let mut reports = Vec::new();
+        for (i, &(dur, mj, bytes, flags)) in raw.iter().enumerate() {
+            let rep = synth_report(dur, mj, bytes, flags % 2 == 0);
+            agg.push_session(&rep);
+            if retain.is_exact() {
+                reports.push((i as u32, rep));
+            }
+        }
+        let ck = CampaignCheckpoint {
+            fingerprint,
+            merged_blocks: merged,
+            total_blocks: merged + 1,
+            agg,
+            reports,
+        };
+        let bytes = ck.encode();
+        let back = CampaignCheckpoint::decode(&bytes).expect("round trip");
+        prop_assert_eq!(&back, &ck);
+        // and the re-encoding is byte-identical (deterministic format)
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Any single-bit corruption anywhere in the file is detected — the
+    /// decoder errors out rather than returning a different checkpoint.
+    #[test]
+    fn checkpoint_detects_single_bit_corruption(
+        raw in prop::collection::vec((0.01f64..5e4, 0.1f64..1e6, 1u64..1_000_000, 0u8..4), 1..20),
+        flip_ppm in 0u32..1_000_000,
+    ) {
+        let mut agg = NodeAggregate::new(RetainMode::Exact, None);
+        let mut reports = Vec::new();
+        for (i, &(dur, mj, bytes, flags)) in raw.iter().enumerate() {
+            let rep = synth_report(dur, mj, bytes, flags % 2 == 0);
+            agg.push_session(&rep);
+            reports.push((i as u32, rep));
+        }
+        let ck = CampaignCheckpoint {
+            fingerprint: 7,
+            merged_blocks: 1,
+            total_blocks: 2,
+            agg,
+            reports,
+        };
+        let mut bytes = ck.encode();
+        let bit = (flip_ppm as usize * bytes.len() * 8) / 1_000_000;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match CampaignCheckpoint::decode(&bytes) {
+            Ok(back) => prop_assert!(
+                back == ck,
+                "corruption at bit {bit} silently changed the checkpoint"
+            ),
+            Err(CheckpointError::Corrupt(_)) | Err(CheckpointError::Mismatch(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// The trailing checksum is a pure function of the bytes and
+    /// changes under any flipped word.
+    #[test]
+    fn checkpoint_checksum_is_sensitive(data in prop::collection::vec(any::<u8>(), 1..256), at_ppm in 0u32..1_000_000) {
+        let h = checksum(&data);
+        prop_assert_eq!(h, checksum(&data));
+        let mut other = data.clone();
+        let at = (at_ppm as usize * data.len()) / 1_000_000;
+        other[at] ^= 0x01;
+        prop_assert_ne!(h, checksum(&other));
+    }
+}

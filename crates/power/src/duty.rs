@@ -93,6 +93,62 @@ pub fn best_average_power_mw(sleep_mw: f64) -> f64 {
     sleep_mw
 }
 
+/// Battery-life projection for a node that repeats a session costing
+/// `energy_mj` over `duration_s` every `period_s` seconds, idling at the
+/// `sleep_mw` floor in between. The single source of the campaign
+/// lifetime math: both the exact per-node ECDF and the streaming
+/// sketch aggregate call this, so the two retention modes cannot
+/// drift apart.
+///
+/// A session longer than its period saturates to continuously active
+/// (back-to-back updates); the backbone-radio wake itself is free —
+/// waking the OTA listener needs no FPGA boot (paper §3.4 turns the
+/// FPGA *off* in update mode). Returns years, or `None` for a
+/// zero-duration session or a zero-draw pattern (infinite life is
+/// absence, not `inf`).
+///
+/// # Panics
+/// Panics on a non-positive/non-finite `period_s` or a negative/
+/// non-finite `sleep_mw` — garbage inputs must not be silently
+/// projected as always-on.
+pub fn projected_life_years(
+    energy_mj: f64,
+    duration_s: f64,
+    period_s: f64,
+    sleep_mw: f64,
+    battery: &Battery,
+) -> Option<f64> {
+    assert!(
+        period_s > 0.0 && period_s.is_finite(),
+        "update period must be positive"
+    );
+    assert!(
+        sleep_mw >= 0.0 && sleep_mw.is_finite(),
+        "sleep floor must be >= 0"
+    );
+    if duration_s <= 0.0 {
+        return None;
+    }
+    let active_mw = energy_mj / duration_s;
+    // a session longer than its period saturates to always-on; with
+    // the inputs validated above that is the only way the duty-cycle
+    // average can be absent
+    let avg = if duration_s > period_s {
+        active_mw
+    } else {
+        DutyCycle {
+            period_s,
+            active_s: duration_s,
+            active_mw,
+            sleep_mw,
+            wakeup_mj: 0.0,
+        }
+        .average_power_mw()
+        .expect("validated pattern")
+    };
+    battery.lifetime_years(avg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +242,28 @@ mod tests {
         assert_eq!(d.sleep_power_parity_mw(), None);
         // but its average is well-defined: it simply never sleeps
         assert!((d.average_power_mw().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projected_life_matches_duty_cycle_math() {
+        let b = Battery::lipo_1000mah();
+        // 2000 mJ over 40 s, daily, at the 30 µW floor
+        let years = projected_life_years(2000.0, 40.0, 86_400.0, 0.030, &b).unwrap();
+        let by_hand = DutyCycle {
+            period_s: 86_400.0,
+            active_s: 40.0,
+            active_mw: 2000.0 / 40.0,
+            sleep_mw: 0.030,
+            wakeup_mj: 0.0,
+        }
+        .battery_life_years(&b)
+        .unwrap();
+        assert_eq!(years, by_hand, "helper must be bit-identical to DutyCycle");
+        // session longer than period → continuously active
+        let frantic = projected_life_years(2000.0, 40.0, 1.0, 0.030, &b).unwrap();
+        assert!(frantic < 0.01, "back-to-back updates live days: {frantic}");
+        // zero-duration sessions project as absence
+        assert_eq!(projected_life_years(0.0, 0.0, 60.0, 0.030, &b), None);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use tinysdr::ota::aggregate::RetainMode;
 use tinysdr::ota::blocks::BlockedUpdate;
 use tinysdr::ota::image::FirmwareImage;
 use tinysdr::platform::testbed::{BroadcastCampaignConfig, CampaignConfig, Testbed};
@@ -76,7 +77,7 @@ fn main() {
         t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
     );
 
-    let mut ecdf = par.time_ecdf().clone();
+    let ecdf = par.time_ecdf().expect("exact retention");
     println!(
         "\ncompleted {}/{} nodes | programming time p50 {:.1} min, p90 {:.1} min, p99 {:.1} min",
         par.completed(),
@@ -88,6 +89,19 @@ fn main() {
     println!(
         "unicast air time (one AP, back-to-back): {:.0} s total",
         par.total_air_time_s()
+    );
+
+    // --- streaming retention: same campaign, bounded report memory ---
+    let sk = tb.run_campaign(
+        &update,
+        &CampaignConfig::sharded(7, shards).with_retain(RetainMode::sketch()),
+    );
+    println!(
+        "\nstreaming retention: report {} KB vs exact {} KB; sketch p90 {:.1} min (exact {:.1})",
+        sk.memory_bytes() / 1024,
+        par.memory_bytes() / 1024,
+        sk.time_dist().quantile(0.90).expect("completed sessions"),
+        ecdf.quantile(0.90).expect("completed sessions"),
     );
 
     // --- strategy 2: broadcast + targeted unicast repair (§7) ---

@@ -22,15 +22,15 @@ fn sharded_campaign_contract_holds_through_the_public_api() {
         );
         // merged shard ECDFs carry the same distribution (same sorted
         // samples, hence same quantiles)
-        let mut a = seq.time_ecdf().clone();
-        let mut b = par.time_ecdf().clone();
+        let a = seq.time_ecdf().expect("exact mode");
+        let b = par.time_ecdf().expect("exact mode");
         assert_eq!(a.curve(), b.curve());
         assert_eq!(a.quantile(0.9), b.quantile(0.9));
         // the contract covers the energy axis too: ECDF, merged ledger
         // and per-tag totals, bit for bit
         assert_eq!(
-            seq.energy_ecdf().clone().curve(),
-            par.energy_ecdf().clone().curve()
+            seq.energy_ecdf().expect("exact mode").curve(),
+            par.energy_ecdf().expect("exact mode").curve()
         );
         assert_eq!(seq.ledger(), par.ledger());
         assert_eq!(seq.energy_by_tag(), par.energy_by_tag());
@@ -44,14 +44,14 @@ fn campaign_energy_and_battery_projection_through_the_public_api() {
     let tb = Testbed::with_nodes(30, 9);
     let upd = BlockedUpdate::build(&FirmwareImage::mcu("fleet", 6_000, 1));
     let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(33));
-    let mut e = rep.energy_ecdf().clone();
+    let e = rep.energy_ecdf().expect("exact mode");
     assert_eq!(e.len(), 30);
     assert!(e.min().unwrap() > 0.0, "every node spent energy");
     // ledger total equals the per-node sum (up to float association)
     let total = rep.total_energy_mj();
     assert!((rep.ledger().total_mj() - total).abs() < 1e-6 * total);
     // weekly updates on the 30 µW floor: multi-year life for the fleet
-    let mut life =
+    let life =
         rep.battery_life_years_ecdf(&Battery::lipo_1000mah(), 7.0 * 86_400.0, deep_sleep_mw());
     assert_eq!(life.len(), 30);
     assert!(
