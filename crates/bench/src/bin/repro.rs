@@ -8,6 +8,7 @@
 //! repro waterfall           # PHY conformance waterfalls (not in `all`)
 //! repro energy              # power-state/energy axis (not in `all`)
 //! repro campaign            # million-node campaign scaling (not in `all`)
+//! repro perf                # hot-path perf gates + trajectories (not in `all`)
 //! repro --quick all         # reduced trial counts for smoke runs
 //! ```
 //!
@@ -24,7 +25,14 @@
 //! (work-stealing == sequential, kill/resume == uninterrupted, both
 //! asserted), the flat-report-memory check, and the
 //! `BENCH_campaign.json` trajectory point (`--quick`: 20k nodes — the
-//! third CI smoke step; full: 1M nodes).
+//! third CI smoke step; full: 1M nodes). `perf` runs the hot-path
+//! bit-identity gates (buffered == allocating, batch == scalar,
+//! prepared-pass replay == `apply`), times the modem workloads and the
+//! quick waterfall grid, and writes the `BENCH_modem.json` /
+//! `BENCH_waterfall.json` trajectory points next to the recorded
+//! pre-refactor reference (`--quick`: CI-sized reps, no wall-clock
+//! gate — the fourth CI smoke step; full: enforces the 1.5x speedup
+//! floor on the recording machine).
 
 use tinysdr_bench::phy_experiments as phy;
 use tinysdr_bench::system_experiments as sys;
@@ -57,7 +65,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign> ...");
+        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign|perf> ...");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -214,6 +222,14 @@ fn main() {
         // nodes (CI smoke); full: the ROADMAP's million-node fleet.
         let nodes = if quick { 20_000 } else { 1_000_000 };
         tinysdr_bench::campaign::campaign(nodes, 42, quick);
+    }
+    if wanted.contains(&"perf") {
+        // hot-path bit-identity gates (asserted) + timed modem and
+        // quick-grid waterfall runs; writes the BENCH_modem.json and
+        // BENCH_waterfall.json trajectory points uploaded by the CI
+        // perf-smoke job. The wall-clock speedup floor is enforced only
+        // in the full run (CI runners are not the recording machine).
+        tinysdr_bench::perf::perf(quick);
     }
     if wanted.contains(&"energy") {
         // full: the ROADMAP-scale duty-cycled fleet; quick: 64 nodes +

@@ -41,7 +41,7 @@ use tinysdr_dsp::complex::Complex;
 use tinysdr_dsp::stats::threshold_crossing;
 use tinysdr_lora::modem::{LoraPerPhy, LoraSerPhy};
 use tinysdr_ota::seed::stream_seed;
-use tinysdr_rf::impairments::ImpairmentChain;
+use tinysdr_rf::impairments::{ChainScratch, ImpairmentChain, PreparedPass};
 use tinysdr_rf::phy::{ErrorCount, PhyModem, PhyRegistry};
 use tinysdr_zigbee::modem::ZigbeePhy;
 
@@ -541,53 +541,95 @@ impl Ctx {
     }
 }
 
-/// One grid point's work order.
+/// One curve's work order: every RSSI point of one
+/// `scenario × impairment` pair, measured together so each pass's
+/// RSSI-independent channel state is prepared once and replayed across
+/// the whole RSSI axis.
 #[derive(Debug, Clone, Copy)]
-struct Job {
+struct CurveJob {
     s_idx: usize,
     i_idx: usize,
-    rssi_dbm: f64,
 }
 
-fn run_point(cfg: &WaterfallConfig, ctxs: &[Ctx], job: &Job) -> SweepPoint {
+/// Per-worker scratch arena: one set per thread (or one total in the
+/// sequential run), reused across every curve the worker measures.
+/// Buffer reuse here is purely a performance seam — every path through
+/// it is bit-identical to the allocating reference, which
+/// `engine_is_bit_identical_to_naive_reference` asserts.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    chain: ChainScratch,
+    prep: PreparedPass,
+    rx: Vec<Vec<Complex>>,
+}
+
+/// Measure one curve, appending its points to `out` in ascending-RSSI
+/// order.
+///
+/// The hot-path structure (the tentpole of the perf work, see
+/// `BENCH_waterfall.json`): per pass, [`ImpairmentChain::prepare_pass_into`]
+/// runs the RSSI-independent stages — timing/drift interpolation, IQ
+/// imbalance, CFO, phase noise, the fading draws and the full AWGN
+/// vector — **once**, and every RSSI point replays it with
+/// [`ImpairmentChain::apply_prepared_into`] (scale, fade, add noise,
+/// quantize). Receive goes through [`PhyModem::demodulate_batch`], so a
+/// modem's demod scratch is shared across the curve's captures. Error
+/// counts accumulate per point over passes in exact integer arithmetic,
+/// so the pass-major loop order leaves the totals bit-identical to the
+/// point-major reference.
+fn run_curve(
+    cfg: &WaterfallConfig,
+    ctxs: &[Ctx],
+    job: &CurveJob,
+    ws: &mut WorkerScratch,
+    out: &mut Vec<SweepPoint>,
+) {
     let sc = &cfg.scenarios[job.s_idx];
     let phy = sc.phy.as_ref();
     let named = &cfg.impairments[job.i_idx];
     let chain = named.chain.clone().with_noise_figure(phy.noise_figure_db());
     let fs = phy.sample_rate_hz();
     let ctx = &ctxs[job.s_idx];
+    let rssis = sc.rssi.points();
     // common random numbers: the channel seed deliberately excludes
     // RSSI, so every point of a curve reuses the same channel draws
     // (and all curves of a scenario share one TX waveform, see Ctx) —
     // the waterfall is monotone at modest trial counts
     let curve_seed = curve_seed(cfg.seed, job.s_idx, job.i_idx);
-    let mut count = ErrorCount::ZERO;
+    let mut counts = vec![ErrorCount::ZERO; rssis.len()];
+    ws.rx.resize_with(rssis.len(), Vec::new);
     for k in 0..sc.passes {
-        let rx = chain.apply(
-            &ctx.tx,
-            job.rssi_dbm,
-            fs,
-            stream_seed(curve_seed, TAG_CHAIN ^ ((k as u64) << 20)),
-        );
-        count += phy.count_errors(&ctx.frame, &phy.demodulate(&rx));
+        let pass_seed = stream_seed(curve_seed, TAG_CHAIN ^ ((k as u64) << 20));
+        chain.prepare_pass_into(&ctx.tx, fs, pass_seed, &mut ws.prep, &mut ws.chain);
+        for (rx, &rssi_dbm) in ws.rx.iter_mut().zip(&rssis) {
+            chain.apply_prepared_into(&ws.prep, rssi_dbm, rx);
+        }
+        let captures: Vec<&[Complex]> = ws.rx.iter().map(|r| r.as_slice()).collect();
+        for (count, res) in counts.iter_mut().zip(phy.demodulate_batch(&captures)) {
+            *count += phy.count_errors(&ctx.frame, &res);
+        }
     }
-    SweepPoint {
-        scenario: phy.label(),
-        impairment: named.label.clone(),
-        rssi_dbm: job.rssi_dbm,
-        errors: count.errors,
-        trials: count.trials,
+    for (&rssi_dbm, count) in rssis.iter().zip(&counts) {
+        out.push(SweepPoint {
+            scenario: phy.label(),
+            impairment: named.label.clone(),
+            rssi_dbm,
+            errors: count.errors,
+            trials: count.trials,
+        });
     }
 }
 
 /// Run a conformance sweep.
 ///
 /// With `cfg.shards == 1` the grid is measured sequentially; with more,
-/// the job list is split into contiguous chunks across crossbeam scoped
-/// threads. Either way the result is **bit-identical** for the same
-/// config and seed — every point's randomness is derived from content,
-/// not from execution order (asserted by `tests/waterfall.rs` and the
-/// CI smoke step).
+/// the curve-job list (one job per `scenario × impairment` curve) is
+/// split into contiguous chunks across crossbeam scoped threads, each
+/// worker holding one `WorkerScratch` arena for its whole batch.
+/// Either way the result is **bit-identical** for the same config and
+/// seed — every point's randomness is derived from content, not from
+/// execution order (asserted by `tests/waterfall.rs` and the CI smoke
+/// step).
 ///
 /// # Panics
 /// Propagates a panic from any sweep shard: a dead shard must abort
@@ -596,51 +638,47 @@ pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
     let ctxs: Vec<Ctx> = (0..cfg.scenarios.len())
         .map(|s_idx| Ctx::build(cfg, s_idx))
         .collect();
-    let mut jobs: Vec<Job> = Vec::new();
-    for (s_idx, scenario) in cfg.scenarios.iter().enumerate() {
+    let mut jobs: Vec<CurveJob> = Vec::new();
+    for s_idx in 0..cfg.scenarios.len() {
         for i_idx in 0..cfg.impairments.len() {
-            for rssi_dbm in scenario.rssi.points() {
-                jobs.push(Job {
-                    s_idx,
-                    i_idx,
-                    rssi_dbm,
-                });
-            }
+            jobs.push(CurveJob { s_idx, i_idx });
         }
     }
 
     let points: Vec<SweepPoint> = if cfg.shards <= 1 {
-        jobs.iter().map(|j| run_point(cfg, &ctxs, j)).collect()
+        let mut ws = WorkerScratch::default();
+        let mut acc = Vec::new();
+        for j in &jobs {
+            run_curve(cfg, &ctxs, j, &mut ws, &mut acc);
+        }
+        acc
     } else {
         let chunk = jobs.len().div_ceil(cfg.shards).max(1);
-        let batches: Vec<(usize, &[Job])> = jobs
-            .chunks(chunk)
-            .enumerate()
-            .map(|(i, c)| (i * chunk, c))
-            .collect();
-        let mut indexed: Vec<(usize, SweepPoint)> = thread::scope(|s| {
-            let handles: Vec<_> = batches
-                .into_iter()
-                .map(|(offset, batch)| {
+        thread::scope(|s| {
+            // jobs are chunked contiguously and handles joined in spawn
+            // order, so concatenation preserves the (scenario,
+            // impairment, ascending RSSI) grid order exactly
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|batch| {
                     let ctxs = &ctxs;
                     s.spawn(move |_| {
-                        batch
-                            .iter()
-                            .enumerate()
-                            .map(|(i, j)| (offset + i, run_point(cfg, ctxs, j)))
-                            .collect::<Vec<_>>()
+                        let mut ws = WorkerScratch::default();
+                        let mut acc = Vec::new();
+                        for j in batch {
+                            run_curve(cfg, ctxs, j, &mut ws, &mut acc);
+                        }
+                        acc
                     })
                 })
                 .collect();
-            let mut acc = Vec::with_capacity(jobs.len());
+            let mut acc = Vec::new();
             for h in handles {
                 acc.extend(h.join().expect("waterfall shard panicked"));
             }
             acc
         })
-        .expect("scope");
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, p)| p).collect()
+        .expect("scope")
     };
     WaterfallReport { points }
 }
@@ -659,6 +697,65 @@ mod tests {
             NamedImpairment::new("cfo30", ImpairmentChain::new(0.0).with_cfo_hz(30.0)),
         ];
         cfg
+    }
+
+    /// The allocating point-major reference the curve-major engine
+    /// replaced: fresh `apply` + `demodulate` per (point, pass). The
+    /// engine must reproduce it bit for bit.
+    fn naive_reference(cfg: &WaterfallConfig) -> WaterfallReport {
+        let ctxs: Vec<Ctx> = (0..cfg.scenarios.len())
+            .map(|s_idx| Ctx::build(cfg, s_idx))
+            .collect();
+        let mut points = Vec::new();
+        for (s_idx, sc) in cfg.scenarios.iter().enumerate() {
+            let phy = sc.phy.as_ref();
+            let fs = phy.sample_rate_hz();
+            for (i_idx, named) in cfg.impairments.iter().enumerate() {
+                let chain = named.chain.clone().with_noise_figure(phy.noise_figure_db());
+                let curve_seed = curve_seed(cfg.seed, s_idx, i_idx);
+                for rssi_dbm in sc.rssi.points() {
+                    let mut count = ErrorCount::ZERO;
+                    for k in 0..sc.passes {
+                        let rx = chain.apply(
+                            &ctxs[s_idx].tx,
+                            rssi_dbm,
+                            fs,
+                            stream_seed(curve_seed, TAG_CHAIN ^ ((k as u64) << 20)),
+                        );
+                        count += phy.count_errors(&ctxs[s_idx].frame, &phy.demodulate(&rx));
+                    }
+                    points.push(SweepPoint {
+                        scenario: phy.label(),
+                        impairment: named.label.clone(),
+                        rssi_dbm,
+                        errors: count.errors,
+                        trials: count.trials,
+                    });
+                }
+            }
+        }
+        WaterfallReport { points }
+    }
+
+    #[test]
+    fn engine_is_bit_identical_to_naive_reference() {
+        // stream scenario (single pass, batch demod) …
+        let mut cfg = tiny();
+        assert_eq!(run_waterfall(&cfg), naive_reference(&cfg));
+        // … and a multi-pass packet scenario (pass-major accumulation),
+        // under an impairment that exercises fading + prepared noise
+        cfg.scenarios =
+            vec![Scenario::lora_per(7, 125e3, 2, 3).with_rssi(RssiGrid::new(-126, -118, 8))];
+        cfg.impairments = vec![
+            NamedImpairment::new("cfo30", ImpairmentChain::new(0.0).with_cfo_hz(30.0)),
+            NamedImpairment::new(
+                "rayleigh1k",
+                ImpairmentChain::new(0.0)
+                    .with_block_fading(1024)
+                    .with_adc_quantization(12),
+            ),
+        ];
+        assert_eq!(run_waterfall(&cfg), naive_reference(&cfg));
     }
 
     #[test]

@@ -141,13 +141,29 @@ impl ChirpGenerator {
     /// SFD always uses symbol 0; a shifted downchirp is still generated
     /// faithfully if requested.
     pub fn chirp(&self, symbol: u32, dir: ChirpDirection) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(self.cfg.samples_per_symbol());
+        self.chirp_into(symbol, dir, &mut out);
+        out
+    }
+
+    /// [`ChirpGenerator::chirp`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free path the batched modulator drives
+    /// once per symbol. Bit-identical to the allocating version.
+    pub fn chirp_into(&self, symbol: u32, dir: ChirpDirection, out: &mut Vec<Complex>) {
+        out.clear();
+        self.append_chirp(symbol, dir, out);
+    }
+
+    /// Append the chirp carrying `symbol` to `out` without clearing it —
+    /// the building block for whole-frame modulation into one buffer.
+    pub fn append_chirp(&self, symbol: u32, dir: ChirpDirection, out: &mut Vec<Complex>) {
         assert!(
             (symbol as usize) < self.cfg.n_chips(),
             "symbol {symbol} out of range for SF{}",
             self.cfg.sf
         );
         let ns = self.cfg.samples_per_symbol();
-        let mut out = Vec::with_capacity(ns);
+        out.reserve(ns);
 
         // initial frequency in Q32 cycles/sample
         let half_bw = self.bw_step / 2;
@@ -169,7 +185,6 @@ impl ChirpGenerator {
                 step += self.bw_step;
             }
         }
-        out
     }
 
     /// Convenience: upchirp carrying `symbol`.
@@ -197,6 +212,18 @@ impl ChirpGenerator {
         let n = full.len() * num / den;
         full[..n].to_vec()
     }
+}
+
+/// Dechirp a symbol window against a reference: element-wise
+/// `window[i] · reference[i]` into a caller-owned buffer (cleared
+/// first). This is the paper's "Complex Multiplier unit" (Fig. 6b)
+/// as an allocation-free kernel: the demodulator reuses one scratch
+/// buffer per symbol instead of collecting a fresh `Vec` each time.
+/// Bit-identical to [`crate::complex::elementwise_mul`] on equal-length
+/// inputs; trailing reference samples beyond the window are ignored.
+pub fn dechirp_into(window: &[Complex], reference: &[Complex], out: &mut Vec<Complex>) {
+    out.clear();
+    out.extend(window.iter().zip(reference).map(|(&a, &b)| a * b));
 }
 
 /// Double-precision reference chirp (no quantization), for tests and the
@@ -325,6 +352,39 @@ mod tests {
     }
 
     #[test]
+    fn chirp_into_matches_chirp_bitwise() {
+        let cfg = ChirpConfig::new(8, 125e3, 2);
+        let gen = ChirpGenerator::new(cfg);
+        let mut buf = Vec::new();
+        for (s, dir) in [
+            (0u32, ChirpDirection::Up),
+            (100, ChirpDirection::Up),
+            (255, ChirpDirection::Down),
+        ] {
+            gen.chirp_into(s, dir, &mut buf);
+            assert_eq!(buf, gen.chirp(s, dir), "symbol {s}");
+        }
+        // append composes whole frames identically to concatenation
+        let mut frame = Vec::new();
+        gen.append_chirp(3, ChirpDirection::Up, &mut frame);
+        gen.append_chirp(7, ChirpDirection::Up, &mut frame);
+        let mut want = gen.upchirp(3);
+        want.extend(gen.upchirp(7));
+        assert_eq!(frame, want);
+    }
+
+    #[test]
+    fn dechirp_into_matches_elementwise_mul() {
+        let cfg = ChirpConfig::new(7, 125e3, 1);
+        let gen = ChirpGenerator::new(cfg);
+        let sig = gen.upchirp(42);
+        let dref = gen.dechirp_reference();
+        let mut out = Vec::new();
+        dechirp_into(&sig, &dref, &mut out);
+        assert_eq!(out, crate::complex::elementwise_mul(&sig, &dref));
+    }
+
+    #[test]
     fn fractional_sfd_length() {
         let cfg = ChirpConfig::new(9, 125e3, 1);
         let gen = ChirpGenerator::new(cfg);
@@ -378,7 +438,7 @@ mod tests {
         let prod: Vec<Complex> = sig.iter().zip(&dref).map(|(&a, &b)| a * b).collect();
         let spec = fft(&prod);
         let total: f64 = spec.iter().map(|z| z.norm_sqr()).sum();
-        let (_, peak) = peak_bin(&spec);
+        let (_, peak) = peak_bin(&spec).unwrap();
         let frac = peak * peak / total;
         assert!(
             frac < 0.05,

@@ -48,10 +48,106 @@ pub fn fractional_delay_kernel(mu: f64, taps: usize) -> Vec<f64> {
     h
 }
 
+/// Reusable scratch state for the timing impairments: the Hamming window
+/// for the current kernel length plus the per-call interpolation kernel.
+///
+/// Holding one `DelayScratch` per worker lets [`fractional_delay_into`]
+/// and [`resample_drift_into`] run with zero steady-state allocation.
+/// The cached window is identical to the one the allocating paths build
+/// per call, so buffer reuse cannot change a single bit of the output.
+#[derive(Debug, Clone, Default)]
+pub struct DelayScratch {
+    taps: usize,
+    window: Vec<f64>,
+    kernel: Vec<f64>,
+}
+
+impl DelayScratch {
+    /// Fresh scratch; buffers fill lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Hamming window for `taps`, rebuilt only when the length changes.
+    fn window_for(&mut self, taps: usize) -> &[f64] {
+        if self.taps != taps || self.window.is_empty() {
+            self.window = Window::Hamming.coefficients(taps);
+            self.taps = taps;
+        }
+        &self.window
+    }
+}
+
 /// Delay a buffer by a (possibly fractional) number of samples using the
 /// default [`DEFAULT_TAPS`]-tap kernel. See [`fractional_delay_with`].
 pub fn fractional_delay(x: &[Complex], delay: f64) -> Vec<Complex> {
     fractional_delay_with(x, delay, DEFAULT_TAPS)
+}
+
+/// [`fractional_delay`] into a caller-owned output buffer, reusing
+/// `scratch` for the window and kernel. Bit-identical to the allocating
+/// path (same kernel, same accumulation order); zero steady-state
+/// allocation once the buffers have capacity.
+///
+/// # Panics
+/// Panics on negative `delay`.
+pub fn fractional_delay_into(
+    x: &[Complex],
+    delay: f64,
+    scratch: &mut DelayScratch,
+    out: &mut Vec<Complex>,
+) {
+    fractional_delay_core(x, delay, DEFAULT_TAPS, scratch, out);
+}
+
+fn fractional_delay_core(
+    x: &[Complex],
+    delay: f64,
+    taps: usize,
+    scratch: &mut DelayScratch,
+    out: &mut Vec<Complex>,
+) {
+    assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+    out.clear();
+    let di = delay.floor() as usize;
+    let mu = delay - di as f64;
+    if mu == 0.0 {
+        // pure integer shift: no interpolation error at all
+        out.resize(di, Complex::ZERO);
+        out.extend_from_slice(x);
+        return;
+    }
+    assert!(taps % 2 == 1, "kernel length must be odd, got {taps}");
+    // same construction as `fractional_delay_kernel`, into reused storage
+    scratch.window_for(taps);
+    let DelayScratch { window, kernel, .. } = scratch;
+    kernel.clear();
+    let half_f = (taps / 2) as f64;
+    kernel.extend(
+        window
+            .iter()
+            .enumerate()
+            .map(|(k, &wk)| sinc(k as f64 - half_f + mu) * wk),
+    );
+    let sum: f64 = kernel.iter().sum();
+    for t in kernel.iter_mut() {
+        *t /= sum;
+    }
+    let half = (taps / 2) as i64;
+    let out_len = x.len() + di + 1;
+    out.reserve(out_len);
+    for n in 0..out_len {
+        // y[n] = x(n − di − mu), interpolated from taps centered on n − di
+        let base = n as i64 - di as i64;
+        let mut acc = Complex::ZERO;
+        for (k, &h) in kernel.iter().enumerate() {
+            let m = base - half + k as i64;
+            if m >= 0 && (m as usize) < x.len() {
+                acc += x[m as usize].scale(h);
+            }
+        }
+        out.push(acc);
+    }
 }
 
 /// Delay a buffer by `delay ≥ 0` samples: the output approximates
@@ -66,31 +162,9 @@ pub fn fractional_delay(x: &[Complex], delay: f64) -> Vec<Complex> {
 /// # Panics
 /// Panics on negative `delay` or an even/zero `taps`.
 pub fn fractional_delay_with(x: &[Complex], delay: f64, taps: usize) -> Vec<Complex> {
-    assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
-    let di = delay.floor() as usize;
-    let mu = delay - di as f64;
-    if mu == 0.0 {
-        // pure integer shift: no interpolation error at all
-        let mut out = vec![Complex::ZERO; di];
-        out.extend_from_slice(x);
-        return out;
-    }
-    let kern = fractional_delay_kernel(mu, taps);
-    let half = (taps / 2) as i64;
-    let out_len = x.len() + di + 1;
-    let mut out = Vec::with_capacity(out_len);
-    for n in 0..out_len {
-        // y[n] = x(n − di − mu), interpolated from taps centered on n − di
-        let base = n as i64 - di as i64;
-        let mut acc = Complex::ZERO;
-        for (k, &h) in kern.iter().enumerate() {
-            let m = base - half + k as i64;
-            if m >= 0 && (m as usize) < x.len() {
-                acc += x[m as usize].scale(h);
-            }
-        }
-        out.push(acc);
-    }
+    let mut scratch = DelayScratch::new();
+    let mut out = Vec::new();
+    fractional_delay_core(x, delay, taps, &mut scratch, &mut out);
     out
 }
 
@@ -112,19 +186,46 @@ pub fn resample_drift(x: &[Complex], ppm: f64) -> Vec<Complex> {
 /// Panics if `taps` is even or zero, or the drift is so large the
 /// resampling ratio is non-positive (|ppm| must stay below 1e6).
 pub fn resample_drift_with(x: &[Complex], ppm: f64, taps: usize) -> Vec<Complex> {
+    let mut scratch = DelayScratch::new();
+    let mut out = Vec::new();
+    resample_drift_core(x, ppm, taps, &mut scratch, &mut out);
+    out
+}
+
+/// [`resample_drift`] into a caller-owned output buffer, reusing
+/// `scratch` for the window. Bit-identical to the allocating path; zero
+/// steady-state allocation once the buffers have capacity.
+pub fn resample_drift_into(
+    x: &[Complex],
+    ppm: f64,
+    scratch: &mut DelayScratch,
+    out: &mut Vec<Complex>,
+) {
+    resample_drift_core(x, ppm, DEFAULT_TAPS, scratch, out);
+}
+
+fn resample_drift_core(
+    x: &[Complex],
+    ppm: f64,
+    taps: usize,
+    scratch: &mut DelayScratch,
+    out: &mut Vec<Complex>,
+) {
     assert!(taps % 2 == 1, "kernel length must be odd, got {taps}");
     let ratio = 1.0 + ppm * 1e-6;
     assert!(ratio > 0.0, "drift ratio must stay positive, got {ratio}");
+    out.clear();
     if ppm == 0.0 || x.is_empty() {
-        return x.to_vec();
+        out.extend_from_slice(x);
+        return;
     }
     let half = (taps / 2) as i64;
-    let w = Window::Hamming.coefficients(taps);
+    let w = scratch.window_for(taps);
     // cover the input's full time span [0, len): a fast clock (ratio > 1)
     // must not drop the tail fraction of a sample, or every fixed-grid
     // measurement loses its final symbol window to truncation
     let out_len = (x.len() as f64 / ratio).ceil() as usize;
-    let mut out = Vec::with_capacity(out_len);
+    out.reserve(out_len);
     for m in 0..out_len {
         let t = m as f64 * ratio;
         let base = t.floor() as i64;
@@ -144,7 +245,6 @@ pub fn resample_drift_with(x: &[Complex], ppm: f64, taps: usize) -> Vec<Complex>
         }
         out.push(acc.scale(1.0 / norm));
     }
-    out
 }
 
 #[cfg(test)]
@@ -257,6 +357,21 @@ mod tests {
         let fast = resample_drift(&x, 5_000.0);
         assert!(slow.len() > x.len(), "slow clock reads more samples");
         assert!(fast.len() < x.len(), "fast clock reads fewer samples");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_bitwise() {
+        let x = ideal_tone(25e3, 1e6, 777);
+        let mut scratch = DelayScratch::new();
+        let mut out = Vec::new();
+        for delay in [0.0, 3.0, 0.25, 7.6] {
+            fractional_delay_into(&x, delay, &mut scratch, &mut out);
+            assert_eq!(out, fractional_delay(&x, delay), "delay {delay}");
+        }
+        for ppm in [0.0, 2.0, -40.0, 5_000.0] {
+            resample_drift_into(&x, ppm, &mut scratch, &mut out);
+            assert_eq!(out, resample_drift(&x, ppm), "ppm {ppm}");
+        }
     }
 
     #[test]

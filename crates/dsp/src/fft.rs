@@ -95,6 +95,26 @@ impl FftPlan {
         buf
     }
 
+    /// Forward transform of `x` into the caller-owned buffer `out`
+    /// (resized to the plan length). Bit-identical to [`FftPlan::forward`]
+    /// on a copy of `x`, with zero allocation once `out` has capacity.
+    pub fn forward_into(&self, x: &[Complex], out: &mut Vec<Complex>) {
+        assert_eq!(x.len(), self.n, "FFT input length mismatch");
+        out.clear();
+        out.extend_from_slice(x);
+        self.forward(out);
+    }
+
+    /// Inverse transform of `x` into the caller-owned buffer `out`
+    /// (resized to the plan length). Bit-identical to [`FftPlan::inverse`]
+    /// on a copy of `x`, with zero allocation once `out` has capacity.
+    pub fn inverse_into(&self, x: &[Complex], out: &mut Vec<Complex>) {
+        assert_eq!(x.len(), self.n, "FFT input length mismatch");
+        out.clear();
+        out.extend_from_slice(x);
+        self.inverse(out);
+    }
+
     fn permute(&self, buf: &mut [Complex]) {
         for i in 0..self.n {
             let j = self.rev[i] as usize;
@@ -141,8 +161,13 @@ pub fn ifft(x: &[Complex]) -> Vec<Complex> {
 /// Index and magnitude of the strongest FFT bin.
 ///
 /// This is the paper's "Symbol Detector \[that\] scans the output of the FFT
-/// for peaks" (Fig. 6b). Returns `(argmax_k |X[k]|, max |X[k]|)`.
-pub fn peak_bin(x: &[Complex]) -> (usize, f64) {
+/// for peaks" (Fig. 6b). Returns `Some((argmax_k |X[k]|, max |X[k]|))`, or
+/// `None` for an empty spectrum (matching the `Ecdf` convention of
+/// returning `None` instead of a silent NaN).
+pub fn peak_bin(x: &[Complex]) -> Option<(usize, f64)> {
+    if x.is_empty() {
+        return None;
+    }
     let mut best = (0usize, f64::MIN);
     for (k, v) in x.iter().enumerate() {
         let m = v.norm_sqr();
@@ -150,7 +175,7 @@ pub fn peak_bin(x: &[Complex]) -> (usize, f64) {
             best = (k, m);
         }
     }
-    (best.0, best.1.sqrt())
+    Some((best.0, best.1.sqrt()))
 }
 
 #[cfg(test)]
@@ -186,7 +211,7 @@ mod tests {
             .map(|i| Complex::from_angle(std::f64::consts::TAU * k0 as f64 * i as f64 / n as f64))
             .collect();
         let spec = fft(&x);
-        let (k, mag) = peak_bin(&spec);
+        let (k, mag) = peak_bin(&spec).unwrap();
         assert_eq!(k, k0);
         assert!((mag - n as f64).abs() < 1e-6);
         // all other bins ~0
@@ -250,6 +275,43 @@ mod tests {
             }
             assert_close(bin, acc, 1e-9);
         }
+    }
+
+    #[test]
+    fn peak_bin_of_empty_is_none() {
+        // regression: used to return (0, sqrt(f64::MIN)) = NaN
+        assert_eq!(peak_bin(&[]), None);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bitwise() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.23).cos()))
+            .collect();
+        let plan = FftPlan::new(n);
+        let mut reference = x.clone();
+        plan.forward(&mut reference);
+        let mut out = Vec::new();
+        plan.forward_into(&x, &mut out);
+        assert_eq!(out, reference);
+        // and reusing the same buffer stays bit-identical
+        plan.forward_into(&x, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn inverse_into_matches_inverse_bitwise() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 1.1).cos(), (i as f64 * 0.4).sin()))
+            .collect();
+        let plan = FftPlan::new(n);
+        let mut reference = x.clone();
+        plan.inverse(&mut reference);
+        let mut out = Vec::new();
+        plan.inverse_into(&x, &mut out);
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -74,7 +74,17 @@ impl Fir {
 
     /// Filter a whole buffer (stateful: continues from previous samples).
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
-        x.iter().map(|&s| self.push(s)).collect()
+        let mut out = Vec::with_capacity(x.len());
+        self.process_into(x, &mut out);
+        out
+    }
+
+    /// [`Fir::process`] into a caller-owned buffer (cleared first) —
+    /// bit-identical, with zero allocation once `out` has capacity.
+    pub fn process_into(&mut self, x: &[Complex], out: &mut Vec<Complex>) {
+        out.clear();
+        out.reserve(x.len());
+        out.extend(x.iter().map(|&s| self.push(s)));
     }
 
     /// Group delay in samples for a linear-phase (symmetric) design.

@@ -67,11 +67,22 @@ impl GaussianFilter {
     /// `bits.len() * sps + taps.len() - 1` minus nothing — i.e. full
     /// convolution, so the caller should trim `delay()` samples of lead-in.
     pub fn shape(&self, bits: &[i8], sps: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.shape_into(bits, sps, &mut out);
+        out
+    }
+
+    /// [`GaussianFilter::shape`] into a caller-owned buffer (cleared and
+    /// zero-filled first). Bit-identical, with zero allocation once
+    /// `out` has capacity — the batched GFSK modulator reuses one
+    /// trajectory buffer across a whole batch of frames.
+    pub fn shape_into(&self, bits: &[i8], sps: usize, out: &mut Vec<f64>) {
         // upsample by zero-order hold to keep pulse energy, then convolve
         // with the Gaussian kernel alone (taps already include the rect).
         let n_in = bits.len() * sps;
         let out_len = n_in + self.taps.len() - 1;
-        let mut out = vec![0.0; out_len];
+        out.clear();
+        out.resize(out_len, 0.0);
         // impulse-train convolution with combined rect⊗gauss taps:
         for (bi, &b) in bits.iter().enumerate() {
             let start = bi * sps;
@@ -83,10 +94,9 @@ impl GaussianFilter {
         // compensate: taps include the rectangle (width sps), so a bit
         // contributes sps impulses worth of energy; the /sps above plus
         // the rect inside taps yields unity plateau for runs.
-        for o in &mut out {
+        for o in out.iter_mut() {
             *o *= sps as f64;
         }
-        out
     }
 
     /// Samples of lead-in before the first bit's pulse center-ish region.

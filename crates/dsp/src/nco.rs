@@ -174,7 +174,7 @@ mod tests {
         let f = 256.0 * fs / n as f64;
         let mut nco = Nco::new(f, fs);
         let x = nco.take(n);
-        let (k, _) = peak_bin(&fft(&x));
+        let (k, _) = peak_bin(&fft(&x)).unwrap();
         assert_eq!(k, 256);
     }
 
@@ -185,7 +185,7 @@ mod tests {
         let f = -100.0 * fs / n as f64; // bin -100 → 924
         let mut nco = Nco::new(f, fs);
         let x = nco.take(n);
-        let (k, _) = peak_bin(&fft(&x));
+        let (k, _) = peak_bin(&fft(&x)).unwrap();
         assert_eq!(k, n - 100);
     }
 
@@ -198,7 +198,7 @@ mod tests {
         let mut nco = Nco::new(f, fs);
         let x = nco.take(n);
         let spec = fft(&x);
-        let (k0, peak) = peak_bin(&spec);
+        let (k0, peak) = peak_bin(&spec).unwrap();
         assert_eq!(k0, 333);
         let worst_spur = spec
             .iter()

@@ -137,7 +137,7 @@ mod tests {
         let mut u = Upsampler::new(4, 63);
         let y = u.process(&x);
         let spec = fft(&y[..2048.min(y.len())]);
-        let (k, _) = peak_bin(&spec);
+        let (k, _) = peak_bin(&spec).unwrap();
         // at 32 kHz over 2048 points, 1 kHz = bin 64
         assert_eq!(k, 64);
     }
@@ -157,7 +157,7 @@ mod tests {
         let mut d = Decimator::new(4, 63);
         let y = d.process(&x);
         let spec = fft(&y[..1024]);
-        let (k, _) = peak_bin(&spec);
+        let (k, _) = peak_bin(&spec).unwrap();
         // 20 kHz at 125 kHz over 1024 points → bin 163.84 → 164±1
         assert!((k as i64 - 164).abs() <= 1, "bin {k}");
         // power preserved within 1 dB (ignore filter edges)

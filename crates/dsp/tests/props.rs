@@ -54,7 +54,7 @@ proptest! {
         let dref = gen.dechirp_reference();
         let prod: Vec<Complex> = sig.iter().zip(&dref).map(|(&a, &b)| a * b).collect();
         let spec = fft(&prod);
-        let (k, _) = tinysdr_dsp::fft::peak_bin(&spec);
+        let (k, _) = tinysdr_dsp::fft::peak_bin(&spec).unwrap();
         prop_assert_eq!(k as u32, symbol);
     }
 

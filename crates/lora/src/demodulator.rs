@@ -14,10 +14,21 @@
 //! upchirp and downchirp and then compare the amplitudes of their FFT
 //! peaks."
 
-use tinysdr_dsp::chirp::{ChirpConfig, ChirpGenerator};
+use tinysdr_dsp::chirp::{dechirp_into, ChirpConfig, ChirpGenerator};
 use tinysdr_dsp::complex::Complex;
 use tinysdr_dsp::fft::FftPlan;
 use tinysdr_dsp::fir::{demod_frontend, Fir};
+
+/// Reusable working state for one demodulator's `*_with` hot paths:
+/// the front-end FIR (cloned from the demodulator so taps match), the
+/// group-delay-compensated capture, and the dechirp/FFT symbol buffer.
+/// Build with [`Demodulator::scratch`]; hold one per worker thread.
+#[derive(Debug, Clone)]
+pub struct DemodScratch {
+    fir: Fir,
+    filtered: Vec<Complex>,
+    buf: Vec<Complex>,
+}
 
 use crate::packet::FrameParams;
 use crate::phy::{self, CodeParams};
@@ -114,26 +125,55 @@ impl Demodulator {
         &self.cfg
     }
 
+    /// Fresh per-demodulator scratch state for the `*_with` hot paths:
+    /// a private FIR clone plus the filtered-capture and dechirp/FFT
+    /// buffers. One per worker thread; reusable across captures.
+    pub fn scratch(&self) -> DemodScratch {
+        DemodScratch {
+            fir: self.fir.clone(),
+            filtered: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
     /// Run the front-end low-pass filter over a capture with group-delay
     /// compensation: the output is sample-aligned with the input (the
     /// trailing edge is flushed with zeros).
     pub fn filter(&self, x: &[Complex]) -> Vec<Complex> {
         let mut f = self.fir.clone();
+        let mut out = Vec::new();
+        self.filter_core(x, &mut f, &mut out);
+        out
+    }
+
+    /// The filter body, against caller-owned FIR state and output.
+    fn filter_core(&self, x: &[Complex], f: &mut Fir, out: &mut Vec<Complex>) {
         f.reset();
         let delay = f.group_delay() as usize;
-        let mut out = f.process(x);
+        f.process_into(x, out);
         for _ in 0..delay {
             out.push(f.push(Complex::ZERO));
         }
         out.drain(..delay);
-        out
     }
 
     fn detect_with(&self, window: &[Complex], reference: &[Complex]) -> SymbolDetection {
+        let mut buf = Vec::with_capacity(window.len());
+        self.detect_with_buf(window, reference, &mut buf)
+    }
+
+    /// Dechirp → FFT → peak against a caller-owned working buffer.
+    /// Bit-identical to the allocating `detect_with`.
+    fn detect_with_buf(
+        &self,
+        window: &[Complex],
+        reference: &[Complex],
+        buf: &mut Vec<Complex>,
+    ) -> SymbolDetection {
         let ns = self.cfg.samples_per_symbol();
         assert_eq!(window.len(), ns, "window must be one symbol");
-        let mut buf: Vec<Complex> = window.iter().zip(reference).map(|(&a, &b)| a * b).collect();
-        self.plan.forward(&mut buf);
+        dechirp_into(window, reference, buf);
+        self.plan.forward(buf);
         let n = self.cfg.n_chips();
         let osr = self.cfg.osr;
         let mut best = (0u16, f64::MIN);
@@ -191,8 +231,21 @@ impl Demodulator {
     /// past the capture are counted as errors (a truncated capture lost
     /// them; ignoring them would understate the error rate).
     pub fn symbol_errors(&self, rx: &[Complex], sent: &[u16]) -> (u64, u64) {
+        self.symbol_errors_with(rx, sent, &mut self.scratch())
+    }
+
+    /// [`Demodulator::symbol_errors`] against caller-owned scratch —
+    /// the sweep engine's hot path, allocation-free in steady state and
+    /// bit-identical to the allocating route.
+    pub fn symbol_errors_with(
+        &self,
+        rx: &[Complex],
+        sent: &[u16],
+        scratch: &mut DemodScratch,
+    ) -> (u64, u64) {
         let ns = self.cfg.samples_per_symbol();
-        let filtered = self.filter(rx);
+        let DemodScratch { fir, filtered, buf } = scratch;
+        self.filter_core(rx, fir, filtered);
         let mut errors = 0u64;
         for (i, &tx_sym) in sent.iter().enumerate() {
             let start = i * ns;
@@ -200,7 +253,7 @@ impl Demodulator {
                 errors += (sent.len() - i) as u64;
                 break;
             }
-            let det = self.detect_symbol(&filtered[start..start + ns]);
+            let det = self.detect_with_buf(&filtered[start..start + ns], &self.up_ref, buf);
             if det.symbol != tx_sym {
                 errors += 1;
             }
@@ -208,10 +261,33 @@ impl Demodulator {
         (errors, sent.len() as u64)
     }
 
+    /// Detect every aligned symbol window of a capture — front-end
+    /// filter, then dechirp/FFT/peak per `samples_per_symbol` chunk —
+    /// into `units`. This is the stream modem's demodulation pipeline
+    /// against caller-owned scratch: bit-identical to [`Demodulator::filter`]
+    /// followed by per-window [`Demodulator::detect_symbol`], with zero
+    /// steady-state allocation.
+    pub fn detect_aligned_with(
+        &self,
+        rx: &[Complex],
+        scratch: &mut DemodScratch,
+        units: &mut Vec<u16>,
+    ) {
+        let ns = self.cfg.samples_per_symbol();
+        let DemodScratch { fir, filtered, buf } = scratch;
+        self.filter_core(rx, fir, filtered);
+        units.clear();
+        units.extend(
+            filtered
+                .chunks_exact(ns)
+                .map(|w| self.detect_with_buf(w, &self.up_ref, buf).symbol),
+        );
+    }
+
     /// Locate the preamble in `rx` and return `(symbol_grid_start,
     /// preamble_window_index)`: the sample index of a symbol boundary
     /// inside the preamble.
-    fn find_preamble(&self, rx: &[Complex]) -> Option<usize> {
+    fn find_preamble(&self, rx: &[Complex], buf: &mut Vec<Complex>) -> Option<usize> {
         let ns = self.cfg.samples_per_symbol();
         let osr = self.cfg.osr;
         let n = self.cfg.n_chips() as i64;
@@ -221,7 +297,7 @@ impl Demodulator {
         let mut run_start = 0usize;
         let mut k = 0usize;
         while (k + 1) * ns <= rx.len() {
-            let det = self.detect_symbol(&rx[k * ns..(k + 1) * ns]);
+            let det = self.detect_with_buf(&rx[k * ns..(k + 1) * ns], &self.up_ref, buf);
             if det.quality() >= self.preamble_quality {
                 // tolerate ±1 chip jitter between windows (quantized
                 // chirps + filter edges wobble the split-bin estimate)
@@ -243,7 +319,7 @@ impl Demodulator {
                     // equals δ in chips
                     let delta = run_sym as usize * osr;
                     let coarse = run_start * ns + if delta == 0 { 0 } else { ns - delta };
-                    return Some(self.refine_alignment(rx, coarse));
+                    return Some(self.refine_alignment(rx, coarse, buf));
                 }
             } else {
                 run = 0;
@@ -259,7 +335,7 @@ impl Demodulator {
     /// true boundary the preamble lands in bin 0; an offset of a full
     /// chip moves it to bin ±1 and must be rejected, or every payload
     /// symbol would read off by one.
-    fn refine_alignment(&self, rx: &[Complex], coarse: usize) -> usize {
+    fn refine_alignment(&self, rx: &[Complex], coarse: usize, buf: &mut Vec<Complex>) -> usize {
         let ns = self.cfg.samples_per_symbol();
         let span = (self.cfg.osr as i64).max(2);
         let mut best = (coarse, f64::MIN);
@@ -268,7 +344,7 @@ impl Demodulator {
             if pos < 0 || (pos as usize + ns) > rx.len() {
                 continue;
             }
-            let det = self.detect_symbol(&rx[pos as usize..pos as usize + ns]);
+            let det = self.detect_with_buf(&rx[pos as usize..pos as usize + ns], &self.up_ref, buf);
             if det.symbol == 0 && det.magnitude > best.1 {
                 best = (pos as usize, det.magnitude);
             }
@@ -282,12 +358,24 @@ impl Demodulator {
     /// Returns `None` when no frame is found (no preamble, SFD missing,
     /// or the header block is unreadable).
     pub fn demodulate(&self, rx: &[Complex]) -> Option<DemodFrame> {
+        self.demodulate_with(rx, &mut self.scratch())
+    }
+
+    /// [`Demodulator::demodulate`] against caller-owned scratch: the
+    /// batch path reuses the FIR state and the filtered/dechirp buffers
+    /// across captures. Bit-identical to the allocating route.
+    pub fn demodulate_with(
+        &self,
+        rx: &[Complex],
+        scratch: &mut DemodScratch,
+    ) -> Option<DemodFrame> {
         let ns = self.cfg.samples_per_symbol();
-        let mut filtered = self.filter(rx);
+        let DemodScratch { fir, filtered, buf } = scratch;
+        self.filter_core(rx, fir, filtered);
         // one symbol of tail padding so a grid offset can't starve the
         // final symbol window
         filtered.extend(std::iter::repeat_n(Complex::ZERO, ns));
-        let pos = self.find_preamble(&filtered)?;
+        let pos = self.find_preamble(filtered, buf)?;
 
         // Locate the SFD by total evidence rather than a fragile
         // window-by-window walk: the two consecutive downchirp windows
@@ -301,10 +389,11 @@ impl Demodulator {
             if start + 2 * ns > filtered.len() {
                 break;
             }
-            let d0 = self.detect_with(&filtered[start..start + ns], &self.down_ref);
-            let d1 = self.detect_with(&filtered[start + ns..start + 2 * ns], &self.down_ref);
-            let u0 = self.detect_with(&filtered[start..start + ns], &self.up_ref);
-            let u1 = self.detect_with(&filtered[start + ns..start + 2 * ns], &self.up_ref);
+            let d0 = self.detect_with_buf(&filtered[start..start + ns], &self.down_ref, buf);
+            let d1 =
+                self.detect_with_buf(&filtered[start + ns..start + 2 * ns], &self.down_ref, buf);
+            let u0 = self.detect_with_buf(&filtered[start..start + ns], &self.up_ref, buf);
+            let u1 = self.detect_with_buf(&filtered[start + ns..start + 2 * ns], &self.up_ref, buf);
             let score = d0.magnitude + d1.magnitude - u0.magnitude - u1.magnitude;
             if best.map(|(_, s)| score > s).unwrap_or(true) {
                 best = Some((start, score));
@@ -324,7 +413,7 @@ impl Demodulator {
         let mut symbols: Vec<u16> = Vec::new();
         for i in 0..8 {
             let w = &filtered[payload_start + i * ns..payload_start + (i + 1) * ns];
-            symbols.push(self.detect_symbol(w).symbol);
+            symbols.push(self.detect_with_buf(w, &self.up_ref, buf).symbol);
         }
         // decode just the header block to learn the payload length
         let payload_len = header_declared_len(&symbols, self.frame_params.code)?;
@@ -334,7 +423,7 @@ impl Demodulator {
         }
         for i in 8..total_syms {
             let w = &filtered[payload_start + i * ns..payload_start + (i + 1) * ns];
-            symbols.push(self.detect_symbol(w).symbol);
+            symbols.push(self.detect_with_buf(w, &self.up_ref, buf).symbol);
         }
         let dec = phy::decode(&symbols, self.frame_params.code)?;
         Some(DemodFrame {
@@ -481,6 +570,35 @@ mod tests {
 
         assert!(ser_good < 0.05, "SER at -122 dBm: {ser_good}");
         assert!(ser_bad > 0.5, "SER at -135 dBm: {ser_bad}");
+    }
+
+    #[test]
+    fn scratch_paths_are_bit_identical_to_allocating_paths() {
+        let m = Modulator::standard(8, 125e3, 1, 1);
+        let d = Demodulator::standard(8, 125e3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut scratch = d.scratch();
+        // frame path, reusing scratch across noisy captures
+        for trial in 0..3u64 {
+            let mut sig = m.modulate(b"scratch contract");
+            let mut ch = AwgnChannel::new(4.5, 100 + trial);
+            ch.apply(&mut sig, -115.0, 125e3);
+            assert_eq!(d.demodulate_with(&sig, &mut scratch), d.demodulate(&sig));
+        }
+        // aligned-symbol path
+        let syms: Vec<u16> = (0..60).map(|_| rng.gen_range(0..256)).collect();
+        let mut sig = m.modulate_symbols(&syms);
+        let mut ch = AwgnChannel::new(4.5, 9);
+        ch.apply(&mut sig, -130.0, 125e3);
+        assert_eq!(
+            d.symbol_errors_with(&sig, &syms, &mut scratch),
+            d.symbol_errors(&sig, &syms)
+        );
+        // and filter itself
+        let mut s2 = d.scratch();
+        let DemodScratch { fir, filtered, .. } = &mut s2;
+        d.filter_core(&sig, fir, filtered);
+        assert_eq!(*filtered, d.filter(&sig));
     }
 
     #[test]

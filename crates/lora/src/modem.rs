@@ -121,12 +121,9 @@ impl PhyModem for LoraSerPhy {
     }
 
     fn demodulate(&self, iq: &[Complex]) -> DemodResult {
-        let ns = self.demod.config().samples_per_symbol();
-        let filtered = self.demod.filter(iq);
-        let units: Vec<u16> = filtered
-            .chunks_exact(ns)
-            .map(|w| self.demod.detect_symbol(w).symbol)
-            .collect();
+        let mut units = Vec::new();
+        self.demod
+            .detect_aligned_with(iq, &mut self.demod.scratch(), &mut units);
         let bytes = symbols_to_frame(&units, self.sf);
         DemodResult::stream(bytes, units)
     }
@@ -135,6 +132,31 @@ impl PhyModem for LoraSerPhy {
     /// count as errors; surplus detected windows are ignored.
     fn count_errors(&self, tx_frame: &[u8], rx: &DemodResult) -> ErrorCount {
         unit_errors_between(&frame_to_symbols(tx_frame, self.sf), &rx.units)
+    }
+
+    /// Batch override: one chirp-append buffer strategy per frame, no
+    /// intermediate per-symbol vectors. Bit-identical to the default.
+    fn modulate_batch(&self, frames: &[&[u8]], out: &mut Vec<Vec<Complex>>) {
+        out.resize_with(frames.len(), Vec::new);
+        for (frame, wave) in frames.iter().zip(out.iter_mut()) {
+            self.modulator
+                .modulate_symbols_into(&frame_to_symbols(frame, self.sf), wave);
+        }
+    }
+
+    /// Batch override: one FIR + dechirp/FFT scratch shared across the
+    /// whole batch. Bit-identical to looping `demodulate`.
+    fn demodulate_batch(&self, waveforms: &[&[Complex]]) -> Vec<DemodResult> {
+        let mut scratch = self.demod.scratch();
+        waveforms
+            .iter()
+            .map(|iq| {
+                let mut units = Vec::new();
+                self.demod.detect_aligned_with(iq, &mut scratch, &mut units);
+                let bytes = symbols_to_frame(&units, self.sf);
+                DemodResult::stream(bytes, units)
+            })
+            .collect()
     }
 
     fn clone_box(&self) -> Box<dyn PhyModem> {
@@ -289,6 +311,35 @@ impl PhyModem for LoraPerPhy {
         self.lora_params().airtime_s(frame_len)
     }
 
+    /// Batch override: frames modulate straight into the reused output
+    /// buffers via the chirp-append path. Bit-identical to the default.
+    fn modulate_batch(&self, frames: &[&[u8]], out: &mut Vec<Vec<Complex>>) {
+        let (m, _) = self.modem();
+        out.resize_with(frames.len(), Vec::new);
+        for (frame, wave) in frames.iter().zip(out.iter_mut()) {
+            let f = crate::packet::Frame::from_payload(frame, self.frame_params);
+            m.modulate_frame_into(&f, wave);
+        }
+    }
+
+    /// Batch override: one demodulator scratch (FIR state, filtered
+    /// capture, dechirp/FFT buffer) shared across all captures.
+    /// Bit-identical to looping `demodulate`.
+    fn demodulate_batch(&self, waveforms: &[&[Complex]]) -> Vec<DemodResult> {
+        let (_, d) = self.modem();
+        let mut scratch = d.scratch();
+        waveforms
+            .iter()
+            .map(|iq| match d.demodulate_with(iq, &mut scratch) {
+                Some(f) => {
+                    let ok = f.crc_ok && f.header_ok;
+                    DemodResult::framed(f.payload, f.symbols, ok)
+                }
+                None => DemodResult::empty(),
+            })
+            .collect()
+    }
+
     fn clone_box(&self) -> Box<dyn PhyModem> {
         Box::new(self.clone())
     }
@@ -369,6 +420,31 @@ mod tests {
         let phy = LoraPerPhy::new(8, 125e3, 4);
         let rx = phy.demodulate(&vec![Complex::ZERO; 4096]);
         assert_eq!(phy.count_errors(b"x", &rx), ErrorCount::new(1, 1));
+    }
+
+    #[test]
+    fn batch_overrides_are_bit_identical_to_scalar_paths() {
+        let frames: Vec<Vec<u8>> = vec![
+            (0..24).map(|i| (i * 73) as u8).collect(),
+            vec![0x5A; 14],
+            (0..32).map(|i| (i * 7 + 3) as u8).collect(),
+        ];
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let ser = LoraSerPhy::new(8, 125e3);
+        let per = LoraPerPhy::new(8, 125e3, 4);
+        for phy in [&ser as &dyn PhyModem, &per as &dyn PhyModem] {
+            let mut waves = Vec::new();
+            phy.modulate_batch(&refs, &mut waves);
+            assert_eq!(waves.len(), refs.len());
+            for (frame, wave) in refs.iter().zip(&waves) {
+                assert_eq!(*wave, phy.modulate(frame), "{}", phy.label());
+            }
+            let slices: Vec<&[Complex]> = waves.iter().map(|w| w.as_slice()).collect();
+            let batch = phy.demodulate_batch(&slices);
+            for (iq, rx) in slices.iter().zip(&batch) {
+                assert_eq!(*rx, phy.demodulate(iq), "{}", phy.label());
+            }
+        }
     }
 
     #[test]

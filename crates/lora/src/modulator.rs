@@ -70,39 +70,63 @@ impl Modulator {
 
     /// Modulate a pre-built frame.
     pub fn modulate_frame(&self, frame: &Frame) -> Vec<Complex> {
+        let mut out = Vec::new();
+        self.modulate_frame_into(frame, &mut out);
+        out
+    }
+
+    /// [`Modulator::modulate_frame`] into a caller-owned buffer (cleared
+    /// first): every chirp is appended directly via
+    /// [`ChirpGenerator::append_chirp`], so a batch of frames reuses one
+    /// allocation. Bit-identical to the allocating path.
+    pub fn modulate_frame_into(&self, frame: &Frame, out: &mut Vec<Complex>) {
         let spsym = self.chirp_cfg.samples_per_symbol();
         let total =
             (self.frame_params.frame_symbols(frame.symbols.len()) * spsym as f64).ceil() as usize;
-        let mut out = Vec::with_capacity(total);
+        out.clear();
+        out.reserve(total);
 
         // preamble: zero-shift upchirps
         for _ in 0..self.frame_params.preamble_len {
-            out.extend(self.generator.upchirp(0));
+            self.generator.append_chirp(0, ChirpDirection::Up, out);
         }
         // sync word: two upchirps
         for &s in &self.frame_params.sync_word {
-            out.extend(self.generator.upchirp(s as u32));
+            self.generator
+                .append_chirp(s as u32, ChirpDirection::Up, out);
         }
-        // SFD: 2.25 downchirps
-        out.extend(self.generator.downchirp());
-        out.extend(self.generator.downchirp());
-        out.extend(self.generator.fractional_downchirp(1, 4));
+        // SFD: 2.25 downchirps (the quarter symbol is a truncated full
+        // downchirp — the same samples `fractional_downchirp(1, 4)` keeps)
+        self.generator.append_chirp(0, ChirpDirection::Down, out);
+        self.generator.append_chirp(0, ChirpDirection::Down, out);
+        let sfd_tail = out.len();
+        self.generator.append_chirp(0, ChirpDirection::Down, out);
+        out.truncate(sfd_tail + spsym / 4);
         // payload symbols
         for &s in &frame.symbols {
-            out.extend(self.generator.upchirp(s as u32));
+            self.generator
+                .append_chirp(s as u32, ChirpDirection::Up, out);
         }
-        out
     }
 
     /// Modulate a bare symbol stream (no preamble/SFD) — the §6
     /// concurrent-reception experiment transmits "random chirp symbols"
     /// continuously.
     pub fn modulate_symbols(&self, symbols: &[u16]) -> Vec<Complex> {
-        let mut out = Vec::with_capacity(symbols.len() * self.chirp_cfg.samples_per_symbol());
-        for &s in symbols {
-            out.extend(self.generator.upchirp(s as u32));
-        }
+        let mut out = Vec::new();
+        self.modulate_symbols_into(symbols, &mut out);
         out
+    }
+
+    /// [`Modulator::modulate_symbols`] into a caller-owned buffer
+    /// (cleared first). Bit-identical to the allocating path.
+    pub fn modulate_symbols_into(&self, symbols: &[u16], out: &mut Vec<Complex>) {
+        out.clear();
+        out.reserve(symbols.len() * self.chirp_cfg.samples_per_symbol());
+        for &s in symbols {
+            self.generator
+                .append_chirp(s as u32, ChirpDirection::Up, out);
+        }
     }
 
     /// Samples in one symbol period.
@@ -208,10 +232,22 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_are_bit_identical() {
+        let m = Modulator::standard(8, 125e3, 2, 1);
+        let frame = Frame::from_payload(b"into contract", *m.frame_params());
+        let mut out = Vec::new();
+        m.modulate_frame_into(&frame, &mut out);
+        assert_eq!(out, m.modulate_frame(&frame));
+        // reuse the same (now oversized) buffer for a symbol stream
+        m.modulate_symbols_into(&[0, 100, 255], &mut out);
+        assert_eq!(out, m.modulate_symbols(&[0, 100, 255]));
+    }
+
+    #[test]
     fn single_tone_is_a_tone() {
         use tinysdr_dsp::fft::{fft, peak_bin};
         let sig = single_tone(500e3, 4e6, 4096);
-        let (k, _) = peak_bin(&fft(&sig));
+        let (k, _) = peak_bin(&fft(&sig)).unwrap();
         assert_eq!(k, 512); // 500 kHz / 4 MHz × 4096
     }
 

@@ -74,8 +74,23 @@ impl AwgnChannel {
     /// Generate `n` samples of pure receiver noise (no signal present),
     /// for noise-only occupancy tests.
     pub fn noise_only(&mut self, n: usize, fs: f64) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(n);
+        self.noise_only_into(n, fs, &mut out);
+        out
+    }
+
+    /// [`AwgnChannel::noise_only`] into a caller-owned buffer (cleared
+    /// first). The draws are exactly the sequence [`AwgnChannel::add_noise`]
+    /// would add to a signal of length `n`, so a precomputed noise vector
+    /// added sample-by-sample is bit-identical to calling `add_noise`.
+    pub fn noise_only_into(&mut self, n: usize, fs: f64, out: &mut Vec<Complex>) {
         let n_mw = dbm_to_mw(noise_floor_dbm(fs, self.noise_figure_db));
-        (0..n).map(|_| self.noise_sample(n_mw)).collect()
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            let s = self.noise_sample(n_mw);
+            out.push(s);
+        }
     }
 
     /// Add noise to a pre-scaled signal without renormalizing it — used
@@ -273,7 +288,7 @@ mod tests {
         let n = 1024;
         let mut sig = ideal_tone(100.0 * fs / n as f64, fs, n);
         apply_cfo(&mut sig, 50.0 * fs / n as f64, fs);
-        let (k, _) = peak_bin(&fft(&sig));
+        let (k, _) = peak_bin(&fft(&sig)).unwrap();
         assert_eq!(k, 150);
     }
 

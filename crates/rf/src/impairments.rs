@@ -30,12 +30,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tinysdr_dsp::complex::Complex;
-use tinysdr_dsp::delay::{fractional_delay, resample_drift};
+use tinysdr_dsp::complex::{mean_power, Complex};
+use tinysdr_dsp::delay::{fractional_delay_into, resample_drift_into, DelayScratch};
 use tinysdr_dsp::fixed::Quantizer;
 
 use crate::channel::{gauss_pair, set_rssi, AwgnChannel};
-use crate::units::db_to_lin;
+use crate::units::{db_to_lin, dbm_to_mw};
 
 /// splitmix64 finalizer (same avalanche the OTA seed derivation uses);
 /// kept local so the RF substrate stays below the OTA layer.
@@ -62,30 +62,23 @@ const TAG_NOISE: u64 = 0xA36A_0003;
 
 /// A deterministic stack of channel impairments ending in calibrated
 /// AWGN. Build with [`ImpairmentChain::new`] plus the `with_*` builder
-/// methods; apply with [`ImpairmentChain::apply`].
+/// methods; apply with [`ImpairmentChain::apply`] (or the allocation-free
+/// [`ImpairmentChain::apply_into`]).
+///
+/// The fields are private so the builder invariants (non-negative timing
+/// offset, valid ADC word width, …) cannot be bypassed by hand-editing a
+/// constructed chain; read them back through the accessor methods.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ImpairmentChain {
-    /// Receiver noise figure in dB for the final AWGN stage.
-    pub noise_figure_db: f64,
-    /// Sample-timing offset in samples (integer + fractional), ≥ 0.
-    pub timing_offset_samples: f64,
-    /// Sample-clock drift in parts per million (positive: RX clock fast).
-    pub clock_drift_ppm: f64,
-    /// I/Q gain imbalance in dB (Q rail relative to I rail).
-    pub iq_gain_db: f64,
-    /// I/Q phase (quadrature) error in degrees.
-    pub iq_phase_deg: f64,
-    /// Carrier frequency offset in Hz.
-    pub cfo_hz: f64,
-    /// Oscillator Lorentzian linewidth in Hz (0 disables phase noise).
-    pub phase_noise_linewidth_hz: f64,
-    /// Block Rayleigh fading: coherence length in samples (`None`
-    /// disables fading; the channel coefficient is redrawn every block
-    /// with unit mean power).
-    pub fading_block_samples: Option<usize>,
-    /// ADC word width in bits (`None` keeps the float path); the buffer
-    /// is AGC'd to full scale before quantization, as hardware does.
-    pub adc_bits: Option<u32>,
+    noise_figure_db: f64,
+    timing_offset_samples: f64,
+    clock_drift_ppm: f64,
+    iq_gain_db: f64,
+    iq_phase_deg: f64,
+    cfo_hz: f64,
+    phase_noise_linewidth_hz: f64,
+    fading_block_samples: Option<usize>,
+    adc_bits: Option<u32>,
 }
 
 impl ImpairmentChain {
@@ -160,9 +153,63 @@ impl ImpairmentChain {
 
     /// Quantize the received waveform to `bits`-bit I/Q words (the LVDS
     /// data path of Fig. 4 carries 13-bit words).
+    ///
+    /// # Panics
+    /// Panics if `bits` is outside `2..=24` — the word widths
+    /// [`Quantizer::new`] supports. Validating here keeps the panic at
+    /// the builder instead of deep inside a sweep's `apply` call.
     pub fn with_adc_quantization(mut self, bits: u32) -> Self {
+        assert!(
+            (2..=24).contains(&bits),
+            "ADC word width must be 2..=24 bits, got {bits}"
+        );
         self.adc_bits = Some(bits);
         self
+    }
+
+    /// Receiver noise figure in dB for the final AWGN stage.
+    pub fn noise_figure_db(&self) -> f64 {
+        self.noise_figure_db
+    }
+
+    /// Sample-timing offset in samples (integer + fractional), ≥ 0.
+    pub fn timing_offset_samples(&self) -> f64 {
+        self.timing_offset_samples
+    }
+
+    /// Sample-clock drift in parts per million (positive: RX clock fast).
+    pub fn clock_drift_ppm(&self) -> f64 {
+        self.clock_drift_ppm
+    }
+
+    /// I/Q gain imbalance in dB (Q rail relative to I rail).
+    pub fn iq_gain_db(&self) -> f64 {
+        self.iq_gain_db
+    }
+
+    /// I/Q phase (quadrature) error in degrees.
+    pub fn iq_phase_deg(&self) -> f64 {
+        self.iq_phase_deg
+    }
+
+    /// Carrier frequency offset in Hz.
+    pub fn cfo_hz(&self) -> f64 {
+        self.cfo_hz
+    }
+
+    /// Oscillator Lorentzian linewidth in Hz (0: phase noise disabled).
+    pub fn phase_noise_linewidth_hz(&self) -> f64 {
+        self.phase_noise_linewidth_hz
+    }
+
+    /// Block-fading coherence length in samples (`None`: fading disabled).
+    pub fn fading_block_samples(&self) -> Option<usize> {
+        self.fading_block_samples
+    }
+
+    /// ADC word width in bits (`None`: the float path, no quantization).
+    pub fn adc_bits(&self) -> Option<u32> {
+        self.adc_bits
     }
 
     /// `true` if the chain is AWGN-only (no extra impairments).
@@ -183,16 +230,83 @@ impl ImpairmentChain {
     ///
     /// Deterministic: the output depends only on `(self, tx, rssi_dbm,
     /// fs, seed)` — never on threads, shards or call order.
+    ///
+    /// This is a thin wrapper over [`ImpairmentChain::apply_into`] with
+    /// fresh buffers; hot loops should hold a [`ChainScratch`] and call
+    /// `apply_into` directly.
     pub fn apply(&self, tx: &[Complex], rssi_dbm: f64, fs: f64, seed: u64) -> Vec<Complex> {
+        let mut out = Vec::new();
+        let mut scratch = ChainScratch::new();
+        self.apply_into(tx, rssi_dbm, fs, seed, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`ImpairmentChain::apply`] into a caller-owned output buffer,
+    /// running all nine stages with zero steady-state allocation once
+    /// `out` and `scratch` have grown to the working size. Bit-identical
+    /// to `apply` for every `(chain, tx, rssi_dbm, fs, seed)` — buffer
+    /// reuse changes where samples live, never the order of a single
+    /// floating-point operation.
+    pub fn apply_into(
+        &self,
+        tx: &[Complex],
+        rssi_dbm: f64,
+        fs: f64,
+        seed: u64,
+        out: &mut Vec<Complex>,
+        scratch: &mut ChainScratch,
+    ) {
+        // stages 1–5 (RSSI-independent front half)
+        self.apply_front_into(tx, fs, seed, out, scratch);
+        // 6. scale to the wanted RSSI
+        set_rssi(out, rssi_dbm);
+        // 7. block Rayleigh fading (after scaling: the noise floor is
+        // fixed by physics, the signal fades around the mean RSSI)
+        if let Some(block) = self.fading_block_samples {
+            let mut rng = StdRng::seed_from_u64(stage_seed(seed, TAG_FADING));
+            let len = out.len();
+            let mut i = 0;
+            while i < len {
+                let (re, im) = gauss_pair(&mut rng);
+                let h = Complex::new(re, im).scale(std::f64::consts::FRAC_1_SQRT_2);
+                for z in out[i..(i + block).min(len)].iter_mut() {
+                    *z *= h;
+                }
+                i += block;
+            }
+        }
+        // 8. calibrated AWGN
+        let mut awgn = AwgnChannel::new(self.noise_figure_db, stage_seed(seed, TAG_NOISE));
+        awgn.add_noise(out, fs);
+        // 9. ADC quantization
+        self.quantize_in_place(out);
+    }
+
+    /// Stages 1–5 of the chain (timing, drift, I/Q imbalance, CFO, phase
+    /// noise) into `out`. Everything here is independent of the target
+    /// RSSI: the randomized stages key their RNG streams on `seed` alone,
+    /// so a sweep can run the front half once per `(waveform, seed)` and
+    /// reuse it across every RSSI point of a curve — bit-identically.
+    fn apply_front_into(
+        &self,
+        tx: &[Complex],
+        fs: f64,
+        seed: u64,
+        out: &mut Vec<Complex>,
+        scratch: &mut ChainScratch,
+    ) {
         // 1. sample-timing offset
-        let mut sig = if self.timing_offset_samples > 0.0 {
-            fractional_delay(tx, self.timing_offset_samples)
+        if self.timing_offset_samples > 0.0 {
+            fractional_delay_into(tx, self.timing_offset_samples, &mut scratch.delay, out);
         } else {
-            tx.to_vec()
-        };
-        // 2. sample-clock drift
+            out.clear();
+            out.extend_from_slice(tx);
+        }
+        // 2. sample-clock drift (ping-pong through the scratch buffer:
+        // the resampler cannot run in place)
         if self.clock_drift_ppm != 0.0 {
-            sig = resample_drift(&sig, self.clock_drift_ppm);
+            std::mem::swap(out, &mut scratch.tmp);
+            resample_drift_into(&scratch.tmp, self.clock_drift_ppm, &mut scratch.delay, out);
         }
         // 3. I/Q imbalance: y = μ·x + ν·conj(x) with g the linear gain
         // ratio and φ the quadrature error
@@ -202,13 +316,13 @@ impl ImpairmentChain {
             let e = Complex::from_angle(phi);
             let mu = (Complex::ONE + e.scale(g)).scale(0.5);
             let nu = (Complex::ONE - e.conj().scale(g)).scale(0.5);
-            for z in sig.iter_mut() {
+            for z in out.iter_mut() {
                 *z = mu * *z + nu * z.conj();
             }
         }
         // 4. carrier frequency offset
         if self.cfo_hz != 0.0 {
-            crate::channel::apply_cfo(&mut sig, self.cfo_hz, fs);
+            crate::channel::apply_cfo(out, self.cfo_hz, fs);
         }
         // 5. phase noise (Wiener process); Box–Muller yields two
         // Gaussians per draw — use both, alternating samples
@@ -217,7 +331,7 @@ impl ImpairmentChain {
             let mut rng = StdRng::seed_from_u64(stage_seed(seed, TAG_PHASE_NOISE));
             let mut phase = 0.0f64;
             let mut spare: Option<f64> = None;
-            for z in sig.iter_mut() {
+            for z in out.iter_mut() {
                 *z *= Complex::from_angle(phase);
                 let n = match spare.take() {
                     Some(n) => n,
@@ -230,29 +344,12 @@ impl ImpairmentChain {
                 phase += sigma * n;
             }
         }
-        // 6. scale to the wanted RSSI
-        set_rssi(&mut sig, rssi_dbm);
-        // 7. block Rayleigh fading (after scaling: the noise floor is
-        // fixed by physics, the signal fades around the mean RSSI)
-        if let Some(block) = self.fading_block_samples {
-            let mut rng = StdRng::seed_from_u64(stage_seed(seed, TAG_FADING));
-            let len = sig.len();
-            let mut i = 0;
-            while i < len {
-                let (re, im) = gauss_pair(&mut rng);
-                let h = Complex::new(re, im).scale(std::f64::consts::FRAC_1_SQRT_2);
-                for z in sig[i..(i + block).min(len)].iter_mut() {
-                    *z *= h;
-                }
-                i += block;
-            }
-        }
-        // 8. calibrated AWGN
-        let mut awgn = AwgnChannel::new(self.noise_figure_db, stage_seed(seed, TAG_NOISE));
-        awgn.add_noise(&mut sig, fs);
-        // 9. ADC quantization with AGC: scale the peak rail near full
-        // scale, quantize, scale back (the AGC keeps downstream power
-        // arithmetic in dBm intact)
+    }
+
+    /// Stage 9: ADC quantization with AGC — scale the peak rail near
+    /// full scale, quantize, scale back (the AGC keeps downstream power
+    /// arithmetic in dBm intact).
+    fn quantize_in_place(&self, sig: &mut [Complex]) {
         if let Some(bits) = self.adc_bits {
             let q = Quantizer::new(bits);
             let peak = sig
@@ -266,7 +363,122 @@ impl ImpairmentChain {
                 }
             }
         }
-        sig
+    }
+
+    /// Precompute everything about one `(tx, fs, seed)` pass that does
+    /// not depend on the target RSSI: the front half of the chain
+    /// (stages 1–5), its mean power, the per-block fading coefficients
+    /// and the full AWGN noise vector. A sweep curve then replays the
+    /// pass at each RSSI point with [`ImpairmentChain::apply_prepared_into`],
+    /// skipping the expensive interpolation and Gaussian draws — with
+    /// bit-identical output, because every stage's RNG stream is keyed
+    /// on `seed` alone and the per-point arithmetic is unchanged.
+    pub fn prepare_pass_into(
+        &self,
+        tx: &[Complex],
+        fs: f64,
+        seed: u64,
+        prep: &mut PreparedPass,
+        scratch: &mut ChainScratch,
+    ) {
+        self.apply_front_into(tx, fs, seed, &mut prep.front, scratch);
+        prep.front_power = mean_power(&prep.front);
+        prep.fading_block = self.fading_block_samples;
+        prep.fading.clear();
+        if let Some(block) = self.fading_block_samples {
+            let mut rng = StdRng::seed_from_u64(stage_seed(seed, TAG_FADING));
+            let mut i = 0;
+            while i < prep.front.len() {
+                let (re, im) = gauss_pair(&mut rng);
+                prep.fading
+                    .push(Complex::new(re, im).scale(std::f64::consts::FRAC_1_SQRT_2));
+                i += block;
+            }
+        }
+        let mut awgn = AwgnChannel::new(self.noise_figure_db, stage_seed(seed, TAG_NOISE));
+        awgn.noise_only_into(prep.front.len(), fs, &mut prep.noise);
+    }
+
+    /// Replay a prepared pass at one RSSI point: copy the front half,
+    /// scale to `rssi_dbm`, apply the precomputed fading blocks, add the
+    /// precomputed noise vector, quantize. Must be called with the same
+    /// chain that prepared `prep`; the output is then bit-identical to
+    /// [`ImpairmentChain::apply`] at the same `(tx, rssi_dbm, fs, seed)`.
+    pub fn apply_prepared_into(&self, prep: &PreparedPass, rssi_dbm: f64, out: &mut Vec<Complex>) {
+        out.clear();
+        out.extend_from_slice(&prep.front);
+        // 6. scale to the wanted RSSI — same arithmetic as
+        // `normalize_power`, with the mean power cached across points
+        // (it is a property of the front half alone)
+        let p = prep.front_power;
+        if p > 0.0 {
+            let g = (dbm_to_mw(rssi_dbm) / p).sqrt();
+            for z in out.iter_mut() {
+                *z = z.scale(g);
+            }
+        }
+        // 7. fading: the same per-block coefficients `apply` would draw
+        if let Some(block) = prep.fading_block {
+            let len = out.len();
+            for (b, &h) in prep.fading.iter().enumerate() {
+                let i = b * block;
+                for z in out[i..(i + block).min(len)].iter_mut() {
+                    *z *= h;
+                }
+            }
+        }
+        // 8. AWGN: the same per-sample draws `add_noise` would make
+        for (z, n) in out.iter_mut().zip(&prep.noise) {
+            *z += *n;
+        }
+        // 9. ADC quantization
+        self.quantize_in_place(out);
+    }
+}
+
+/// Reusable scratch buffers for [`ImpairmentChain::apply_into`]: the
+/// interpolation window/kernel plus a ping-pong buffer for the
+/// resampling stage. One per worker thread is enough.
+#[derive(Debug, Clone, Default)]
+pub struct ChainScratch {
+    delay: DelayScratch,
+    tmp: Vec<Complex>,
+}
+
+impl ChainScratch {
+    /// Fresh scratch; buffers grow lazily to the working size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The RSSI-independent precomputation of one impairment pass: front
+/// half (stages 1–5), its mean power, fading coefficients and noise
+/// vector. Built by [`ImpairmentChain::prepare_pass_into`], replayed per
+/// RSSI point by [`ImpairmentChain::apply_prepared_into`].
+#[derive(Debug, Clone, Default)]
+pub struct PreparedPass {
+    front: Vec<Complex>,
+    front_power: f64,
+    fading: Vec<Complex>,
+    fading_block: Option<usize>,
+    noise: Vec<Complex>,
+}
+
+impl PreparedPass {
+    /// Fresh (empty) pass state; buffers grow lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length of the prepared waveform in samples.
+    pub fn len(&self) -> usize {
+        self.front.len()
+    }
+
+    /// `true` if nothing has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty()
     }
 }
 
@@ -330,7 +542,7 @@ mod tests {
         let chain = ImpairmentChain::new(4.5).with_cfo_hz(32.0 * bin);
         let tx = ideal_tone(100.0 * bin, FS, n);
         let rx = chain.apply(&tx, LOUD, FS, 1);
-        let (k, _) = peak_bin(&fft(&rx));
+        let (k, _) = peak_bin(&fft(&rx)).unwrap();
         assert_eq!(k, 132);
     }
 
@@ -440,5 +652,109 @@ mod tests {
             (total_mw - want_mw).abs() / want_mw < 0.05,
             "total {total_mw:e} vs {want_mw:e}"
         );
+    }
+
+    /// A grid of chains that, together, exercise every one of the nine
+    /// stages (including the stage-skipping `if`s on both sides).
+    fn contract_grid() -> Vec<ImpairmentChain> {
+        vec![
+            ImpairmentChain::new(4.5),
+            ImpairmentChain::new(4.5).with_timing_offset(0.35),
+            ImpairmentChain::new(4.5).with_clock_drift_ppm(-30.0),
+            ImpairmentChain::new(4.5).with_iq_imbalance(0.4, 2.5),
+            ImpairmentChain::new(4.5).with_cfo_hz(750.0),
+            ImpairmentChain::new(4.5).with_phase_noise(80.0),
+            ImpairmentChain::new(4.5).with_block_fading(512),
+            ImpairmentChain::new(4.5).with_adc_quantization(6),
+            ImpairmentChain::new(6.0)
+                .with_timing_offset(1.25)
+                .with_clock_drift_ppm(40.0)
+                .with_iq_imbalance(0.3, -1.5)
+                .with_cfo_hz(-300.0)
+                .with_phase_noise(25.0)
+                .with_block_fading(256)
+                .with_adc_quantization(10),
+        ]
+    }
+
+    #[test]
+    fn apply_into_is_bit_identical_to_apply_across_the_grid() {
+        let tx = ideal_tone(40e3, FS, 4096);
+        let mut out = Vec::new();
+        let mut scratch = ChainScratch::new();
+        for (i, chain) in contract_grid().into_iter().enumerate() {
+            for &rssi in &[-60.0, -95.0, -120.0] {
+                let seed = 1000 + i as u64;
+                let reference = chain.apply(&tx, rssi, FS, seed);
+                // reuse out+scratch across the whole grid: growth and
+                // leftover contents must never leak into the result
+                chain.apply_into(&tx, rssi, FS, seed, &mut out, &mut scratch);
+                assert_eq!(out, reference, "chain #{i} at {rssi} dBm diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_pass_is_bit_identical_to_apply() {
+        let tx = ideal_tone(40e3, FS, 4096);
+        let mut prep = PreparedPass::new();
+        let mut scratch = ChainScratch::new();
+        let mut out = Vec::new();
+        for (i, chain) in contract_grid().into_iter().enumerate() {
+            let seed = 2000 + i as u64;
+            chain.prepare_pass_into(&tx, FS, seed, &mut prep, &mut scratch);
+            assert_eq!(prep.len(), chain.apply(&tx, -90.0, FS, seed).len());
+            assert!(!prep.is_empty());
+            // one prepare, many RSSI points — the sweep-curve shape
+            for &rssi in &[-50.0, -85.0, -105.0, -130.0] {
+                let reference = chain.apply(&tx, rssi, FS, seed);
+                chain.apply_prepared_into(&prep, rssi, &mut out);
+                assert_eq!(out, reference, "chain #{i} at {rssi} dBm diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_report_builder_state() {
+        // regression: fields used to be `pub`, letting callers bypass the
+        // builder asserts (e.g. a negative timing offset); they are now
+        // private and the accessors are the only read path
+        let chain = ImpairmentChain::new(3.0)
+            .with_timing_offset(0.5)
+            .with_clock_drift_ppm(-20.0)
+            .with_iq_imbalance(0.4, 2.5)
+            .with_cfo_hz(750.0)
+            .with_phase_noise(80.0)
+            .with_block_fading(512)
+            .with_adc_quantization(6);
+        assert_eq!(chain.noise_figure_db(), 3.0);
+        assert_eq!(chain.timing_offset_samples(), 0.5);
+        assert_eq!(chain.clock_drift_ppm(), -20.0);
+        assert_eq!(chain.iq_gain_db(), 0.4);
+        assert_eq!(chain.iq_phase_deg(), 2.5);
+        assert_eq!(chain.cfo_hz(), 750.0);
+        assert_eq!(chain.phase_noise_linewidth_hz(), 80.0);
+        assert_eq!(chain.fading_block_samples(), Some(512));
+        assert_eq!(chain.adc_bits(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC word width")]
+    fn adc_zero_bits_rejected_at_builder() {
+        // regression: used to be accepted here and panic later inside
+        // `apply`, deep in a sweep
+        let _ = ImpairmentChain::new(4.5).with_adc_quantization(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC word width")]
+    fn adc_one_bit_rejected_at_builder() {
+        let _ = ImpairmentChain::new(4.5).with_adc_quantization(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC word width")]
+    fn adc_25_bits_rejected_at_builder() {
+        let _ = ImpairmentChain::new(4.5).with_adc_quantization(25);
     }
 }

@@ -188,6 +188,27 @@ pub trait PhyModem: std::fmt::Debug + Send + Sync {
         self.airtime_s(&vec![0u8; frame_len])
     }
 
+    /// Modulate a batch of frames into `out` (resized to match;
+    /// existing inner vectors keep their capacity). The default simply
+    /// loops `modulate`; modems with per-call setup cost (chirp tables,
+    /// pulse-shaping filters, FFT plans) override to share scratch
+    /// buffers across the batch. Overrides must stay **bit-identical**
+    /// to the default: batching is a performance seam, never a
+    /// semantics seam.
+    fn modulate_batch(&self, frames: &[&[u8]], out: &mut Vec<Vec<Complex>>) {
+        out.resize_with(frames.len(), Vec::new);
+        for (frame, wave) in frames.iter().zip(out.iter_mut()) {
+            *wave = self.modulate(frame);
+        }
+    }
+
+    /// Demodulate a batch of captures. The default loops `demodulate`;
+    /// overrides reuse demodulator scratch across the batch and must be
+    /// bit-identical to the default.
+    fn demodulate_batch(&self, waveforms: &[&[Complex]]) -> Vec<DemodResult> {
+        waveforms.iter().map(|iq| self.demodulate(iq)).collect()
+    }
+
     /// Clone into a new box (object-safe `Clone`; lets registries and
     /// sweep configs be cloned).
     fn clone_box(&self) -> Box<dyn PhyModem>;
@@ -424,6 +445,23 @@ mod tests {
         let mut reg = PhyRegistry::new();
         reg.register(Box::new(TestPhy { name: "a" }));
         reg.register(Box::new(TestPhy { name: "a" }));
+    }
+
+    #[test]
+    fn batch_defaults_match_scalar_paths() {
+        let phy = TestPhy { name: "bpsk" };
+        let frames: Vec<&[u8]> = vec![&[0xA5, 0x3C], &[0x00], &[0xFF, 0x01, 0x80]];
+        let mut waves = vec![Vec::new(); 7]; // deliberately wrong length
+        phy.modulate_batch(&frames, &mut waves);
+        assert_eq!(waves.len(), frames.len());
+        for (frame, wave) in frames.iter().zip(&waves) {
+            assert_eq!(*wave, phy.modulate(frame));
+        }
+        let slices: Vec<&[Complex]> = waves.iter().map(|w| w.as_slice()).collect();
+        let batch = phy.demodulate_batch(&slices);
+        for (iq, rx) in slices.iter().zip(&batch) {
+            assert_eq!(*rx, phy.demodulate(iq));
+        }
     }
 
     #[test]

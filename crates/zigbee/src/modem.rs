@@ -11,7 +11,7 @@ use tinysdr_dsp::complex::Complex;
 use tinysdr_rf::phy::{unit_errors_between, DemodResult, ErrorCount, PhyModem};
 
 use crate::chips::CHIP_RATE;
-use crate::oqpsk::{OqpskDemodulator, OqpskModulator};
+use crate::oqpsk::{OqpskDemodulator, OqpskModulator, OqpskScratch};
 
 /// 802.15.4 channel 19's carrier, Hz (2405 + 5·(19−11) MHz).
 pub const ZIGBEE_CENTER_HZ: f64 = 2.445e9;
@@ -126,6 +126,32 @@ impl PhyModem for ZigbeePhy {
         unit_errors_between(&tx, &rx.units)
     }
 
+    /// Batch override: the chip-expansion and I/Q-rail scratch is
+    /// shared across the batch. Bit-identical to the default.
+    fn modulate_batch(&self, frames: &[&[u8]], out: &mut Vec<Vec<Complex>>) {
+        let mut scratch = OqpskScratch::new();
+        out.resize_with(frames.len(), Vec::new);
+        for (frame, wave) in frames.iter().zip(out.iter_mut()) {
+            self.modulator
+                .modulate_symbols_into(&bytes_to_symbols(frame), &mut scratch, wave);
+        }
+    }
+
+    /// Batch override: one symbol buffer reused across captures.
+    /// Bit-identical to looping `demodulate`.
+    fn demodulate_batch(&self, waveforms: &[&[Complex]]) -> Vec<DemodResult> {
+        let mut syms = Vec::new();
+        waveforms
+            .iter()
+            .map(|iq| {
+                self.demod.demodulate_symbols_into(iq, &mut syms);
+                let bytes = symbols_to_bytes(&syms);
+                let units = syms.iter().map(|&s| u16::from(s)).collect();
+                DemodResult::stream(bytes, units)
+            })
+            .collect()
+    }
+
     fn clone_box(&self) -> Box<dyn PhyModem> {
         Box::new(self.clone())
     }
@@ -180,6 +206,27 @@ mod tests {
         let c = phy.count_errors(&frame, &rx);
         assert_eq!(c.trials, 20);
         assert!(c.errors >= 10, "errors {}", c.errors);
+    }
+
+    #[test]
+    fn batch_overrides_are_bit_identical_to_scalar_paths() {
+        let phy = ZigbeePhy::new(2);
+        let frames: Vec<Vec<u8>> = vec![
+            (0..32).map(|i| (i * 97 + 13) as u8).collect(),
+            vec![0x3C; 10],
+            vec![0xA5],
+        ];
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let mut waves = Vec::new();
+        phy.modulate_batch(&refs, &mut waves);
+        for (frame, wave) in refs.iter().zip(&waves) {
+            assert_eq!(*wave, phy.modulate(frame));
+        }
+        let slices: Vec<&[Complex]> = waves.iter().map(|w| w.as_slice()).collect();
+        let batch = phy.demodulate_batch(&slices);
+        for (iq, rx) in slices.iter().zip(&batch) {
+            assert_eq!(*rx, phy.demodulate(iq));
+        }
     }
 
     #[test]

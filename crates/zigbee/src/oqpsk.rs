@@ -57,38 +57,103 @@ impl OqpskModulator {
     /// Output length is `chips.len()·spc + spc` — the final Q half-sine
     /// extends one chip period past the last chip slot.
     pub fn modulate_chips(&self, chips: &[u8]) -> Vec<Complex> {
+        let mut out = Vec::new();
+        self.modulate_chips_into(chips, &mut OqpskScratch::default(), &mut out);
+        out
+    }
+
+    /// [`OqpskModulator::modulate_chips`] into a caller-owned buffer,
+    /// with the I/Q rail intermediates held in `scratch` — zero
+    /// steady-state allocation across a batch. Bit-identical to the
+    /// allocating path.
+    pub fn modulate_chips_into(
+        &self,
+        chips: &[u8],
+        scratch: &mut OqpskScratch,
+        out: &mut Vec<Complex>,
+    ) {
+        self.chips_core(chips, &mut scratch.i_rail, &mut scratch.q_rail, out);
+    }
+
+    fn chips_core(
+        &self,
+        chips: &[u8],
+        i_rail: &mut Vec<f64>,
+        q_rail: &mut Vec<f64>,
+        out: &mut Vec<Complex>,
+    ) {
         assert!(
             chips.len().is_multiple_of(2),
             "O-QPSK chips come in I/Q pairs"
         );
         let spc = self.spc;
         let n = chips.len() * spc + spc;
-        let mut i_rail = vec![0.0f64; n];
-        let mut q_rail = vec![0.0f64; n];
+        i_rail.clear();
+        i_rail.resize(n, 0.0);
+        q_rail.clear();
+        q_rail.resize(n, 0.0);
         for (k, &c) in chips.iter().enumerate() {
             let a = if c != 0 { 1.0 } else { -1.0 };
             // chip k's half-sine starts at its own chip slot; even chips
             // ride I, odd chips ride Q (the built-in Tc offset)
             let start = k * spc;
-            let rail = if k % 2 == 0 { &mut i_rail } else { &mut q_rail };
+            let rail: &mut Vec<f64> = if k % 2 == 0 { i_rail } else { q_rail };
             for (j, &p) in self.pulse.iter().enumerate() {
                 rail[start + j] += a * p;
             }
         }
-        i_rail
-            .into_iter()
-            .zip(q_rail)
-            .map(|(re, im)| Complex::new(re, im))
-            .collect()
+        out.clear();
+        out.extend(
+            i_rail
+                .iter()
+                .zip(q_rail.iter())
+                .map(|(&re, &im)| Complex::new(re, im)),
+        );
     }
 
     /// Modulate 4-bit data symbols (`0..16`) through DSSS spreading.
     pub fn modulate_symbols(&self, symbols: &[u8]) -> Vec<Complex> {
-        let mut chips = Vec::with_capacity(symbols.len() * CHIPS_PER_SYMBOL);
+        let mut out = Vec::new();
+        self.modulate_symbols_into(symbols, &mut OqpskScratch::default(), &mut out);
+        out
+    }
+
+    /// [`OqpskModulator::modulate_symbols`] into a caller-owned buffer,
+    /// with the chip expansion and I/Q rails held in `scratch`.
+    /// Bit-identical to the allocating path.
+    pub fn modulate_symbols_into(
+        &self,
+        symbols: &[u8],
+        scratch: &mut OqpskScratch,
+        out: &mut Vec<Complex>,
+    ) {
+        let OqpskScratch {
+            chips,
+            i_rail,
+            q_rail,
+        } = scratch;
+        chips.clear();
         for &s in symbols {
             chips.extend_from_slice(&chip_sequence(s));
         }
-        self.modulate_chips(&chips)
+        self.chips_core(chips, i_rail, q_rail, out);
+    }
+}
+
+/// Reusable intermediates for the O-QPSK modulator's `*_into` paths:
+/// the DSSS chip expansion and the two pulse-shaped rails. One per
+/// worker thread (or batch) is enough.
+#[derive(Debug, Clone, Default)]
+pub struct OqpskScratch {
+    chips: Vec<u8>,
+    i_rail: Vec<f64>,
+    q_rail: Vec<f64>,
+}
+
+impl OqpskScratch {
+    /// Fresh scratch; buffers grow lazily.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -124,12 +189,12 @@ impl OqpskDemodulator {
     pub fn detect_symbol(&self, window: &[Complex]) -> (u8, f64) {
         let mut best = (0u8, f64::MIN);
         for (s, t) in self.templates.iter().enumerate() {
+            // zip stops at the shorter of window/template — the same
+            // pairs, in the same order, as the indexed loop with its
+            // explicit bounds check
             let mut c = Complex::ZERO;
-            for (n, &x) in window.iter().enumerate() {
-                if n >= t.len() {
-                    break;
-                }
-                c += x * t[n].conj();
+            for (&x, &tv) in window.iter().zip(t) {
+                c += x * tv.conj();
             }
             let m = c.norm_sqr();
             if m > best.1 {
@@ -142,17 +207,26 @@ impl OqpskDemodulator {
     /// Demodulate an *aligned* capture into 4-bit symbols, one per full
     /// 32-chip window.
     pub fn demodulate_symbols(&self, x: &[Complex]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.demodulate_symbols_into(x, &mut out);
+        out
+    }
+
+    /// [`OqpskDemodulator::demodulate_symbols`] into a caller-owned
+    /// buffer (cleared first) — allocation-free in steady state,
+    /// bit-identical to the allocating path.
+    pub fn demodulate_symbols_into(&self, x: &[Complex], out: &mut Vec<u8>) {
         let ns = self.samples_per_symbol();
         let n_syms = x.len() / ns;
-        (0..n_syms)
-            .map(|i| {
-                // include the half-chip spill-over past the window when
-                // the capture still has it — the last Q pulse carries
-                // real symbol energy
-                let end = ((i + 1) * ns + self.spc).min(x.len());
-                self.detect_symbol(&x[i * ns..end]).0
-            })
-            .collect()
+        out.clear();
+        out.reserve(n_syms);
+        out.extend((0..n_syms).map(|i| {
+            // include the half-chip spill-over past the window when
+            // the capture still has it — the last Q pulse carries
+            // real symbol energy
+            let end = ((i + 1) * ns + self.spc).min(x.len());
+            self.detect_symbol(&x[i * ns..end]).0
+        }));
     }
 }
 
@@ -187,6 +261,27 @@ mod tests {
         for z in &sig[spc..sig.len() - spc] {
             assert!((z.abs() - 1.0).abs() < 1e-9, "|s| = {}", z.abs());
         }
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical() {
+        let m = OqpskModulator::new(2);
+        let d = OqpskDemodulator::new(2);
+        let mut scratch = OqpskScratch::new();
+        let mut wave = Vec::new();
+        let mut rx = Vec::new();
+        // reuse scratch across streams of different lengths
+        for (n, seed) in [(16usize, 3u64), (64, 5), (7, 8)] {
+            let syms = random_symbols(n, seed);
+            m.modulate_symbols_into(&syms, &mut scratch, &mut wave);
+            assert_eq!(wave, m.modulate_symbols(&syms), "{n} symbols");
+            d.demodulate_symbols_into(&wave, &mut rx);
+            assert_eq!(rx, d.demodulate_symbols(&wave), "{n} symbols");
+        }
+        // raw chip path too
+        let chips = [1u8, 0, 0, 1, 1, 1, 0, 0];
+        m.modulate_chips_into(&chips, &mut scratch, &mut wave);
+        assert_eq!(wave, m.modulate_chips(&chips));
     }
 
     #[test]

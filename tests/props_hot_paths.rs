@@ -1,0 +1,221 @@
+//! Property-based bit-identity contracts for the allocation-free hot
+//! paths: for random configurations, seeds and signals, every
+//! `_into` / batch / prepared-pass variant must reproduce its
+//! allocating reference **bit for bit** — buffer reuse is a
+//! performance seam, never a semantics seam. Plus steady-state
+//! no-allocation smoke checks on the sweep loop's buffers.
+
+use proptest::prelude::*;
+
+use tinysdr_ble::gfsk::{GfskModulator, GfskScratch};
+use tinysdr_ble::modem::BleBerPhy;
+use tinysdr_dsp::chirp::{dechirp_into, ChirpConfig, ChirpDirection, ChirpGenerator};
+use tinysdr_dsp::complex::Complex;
+use tinysdr_dsp::delay::{
+    fractional_delay, fractional_delay_into, resample_drift, resample_drift_into, DelayScratch,
+};
+use tinysdr_dsp::fft::FftPlan;
+use tinysdr_dsp::fir::demod_frontend;
+use tinysdr_dsp::gaussian::GaussianFilter;
+use tinysdr_lora::modem::LoraSerPhy;
+use tinysdr_rf::impairments::{ChainScratch, ImpairmentChain, PreparedPass};
+use tinysdr_rf::phy::PhyModem;
+use tinysdr_zigbee::modem::ZigbeePhy;
+
+/// Deterministic pseudo-random I/Q signal from a seed (content-keyed,
+/// no ambient RNG — the workspace determinism rule).
+fn tone(seed: u64, n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let p = (h >> 11) as f64 / (1u64 << 53) as f64;
+            Complex::from_angle(p * std::f64::consts::TAU).scale(0.25 + 0.75 * p)
+        })
+        .collect()
+}
+
+proptest! {
+    /// `apply_into` (reused scratch) and the prepared-pass replay are
+    /// bit-identical to `apply` for a random subset of the nine chain
+    /// stages, any seed and any RSSI.
+    #[test]
+    fn chain_buffered_and_prepared_match_apply(
+        seed in any::<u64>(),
+        sig_seed in any::<u64>(),
+        rssi_dbm in -140.0f64..-40.0,
+        mask in 0u32..128,
+        adc_bits in 2u32..=24,
+    ) {
+        let mut chain = ImpairmentChain::new(6.0);
+        if mask & 1 != 0 {
+            chain = chain.with_timing_offset(0.25 + (mask as f64) / 300.0);
+        }
+        if mask & 2 != 0 {
+            chain = chain.with_clock_drift_ppm(2.0);
+        }
+        if mask & 4 != 0 {
+            chain = chain.with_iq_imbalance(1.0, 5.0);
+        }
+        if mask & 8 != 0 {
+            chain = chain.with_cfo_hz(30.0 + mask as f64);
+        }
+        if mask & 16 != 0 {
+            chain = chain.with_phase_noise(100.0);
+        }
+        if mask & 32 != 0 {
+            chain = chain.with_block_fading(256);
+        }
+        if mask & 64 != 0 {
+            chain = chain.with_adc_quantization(adc_bits);
+        }
+        let fs = 1e6;
+        let tx = tone(sig_seed, 1024);
+        let reference = chain.apply(&tx, rssi_dbm, fs, seed);
+
+        let mut scratch = ChainScratch::new();
+        let mut out = Vec::new();
+        chain.apply_into(&tx, rssi_dbm, fs, seed, &mut out, &mut scratch);
+        prop_assert_eq!(&reference, &out);
+
+        let mut prep = PreparedPass::new();
+        chain.prepare_pass_into(&tx, fs, seed, &mut prep, &mut scratch);
+        chain.apply_prepared_into(&prep, rssi_dbm, &mut out);
+        prop_assert_eq!(&reference, &out);
+    }
+
+    /// The `_into` DSP variants (FFT, fractional delay, drift
+    /// resampler, FIR, Gaussian shaper, chirp generator) are
+    /// bit-identical to their allocating references on random signals.
+    #[test]
+    fn dsp_into_variants_match_allocating(
+        sig_seed in any::<u64>(),
+        n in 96usize..192,
+        delay in 0.0f64..8.0,
+        ppm in -30.0f64..30.0,
+        symbol in 0u32..128,
+    ) {
+        let x = tone(sig_seed, n);
+
+        let plan = FftPlan::new(64);
+        let mut out = Vec::new();
+        plan.forward_into(&x[..64], &mut out);
+        let mut buf = x[..64].to_vec();
+        plan.forward(&mut buf);
+        prop_assert_eq!(&buf, &out);
+        plan.inverse_into(&buf, &mut out);
+        plan.inverse(&mut buf);
+        prop_assert_eq!(&buf, &out);
+
+        let mut scratch = DelayScratch::new();
+        fractional_delay_into(&x, delay, &mut scratch, &mut out);
+        prop_assert_eq!(fractional_delay(&x, delay), out.clone());
+        resample_drift_into(&x, ppm, &mut scratch, &mut out);
+        prop_assert_eq!(resample_drift(&x, ppm), out.clone());
+
+        let mut fir = demod_frontend(0.25);
+        let filtered = fir.process(&x);
+        fir.reset();
+        fir.process_into(&x, &mut out);
+        prop_assert_eq!(filtered, out.clone());
+
+        let shaper = GaussianFilter::ble(4);
+        let bits: Vec<i8> = (0..n / 8).map(|i| if (sig_seed >> (i % 64)) & 1 == 1 { 1 } else { -1 }).collect();
+        let mut freq = Vec::new();
+        shaper.shape_into(&bits, 4, &mut freq);
+        prop_assert_eq!(shaper.shape(&bits, 4), freq);
+
+        let gen = ChirpGenerator::new(ChirpConfig::new(7, 125e3, 1));
+        for dir in [ChirpDirection::Up, ChirpDirection::Down] {
+            let allocating = gen.chirp(symbol, dir);
+            gen.chirp_into(symbol, dir, &mut out);
+            prop_assert_eq!(&allocating, &out);
+            let reference = gen.dechirp_reference();
+            dechirp_into(&allocating, &reference, &mut out);
+            let manual: Vec<Complex> =
+                allocating.iter().zip(&reference).map(|(&a, &b)| a * b).collect();
+            prop_assert_eq!(manual, out.clone());
+        }
+    }
+
+    /// `modulate_batch` / `demodulate_batch` are bit-identical to the
+    /// scalar loops for random frames across all three modem families.
+    #[test]
+    fn modem_batch_matches_scalar_loops(
+        family in 0usize..3,
+        frame_a in prop::collection::vec(any::<u8>(), 3..12),
+        frame_b in prop::collection::vec(any::<u8>(), 3..12),
+    ) {
+        let phy: Box<dyn PhyModem> = match family {
+            0 => Box::new(LoraSerPhy::new(7, 125e3)),
+            1 => Box::new(BleBerPhy::new(4)),
+            _ => Box::new(ZigbeePhy::new(2)),
+        };
+        let refs: Vec<&[u8]> = vec![&frame_a, &frame_b];
+        let mut waves = Vec::new();
+        phy.modulate_batch(&refs, &mut waves);
+        for (frame, wave) in refs.iter().zip(&waves) {
+            prop_assert_eq!(wave, &phy.modulate(frame));
+        }
+        let slices: Vec<&[Complex]> = waves.iter().map(|w| w.as_slice()).collect();
+        for (iq, rx) in slices.iter().zip(phy.demodulate_batch(&slices)) {
+            prop_assert_eq!(rx, phy.demodulate(iq));
+        }
+    }
+}
+
+/// Steady-state sweep loop (prepare pass → replay per RSSI) touches no
+/// allocator once the buffers are warm: the output vector's pointer and
+/// capacity must stay fixed across passes and RSSI points.
+#[test]
+fn steady_state_sweep_loop_does_not_reallocate() {
+    let chain = ImpairmentChain::new(6.0)
+        .with_timing_offset(0.25)
+        .with_cfo_hz(200.0)
+        .with_block_fading(256)
+        .with_adc_quantization(12);
+    let fs = 1e6;
+    let tx = tone(7, 2048);
+    let mut scratch = ChainScratch::new();
+    let mut prep = PreparedPass::new();
+    let mut rx = Vec::new();
+    // warm-up pass sizes every buffer
+    chain.prepare_pass_into(&tx, fs, 0, &mut prep, &mut scratch);
+    chain.apply_prepared_into(&prep, -90.0, &mut rx);
+    let (ptr, cap) = (rx.as_ptr(), rx.capacity());
+    for pass in 1..=10u64 {
+        chain.prepare_pass_into(&tx, fs, pass, &mut prep, &mut scratch);
+        for rssi_dbm in [-120.0, -100.0, -80.0, -60.0] {
+            chain.apply_prepared_into(&prep, rssi_dbm, &mut rx);
+            assert_eq!(rx.as_ptr(), ptr, "rx buffer reallocated at pass {pass}");
+            assert_eq!(rx.capacity(), cap, "rx capacity changed at pass {pass}");
+        }
+    }
+}
+
+/// The modem-side scratch paths are likewise allocation-free in steady
+/// state: a batch of equal-sized frames reuses one waveform buffer.
+#[test]
+fn modem_scratch_buffers_are_stable_in_steady_state() {
+    let m = GfskModulator::new(4);
+    let bits: Vec<u8> = (0..256).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+    let mut scratch = GfskScratch::new();
+    let mut wave = Vec::new();
+    m.modulate_into(&bits, &mut scratch, &mut wave);
+    let (ptr, cap) = (wave.as_ptr(), wave.capacity());
+    for i in 0..20 {
+        m.modulate_into(&bits, &mut scratch, &mut wave);
+        assert_eq!(
+            wave.as_ptr(),
+            ptr,
+            "GFSK wave buffer reallocated at iter {i}"
+        );
+        assert_eq!(
+            wave.capacity(),
+            cap,
+            "GFSK wave capacity changed at iter {i}"
+        );
+    }
+}
