@@ -10,7 +10,15 @@
 //! repro campaign            # million-node campaign scaling (not in `all`)
 //! repro perf                # hot-path perf gates + trajectories (not in `all`)
 //! repro --quick all         # reduced trial counts for smoke runs
+//! repro --json waterfall    # canonical JSON report on stdout
 //! ```
+//!
+//! `--json` works for exactly one of `waterfall`, `campaign`,
+//! `energy`, or `perf` and prints the experiment's canonical JSON
+//! document — the *same* bytes a `tinysdr-testbedd` job of the same
+//! kind stores as `report.json`, because both go through the one
+//! `to_json` builder per report type. Nothing else is printed, so the
+//! output pipes straight into `jq` or back into `from_json`.
 //!
 //! `waterfall` runs the sharded conformance sweep (`--quick` uses the
 //! coarse grid and additionally asserts the sharded-vs-sequential
@@ -65,8 +73,12 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: repro [--quick] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign|perf> ...");
+        eprintln!("usage: repro [--quick] [--json] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign|perf> ...");
         std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--json") {
+        run_json(&wanted, quick);
+        return;
     }
     let all = wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
@@ -240,6 +252,50 @@ fn main() {
         let nodes = if quick { 64 } else { 1000 };
         sys::energy(nodes, 42, quick);
     }
+}
+
+/// `--json` mode: run exactly one of the long-haul experiments and
+/// print its canonical JSON document — nothing else — to stdout. The
+/// builders are the ones the testbed daemon's job runner calls, so the
+/// bytes here equal the daemon's stored `report.json` for the same
+/// experiment parameters.
+fn run_json(wanted: &[&str], quick: bool) {
+    use tinysdr_bench::waterfall::{run_waterfall, WaterfallConfig};
+    if wanted.len() != 1 {
+        eprintln!("--json takes exactly one of: waterfall, campaign, energy, perf");
+        std::process::exit(2);
+    }
+    // same seeds and node counts as the human-readable commands: the
+    // PHY sweep seed for waterfall, the canonical testbed seed 42 for
+    // the campaign experiments
+    let doc = match wanted[0] {
+        "waterfall" => {
+            let cfg = if quick {
+                WaterfallConfig::quick(0xBEEF)
+            } else {
+                WaterfallConfig::full(0xBEEF)
+            };
+            let shards = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2);
+            run_waterfall(&cfg.sharded(shards)).to_json()
+        }
+        "campaign" => {
+            let nodes = if quick { 20_000 } else { 1_000_000 };
+            tinysdr_bench::campaign::campaign_json(nodes, 42)
+        }
+        "energy" => {
+            let nodes = if quick { 64 } else { 1000 };
+            sys::energy_json(nodes, 42)
+        }
+        "perf" => tinysdr_bench::perf::measure_perf(quick).to_json(),
+        other => {
+            eprintln!("--json does not support '{other}' (only waterfall, campaign, energy, perf)");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", doc.write_pretty());
 }
 
 /// The PHY conformance waterfalls: sharded sweep, per-scenario curves,

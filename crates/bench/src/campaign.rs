@@ -21,11 +21,14 @@ use tinysdr_core::testbed::{CampaignConfig, CampaignReport, CheckpointConfig, Te
 use tinysdr_ota::aggregate::RetainMode;
 use tinysdr_ota::blocks::BlockedUpdate;
 use tinysdr_ota::image::FirmwareImage;
+use tinysdr_ota::json::Value;
 
 /// The firmware image every campaign node downloads: a mid-size MCU
 /// update (the paper's smallest update class, so million-node runs
-/// stay tractable on one machine).
-fn bench_update() -> BlockedUpdate {
+/// stay tractable on one machine). Public so the testbed daemon runs
+/// the *same* workload as `repro campaign` — a prerequisite for its
+/// bit-identical-report contract.
+pub fn bench_update() -> BlockedUpdate {
     BlockedUpdate::build(&FirmwareImage::mcu("fleet_fw", 8_000, 2))
 }
 
@@ -34,6 +37,14 @@ fn bench_shards() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
         .max(2)
+}
+
+/// The campaign configuration behind [`campaign_json`]: sharded to the
+/// machine's parallelism, sketch retention. The scheduler's
+/// sharded==sequential contract keeps the resulting report independent
+/// of the shard count, so this is deterministic in `seed` alone.
+pub fn bench_campaign_config(seed: u64) -> CampaignConfig {
+    CampaignConfig::sharded(seed, bench_shards()).with_retain(RetainMode::sketch())
 }
 
 /// Gate 1: work-stealing == sequential, bit for bit, in both retention
@@ -133,6 +144,20 @@ fn measured_run(nodes: usize, seed: u64, label: &str) -> (CampaignReport, f64) {
         rep.memory_bytes() / 1024
     );
     (rep, wall_s)
+}
+
+/// Run the benchmark campaign (`bench_update`, sharded scheduler,
+/// sketch retention) for `nodes` nodes at `seed` and return the
+/// canonical [`CampaignReport::to_json`] summary. This is the exact
+/// document `repro campaign --json` prints and a `tinysdr-testbedd`
+/// campaign job stores — one builder, so the two are bit-identical for
+/// the same `(nodes, seed)`. The sharded scheduler is bit-identical to
+/// sequential, so the shard count (machine parallelism) does not leak
+/// into the output.
+pub fn campaign_json(nodes: usize, seed: u64) -> Value {
+    let tb = Testbed::with_nodes(nodes, seed);
+    tb.run_campaign(&bench_update(), &bench_campaign_config(seed))
+        .to_json()
 }
 
 /// Format one f64 for the JSON writer (plain decimal, no locale).

@@ -27,6 +27,7 @@ use tinysdr_lora::demodulator::Demodulator;
 use tinysdr_lora::modem::LoraSerPhy;
 use tinysdr_lora::modulator::Modulator;
 use tinysdr_lora::packet::Frame;
+use tinysdr_ota::json::Value;
 use tinysdr_rf::impairments::{ChainScratch, ImpairmentChain, PreparedPass};
 use tinysdr_rf::phy::PhyModem;
 use tinysdr_zigbee::modem::ZigbeePhy;
@@ -84,7 +85,6 @@ fn gate_chain_bit_identity() {
             assert_eq!(reference, out, "prepared replay diverged at {rssi_dbm} dBm");
         }
     }
-    println!("gate: apply_into == prepared replay == apply, bit-identical (all nine stages)");
 }
 
 /// Gate 1b: every modem's batch overrides are bit-identical to the
@@ -114,7 +114,6 @@ fn gate_batch_bit_identity() {
             assert_eq!(rx, phy.demodulate(iq), "{} demodulate_batch", phy.label());
         }
     }
-    println!("gate: modulate_batch/demodulate_batch == scalar loops, bit-identical (3 PHYs)");
 }
 
 /// Time `reps` calls of `f` after one warm-up call and return the best
@@ -135,9 +134,101 @@ fn time_per_call(reps: u32, mut f: impl FnMut()) -> f64 {
 }
 
 /// One modem family's measured throughput, Msamples/s.
-struct ModemPoint {
-    mod_msps: f64,
-    demod_msps: f64,
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModemPoint {
+    /// Modulator throughput, Msamples/s (non-finite → `null` in JSON).
+    pub mod_msps: f64,
+    /// Demodulator throughput, Msamples/s.
+    pub demod_msps: f64,
+}
+
+impl ModemPoint {
+    fn to_json(&self) -> Value {
+        let num = |x: f64| {
+            if x.is_finite() {
+                Value::num(x)
+            } else {
+                Value::Null
+            }
+        };
+        Value::Obj(vec![
+            ("modulate_msps".into(), num(self.mod_msps)),
+            ("demodulate_msps".into(), num(self.demod_msps)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<ModemPoint> {
+        let num = |v: Option<&Value>| match v {
+            None | Some(Value::Null) => Some(f64::NAN),
+            Some(x) => x.as_f64(),
+        };
+        Some(ModemPoint {
+            mod_msps: num(v.get("modulate_msps"))?,
+            demod_msps: num(v.get("demodulate_msps"))?,
+        })
+    }
+}
+
+/// The measured `repro perf` report: three modem families plus the
+/// quick waterfall grid timing. This is what the `--json` path and the
+/// testbed daemon's `perf` jobs both serialize — one builder, so the
+/// two outputs are bit-identical for identical measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// LoRa SF8/BW125 frame workload.
+    pub lora: ModemPoint,
+    /// BLE GFSK beacon workload.
+    pub ble: ModemPoint,
+    /// 802.15.4 O-QPSK 16-byte frame workload.
+    pub zigbee: ModemPoint,
+    /// Points in the timed quick waterfall grid.
+    pub waterfall_grid_points: u64,
+    /// Best wall time of the quick waterfall grid, milliseconds.
+    pub waterfall_wall_ms: f64,
+}
+
+impl PerfReport {
+    /// Canonical JSON form (`kind: "perf"`, `schema: 1`).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("kind".into(), Value::str("perf")),
+            ("schema".into(), Value::num(1.0)),
+            ("lora_sf8_frame".into(), self.lora.to_json()),
+            ("ble_beacon".into(), self.ble.to_json()),
+            ("zigbee_16b_frame".into(), self.zigbee.to_json()),
+            (
+                "waterfall_grid_points".into(),
+                Value::num(self.waterfall_grid_points as f64),
+            ),
+            (
+                "waterfall_wall_ms".into(),
+                if self.waterfall_wall_ms.is_finite() {
+                    Value::num(self.waterfall_wall_ms)
+                } else {
+                    Value::Null
+                },
+            ),
+        ])
+    }
+
+    /// Rebuild a report from [`PerfReport::to_json`] output; `None` if
+    /// the value is not a well-formed perf report.
+    pub fn from_json(v: &Value) -> Option<PerfReport> {
+        if v.get("kind").and_then(Value::as_str) != Some("perf") {
+            return None;
+        }
+        let modem = |key: &str| ModemPoint::from_json(v.get(key)?);
+        Some(PerfReport {
+            lora: modem("lora_sf8_frame")?,
+            ble: modem("ble_beacon")?,
+            zigbee: modem("zigbee_16b_frame")?,
+            waterfall_grid_points: v.get("waterfall_grid_points").and_then(Value::as_u64)?,
+            waterfall_wall_ms: match v.get("waterfall_wall_ms") {
+                None | Some(Value::Null) => f64::NAN,
+                Some(x) => x.as_f64()?,
+            },
+        })
+    }
 }
 
 /// LoRa SF8/BW125, the 16-byte frame of `benches/modem.rs`, through the
@@ -279,6 +370,33 @@ fn write_trajectory(path: &str, experiment: &str, points: &[String]) -> std::io:
     std::fs::write(path, doc)
 }
 
+/// Run the bit-identity gates and the timed workloads, returning the
+/// measurements without printing anything — the shared engine behind
+/// `repro perf`, `repro perf --json`, and the testbed daemon's `perf`
+/// jobs. `quick` keeps the repetition counts CI-sized.
+///
+/// # Panics
+/// The gates `assert!`: a hot path diverging bit-wise from its
+/// reference aborts the run rather than report timings for wrong code.
+pub fn measure_perf(quick: bool) -> PerfReport {
+    gate_chain_bit_identity();
+    gate_batch_bit_identity();
+    // short bursts: long sustained loops depress clocks on small
+    // machines and skew the best-sample estimate downward
+    let reps = if quick { 10 } else { 20 };
+    let lora = measure_lora(reps);
+    let ble = measure_ble(reps);
+    let zigbee = measure_zigbee(reps);
+    let (points, wall_s) = measure_waterfall(if quick { 2 } else { 5 });
+    PerfReport {
+        lora,
+        ble,
+        zigbee,
+        waterfall_grid_points: points as u64,
+        waterfall_wall_ms: wall_s * 1e3,
+    }
+}
+
 /// The `repro perf` entry point: bit-identity gates, timed modem and
 /// waterfall runs, and the two trajectory files. `quick` keeps the
 /// repetition counts CI-sized and skips the wall-clock gate (shared
@@ -286,15 +404,11 @@ fn write_trajectory(path: &str, experiment: &str, points: &[String]) -> std::io:
 /// `REQUIRED_WATERFALL_SPEEDUP` (1.5×) against the recorded pre point.
 pub fn perf(quick: bool) {
     println!("== Hot-path perf: allocation-free batched DSP, gated trajectories ==\n");
-    gate_chain_bit_identity();
-    gate_batch_bit_identity();
+    let report = measure_perf(quick);
+    println!("gate: apply_into == prepared replay == apply, bit-identical (all nine stages)");
+    println!("gate: modulate_batch/demodulate_batch == scalar loops, bit-identical (3 PHYs)");
 
-    // short bursts: long sustained loops depress clocks on small
-    // machines and skew the best-sample estimate downward
-    let reps = if quick { 10 } else { 20 };
-    let lora = measure_lora(reps);
-    let ble = measure_ble(reps);
-    let zigbee = measure_zigbee(reps);
+    let (lora, ble, zigbee) = (&report.lora, &report.ble, &report.zigbee);
     println!(
         "modem throughput (Msamples/s): LoRa SF8 mod {:.1} / demod {:.1} | \
          BLE mod {:.1} / demod {:.1} | 802.15.4 mod {:.1} / demod {:.1}",
@@ -306,13 +420,13 @@ pub fn perf(quick: bool) {
         zigbee.demod_msps
     );
 
-    let (points, wall_s) = measure_waterfall(if quick { 2 } else { 5 });
-    let wall_ms = wall_s * 1e3;
+    let points = report.waterfall_grid_points as usize;
+    let wall_ms = report.waterfall_wall_ms;
     let speedup = PRE_WATERFALL_WALL_MS / wall_ms;
     println!(
         "waterfall quick grid: {points} points in {wall_ms:.1} ms ({:.0} points/s) — \
          {speedup:.2}x vs the recorded pre-refactor {PRE_WATERFALL_WALL_MS:.1} ms",
-        points as f64 / wall_s,
+        points as f64 / (wall_ms / 1e3),
     );
 
     let pre_modem = modem_point(
@@ -330,7 +444,7 @@ pub fn perf(quick: bool) {
             demod_msps: PRE_ZIGBEE_DEMOD_MSPS,
         },
     );
-    let post_modem = modem_point("post-batching", &lora, &ble, &zigbee);
+    let post_modem = modem_point("post-batching", lora, ble, zigbee);
     match write_trajectory("BENCH_modem.json", "modem_perf", &[pre_modem, post_modem]) {
         Ok(()) => println!("trajectory points written to BENCH_modem.json"),
         Err(e) => println!("could not write BENCH_modem.json: {e}"),
@@ -355,5 +469,65 @@ pub fn perf(quick: bool) {
              vs the recorded pre-refactor measurement"
         );
         println!("perf gate: {speedup:.2}x >= {REQUIRED_WATERFALL_SPEEDUP}x, holds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_report_json_round_trips() {
+        let rep = PerfReport {
+            lora: ModemPoint {
+                mod_msps: 357.679,
+                demod_msps: 20.38,
+            },
+            ble: ModemPoint {
+                mod_msps: 56.778,
+                demod_msps: 28.629,
+            },
+            zigbee: ModemPoint {
+                mod_msps: 11.5,
+                demod_msps: 4.25,
+            },
+            waterfall_grid_points: 57,
+            waterfall_wall_ms: 92.125,
+        };
+        let doc = rep.to_json().write_pretty();
+        let parsed =
+            PerfReport::from_json(&Value::parse(&doc).expect("parses")).expect("valid perf json");
+        assert_eq!(parsed, rep);
+        assert_eq!(rep.to_json().write_pretty(), doc);
+    }
+
+    #[test]
+    fn non_finite_throughput_serializes_as_null_and_reads_back_nan() {
+        let rep = PerfReport {
+            lora: ModemPoint {
+                mod_msps: 1.0,
+                demod_msps: 2.0,
+            },
+            ble: ModemPoint {
+                mod_msps: 3.0,
+                demod_msps: 4.0,
+            },
+            zigbee: ModemPoint {
+                mod_msps: f64::NAN,
+                demod_msps: f64::NAN,
+            },
+            waterfall_grid_points: 1,
+            waterfall_wall_ms: 5.0,
+        };
+        let doc = rep.to_json().write();
+        assert!(doc.contains("\"zigbee_16b_frame\":{\"modulate_msps\":null"));
+        let parsed = PerfReport::from_json(&Value::parse(&doc).unwrap()).unwrap();
+        assert!(parsed.zigbee.mod_msps.is_nan() && parsed.zigbee.demod_msps.is_nan());
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let v = Value::parse("{\"kind\":\"campaign\",\"schema\":1}").unwrap();
+        assert!(PerfReport::from_json(&v).is_none());
     }
 }

@@ -37,9 +37,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tinysdr_ble::modem::BleBerPhy;
+use tinysdr_dsp::cancel::CancelToken;
 use tinysdr_dsp::complex::Complex;
 use tinysdr_dsp::stats::threshold_crossing;
 use tinysdr_lora::modem::{LoraPerPhy, LoraSerPhy};
+use tinysdr_ota::json::Value;
 use tinysdr_ota::seed::stream_seed;
 use tinysdr_rf::impairments::{ChainScratch, ImpairmentChain, PreparedPass};
 use tinysdr_rf::phy::{ErrorCount, PhyModem, PhyRegistry};
@@ -445,6 +447,52 @@ impl WaterfallReport {
         }
         out
     }
+
+    /// As a JSON object (`kind: "waterfall"`): every grid point with
+    /// its exact integer counts, in the report's deterministic order —
+    /// the document the testbed daemon writes as `report.json` and
+    /// `repro --json waterfall` prints.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("kind".into(), Value::str("waterfall")),
+            ("schema".into(), Value::num(1.0)),
+            (
+                "points".into(),
+                Value::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Value::Obj(vec![
+                                ("scenario".into(), Value::str(&p.scenario)),
+                                ("impairment".into(), Value::str(&p.impairment)),
+                                ("rssi_dbm".into(), Value::num(p.rssi_dbm)),
+                                ("errors".into(), Value::num(p.errors as f64)),
+                                ("trials".into(), Value::num(p.trials as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Option<WaterfallReport> {
+        if v.get("kind")?.as_str()? != "waterfall" {
+            return None;
+        }
+        let mut points = Vec::new();
+        for p in v.get("points")?.as_arr()? {
+            points.push(SweepPoint {
+                scenario: p.get("scenario")?.as_str()?.to_string(),
+                impairment: p.get("impairment")?.as_str()?.to_string(),
+                rssi_dbm: p.get("rssi_dbm")?.as_f64()?,
+                errors: p.get("errors")?.as_u64()?,
+                trials: p.get("trials")?.as_u64()?,
+            });
+        }
+        Some(WaterfallReport { points })
+    }
 }
 
 /// Receiver energy per **delivered** bit, nJ, priced through the
@@ -635,6 +683,61 @@ fn run_curve(
 /// Propagates a panic from any sweep shard: a dead shard must abort
 /// the sweep, or the determinism contract would hide missing points.
 pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
+    match run_waterfall_inner(cfg, None) {
+        SweepRun::Complete(rep) => rep,
+        // without a token there is nothing to cancel the sweep
+        SweepRun::Cancelled { .. } => unreachable!("token-free sweep cannot be cancelled"),
+    }
+}
+
+/// Outcome of a cancellable sweep.
+#[derive(Debug)]
+pub enum SweepRun {
+    /// Every curve of the grid was measured.
+    Complete(WaterfallReport),
+    /// A cancel token was observed at a curve boundary; partial points
+    /// are discarded (curves are cheap enough to re-measure, and a
+    /// partial grid would silently skew sensitivity tables).
+    Cancelled {
+        /// Curves fully measured before the token was observed.
+        curves_done: usize,
+        /// Total curves in the grid (`scenarios × impairments`).
+        total_curves: usize,
+    },
+}
+
+impl SweepRun {
+    /// The completed report.
+    ///
+    /// # Panics
+    /// Panics if the sweep was cancelled — callers holding a live
+    /// token must match on [`SweepRun`] instead.
+    pub fn expect_complete(self) -> WaterfallReport {
+        match self {
+            SweepRun::Complete(rep) => rep,
+            SweepRun::Cancelled {
+                curves_done,
+                total_curves,
+            } => panic!("sweep cancelled at curve {curves_done}/{total_curves}"),
+        }
+    }
+}
+
+/// [`run_waterfall`] with cooperative cancellation: `cancel` is
+/// checked before each `scenario × impairment` curve (the sweep's
+/// natural unit of loss-free interruption). A token that is never
+/// cancelled changes nothing — the result is bit-identical to
+/// [`run_waterfall`].
+///
+/// # Panics
+/// Propagates a panic from any sweep shard, like [`run_waterfall`].
+pub fn run_waterfall_cancellable(cfg: &WaterfallConfig, cancel: &CancelToken) -> SweepRun {
+    run_waterfall_inner(cfg, Some(cancel))
+}
+
+fn run_waterfall_inner(cfg: &WaterfallConfig, cancel: Option<&CancelToken>) -> SweepRun {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
     let ctxs: Vec<Ctx> = (0..cfg.scenarios.len())
         .map(|s_idx| Ctx::build(cfg, s_idx))
         .collect();
@@ -644,12 +747,20 @@ pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
             jobs.push(CurveJob { s_idx, i_idx });
         }
     }
+    let total_curves = jobs.len();
+    let done = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
 
     let points: Vec<SweepPoint> = if cfg.shards <= 1 {
         let mut ws = WorkerScratch::default();
         let mut acc = Vec::new();
         for j in &jobs {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                aborted.store(true, Ordering::Relaxed);
+                break;
+            }
             run_curve(cfg, &ctxs, j, &mut ws, &mut acc);
+            done.fetch_add(1, Ordering::Relaxed);
         }
         acc
     } else {
@@ -662,11 +773,21 @@ pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
                 .chunks(chunk)
                 .map(|batch| {
                     let ctxs = &ctxs;
+                    let done = &done;
+                    let aborted = &aborted;
                     s.spawn(move |_| {
                         let mut ws = WorkerScratch::default();
                         let mut acc = Vec::new();
                         for j in batch {
+                            if aborted.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if cancel.is_some_and(|c| c.is_cancelled()) {
+                                aborted.store(true, Ordering::Relaxed);
+                                break;
+                            }
                             run_curve(cfg, ctxs, j, &mut ws, &mut acc);
+                            done.fetch_add(1, Ordering::Relaxed);
                         }
                         acc
                     })
@@ -674,13 +795,21 @@ pub fn run_waterfall(cfg: &WaterfallConfig) -> WaterfallReport {
                 .collect();
             let mut acc = Vec::new();
             for h in handles {
+                // lint: allow(unjustified-panic, a dead shard must abort the sweep or determinism would hide missing points)
                 acc.extend(h.join().expect("waterfall shard panicked"));
             }
             acc
         })
+        // lint: allow(unjustified-panic, scope only errs when a shard panicked; same abort-loudly contract)
         .expect("scope")
     };
-    WaterfallReport { points }
+    if aborted.load(Ordering::Relaxed) {
+        return SweepRun::Cancelled {
+            curves_done: done.load(Ordering::Relaxed),
+            total_curves,
+        };
+    }
+    SweepRun::Complete(WaterfallReport { points })
 }
 
 #[cfg(test)]
@@ -766,6 +895,61 @@ mod tests {
             let par = run_waterfall(&cfg.clone().sharded(shards));
             assert_eq!(seq, par, "{shards} shards diverged from sequential");
         }
+    }
+
+    #[test]
+    fn cancellable_sweep_matches_plain_and_cancels_at_curves() {
+        let cfg = tiny();
+        let plain = run_waterfall(&cfg);
+        // a live-but-never-cancelled token changes nothing
+        match run_waterfall_cancellable(&cfg, &CancelToken::new()) {
+            SweepRun::Complete(rep) => assert_eq!(rep, plain),
+            SweepRun::Cancelled { .. } => panic!("uncancelled token aborted the sweep"),
+        }
+        // a pre-cancelled token stops before the first curve
+        let tok = CancelToken::new();
+        tok.cancel();
+        match run_waterfall_cancellable(&cfg, &tok) {
+            SweepRun::Cancelled {
+                curves_done,
+                total_curves,
+            } => {
+                assert_eq!(curves_done, 0);
+                assert_eq!(total_curves, 2);
+            }
+            SweepRun::Complete(_) => panic!("cancelled token completed"),
+        }
+        // a fuse token trips between the two curves — one curve done
+        match run_waterfall_cancellable(&cfg, &CancelToken::cancelled_after(2)) {
+            SweepRun::Cancelled {
+                curves_done,
+                total_curves,
+            } => {
+                assert_eq!(curves_done, 1);
+                assert_eq!(total_curves, 2);
+            }
+            SweepRun::Complete(_) => panic!("fuse token completed"),
+        }
+        // sharded path: pre-cancelled token aborts every worker
+        match run_waterfall_cancellable(&cfg.clone().sharded(2), &tok) {
+            SweepRun::Cancelled { curves_done, .. } => assert_eq!(curves_done, 0),
+            SweepRun::Complete(_) => panic!("cancelled token completed sharded sweep"),
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let rep = run_waterfall(&tiny());
+        let doc = rep.to_json().write_pretty();
+        let parsed = WaterfallReport::from_json(&Value::parse(&doc).expect("parses"))
+            .expect("valid waterfall json");
+        assert_eq!(parsed, rep);
+        // serialization is deterministic: same report, same bytes
+        assert_eq!(rep.to_json().write_pretty(), doc);
+        // wrong kind is rejected
+        assert!(
+            WaterfallReport::from_json(&Value::parse("{\"kind\":\"perf\"}").unwrap()).is_none()
+        );
     }
 
     #[test]

@@ -47,11 +47,13 @@ use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use tinysdr_dsp::cancel::CancelToken;
 use tinysdr_dsp::stats::Ecdf;
 use tinysdr_ota::aggregate::{LifeProjection, NodeAggregate, NodeMetric, RetainMode};
 use tinysdr_ota::blocks::BlockedUpdate;
 use tinysdr_ota::broadcast::{run_broadcast_keyed, BroadcastConfig, BroadcastReport};
 use tinysdr_ota::checkpoint::{chain_mix, CampaignCheckpoint, CheckpointError, VERSION};
+use tinysdr_ota::json::{EcdfTable, Value};
 use tinysdr_ota::seed::{
     node_stream_seed, stream_seed, STREAM_BROADCAST, STREAM_INTERFERENCE, STREAM_SESSION,
 };
@@ -238,7 +240,10 @@ impl Testbed {
     }
 
     /// The scheduler core: claim blocks from the shared cursor, fold
-    /// them through the in-order merger, stop on interruption.
+    /// them through the in-order merger, stop on interruption or
+    /// cooperative cancellation (checked at each block claim — the
+    /// block is the campaign's cancellation granularity).
+    #[allow(clippy::too_many_arguments)] // one shared scheduler context, threaded explicitly
     fn scheduler_worker(
         nodes: &[Node],
         update: &BlockedUpdate,
@@ -247,9 +252,14 @@ impl Testbed {
         cursor: &AtomicUsize,
         merger: &Mutex<InOrderMerger>,
         abort: &AtomicBool,
+        cancel: Option<&CancelToken>,
     ) {
         loop {
             if abort.load(Ordering::Relaxed) {
+                return;
+            }
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                abort.store(true, Ordering::Relaxed);
                 return;
             }
             let b = cursor.fetch_add(1, Ordering::Relaxed);
@@ -277,6 +287,7 @@ impl Testbed {
         update: &BlockedUpdate,
         cfg: &CampaignConfig,
         ckpt: Option<&CheckpointConfig>,
+        cancel: Option<&CancelToken>,
     ) -> Result<CampaignRun, CheckpointError> {
         assert!(cfg.block_len >= 1, "block_len must be at least 1");
         let nblocks = nodes.len().div_ceil(cfg.block_len);
@@ -328,14 +339,16 @@ impl Testbed {
         let workers = cfg.shards.clamp(1, remaining.max(1));
 
         if workers <= 1 {
-            Self::scheduler_worker(nodes, update, cfg, nblocks, &cursor, &merger, &abort);
+            Self::scheduler_worker(
+                nodes, update, cfg, nblocks, &cursor, &merger, &abort, cancel,
+            );
         } else {
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         s.spawn(|_| {
                             Self::scheduler_worker(
-                                nodes, update, cfg, nblocks, &cursor, &merger, &abort,
+                                nodes, update, cfg, nblocks, &cursor, &merger, &abort, cancel,
                             )
                         })
                     })
@@ -355,8 +368,16 @@ impl Testbed {
             return Err(e);
         }
         if m.next_block < nblocks {
-            // interrupted by stop_after_blocks: persist the frontier
+            // stopped early (stop_after_blocks, or a cancel token seen
+            // at a block boundary): persist the merged frontier so a
+            // resume loses nothing
             m.write_checkpoint()?;
+            if !m.stopped && cancel.is_some_and(|c| c.is_cancelled()) {
+                return Ok(CampaignRun::Cancelled {
+                    merged_blocks: m.next_block,
+                    total_blocks: nblocks,
+                });
+            }
             return Ok(CampaignRun::Interrupted {
                 merged_blocks: m.next_block,
                 total_blocks: nblocks,
@@ -378,11 +399,12 @@ impl Testbed {
         update: &BlockedUpdate,
         cfg: &CampaignConfig,
     ) -> CampaignReport {
-        match Self::run_campaign_blocks(nodes, update, cfg, None) {
+        match Self::run_campaign_blocks(nodes, update, cfg, None, None) {
             Ok(CampaignRun::Complete(rep)) => rep,
-            // without a checkpoint config there is no I/O and no stop
-            // condition, so the engine cannot fail or stop early
-            Ok(CampaignRun::Interrupted { .. }) | Err(_) => {
+            // without a checkpoint config or cancel token there is no
+            // I/O and no stop condition, so the engine cannot fail or
+            // stop early
+            Ok(CampaignRun::Interrupted { .. } | CampaignRun::Cancelled { .. }) | Err(_) => {
                 unreachable!("checkpoint-free campaign cannot stop early or fail")
             }
         }
@@ -415,7 +437,43 @@ impl Testbed {
         cfg: &CampaignConfig,
         ckpt: &CheckpointConfig,
     ) -> Result<CampaignRun, CheckpointError> {
-        Self::run_campaign_blocks(&self.nodes, update, cfg, Some(ckpt))
+        Self::run_campaign_blocks(&self.nodes, update, cfg, Some(ckpt), None)
+    }
+
+    /// [`Self::run_campaign`] with cooperative cancellation: `cancel`
+    /// is checked at every block claim, and a cancelled run returns
+    /// [`CampaignRun::Cancelled`] with the merged frontier (nothing is
+    /// persisted — combine with a checkpoint config via
+    /// [`Self::run_campaign_checkpointed_cancellable`] when the
+    /// partial work should survive). A token that is never cancelled
+    /// changes nothing: the result is bit-identical to
+    /// [`Self::run_campaign`].
+    pub fn run_campaign_cancellable(
+        &self,
+        update: &BlockedUpdate,
+        cfg: &CampaignConfig,
+        cancel: &CancelToken,
+    ) -> CampaignRun {
+        match Self::run_campaign_blocks(&self.nodes, update, cfg, None, Some(cancel)) {
+            Ok(run) => run,
+            // lint: allow(unjustified-panic, without a checkpoint config the engine performs no I/O so Err is impossible)
+            Err(_) => unreachable!("checkpoint-free campaign cannot fail"),
+        }
+    }
+
+    /// [`Self::run_campaign_checkpointed`] with cooperative
+    /// cancellation. On cancellation the merged frontier is written to
+    /// `ckpt.path` first — the graceful-shutdown path of the testbed
+    /// daemon: cancel, checkpoint, and a later identical call resumes
+    /// bit-identically to an uninterrupted run.
+    pub fn run_campaign_checkpointed_cancellable(
+        &self,
+        update: &BlockedUpdate,
+        cfg: &CampaignConfig,
+        ckpt: &CheckpointConfig,
+        cancel: &CancelToken,
+    ) -> Result<CampaignRun, CheckpointError> {
+        Self::run_campaign_blocks(&self.nodes, update, cfg, Some(ckpt), Some(cancel))
     }
 
     /// Back-compat convenience: sequential unicast campaign.
@@ -703,14 +761,25 @@ pub enum CampaignRun {
         /// Total blocks in the campaign.
         total_blocks: usize,
     },
+    /// A cancel token was observed at a block boundary. When a
+    /// checkpoint config was present the merged prefix was persisted
+    /// before returning, so the run can resume later exactly like
+    /// [`CampaignRun::Interrupted`].
+    Cancelled {
+        /// Leading blocks merged before the token was observed.
+        merged_blocks: usize,
+        /// Total blocks in the campaign.
+        total_blocks: usize,
+    },
 }
 
 impl CampaignRun {
     /// The completed report.
     ///
     /// # Panics
-    /// Panics if the run was interrupted — callers that set
-    /// `stop_after_blocks` must match on [`CampaignRun`] instead.
+    /// Panics if the run was interrupted or cancelled — callers that
+    /// set `stop_after_blocks` or pass a cancel token must match on
+    /// [`CampaignRun`] instead.
     pub fn expect_complete(self) -> CampaignReport {
         match self {
             CampaignRun::Complete(rep) => rep,
@@ -718,6 +787,10 @@ impl CampaignRun {
                 merged_blocks,
                 total_blocks,
             } => panic!("campaign interrupted at block {merged_blocks}/{total_blocks}"),
+            CampaignRun::Cancelled {
+                merged_blocks,
+                total_blocks,
+            } => panic!("campaign cancelled at block {merged_blocks}/{total_blocks}"),
         }
     }
 }
@@ -919,6 +992,219 @@ impl CampaignReport {
             }
         }
         out
+    }
+}
+
+/// Five-number (plus mean) summary of one campaign observable, in
+/// whichever retention mode the campaign ran. The JSON form of a
+/// [`NodeMetric`]: everything the control plane reports per
+/// distribution without shipping the full curve (that is what
+/// [`CampaignReport::ecdf_tables`] is for). `None` fields (an empty
+/// distribution) serialize as `null`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistSummary {
+    /// Observations folded in.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Option<f64>,
+    /// Smallest observation.
+    pub min: Option<f64>,
+    /// Largest observation.
+    pub max: Option<f64>,
+    /// Median.
+    pub p50: Option<f64>,
+    /// 90th percentile.
+    pub p90: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+}
+
+impl DistSummary {
+    /// Summarize a metric (exact or sketch mode).
+    pub fn of(m: &NodeMetric) -> Self {
+        DistSummary {
+            count: m.len() as u64,
+            mean: m.mean(),
+            min: m.min(),
+            max: m.max(),
+            p50: m.quantile(0.50),
+            p90: m.quantile(0.90),
+            p99: m.quantile(0.99),
+        }
+    }
+
+    /// As a JSON object.
+    pub fn to_json(&self) -> Value {
+        let opt = |x: Option<f64>| x.map(Value::num).unwrap_or(Value::Null);
+        Value::Obj(vec![
+            ("count".into(), Value::num(self.count as f64)),
+            ("mean".into(), opt(self.mean)),
+            ("min".into(), opt(self.min)),
+            ("max".into(), opt(self.max)),
+            ("p50".into(), opt(self.p50)),
+            ("p90".into(), opt(self.p90)),
+            ("p99".into(), opt(self.p99)),
+        ])
+    }
+
+    /// Inverse of [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Option<DistSummary> {
+        let opt = |key: &str| -> Option<Option<f64>> {
+            match v.get(key)? {
+                Value::Null => Some(None),
+                other => Some(Some(other.as_f64()?)),
+            }
+        };
+        Some(DistSummary {
+            count: v.get("count")?.as_u64()?,
+            mean: opt("mean")?,
+            min: opt("min")?,
+            max: opt("max")?,
+            p50: opt("p50")?,
+            p90: opt("p90")?,
+            p99: opt("p99")?,
+        })
+    }
+}
+
+/// The serializable face of a [`CampaignReport`]: totals plus
+/// per-observable [`DistSummary`]s, identical whichever retention mode
+/// produced them. This is the document the testbed daemon writes as
+/// `report.json` and `repro --json` prints — both build it through
+/// [`CampaignReport::summary`], which is what makes the two outputs
+/// byte-comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Nodes the campaign programmed.
+    pub nodes: u64,
+    /// Sessions that completed the update.
+    pub completed: u64,
+    /// Sum of all sessions' air time, seconds.
+    pub total_air_time_s: f64,
+    /// Sum of all node energies, millijoules.
+    pub total_energy_mj: f64,
+    /// Total bytes over the air.
+    pub total_bytes: u64,
+    /// Whether per-node reports were retained exactly.
+    pub retain_exact: bool,
+    /// Per-component energy totals, ascending by tag.
+    pub energy_by_tag: Vec<(String, f64)>,
+    /// Programming-time distribution, minutes.
+    pub time_min: DistSummary,
+    /// Per-node energy distribution, millijoules.
+    pub energy_mj: DistSummary,
+    /// Per-node bytes-over-air distribution.
+    pub bytes: DistSummary,
+    /// Battery-life projection distribution, years (campaigns with a
+    /// [`LifeProjection`] only).
+    pub life_years: Option<DistSummary>,
+}
+
+impl CampaignSummary {
+    /// As a JSON object (`kind: "campaign"`).
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("kind".into(), Value::str("campaign")),
+            ("schema".into(), Value::num(1.0)),
+            ("nodes".into(), Value::num(self.nodes as f64)),
+            ("completed".into(), Value::num(self.completed as f64)),
+            ("total_air_time_s".into(), Value::num(self.total_air_time_s)),
+            ("total_energy_mj".into(), Value::num(self.total_energy_mj)),
+            ("total_bytes".into(), Value::num(self.total_bytes as f64)),
+            ("retain_exact".into(), Value::Bool(self.retain_exact)),
+            (
+                "energy_by_tag".into(),
+                Value::Obj(
+                    self.energy_by_tag
+                        .iter()
+                        .map(|(tag, mj)| (tag.clone(), Value::num(*mj)))
+                        .collect(),
+                ),
+            ),
+            ("time_min".into(), self.time_min.to_json()),
+            ("energy_mj".into(), self.energy_mj.to_json()),
+            ("bytes".into(), self.bytes.to_json()),
+        ];
+        fields.push((
+            "life_years".into(),
+            match &self.life_years {
+                Some(d) => d.to_json(),
+                None => Value::Null,
+            },
+        ));
+        Value::Obj(fields)
+    }
+
+    /// Inverse of [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Option<CampaignSummary> {
+        if v.get("kind")?.as_str()? != "campaign" {
+            return None;
+        }
+        let mut energy_by_tag = Vec::new();
+        for (tag, mj) in v.get("energy_by_tag")?.as_obj()? {
+            energy_by_tag.push((tag.clone(), mj.as_f64()?));
+        }
+        Some(CampaignSummary {
+            nodes: v.get("nodes")?.as_u64()?,
+            completed: v.get("completed")?.as_u64()?,
+            total_air_time_s: v.get("total_air_time_s")?.as_f64()?,
+            total_energy_mj: v.get("total_energy_mj")?.as_f64()?,
+            total_bytes: v.get("total_bytes")?.as_u64()?,
+            retain_exact: v.get("retain_exact")?.as_bool()?,
+            energy_by_tag,
+            time_min: DistSummary::from_json(v.get("time_min")?)?,
+            energy_mj: DistSummary::from_json(v.get("energy_mj")?)?,
+            bytes: DistSummary::from_json(v.get("bytes")?)?,
+            life_years: match v.get("life_years")? {
+                Value::Null => None,
+                d => Some(DistSummary::from_json(d)?),
+            },
+        })
+    }
+}
+
+impl CampaignReport {
+    /// The serializable summary of this report — a pure function of
+    /// the report, so two bit-identical reports summarize to
+    /// byte-identical JSON.
+    pub fn summary(&self) -> CampaignSummary {
+        CampaignSummary {
+            nodes: self.len() as u64,
+            completed: self.completed() as u64,
+            total_air_time_s: self.total_air_time_s(),
+            total_energy_mj: self.total_energy_mj(),
+            total_bytes: self.total_bytes(),
+            retain_exact: self.retain().is_exact(),
+            energy_by_tag: self.energy_by_tag().into_iter().collect(),
+            time_min: DistSummary::of(self.time_dist()),
+            energy_mj: DistSummary::of(self.energy_dist()),
+            bytes: DistSummary::of(self.bytes_dist()),
+            life_years: self.life_dist().map(DistSummary::of),
+        }
+    }
+
+    /// Shorthand for `summary().to_json()`.
+    pub fn to_json(&self) -> Value {
+        self.summary().to_json()
+    }
+
+    /// The report's distribution curves as artifact tables, each
+    /// thinned to at most `max_points` steps: programming time,
+    /// energy, bytes, and (when projected) battery life.
+    pub fn ecdf_tables(&self, max_points: usize) -> Vec<EcdfTable> {
+        let mut tables = vec![
+            EcdfTable::from_curve("time_min", &self.time_dist().curve(), max_points),
+            EcdfTable::from_curve("energy_mj", &self.energy_dist().curve(), max_points),
+            EcdfTable::from_curve("bytes", &self.bytes_dist().curve(), max_points),
+        ];
+        if let Some(life) = self.life_dist() {
+            tables.push(EcdfTable::from_curve(
+                "life_years",
+                &life.curve(),
+                max_points,
+            ));
+        }
+        tables
     }
 }
 
@@ -1215,7 +1501,7 @@ mod tests {
                     assert!(merged_blocks >= 2, "stopped at {merged_blocks}");
                     assert_eq!(total_blocks, 5);
                 }
-                CampaignRun::Complete(_) => panic!("must stop after 2 blocks"),
+                other => panic!("must stop after 2 blocks, got {other:?}"),
             }
             // phase 2: resume to completion
             let resumed = tb
@@ -1432,6 +1718,127 @@ mod tests {
             assert!(rep.repaired.get(id).is_some(), "repair keyed by id {id}");
         }
         assert!(rep.all_complete());
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let tb = Testbed::with_nodes(96, 5);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("cx", 6_000, 1));
+        let cfg = CampaignConfig::sharded(5, 3).with_block_len(8);
+        let plain = tb.run_campaign(&upd, &cfg);
+        let token = CancelToken::new();
+        let run = tb.run_campaign_cancellable(&upd, &cfg, &token);
+        match run {
+            CampaignRun::Complete(rep) => assert_eq!(rep, plain, "live token must be a no-op"),
+            other => panic!("uncancelled run did not complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_block() {
+        let tb = Testbed::with_nodes(64, 6);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("cc", 6_000, 1));
+        let token = CancelToken::new();
+        token.cancel();
+        let run = tb.run_campaign_cancellable(
+            &upd,
+            &CampaignConfig::sequential(6).with_block_len(8),
+            &token,
+        );
+        match run {
+            CampaignRun::Cancelled {
+                merged_blocks,
+                total_blocks,
+            } => {
+                assert_eq!(merged_blocks, 0);
+                assert_eq!(total_blocks, 8);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_checkpoint_resume_is_bit_identical() {
+        // A sequential run with a poll-fuse token dies at a
+        // deterministic block boundary; the cancellation path must
+        // have checkpointed the frontier, and resuming must equal the
+        // uninterrupted run bit for bit — the daemon's
+        // graceful-shutdown contract.
+        let tb = Testbed::with_nodes(128, 7);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("cr", 6_000, 1));
+        let cfg = CampaignConfig::sequential(7).with_block_len(8);
+        let uninterrupted = tb.run_campaign(&upd, &cfg);
+
+        let dir = std::env::temp_dir().join("tinysdr_core_cancel");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cancel_resume.ckpt");
+        std::fs::remove_file(&path).ok();
+        // the worker polls once per block claim; trip on the 6th poll
+        let token = CancelToken::cancelled_after(6);
+        let run = tb
+            .run_campaign_checkpointed_cancellable(
+                &upd,
+                &cfg,
+                &CheckpointConfig::new(&path, 1000),
+                &token,
+            )
+            .expect("cancelled run still writes its checkpoint");
+        match run {
+            CampaignRun::Cancelled { merged_blocks, .. } => {
+                assert_eq!(merged_blocks, 5, "fuse trips on the 6th block claim")
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(path.exists(), "cancellation must persist the frontier");
+
+        let resumed = tb
+            .run_campaign_checkpointed(&upd, &cfg, &CheckpointConfig::new(&path, 1000))
+            .expect("resume")
+            .expect_complete();
+        assert_eq!(resumed, uninterrupted, "cancel + resume diverged");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_json_round_trips_and_is_deterministic() {
+        let tb = Testbed::with_nodes(48, 9);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("js", 6_000, 1));
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(9));
+        let summary = rep.summary();
+        let doc = summary.to_json().write_pretty();
+        assert_eq!(
+            doc,
+            rep.summary().to_json().write_pretty(),
+            "summary JSON must be byte-deterministic"
+        );
+        let back = CampaignSummary::from_json(&Value::parse(&doc).expect("parses"))
+            .expect("well-formed summary");
+        assert_eq!(back, summary, "JSON round trip lost information");
+        assert_eq!(back.nodes, 48);
+        assert!(back.total_energy_mj > 0.0);
+    }
+
+    #[test]
+    fn ecdf_tables_cover_every_observable() {
+        let tb = Testbed::with_nodes(32, 10);
+        let upd = BlockedUpdate::build(&FirmwareImage::mcu("et", 6_000, 1));
+        let proj = LifeProjection {
+            period_s: 86_400.0,
+            sleep_mw: 0.03,
+            battery: Battery::lipo_1000mah(),
+        };
+        let rep = tb.run_campaign(&upd, &CampaignConfig::sequential(10).with_projection(proj));
+        let tables = rep.ecdf_tables(16);
+        let labels: Vec<&str> = tables.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, ["time_min", "energy_mj", "bytes", "life_years"]);
+        for t in &tables {
+            assert!(t.points.len() >= 2 && t.points.len() <= 16, "{}", t.label);
+            let parsed = tinysdr_ota::json::EcdfTable::from_json(
+                &Value::parse(&t.to_json().write()).expect("parses"),
+            )
+            .expect("table round trip");
+            assert_eq!(&parsed, t);
+        }
     }
 
     #[test]

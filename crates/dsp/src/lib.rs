@@ -36,6 +36,9 @@
 //!   ([`sketch::QuantileSketch`]) for bounded-memory million-node
 //!   campaign aggregation.
 //! * [`window`] — the usual spectral windows.
+//! * [`cancel`] — the cooperative [`cancel::CancelToken`] every
+//!   long-running engine (campaign scheduler, conformance sweep, the
+//!   testbed daemon's jobs) observes at its checkpoint boundaries.
 //!
 //! The crate is deliberately synchronous and allocation-conscious:
 //! hot loops operate on caller-provided slices and the FFT plan reuses its
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod chirp;
 pub mod complex;
 pub mod delay;

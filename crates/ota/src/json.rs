@@ -1,0 +1,711 @@
+//! Hand-rolled JSON: the workspace's one report/spec codec.
+//!
+//! The approved offline crate set has no `serde`, and the testbed
+//! control plane (job specs over HTTP, reports and ECDF tables on
+//! disk, the `repro --json` output) needs a wire format — so this
+//! module carries a small, fully deterministic JSON layer the same way
+//! [`crate::checkpoint`] carries the binary one. One codec, every
+//! consumer: the daemon and the CLI emit reports through the exact
+//! same functions, which is what makes "a job run through the daemon
+//! is bit-identical to the library call" checkable as plain string
+//! equality.
+//!
+//! Determinism contract:
+//!
+//! * Objects are ordered vectors, not hash maps — a document writes
+//!   the same bytes every time, and field order is part of the value.
+//! * Finite `f64`s print via Rust's shortest-round-trip `Display` and
+//!   therefore re-[`parse`](Value::parse) **bit-exactly**; non-finite
+//!   values serialize as `null` (reports never carry them — the
+//!   checkpoint codec rejects them outright).
+//! * Full-width integers (fingerprints, checksums) do **not** fit in a
+//!   JSON number's 53-bit mantissa; [`Value::hex_u64`] /
+//!   [`Value::as_hex_u64`] carry them as fixed-width hex strings.
+//!
+//! The parser is a recursive-descent reader with an explicit depth
+//! limit, accepts exactly the JSON grammar (RFC 8259) and nothing
+//! else, and reports byte offsets in errors.
+
+use std::fmt;
+
+/// Nesting depth the parser accepts before giving up — generous for
+/// every document this workspace produces, small enough to keep a
+/// hostile input from exhausting the stack.
+const MAX_DEPTH: usize = 96;
+
+/// A parsed (or to-be-written) JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Always finite (the writer maps non-finite to `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object: insertion-ordered key/value pairs (order is
+    /// significant — it is what makes writes byte-deterministic).
+    Obj(Vec<(String, Value)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong
+/// at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub msg: &'static str,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a number from anything losslessly representable as `f64`
+    /// (counts up to 2^53; for full-width words use
+    /// [`Value::hex_u64`]).
+    pub fn num(x: f64) -> Value {
+        Value::Num(x)
+    }
+
+    /// A `u64` carried exactly: a 16-digit lowercase hex string.
+    pub fn hex_u64(v: u64) -> Value {
+        Value::Str(format!("{v:016x}"))
+    }
+
+    /// Object field lookup (first match; documents here never repeat
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer (rejects fractions,
+    /// negatives and anything past 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        if (0.0..=9_007_199_254_740_992.0).contains(&x) && x.fract() == 0.0 {
+            Some(x as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Decode a [`Value::hex_u64`]-encoded word.
+    pub fn as_hex_u64(&self) -> Option<u64> {
+        let s = self.as_str()?;
+        if s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            u64::from_str_radix(s, 16).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Write compactly (no whitespace). `parse(write(v)) == v` for
+    /// every value this module can produce.
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, None, 0);
+        out
+    }
+
+    /// Write human-readably (two-space indent, one field per line,
+    /// trailing newline) — the artifact-file format.
+    pub fn write_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(x) => write_num(*x, out),
+            Value::Str(s) => write_str(s, out),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    v.write_into(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_str(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_into(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Shortest-round-trip number formatting: Rust's `Display` prints the
+/// fewest digits that re-parse to the same bits, which is exactly the
+/// bit-exactness contract this codec promises for finite values.
+fn write_num(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Display never emits `inf`/`NaN` here, and its `1e300`-style
+        // exponent form is valid JSON number syntax
+        out.push_str(&format!("{x}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { msg, at: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after key")?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // fast path: a run of plain UTF-8 up to the next quote,
+            // backslash or control byte
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                s.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    s.push(self.escape()?);
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{08}',
+            b'f' => '\u{0C}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // surrogate pair: the low half must follow
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // integer part: 0 alone or a nonzero-led digit run
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // the grammar above only admits valid f64 text, so this parse
+        // cannot fail; huge magnitudes saturate to infinity, which we
+        // reject to keep the "Num is always finite" invariant
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
+        let x: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+        if !x.is_finite() {
+            return Err(self.err("number out of f64 range"));
+        }
+        Ok(Value::Num(x))
+    }
+}
+
+/// One named ECDF curve, the artifact-file form of
+/// [`tinysdr_dsp::stats::Ecdf::curve`] /
+/// `NodeMetric::curve` output: `(x, P[X <= x])` steps, ascending in
+/// `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcdfTable {
+    /// What the curve measures (e.g. `"time_min"`, `"energy_mj"`).
+    pub label: String,
+    /// `(x, cumulative probability)` steps.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl EcdfTable {
+    /// Build from a metric curve, thinning to at most `max_points`
+    /// evenly strided steps (first and last always kept) so exact-mode
+    /// million-node campaigns don't write million-row artifacts.
+    pub fn from_curve(label: impl Into<String>, curve: &[(f64, f64)], max_points: usize) -> Self {
+        let max_points = max_points.max(2);
+        let points = if curve.len() <= max_points {
+            curve.to_vec()
+        } else {
+            let stride = (curve.len() - 1) as f64 / (max_points - 1) as f64;
+            (0..max_points)
+                .map(|i| curve[(i as f64 * stride).round() as usize])
+                .collect()
+        };
+        EcdfTable {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// As a JSON object `{label, points: [[x, p], ...]}`.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("label".into(), Value::str(&self.label)),
+            (
+                "points".into(),
+                Value::Arr(
+                    self.points
+                        .iter()
+                        .map(|&(x, p)| Value::Arr(vec![Value::num(x), Value::num(p)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Option<EcdfTable> {
+        let label = v.get("label")?.as_str()?.to_string();
+        let mut points = Vec::new();
+        for pair in v.get("points")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            points.push((pair[0].as_f64()?, pair[1].as_f64()?));
+        }
+        Some(EcdfTable { label, points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let compact = v.write();
+        assert_eq!(&Value::parse(&compact).expect("compact parses"), v);
+        let pretty = v.write_pretty();
+        assert_eq!(&Value::parse(&pretty).expect("pretty parses"), v);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::num(0.0));
+        roundtrip(&Value::num(-0.0));
+        roundtrip(&Value::num(1.5e-9));
+        roundtrip(&Value::num(f64::MAX));
+        roundtrip(&Value::num(f64::MIN_POSITIVE));
+        roundtrip(&Value::str("plain"));
+        roundtrip(&Value::str("esc \" \\ \n \t \u{1} snowman ☃"));
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        // awkward values: shortest-display must restore the exact bits
+        for &x in &[
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            6.02214076e23,
+            -2.2250738585072014e-308,
+            9_007_199_254_740_993.0,
+        ] {
+            let mut s = String::new();
+            write_num(x, &mut s);
+            let back: f64 = s.parse().expect("reparses");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} mangled to {back}");
+        }
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::num(1.0)),
+            ("name".into(), Value::str("campaign")),
+            (
+                "tags".into(),
+                Value::Arr(vec![Value::str("a"), Value::Null, Value::Bool(false)]),
+            ),
+            (
+                "nested".into(),
+                Value::Obj(vec![("fp".into(), Value::hex_u64(0xDEAD_BEEF_0BAD_F00D))]),
+            ),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            ("empty_obj".into(), Value::Obj(vec![])),
+        ]);
+        roundtrip(&doc);
+        assert_eq!(
+            doc.get("nested")
+                .and_then(|n| n.get("fp"))
+                .and_then(Value::as_hex_u64),
+            Some(0xDEAD_BEEF_0BAD_F00D)
+        );
+    }
+
+    #[test]
+    fn parser_accepts_foreign_whitespace_and_escapes() {
+        let v = Value::parse(" { \"a\" : [ 1 , 2.5e1 , \"\\u0041\\ud83d\\ude00\" ] } ")
+            .expect("parses");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Value::num(25.0));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2],
+            Value::str("A\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "nul",
+            "\"abc",
+            "\"\\q\"",
+            "{\"a\":1} x",
+            "\"\\ud800\"",
+            "1e999",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_writes_as_null() {
+        assert_eq!(Value::num(f64::NAN).write(), "null");
+        assert_eq!(Value::num(f64::INFINITY).write(), "null");
+    }
+
+    #[test]
+    fn as_u64_is_exactness_checked() {
+        assert_eq!(Value::num(42.0).as_u64(), Some(42));
+        assert_eq!(Value::num(42.5).as_u64(), None);
+        assert_eq!(Value::num(-1.0).as_u64(), None);
+        assert_eq!(Value::num(1e300).as_u64(), None);
+    }
+
+    #[test]
+    fn ecdf_table_round_trips_and_downsamples() {
+        let curve: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 * 0.25, (i + 1) as f64 / 100.0))
+            .collect();
+        let t = EcdfTable::from_curve("time_min", &curve, 16);
+        assert_eq!(t.points.len(), 16);
+        assert_eq!(t.points[0], curve[0], "first step kept");
+        assert_eq!(t.points[15], curve[99], "last step kept");
+        let back = EcdfTable::from_json(&Value::parse(&t.to_json().write()).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -34,6 +34,10 @@
 //! * [`checkpoint`] — versioned, deterministic on-disk campaign
 //!   checkpoints (hand-rolled codec, splitmix64-chained checksum) for
 //!   kill/resume of long campaigns.
+//! * [`json`] — the hand-rolled, byte-deterministic JSON codec behind
+//!   report serialization: job specs and reports for the testbed
+//!   control plane (`tinysdr-testbedd`) and the `repro --json` output
+//!   share these exact encode/decode paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ pub mod blocks;
 pub mod broadcast;
 pub mod checkpoint;
 pub mod image;
+pub mod json;
 pub mod lzo;
 pub mod protocol;
 pub mod seed;

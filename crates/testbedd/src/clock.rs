@@ -1,0 +1,83 @@
+//! The daemon's injected time source.
+//!
+//! Every timestamp the daemon records (submission, start, finish,
+//! retention ages) flows through [`Clock`], so tests drive a
+//! [`FakeClock`] deterministically and the workspace's ambient-time
+//! lint keeps `SystemTime::now` out of everything except the one
+//! annotated [`SystemClock`] implementation below.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Milliseconds since an arbitrary epoch (Unix epoch for the real
+/// clock; zero for fake clocks). Monotonicity is NOT guaranteed by the
+/// trait — consumers must tolerate equal or regressed readings.
+pub trait Clock: Send + Sync {
+    /// The current time in milliseconds.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time via `SystemTime` — the production clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    #[allow(clippy::disallowed_methods)] // the one sanctioned wall-clock read
+    fn now_ms(&self) -> u64 {
+        std::time::SystemTime::now() // lint: allow(ambient-time, the daemon's single injected wall-clock source)
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A manually advanced clock for tests: starts at 0 (or a chosen
+/// value) and moves only when told to.
+#[derive(Debug, Default, Clone)]
+pub struct FakeClock {
+    ms: Arc<AtomicU64>,
+}
+
+impl FakeClock {
+    /// A fake clock reading `start_ms`.
+    pub fn at(start_ms: u64) -> Self {
+        FakeClock {
+            ms: Arc::new(AtomicU64::new(start_ms)),
+        }
+    }
+
+    /// Advance the clock by `delta_ms`.
+    pub fn advance_ms(&self, delta_ms: u64) {
+        self.ms.fetch_add(delta_ms, Ordering::Relaxed);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_advances_only_when_told() {
+        let c = FakeClock::at(100);
+        assert_eq!(c.now_ms(), 100);
+        assert_eq!(c.now_ms(), 100);
+        c.advance_ms(50);
+        assert_eq!(c.now_ms(), 150);
+        // clones share the underlying time
+        let d = c.clone();
+        d.advance_ms(1);
+        assert_eq!(c.now_ms(), 151);
+    }
+
+    #[test]
+    fn system_clock_reads_a_plausible_epoch() {
+        // 2020-01-01 in ms — any sane wall clock is past this
+        assert!(SystemClock.now_ms() > 1_577_836_800_000);
+    }
+}

@@ -1,0 +1,336 @@
+//! The daemon: restore-on-start, a worker pool over the job queue, and
+//! the serial HTTP accept loop that is the control plane.
+//!
+//! Requests are answered inline on the accept thread — they are
+//! sub-millisecond queue/disk operations, while the actual experiment
+//! work happens on the workers — so `POST /v1/shutdown` can write its
+//! response and then simply fall out of the loop. Shutdown then closes
+//! the queue (`CloseMode::Now`: queued jobs stay queued on disk) and
+//! trips the shutdown token, which running campaign jobs observe at
+//! the next block boundary, checkpoint, and re-queue. A restarted
+//! daemon picks all of it back up from `state.json` records.
+//!
+//! ## API
+//!
+//! | Method + path                        | Effect                            |
+//! |--------------------------------------|-----------------------------------|
+//! | `GET  /v1/health`                    | liveness + queue counts           |
+//! | `POST /v1/jobs`                      | submit `{"spec":{...},"priority":n}` |
+//! | `GET  /v1/jobs`                      | every job record                  |
+//! | `GET  /v1/jobs/{id}`                 | one job record                    |
+//! | `POST /v1/jobs/{id}/cancel`          | request cancellation              |
+//! | `GET  /v1/jobs/{id}/artifacts`       | servable artifact names           |
+//! | `GET  /v1/jobs/{id}/artifacts/{name}`| artifact bytes                    |
+//! | `POST /v1/shutdown`                  | graceful stop (checkpoint + exit) |
+
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tinysdr_dsp::cancel::CancelToken;
+use tinysdr_ota::json::Value;
+
+use crate::clock::Clock;
+use crate::http::{self, Request};
+use crate::queue::JobQueue;
+use crate::runner::worker_loop;
+use crate::spec::JobSpec;
+use crate::store::ArtifactStore;
+
+/// Daemon settings. Retention defaults keep the newest 256 terminal
+/// jobs for at most 30 days.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Artifact-store root (job directories live under `<root>/jobs`).
+    pub root: PathBuf,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Retention: maximum terminal jobs kept on disk.
+    pub retain_max_jobs: usize,
+    /// Retention: maximum age of a terminal job, ms.
+    pub retain_max_age_ms: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults rooted at `root`: 2 workers, 256 jobs, 30 days.
+    pub fn new(root: PathBuf) -> DaemonConfig {
+        DaemonConfig {
+            root,
+            workers: 2,
+            retain_max_jobs: 256,
+            retain_max_age_ms: 30 * 24 * 3600 * 1000,
+        }
+    }
+}
+
+/// Run the daemon on an already-bound listener until `POST
+/// /v1/shutdown` (binding is the caller's job so tests and `--smoke`
+/// can use an ephemeral port and read it back before serving).
+///
+/// # Panics
+/// Panics if a worker thread panics (the runner converts engine panics
+/// to `Failed` jobs, so this indicates a scheduler bug).
+pub fn serve(cfg: &DaemonConfig, listener: &TcpListener, clock: &dyn Clock) -> io::Result<()> {
+    let store = ArtifactStore::open(&cfg.root)?;
+    let queue = JobQueue::new();
+    // restart path: every non-terminal record goes back in line, and
+    // its re-queued state is persisted immediately
+    for id in queue.restore(store.load_records()) {
+        if let Some(rec) = queue.get(&id) {
+            store.save_record(&rec).ok();
+        }
+    }
+    store.enforce_retention(cfg.retain_max_jobs, cfg.retain_max_age_ms, clock.now_ms());
+    let shutdown = CancelToken::new();
+    let api = Api {
+        queue: &queue,
+        store: &store,
+        clock,
+        cfg,
+    };
+    crossbeam::thread::scope(|s| {
+        for _ in 0..cfg.workers.max(1) {
+            s.spawn(|_| worker_loop(&queue, &store, clock, &shutdown));
+        }
+        accept_loop(listener, &api);
+        // stop dispatching; trip running jobs so campaigns checkpoint
+        // at the next block boundary and re-queue for the next start
+        queue.close();
+        shutdown.cancel();
+    })
+    // lint: allow(unjustified-panic, a panicking worker is a scheduler bug; runner contains engine panics)
+    .expect("worker pool");
+    Ok(())
+}
+
+/// Handle connections serially until a shutdown request.
+fn accept_loop(listener: &TcpListener, api: &Api<'_>) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // a hung client must not wedge the control plane
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+        match http::read_request(&mut stream) {
+            Ok(req) => {
+                if !api.handle(&req, &mut stream) {
+                    return;
+                }
+            }
+            Err(err) => http::write_error(&mut stream, &err),
+        }
+    }
+}
+
+/// The route table, bundled for testability (handlers write to any
+/// `Write`, so unit tests skip the socket).
+struct Api<'a> {
+    queue: &'a JobQueue,
+    store: &'a ArtifactStore,
+    clock: &'a dyn Clock,
+    cfg: &'a DaemonConfig,
+}
+
+/// `{"error": msg}`.
+fn err_json(msg: &str) -> Value {
+    Value::Obj(vec![("error".into(), Value::str(msg))])
+}
+
+impl Api<'_> {
+    /// Dispatch one request; `false` means shutdown was requested and
+    /// the accept loop should exit.
+    fn handle(&self, req: &Request, out: &mut impl Write) -> bool {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let r = match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["v1", "health"]) => http::write_json(out, 200, &self.health()),
+            ("POST", ["v1", "jobs"]) => self.submit(&req.body, out),
+            ("GET", ["v1", "jobs"]) => {
+                let jobs: Vec<Value> = self.queue.list().iter().map(|r| r.to_json()).collect();
+                let doc = Value::Obj(vec![("jobs".into(), Value::Arr(jobs))]);
+                http::write_json(out, 200, &doc)
+            }
+            ("GET", ["v1", "jobs", id]) => match self.queue.get(id) {
+                Some(rec) => http::write_json(out, 200, &rec.to_json()),
+                None => http::write_json(out, 404, &err_json("unknown job")),
+            },
+            ("POST", ["v1", "jobs", id, "cancel"]) => {
+                match self.queue.cancel(id, self.clock.now_ms()) {
+                    Some(rec) => {
+                        self.store.save_record(&rec).ok();
+                        http::write_json(out, 200, &rec.to_json())
+                    }
+                    None => http::write_json(out, 404, &err_json("unknown job")),
+                }
+            }
+            ("GET", ["v1", "jobs", id, "artifacts"]) => {
+                let names: Vec<Value> = self
+                    .store
+                    .list_artifacts(id)
+                    .into_iter()
+                    .map(Value::str)
+                    .collect();
+                let doc = Value::Obj(vec![("artifacts".into(), Value::Arr(names))]);
+                http::write_json(out, 200, &doc)
+            }
+            ("GET", ["v1", "jobs", id, "artifacts", name]) => {
+                match self.store.read_artifact(id, name) {
+                    Some(bytes) => http::write_response(out, 200, "application/json", &bytes),
+                    None => http::write_json(out, 404, &err_json("no such artifact")),
+                }
+            }
+            ("POST", ["v1", "shutdown"]) => {
+                let doc = Value::Obj(vec![("shutting_down".into(), Value::Bool(true))]);
+                http::write_json(out, 202, &doc).ok();
+                return false;
+            }
+            (_, ["v1", ..]) => http::write_json(out, 405, &err_json("method not allowed")),
+            _ => http::write_json(out, 404, &err_json("no such route")),
+        };
+        r.ok();
+        true
+    }
+
+    /// `POST /v1/jobs`: body is `{"spec": {...}, "priority": 0..=9}`
+    /// (priority optional, default 5). Responds 202 with the queued
+    /// record.
+    fn submit(&self, body: &[u8], out: &mut impl Write) -> io::Result<()> {
+        let parsed = std::str::from_utf8(body)
+            .ok()
+            .and_then(|text| Value::parse(text).ok());
+        let Some(doc) = parsed else {
+            return http::write_json(out, 400, &err_json("body is not valid json"));
+        };
+        let Some(spec) = doc.get("spec").and_then(JobSpec::from_json) else {
+            return http::write_json(out, 400, &err_json("missing or malformed spec"));
+        };
+        let priority = doc
+            .get("priority")
+            .and_then(Value::as_u64)
+            .map_or(5, |p| u8::try_from(p.min(9)).unwrap_or(9));
+        let rec = self.queue.submit(spec, priority, self.clock.now_ms());
+        self.store.save_record(&rec).ok();
+        // retention rides on submissions: disk stays bounded exactly
+        // when new work can grow it
+        self.store.enforce_retention(
+            self.cfg.retain_max_jobs,
+            self.cfg.retain_max_age_ms,
+            self.clock.now_ms(),
+        );
+        http::write_json(out, 202, &rec.to_json())
+    }
+
+    /// `GET /v1/health`.
+    fn health(&self) -> Value {
+        let (queued, running) = self.queue.counts();
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("queued".into(), Value::num(queued as f64)),
+            ("running".into(), Value::num(running as f64)),
+            ("jobs".into(), Value::num(self.queue.list().len() as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    fn api_fixture(tag: &str) -> (JobQueue, ArtifactStore, FakeClock, DaemonConfig) {
+        let root = std::env::temp_dir().join(format!("tinysdr_testbedd_daemon_{tag}"));
+        std::fs::remove_dir_all(&root).ok();
+        let store = ArtifactStore::open(&root).expect("store opens");
+        (
+            JobQueue::new(),
+            store,
+            FakeClock::at(50),
+            DaemonConfig::new(root),
+        )
+    }
+
+    fn call(api: &Api<'_>, method: &str, path: &str, body: &[u8]) -> (bool, String) {
+        let req = Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.to_vec(),
+        };
+        let mut out = Vec::new();
+        let keep_going = api.handle(&req, &mut out);
+        (keep_going, String::from_utf8(out).expect("utf8 response"))
+    }
+
+    #[test]
+    fn submit_status_cancel_flow_over_the_route_table() {
+        let (queue, store, clock, cfg) = api_fixture("flow");
+        let api = Api {
+            queue: &queue,
+            store: &store,
+            clock: &clock,
+            cfg: &cfg,
+        };
+        let (_, health) = call(&api, "GET", "/v1/health", b"");
+        assert!(health.contains("\"ok\": true"), "{health}");
+
+        let body = br#"{"spec":{"kind":"perf","quick":true},"priority":7}"#;
+        let (keep, resp) = call(&api, "POST", "/v1/jobs", body);
+        assert!(keep);
+        assert!(resp.starts_with("HTTP/1.1 202"), "{resp}");
+        assert!(resp.contains("\"state\": \"queued\""), "{resp}");
+        let rec = &queue.list()[0];
+        assert_eq!(rec.priority, 7);
+        // submission already persisted state.json
+        assert!(store.read_artifact(&rec.id, "state.json").is_some());
+
+        let (_, got) = call(&api, "GET", &format!("/v1/jobs/{}", rec.id), b"");
+        assert!(got.contains(&rec.id), "{got}");
+        let (_, cancelled) = call(&api, "POST", &format!("/v1/jobs/{}/cancel", rec.id), b"");
+        assert!(
+            cancelled.contains("\"state\": \"cancelled\""),
+            "{cancelled}"
+        );
+
+        let (_, missing) = call(&api, "GET", "/v1/jobs/job-9-ffffffff", b"");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let (_, bad) = call(&api, "POST", "/v1/jobs", b"{\"spec\":{}}");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let (_, wrong) = call(&api, "DELETE", "/v1/jobs", b"");
+        assert!(wrong.starts_with("HTTP/1.1 405"), "{wrong}");
+
+        let (keep, resp) = call(&api, "POST", "/v1/shutdown", b"");
+        assert!(!keep, "shutdown must break the accept loop");
+        assert!(resp.contains("\"shutting_down\": true"), "{resp}");
+    }
+
+    #[test]
+    fn artifact_routes_serve_only_the_allowlist() {
+        let (queue, store, clock, cfg) = api_fixture("artifacts");
+        let api = Api {
+            queue: &queue,
+            store: &store,
+            clock: &clock,
+            cfg: &cfg,
+        };
+        let rec = queue.submit(JobSpec::Perf { quick: true }, 5, 1);
+        store.save_record(&rec).expect("saves");
+        store
+            .write_artifact(&rec.id, "campaign.ckpt", b"binary")
+            .expect("writes");
+        let (_, listed) = call(&api, "GET", &format!("/v1/jobs/{}/artifacts", rec.id), b"");
+        assert!(listed.contains("state.json"), "{listed}");
+        assert!(!listed.contains("campaign.ckpt"), "{listed}");
+        let (_, state) = call(
+            &api,
+            "GET",
+            &format!("/v1/jobs/{}/artifacts/state.json", rec.id),
+            b"",
+        );
+        assert!(state.contains(&rec.id), "{state}");
+        let (_, blocked) = call(
+            &api,
+            "GET",
+            &format!("/v1/jobs/{}/artifacts/campaign.ckpt", rec.id),
+            b"",
+        );
+        assert!(blocked.starts_with("HTTP/1.1 404"), "{blocked}");
+    }
+}

@@ -1,0 +1,216 @@
+//! A deliberately tiny HTTP/1.1 subset over std I/O — just enough for
+//! the daemon's JSON API, with zero network dependencies.
+//!
+//! Scope: one request per connection (`Connection: close` on every
+//! response), request line + headers capped at 16 KB, bodies capped at
+//! 1 MB, and the only header the server reads is `Content-Length`.
+//! Anything outside that subset is answered with a 4xx and the
+//! connection dropped — the clients are `curl` and the e2e tests, not
+//! browsers.
+
+use std::io::{self, Read, Write};
+
+/// Cap on the request line + headers, bytes.
+const HEAD_CAP_BYTES: usize = 16 * 1024;
+
+/// Cap on a request body, bytes (job specs are a few hundred bytes;
+/// this is headroom, not a target).
+const BODY_CAP_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path (query strings are not used by this
+/// API and are left attached), and raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/jobs/job-000001-deadbeef`.
+    pub path: String,
+    /// Raw request body (empty when there is no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed before sending a full request head.
+    Closed,
+    /// Transport failure mid-read.
+    Io(io::Error),
+    /// Malformed or over-limit request; respond with this status and
+    /// message, then close.
+    Bad(u16, &'static str),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+/// Read one request from `stream`.
+///
+/// Reads byte-wise until the blank line (the head is tiny and the
+/// transport is loopback in every supported deployment), then reads
+/// exactly `Content-Length` body bytes.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= HEAD_CAP_BYTES {
+            return Err(RequestError::Bad(431, "request head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 if head.is_empty() => return Err(RequestError::Closed),
+            0 => return Err(RequestError::Bad(400, "truncated request head")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| RequestError::Bad(400, "non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") && !m.is_empty() => {
+            (m.to_string(), p.to_string())
+        }
+        _ => return Err(RequestError::Bad(400, "malformed request line")),
+    };
+    let mut content_len_bytes = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_len_bytes = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Bad(400, "bad content-length"))?;
+        }
+    }
+    if content_len_bytes > BODY_CAP_BYTES {
+        return Err(RequestError::Bad(413, "body too large"));
+    }
+    let mut body = vec![0u8; content_len_bytes];
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| RequestError::Bad(400, "truncated body"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Write one response and flush. Every response carries
+/// `Connection: close`; the caller drops the stream afterwards.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write a JSON response body (pretty-printed, trailing newline — the
+/// same convention as artifact files, so `curl | diff` against a
+/// stored report is a byte comparison).
+pub fn write_json(
+    stream: &mut impl Write,
+    status: u16,
+    doc: &tinysdr_ota::json::Value,
+) -> io::Result<()> {
+    write_response(
+        stream,
+        status,
+        "application/json",
+        doc.write_pretty().as_bytes(),
+    )
+}
+
+/// The canonical reason phrase for the handful of statuses this API
+/// emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Render a `RequestError::Bad` to the wire; other variants have no
+/// useful response (the peer is gone or the transport is broken).
+pub fn write_error(stream: &mut impl Write, err: &RequestError) {
+    if let RequestError::Bad(status, msg) = err {
+        let doc = tinysdr_ota::json::Value::Obj(vec![(
+            "error".to_string(),
+            tinysdr_ota::json::Value::str(*msg),
+        )]);
+        let _ = write_json(stream, *status, &doc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let wire = b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &wire[..]).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let wire = b"GET /v1/health HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &wire[..]).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/health");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(
+            read_request(&mut &b""[..]),
+            Err(RequestError::Closed)
+        ));
+        assert!(matches!(
+            read_request(&mut &b"nonsense\r\n\r\n"[..]),
+            Err(RequestError::Bad(400, _))
+        ));
+        let truncated = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            read_request(&mut &truncated[..]),
+            Err(RequestError::Bad(400, "truncated body"))
+        ));
+        let huge = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &huge[..]),
+            Err(RequestError::Bad(413, _))
+        ));
+    }
+
+    #[test]
+    fn response_carries_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"hi").expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+}

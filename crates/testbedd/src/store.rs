@@ -1,0 +1,218 @@
+//! The on-disk artifact store: one directory per job under
+//! `<root>/jobs/`, every file written atomically (temp + rename), and
+//! count/age retention over *terminal* jobs only — a running
+//! campaign's checkpoint is never eligible for pruning.
+//!
+//! Layout:
+//!
+//! ```text
+//! <root>/jobs/<job-id>/state.json     — the JobRecord (always present)
+//! <root>/jobs/<job-id>/report.json    — the experiment report (Done)
+//! <root>/jobs/<job-id>/ecdf.json      — distribution tables (campaigns)
+//! <root>/jobs/<job-id>/campaign.ckpt  — merge checkpoint (in-flight)
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tinysdr_ota::json::Value;
+
+use crate::spec::JobRecord;
+
+/// Artifact names the API will serve (a flat allowlist beats path
+/// sanitization: nothing outside a job directory is ever reachable).
+const SERVABLE: &[&str] = &["state.json", "report.json", "ecdf.json"];
+
+/// Per-job directory store rooted at `<root>/jobs`.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    jobs_dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) a store under `root`.
+    pub fn open(root: &Path) -> io::Result<ArtifactStore> {
+        let jobs_dir = root.join("jobs");
+        std::fs::create_dir_all(&jobs_dir)?;
+        Ok(ArtifactStore { jobs_dir })
+    }
+
+    /// The directory holding `id`'s artifacts.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.jobs_dir.join(id)
+    }
+
+    /// The campaign checkpoint path for `id` (the runner hands this to
+    /// `CheckpointConfig`; it is not listed as a servable artifact).
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("campaign.ckpt")
+    }
+
+    /// Atomically write `name` in `id`'s directory: temp file in the
+    /// same directory, then rename — a crash never leaves a torn file
+    /// at the final name.
+    pub fn write_artifact(&self, id: &str, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        let tmp = dir.join(format!("{name}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, dir.join(name))
+    }
+
+    /// Persist a job record as `state.json`.
+    pub fn save_record(&self, rec: &JobRecord) -> io::Result<()> {
+        self.write_artifact(
+            &rec.id,
+            "state.json",
+            rec.to_json().write_pretty().as_bytes(),
+        )
+    }
+
+    /// Persist a JSON document (pretty-printed, the artifact-file
+    /// convention) under `name`.
+    pub fn save_json(&self, id: &str, name: &str, doc: &Value) -> io::Result<()> {
+        self.write_artifact(id, name, doc.write_pretty().as_bytes())
+    }
+
+    /// Read one servable artifact. `None` when the name is off the
+    /// allowlist or the file does not exist.
+    pub fn read_artifact(&self, id: &str, name: &str) -> Option<Vec<u8>> {
+        if !SERVABLE.contains(&name) || id.contains(['/', '\\']) || id.contains("..") {
+            return None;
+        }
+        std::fs::read(self.job_dir(id).join(name)).ok()
+    }
+
+    /// The servable artifacts currently present for `id`, in allowlist
+    /// order (deterministic regardless of directory enumeration).
+    pub fn list_artifacts(&self, id: &str) -> Vec<String> {
+        let dir = self.job_dir(id);
+        SERVABLE
+            .iter()
+            .filter(|name| dir.join(name).is_file())
+            .map(|name| name.to_string())
+            .collect()
+    }
+
+    /// Load every job record in the store, sorted by id (and therefore
+    /// by submission sequence — ids embed a zero-padded sequence
+    /// number). Directories with unreadable or malformed `state.json`
+    /// are skipped, not fatal: one corrupt job must not brick the
+    /// daemon's restart.
+    pub fn load_records(&self) -> Vec<JobRecord> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.jobs_dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let Ok(text) = std::fs::read_to_string(entry.path().join("state.json")) else {
+                continue;
+            };
+            let Ok(doc) = Value::parse(&text) else {
+                continue;
+            };
+            if let Some(rec) = JobRecord::from_json(&doc) {
+                out.push(rec);
+            }
+        }
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    /// Prune terminal jobs: keep at most `max_jobs` (newest first, by
+    /// `finished_ms` then id) and drop any finished more than
+    /// `max_age_ms` before `now_ms`. Non-terminal jobs are never
+    /// touched. Returns the pruned job ids.
+    pub fn enforce_retention(&self, max_jobs: usize, max_age_ms: u64, now_ms: u64) -> Vec<String> {
+        let mut terminal: Vec<JobRecord> = self
+            .load_records()
+            .into_iter()
+            .filter(|r| r.state.is_terminal())
+            .collect();
+        // newest first; ties broken by id so the order is total
+        terminal.sort_by(|a, b| b.finished_ms.cmp(&a.finished_ms).then(b.id.cmp(&a.id)));
+        let mut pruned = Vec::new();
+        for (i, rec) in terminal.iter().enumerate() {
+            let too_many = i >= max_jobs;
+            let too_old = now_ms.saturating_sub(rec.finished_ms) > max_age_ms;
+            if (too_many || too_old) && std::fs::remove_dir_all(self.job_dir(&rec.id)).is_ok() {
+                pruned.push(rec.id.clone());
+            }
+        }
+        pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{job_id, JobSpec, JobState};
+
+    fn tmp_store(tag: &str) -> ArtifactStore {
+        let root = std::env::temp_dir().join(format!("tinysdr_testbedd_store_{tag}"));
+        std::fs::remove_dir_all(&root).ok();
+        ArtifactStore::open(&root).expect("store opens")
+    }
+
+    fn rec(seq: u64, state: JobState, finished_ms: u64) -> JobRecord {
+        let spec = JobSpec::Perf { quick: true };
+        let mut r = JobRecord::new(job_id(seq, spec.fingerprint()), spec, 5, 0);
+        r.state = state;
+        r.finished_ms = finished_ms;
+        r
+    }
+
+    #[test]
+    fn records_round_trip_through_disk_in_id_order() {
+        let store = tmp_store("roundtrip");
+        for seq in [3, 1, 2] {
+            store
+                .save_record(&rec(seq, JobState::Queued, 0))
+                .expect("saves");
+        }
+        let loaded = store.load_records();
+        assert_eq!(loaded.len(), 3);
+        assert!(loaded.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn artifacts_are_allowlisted_and_atomic() {
+        let store = tmp_store("allowlist");
+        let r = rec(1, JobState::Done, 10);
+        store.save_record(&r).expect("saves");
+        store
+            .save_json(&r.id, "report.json", &Value::str("hi"))
+            .expect("saves");
+        assert_eq!(
+            store.list_artifacts(&r.id),
+            vec!["state.json", "report.json"]
+        );
+        assert!(store.read_artifact(&r.id, "report.json").is_some());
+        // no temp residue from the atomic write
+        assert!(!store.job_dir(&r.id).join("report.json.tmp").exists());
+        // off-allowlist and traversal-shaped reads fail closed
+        assert!(store.read_artifact(&r.id, "campaign.ckpt").is_none());
+        assert!(store.read_artifact("../jobs", "state.json").is_none());
+    }
+
+    #[test]
+    fn retention_prunes_only_terminal_jobs_by_count_and_age() {
+        let store = tmp_store("retention");
+        store.save_record(&rec(1, JobState::Done, 100)).unwrap();
+        store.save_record(&rec(2, JobState::Done, 200)).unwrap();
+        store.save_record(&rec(3, JobState::Failed, 50)).unwrap(); // oldest
+        store.save_record(&rec(4, JobState::Running, 0)).unwrap(); // immune
+                                                                   // count cap 2: the oldest terminal job (seq 3) goes
+        let pruned = store.enforce_retention(2, u64::MAX, 1000);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned[0].starts_with("job-000003"));
+        // age cap: anything finished more than 850ms before now=1000
+        let pruned = store.enforce_retention(10, 850, 1000);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned[0].starts_with("job-000001"));
+        // the running job survived both sweeps
+        let left: Vec<JobRecord> = store.load_records();
+        assert!(left.iter().any(|r| r.state == JobState::Running));
+        assert_eq!(left.len(), 2);
+    }
+}

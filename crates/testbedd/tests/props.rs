@@ -1,0 +1,205 @@
+//! Property-based round-trip invariants for every document the daemon
+//! reads or writes: job specs, job records, and the experiment report
+//! types (`campaign`, `waterfall`, `perf`) plus ECDF artifact tables.
+//!
+//! The invariant under test is the serialization contract the control
+//! plane rests on: `from_json(parse(write(to_json(x)))) == x`, and the
+//! canonical byte form is a fixed point (`write ∘ to_json` is stable
+//! through one round trip). Counts are drawn within the codec's 2^53
+//! losslessness window; full-width words (seeds) cover all of `u64`
+//! because they travel as hex strings.
+
+use proptest::prelude::*;
+use tinysdr_bench::perf::{ModemPoint, PerfReport};
+use tinysdr_bench::waterfall::{SweepPoint, WaterfallReport};
+use tinysdr_core::testbed::{CampaignSummary, DistSummary};
+use tinysdr_ota::json::{EcdfTable, Value};
+use tinysdr_testbedd::spec::{job_id, JobRecord, JobSpec, JobState};
+
+/// Largest count that survives `as f64 as u64` losslessly.
+const MAX_COUNT: u64 = 1 << 53;
+
+/// One full codec cycle: canonical bytes -> parse -> from_json.
+fn recycle<T, F: Fn(&Value) -> Option<T>>(doc: &Value, from: F) -> Option<T> {
+    from(&Value::parse(&doc.write()).expect("canonical form parses"))
+}
+
+fn spec_from_draw(
+    kind: usize,
+    nodes: u64,
+    seed: u64,
+    quick: bool,
+    stop: u64,
+    stop_set: bool,
+) -> JobSpec {
+    match kind {
+        0 => JobSpec::Campaign {
+            nodes,
+            seed,
+            stop_after_blocks: stop_set.then_some(stop),
+        },
+        1 => JobSpec::Waterfall { seed, quick },
+        2 => JobSpec::EnergyRepro { nodes, seed },
+        _ => JobSpec::Perf { quick },
+    }
+}
+
+fn dist_from_draw(count: u64, vals: [f64; 6], mask: u8) -> DistSummary {
+    let opt = |i: usize| (mask & (1 << i) != 0).then_some(vals[i]);
+    DistSummary {
+        count,
+        mean: opt(0),
+        min: opt(1),
+        max: opt(2),
+        p50: opt(3),
+        p90: opt(4),
+        p99: opt(5),
+    }
+}
+
+proptest! {
+    /// Every spec kind round-trips exactly, and its canonical byte
+    /// form (the fingerprint input) is stable.
+    #[test]
+    fn job_spec_round_trips(
+        kind in 0usize..=3,
+        nodes in 0u64..=MAX_COUNT,
+        stop in 0u64..=MAX_COUNT,
+        seed in any::<u64>(),
+        quick in any::<bool>(),
+        stop_set in any::<bool>(),
+    ) {
+        let spec = spec_from_draw(kind, nodes, seed, quick, stop, stop_set);
+        let doc = spec.to_json();
+        prop_assert_eq!(recycle(&doc, JobSpec::from_json), Some(spec.clone()));
+        prop_assert_eq!(spec.to_json().write(), doc.write());
+        // identity is a function of the canonical bytes
+        prop_assert_eq!(spec.fingerprint(), JobSpec::from_json(&doc).unwrap().fingerprint());
+    }
+
+    /// Records round-trip through `state.json` bytes for every state,
+    /// priority, attempt count, and error text (including characters
+    /// the JSON writer must escape).
+    #[test]
+    fn job_record_round_trips(
+        seq in 0u64..=1_000_000,
+        seed in any::<u64>(),
+        priority in any::<u8>(),
+        state_idx in 0usize..=4,
+        error in prop::sample::select(vec!["", "boom", "panic: index out of bounds", "line\nbreak \"q\" \\ tab\t"]),
+        attempts in 0u64..=MAX_COUNT,
+        submitted_ms in 0u64..=MAX_COUNT,
+        started_ms in 0u64..=MAX_COUNT,
+        finished_ms in 0u64..=MAX_COUNT,
+        cancel in any::<bool>(),
+    ) {
+        let spec = JobSpec::Waterfall { seed, quick: false };
+        let mut rec = JobRecord::new(job_id(seq, spec.fingerprint()), spec, priority, submitted_ms);
+        rec.state = [JobState::Queued, JobState::Running, JobState::Done, JobState::Failed, JobState::Cancelled][state_idx];
+        rec.attempts = attempts;
+        rec.cancel_requested = cancel;
+        rec.started_ms = started_ms;
+        rec.finished_ms = finished_ms;
+        rec.error = error.to_string();
+        // the pretty form is what lands on disk; parse accepts it
+        let disk = rec.to_json().write_pretty();
+        let parsed = JobRecord::from_json(&Value::parse(&disk).expect("parses"));
+        prop_assert_eq!(parsed, Some(rec));
+    }
+
+    /// Waterfall reports of arbitrary grids round-trip point-for-point.
+    #[test]
+    fn waterfall_report_round_trips(
+        raw in prop::collection::vec(
+            (
+                prop::sample::select(vec!["lora_sf8", "ble_1m", "zigbee_oqpsk", "odd \"label\""]),
+                prop::sample::select(vec!["awgn", "cfo_20ppm", "iq_imbalance"]),
+                any::<f64>(),
+                0u64..=MAX_COUNT,
+                0u64..=MAX_COUNT,
+            ),
+            0..40,
+        ),
+    ) {
+        let report = WaterfallReport {
+            points: raw
+                .into_iter()
+                .map(|(scenario, impairment, rssi_dbm, errors, trials)| SweepPoint {
+                    scenario: scenario.to_string(),
+                    impairment: impairment.to_string(),
+                    rssi_dbm,
+                    errors,
+                    trials,
+                })
+                .collect(),
+        };
+        prop_assert_eq!(recycle(&report.to_json(), WaterfallReport::from_json), Some(report));
+    }
+
+    /// Perf reports round-trip; non-finite throughputs (a gate that
+    /// never ran) survive as `null` and come back NaN-for-NaN.
+    #[test]
+    fn perf_report_round_trips(
+        rates in prop::collection::vec(any::<f64>(), 6),
+        finite_mask in any::<u8>(),
+        grid in 0u64..=MAX_COUNT,
+        wall_ms in any::<f64>(),
+    ) {
+        let rate = |i: usize| if finite_mask & (1 << i) != 0 { rates[i] } else { f64::NAN };
+        let report = PerfReport {
+            lora: ModemPoint { mod_msps: rate(0), demod_msps: rate(1) },
+            ble: ModemPoint { mod_msps: rate(2), demod_msps: rate(3) },
+            zigbee: ModemPoint { mod_msps: rate(4), demod_msps: rate(5) },
+            waterfall_grid_points: grid,
+            waterfall_wall_ms: wall_ms,
+        };
+        let back = recycle(&report.to_json(), PerfReport::from_json).expect("round-trips");
+        // NaN != NaN, so compare through the canonical bytes
+        prop_assert_eq!(back.to_json().write(), report.to_json().write());
+    }
+
+    /// Campaign summaries — the daemon's `report.json` body — round-trip
+    /// with sparse distributions, tagged energy maps, and an optional
+    /// life projection.
+    #[test]
+    fn campaign_summary_round_trips(
+        nodes in 0u64..=MAX_COUNT,
+        completed in 0u64..=MAX_COUNT,
+        total_bytes in 0u64..=MAX_COUNT,
+        air_s in any::<f64>(),
+        energy_mj in any::<f64>(),
+        retain_exact in any::<bool>(),
+        with_life in any::<bool>(),
+        tag_mj in prop::collection::vec(any::<f64>(), 0..4),
+        dists in prop::collection::vec((0u64..=MAX_COUNT, any::<[f64; 6]>(), any::<u8>()), 4),
+    ) {
+        let summary = CampaignSummary {
+            nodes,
+            completed,
+            total_air_time_s: air_s,
+            total_energy_mj: energy_mj,
+            total_bytes,
+            retain_exact,
+            energy_by_tag: tag_mj
+                .iter()
+                .enumerate()
+                .map(|(i, mj)| (format!("tag{i}"), *mj))
+                .collect(),
+            time_min: dist_from_draw(dists[0].0, dists[0].1, dists[0].2),
+            energy_mj: dist_from_draw(dists[1].0, dists[1].1, dists[1].2),
+            bytes: dist_from_draw(dists[2].0, dists[2].1, dists[2].2),
+            life_years: with_life.then(|| dist_from_draw(dists[3].0, dists[3].1, dists[3].2)),
+        };
+        prop_assert_eq!(recycle(&summary.to_json(), CampaignSummary::from_json), Some(summary));
+    }
+
+    /// ECDF artifact tables round-trip step-for-step.
+    #[test]
+    fn ecdf_table_round_trips(
+        label in prop::sample::select(vec!["time_min", "energy_mj", "bytes", "life_years"]),
+        points in prop::collection::vec((any::<f64>(), any::<f64>()), 0..64),
+    ) {
+        let table = EcdfTable { label: label.to_string(), points };
+        prop_assert_eq!(recycle(&table.to_json(), EcdfTable::from_json), Some(table));
+    }
+}
