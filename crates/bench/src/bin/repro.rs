@@ -9,12 +9,13 @@
 //! repro energy              # power-state/energy axis (not in `all`)
 //! repro campaign            # million-node campaign scaling (not in `all`)
 //! repro perf                # hot-path perf gates + trajectories (not in `all`)
+//! repro link                # packet data plane: ARQ + multi-hop (not in `all`)
 //! repro --quick all         # reduced trial counts for smoke runs
 //! repro --json waterfall    # canonical JSON report on stdout
 //! ```
 //!
 //! `--json` works for exactly one of `waterfall`, `campaign`,
-//! `energy`, or `perf` and prints the experiment's canonical JSON
+//! `energy`, `perf`, or `link` and prints the experiment's canonical JSON
 //! document — the *same* bytes a `tinysdr-testbedd` job of the same
 //! kind stores as `report.json`, because both go through the one
 //! `to_json` builder per report type. Nothing else is printed, so the
@@ -40,7 +41,12 @@
 //! `BENCH_waterfall.json` trajectory points next to the recorded
 //! pre-refactor reference (`--quick`: CI-sized reps, no wall-clock
 //! gate — the fourth CI smoke step; full: enforces the 1.5x speedup
-//! floor on the recording machine).
+//! floor on the recording machine). `link` runs the packet data plane:
+//! the adversarial ARQ battery and the sharded-vs-sequential
+//! determinism contract (per-hop energy included, both asserted in
+//! `--quick` — the fifth CI smoke step), then the goodput-vs-RSSI
+//! curve and the multi-hop OTA dissemination table, and writes the
+//! `BENCH_link.json` trajectory point.
 
 use tinysdr_bench::phy_experiments as phy;
 use tinysdr_bench::system_experiments as sys;
@@ -73,7 +79,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: repro [--quick] [--json] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign|perf> ...");
+        eprintln!("usage: repro [--quick] [--json] <all|table1..table6|fig2|fig8..fig15b|sec51..sec53|sec6|ablation|waterfall|energy|campaign|perf|link> ...");
         std::process::exit(2);
     }
     if args.iter().any(|a| a == "--json") {
@@ -252,6 +258,15 @@ fn main() {
         let nodes = if quick { 64 } else { 1000 };
         sys::energy(nodes, 42, quick);
     }
+    if wanted.contains(&"link") {
+        // adversarial ARQ battery + (quick) sharded==sequential
+        // determinism contract with per-hop energy, then the
+        // goodput-vs-RSSI curve and multi-hop OTA dissemination table;
+        // writes the BENCH_link.json trajectory point. Uses the PHY
+        // sweep seed: the curve inherits its loss from the same
+        // impairment chain as the waterfalls.
+        tinysdr_bench::link::link(seed, quick);
+    }
 }
 
 /// `--json` mode: run exactly one of the long-haul experiments and
@@ -262,7 +277,7 @@ fn main() {
 fn run_json(wanted: &[&str], quick: bool) {
     use tinysdr_bench::waterfall::{run_waterfall, WaterfallConfig};
     if wanted.len() != 1 {
-        eprintln!("--json takes exactly one of: waterfall, campaign, energy, perf");
+        eprintln!("--json takes exactly one of: waterfall, campaign, energy, perf, link");
         std::process::exit(2);
     }
     // same seeds and node counts as the human-readable commands: the
@@ -290,8 +305,11 @@ fn run_json(wanted: &[&str], quick: bool) {
             sys::energy_json(nodes, 42)
         }
         "perf" => tinysdr_bench::perf::measure_perf(quick).to_json(),
+        "link" => tinysdr_bench::link::link_json(0xBEEF, quick),
         other => {
-            eprintln!("--json does not support '{other}' (only waterfall, campaign, energy, perf)");
+            eprintln!(
+                "--json does not support '{other}' (only waterfall, campaign, energy, perf, link)"
+            );
             std::process::exit(2);
         }
     };

@@ -1,0 +1,210 @@
+//! A deterministic discrete-event queue — the simulated clock behind
+//! the `tinysdr-link` network simulation.
+//!
+//! Determinism is the whole design: events are ordered by their firing
+//! time in **integer nanoseconds** (no float comparisons, no platform
+//! rounding), and ties are broken by insertion order via a monotonically
+//! increasing sequence number. Two runs that push the same events in the
+//! same order pop them in the same order, bit for bit — the property the
+//! link layer's sharded==sequential contract stands on.
+//!
+//! The queue carries an opaque payload type; it knows nothing about
+//! radios. Time never flows backwards through [`EventQueue::pop`]
+//! because a binary heap always yields its minimum key.
+
+use std::collections::BinaryHeap;
+
+/// Convert seconds to the queue's integer-nanosecond timebase, rounding
+/// to the nearest nanosecond. Saturates at `u64::MAX` (≈ 584 years of
+/// simulated time) and clamps negative inputs to zero, so arithmetic on
+/// derived airtimes can never panic or wrap.
+#[must_use]
+pub fn s_to_ns(t_s: f64) -> u64 {
+    if t_s <= 0.0 {
+        return 0;
+    }
+    let ns = (t_s * 1e9).round();
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Convert the integer-nanosecond timebase back to seconds.
+#[must_use]
+pub fn ns_to_s(t_ns: u64) -> f64 {
+    t_ns as f64 / 1e9
+}
+
+/// One scheduled entry: ordering key is `(t_ns, seq)` only — the
+/// payload never participates in comparisons, so it needs no `Ord`.
+struct Entry<E> {
+    t_ns: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_ns == other.t_ns && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, seq) on top
+        other
+            .t_ns
+            .cmp(&self.t_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// `pop` returns events in nondecreasing `t_ns` order; equal times fire
+/// in insertion order. The queue is single-threaded by design — the
+/// link simulation parallelizes across *scenarios*, never inside one
+/// simulated network.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `t_ns`.
+    pub fn push(&mut self, t_ns: u64, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { t_ns, seq, event });
+    }
+
+    /// Remove and return the earliest event as `(t_ns, event)`; `None`
+    /// when the queue is empty.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|e| (e.t_ns, e.event))
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_t_ns(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.t_ns)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (the tie-break counter) — a cheap
+    /// progress metric for run-away detection in simulation drivers.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_t_ns(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(42, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(5, 'x');
+        q.push(1, 'y');
+        assert_eq!(q.pop(), Some((1, 'y')));
+        q.push(3, 'z');
+        q.push(3, 'w');
+        assert_eq!(q.pop(), Some((3, 'z')));
+        assert_eq!(q.pop(), Some((3, 'w')));
+        assert_eq!(q.pop(), Some((5, 'x')));
+        assert_eq!(q.pushed(), 4);
+    }
+
+    #[test]
+    fn two_identical_runs_pop_identically() {
+        let build = || {
+            let mut q = EventQueue::new();
+            // adversarial: many duplicate keys pushed out of time order
+            for i in 0..500u64 {
+                q.push(i % 7, i);
+            }
+            let mut order = Vec::new();
+            while let Some(e) = q.pop() {
+                order.push(e);
+            }
+            order
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn seconds_round_trip_through_nanoseconds() {
+        for t in [0.0, 1.5e-3, 0.08, 12.25] {
+            let ns = s_to_ns(t);
+            assert!((ns_to_s(ns) - t).abs() < 1e-9, "{t}");
+        }
+        assert_eq!(s_to_ns(-1.0), 0, "negative time clamps");
+        assert_eq!(s_to_ns(f64::INFINITY), u64::MAX, "saturation");
+        // nearest-nanosecond rounding, not truncation
+        assert_eq!(s_to_ns(1.9e-9), 2);
+    }
+}

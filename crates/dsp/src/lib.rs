@@ -39,6 +39,9 @@
 //! * [`cancel`] — the cooperative [`cancel::CancelToken`] every
 //!   long-running engine (campaign scheduler, conformance sweep, the
 //!   testbed daemon's jobs) observes at its checkpoint boundaries.
+//! * [`event`] — the deterministic integer-nanosecond
+//!   [`event::EventQueue`] driving the `tinysdr-link` multi-node
+//!   network simulation (time-ordered, insertion-order tie-break).
 //!
 //! The crate is deliberately synchronous and allocation-conscious:
 //! hot loops operate on caller-provided slices and the FFT plan reuses its
@@ -52,6 +55,7 @@ pub mod cancel;
 pub mod chirp;
 pub mod complex;
 pub mod delay;
+pub mod event;
 pub mod fft;
 pub mod fir;
 pub mod fixed;

@@ -1,0 +1,948 @@
+//! Reliable byte-stream ARQ over lossy frames: stop-and-wait and
+//! sliding-window, as pure event-driven state machines.
+//!
+//! Neither endpoint owns a clock, a radio, or a thread. They consume
+//! inputs (`offer`/`close`, arriving frames, expired timers) and emit
+//! [`Action`]s; whoever drives them — the deterministic network
+//! simulation in [`crate::sim`], or a hand-written pump in a test —
+//! decides what "transmit" and "time" mean. That inversion is what
+//! makes the adversarial battery possible: a test can replay any
+//! loss/duplication/reorder schedule and assert the exact output.
+//!
+//! Protocol sketch (Go-Back-never — selective repeat):
+//!
+//! * The sender cuts the offered byte stream into `chunk_len` chunks,
+//!   each a [`FrameKind::Data`] frame. Chunks on the air always lie in
+//!   `[base, base + window)` where `base` is the oldest unacked index —
+//!   the spread bound, not just an inflight count, which is what keeps
+//!   a retransmission of the oldest frame recognizable at the receiver.
+//!   Each frame carries the low 16 bits of its 64-bit logical index.
+//! * The receiver buffers in-window chunks (deduplicating), ACKs every
+//!   one it accepts (and re-ACKs recent duplicates), and delivers
+//!   strictly in order.
+//! * Unacked chunks retransmit on timeout with exponential backoff
+//!   (`ack_timeout_s · backoff^(attempt-1)`) plus a small deterministic
+//!   jitter that breaks retry lockstep between colliding stations.
+//! * After every data chunk is acked the sender sends
+//!   [`FrameKind::Fin`] (seq = total chunk count mod 2^16); the
+//!   receiver answers [`FrameKind::FinAck`]. The distinct kind means a
+//!   stale data ACK can never be mistaken for stream termination.
+//! * Exceeding `max_attempts` on any frame fails the transfer with the
+//!   typed [`LinkError::Timeout`] — never a hang, never silent loss.
+//!
+//! Logical indices are 64-bit and never reused, so a stream longer than
+//! 65536 chunks is fine as long as `window ≤ 8192`: within one window
+//! the 16-bit wire sequence is unambiguous.
+
+use crate::frame::{Frame, FrameKind, MAX_PAYLOAD};
+use crate::unit_draw;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Sentinel logical index for the FIN frame in the timer table.
+const FIN_MARKER: u64 = u64::MAX;
+
+/// Configuration shared by both ARQ endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArqConfig {
+    /// Maximum data frames in flight (1 = stop-and-wait).
+    pub window: u16,
+    /// Transmission attempts per frame before the transfer fails.
+    pub max_attempts: u32,
+    /// First retransmission timeout, seconds, measured from the end of
+    /// the frame's own airtime.
+    pub ack_timeout_s: f64,
+    /// Multiplicative backoff applied per retransmission (≥ 1).
+    pub backoff: f64,
+    /// Data chunk size, bytes (≤ [`MAX_PAYLOAD`]).
+    pub chunk_len: usize,
+    /// Upper bound of the deterministic retry jitter, seconds.
+    pub retry_jitter_s: f64,
+}
+
+impl ArqConfig {
+    /// Stop-and-wait: one frame in flight.
+    #[must_use]
+    pub fn stop_and_wait() -> Self {
+        Self::sliding(1)
+    }
+
+    /// Sliding-window ARQ with `window` frames in flight.
+    ///
+    /// # Panics
+    /// Panics when `window` is 0 or exceeds 8192 (the bound that keeps
+    /// 16-bit wire sequences unambiguous against 64-bit logical
+    /// indices).
+    #[must_use]
+    pub fn sliding(window: u16) -> Self {
+        assert!(
+            (1..=8192).contains(&window),
+            "window {window} outside 1..=8192"
+        );
+        ArqConfig {
+            window,
+            max_attempts: 12,
+            ack_timeout_s: 0.08,
+            backoff: 1.5,
+            chunk_len: 60,
+            retry_jitter_s: 0.01,
+        }
+    }
+
+    /// Validate invariants the state machines rely on.
+    ///
+    /// # Panics
+    /// Panics on a window outside `1..=8192`, a chunk length outside
+    /// `1..=MAX_PAYLOAD`, a backoff below 1, or non-positive timeout.
+    pub fn check(&self) {
+        assert!(
+            (1..=8192).contains(&self.window),
+            "window {} outside 1..=8192",
+            self.window
+        );
+        assert!(
+            (1..=MAX_PAYLOAD).contains(&self.chunk_len),
+            "chunk_len {} outside 1..={MAX_PAYLOAD}",
+            self.chunk_len
+        );
+        assert!(self.backoff >= 1.0, "backoff {} < 1", self.backoff);
+        assert!(
+            self.ack_timeout_s > 0.0 && self.ack_timeout_s.is_finite(),
+            "non-positive ack timeout"
+        );
+        assert!(
+            self.retry_jitter_s >= 0.0 && self.retry_jitter_s.is_finite(),
+            "negative retry jitter"
+        );
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+    }
+}
+
+/// Typed link-layer failure. The ARQ contract is: exactly-once in-order
+/// delivery, or one of these — never a silent wedge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// A frame (logical index `seq`; [`u64::MAX`] for the FIN) was
+    /// transmitted `attempts` times without an acknowledgement.
+    Timeout {
+        /// Logical index of the frame that gave up.
+        seq: u64,
+        /// Transmissions performed before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Timeout { seq, attempts } if *seq == FIN_MARKER => {
+                write!(f, "link timeout: FIN unacked after {attempts} attempts")
+            }
+            LinkError::Timeout { seq, attempts } => {
+                write!(
+                    f,
+                    "link timeout: frame {seq} unacked after {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// What an endpoint wants its driver to do. Order within one output
+/// batch is significant and must be preserved by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit a frame, fire-and-forget (ACKs, pongs).
+    Tx {
+        /// The frame to put on the air.
+        frame: Frame,
+    },
+    /// Transmit a frame and start a retransmission timer that fires
+    /// `timeout_s` after the frame's airtime ends.
+    TxTimed {
+        /// The frame to put on the air.
+        frame: Frame,
+        /// Timer handle to hand back via `on_timer`.
+        timer_id: u64,
+        /// Timeout, seconds past end-of-transmission.
+        timeout_s: f64,
+    },
+    /// Start a pure timer `delay_s` from now (no transmission).
+    Delay {
+        /// Timer handle to hand back via `on_timer`.
+        timer_id: u64,
+        /// Delay, seconds from now.
+        delay_s: f64,
+    },
+    /// In-order stream bytes ready for the application.
+    Deliver {
+        /// The delivered chunk.
+        bytes: Vec<u8>,
+    },
+    /// The endpoint's job is done (sender: FIN acked; receiver: FIN
+    /// answered; pinger: all pings resolved).
+    Finished,
+    /// The transfer failed with a typed error; the endpoint is inert
+    /// from now on.
+    Failed {
+        /// Why.
+        error: LinkError,
+    },
+}
+
+#[derive(Debug)]
+struct Inflight {
+    payload: Vec<u8>,
+    attempts: u32,
+    timer_id: u64,
+}
+
+/// Sending half of the ARQ pipe. Drive it with [`ArqSender::offer`] /
+/// [`ArqSender::close`], feed arriving frames to
+/// [`ArqSender::on_frame`] and expired timers to
+/// [`ArqSender::on_timer`].
+#[derive(Debug)]
+pub struct ArqSender {
+    cfg: ArqConfig,
+    jitter_seed: u64,
+    jitter_draws: u64,
+    /// Bytes offered but not yet cut into a full chunk.
+    staged: Vec<u8>,
+    /// Chunks cut but not yet transmitted.
+    queue: VecDeque<Vec<u8>>,
+    /// Logical index the next transmitted chunk will get.
+    next_tx: u64,
+    /// Unacked chunks, keyed by logical index.
+    inflight: BTreeMap<u64, Inflight>,
+    /// timer id → logical index (FIN_MARKER for the FIN timer).
+    timers: BTreeMap<u64, u64>,
+    next_timer_id: u64,
+    closed: bool,
+    fin_sent: bool,
+    fin_attempts: u32,
+    finished: bool,
+    failed: Option<LinkError>,
+    bytes_offered: u64,
+    frames_sent: u64,
+    retransmissions: u64,
+}
+
+impl ArqSender {
+    /// A fresh sender. `jitter_seed` feeds the deterministic retry
+    /// jitter stream (derive it from the campaign seed so two stations
+    /// never share a jitter sequence).
+    ///
+    /// # Panics
+    /// Panics if `cfg` violates [`ArqConfig::check`].
+    #[must_use]
+    pub fn new(cfg: ArqConfig, jitter_seed: u64) -> Self {
+        cfg.check();
+        ArqSender {
+            cfg,
+            jitter_seed,
+            jitter_draws: 0,
+            staged: Vec::new(),
+            queue: VecDeque::new(),
+            next_tx: 0,
+            inflight: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            next_timer_id: 0,
+            closed: false,
+            fin_sent: false,
+            fin_attempts: 0,
+            finished: false,
+            failed: None,
+            bytes_offered: 0,
+            frames_sent: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// `true` once the FIN has been acknowledged.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The error that stopped the transfer, if any.
+    #[must_use]
+    pub fn failure(&self) -> Option<LinkError> {
+        self.failed
+    }
+
+    /// Total stream bytes accepted via [`ArqSender::offer`].
+    #[must_use]
+    pub fn bytes_offered(&self) -> u64 {
+        self.bytes_offered
+    }
+
+    /// Frames put on the air, including retransmissions and FINs.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Retransmissions performed (frames_sent minus first attempts).
+    #[must_use]
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    fn inert(&self) -> bool {
+        self.finished || self.failed.is_some()
+    }
+
+    /// Smallest logical index that could still be acked. Used to widen
+    /// 16-bit wire sequences back to 64 bits.
+    fn base(&self) -> u64 {
+        self.inflight.keys().next().copied().unwrap_or(self.next_tx)
+    }
+
+    fn alloc_timer(&mut self, logical: u64) -> u64 {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        self.timers.insert(id, logical);
+        id
+    }
+
+    fn jitter_s(&mut self) -> f64 {
+        let draw = unit_draw(self.jitter_seed, self.jitter_draws);
+        self.jitter_draws += 1;
+        draw * self.cfg.retry_jitter_s
+    }
+
+    /// Timeout for transmission attempt `attempts` (1-based).
+    fn timeout_s(&mut self, attempts: u32) -> f64 {
+        let backed_off = self.cfg.ack_timeout_s * self.cfg.backoff.powi(attempts as i32 - 1);
+        if attempts == 1 {
+            backed_off
+        } else {
+            backed_off + self.jitter_s()
+        }
+    }
+
+    /// Offer stream bytes. Chunks are cut and transmitted as window
+    /// space allows; a trailing partial chunk stays staged until more
+    /// bytes arrive or [`ArqSender::close`] flushes it.
+    pub fn offer(&mut self, bytes: &[u8], out: &mut Vec<Action>) {
+        if self.inert() {
+            return;
+        }
+        assert!(!self.closed, "offer after close");
+        self.bytes_offered += bytes.len() as u64;
+        self.staged.extend_from_slice(bytes);
+        while self.staged.len() >= self.cfg.chunk_len {
+            let rest = self.staged.split_off(self.cfg.chunk_len);
+            let chunk = std::mem::replace(&mut self.staged, rest);
+            self.queue.push_back(chunk);
+        }
+        self.pump(out);
+    }
+
+    /// No more bytes are coming: flush the staged partial chunk and,
+    /// once everything is acked, send the FIN.
+    pub fn close(&mut self, out: &mut Vec<Action>) {
+        if self.inert() || self.closed {
+            return;
+        }
+        self.closed = true;
+        if !self.staged.is_empty() {
+            let chunk = std::mem::take(&mut self.staged);
+            self.queue.push_back(chunk);
+        }
+        self.pump(out);
+        self.maybe_fin(out);
+    }
+
+    fn pump(&mut self, out: &mut Vec<Action>) {
+        // Classic selective-repeat send window: only logical indices in
+        // [base, base + window) may ever be on the air. Bounding the
+        // *spread* (not just the inflight count) is what entitles the
+        // receiver to re-ACK any duplicate within `window` behind its
+        // expected index and drop everything older — with count-only
+        // limiting, one stuck frame lets the stream run arbitrarily far
+        // ahead and its eventual retransmission is no longer
+        // recognizable as a duplicate.
+        while self.next_tx < self.base().saturating_add(self.cfg.window as u64) {
+            let Some(payload) = self.queue.pop_front() else {
+                break;
+            };
+            let logical = self.next_tx;
+            self.next_tx += 1;
+            let timer_id = self.alloc_timer(logical);
+            let timeout_s = self.timeout_s(1);
+            self.inflight.insert(
+                logical,
+                Inflight {
+                    payload: payload.clone(),
+                    attempts: 1,
+                    timer_id,
+                },
+            );
+            self.frames_sent += 1;
+            out.push(Action::TxTimed {
+                frame: Frame::data(logical as u16, payload),
+                timer_id,
+                timeout_s,
+            });
+        }
+    }
+
+    fn maybe_fin(&mut self, out: &mut Vec<Action>) {
+        if !self.closed
+            || self.fin_sent
+            || !self.inflight.is_empty()
+            || !self.queue.is_empty()
+            || !self.staged.is_empty()
+        {
+            return;
+        }
+        self.fin_sent = true;
+        self.fin_attempts = 1;
+        let timer_id = self.alloc_timer(FIN_MARKER);
+        let timeout_s = self.timeout_s(1);
+        self.frames_sent += 1;
+        out.push(Action::TxTimed {
+            frame: Frame::fin(self.next_tx as u16),
+            timer_id,
+            timeout_s,
+        });
+    }
+
+    /// Process an arriving frame. Non-ACK kinds are ignored — on a
+    /// broadcast medium the sender overhears data frames from relays
+    /// and pings from neighbours, and they are not for it.
+    pub fn on_frame(&mut self, frame: &Frame, out: &mut Vec<Action>) {
+        if self.inert() {
+            return;
+        }
+        match frame.kind {
+            FrameKind::Ack => {
+                let base = self.base();
+                let delta = frame.seq.wrapping_sub(base as u16) as u64;
+                let logical = base + delta;
+                if let Some(chunk) = self.inflight.remove(&logical) {
+                    self.timers.remove(&chunk.timer_id);
+                    self.pump(out);
+                    self.maybe_fin(out);
+                }
+                // unknown logical index: duplicate/stale ACK, ignore
+            }
+            FrameKind::FinAck if self.fin_sent && frame.seq == self.next_tx as u16 => {
+                self.finished = true;
+                self.timers.clear();
+                out.push(Action::Finished);
+            }
+            _ => {}
+        }
+    }
+
+    /// Process an expired timer. Stale handles (already acked, already
+    /// superseded by a retransmission) are ignored — logical indices
+    /// are never reused, so there is no ABA hazard.
+    pub fn on_timer(&mut self, timer_id: u64, out: &mut Vec<Action>) {
+        if self.inert() {
+            return;
+        }
+        let Some(logical) = self.timers.remove(&timer_id) else {
+            return;
+        };
+        if logical == FIN_MARKER {
+            if self.fin_attempts >= self.cfg.max_attempts {
+                let error = LinkError::Timeout {
+                    seq: FIN_MARKER,
+                    attempts: self.fin_attempts,
+                };
+                self.failed = Some(error);
+                self.timers.clear();
+                out.push(Action::Failed { error });
+                return;
+            }
+            self.fin_attempts += 1;
+            let attempts = self.fin_attempts;
+            let timer_id = self.alloc_timer(FIN_MARKER);
+            let timeout_s = self.timeout_s(attempts);
+            self.frames_sent += 1;
+            self.retransmissions += 1;
+            out.push(Action::TxTimed {
+                frame: Frame::fin(self.next_tx as u16),
+                timer_id,
+                timeout_s,
+            });
+            return;
+        }
+        let attempts = {
+            let Some(chunk) = self.inflight.get_mut(&logical) else {
+                return;
+            };
+            if chunk.attempts >= self.cfg.max_attempts {
+                let error = LinkError::Timeout {
+                    seq: logical,
+                    attempts: chunk.attempts,
+                };
+                self.failed = Some(error);
+                self.timers.clear();
+                out.push(Action::Failed { error });
+                return;
+            }
+            chunk.attempts += 1;
+            chunk.attempts
+        };
+        let timer_id = self.alloc_timer(logical);
+        let timeout_s = self.timeout_s(attempts);
+        // lint: allow(unjustified-panic, presence checked above; alloc_timer/timeout_s never remove entries)
+        let chunk = self.inflight.get_mut(&logical).expect("still inflight");
+        chunk.timer_id = timer_id;
+        self.frames_sent += 1;
+        self.retransmissions += 1;
+        out.push(Action::TxTimed {
+            frame: Frame::data(logical as u16, chunk.payload.clone()),
+            timer_id,
+            timeout_s,
+        });
+    }
+}
+
+/// Receiving half of the ARQ pipe: buffers in-window chunks, ACKs,
+/// deduplicates, and delivers strictly in order.
+#[derive(Debug)]
+pub struct ArqReceiver {
+    cfg: ArqConfig,
+    /// Logical index of the next in-order chunk to deliver.
+    expected: u64,
+    /// Out-of-order chunks waiting for the gap to fill.
+    buffer: BTreeMap<u64, Vec<u8>>,
+    finished: bool,
+    delivered_bytes: u64,
+    duplicates: u64,
+}
+
+impl ArqReceiver {
+    /// A fresh receiver. Use the same `cfg` as the sender — the window
+    /// bounds how far ahead a wire sequence may be interpreted.
+    ///
+    /// # Panics
+    /// Panics if `cfg` violates [`ArqConfig::check`].
+    #[must_use]
+    pub fn new(cfg: ArqConfig) -> Self {
+        cfg.check();
+        ArqReceiver {
+            cfg,
+            expected: 0,
+            buffer: BTreeMap::new(),
+            finished: false,
+            delivered_bytes: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// `true` once the FIN has been answered.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total bytes handed to the application, in order, exactly once.
+    #[must_use]
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Duplicate data frames observed (and re-ACKed or discarded).
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Process an arriving frame.
+    pub fn on_frame(&mut self, frame: &Frame, out: &mut Vec<Action>) {
+        match frame.kind {
+            FrameKind::Data => {
+                if self.finished {
+                    // late duplicate after the stream closed: re-ACK so
+                    // a retransmitting sender can make progress
+                    self.duplicates += 1;
+                    out.push(Action::Tx {
+                        frame: Frame::ack(frame.seq),
+                    });
+                    return;
+                }
+                let window = self.cfg.window as u64;
+                let fwd = frame.seq.wrapping_sub(self.expected as u16) as u64;
+                if fwd < window {
+                    let logical = self.expected + fwd;
+                    match self.buffer.entry(logical) {
+                        std::collections::btree_map::Entry::Occupied(_) => self.duplicates += 1,
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(frame.payload.clone());
+                        }
+                    }
+                    out.push(Action::Tx {
+                        frame: Frame::ack(frame.seq),
+                    });
+                    while let Some(payload) = self.buffer.remove(&self.expected) {
+                        self.expected += 1;
+                        self.delivered_bytes += payload.len() as u64;
+                        out.push(Action::Deliver { bytes: payload });
+                    }
+                    return;
+                }
+                let bwd = (self.expected as u16).wrapping_sub(frame.seq) as u64;
+                if (1..=window).contains(&bwd) {
+                    // already delivered; the ACK must have been lost
+                    self.duplicates += 1;
+                    out.push(Action::Tx {
+                        frame: Frame::ack(frame.seq),
+                    });
+                }
+                // anything else: out-of-window garbage, drop silently
+            }
+            FrameKind::Fin if frame.seq == self.expected as u16 && self.buffer.is_empty() => {
+                out.push(Action::Tx {
+                    frame: Frame::fin_ack(frame.seq),
+                });
+                if !self.finished {
+                    self.finished = true;
+                    out.push(Action::Finished);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a sender/receiver pair over a perfect, zero-latency
+    /// channel until neither produces new work. Timers never fire.
+    fn run_perfect(payload: &[u8], cfg: ArqConfig) -> (Vec<u8>, ArqSender, ArqReceiver) {
+        let mut s = ArqSender::new(cfg.clone(), 7);
+        let mut r = ArqReceiver::new(cfg);
+        let mut delivered = Vec::new();
+        let mut s_out = Vec::new();
+        s.offer(payload, &mut s_out);
+        s.close(&mut s_out);
+        // alternate until quiescent
+        let mut to_receiver: Vec<Frame> = drain_frames(&mut s_out);
+        for _ in 0..10_000 {
+            if to_receiver.is_empty() {
+                break;
+            }
+            let mut r_out = Vec::new();
+            for f in to_receiver.drain(..) {
+                r.on_frame(&f, &mut r_out);
+            }
+            let mut s_in = Vec::new();
+            for a in r_out {
+                match a {
+                    Action::Tx { frame } => s_in.push(frame),
+                    Action::Deliver { bytes } => delivered.extend(bytes),
+                    Action::Finished => {}
+                    other => panic!("unexpected receiver action {other:?}"),
+                }
+            }
+            let mut s_out = Vec::new();
+            for f in s_in {
+                s.on_frame(&f, &mut s_out);
+            }
+            to_receiver = drain_frames(&mut s_out);
+        }
+        (delivered, s, r)
+    }
+
+    fn drain_frames(actions: &mut Vec<Action>) -> Vec<Frame> {
+        actions
+            .drain(..)
+            .filter_map(|a| match a {
+                Action::Tx { frame } | Action::TxTimed { frame, .. } => Some(frame),
+                Action::Finished | Action::Failed { .. } => None,
+                other => panic!("unexpected sender action {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_channel_delivers_stream_stop_and_wait() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let (delivered, s, r) = run_perfect(&payload, ArqConfig::stop_and_wait());
+        assert_eq!(delivered, payload);
+        assert!(s.is_finished());
+        assert!(r.is_finished());
+        assert_eq!(s.retransmissions(), 0);
+        assert_eq!(r.duplicates(), 0);
+        // 1000 bytes / 60-byte chunks = 17 data frames + 1 FIN
+        assert_eq!(s.frames_sent(), 18);
+    }
+
+    #[test]
+    fn perfect_channel_delivers_stream_sliding() {
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i * 7 % 256) as u8).collect();
+        let (delivered, s, r) = run_perfect(&payload, ArqConfig::sliding(8));
+        assert_eq!(delivered, payload);
+        assert!(s.is_finished() && r.is_finished());
+    }
+
+    #[test]
+    fn empty_stream_is_just_a_fin_handshake() {
+        let (delivered, s, r) = run_perfect(&[], ArqConfig::sliding(4));
+        assert!(delivered.is_empty());
+        assert!(s.is_finished() && r.is_finished());
+        assert_eq!(s.frames_sent(), 1, "only the FIN");
+    }
+
+    #[test]
+    fn streaming_offer_matches_single_offer() {
+        let payload: Vec<u8> = (0..997u32).map(|i| (i % 256) as u8).collect();
+        let cfg = ArqConfig::sliding(4);
+        let mut s = ArqSender::new(cfg.clone(), 7);
+        let mut r = ArqReceiver::new(cfg);
+        let mut delivered = Vec::new();
+        let mut s_out = Vec::new();
+        // drip-feed in awkward sizes, interleaved with channel pumping
+        for chunk in payload.chunks(13) {
+            s.offer(chunk, &mut s_out);
+            pump(&mut s, &mut r, &mut s_out, &mut delivered);
+        }
+        s.close(&mut s_out);
+        pump(&mut s, &mut r, &mut s_out, &mut delivered);
+        assert_eq!(delivered, payload);
+        assert!(s.is_finished() && r.is_finished());
+    }
+
+    fn pump(
+        s: &mut ArqSender,
+        r: &mut ArqReceiver,
+        s_out: &mut Vec<Action>,
+        delivered: &mut Vec<u8>,
+    ) {
+        for _ in 0..1000 {
+            let frames = drain_frames(s_out);
+            if frames.is_empty() {
+                break;
+            }
+            let mut r_out = Vec::new();
+            for f in frames {
+                r.on_frame(&f, &mut r_out);
+            }
+            for a in r_out {
+                match a {
+                    Action::Tx { frame } => s.on_frame(&frame, s_out),
+                    Action::Deliver { bytes } => delivered.extend(bytes),
+                    Action::Finished => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_retransmits_then_fails_cleanly() {
+        let cfg = ArqConfig {
+            max_attempts: 3,
+            ..ArqConfig::stop_and_wait()
+        };
+        let mut s = ArqSender::new(cfg, 7);
+        let mut out = Vec::new();
+        s.offer(b"hello", &mut out);
+        s.close(&mut out);
+        let mut timer = match out.pop() {
+            Some(Action::TxTimed { timer_id, .. }) => timer_id,
+            other => panic!("expected TxTimed, got {other:?}"),
+        };
+        // 2 retransmissions allowed (attempts 2, 3), then failure
+        for attempt in 2..=3 {
+            out.clear();
+            s.on_timer(timer, &mut out);
+            timer = match out.pop() {
+                Some(Action::TxTimed {
+                    timer_id,
+                    timeout_s,
+                    ..
+                }) => {
+                    // backoff grows the timeout
+                    assert!(timeout_s > 0.08, "attempt {attempt} timeout {timeout_s}");
+                    timer_id
+                }
+                other => panic!("attempt {attempt}: expected TxTimed, got {other:?}"),
+            };
+        }
+        out.clear();
+        s.on_timer(timer, &mut out);
+        assert_eq!(
+            out,
+            vec![Action::Failed {
+                error: LinkError::Timeout {
+                    seq: 0,
+                    attempts: 3
+                }
+            }]
+        );
+        assert_eq!(
+            s.failure(),
+            Some(LinkError::Timeout {
+                seq: 0,
+                attempts: 3
+            })
+        );
+        // inert afterwards
+        out.clear();
+        s.on_timer(timer, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stale_timer_after_ack_is_ignored() {
+        let cfg = ArqConfig::stop_and_wait();
+        let mut s = ArqSender::new(cfg, 7);
+        let mut out = Vec::new();
+        s.offer(b"x", &mut out);
+        s.close(&mut out);
+        let timer = match &out[0] {
+            Action::TxTimed { timer_id, .. } => *timer_id,
+            other => panic!("{other:?}"),
+        };
+        out.clear();
+        s.on_frame(&Frame::ack(0), &mut out);
+        // chunk acked → FIN goes out
+        assert!(matches!(&out[0], Action::TxTimed { frame, .. } if frame.kind == FrameKind::Fin));
+        out.clear();
+        s.on_timer(timer, &mut out);
+        assert!(out.is_empty(), "acked chunk's timer must be a no-op");
+        assert_eq!(s.retransmissions(), 0);
+    }
+
+    #[test]
+    fn duplicate_data_is_reacked_not_redelivered() {
+        let cfg = ArqConfig::sliding(4);
+        let mut r = ArqReceiver::new(cfg);
+        let mut out = Vec::new();
+        r.on_frame(&Frame::data(0, b"ab".to_vec()), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Action::Tx {
+                    frame: Frame::ack(0)
+                },
+                Action::Deliver {
+                    bytes: b"ab".to_vec()
+                },
+            ]
+        );
+        out.clear();
+        r.on_frame(&Frame::data(0, b"ab".to_vec()), &mut out);
+        assert_eq!(
+            out,
+            vec![Action::Tx {
+                frame: Frame::ack(0)
+            }]
+        );
+        assert_eq!(r.duplicates(), 1);
+        assert_eq!(r.delivered_bytes(), 2);
+    }
+
+    #[test]
+    fn out_of_order_chunks_deliver_in_order() {
+        let cfg = ArqConfig::sliding(4);
+        let mut r = ArqReceiver::new(cfg);
+        let mut out = Vec::new();
+        r.on_frame(&Frame::data(2, b"C".to_vec()), &mut out);
+        r.on_frame(&Frame::data(1, b"B".to_vec()), &mut out);
+        r.on_frame(&Frame::data(0, b"A".to_vec()), &mut out);
+        let delivered: Vec<u8> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { bytes } => Some(bytes.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(delivered, b"ABC");
+    }
+
+    #[test]
+    fn out_of_window_data_is_dropped_silently() {
+        let cfg = ArqConfig::sliding(4);
+        let mut r = ArqReceiver::new(cfg);
+        let mut out = Vec::new();
+        // way ahead of the window: neither buffered nor acked
+        r.on_frame(&Frame::data(100, b"zz".to_vec()), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(r.delivered_bytes(), 0);
+    }
+
+    #[test]
+    fn fin_with_pending_gap_is_ignored() {
+        let cfg = ArqConfig::sliding(4);
+        let mut r = ArqReceiver::new(cfg);
+        let mut out = Vec::new();
+        r.on_frame(&Frame::data(1, b"B".to_vec()), &mut out); // gap at 0
+        out.clear();
+        r.on_frame(&Frame::fin(2), &mut out);
+        assert!(out.is_empty(), "FIN must not close a stream with a hole");
+        assert!(!r.is_finished());
+    }
+
+    #[test]
+    fn fin_handshake_is_idempotent() {
+        let cfg = ArqConfig::stop_and_wait();
+        let mut r = ArqReceiver::new(cfg);
+        let mut out = Vec::new();
+        r.on_frame(&Frame::fin(0), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Action::Tx {
+                    frame: Frame::fin_ack(0)
+                },
+                Action::Finished
+            ]
+        );
+        out.clear();
+        r.on_frame(&Frame::fin(0), &mut out);
+        assert_eq!(
+            out,
+            vec![Action::Tx {
+                frame: Frame::fin_ack(0)
+            }],
+            "retransmitted FIN re-ACKs without a second Finished"
+        );
+    }
+
+    #[test]
+    fn long_stream_wraps_u16_sequence_space() {
+        // > 65536 chunks with 1-byte chunks: logical indices exceed u16
+        let cfg = ArqConfig {
+            chunk_len: 1,
+            ..ArqConfig::sliding(64)
+        };
+        let payload: Vec<u8> = (0..70_000u32).map(|i| (i % 256) as u8).collect();
+        let (delivered, s, r) = run_perfect(&payload, cfg);
+        assert_eq!(delivered.len(), payload.len());
+        assert_eq!(delivered, payload);
+        assert!(s.is_finished() && r.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "window 0 outside 1..=8192")]
+    fn zero_window_rejected() {
+        let _ = ArqConfig::sliding(0);
+    }
+
+    #[test]
+    fn timeout_error_displays() {
+        let e = LinkError::Timeout {
+            seq: 4,
+            attempts: 12,
+        };
+        assert!(e.to_string().contains("frame 4"));
+        let f = LinkError::Timeout {
+            seq: FIN_MARKER,
+            attempts: 3,
+        };
+        assert!(f.to_string().contains("FIN"));
+    }
+}

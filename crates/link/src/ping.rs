@@ -1,0 +1,402 @@
+//! RF ping: round-trip probing with per-end RSSI measurement.
+//!
+//! The pinger transmits [`crate::frame::FrameKind::Ping`] frames one at
+//! a time; the ponger answers each with a
+//! [`crate::frame::FrameKind::Pong`] whose payload carries the RSSI the
+//! ponger measured on the arriving ping. The pinger therefore learns
+//! both directions of the link: the *forward* RSSI (reported by the
+//! remote end inside the pong) and the *reverse* RSSI (measured locally
+//! on the pong itself), plus the round-trip time — the `ping -c` of the
+//! testbed, replacing the paper's manual link-budget spot checks.
+//!
+//! Like the ARQ endpoints, these are pure event machines: the driver
+//! supplies time (`now_ns`), arriving frames, and expired timers, and
+//! executes the emitted [`Action`]s. After a timeout the next ping is
+//! delayed by a deterministic jitter draw, which is what lets two
+//! hidden terminals that collided on their first pings desynchronize
+//! instead of colliding forever.
+
+use crate::arq::Action;
+use crate::frame::{Frame, FrameKind};
+use crate::unit_draw;
+use tinysdr_dsp::event::ns_to_s;
+
+/// Ping run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingConfig {
+    /// Number of pings to send.
+    pub count: u32,
+    /// Seconds (past end of the ping's own airtime) to wait for the
+    /// pong before declaring the ping lost.
+    pub timeout_s: f64,
+    /// Pause between a resolved ping and the next transmission.
+    pub interval_s: f64,
+    /// Upper bound of the deterministic extra delay inserted after a
+    /// *timed-out* ping (collision breaking).
+    pub jitter_s: f64,
+}
+
+impl PingConfig {
+    /// `count` pings with the default timing (250 ms timeout, 50 ms
+    /// interval, 20 ms post-timeout jitter bound).
+    #[must_use]
+    pub fn new(count: u32) -> Self {
+        PingConfig {
+            count,
+            timeout_s: 0.25,
+            interval_s: 0.05,
+            jitter_s: 0.02,
+        }
+    }
+}
+
+/// Aggregate outcome of a ping run. All statistics are deterministic
+/// functions of the simulation seed — the report derives `PartialEq`
+/// precisely so determinism contracts can compare it bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingReport {
+    /// Pings transmitted.
+    pub sent: u32,
+    /// Pongs received (matched to an awaited sequence number).
+    pub received: u32,
+    /// Loss fraction in `[0, 1]` (0 when nothing was sent).
+    pub loss: f64,
+    /// Fastest round trip, seconds (0 when nothing came back).
+    pub rtt_min_s: f64,
+    /// Mean round trip, seconds (0 when nothing came back).
+    pub rtt_avg_s: f64,
+    /// Slowest round trip, seconds (0 when nothing came back).
+    pub rtt_max_s: f64,
+    /// Mean forward-path RSSI, dBm, as measured by the remote end and
+    /// reported inside each pong (NaN-free: 0 when nothing came back).
+    pub rssi_fwd_dbm: f64,
+    /// Mean reverse-path RSSI, dBm, measured locally on arriving pongs
+    /// (0 when nothing came back).
+    pub rssi_rev_dbm: f64,
+}
+
+#[derive(Debug)]
+struct Awaiting {
+    seq: u16,
+    timer_id: u64,
+    sent_at_ns: u64,
+}
+
+/// The probing end. Sends pings serially: the next goes out only after
+/// the previous one resolved (pong or timeout).
+#[derive(Debug)]
+pub struct Pinger {
+    cfg: PingConfig,
+    jitter_seed: u64,
+    jitter_draws: u64,
+    /// First sequence number (offset pingers sharing a ponger so their
+    /// sequence spaces cannot cross-match).
+    seq0: u16,
+    sent: u32,
+    received: u32,
+    awaiting: Option<Awaiting>,
+    /// Timer id of a pending between-pings delay, if any.
+    pending_delay: Option<u64>,
+    next_timer_id: u64,
+    finished: bool,
+    rtt_sum_s: f64,
+    rtt_min_s: f64,
+    rtt_max_s: f64,
+    rssi_fwd_sum_dbm: f64,
+    rssi_rev_sum_dbm: f64,
+}
+
+impl Pinger {
+    /// A fresh pinger starting its sequence numbers at `seq0`.
+    ///
+    /// # Panics
+    /// Panics on a zero-count configuration — a pinger with nothing to
+    /// send would emit `Finished` before starting, which every driver
+    /// so far has treated as a bug in the scenario, not a result.
+    #[must_use]
+    pub fn new(cfg: PingConfig, seq0: u16, jitter_seed: u64) -> Self {
+        assert!(cfg.count >= 1, "ping count must be at least 1");
+        Pinger {
+            cfg,
+            jitter_seed,
+            jitter_draws: 0,
+            seq0,
+            sent: 0,
+            received: 0,
+            awaiting: None,
+            pending_delay: None,
+            next_timer_id: 0,
+            finished: false,
+            rtt_sum_s: 0.0,
+            rtt_min_s: f64::INFINITY,
+            rtt_max_s: 0.0,
+            rssi_fwd_sum_dbm: 0.0,
+            rssi_rev_sum_dbm: 0.0,
+        }
+    }
+
+    /// `true` once every ping has resolved.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Kick off the first ping.
+    pub fn start(&mut self, now_ns: u64, out: &mut Vec<Action>) {
+        self.send_next(now_ns, out);
+    }
+
+    fn alloc_timer(&mut self) -> u64 {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        id
+    }
+
+    fn send_next(&mut self, now_ns: u64, out: &mut Vec<Action>) {
+        if self.finished {
+            return;
+        }
+        if self.sent >= self.cfg.count {
+            self.finished = true;
+            out.push(Action::Finished);
+            return;
+        }
+        let seq = self.seq0.wrapping_add(self.sent as u16);
+        self.sent += 1;
+        let timer_id = self.alloc_timer();
+        self.awaiting = Some(Awaiting {
+            seq,
+            timer_id,
+            sent_at_ns: now_ns,
+        });
+        out.push(Action::TxTimed {
+            frame: Frame::ping(seq),
+            timer_id,
+            timeout_s: self.cfg.timeout_s,
+        });
+    }
+
+    fn schedule_next(&mut self, extra_s: f64, out: &mut Vec<Action>) {
+        if self.sent >= self.cfg.count {
+            self.finished = true;
+            out.push(Action::Finished);
+            return;
+        }
+        let timer_id = self.alloc_timer();
+        self.pending_delay = Some(timer_id);
+        out.push(Action::Delay {
+            timer_id,
+            delay_s: self.cfg.interval_s + extra_s,
+        });
+    }
+
+    /// Process an arriving frame (only pongs matching the awaited
+    /// sequence number matter; everything else is overheard traffic).
+    pub fn on_frame(&mut self, frame: &Frame, rssi_dbm: f64, now_ns: u64, out: &mut Vec<Action>) {
+        if self.finished || frame.kind != FrameKind::Pong {
+            return;
+        }
+        let Some(waiting) = &self.awaiting else {
+            return; // late pong after timeout: ignore
+        };
+        if frame.seq != waiting.seq {
+            return; // someone else's pong, or a stale one
+        }
+        let rtt_s = ns_to_s(now_ns.saturating_sub(waiting.sent_at_ns));
+        self.awaiting = None;
+        self.received += 1;
+        self.rtt_sum_s += rtt_s;
+        self.rtt_min_s = self.rtt_min_s.min(rtt_s);
+        self.rtt_max_s = self.rtt_max_s.max(rtt_s);
+        self.rssi_fwd_sum_dbm += frame.pong_rssi_dbm().unwrap_or(0.0);
+        self.rssi_rev_sum_dbm += rssi_dbm;
+        self.schedule_next(0.0, out);
+    }
+
+    /// Process an expired timer: either the awaited pong never came
+    /// (count the loss, move on with jitter) or a between-pings delay
+    /// elapsed (transmit the next ping).
+    pub fn on_timer(&mut self, timer_id: u64, now_ns: u64, out: &mut Vec<Action>) {
+        if self.finished {
+            return;
+        }
+        if self
+            .awaiting
+            .as_ref()
+            .is_some_and(|w| w.timer_id == timer_id)
+        {
+            self.awaiting = None;
+            let jitter = unit_draw(self.jitter_seed, self.jitter_draws) * self.cfg.jitter_s;
+            self.jitter_draws += 1;
+            self.schedule_next(jitter, out);
+            return;
+        }
+        if self.pending_delay == Some(timer_id) {
+            self.pending_delay = None;
+            self.send_next(now_ns, out);
+        }
+        // anything else: stale handle, ignore
+    }
+
+    /// The run's aggregate statistics (valid any time; final once
+    /// [`Pinger::is_finished`]).
+    #[must_use]
+    pub fn report(&self) -> PingReport {
+        let n = self.received as f64;
+        let (rtt_min_s, rtt_avg_s, rtt_max_s, rssi_fwd_dbm, rssi_rev_dbm) = if self.received > 0 {
+            (
+                self.rtt_min_s,
+                self.rtt_sum_s / n,
+                self.rtt_max_s,
+                self.rssi_fwd_sum_dbm / n,
+                self.rssi_rev_sum_dbm / n,
+            )
+        } else {
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        };
+        let loss = if self.sent > 0 {
+            1.0 - self.received as f64 / self.sent as f64
+        } else {
+            0.0
+        };
+        PingReport {
+            sent: self.sent,
+            received: self.received,
+            loss,
+            rtt_min_s,
+            rtt_avg_s,
+            rtt_max_s,
+            rssi_fwd_dbm,
+            rssi_rev_dbm,
+        }
+    }
+}
+
+/// The answering end: stateless echo of pings as pongs carrying the
+/// locally measured RSSI. One ponger serves any number of pingers.
+#[derive(Debug, Default)]
+pub struct Ponger {
+    pongs: u64,
+}
+
+impl Ponger {
+    /// A fresh ponger.
+    #[must_use]
+    pub fn new() -> Self {
+        Ponger::default()
+    }
+
+    /// Pongs transmitted so far.
+    #[must_use]
+    pub fn pongs(&self) -> u64 {
+        self.pongs
+    }
+
+    /// Process an arriving frame; pings are answered, everything else
+    /// is ignored.
+    pub fn on_frame(&mut self, frame: &Frame, rssi_dbm: f64, out: &mut Vec<Action>) {
+        if frame.kind == FrameKind::Ping {
+            self.pongs += 1;
+            out.push(Action::Tx {
+                frame: Frame::pong(frame.seq, rssi_dbm),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx_frame(a: &Action) -> &Frame {
+        match a {
+            Action::Tx { frame } | Action::TxTimed { frame, .. } => frame,
+            other => panic!("expected a transmission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip_records_both_rssi_ends() {
+        let mut pinger = Pinger::new(PingConfig::new(1), 0, 1);
+        let mut ponger = Ponger::new();
+        let mut out = Vec::new();
+        pinger.start(0, &mut out);
+        assert_eq!(out.len(), 1);
+        let ping = tx_frame(&out[0]).clone();
+        assert_eq!(ping.kind, FrameKind::Ping);
+
+        let mut pong_out = Vec::new();
+        ponger.on_frame(&ping, -88.0, &mut pong_out);
+        let pong = tx_frame(&pong_out[0]).clone();
+        assert_eq!(pong.pong_rssi_dbm(), Some(-88.0));
+
+        let mut done = Vec::new();
+        pinger.on_frame(&pong, -91.0, 2_000_000, &mut done);
+        assert_eq!(done, vec![Action::Finished]);
+        let r = pinger.report();
+        assert_eq!(r.sent, 1);
+        assert_eq!(r.received, 1);
+        assert_eq!(r.loss, 0.0);
+        assert!((r.rtt_avg_s - 0.002).abs() < 1e-12);
+        assert_eq!(r.rssi_fwd_dbm, -88.0);
+        assert_eq!(r.rssi_rev_dbm, -91.0);
+        assert_eq!(ponger.pongs(), 1);
+    }
+
+    #[test]
+    fn timeout_counts_loss_and_moves_on_with_jitter() {
+        let mut pinger = Pinger::new(PingConfig::new(2), 0, 1);
+        let mut out = Vec::new();
+        pinger.start(0, &mut out);
+        let timer = match &out[0] {
+            Action::TxTimed { timer_id, .. } => *timer_id,
+            other => panic!("{other:?}"),
+        };
+        out.clear();
+        pinger.on_timer(timer, 250_000_000, &mut out);
+        // timed out → a delayed (interval + jitter) follow-up
+        let (delay_timer, delay_s) = match &out[0] {
+            Action::Delay { timer_id, delay_s } => (*timer_id, *delay_s),
+            other => panic!("{other:?}"),
+        };
+        assert!(delay_s >= 0.05, "at least the interval");
+        out.clear();
+        pinger.on_timer(delay_timer, 300_000_000, &mut out);
+        assert_eq!(tx_frame(&out[0]).seq, 1, "second ping has the next seq");
+        out.clear();
+        // second (last) ping also times out → run finishes immediately,
+        // no pointless trailing delay
+        let timer2 = pinger.awaiting.as_ref().expect("awaiting").timer_id;
+        pinger.on_timer(timer2, 600_000_000, &mut out);
+        assert_eq!(out, vec![Action::Finished]);
+        let r = pinger.report();
+        assert_eq!((r.sent, r.received), (2, 0));
+        assert_eq!(r.loss, 1.0);
+        assert_eq!(r.rtt_avg_s, 0.0, "no samples, no NaN");
+    }
+
+    #[test]
+    fn late_or_foreign_pong_is_ignored() {
+        let mut pinger = Pinger::new(PingConfig::new(1), 100, 1);
+        let mut out = Vec::new();
+        pinger.start(0, &mut out);
+        out.clear();
+        // wrong sequence number (another pinger's pong)
+        pinger.on_frame(&Frame::pong(5, -80.0), -80.0, 1_000, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(pinger.report().received, 0);
+        // right one still works
+        pinger.on_frame(&Frame::pong(100, -80.0), -80.0, 2_000, &mut out);
+        assert_eq!(pinger.report().received, 1);
+    }
+
+    #[test]
+    fn ponger_ignores_non_pings() {
+        let mut ponger = Ponger::new();
+        let mut out = Vec::new();
+        ponger.on_frame(&Frame::ack(1), -70.0, &mut out);
+        ponger.on_frame(&Frame::data(0, vec![1]), -70.0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(ponger.pongs(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The reliable pipe: one call from payload bytes to a finished
+//! multi-hop ARQ transfer with full accounting.
+//!
+//! [`transfer`] assembles the standard chain topology — sender, zero or
+//! more store-and-forward relays, receiver — runs the deterministic
+//! network simulation, and condenses the outcome into a
+//! [`TransferReport`]: did every hop finish, what was the end-to-end
+//! goodput, what did each node spend. The delivered bytes come back
+//! alongside the report so callers can verify them against the
+//! original (the e2e suite does, bit for bit).
+
+use crate::arq::ArqConfig;
+use crate::frame::Frame;
+use crate::sim::{HopProfile, NetSim, Role, SimReport};
+use tinysdr_ota::session::TURNAROUND_S;
+use tinysdr_rf::phy::PhyModem;
+
+/// Both directions of one hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// Data direction (sender → receiver).
+    pub forward: HopProfile,
+    /// ACK direction (receiver → sender).
+    pub reverse: HopProfile,
+}
+
+impl Hop {
+    /// The same profile in both directions.
+    #[must_use]
+    pub fn symmetric(profile: HopProfile) -> Self {
+        Hop {
+            forward: profile.clone(),
+            reverse: profile,
+        }
+    }
+}
+
+/// Outcome of a [`transfer`] run. Deterministic given the inputs —
+/// `PartialEq` so the sharded==sequential gate can compare whole
+/// reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferReport {
+    /// Did every hop's protocol finish (and deliver the full payload)?
+    pub completed: bool,
+    /// First node error encountered, rendered, if any.
+    pub error: Option<String>,
+    /// End-to-end simulated duration.
+    pub duration_s: f64,
+    /// Payload bits delivered end-to-end per simulated second (0 for an
+    /// incomplete transfer).
+    pub goodput_bps: f64,
+    /// The underlying simulation report (per-node energy, per-edge
+    /// channel statistics).
+    pub sim: SimReport,
+}
+
+/// An [`ArqConfig`] with the retransmission timeout scaled to `phy`'s
+/// actual ACK airtime: the timer must outlive turnaround + ACK flight
+/// with margin, or every frame would retransmit spuriously on slow
+/// PHYs (LoRa SF12 ACKs fly for longer than the default 80 ms).
+#[must_use]
+pub fn tuned_config(phy: &dyn PhyModem, window: u16) -> ArqConfig {
+    let ack_air_s = phy.airtime_len_s(Frame::ack(0).encode().len() + 2);
+    let mut cfg = ArqConfig::sliding(window);
+    cfg.ack_timeout_s = cfg.ack_timeout_s.max(4.0 * (TURNAROUND_S + ack_air_s));
+    cfg.retry_jitter_s = cfg.ack_timeout_s * 0.25;
+    cfg
+}
+
+/// Transfer `payload` over `hops.len()` hops (1 hop = direct, 2+ hops =
+/// store-and-forward relays in between) and return the report plus the
+/// bytes the final receiver delivered.
+///
+/// # Panics
+/// Panics when `hops` is empty — a transfer needs at least one hop.
+#[must_use]
+pub fn transfer(
+    payload: &[u8],
+    phy: &dyn PhyModem,
+    hops: &[Hop],
+    cfg: ArqConfig,
+    seed: u64,
+) -> (TransferReport, Vec<u8>) {
+    assert!(!hops.is_empty(), "a transfer needs at least one hop");
+    let mut sim = NetSim::new(phy, seed);
+    let sender = sim.add_node(
+        "sender",
+        Role::Sender {
+            payload: payload.to_vec(),
+            cfg: cfg.clone(),
+        },
+    );
+    let mut prev = sender;
+    for (i, hop) in hops.iter().enumerate() {
+        let is_last = i + 1 == hops.len();
+        let node = if is_last {
+            sim.add_node("receiver", Role::Receiver { cfg: cfg.clone() })
+        } else {
+            sim.add_node(&format!("relay{i}"), Role::Relay { cfg: cfg.clone() })
+        };
+        sim.link(prev, node, hop.forward.clone(), hop.reverse.clone());
+        prev = node;
+    }
+    let receiver = prev;
+    let sim_report = sim.run();
+    let delivered = sim.delivered(receiver).to_vec();
+    let completed = sim_report.nodes.iter().all(|n| n.finished) && delivered == payload;
+    let error = sim_report.nodes.iter().find_map(|n| n.error.clone());
+    let goodput_bps = if completed && sim_report.duration_s > 0.0 {
+        payload.len() as f64 * 8.0 / sim_report.duration_s
+    } else {
+        0.0
+    };
+    (
+        TransferReport {
+            completed,
+            error,
+            duration_s: sim_report.duration_s,
+            goodput_bps,
+            sim: sim_report,
+        },
+        delivered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phylink::test_payload;
+    use crate::sim::Pattern;
+    use crate::testphy::TestPhy;
+
+    #[test]
+    fn single_hop_transfer_completes() {
+        let phy = TestPhy::new();
+        let payload = test_payload(1200, 3);
+        let (report, delivered) = transfer(
+            &payload,
+            &phy,
+            &[Hop::symmetric(HopProfile::clean(-80.0))],
+            tuned_config(&phy, 8),
+            1,
+        );
+        assert!(report.completed, "{report:?}");
+        assert_eq!(delivered, payload);
+        assert!(report.goodput_bps > 0.0);
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn two_hop_relay_delivers_identical_bytes() {
+        let phy = TestPhy::new();
+        let payload = test_payload(900, 8);
+        let cfg = tuned_config(&phy, 4);
+        let hop = |rssi| Hop::symmetric(HopProfile::lossy(rssi, 0.15));
+        let (single, direct) = transfer(&payload, &phy, &[hop(-90.0)], cfg.clone(), 2);
+        let (multi, relayed) = transfer(&payload, &phy, &[hop(-90.0), hop(-92.0)], cfg, 2);
+        assert!(single.completed && multi.completed);
+        assert_eq!(direct, payload);
+        assert_eq!(relayed, payload, "relay chain must not alter the bytes");
+        assert_eq!(multi.sim.nodes.len(), 3);
+        // per-hop energy is visible: the relay both received and sent
+        let relay_energy = multi.sim.nodes[1].energy.by_tag();
+        assert!(relay_energy["radio_rx"] > 0.0 && relay_energy["radio_tx"] > 0.0);
+    }
+
+    #[test]
+    fn hopeless_hop_reports_failure_not_hang() {
+        let phy = TestPhy::new();
+        let payload = test_payload(200, 1);
+        let mut cfg = tuned_config(&phy, 1);
+        cfg.max_attempts = 4;
+        let hop = Hop {
+            forward: HopProfile {
+                loss: Pattern::Bernoulli { prob: 1.0 },
+                ..HopProfile::clean(-120.0)
+            },
+            reverse: HopProfile::clean(-120.0),
+        };
+        let (report, delivered) = transfer(&payload, &phy, &[hop], cfg, 5);
+        assert!(!report.completed);
+        assert!(report.error.is_some());
+        assert!(report.goodput_bps == 0.0);
+        assert!(delivered.is_empty());
+    }
+
+    #[test]
+    fn tuned_config_scales_timeout_to_slow_phys() {
+        let phy = TestPhy::new();
+        let cfg = tuned_config(&phy, 8);
+        // ack wire ≈ 9–11 bytes at 50 kb/s ≈ 1.5–1.8 ms ≪ default
+        assert_eq!(cfg.ack_timeout_s, 0.08, "fast PHY keeps the default");
+        assert_eq!(cfg.window, 8);
+    }
+}

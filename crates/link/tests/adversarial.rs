@@ -1,0 +1,257 @@
+//! Adversarial ARQ battery: deterministic loss/duplication/reorder
+//! schedules — including an exhaustive sweep over *all* loss patterns
+//! for small transfers — must always end in exactly-once in-order
+//! delivery or a clean typed timeout. Silent loss, duplicated bytes,
+//! out-of-order bytes, and hangs are the bugs this file exists to
+//! catch; every simulation runs under the event budget, so a protocol
+//! livelock fails loudly instead of spinning.
+
+use tinysdr_link::phylink::test_payload;
+use tinysdr_link::pipe::{transfer, tuned_config, Hop};
+use tinysdr_link::sim::{HopProfile, Pattern};
+use tinysdr_link::testphy::TestPhy;
+
+/// The one acceptable pair of outcomes, checked everywhere: either the
+/// transfer completed and the receiver saw exactly the payload, or it
+/// failed with a typed error and the receiver saw a strict in-order
+/// prefix (never reordered, duplicated, or invented bytes).
+fn assert_exactly_once_or_typed_timeout(
+    label: &str,
+    payload: &[u8],
+    completed: bool,
+    error: &Option<String>,
+    delivered: &[u8],
+) {
+    if completed {
+        assert_eq!(delivered, payload, "{label}: completed but bytes differ");
+        assert!(error.is_none(), "{label}: completed with error {error:?}");
+    } else {
+        assert!(
+            error.is_some(),
+            "{label}: failed without a typed error (silent loss)"
+        );
+        assert!(
+            payload.starts_with(delivered),
+            "{label}: failure delivered non-prefix bytes (reorder/dup leak)"
+        );
+    }
+}
+
+/// Exhaustive loss schedules on the data direction: every one of the
+/// 2^10 patterns over the first ten transmissions. The schedule is
+/// finite, so retransmission must always win — every single pattern
+/// must complete with exactly the payload.
+#[test]
+fn exhaustive_forward_loss_schedules_all_deliver() {
+    let phy = TestPhy::new();
+    let payload = test_payload(150, 21); // 3 data frames + FIN
+    let cfg = tuned_config(&phy, 2);
+    for bits in 0u32..(1 << 10) {
+        let fire: Vec<bool> = (0..10).map(|i| bits & (1 << i) != 0).collect();
+        let hop = Hop {
+            forward: HopProfile {
+                loss: Pattern::Schedule { fire },
+                ..HopProfile::clean(-90.0)
+            },
+            reverse: HopProfile::clean(-90.0),
+        };
+        let (rep, delivered) = transfer(&payload, &phy, &[hop], cfg.clone(), 4);
+        assert!(
+            rep.completed,
+            "forward schedule {bits:#012b} did not complete: {:?}",
+            rep.error
+        );
+        assert_eq!(delivered, payload, "forward schedule {bits:#012b}");
+    }
+}
+
+/// Exhaustive loss schedules on the ACK direction — the direction that
+/// produces duplicate deliveries if the receiver mishandles re-ACKs.
+#[test]
+fn exhaustive_reverse_loss_schedules_all_deliver() {
+    let phy = TestPhy::new();
+    let payload = test_payload(150, 22);
+    let cfg = tuned_config(&phy, 2);
+    for bits in 0u32..(1 << 10) {
+        let fire: Vec<bool> = (0..10).map(|i| bits & (1 << i) != 0).collect();
+        let hop = Hop {
+            forward: HopProfile::clean(-90.0),
+            reverse: HopProfile {
+                loss: Pattern::Schedule { fire },
+                ..HopProfile::clean(-90.0)
+            },
+        };
+        let (rep, delivered) = transfer(&payload, &phy, &[hop], cfg.clone(), 4);
+        assert!(
+            rep.completed,
+            "reverse schedule {bits:#012b} did not complete: {:?}",
+            rep.error
+        );
+        assert_eq!(delivered, payload, "reverse schedule {bits:#012b}");
+    }
+}
+
+/// Joint exhaustive sweep: all 2^5 x 2^5 combinations of loss on the
+/// first five transmissions of each direction simultaneously.
+#[test]
+fn exhaustive_joint_loss_schedules_all_deliver() {
+    let phy = TestPhy::new();
+    let payload = test_payload(100, 23); // 2 data frames + FIN
+    let cfg = tuned_config(&phy, 2);
+    for fwd_bits in 0u32..(1 << 5) {
+        for rev_bits in 0u32..(1 << 5) {
+            let hop = Hop {
+                forward: HopProfile {
+                    loss: Pattern::Schedule {
+                        fire: (0..5).map(|i| fwd_bits & (1 << i) != 0).collect(),
+                    },
+                    ..HopProfile::clean(-90.0)
+                },
+                reverse: HopProfile {
+                    loss: Pattern::Schedule {
+                        fire: (0..5).map(|i| rev_bits & (1 << i) != 0).collect(),
+                    },
+                    ..HopProfile::clean(-90.0)
+                },
+            };
+            let (rep, delivered) = transfer(&payload, &phy, &[hop], cfg.clone(), 4);
+            assert!(
+                rep.completed,
+                "joint schedule fwd {fwd_bits:#07b} rev {rev_bits:#07b}: {:?}",
+                rep.error
+            );
+            assert_eq!(
+                delivered, payload,
+                "joint schedule fwd {fwd_bits:#07b} rev {rev_bits:#07b}"
+            );
+        }
+    }
+}
+
+/// Worst-case periodic bursts, both directions, every phase: the burst
+/// recurs forever, so completion is not guaranteed — but the outcome
+/// must always be exactly-once delivery or a typed timeout, and with
+/// the default 12-attempt budget every sub-saturation burst must in
+/// fact complete.
+#[test]
+fn periodic_bursts_deliver_or_fail_typed() {
+    let phy = TestPhy::new();
+    let payload = test_payload(200, 24);
+    let cfg = tuned_config(&phy, 4);
+    for period in [2u64, 3, 5] {
+        for len in 1..=period {
+            for offset in 0..period {
+                let burst = Pattern::Burst {
+                    period,
+                    len,
+                    offset,
+                };
+                for dir in ["fwd", "rev"] {
+                    let hop = if dir == "fwd" {
+                        Hop {
+                            forward: HopProfile {
+                                loss: burst.clone(),
+                                ..HopProfile::clean(-90.0)
+                            },
+                            reverse: HopProfile::clean(-90.0),
+                        }
+                    } else {
+                        Hop {
+                            forward: HopProfile::clean(-90.0),
+                            reverse: HopProfile {
+                                loss: burst.clone(),
+                                ..HopProfile::clean(-90.0)
+                            },
+                        }
+                    };
+                    let label = format!("burst {len}/{period}+{offset} on {dir}");
+                    let (rep, delivered) = transfer(&payload, &phy, &[hop], cfg.clone(), 9);
+                    assert_exactly_once_or_typed_timeout(
+                        &label,
+                        &payload,
+                        rep.completed,
+                        &rep.error,
+                        &delivered,
+                    );
+                    if len < period {
+                        assert!(
+                            rep.completed,
+                            "{label}: sub-saturation burst must complete, got {:?}",
+                            rep.error
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Seeded Bernoulli storms across loss x duplication x reorder and
+/// many seeds: never silent loss, never a duplicate byte, never a
+/// hang — and at moderate loss the transfer must actually complete.
+#[test]
+fn seeded_bernoulli_storms_are_exactly_once_or_typed() {
+    let phy = TestPhy::new();
+    let payload = test_payload(420, 25);
+    let cfg = tuned_config(&phy, 4);
+    for &loss in &[0.0, 0.15, 0.35] {
+        for &dup in &[0.0, 0.25] {
+            for &reorder in &[0.0, 0.25] {
+                for seed in 0..12u64 {
+                    let mk = || HopProfile {
+                        loss: Pattern::Bernoulli { prob: loss },
+                        duplicate: Pattern::Bernoulli { prob: dup },
+                        reorder: Pattern::Bernoulli { prob: reorder },
+                        ..HopProfile::clean(-90.0)
+                    };
+                    let hop = Hop {
+                        forward: mk(),
+                        reverse: mk(),
+                    };
+                    let label =
+                        format!("storm loss={loss} dup={dup} reorder={reorder} seed={seed}");
+                    let (rep, delivered) = transfer(&payload, &phy, &[hop], cfg.clone(), seed);
+                    assert_exactly_once_or_typed_timeout(
+                        &label,
+                        &payload,
+                        rep.completed,
+                        &rep.error,
+                        &delivered,
+                    );
+                    if loss <= 0.15 {
+                        assert!(
+                            rep.completed,
+                            "{label}: moderate loss must complete, got {:?}",
+                            rep.error
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A dead channel is a typed timeout naming the stuck frame — not a
+/// hang, not a partial delivery passed off as success.
+#[test]
+fn blackout_is_a_typed_timeout() {
+    let phy = TestPhy::new();
+    let payload = test_payload(300, 26);
+    let mut cfg = tuned_config(&phy, 4);
+    cfg.max_attempts = 5;
+    let hop = Hop {
+        forward: HopProfile {
+            loss: Pattern::Bernoulli { prob: 1.0 },
+            ..HopProfile::clean(-120.0)
+        },
+        reverse: HopProfile::clean(-120.0),
+    };
+    let (rep, delivered) = transfer(&payload, &phy, &[hop], cfg, 3);
+    assert!(!rep.completed);
+    let err = rep.error.expect("typed error");
+    assert!(
+        err.contains("unacked after 5 attempts"),
+        "error must name the attempt budget: {err}"
+    );
+    assert!(delivered.is_empty());
+}

@@ -1,0 +1,138 @@
+//! Property-based invariants of the frame codec: lossless round-trips
+//! for arbitrary (including escape-dense) payloads, and the guarantee
+//! that a single flipped bit anywhere on the wire is always caught by
+//! the CRC or the framing — never delivered as a valid frame.
+
+use proptest::prelude::*;
+use tinysdr_link::frame::{Deframer, Frame, FrameError, FEND, FESC, MAX_PAYLOAD, TFEND, TFESC};
+
+proptest! {
+    /// `decode(encode(frame))` is the identity for any data frame.
+    #[test]
+    fn data_frame_round_trips(
+        seq in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+    ) {
+        let f = Frame::data(seq, payload);
+        let wire = f.encode();
+        prop_assert_eq!(Frame::decode(&wire).expect("decodes"), f);
+    }
+
+    /// Escape-dense payloads — every byte is one of the four KISS
+    /// special values — survive the escaping round trip.
+    #[test]
+    fn escape_heavy_payload_round_trips(
+        seq in any::<u16>(),
+        picks in prop::collection::vec(0usize..4, 1..=MAX_PAYLOAD),
+    ) {
+        let specials = [FEND, FESC, TFEND, TFESC];
+        let payload: Vec<u8> = picks.iter().map(|&i| specials[i]).collect();
+        let f = Frame::data(seq, payload.clone());
+        let wire = f.encode();
+        // worst-case expansion is bounded: every special costs 2 bytes
+        prop_assert!(wire.len() <= 2 * payload.len() + 16, "wire {} for payload {}", wire.len(), payload.len());
+        prop_assert_eq!(Frame::decode(&wire).expect("decodes"), f);
+    }
+
+    /// The control frames round-trip too (they carry the ARQ).
+    #[test]
+    fn control_frames_round_trip(seq in any::<u16>(), rssi in -140.0f64..0.0) {
+        for f in [Frame::ack(seq), Frame::fin(seq), Frame::fin_ack(seq), Frame::ping(seq), Frame::pong(seq, rssi)] {
+            let wire = f.encode();
+            prop_assert_eq!(Frame::decode(&wire).expect("decodes"), f.clone());
+        }
+    }
+
+    /// Any single-bit corruption of the wire image is caught: direct
+    /// decode errors, and a streaming deframer never emits a frame
+    /// from the corrupted buffer (a flip that forges a FEND splits the
+    /// frame into fragments, each of which must then fail the CRC or
+    /// the structure checks).
+    #[test]
+    fn single_bit_corruption_is_always_caught(
+        seq in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+        flip in any::<u32>(),
+    ) {
+        let f = Frame::data(seq, payload);
+        let wire = f.encode();
+        let bit = flip as usize % (wire.len() * 8);
+        let mut bad = wire.clone();
+        bad[bit / 8] ^= 1u8 << (bit % 8);
+        prop_assert!(
+            Frame::decode(&bad).is_err(),
+            "decode accepted a corrupted wire image (bit {bit})"
+        );
+        let mut deframer = Deframer::new();
+        let mut out = Vec::new();
+        deframer.push_bytes(&bad, &mut out);
+        prop_assert!(
+            out.is_empty(),
+            "deframer emitted {} frame(s) from a single-bit-corrupted buffer (bit {bit})",
+            out.len()
+        );
+    }
+
+    /// A streaming deframer recovers every frame from a concatenated
+    /// multi-frame capture, in order, regardless of how the bytes are
+    /// sliced into pushes.
+    #[test]
+    fn deframer_recovers_concatenated_frames(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..6),
+        slice in 1usize..17,
+    ) {
+        let frames: Vec<Frame> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Frame::data(i as u16, p.clone()))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut deframer = Deframer::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(slice) {
+            deframer.push_bytes(chunk, &mut out);
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert_eq!(deframer.rejected(), 0);
+    }
+
+    /// The deframer resynchronizes: garbage before and after a valid
+    /// frame is discarded (and counted), the frame itself survives.
+    #[test]
+    fn deframer_resyncs_through_noise(
+        noise_pre in prop::collection::vec(any::<u8>(), 0..32),
+        noise_post in prop::collection::vec(any::<u8>(), 0..32),
+        payload in prop::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let f = Frame::data(7, payload);
+        let mut stream = noise_pre.clone();
+        stream.extend_from_slice(&f.encode());
+        stream.extend_from_slice(&noise_post);
+        let mut deframer = Deframer::new();
+        let mut out = Vec::new();
+        deframer.push_bytes(&stream, &mut out);
+        prop_assert!(
+            out.contains(&f),
+            "frame lost in noise (pre {} post {} bytes)",
+            noise_pre.len(),
+            noise_post.len()
+        );
+    }
+
+    /// Bytes spliced into the envelope (a growth corruption, not a
+    /// flip) land on the CRC, never on a silent mis-parse.
+    #[test]
+    fn spliced_bytes_fail_the_crc(extra in 1usize..16, at_frac in 0.0f64..1.0) {
+        let f = Frame::data(1, vec![0x11; 24]);
+        let mut grown = f.encode();
+        // insert plain (non-special) bytes strictly inside the envelope
+        let at = 1 + ((at_frac * (grown.len() - 2) as f64) as usize);
+        for _ in 0..extra {
+            grown.insert(at, 0x22);
+        }
+        match Frame::decode(&grown) {
+            Err(FrameError::BadCrc) => {}
+            other => prop_assert!(false, "expected BadCrc, got {other:?}"),
+        }
+    }
+}

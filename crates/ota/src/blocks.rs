@@ -74,6 +74,64 @@ impl BlockedUpdate {
         self.blocks.iter().map(|b| b.payload.len() + 9).sum() // +framing
     }
 
+    /// Assemble the over-the-air byte stream: every compressed block
+    /// preceded by its 9-byte header (`index` LE u32, `raw_len` LE u32,
+    /// one reserved zero byte). This is the exact stream the session
+    /// engine packetizes and the `tinysdr-link` ARQ pipe transfers —
+    /// one definition, so the abstract model and the real link cannot
+    /// drift apart.
+    pub fn wire_stream(&self) -> Vec<u8> {
+        let mut stream = Vec::with_capacity(self.compressed_len());
+        for b in &self.blocks {
+            stream.extend_from_slice(&b.index.to_le_bytes());
+            stream.extend_from_slice(&b.raw_len.to_le_bytes());
+            stream.push(0);
+            stream.extend_from_slice(&b.payload);
+        }
+        stream
+    }
+
+    /// Parse a received [`BlockedUpdate::wire_stream`] back into blocks
+    /// and decompress them to the raw image bytes. The inverse is exact:
+    /// `unpack_wire_stream(&u.wire_stream())` equals the original image
+    /// for any update built by [`BlockedUpdate::build`].
+    ///
+    /// # Errors
+    /// [`PipelineError::Corrupt`] when a header is truncated, a reserved
+    /// byte is nonzero, an index is out of sequence, or a block fails to
+    /// decompress to its declared length.
+    pub fn unpack_wire_stream(stream: &[u8]) -> Result<Vec<u8>, PipelineError> {
+        let mut image = Vec::new();
+        let mut cursor = 0usize;
+        let mut expected_index = 0u32;
+        while cursor < stream.len() {
+            let header = stream
+                .get(cursor..cursor + 9)
+                .ok_or(PipelineError::Corrupt {
+                    index: expected_index,
+                })?;
+            let index = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let raw_len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+            if header[8] != 0 || index != expected_index || raw_len == 0 || raw_len > BLOCK_SIZE {
+                return Err(PipelineError::Corrupt {
+                    index: expected_index,
+                });
+            }
+            cursor += 9;
+            // the compressed payload's length is not framed: decompress
+            // greedily from the cursor and advance by what was consumed
+            let (raw, consumed) = lzo::decompress_prefix(&stream[cursor..], raw_len)
+                .map_err(|_| PipelineError::Corrupt { index })?;
+            if raw.len() != raw_len {
+                return Err(PipelineError::Corrupt { index });
+            }
+            cursor += consumed;
+            image.extend_from_slice(&raw);
+            expected_index += 1;
+        }
+        Ok(image)
+    }
+
     /// Overall compression ratio.
     pub fn ratio(&self) -> f64 {
         self.compressed_len() as f64 / self.raw_len as f64
@@ -276,6 +334,40 @@ mod tests {
         assert!(matches!(err, PipelineError::Sram(_)));
         // the partial allocation rolled back
         assert_eq!(mcu.sram_used(), 40 * 1024);
+    }
+
+    #[test]
+    fn wire_stream_round_trips_to_image_bytes() {
+        for img in [
+            FirmwareImage::ble_fpga(5),
+            FirmwareImage::mcu("m", 70_001, 2), // non-block-aligned tail
+            FirmwareImage::new(ImageKind::Mcu, "tiny", vec![0xA5; 17]),
+        ] {
+            let upd = BlockedUpdate::build(&img);
+            let stream = upd.wire_stream();
+            assert_eq!(stream.len(), upd.compressed_len(), "{}", img.name);
+            let back = BlockedUpdate::unpack_wire_stream(&stream).unwrap();
+            assert_eq!(back, img.data, "{}", img.name);
+        }
+    }
+
+    #[test]
+    fn corrupt_wire_stream_is_rejected_not_misparsed() {
+        let img = FirmwareImage::mcu("m", 40_000, 9);
+        let upd = BlockedUpdate::build(&img);
+        let stream = upd.wire_stream();
+        // truncation anywhere inside is an error or, at a block
+        // boundary cut, a prefix of the image — never silent junk
+        let cut = stream.len() / 2;
+        assert!(BlockedUpdate::unpack_wire_stream(&stream[..cut]).is_err());
+        // a nonzero reserved byte is rejected
+        let mut bad = stream.clone();
+        bad[8] = 1;
+        assert!(BlockedUpdate::unpack_wire_stream(&bad).is_err());
+        // an out-of-sequence index is rejected
+        let mut bad = stream;
+        bad[0] = 7;
+        assert!(BlockedUpdate::unpack_wire_stream(&bad).is_err());
     }
 
     #[test]

@@ -170,6 +170,62 @@ pub fn decompress(input: &[u8], max_output: usize) -> Result<Vec<u8>, LzoError> 
     Ok(out)
 }
 
+/// Decompress exactly `want_output` bytes from the front of `input`,
+/// returning the bytes and how much of `input` was consumed. This is
+/// how concatenated per-block streams (the OTA wire stream) are split
+/// without explicit compressed-length framing: each block's tokens are
+/// consumed until its declared raw length is produced, and the next
+/// block's header begins right after.
+///
+/// # Errors
+/// Fails on truncation, invalid back-references, or a token that would
+/// overshoot `want_output` (block boundaries always align with token
+/// boundaries in a stream produced by [`compress`]).
+pub fn decompress_prefix(input: &[u8], want_output: usize) -> Result<(Vec<u8>, usize), LzoError> {
+    let mut out: Vec<u8> = Vec::with_capacity(want_output.min(1 << 20));
+    let mut i = 0usize;
+    while out.len() < want_output {
+        if i >= input.len() {
+            return Err(LzoError::Truncated);
+        }
+        let t = input[i];
+        i += 1;
+        if t < 0x80 {
+            let run = t as usize + 1;
+            if i + run > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            if out.len() + run > want_output {
+                return Err(LzoError::OutputOverflow);
+            }
+            out.extend_from_slice(&input[i..i + run]);
+            i += run;
+        } else {
+            if i + 2 > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            let len = (t & 0x7F) as usize + MIN_MATCH;
+            let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(LzoError::BadDistance {
+                    distance: dist,
+                    have: out.len(),
+                });
+            }
+            if out.len() + len > want_output {
+                return Err(LzoError::OutputOverflow);
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok((out, i))
+}
+
 /// Convenience ratio helper.
 pub fn ratio(uncompressed: usize, compressed: usize) -> f64 {
     compressed as f64 / uncompressed as f64
@@ -286,6 +342,28 @@ mod tests {
         let c = compress(&data);
         assert_eq!(decompress(&c, 999), Err(LzoError::OutputOverflow));
         assert!(decompress(&c, 1000).is_ok());
+    }
+
+    #[test]
+    fn decompress_prefix_splits_concatenated_blocks() {
+        let a = b"the first block compresses compresses compresses".repeat(20);
+        let b: Vec<u8> = (0..997u32).flat_map(|x| x.to_le_bytes()).collect();
+        let mut joined = compress(&a);
+        let a_clen = joined.len();
+        joined.extend_from_slice(&compress(&b));
+        let (got_a, used) = decompress_prefix(&joined, a.len()).unwrap();
+        assert_eq!(got_a, a);
+        assert_eq!(used, a_clen, "consumed exactly the first block's tokens");
+        let (got_b, used_b) = decompress_prefix(&joined[used..], b.len()).unwrap();
+        assert_eq!(got_b, b);
+        assert_eq!(used + used_b, joined.len());
+        // asking for more than the stream holds is truncation
+        assert_eq!(
+            decompress_prefix(&joined, a.len() + b.len() + 1),
+            Err(LzoError::Truncated)
+        );
+        // zero-length prefix consumes nothing
+        assert_eq!(decompress_prefix(&joined, 0), Ok((Vec::new(), 0)));
     }
 
     #[test]

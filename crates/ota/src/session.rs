@@ -172,15 +172,9 @@ pub fn run_session(update: &BlockedUpdate, link: &LinkModel, cfg: &SessionConfig
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let pw = OtaEnergyModel::paper();
 
-    // assemble the over-the-air byte stream: all compressed blocks with
-    // their 9-byte frame headers
-    let mut stream = Vec::with_capacity(update.compressed_len());
-    for b in &update.blocks {
-        stream.extend_from_slice(&b.index.to_le_bytes());
-        stream.extend_from_slice(&b.raw_len.to_le_bytes());
-        stream.push(0);
-        stream.extend_from_slice(&b.payload);
-    }
+    // the over-the-air byte stream: shared with the tinysdr-link ARQ
+    // pipe, so both transports move byte-identical payloads
+    let stream = update.wire_stream();
     let packets = packetize(&stream);
 
     let data_wire = OtaMessage::Data {

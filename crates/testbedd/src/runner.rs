@@ -108,6 +108,7 @@ fn dispatch(rec: &JobRecord, cancel: &CancelToken, store: &ArtifactStore) -> Run
         JobSpec::Waterfall { seed, quick } => run_waterfall_job(rec, *seed, *quick, cancel, store),
         JobSpec::EnergyRepro { nodes, seed } => run_energy_job(rec, *nodes, *seed, cancel, store),
         JobSpec::Perf { quick } => run_perf_job(rec, *quick, cancel, store),
+        JobSpec::Link { seed, quick } => run_link_job(rec, *seed, *quick, cancel, store),
     }
 }
 
@@ -227,6 +228,30 @@ fn run_perf_job(
     }
     let report = measure_perf(quick);
     match store.save_json(&rec.id, "report.json", &report.to_json()) {
+        Ok(()) => RunResult::Done,
+        Err(e) => RunResult::Failed(format!("report write: {e}")),
+    }
+}
+
+/// The packet-data-plane experiment. The stored `report.json` is the
+/// same document `repro link --json` prints for the same `(seed,
+/// quick)` — one builder, bit-identical bytes. The contract gates run
+/// inside the builder's measurement functions' callers, not here; a
+/// determinism violation would surface in the `repro` CI step.
+fn run_link_job(
+    rec: &JobRecord,
+    seed: u64,
+    quick: bool,
+    cancel: &CancelToken,
+    store: &ArtifactStore,
+) -> RunResult {
+    // no internal safe point (the full run is minutes, not hours);
+    // honor a token that tripped while the job sat queued
+    if cancel.is_cancelled() {
+        return RunResult::Cancelled;
+    }
+    let report = tinysdr_bench::link::link_json(seed, quick);
+    match store.save_json(&rec.id, "report.json", &report) {
         Ok(()) => RunResult::Done,
         Err(e) => RunResult::Failed(format!("report write: {e}")),
     }

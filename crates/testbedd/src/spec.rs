@@ -53,6 +53,15 @@ pub enum JobSpec {
         /// CI-sized repetition counts.
         quick: bool,
     },
+    /// The packet-data-plane experiment (`repro link --json`):
+    /// goodput-vs-RSSI over measured PER plus the multi-hop OTA
+    /// dissemination table with per-node energy.
+    Link {
+        /// Experiment seed (PER trials, channel schedules, backoff).
+        seed: u64,
+        /// Coarse grid and trial counts (`true`, the CI-sized run).
+        quick: bool,
+    },
 }
 
 impl JobSpec {
@@ -63,6 +72,7 @@ impl JobSpec {
             JobSpec::Waterfall { .. } => "waterfall",
             JobSpec::EnergyRepro { .. } => "energy-repro",
             JobSpec::Perf { .. } => "perf",
+            JobSpec::Link { .. } => "link",
         }
     }
 
@@ -99,6 +109,11 @@ impl JobSpec {
                 ("kind".into(), Value::str("perf")),
                 ("quick".into(), Value::Bool(*quick)),
             ]),
+            JobSpec::Link { seed, quick } => Value::Obj(vec![
+                ("kind".into(), Value::str("link")),
+                ("seed".into(), Value::hex_u64(*seed)),
+                ("quick".into(), Value::Bool(*quick)),
+            ]),
         }
     }
 
@@ -124,6 +139,10 @@ impl JobSpec {
                 seed: seed(v)?,
             }),
             "perf" => Some(JobSpec::Perf {
+                quick: v.get("quick")?.as_bool()?,
+            }),
+            "link" => Some(JobSpec::Link {
+                seed: seed(v)?,
                 quick: v.get("quick")?.as_bool()?,
             }),
             _ => None,
@@ -311,6 +330,10 @@ mod tests {
                 seed: 42,
             },
             JobSpec::Perf { quick: false },
+            JobSpec::Link {
+                seed: 0xBEEF,
+                quick: true,
+            },
         ]
     }
 

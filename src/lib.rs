@@ -24,6 +24,7 @@ pub use tinysdr_core as core_crate;
 pub use tinysdr_dsp as dsp;
 pub use tinysdr_fpga as fpga;
 pub use tinysdr_hw as hw;
+pub use tinysdr_link as link_crate;
 pub use tinysdr_lora as lora_crate;
 pub use tinysdr_ota as ota_crate;
 pub use tinysdr_power as power;
@@ -63,4 +64,11 @@ pub mod ota {
 /// Platform/device namespace.
 pub mod platform {
     pub use tinysdr_core::*;
+}
+
+/// Packet data plane namespace: frame codec, ARQ byte pipe, RF ping,
+/// and the deterministic multi-node network simulation over any
+/// [`phy::PhyModem`].
+pub mod link {
+    pub use tinysdr_link::*;
 }

@@ -117,3 +117,30 @@ fn substrate_reexports_resolve() {
     let _ = tinysdr::ota_crate::lzo::ratio(2, 1);
     let _ = tinysdr::core_crate::cost::total_cost_usd();
 }
+
+#[test]
+fn link_namespace_resolves_and_moves_bytes() {
+    // the packet data plane: frame codec + ARQ pipe over a PhyModem
+    use tinysdr::link::frame::Frame;
+    use tinysdr::link::phylink::test_payload;
+    use tinysdr::link::pipe::{transfer, tuned_config, Hop};
+    use tinysdr::link::sim::HopProfile;
+    use tinysdr::link::testphy::TestPhy;
+
+    let f = Frame::data(1, vec![0xC0, 0xDB, 0x00]);
+    assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+
+    let phy = TestPhy::new();
+    let payload = test_payload(120, 1);
+    let (rep, delivered) = transfer(
+        &payload,
+        &phy,
+        &[Hop::symmetric(HopProfile::clean(-80.0))],
+        tuned_config(&phy, 2),
+        1,
+    );
+    assert!(rep.completed);
+    assert_eq!(delivered, payload);
+    // the `_crate` alias too
+    let _ = tinysdr::link_crate::frame::MAX_PAYLOAD;
+}
